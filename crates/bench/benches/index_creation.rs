@@ -1,0 +1,59 @@
+//! Criterion version of Table 3: quadtree and R-tree index creation
+//! over complex polygons at DOP 1, 2 and 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parking_lot::RwLock;
+use sdo_core::create;
+use sdo_core::params::{IndexKindParam, SpatialIndexParams};
+use sdo_datagen::{block_groups, US_EXTENT};
+use sdo_storage::{Counters, DataType, Schema, Table, Value};
+use std::sync::Arc;
+
+const N: usize = 1_200;
+
+fn geometry_table() -> Arc<RwLock<Table>> {
+    let mut t = Table::new(
+        "BG",
+        Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]),
+    );
+    for (i, g) in block_groups::generate(N, &US_EXTENT, 7).into_iter().enumerate() {
+        t.insert(vec![Value::Integer(i as i64), Value::geometry(g)]).unwrap();
+    }
+    Arc::new(RwLock::new(t))
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let table = geometry_table();
+    let counters = Arc::new(Counters::new());
+    let mut group = c.benchmark_group("table3_index_creation");
+    group.sample_size(10);
+    let qparams = SpatialIndexParams {
+        kind: IndexKindParam::Quadtree,
+        sdo_level: 7,
+        extent: Some(US_EXTENT),
+        ..Default::default()
+    };
+    let rparams = SpatialIndexParams { extent: Some(US_EXTENT), ..Default::default() };
+    for dop in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("quadtree", dop), &dop, |b, &dop| {
+            b.iter(|| {
+                create::build_quadtree(&table, 1, &qparams, dop, Arc::clone(&counters))
+                    .unwrap()
+                    .0
+                    .tile_entries()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rtree", dop), &dop, |b, &dop| {
+            b.iter(|| {
+                create::build_rtree(&table, 1, &rparams, dop, Arc::clone(&counters))
+                    .unwrap()
+                    .0
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion version of Table 1: county self-join, nested loop vs
+//! table-function spatial join, at intersection and at a distance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdo_bench::{load_table, session};
+use sdo_datagen::{counties, US_EXTENT};
+use sdo_dbms::Database;
+
+const N: usize = 600;
+
+fn setup() -> Database {
+    let db = session();
+    let geoms = counties::generate(N, &US_EXTENT, 2003);
+    load_table(&db, "counties", &geoms);
+    db.execute(
+        "CREATE INDEX counties_sidx ON counties(geom) \
+         INDEXTYPE IS SPATIAL_INDEX PARAMETERS ('tree_fanout=32')",
+    )
+    .unwrap();
+    db
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let db = setup();
+    let mut group = c.benchmark_group("table1_county_join");
+    group.sample_size(10);
+    for (label, nl_sql, tf_pred) in [
+        (
+            "intersect",
+            "SELECT COUNT(*) FROM counties a, counties b \
+             WHERE SDO_RELATE(a.geom, b.geom, 'intersect') = 'TRUE'",
+            "'intersect'",
+        ),
+        (
+            "distance",
+            "SELECT COUNT(*) FROM counties a, counties b \
+             WHERE SDO_WITHIN_DISTANCE(a.geom, b.geom, 1.5) = 'TRUE'",
+            "'distance=1.5'",
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new("nested_loop", label), &nl_sql, |b, sql| {
+            b.iter(|| db.execute(sql).unwrap().count().unwrap())
+        });
+        let tf_sql = format!(
+            "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN( \
+             'counties','geom','counties','geom',{tf_pred}))"
+        );
+        group.bench_with_input(BenchmarkId::new("spatial_join", label), &tf_sql, |b, sql| {
+            b.iter(|| db.execute(sql).unwrap().count().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

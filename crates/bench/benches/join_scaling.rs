@@ -1,0 +1,56 @@
+//! Criterion version of Table 2: star self-join over growing subset
+//! sizes and degrees of parallelism.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdo_bench::{load_table, session};
+use sdo_datagen::{stars, SKY_EXTENT};
+use sdo_dbms::Database;
+
+fn setup(n: usize) -> Database {
+    let db = session();
+    let geoms = stars::generate(n, &SKY_EXTENT, 1977);
+    load_table(&db, "s", &geoms);
+    db.execute(
+        "CREATE INDEX s_sidx ON s(geom) INDEXTYPE IS SPATIAL_INDEX \
+         PARAMETERS ('tree_fanout=32')",
+    )
+    .unwrap();
+    db
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_star_join");
+    group.sample_size(10);
+    for size in [500usize, 2_000, 8_000] {
+        let db = setup(size);
+        group.throughput(Throughput::Elements(size as u64));
+        for dop in [1usize, 2] {
+            let sql = format!(
+                "SELECT COUNT(*) FROM TABLE( \
+                 SPATIAL_JOIN('s','geom','s','geom','intersect', {dop}))"
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("join_dop{dop}"), size),
+                &sql,
+                |b, sql| b.iter(|| db.execute(sql).unwrap().count().unwrap()),
+            );
+        }
+        if size <= 2_000 {
+            group.bench_with_input(BenchmarkId::new("nested_loop", size), &db, |b, db| {
+                b.iter(|| {
+                    db.execute(
+                        "SELECT COUNT(*) FROM s a, s b \
+                         WHERE SDO_RELATE(a.geom, b.geom, 'intersect') = 'TRUE'",
+                    )
+                    .unwrap()
+                    .count()
+                    .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Microbenchmarks for the substrate primitives every experiment sits
+//! on: MBR algebra, exact predicates, WKT, B+tree, R-tree probes and
+//! tessellation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdo_datagen::{block_groups, counties, US_EXTENT};
+use sdo_geom::{Rect, RelateMask};
+use sdo_quadtree::tessellate;
+use sdo_rtree::{RTree, RTreeParams};
+use sdo_storage::BTree;
+
+fn bench_rect_ops(c: &mut Criterion) {
+    let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+    let b = Rect::new(5.0, 5.0, 15.0, 15.0);
+    c.bench_function("rect/intersects", |bench| {
+        bench.iter(|| black_box(&a).intersects(black_box(&b)))
+    });
+    c.bench_function("rect/mindist", |bench| {
+        bench.iter(|| black_box(&a).mindist(black_box(&b)))
+    });
+    c.bench_function("rect/union_enlargement", |bench| {
+        bench.iter(|| black_box(&a).enlargement(black_box(&b)))
+    });
+}
+
+fn bench_relate(c: &mut Criterion) {
+    let polys = counties::generate(64, &US_EXTENT, 3);
+    c.bench_function("relate/anyinteract_counties", |bench| {
+        let mut i = 0;
+        bench.iter(|| {
+            i = (i + 1) % 63;
+            sdo_geom::relate(
+                black_box(&polys[i]),
+                black_box(&polys[i + 1]),
+                RelateMask::AnyInteract,
+            )
+        })
+    });
+    let complex = block_groups::generate(8, &US_EXTENT, 4);
+    c.bench_function("relate/anyinteract_complex", |bench| {
+        bench.iter(|| {
+            sdo_geom::relate(
+                black_box(&complex[0]),
+                black_box(&complex[1]),
+                RelateMask::AnyInteract,
+            )
+        })
+    });
+    c.bench_function("relate/distance_complex", |bench| {
+        bench.iter(|| sdo_geom::distance(black_box(&complex[2]), black_box(&complex[3])))
+    });
+}
+
+fn bench_wkt(c: &mut Criterion) {
+    let g = &counties::generate(1, &US_EXTENT, 5)[0];
+    let wkt = sdo_geom::wkt::to_wkt(g);
+    c.bench_function("wkt/parse_county", |bench| {
+        bench.iter(|| sdo_geom::wkt::parse_wkt(black_box(&wkt)).unwrap())
+    });
+    c.bench_function("wkt/write_county", |bench| {
+        bench.iter(|| sdo_geom::wkt::to_wkt(black_box(g)))
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    c.bench_function("btree/insert_10k", |bench| {
+        bench.iter(|| {
+            let mut t = BTree::with_order(64);
+            for i in 0..10_000u64 {
+                t.insert(i.wrapping_mul(0x9E3779B97F4A7C15));
+            }
+            t.len()
+        })
+    });
+    let keys: Vec<u64> = (0..100_000u64).collect();
+    let t = BTree::bulk_build(keys, 64);
+    c.bench_function("btree/contains", |bench| {
+        let mut i = 0u64;
+        bench.iter(|| {
+            i = (i + 7919) % 100_000;
+            t.contains(black_box(&i))
+        })
+    });
+}
+
+fn bench_rtree_probe(c: &mut Criterion) {
+    let items: Vec<(Rect, u64)> = (0..50_000u64)
+        .map(|i| {
+            let x = ((i.wrapping_mul(2654435761)) % 100_000) as f64 / 100.0;
+            let y = ((i.wrapping_mul(40503)) % 100_000) as f64 / 100.0;
+            (Rect::new(x, y, x + 1.0, y + 1.0), i)
+        })
+        .collect();
+    let tree = RTree::bulk_load(items, RTreeParams::with_fanout(32));
+    c.bench_function("rtree/window_50k", |bench| {
+        let mut i = 0.0f64;
+        bench.iter(|| {
+            i = (i + 37.0) % 900.0;
+            tree.query_window(&Rect::new(i, i, i + 20.0, i + 20.0)).len()
+        })
+    });
+    c.bench_function("rtree/knn10_50k", |bench| {
+        bench.iter(|| tree.query_knn(black_box(&sdo_geom::Point::new(500.0, 500.0)), 10))
+    });
+    c.bench_function("rtree/nearest_iter_100_of_50k", |bench| {
+        let q = Rect::new(500.0, 500.0, 501.0, 501.0);
+        bench.iter(|| tree.nearest_iter(q).take(100).count())
+    });
+}
+
+fn bench_tessellate(c: &mut Criterion) {
+    let g = &block_groups::generate(4, &US_EXTENT, 6)[0];
+    c.bench_function("quadtree/tessellate_complex_l8", |bench| {
+        bench.iter(|| tessellate(black_box(g), &US_EXTENT, 8).len())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rect_ops,
+    bench_relate,
+    bench_wkt,
+    bench_btree,
+    bench_rtree_probe,
+    bench_tessellate
+);
+criterion_main!(benches);

@@ -1,0 +1,356 @@
+//! Registration of the spatial indextype and table functions.
+
+use crate::index::{QuadtreeSpatialIndex, RTreeSpatialIndex, SpatialIndexType};
+use crate::join::{
+    ExactPredicate, JoinSide, QtJoinSide, QuadtreeJoin, SpatialJoin, SpatialJoinConfig,
+};
+use crate::FetchOrder;
+use sdo_dbms::db::TfInstance;
+use sdo_dbms::extensible::{param, parse_params};
+use sdo_dbms::{Database, DbError, TfArg};
+use sdo_rtree::{NodeId, RTree};
+use sdo_storage::{RowId, Value};
+use sdo_tablefunc::parallel::ParallelTableFunction;
+use sdo_tablefunc::partition::{partition_rows, PartitionMethod};
+use sdo_tablefunc::table_function::BufferedFn;
+use sdo_tablefunc::TableFunction;
+use std::sync::Arc;
+
+/// Register everything the paper's SQL uses into a session:
+///
+/// * the `SPATIAL_INDEX` indextype,
+/// * `SPATIAL_JOIN(left_table, left_col, right_table, right_col,
+///   interaction [, dop [, level [, options]]])` — the pipelined
+///   (and, with `dop > 1`, parallel) spatial join table function.
+///   `interaction` is `'intersect'`/`'mask=...'`/`'distance=d'`;
+///   `options` is `'fetch_order=arrival, candidates=N, cache=N'`.
+///   A leading `CURSOR(SELECT * FROM TABLE(SUBTREE_PAIRS(...)))`
+///   argument supplies explicit subtree-pair tasks, matching the
+///   paper's cursor-driven form,
+/// * `SUBTREE_ROOT(index_name, levels_down)` — subtree roots of an
+///   R-tree index at a level,
+/// * `SUBTREE_PAIRS(left_index, right_index, levels_down,
+///   interaction)` — the MBR-filtered cross product of subtree roots
+///   (Figure 1),
+/// * `TESSELLATE(table_name, column, level)` — the quadtree
+///   tessellation as a standalone table function (Figure 2's middle
+///   stage).
+pub fn register_spatial(db: &Database) {
+    db.register_indextype("SPATIAL_INDEX", Arc::new(SpatialIndexType));
+
+    db.register_table_function("SPATIAL_JOIN", spatial_join_factory);
+    // Oracle's production name for the same function.
+    db.register_table_function("SDO_JOIN", spatial_join_factory);
+    db.register_table_function("SUBTREE_ROOT", subtree_root_factory);
+    db.register_table_function("SUBTREE_PAIRS", subtree_pairs_factory);
+    db.register_table_function("TESSELLATE", tessellate_factory);
+}
+
+/// Look up the R-tree spatial index on `(table, column)` and snapshot
+/// its side of a join.
+fn rtree_side(db: &Database, table: &str, column: &str) -> Result<Option<JoinSide>, DbError> {
+    let Some((_, inst)) = db.index_on(table, column) else {
+        return Err(DbError::Index(format!(
+            "SPATIAL_JOIN requires a spatial index on {table}.{column}"
+        )));
+    };
+    let guard = inst.read();
+    let Some(rt) = guard.as_any().downcast_ref::<RTreeSpatialIndex>() else {
+        return Ok(None);
+    };
+    Ok(Some(JoinSide {
+        table: Arc::clone(rt.table()),
+        column: rt.geometry_column(),
+        tree: rt.tree_snapshot(),
+    }))
+}
+
+fn quadtree_side(db: &Database, table: &str, column: &str) -> Result<QtJoinSide, DbError> {
+    let (_, inst) = db
+        .index_on(table, column)
+        .ok_or_else(|| DbError::Index(format!("no spatial index on {table}.{column}")))?;
+    let guard = inst.read();
+    let qt = guard
+        .as_any()
+        .downcast_ref::<QuadtreeSpatialIndex>()
+        .ok_or_else(|| DbError::Index(format!("index on {table}.{column} is not a quadtree")))?;
+    Ok(QtJoinSide {
+        table: Arc::clone(qt.table()),
+        column: qt.geometry_column(),
+        index: qt.index_snapshot(),
+    })
+}
+
+fn parse_join_options(s: &str) -> Result<SpatialJoinConfig, DbError> {
+    let mut cfg = SpatialJoinConfig::default();
+    let pairs = parse_params(s);
+    for (k, _) in &pairs {
+        if !matches!(k.as_str(), "fetch_order" | "candidates" | "cache") {
+            return Err(DbError::Plan(format!("unknown SPATIAL_JOIN option '{k}'")));
+        }
+    }
+    if let Some(v) = param(&pairs, "fetch_order") {
+        cfg.fetch_order = match v.to_ascii_lowercase().as_str() {
+            "sorted" | "rowid" | "rowid_sorted" => FetchOrder::RowidSorted,
+            "arrival" => FetchOrder::Arrival,
+            other => return Err(DbError::Plan(format!("unknown fetch order '{other}'"))),
+        };
+    }
+    if let Some(v) = param(&pairs, "candidates") {
+        cfg.candidate_array = v
+            .parse::<usize>()
+            .map_err(|_| DbError::Plan(format!("bad candidates '{v}'")))?
+            .max(1);
+    }
+    if let Some(v) = param(&pairs, "cache") {
+        cfg.cache_size =
+            v.parse().map_err(|_| DbError::Plan(format!("bad cache '{v}'")))?;
+    }
+    Ok(cfg)
+}
+
+/// Pick the subtree descent depth: "we descend both trees as far below
+/// as to get appropriate number of subtree-joins" — the shallowest
+/// level producing at least `4 * dop` tasks.
+pub fn choose_descent_level(
+    left: &RTree<RowId>,
+    right: &RTree<RowId>,
+    exact: &ExactPredicate,
+    dop: usize,
+) -> (u32, Vec<(NodeId, NodeId)>) {
+    let max_down = left.height().min(right.height()).saturating_sub(1);
+    let mut best = (0, SpatialJoin::parallel_tasks(left, right, exact, 0));
+    for level in 1..=max_down {
+        let tasks = SpatialJoin::parallel_tasks(left, right, exact, level);
+        let enough = tasks.len() >= 4 * dop;
+        best = (level, tasks);
+        if enough {
+            break;
+        }
+    }
+    best
+}
+
+fn spatial_join_factory(db: &Database, args: Vec<TfArg>) -> Result<TfInstance, DbError> {
+    let columns = vec!["RID1".to_string(), "RID2".to_string()];
+    // Optional leading cursor of (lnode, rnode) subtree pairs.
+    type TaskSplit<'a> = (Option<Vec<(NodeId, NodeId)>>, &'a [TfArg]);
+    let (explicit_tasks, rest): TaskSplit<'_> = match args.first() {
+        Some(TfArg::Cursor(rows)) => {
+            let pairs = rows
+                .iter()
+                .map(|r| {
+                    let l = r.first().and_then(|v| v.as_integer());
+                    let rr = r.get(1).and_then(|v| v.as_integer());
+                    match (l, rr) {
+                        (Some(l), Some(rr)) => Ok((l as NodeId, rr as NodeId)),
+                        _ => Err(DbError::Plan(
+                            "SPATIAL_JOIN cursor must supply (lnode, rnode) pairs".into(),
+                        )),
+                    }
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            (Some(pairs), &args[1..])
+        }
+        _ => (None, &args[..]),
+    };
+    if rest.len() < 5 {
+        return Err(DbError::Plan(
+            "SPATIAL_JOIN(left_table, left_col, right_table, right_col, interaction, ...)".into(),
+        ));
+    }
+    let lt = rest[0].text()?;
+    let lc = rest[1].text()?;
+    let rt = rest[2].text()?;
+    let rc = rest[3].text()?;
+    let exact = ExactPredicate::parse(rest[4].text()?).map_err(DbError::from)?;
+    let dop = rest.get(5).map(|a| a.integer()).transpose()?.unwrap_or(1).max(1) as usize;
+    let forced_level = rest.get(6).map(|a| a.integer()).transpose()?;
+    let config = match rest.get(7) {
+        Some(a) => parse_join_options(a.text()?)?,
+        None => SpatialJoinConfig::default(),
+    };
+    let counters = Arc::clone(db.counters());
+
+    // Quadtree pairing: both sides must be quadtrees.
+    if rtree_side(db, lt, lc)?.is_none() {
+        let left = quadtree_side(db, lt, lc)?;
+        let right = quadtree_side(db, rt, rc)?;
+        if dop > 1 {
+            return Err(DbError::Plan(
+                "parallel SPATIAL_JOIN is implemented for R-tree indexes \
+                 (quadtree joins are a single merge pass)"
+                    .into(),
+            ));
+        }
+        let func = QuadtreeJoin::new(left, right, exact, config, counters)
+            .map_err(DbError::from)?;
+        return Ok(TfInstance { func: Box::new(func), columns });
+    }
+
+    let left = rtree_side(db, lt, lc)?.expect("checked above");
+    let right = rtree_side(db, rt, rc)?.ok_or_else(|| {
+        DbError::Index("SPATIAL_JOIN requires both indexes to be the same kind".into())
+    })?;
+
+    let tasks: Vec<(NodeId, NodeId)> = match (explicit_tasks, forced_level) {
+        (Some(t), _) => t,
+        (None, Some(level)) => {
+            SpatialJoin::parallel_tasks(&left.tree, &right.tree, &exact, level.max(0) as u32)
+        }
+        (None, None) if dop > 1 => choose_descent_level(&left.tree, &right.tree, &exact, dop).1,
+        (None, None) => {
+            // Serial: single root pair.
+            let func = SpatialJoin::new(left, right, exact, config, counters);
+            return Ok(TfInstance { func: Box::new(func), columns });
+        }
+    };
+
+    if dop <= 1 {
+        let func =
+            SpatialJoin::with_stack(left, right, exact, config, counters, tasks);
+        return Ok(TfInstance { func: Box::new(func), columns });
+    }
+
+    // Parallel: partition the subtree-pair tasks across dop slave
+    // instances of the join function.
+    let task_rows: Vec<sdo_tablefunc::Row> = tasks
+        .iter()
+        .map(|&(l, r)| vec![Value::Integer(l as i64), Value::Integer(r as i64)])
+        .collect();
+    let parts = partition_rows(task_rows, PartitionMethod::Any, dop);
+    let instances: Vec<Box<dyn TableFunction>> = parts
+        .into_iter()
+        .map(|rows| {
+            let stack: Vec<(NodeId, NodeId)> = rows
+                .iter()
+                .map(|r| {
+                    (
+                        r[0].as_integer().unwrap() as NodeId,
+                        r[1].as_integer().unwrap() as NodeId,
+                    )
+                })
+                .collect();
+            Box::new(SpatialJoin::with_stack(
+                JoinSide {
+                    table: Arc::clone(&left.table),
+                    column: left.column,
+                    tree: Arc::clone(&left.tree),
+                },
+                JoinSide {
+                    table: Arc::clone(&right.table),
+                    column: right.column,
+                    tree: Arc::clone(&right.tree),
+                },
+                exact.clone(),
+                config.clone(),
+                Arc::clone(&counters),
+                stack,
+            )) as Box<dyn TableFunction>
+        })
+        .collect();
+    Ok(TfInstance { func: Box::new(ParallelTableFunction::new(instances)), columns })
+}
+
+fn subtree_root_factory(db: &Database, args: Vec<TfArg>) -> Result<TfInstance, DbError> {
+    if args.len() != 2 {
+        return Err(DbError::Plan("SUBTREE_ROOT(index_name, levels_down)".into()));
+    }
+    let index_name = args[0].text()?.to_string();
+    let levels = args[1].integer()?.max(0) as u32;
+    let inst = db
+        .index_instance(&index_name)
+        .ok_or_else(|| DbError::Index(format!("no such index {index_name}")))?;
+    let guard = inst.read();
+    let rt = guard
+        .as_any()
+        .downcast_ref::<RTreeSpatialIndex>()
+        .ok_or_else(|| DbError::Index("SUBTREE_ROOT requires an R-tree index".into()))?;
+    let tree = rt.tree_snapshot();
+    let rows: Vec<sdo_tablefunc::Row> = tree
+        .subtree_roots(levels)
+        .into_iter()
+        .map(|s| {
+            vec![
+                Value::Integer(s.node as i64),
+                Value::Integer(s.level as i64),
+                Value::Double(s.mbr.min_x),
+                Value::Double(s.mbr.min_y),
+                Value::Double(s.mbr.max_x),
+                Value::Double(s.mbr.max_y),
+            ]
+        })
+        .collect();
+    Ok(TfInstance {
+        func: Box::new(BufferedFn::new(move || Ok(rows))),
+        columns: vec![
+            "NODE".into(),
+            "NODE_LEVEL".into(),
+            "MIN_X".into(),
+            "MIN_Y".into(),
+            "MAX_X".into(),
+            "MAX_Y".into(),
+        ],
+    })
+}
+
+fn subtree_pairs_factory(db: &Database, args: Vec<TfArg>) -> Result<TfInstance, DbError> {
+    if args.len() != 4 {
+        return Err(DbError::Plan(
+            "SUBTREE_PAIRS(left_index, right_index, levels_down, interaction)".into(),
+        ));
+    }
+    let exact = ExactPredicate::parse(args[3].text()?).map_err(DbError::from)?;
+    let levels = args[2].integer()?.max(0) as u32;
+    let mut trees = Vec::new();
+    for a in &args[..2] {
+        let name = a.text()?;
+        let inst = db
+            .index_instance(name)
+            .ok_or_else(|| DbError::Index(format!("no such index {name}")))?;
+        let guard = inst.read();
+        let rt = guard
+            .as_any()
+            .downcast_ref::<RTreeSpatialIndex>()
+            .ok_or_else(|| DbError::Index("SUBTREE_PAIRS requires R-tree indexes".into()))?;
+        trees.push(rt.tree_snapshot());
+    }
+    let pairs = SpatialJoin::parallel_tasks(&trees[0], &trees[1], &exact, levels);
+    let rows: Vec<sdo_tablefunc::Row> = pairs
+        .into_iter()
+        .map(|(l, r)| vec![Value::Integer(l as i64), Value::Integer(r as i64)])
+        .collect();
+    Ok(TfInstance {
+        func: Box::new(BufferedFn::new(move || Ok(rows))),
+        columns: vec!["LNODE".into(), "RNODE".into()],
+    })
+}
+
+fn tessellate_factory(db: &Database, args: Vec<TfArg>) -> Result<TfInstance, DbError> {
+    if args.len() < 3 {
+        return Err(DbError::Plan("TESSELLATE(table, column, level)".into()));
+    }
+    let table = db.table(args[0].text()?)?;
+    let column = args[1].text()?.to_string();
+    let level = args[2].integer()?.max(1) as u32;
+    let col = table
+        .read()
+        .schema()
+        .column_index(&column)
+        .ok_or_else(|| DbError::Plan(format!("no column {column}")))?;
+    let params = crate::params::SpatialIndexParams {
+        sdo_level: level,
+        ..Default::default()
+    };
+    let world = crate::create::world_extent_of(&table, col, &params)?;
+    let counters = Arc::clone(db.counters());
+    let cursor = sdo_tablefunc::source::TableCursor::full(Arc::clone(&table))
+        .with_projection(vec![col]);
+    let func = sdo_tablefunc::pipeline::CursorFn::new(cursor, move |row| {
+        crate::create::tessellate_row(&row, &world, level, &counters)
+    });
+    Ok(TfInstance {
+        func: Box::new(func),
+        columns: vec!["TILE_CODE".into(), "RID".into(), "INTERIOR".into()],
+    })
+}

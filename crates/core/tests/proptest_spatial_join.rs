@@ -1,0 +1,157 @@
+//! Property-based testing of the SPATIAL_JOIN table function: for
+//! arbitrary data, predicates and configurations, results equal brute
+//! force.
+
+use parking_lot::RwLock;
+use proptest::prelude::*;
+use sdo_core::join::{ExactPredicate, JoinSide, SpatialJoin, SpatialJoinConfig};
+use sdo_core::FetchOrder;
+use sdo_geom::{Geometry, Polygon, Rect, RelateMask};
+use sdo_rtree::{RTree, RTreeParams};
+use sdo_storage::{Counters, DataType, Schema, Table, Value};
+use sdo_tablefunc::collect_all;
+use std::sync::Arc;
+
+fn arb_rect_poly() -> impl Strategy<Value = Geometry> {
+    ((0.0f64..200.0), (0.0f64..200.0), (0.5f64..25.0), (0.5f64..25.0))
+        .prop_map(|(x, y, w, h)| {
+            Geometry::Polygon(Polygon::from_rect(&Rect::new(x, y, x + w, y + h)))
+        })
+}
+
+fn side(geoms: &[Geometry], fanout: usize) -> JoinSide {
+    let mut t = Table::new(
+        "T",
+        Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]),
+    );
+    let mut items = Vec::new();
+    for (i, g) in geoms.iter().enumerate() {
+        let bb = g.bbox();
+        let rid = t
+            .insert(vec![Value::Integer(i as i64), Value::geometry(g.clone())])
+            .unwrap();
+        items.push((bb, rid));
+    }
+    JoinSide {
+        table: Arc::new(RwLock::new(t)),
+        column: 1,
+        tree: Arc::new(RTree::bulk_load(items, RTreeParams::with_fanout(fanout))),
+    }
+}
+
+fn run_join(
+    l: &JoinSide,
+    r: &JoinSide,
+    exact: ExactPredicate,
+    config: SpatialJoinConfig,
+    fetch: usize,
+) -> Vec<(u64, u64)> {
+    let mut join = SpatialJoin::new(
+        JoinSide { table: Arc::clone(&l.table), column: 1, tree: Arc::clone(&l.tree) },
+        JoinSide { table: Arc::clone(&r.table), column: 1, tree: Arc::clone(&r.tree) },
+        exact,
+        config,
+        Arc::new(Counters::new()),
+    );
+    let mut out: Vec<(u64, u64)> = collect_all(&mut join, fetch)
+        .unwrap()
+        .iter()
+        .map(|row| {
+            (row[0].as_rowid().unwrap().as_u64(), row[1].as_rowid().unwrap().as_u64())
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn brute(a: &[Geometry], b: &[Geometry], exact: &ExactPredicate) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for (i, ga) in a.iter().enumerate() {
+        for (j, gb) in b.iter().enumerate() {
+            let keep = match exact {
+                ExactPredicate::Masks(m) => sdo_geom::relate::relate_any(ga, gb, m),
+                ExactPredicate::Distance(d) => sdo_geom::within_distance(ga, gb, *d),
+                ExactPredicate::PrimaryOnly => ga.bbox().intersects(&gb.bbox()),
+            };
+            if keep {
+                out.push((i as u64, j as u64));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+fn arb_exact() -> impl Strategy<Value = ExactPredicate> {
+    prop_oneof![
+        Just(ExactPredicate::Masks(vec![RelateMask::AnyInteract])),
+        Just(ExactPredicate::Masks(vec![RelateMask::Touch, RelateMask::Overlap])),
+        Just(ExactPredicate::Masks(vec![RelateMask::Inside])),
+        (0.1f64..30.0).prop_map(ExactPredicate::Distance),
+        Just(ExactPredicate::PrimaryOnly),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = SpatialJoinConfig> {
+    (
+        1usize..512,
+        prop_oneof![
+            Just(FetchOrder::RowidSorted),
+            Just(FetchOrder::Arrival),
+            Just(FetchOrder::Random)
+        ],
+        0usize..64,
+    )
+        .prop_map(|(candidate_array, fetch_order, cache_size)| SpatialJoinConfig {
+            candidate_array,
+            fetch_order,
+            cache_size,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn join_equals_brute_force_under_any_config(
+        a in proptest::collection::vec(arb_rect_poly(), 0..60),
+        b in proptest::collection::vec(arb_rect_poly(), 0..60),
+        exact in arb_exact(),
+        config in arb_config(),
+        fetch in 1usize..200,
+        lf in 5usize..16,
+        rf in 5usize..16,
+    ) {
+        let l = side(&a, lf);
+        let r = side(&b, rf);
+        let got = run_join(&l, &r, exact.clone(), config, fetch);
+        prop_assert_eq!(got, brute(&a, &b, &exact));
+    }
+
+    #[test]
+    fn parallel_tasks_cover_serial(
+        a in proptest::collection::vec(arb_rect_poly(), 20..80),
+        levels in 0u32..3,
+    ) {
+        let s = side(&a, 6);
+        let exact = ExactPredicate::Masks(vec![RelateMask::AnyInteract]);
+        let serial = run_join(&s, &s, exact.clone(), SpatialJoinConfig::default(), 97);
+        let tasks = SpatialJoin::parallel_tasks(&s.tree, &s.tree, &exact, levels);
+        let mut got = Vec::new();
+        for chunk in tasks.chunks(3.max(tasks.len() / 4)) {
+            let mut join = SpatialJoin::with_stack(
+                JoinSide { table: Arc::clone(&s.table), column: 1, tree: Arc::clone(&s.tree) },
+                JoinSide { table: Arc::clone(&s.table), column: 1, tree: Arc::clone(&s.tree) },
+                exact.clone(),
+                SpatialJoinConfig::default(),
+                Arc::new(Counters::new()),
+                chunk.to_vec(),
+            );
+            got.extend(collect_all(&mut join, 64).unwrap().iter().map(|row| {
+                (row[0].as_rowid().unwrap().as_u64(), row[1].as_rowid().unwrap().as_u64())
+            }));
+        }
+        got.sort_unstable();
+        prop_assert_eq!(got, serial);
+    }
+}

@@ -1,0 +1,148 @@
+//! Synthetic block-group data: complex, vertex-heavy polygons.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdo_geom::{Geometry, Point, Polygon, Rect, Ring};
+
+/// Generate `n` complex polygons over `extent`.
+///
+/// Each polygon is star-shaped around its center with a radius function
+/// `r(θ)` built from random low-frequency harmonics — guaranteed simple
+/// (single-valued radius) yet irregular, with 40–400 vertices like the
+/// paper's "arbitrarily-shaped complex polygon geometries". Roughly 10%
+/// carry a hole. Centers cluster around population hubs.
+pub fn generate(n: usize, extent: &Rect, seed: u64) -> Vec<Geometry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hubs: Vec<Point> = (0..(n / 2000 + 8).min(64))
+        .map(|_| {
+            Point::new(
+                rng.random_range(extent.min_x..extent.max_x),
+                rng.random_range(extent.min_y..extent.max_y),
+            )
+        })
+        .collect();
+    let hub_sigma = extent.width().min(extent.height()) * 0.05;
+    // Base radius sized so block groups overlap their neighbours a bit.
+    let base_r = (extent.width() * extent.height() / n as f64).sqrt() * 0.7;
+
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let center = if rng.random_bool(0.7) {
+            let h = hubs[rng.random_range(0..hubs.len())];
+            Point::new(h.x + gaussian(&mut rng) * hub_sigma, h.y + gaussian(&mut rng) * hub_sigma)
+        } else {
+            Point::new(
+                rng.random_range(extent.min_x..extent.max_x),
+                rng.random_range(extent.min_y..extent.max_y),
+            )
+        };
+        // Vertex count: 40 + heavy-ish tail up to 400.
+        let vertices = 40 + (rng.random_range(0.0f64..1.0).powi(3) * 360.0) as usize;
+        let r = base_r * rng.random_range(0.5..1.5);
+        // Inset the center so the ring never needs boundary clamping
+        // (clamping would create degenerate collinear runs). At tiny n
+        // the radius can rival the extent; cap the inset at just under
+        // the half-extent so the clamp below stays well-formed.
+        let margin = (r * 1.6)
+            .min(extent.width() * 0.49)
+            .min(extent.height() * 0.49);
+        let center = Point::new(
+            center.x.clamp(extent.min_x + margin, extent.max_x - margin),
+            center.y.clamp(extent.min_y + margin, extent.max_y - margin),
+        );
+        let outer = star_ring(&mut rng, center, r, vertices, extent);
+        let holes = if rng.random_bool(0.1) {
+            // Hole radius below 35% of the outer minimum radius keeps it
+            // strictly inside (outer harmonics never dip below 50%).
+            vec![star_ring(&mut rng, center, r * 0.25, 16, extent)]
+        } else {
+            Vec::new()
+        };
+        out.push(Geometry::Polygon(Polygon::new(outer, holes)));
+    }
+    out
+}
+
+/// A simple star-shaped ring: `r(θ) = r0 * (1 + Σ a_k sin(kθ + φ_k))`
+/// with `Σ|a_k| <= 0.5`, clamped into the extent.
+fn star_ring(
+    rng: &mut StdRng,
+    center: Point,
+    r0: f64,
+    vertices: usize,
+    extent: &Rect,
+) -> Ring {
+    let harmonics: Vec<(f64, f64, f64)> = (2..6)
+        .map(|k| {
+            (
+                k as f64,
+                rng.random_range(0.0..0.125),
+                rng.random_range(0.0..std::f64::consts::TAU),
+            )
+        })
+        .collect();
+    let pts: Vec<Point> = (0..vertices)
+        .map(|i| {
+            let theta = i as f64 / vertices as f64 * std::f64::consts::TAU;
+            let wobble: f64 = harmonics
+                .iter()
+                .map(|(k, a, phi)| a * (k * theta + phi).sin())
+                .sum();
+            let r = r0 * (1.0 + wobble);
+            Point::new(
+                (center.x + r * theta.cos()).clamp(extent.min_x, extent.max_x),
+                (center.y + r * theta.sin()).clamp(extent.min_y, extent.max_y),
+            )
+        })
+        .collect();
+    Ring::new(pts).expect("star ring has >= 3 vertices")
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::US_EXTENT;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = generate(200, &US_EXTENT, 4);
+        let b = generate(200, &US_EXTENT, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn vertex_counts_are_heavy() {
+        let bgs = generate(300, &US_EXTENT, 17);
+        let counts: Vec<usize> = bgs.iter().map(|g| g.num_points()).collect();
+        assert!(counts.iter().all(|&c| c >= 40));
+        assert!(counts.iter().any(|&c| c > 150), "no complex polygons generated");
+        let avg = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!(avg > 50.0, "average vertex count {avg} too low");
+    }
+
+    #[test]
+    fn polygons_validate() {
+        for (i, g) in generate(150, &US_EXTENT, 23).iter().enumerate() {
+            sdo_geom::validate::validate(g).unwrap_or_else(|e| panic!("block group {i}: {e}"));
+            assert!(g.area() > 0.0);
+        }
+    }
+
+    #[test]
+    fn some_have_holes() {
+        let bgs = generate(300, &US_EXTENT, 31);
+        let holed = bgs
+            .iter()
+            .filter(|g| matches!(g, Geometry::Polygon(p) if !p.holes().is_empty()))
+            .count();
+        assert!(holed > 0, "expected some holed polygons");
+        assert!(holed < 100, "too many holed polygons");
+    }
+}

@@ -1,0 +1,158 @@
+//! Synthetic county map: a jittered grid whose cells share boundaries.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdo_geom::{Geometry, Point, Polygon, Rect, Ring};
+
+/// Generate `n` county-like polygons covering `extent`.
+///
+/// The extent is divided into a `cols x rows` grid; every grid corner
+/// and edge-midpoint is jittered once and **shared** by the adjacent
+/// cells, so neighbouring counties touch exactly along irregular
+/// borders — the property that makes a distance-0 self-join behave
+/// like the paper's county adjacency join.
+pub fn generate(n: usize, extent: &Rect, seed: u64) -> Vec<Geometry> {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Pick a grid shape matching the extent's aspect ratio.
+    let aspect = extent.width() / extent.height();
+    let rows = ((n as f64 / aspect).sqrt().ceil() as usize).max(1);
+    let cols = n.div_ceil(rows);
+
+    let cw = extent.width() / cols as f64;
+    let ch = extent.height() / rows as f64;
+    // Jitter amplitude: 30% of cell size keeps rings simple.
+    let jx = cw * 0.3;
+    let jy = ch * 0.3;
+
+    // Jittered lattice of corner points (interior corners only; the
+    // outer boundary stays straight so every county stays in-extent).
+    let corner = |rng: &mut StdRng, i: usize, j: usize| -> Point {
+        let x = extent.min_x + i as f64 * cw;
+        let y = extent.min_y + j as f64 * ch;
+        Point::new(x, y)
+            + if i > 0 && i < cols && j > 0 && j < rows {
+                Point::new(rng.random_range(-jx..jx), rng.random_range(-jy..jy))
+            } else {
+                Point::ZERO
+            }
+    };
+    let mut corners = vec![vec![Point::ZERO; rows + 1]; cols + 1];
+    for (i, col) in corners.iter_mut().enumerate() {
+        for (j, c) in col.iter_mut().enumerate() {
+            *c = corner(&mut rng, i, j);
+        }
+    }
+    // Shared jittered midpoints for the vertical and horizontal edges.
+    let mid = |rng: &mut StdRng, a: Point, b: Point, interior: bool| -> Point {
+        let m = (a + b) * 0.5;
+        if interior {
+            m + Point::new(rng.random_range(-jx..jx) * 0.5, rng.random_range(-jy..jy) * 0.5)
+        } else {
+            m
+        }
+    };
+    // vmid[i][j]: midpoint of the vertical edge from corner (i,j) to (i,j+1)
+    let mut vmid = vec![vec![Point::ZERO; rows]; cols + 1];
+    for i in 0..=cols {
+        for j in 0..rows {
+            let interior = i > 0 && i < cols;
+            vmid[i][j] = mid(&mut rng, corners[i][j], corners[i][j + 1], interior);
+        }
+    }
+    // hmid[i][j]: midpoint of the horizontal edge from corner (i,j) to (i+1,j)
+    let mut hmid = vec![vec![Point::ZERO; rows + 1]; cols];
+    for i in 0..cols {
+        for j in 0..=rows {
+            let interior = j > 0 && j < rows;
+            hmid[i][j] = mid(&mut rng, corners[i][j], corners[i + 1][j], interior);
+        }
+    }
+
+    let mut out = Vec::with_capacity(n);
+    'outer: for j in 0..rows {
+        for i in 0..cols {
+            if out.len() == n {
+                break 'outer;
+            }
+            // Counterclockwise ring with shared mid-edge vertices:
+            // bottom, right, top, left.
+            let ring = Ring::new(vec![
+                corners[i][j],
+                hmid[i][j],
+                corners[i + 1][j],
+                vmid[i + 1][j],
+                corners[i + 1][j + 1],
+                hmid[i][j + 1],
+                corners[i][j + 1],
+                vmid[i][j],
+            ])
+            .expect("county ring has 8 vertices");
+            out.push(Geometry::Polygon(Polygon::from_exterior(ring)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::US_EXTENT;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(100, &US_EXTENT, 7);
+        let b = generate(100, &US_EXTENT, 7);
+        let c = generate(100, &US_EXTENT, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn counts_and_validity() {
+        let counties = generate(250, &US_EXTENT, 42);
+        assert_eq!(counties.len(), 250);
+        for (i, g) in counties.iter().enumerate() {
+            assert!(g.area() > 0.0, "county {i} degenerate");
+            assert!(
+                US_EXTENT.expanded(1e-9).contains_rect(&g.bbox()),
+                "county {i} escapes the extent"
+            );
+            sdo_geom::validate::validate(g).unwrap_or_else(|e| panic!("county {i}: {e}"));
+        }
+    }
+
+    #[test]
+    fn neighbours_touch() {
+        // With shared borders, a polygon must interact with at least one
+        // other polygon (its grid neighbour) at distance 0.
+        let counties = generate(60, &US_EXTENT, 3);
+        let g0 = &counties[0];
+        let touching = counties
+            .iter()
+            .skip(1)
+            .filter(|g| sdo_geom::intersects(g0, g))
+            .count();
+        assert!(touching >= 1, "county 0 has no touching neighbours");
+    }
+
+    #[test]
+    fn self_join_grows_with_distance() {
+        let counties = generate(100, &US_EXTENT, 11);
+        let count = |d: f64| {
+            let mut c = 0usize;
+            for a in &counties {
+                for b in &counties {
+                    if sdo_geom::within_distance(a, b, d) {
+                        c += 1;
+                    }
+                }
+            }
+            c
+        };
+        let c0 = count(0.0);
+        let c1 = count(5.0);
+        assert!(c0 >= 100, "each county must at least match itself");
+        assert!(c1 > c0, "distance must widen the join");
+    }
+}

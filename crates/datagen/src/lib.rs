@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! # sdo-datagen — synthetic datasets for the paper's experiments
+//!
+//! The paper evaluates on three datasets we cannot redistribute:
+//!
+//! 1. **Counties** — "the geometries for the 3230 counties in the
+//!    United States" (Table 1). Reproduced by [`counties::generate`]: a
+//!    jittered-grid county map whose polygons share edges with their
+//!    neighbours, so a self-join at distance 0 behaves like real county
+//!    adjacency and result size grows smoothly with distance.
+//! 2. **Star clusters** — "250K data about star locations/clusters in a
+//!    cross-section of the sky (customer data)" (Table 2). Reproduced
+//!    by [`stars::generate`]: small polygons in Gaussian clusters plus
+//!    a uniform background, preserving the skew that makes index joins
+//!    shine.
+//! 3. **US Block-groups** — "about 230K arbitrarily-shaped complex
+//!    polygon geometries" (Table 3). Reproduced by
+//!    [`block_groups::generate`]: star-shaped polygons with 40–400
+//!    vertices (occasionally holed), making tessellation the dominant
+//!    index-creation cost exactly as in the paper.
+//!
+//! Every generator is deterministic given a seed; experiment binaries
+//! default to laptop-scale sizes and accept the paper-scale cardinality
+//! through their own `SDO_SCALE` handling.
+
+pub mod block_groups;
+pub mod counties;
+pub mod stars;
+pub mod windows;
+
+use sdo_geom::Rect;
+
+/// The "United States" extent used by counties/block-groups, in
+/// lon/lat-ish units.
+pub const US_EXTENT: Rect = Rect::new(-125.0, 24.0, -66.0, 50.0);
+
+/// The sky cross-section extent used by the star data.
+pub const SKY_EXTENT: Rect = Rect::new(0.0, 0.0, 360.0, 90.0);
+
+/// Paper cardinality: US counties (Table 1).
+pub const PAPER_COUNTIES: usize = 3230;
+/// Paper cardinality: star catalog (Table 2).
+pub const PAPER_STARS: usize = 250_000;
+/// Paper cardinality: US block groups (Table 3).
+pub const PAPER_BLOCK_GROUPS: usize = 230_000;

@@ -1,0 +1,122 @@
+//! Synthetic star-cluster data: small polygons in Gaussian clusters.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdo_geom::{Geometry, Point, Polygon, Rect, Ring};
+
+/// Fraction of stars placed in clusters (the rest are uniform
+/// background).
+const CLUSTER_FRACTION: f64 = 0.8;
+
+/// Generate `n` star polygons over `extent`.
+///
+/// 80% of stars fall in `n/1000 + 20` Gaussian clusters (σ ≈ 0.5% of
+/// the extent), 20% are uniform background — mimicking the dense
+/// cluster cross-sections of the paper's 250K customer dataset. Each
+/// star is a small diamond polygon (point-like objects stored as
+/// polygons, as the paper's "star locations/clusters" data is).
+pub fn generate(n: usize, extent: &Rect, seed: u64) -> Vec<Geometry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_clusters = (n / 1000 + 20).min(500);
+    let sigma_x = extent.width() * 0.005;
+    let sigma_y = extent.height() * 0.005;
+    let centers: Vec<Point> = (0..n_clusters)
+        .map(|_| {
+            Point::new(
+                rng.random_range(extent.min_x..extent.max_x),
+                rng.random_range(extent.min_y..extent.max_y),
+            )
+        })
+        .collect();
+    // Star radius: small relative to cluster spread, so clusters create
+    // genuine join selectivity skew.
+    let r = (sigma_x + sigma_y) * 0.15;
+
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = if rng.random_bool(CLUSTER_FRACTION) {
+            let center = centers[rng.random_range(0..n_clusters)];
+            Point::new(
+                center.x + gaussian(&mut rng) * sigma_x,
+                center.y + gaussian(&mut rng) * sigma_y,
+            )
+        } else {
+            Point::new(
+                rng.random_range(extent.min_x..extent.max_x),
+                rng.random_range(extent.min_y..extent.max_y),
+            )
+        };
+        let c = Point::new(
+            c.x.clamp(extent.min_x + r, extent.max_x - r),
+            c.y.clamp(extent.min_y + r, extent.max_y - r),
+        );
+        let ring = Ring::new(vec![
+            Point::new(c.x - r, c.y),
+            Point::new(c.x, c.y - r),
+            Point::new(c.x + r, c.y),
+            Point::new(c.x, c.y + r),
+        ])
+        .expect("diamond ring");
+        out.push(Geometry::Polygon(Polygon::from_exterior(ring)));
+    }
+    out
+}
+
+/// Box–Muller standard normal.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SKY_EXTENT;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = generate(1000, &SKY_EXTENT, 5);
+        let b = generate(1000, &SKY_EXTENT, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1000);
+    }
+
+    #[test]
+    fn stars_stay_in_extent_and_validate() {
+        let stars = generate(500, &SKY_EXTENT, 9);
+        for (i, s) in stars.iter().enumerate() {
+            assert!(SKY_EXTENT.contains_rect(&s.bbox()), "star {i} out of extent");
+            sdo_geom::validate::validate(s).unwrap_or_else(|e| panic!("star {i}: {e}"));
+        }
+    }
+
+    #[test]
+    fn clustering_creates_skew() {
+        // Compare the densest cell of a coarse grid against the mean:
+        // clustered data must be far above uniform.
+        let stars = generate(5000, &SKY_EXTENT, 13);
+        let mut cells = vec![0usize; 100];
+        for s in &stars {
+            let c = s.bbox().center();
+            let i = (((c.x - SKY_EXTENT.min_x) / SKY_EXTENT.width() * 10.0) as usize).min(9);
+            let j = (((c.y - SKY_EXTENT.min_y) / SKY_EXTENT.height() * 10.0) as usize).min(9);
+            cells[j * 10 + i] += 1;
+        }
+        let max = *cells.iter().max().unwrap();
+        assert!(
+            max as f64 > 3.0 * 50.0,
+            "densest cell {max} not skewed enough for cluster data"
+        );
+    }
+
+    #[test]
+    fn subsets_are_prefixes() {
+        // Table 2 varies dataset size "by choosing subsets of the
+        // original 250K data": prefixes of one generation run must be
+        // stable.
+        let big = generate(2000, &SKY_EXTENT, 21);
+        let small = generate(2000, &SKY_EXTENT, 21)[..500].to_vec();
+        assert_eq!(&big[..500], &small[..]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Query-window workloads for window-query benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdo_geom::{Geometry, Polygon, Rect};
+
+/// Generate `n` rectangular query windows whose side is `frac` of the
+/// extent's side (uniform placement, fully inside the extent).
+pub fn rect_windows(n: usize, extent: &Rect, frac: f64, seed: u64) -> Vec<Geometry> {
+    assert!(frac > 0.0 && frac <= 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = extent.width() * frac;
+    let h = extent.height() * frac;
+    (0..n)
+        .map(|_| {
+            let x = rng.random_range(extent.min_x..(extent.max_x - w).max(extent.min_x + 1e-12));
+            let y = rng.random_range(extent.min_y..(extent.max_y - h).max(extent.min_y + 1e-12));
+            Geometry::Polygon(Polygon::from_rect(&Rect::new(x, y, x + w, y + h)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::US_EXTENT;
+
+    #[test]
+    fn windows_sized_and_inside() {
+        let ws = rect_windows(50, &US_EXTENT, 0.1, 2);
+        assert_eq!(ws.len(), 50);
+        for w in &ws {
+            let bb = w.bbox();
+            assert!(US_EXTENT.contains_rect(&bb));
+            assert!((bb.width() - US_EXTENT.width() * 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            rect_windows(5, &US_EXTENT, 0.05, 3),
+            rect_windows(5, &US_EXTENT, 0.05, 3)
+        );
+    }
+}

@@ -1,0 +1,405 @@
+//! The database façade: catalog + registries + DML with index
+//! maintenance.
+
+use crate::error::DbError;
+use crate::extensible::{DomainIndex, IndexType};
+use parking_lot::RwLock;
+use sdo_storage::{Catalog, Counters, IndexMetadata, RowId, Schema, Table, Value};
+use sdo_tablefunc::{Row, TableFunction};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A table-function argument at execution time.
+pub enum TfArg {
+    /// A scalar value argument.
+    Scalar(Value),
+    /// A materialized `CURSOR(SELECT ...)` argument.
+    Cursor(Vec<Row>),
+}
+
+impl TfArg {
+    /// The scalar value, or an error for cursor arguments.
+    pub fn scalar(&self) -> Result<&Value, DbError> {
+        match self {
+            TfArg::Scalar(v) => Ok(v),
+            TfArg::Cursor(_) => Err(DbError::Plan("expected scalar argument, got cursor".into())),
+        }
+    }
+
+    /// The argument as a string.
+    pub fn text(&self) -> Result<&str, DbError> {
+        self.scalar()?
+            .as_text()
+            .ok_or_else(|| DbError::Plan("expected string argument".into()))
+    }
+
+    /// The argument as an integer.
+    pub fn integer(&self) -> Result<i64, DbError> {
+        self.scalar()?
+            .as_integer()
+            .ok_or_else(|| DbError::Plan("expected integer argument".into()))
+    }
+
+    /// The argument as a double (integers widen).
+    pub fn double(&self) -> Result<f64, DbError> {
+        self.scalar()?
+            .as_double()
+            .ok_or_else(|| DbError::Plan("expected numeric argument".into()))
+    }
+
+    /// The materialized cursor rows, or an error for scalars.
+    pub fn cursor(&self) -> Result<&[Row], DbError> {
+        match self {
+            TfArg::Cursor(rows) => Ok(rows),
+            TfArg::Scalar(_) => Err(DbError::Plan("expected cursor argument, got scalar".into())),
+        }
+    }
+}
+
+/// A table function instance plus the column names of the rows it
+/// produces (Oracle: the collection type's attributes).
+pub struct TfInstance {
+    /// The pipelined function, ready for `start`.
+    pub func: Box<dyn TableFunction>,
+    /// Output column names, in row order.
+    pub columns: Vec<String>,
+}
+
+/// Factory signature for registered table functions.
+pub type TfFactory =
+    dyn Fn(&Database, Vec<TfArg>) -> Result<TfInstance, DbError> + Send + Sync;
+
+/// Result set of a query: column names plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows (empty for DDL).
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// An empty (DDL-style) result.
+    pub fn empty() -> Self {
+        QueryResult { columns: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Convenience: the single integer cell of a `COUNT(*)` result.
+    pub fn count(&self) -> Option<i64> {
+        self.rows.first().and_then(|r| r.first()).and_then(|v| v.as_integer())
+    }
+}
+
+/// Shared handle to a live domain-index instance.
+pub type IndexHandle = Arc<RwLock<Box<dyn DomainIndex>>>;
+
+/// The top-level engine object: a catalog, the extensible-indexing
+/// registries, and the table-function registry.
+pub struct Database {
+    catalog: Catalog,
+    indextypes: RwLock<HashMap<String, Arc<dyn IndexType>>>,
+    indexes: RwLock<HashMap<String, IndexHandle>>,
+    table_functions: RwLock<HashMap<String, Arc<TfFactory>>>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl Database {
+    /// A fresh session with empty catalog and registries.
+    pub fn new() -> Self {
+        Database {
+            catalog: Catalog::new(),
+            indextypes: RwLock::new(HashMap::new()),
+            indexes: RwLock::new(HashMap::new()),
+            table_functions: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying storage catalog.
+    #[inline]
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The session-wide work counters.
+    #[inline]
+    pub fn counters(&self) -> &Arc<Counters> {
+        self.catalog.counters()
+    }
+
+    // -- registries -----------------------------------------------------------
+
+    /// Register an indextype under a name (e.g. `SPATIAL_INDEX`).
+    pub fn register_indextype(&self, name: &str, it: Arc<dyn IndexType>) {
+        self.indextypes.write().insert(name.to_ascii_uppercase(), it);
+    }
+
+    /// Register a table function callable from `FROM TABLE(name(...))`.
+    pub fn register_table_function(
+        &self,
+        name: &str,
+        factory: impl Fn(&Database, Vec<TfArg>) -> Result<TfInstance, DbError> + Send + Sync + 'static,
+    ) {
+        self.table_functions
+            .write()
+            .insert(name.to_ascii_uppercase(), Arc::new(factory));
+    }
+
+    /// Instantiate a registered table function.
+    pub fn make_table_function(
+        &self,
+        name: &str,
+        args: Vec<TfArg>,
+    ) -> Result<TfInstance, DbError> {
+        let factory = self
+            .table_functions
+            .read()
+            .get(&name.to_ascii_uppercase())
+            .cloned()
+            .ok_or_else(|| DbError::Plan(format!("unknown table function {name}")))?;
+        factory(self, args)
+    }
+
+    /// The operator names every registered indextype implements.
+    pub fn operator_names(&self) -> Vec<String> {
+        self.indextypes
+            .read()
+            .values()
+            .flat_map(|it| it.operators().iter().map(|s| s.to_string()))
+            .collect()
+    }
+
+    // -- tables ----------------------------------------------------------------
+
+    /// Create a table (fails if the name is taken).
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<(), DbError> {
+        self.catalog.create_table(name, schema)?;
+        Ok(())
+    }
+
+    /// Look up a table handle by name (case-insensitive).
+    pub fn table(&self, name: &str) -> Result<Arc<RwLock<Table>>, DbError> {
+        Ok(self.catalog.table(name)?)
+    }
+
+    /// Drop a table along with its domain indexes and metadata.
+    pub fn drop_table(&self, name: &str) -> Result<(), DbError> {
+        // Drop dependent domain indexes first.
+        let dependent: Vec<String> = {
+            let indexes = self.indexes.read();
+            indexes
+                .keys()
+                .filter(|iname| {
+                    self.catalog
+                        .index_metadata(iname)
+                        .map(|m| m.table_name.eq_ignore_ascii_case(name))
+                        .unwrap_or(false)
+                })
+                .cloned()
+                .collect()
+        };
+        for iname in dependent {
+            self.indexes.write().remove(&iname);
+        }
+        self.catalog.drop_table(name)?;
+        Ok(())
+    }
+
+    /// Insert a row, maintaining every domain index on the table —
+    /// the automatic index-update trigger of extensible indexing.
+    pub fn insert_row(&self, table: &str, row: Vec<Value>) -> Result<RowId, DbError> {
+        let t = self.table(table)?;
+        let rid = t.write().insert(row.clone())?;
+        for idx in self.indexes_on_table(table) {
+            idx.write().on_insert(rid, &row)?;
+        }
+        Ok(rid)
+    }
+
+    /// Update a row in place, maintaining domain indexes (Oracle §3:
+    /// "inserts and updates ... automatically trigger an update of the
+    /// corresponding spatial indexes").
+    pub fn update_row(&self, table: &str, rid: RowId, row: Vec<Value>) -> Result<(), DbError> {
+        let t = self.table(table)?;
+        let old = t.read().get(rid)?;
+        for idx in self.indexes_on_table(table) {
+            let mut idx = idx.write();
+            idx.on_delete(rid, &old)?;
+            idx.on_insert(rid, &row)?;
+        }
+        t.write().update(rid, row)?;
+        Ok(())
+    }
+
+    /// Delete a row by rowid, maintaining domain indexes.
+    pub fn delete_row(&self, table: &str, rid: RowId) -> Result<(), DbError> {
+        let t = self.table(table)?;
+        let row = t.read().get(rid)?;
+        for idx in self.indexes_on_table(table) {
+            idx.write().on_delete(rid, &row)?;
+        }
+        t.write().delete(rid)?;
+        Ok(())
+    }
+
+    // -- domain indexes -----------------------------------------------------------
+
+    /// Create a domain index through a registered indextype. The
+    /// indextype registers its own [`IndexMetadata`] row.
+    pub fn create_domain_index(
+        &self,
+        index_name: &str,
+        table: &str,
+        column: &str,
+        indextype: &str,
+        params: &str,
+        dop: usize,
+    ) -> Result<(), DbError> {
+        let it = self
+            .indextypes
+            .read()
+            .get(&indextype.to_ascii_uppercase())
+            .cloned()
+            .ok_or_else(|| DbError::Plan(format!("unknown indextype {indextype}")))?;
+        let key = index_name.to_ascii_uppercase();
+        if self.indexes.read().contains_key(&key) {
+            return Err(DbError::Index(format!("index {key} already exists")));
+        }
+        let index = it.create_index(self, &key, table, column, params, dop)?;
+        self.indexes.write().insert(key, Arc::new(RwLock::new(index)));
+        Ok(())
+    }
+
+    /// Drop a domain index (instance + metadata).
+    pub fn drop_domain_index(&self, index_name: &str) -> Result<(), DbError> {
+        let key = index_name.to_ascii_uppercase();
+        self.indexes
+            .write()
+            .remove(&key)
+            .ok_or_else(|| DbError::Index(format!("no such index {key}")))?;
+        let _ = self.catalog.drop_index(&key);
+        Ok(())
+    }
+
+    /// Fetch a live index instance by name.
+    pub fn index_instance(&self, index_name: &str) -> Option<IndexHandle> {
+        self.indexes.read().get(&index_name.to_ascii_uppercase()).cloned()
+    }
+
+    /// The index (metadata + instance) on `(table, column)`, if any.
+    pub fn index_on(&self, table: &str, column: &str) -> Option<(IndexMetadata, IndexHandle)> {
+        let meta = self.catalog.index_on(table, column)?;
+        let inst = self.index_instance(&meta.index_name)?;
+        Some((meta, inst))
+    }
+
+    fn indexes_on_table(&self, table: &str) -> Vec<IndexHandle> {
+        let indexes = self.indexes.read();
+        indexes
+            .iter()
+            .filter(|(name, _)| {
+                self.catalog
+                    .index_metadata(name)
+                    .map(|m| m.table_name.eq_ignore_ascii_case(table))
+                    .unwrap_or(false)
+            })
+            .map(|(_, v)| Arc::clone(v))
+            .collect()
+    }
+
+    // -- snapshots --------------------------------------------------------------
+
+    /// Serialize every table and index-metadata row into snapshot
+    /// bytes (see [`sdo_storage::snapshot`]). Domain indexes are not
+    /// serialized; they rebuild from their recorded parameters on load.
+    pub fn save_snapshot(&self) -> bytes::Bytes {
+        let metas: Vec<IndexMetadata> = {
+            let indexes = self.indexes.read();
+            indexes
+                .keys()
+                .filter_map(|name| self.catalog.index_metadata(name).ok())
+                .collect()
+        };
+        sdo_storage::snapshot::save_catalog(&self.catalog, &metas)
+    }
+
+    /// Restore a snapshot into this (empty) database, rebuilding every
+    /// domain index through the registered indextypes. The indextypes
+    /// used at save time must be registered before calling this.
+    pub fn load_snapshot(&self, bytes: impl bytes::Buf) -> Result<(), DbError> {
+        let directives = sdo_storage::snapshot::load_catalog(&self.catalog, bytes)?;
+        for d in directives {
+            // All snapshot-recorded spatial indexes came from the
+            // SPATIAL_INDEX indextype in this codebase.
+            self.create_domain_index(
+                &d.index_name,
+                &d.table_name,
+                &d.column_name,
+                "SPATIAL_INDEX",
+                &d.parameters,
+                d.create_dop,
+            )?;
+        }
+        Ok(())
+    }
+
+    // -- SQL ------------------------------------------------------------------------
+
+    /// Parse and execute one SQL statement.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult, DbError> {
+        let stmt = crate::sql::parse(sql)?;
+        crate::exec::execute(self, &stmt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdo_storage::DataType;
+
+    #[test]
+    fn registry_roundtrips() {
+        let db = Database::new();
+        db.register_table_function("NUMS", |_db, args| {
+            let n = args[0].integer()?;
+            Ok(TfInstance {
+                func: Box::new(sdo_tablefunc::table_function::BufferedFn::new(move || {
+                    Ok((0..n).map(|i| vec![Value::Integer(i)]).collect())
+                })),
+                columns: vec!["N".into()],
+            })
+        });
+        let mut inst = db
+            .make_table_function("nums", vec![TfArg::Scalar(Value::Integer(3))])
+            .unwrap();
+        let rows = sdo_tablefunc::collect_all(inst.func.as_mut(), 10).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(inst.columns, vec!["N".to_string()]);
+        assert!(db.make_table_function("missing", vec![]).is_err());
+    }
+
+    #[test]
+    fn dml_without_indexes() {
+        let db = Database::new();
+        db.create_table("t", Schema::of(&[("ID", DataType::Integer)])).unwrap();
+        let rid = db.insert_row("t", vec![Value::Integer(1)]).unwrap();
+        assert_eq!(db.table("t").unwrap().read().len(), 1);
+        db.delete_row("t", rid).unwrap();
+        assert_eq!(db.table("t").unwrap().read().len(), 0);
+        assert!(db.delete_row("t", rid).is_err());
+    }
+
+    #[test]
+    fn tfarg_accessors() {
+        assert_eq!(TfArg::Scalar(Value::Integer(4)).integer().unwrap(), 4);
+        assert_eq!(TfArg::Scalar(Value::Double(1.5)).double().unwrap(), 1.5);
+        assert_eq!(TfArg::Scalar(Value::from("x")).text().unwrap(), "x");
+        assert!(TfArg::Scalar(Value::from("x")).integer().is_err());
+        assert!(TfArg::Cursor(vec![]).scalar().is_err());
+        assert_eq!(TfArg::Cursor(vec![vec![]]).cursor().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! Engine-level errors.
+
+use sdo_storage::StorageError;
+use sdo_tablefunc::TfError;
+use std::fmt;
+
+/// Any error surfaced by the mini database engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Underlying storage failure.
+    Storage(StorageError),
+    /// Table function failure.
+    TableFunction(TfError),
+    /// Geometry failure (parse/validate).
+    Geometry(String),
+    /// SQL lexing/parsing failure.
+    Parse {
+        /// Byte offset of the failure in the statement text.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Planner/executor failure (unknown column, unsupported shape...).
+    Plan(String),
+    /// Domain index failure.
+    Index(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Storage(e) => write!(f, "storage error: {e}"),
+            DbError::TableFunction(e) => write!(f, "table function error: {e}"),
+            DbError::Geometry(m) => write!(f, "geometry error: {m}"),
+            DbError::Parse { offset, message } => {
+                write!(f, "SQL parse error at byte {offset}: {message}")
+            }
+            DbError::Plan(m) => write!(f, "planning error: {m}"),
+            DbError::Index(m) => write!(f, "index error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<StorageError> for DbError {
+    fn from(e: StorageError) -> Self {
+        DbError::Storage(e)
+    }
+}
+
+impl From<TfError> for DbError {
+    fn from(e: TfError) -> Self {
+        DbError::TableFunction(e)
+    }
+}
+
+impl From<sdo_geom::GeomError> for DbError {
+    fn from(e: sdo_geom::GeomError) -> Self {
+        DbError::Geometry(e.to_string())
+    }
+}

@@ -1,0 +1,1120 @@
+//! Statement execution.
+//!
+//! A deliberately small planner specialized to the query shapes in the
+//! paper:
+//!
+//! * single-table selects with spatial operators → domain-index scan
+//!   (primary + secondary filter inside the index) or functional
+//!   evaluation when no index exists,
+//! * two-table selects with a spatial operator over both geometry
+//!   columns → **nested-loop join**: iterate the outer table, probe the
+//!   inner table's domain index per outer geometry (the paper's
+//!   baseline join strategy),
+//! * selects with `(a.rowid, b.rowid) IN (SELECT ... FROM TABLE(...))`
+//!   → evaluate the table function, then fetch the paired rows — the
+//!   paper's **table-function join** strategy,
+//! * table-function scans with scalar and `CURSOR(SELECT ...)`
+//!   arguments.
+
+use crate::db::{Database, QueryResult, TfArg};
+use crate::error::DbError;
+use crate::extensible::OperatorCall;
+use crate::sql::ast::*;
+use parking_lot::RwLock;
+use sdo_geom::{Geometry, RelateMask};
+use sdo_storage::{ColumnDef, RowId, Schema, Table, Value};
+use sdo_tablefunc::Row;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Upper bound on unconstrained cross products, as a foot-gun guard.
+const MAX_CROSS_ROWS: usize = 5_000_000;
+
+/// Execute a parsed statement.
+pub fn execute(db: &Database, stmt: &Statement) -> Result<QueryResult, DbError> {
+    match stmt {
+        Statement::CreateTable { name, columns } => {
+            let schema = Schema::new(
+                columns
+                    .iter()
+                    .map(|(n, t)| ColumnDef::new(n, *t))
+                    .collect(),
+            );
+            db.create_table(name, schema)?;
+            Ok(QueryResult::empty())
+        }
+        Statement::DropTable { name } => {
+            db.drop_table(name)?;
+            Ok(QueryResult::empty())
+        }
+        Statement::Insert { table, values } => {
+            let row = values
+                .iter()
+                .map(eval_const)
+                .collect::<Result<Vec<_>, _>>()?;
+            db.insert_row(table, row)?;
+            Ok(QueryResult::empty())
+        }
+        Statement::Delete { table, where_clause } => {
+            let rel = materialize_table(db, table, table)?;
+            let mut doomed = Vec::new();
+            for (rid, values) in &rel.rows {
+                let joined = vec![RelRow { rid: *rid, values: values.clone() }];
+                if eval_conjuncts(db, &[rel.clone_meta()], &joined, where_clause)? {
+                    doomed.push(rid.expect("table rows have rowids"));
+                }
+            }
+            let n = doomed.len();
+            for rid in doomed {
+                db.delete_row(table, rid)?;
+            }
+            Ok(QueryResult {
+                columns: vec!["DELETED".into()],
+                rows: vec![vec![Value::Integer(n as i64)]],
+            })
+        }
+        Statement::Update { table, assignments, where_clause } => {
+            let rel = materialize_table(db, table, table)?;
+            // Resolve assignment targets against the table schema.
+            let targets: Vec<(usize, &Expr)> = assignments
+                .iter()
+                .map(|(col, e)| {
+                    rel.columns
+                        .iter()
+                        .position(|c| c.eq_ignore_ascii_case(col))
+                        .map(|i| (i, e))
+                        .ok_or_else(|| DbError::Plan(format!("no column {col} on {table}")))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let metas = [rel.clone_meta()];
+            let mut updates = Vec::new();
+            for (rid, values) in &rel.rows {
+                let joined = vec![RelRow { rid: *rid, values: values.clone() }];
+                if eval_conjuncts(db, &metas, &joined, where_clause)? {
+                    let mut new_row = values.clone();
+                    for (ci, e) in &targets {
+                        new_row[*ci] = eval_expr(db, &metas, &joined, e)?;
+                    }
+                    updates.push((rid.expect("table rows have rowids"), new_row));
+                }
+            }
+            let n = updates.len();
+            for (rid, row) in updates {
+                db.update_row(table, rid, row)?;
+            }
+            Ok(QueryResult {
+                columns: vec!["UPDATED".into()],
+                rows: vec![vec![Value::Integer(n as i64)]],
+            })
+        }
+        Statement::CreateIndex { name, table, column, indextype, parameters, parallel } => {
+            db.create_domain_index(name, table, column, indextype, parameters, *parallel)?;
+            Ok(QueryResult::empty())
+        }
+        Statement::DropIndex { name } => {
+            db.drop_domain_index(name)?;
+            Ok(QueryResult::empty())
+        }
+        Statement::Select(sel) => run_select(db, sel),
+        Statement::Explain(sel) => explain_select(db, sel),
+    }
+}
+
+/// Describe the strategy `run_select` would choose, without executing
+/// it — a miniature `EXPLAIN PLAN`.
+fn explain_select(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
+    let mut lines: Vec<String> = Vec::new();
+    // Fast path?
+    if sel.projection == [SelectItem::CountStar]
+        && sel.where_clause.is_empty()
+        && sel.order_by.is_empty()
+        && sel.limit.is_none()
+        && sel.from.len() == 1
+    {
+        if let FromItem::TableFunction { name, .. } = &sel.from[0] {
+            lines.push(format!("PIPELINED COUNT over TABLE({name}) [streaming, no materialization]"));
+            return Ok(explain_result(lines));
+        }
+    }
+    for f in &sel.from {
+        match f {
+            FromItem::Table { name, .. } => {
+                lines.push(format!("TABLE SCAN {} [binding {}]", name, f.binding()))
+            }
+            FromItem::TableFunction { name, args, .. } => {
+                let cursors = args.iter().filter(|a| matches!(a, TfArgAst::Cursor(_))).count();
+                lines.push(format!(
+                    "TABLE FUNCTION SCAN {name} [{} args, {cursors} cursor(s)]",
+                    args.len()
+                ));
+            }
+        }
+    }
+    let op_names = db.operator_names();
+    let mut saw_join_strategy = false;
+    for p in &sel.where_clause {
+        match p {
+            Predicate::RowidPairIn { subquery, .. } => {
+                saw_join_strategy = true;
+                lines.push("ROWID-PAIR SEMIJOIN (table-function join)".to_string());
+                if let Some(FromItem::TableFunction { name, .. }) = subquery.from.first() {
+                    lines.push(format!("  <- pairs from TABLE({name})"));
+                }
+            }
+            Predicate::Compare { left: Expr::FnCall { name, args }, op: CmpOp::Eq, right }
+                if op_names.iter().any(|o| o.eq_ignore_ascii_case(name))
+                    && matches!(right, Expr::Literal(v) if v.as_text() == Some("TRUE")) =>
+            {
+                let cols: Vec<&ColumnRef> = args
+                    .iter()
+                    .filter_map(|a| match a {
+                        Expr::Column(c) => Some(c),
+                        _ => None,
+                    })
+                    .collect();
+                if cols.len() >= 2 && !saw_join_strategy {
+                    saw_join_strategy = true;
+                    // which side has an index?
+                    let inner = cols[1];
+                    let indexed = index_for(db, sel, inner);
+                    lines.push(format!(
+                        "NESTED LOOP JOIN via {name} [inner {}]",
+                        indexed
+                            .map(|i| format!("index scan {i}"))
+                            .unwrap_or_else(|| "full scan (no index)".to_string())
+                    ));
+                } else if cols.len() == 1 {
+                    let indexed = index_for(db, sel, cols[0]);
+                    lines.push(format!(
+                        "{name} window predicate [{}]",
+                        indexed
+                            .map(|i| format!("domain index {i}"))
+                            .unwrap_or_else(|| "functional evaluation".to_string())
+                    ));
+                } else {
+                    lines.push(format!("{name} residual predicate [functional]"));
+                }
+            }
+            Predicate::Compare { .. } => lines.push("FILTER [residual comparison]".to_string()),
+        }
+    }
+    if !saw_join_strategy && sel.from.len() > 1 {
+        lines.push("CARTESIAN PRODUCT (guarded)".to_string());
+    }
+    if !sel.order_by.is_empty() {
+        lines.push(format!("SORT [{} key(s)]", sel.order_by.len()));
+    }
+    if let Some(n) = sel.limit {
+        lines.push(format!("LIMIT {n}"));
+    }
+    if sel.projection == [SelectItem::CountStar] {
+        lines.push("AGGREGATE COUNT(*)".to_string());
+    }
+    Ok(explain_result(lines))
+}
+
+fn explain_result(lines: Vec<String>) -> QueryResult {
+    QueryResult {
+        columns: vec!["PLAN".into()],
+        rows: lines.into_iter().map(|l| vec![Value::text(l)]).collect(),
+    }
+}
+
+/// Resolve which domain index (if any) serves a column reference in the
+/// FROM list.
+fn index_for(db: &Database, sel: &Select, cr: &ColumnRef) -> Option<String> {
+    for f in &sel.from {
+        let FromItem::Table { name, .. } = f else { continue };
+        let matches_binding = cr
+            .qualifier
+            .as_deref()
+            .map(|q| q.eq_ignore_ascii_case(f.binding()))
+            .unwrap_or(true);
+        if matches_binding {
+            if let Some((meta, _)) = db.index_on(name, &cr.column) {
+                return Some(format!("{} ({})", meta.index_name, meta.kind));
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Relations
+// ---------------------------------------------------------------------------
+
+/// A bound FROM item with materialized rows.
+struct Relation {
+    binding: String,
+    columns: Vec<String>,
+    /// `(rowid, values)`; table functions have no rowids.
+    rows: Vec<(Option<RowId>, Row)>,
+    /// Set for base tables (used for index lookup and rowid fetch).
+    table: Option<Arc<RwLock<Table>>>,
+    table_name: Option<String>,
+}
+
+/// Schema-only view of a relation used during predicate evaluation.
+struct RelMeta {
+    binding: String,
+    columns: Vec<String>,
+}
+
+impl Relation {
+    fn clone_meta(&self) -> RelMeta {
+        RelMeta { binding: self.binding.clone(), columns: self.columns.clone() }
+    }
+}
+
+/// One relation's contribution to a joined row.
+#[derive(Clone)]
+struct RelRow {
+    rid: Option<RowId>,
+    values: Row,
+}
+
+fn materialize_table(db: &Database, name: &str, binding: &str) -> Result<Relation, DbError> {
+    let table = db.table(name)?;
+    let guard = table.read();
+    let columns: Vec<String> =
+        guard.schema().columns().iter().map(|c| c.name.clone()).collect();
+    let rows: Vec<(Option<RowId>, Row)> = guard
+        .scan()
+        .map(|(rid, values)| (Some(rid), values.to_vec()))
+        .collect();
+    drop(guard);
+    Ok(Relation {
+        binding: binding.to_ascii_uppercase(),
+        columns,
+        rows,
+        table: Some(table),
+        table_name: Some(name.to_ascii_uppercase()),
+    })
+}
+
+fn bind_from_item(db: &Database, item: &FromItem) -> Result<Relation, DbError> {
+    match item {
+        FromItem::Table { name, .. } => materialize_table(db, name, item.binding()),
+        FromItem::TableFunction { name, args, .. } => {
+            let mut tf_args = Vec::with_capacity(args.len());
+            for a in args {
+                match a {
+                    TfArgAst::Expr(e) => tf_args.push(TfArg::Scalar(eval_const(e)?)),
+                    TfArgAst::Cursor(sub) => {
+                        let res = run_select(db, sub)?;
+                        tf_args.push(TfArg::Cursor(res.rows));
+                    }
+                }
+            }
+            let mut inst = db.make_table_function(name, tf_args)?;
+            let rows = sdo_tablefunc::collect_all(inst.func.as_mut(), 1024)?;
+            Ok(Relation {
+                binding: item.binding().to_ascii_uppercase(),
+                columns: inst.columns.iter().map(|c| c.to_ascii_uppercase()).collect(),
+                rows: rows.into_iter().map(|r| (None, r)).collect(),
+                table: None,
+                table_name: None,
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+fn run_select(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
+    // Pipelined aggregation fast path: `SELECT COUNT(*) FROM TABLE(f(...))`
+    // with no other clauses streams batches through the table function
+    // without ever materializing the result — the memory property the
+    // paper's pipelining provides. Without this, counting a 250K-star
+    // self-join (tens of millions of rowid pairs) would materialize
+    // gigabytes for a single scalar.
+    if sel.projection == [SelectItem::CountStar]
+        && sel.where_clause.is_empty()
+        && sel.order_by.is_empty()
+        && sel.limit.is_none()
+        && sel.from.len() == 1
+    {
+        if let FromItem::TableFunction { name, args, .. } = &sel.from[0] {
+            let mut tf_args = Vec::with_capacity(args.len());
+            for a in args {
+                match a {
+                    TfArgAst::Expr(e) => tf_args.push(TfArg::Scalar(eval_const(e)?)),
+                    TfArgAst::Cursor(sub) => {
+                        tf_args.push(TfArg::Cursor(run_select(db, sub)?.rows))
+                    }
+                }
+            }
+            let mut inst = db.make_table_function(name, tf_args)?;
+            inst.func.start()?;
+            let mut n: i64 = 0;
+            loop {
+                let batch = match inst.func.fetch(8192) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        inst.func.close();
+                        return Err(e.into());
+                    }
+                };
+                if batch.is_empty() {
+                    break;
+                }
+                n += batch.len() as i64;
+            }
+            inst.func.close();
+            return Ok(QueryResult {
+                columns: vec!["COUNT(*)".into()],
+                rows: vec![vec![Value::Integer(n)]],
+            });
+        }
+    }
+
+    let relations: Vec<Relation> = sel
+        .from
+        .iter()
+        .map(|f| bind_from_item(db, f))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    // Classify conjuncts.
+    let op_names = db.operator_names();
+    let mut rowid_pairs: Vec<&Predicate> = Vec::new();
+    let mut spatial: Vec<SpatialPred<'_>> = Vec::new();
+    let mut residual: Vec<&Predicate> = Vec::new();
+    for p in &sel.where_clause {
+        match p {
+            Predicate::RowidPairIn { .. } => rowid_pairs.push(p),
+            Predicate::Compare { left: Expr::FnCall { name, args }, op: CmpOp::Eq, right }
+                if op_names.iter().any(|o| o.eq_ignore_ascii_case(name))
+                    && matches!(right, Expr::Literal(v) if v.as_text() == Some("TRUE")) =>
+            {
+                spatial.push(classify_spatial(&relations, name, args)?)
+            }
+            other => residual.push(other),
+        }
+    }
+
+    // Choose a join strategy and produce joined rows.
+    let metas: Vec<RelMeta> = relations.iter().map(|r| r.clone_meta()).collect();
+    let mut joined: Vec<Vec<RelRow>>;
+    if let Some(Predicate::RowidPairIn { left, right, subquery }) = rowid_pairs.first() {
+        joined = rowid_pair_join(db, &relations, left, right, subquery)?;
+        // Any spatial predicates left over apply as filters.
+        joined = apply_spatial_filters(db, &relations, joined, &spatial)?;
+    } else if let Some(join_pred) = spatial.iter().position(|s| s.is_join()) {
+        let jp = spatial.remove(join_pred);
+        joined = nested_loop_join(db, &relations, &jp)?;
+        joined = apply_spatial_filters(db, &relations, joined, &spatial)?;
+    } else {
+        joined = cross_product(&relations)?;
+        joined = apply_spatial_filters(db, &relations, joined, &spatial)?;
+    }
+
+    // Residual filters.
+    if !residual.is_empty() {
+        let mut kept = Vec::with_capacity(joined.len());
+        for row in joined {
+            let mut ok = true;
+            for p in &residual {
+                if !eval_predicate(db, &metas, &row, p)? {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                kept.push(row);
+            }
+        }
+        joined = kept;
+    }
+
+    // ORDER BY (evaluated over joined rows, so keys may reference
+    // unprojected columns), then LIMIT.
+    if !sel.order_by.is_empty() {
+        let mut keyed: Vec<(Vec<Value>, Vec<RelRow>)> = Vec::with_capacity(joined.len());
+        for row in joined {
+            let keys = sel
+                .order_by
+                .iter()
+                .map(|k| eval_expr(db, &metas, &row, &k.expr))
+                .collect::<Result<Vec<_>, _>>()?;
+            keyed.push((keys, row));
+        }
+        keyed.sort_by(|(a, _), (b, _)| {
+            for (i, key) in sel.order_by.iter().enumerate() {
+                let ord = a[i].sql_cmp(&b[i]);
+                let ord = if key.descending { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        joined = keyed.into_iter().map(|(_, r)| r).collect();
+    }
+    if let Some(n) = sel.limit {
+        joined.truncate(n);
+    }
+
+    project(db, &metas, joined, &sel.projection)
+}
+
+// ---------------------------------------------------------------------------
+// Spatial predicate classification
+// ---------------------------------------------------------------------------
+
+struct SpatialPred<'a> {
+    /// Operator name, uppercased.
+    name: String,
+    /// `(relation index, column index)` of the target geometry column.
+    target: (usize, usize),
+    /// Second argument: another column (join) or a constant geometry.
+    other: SpatialOperand,
+    /// Remaining evaluated arguments (mask / distance).
+    extra: Vec<Value>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+enum SpatialOperand {
+    Column(usize, usize),
+    Const(Arc<Geometry>),
+}
+
+impl SpatialPred<'_> {
+    fn is_join(&self) -> bool {
+        matches!(self.other, SpatialOperand::Column(..))
+    }
+}
+
+fn classify_spatial<'a>(
+    relations: &[Relation],
+    name: &str,
+    args: &'a [Expr],
+) -> Result<SpatialPred<'a>, DbError> {
+    if args.len() < 2 {
+        return Err(DbError::Plan(format!("{name} needs at least 2 arguments")));
+    }
+    let target = match &args[0] {
+        Expr::Column(cr) => resolve_column(relations, cr)?,
+        _ => return Err(DbError::Plan(format!("{name}: first argument must be a column"))),
+    };
+    let other = match &args[1] {
+        Expr::Column(cr) => {
+            let (r, c) = resolve_column(relations, cr)?;
+            SpatialOperand::Column(r, c)
+        }
+        e => {
+            let v = eval_const(e)?;
+            let g = v
+                .as_geometry()
+                .cloned()
+                .ok_or_else(|| DbError::Plan(format!("{name}: second argument must be a geometry")))?;
+            SpatialOperand::Const(g)
+        }
+    };
+    let extra = args[2..]
+        .iter()
+        .map(eval_const)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SpatialPred {
+        name: name.to_ascii_uppercase(),
+        target,
+        other,
+        extra,
+        _marker: std::marker::PhantomData,
+    })
+}
+
+fn resolve_column(relations: &[Relation], cr: &ColumnRef) -> Result<(usize, usize), DbError> {
+    let col = cr.column.to_ascii_uppercase();
+    if let Some(q) = &cr.qualifier {
+        let q = q.to_ascii_uppercase();
+        let (ri, rel) = relations
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.binding == q)
+            .ok_or_else(|| DbError::Plan(format!("unknown binding {q}")))?;
+        if cr.is_rowid() {
+            return Ok((ri, usize::MAX));
+        }
+        let ci = rel
+            .columns
+            .iter()
+            .position(|c| *c == col)
+            .ok_or_else(|| DbError::Plan(format!("no column {col} in {q}")))?;
+        return Ok((ri, ci));
+    }
+    // Unqualified: must be unique across relations.
+    let mut hit = None;
+    for (ri, rel) in relations.iter().enumerate() {
+        if let Some(ci) = rel.columns.iter().position(|c| *c == col) {
+            if hit.is_some() {
+                return Err(DbError::Plan(format!("ambiguous column {col}")));
+            }
+            hit = Some((ri, ci));
+        }
+    }
+    hit.ok_or_else(|| DbError::Plan(format!("unknown column {col}")))
+}
+
+// ---------------------------------------------------------------------------
+// Join strategies
+// ---------------------------------------------------------------------------
+
+/// The paper's table-function join: evaluate the subquery (typically a
+/// `TABLE(SPATIAL_JOIN(...))` scan) into rowid pairs, then fetch the
+/// paired base rows.
+fn rowid_pair_join(
+    db: &Database,
+    relations: &[Relation],
+    left: &ColumnRef,
+    right: &ColumnRef,
+    subquery: &Select,
+) -> Result<Vec<Vec<RelRow>>, DbError> {
+    if relations.len() != 2 {
+        return Err(DbError::Plan("rowid-pair IN requires exactly two tables".into()));
+    }
+    let (l_rel, l_col) = resolve_column(relations, left)?;
+    let (r_rel, r_col) = resolve_column(relations, right)?;
+    if l_col != usize::MAX || r_col != usize::MAX {
+        return Err(DbError::Plan("rowid-pair IN requires ROWID references".into()));
+    }
+    if l_rel == r_rel {
+        return Err(DbError::Plan("rowid pair must reference two distinct tables".into()));
+    }
+    let sub = run_select(db, subquery)?;
+    if sub.columns.len() < 2 {
+        return Err(DbError::Plan("rowid-pair subquery must project two rowid columns".into()));
+    }
+    // Fetch the paired rows. Using Table::get here (not the already
+    // materialized scan) deliberately charges the per-pair fetch I/O,
+    // mirroring the semijoin's real cost profile.
+    let lt = relations[l_rel]
+        .table
+        .as_ref()
+        .ok_or_else(|| DbError::Plan("rowid pair over non-table".into()))?;
+    let rt = relations[r_rel]
+        .table
+        .as_ref()
+        .ok_or_else(|| DbError::Plan("rowid pair over non-table".into()))?;
+    let mut out = Vec::with_capacity(sub.rows.len());
+    let mut seen = std::collections::HashSet::with_capacity(sub.rows.len());
+    for row in &sub.rows {
+        let (Some(lrid), Some(rrid)) = (row[0].as_rowid(), row[1].as_rowid()) else {
+            return Err(DbError::Plan("rowid-pair subquery produced non-rowid values".into()));
+        };
+        if !seen.insert((lrid, rrid)) {
+            continue; // IN semantics deduplicate
+        }
+        let lvals = lt.read().get(lrid)?;
+        let rvals = rt.read().get(rrid)?;
+        let mut jr = vec![
+            RelRow { rid: None, values: Vec::new() };
+            relations.len()
+        ];
+        jr[l_rel] = RelRow { rid: Some(lrid), values: lvals.to_vec() };
+        jr[r_rel] = RelRow { rid: Some(rrid), values: rvals.to_vec() };
+        out.push(jr);
+    }
+    Ok(out)
+}
+
+/// Nested-loop spatial join: iterate the outer relation, probe the
+/// inner relation's domain index (or fall back to a scan) per row.
+fn nested_loop_join(
+    db: &Database,
+    relations: &[Relation],
+    pred: &SpatialPred<'_>,
+) -> Result<Vec<Vec<RelRow>>, DbError> {
+    let (outer_rel, outer_col) = pred.target;
+    let SpatialOperand::Column(inner_rel, inner_col) = pred.other else {
+        unreachable!("is_join checked by caller")
+    };
+    if outer_rel == inner_rel {
+        return Err(DbError::Plan("spatial join requires two distinct tables".into()));
+    }
+    // Index available on the inner column?
+    let inner = &relations[inner_rel];
+    let index = inner
+        .table_name
+        .as_deref()
+        .and_then(|t| db.index_on(t, &inner.columns[inner_col]));
+    // Rowid -> position map for index probes.
+    let rid_pos: HashMap<RowId, usize> = inner
+        .rows
+        .iter()
+        .enumerate()
+        .filter_map(|(i, (rid, _))| rid.map(|r| (r, i)))
+        .collect();
+
+    let mut out = Vec::new();
+    for (orid, ovals) in &relations[outer_rel].rows {
+        let Some(g) = ovals[outer_col].as_geometry() else { continue };
+        let matches: Vec<usize> = if let Some((_, inst)) = &index {
+            // The SQL predicate is OP(outer, inner, extra); the index
+            // evaluates OP(inner_data, query, extra), so asymmetric
+            // SDO_RELATE masks must be transposed for the probe.
+            let mut args = vec![Value::Geometry(Arc::clone(g))];
+            args.extend(transpose_spatial_extra(&pred.name, &pred.extra)?);
+            let call = OperatorCall { name: pred.name.clone(), args };
+            inst.read()
+                .evaluate(&call)?
+                .into_iter()
+                .filter_map(|rid| rid_pos.get(&rid).copied())
+                .collect()
+        } else {
+            // Functional fallback: exact predicate against every row.
+            inner
+                .rows
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, ivals))| {
+                    ivals[inner_col]
+                        .as_geometry()
+                        .map(|ig| eval_spatial_fn(&pred.name, g, ig, &pred.extra).unwrap_or(false))
+                        .unwrap_or(false)
+                })
+                .map(|(i, _)| i)
+                .collect()
+        };
+        for i in matches {
+            let (irid, ivals) = &inner.rows[i];
+            let mut jr = vec![
+                RelRow { rid: None, values: Vec::new() };
+                relations.len()
+            ];
+            jr[outer_rel] = RelRow { rid: *orid, values: ovals.clone() };
+            jr[inner_rel] = RelRow { rid: *irid, values: ivals.clone() };
+            out.push(jr);
+        }
+    }
+    Ok(out)
+}
+
+fn cross_product(relations: &[Relation]) -> Result<Vec<Vec<RelRow>>, DbError> {
+    let total: usize = relations.iter().map(|r| r.rows.len().max(1)).product();
+    if total > MAX_CROSS_ROWS {
+        return Err(DbError::Plan(format!(
+            "cross product of {total} rows exceeds the {MAX_CROSS_ROWS} row guard"
+        )));
+    }
+    let mut acc: Vec<Vec<RelRow>> = vec![Vec::new()];
+    for rel in relations {
+        let mut next = Vec::with_capacity(acc.len() * rel.rows.len());
+        for prefix in &acc {
+            for (rid, vals) in &rel.rows {
+                let mut row = prefix.clone();
+                row.push(RelRow { rid: *rid, values: vals.clone() });
+                next.push(row);
+            }
+        }
+        acc = next;
+    }
+    Ok(acc)
+}
+
+/// Apply non-join spatial predicates (window queries) to joined rows,
+/// using domain indexes when a whole-relation prefilter is possible.
+fn apply_spatial_filters(
+    db: &Database,
+    relations: &[Relation],
+    joined: Vec<Vec<RelRow>>,
+    preds: &[SpatialPred<'_>],
+) -> Result<Vec<Vec<RelRow>>, DbError> {
+    let mut rows = joined;
+    for p in preds {
+        if p.is_join() {
+            // A second join predicate: evaluate functionally per row.
+            let SpatialOperand::Column(ir, ic) = p.other else { unreachable!() };
+            let (or, oc) = p.target;
+            rows.retain(|jr| {
+                match (jr[or].values.get(oc), jr[ir].values.get(ic)) {
+                    (Some(a), Some(b)) => match (a.as_geometry(), b.as_geometry()) {
+                        (Some(ga), Some(gb)) => {
+                            eval_spatial_fn(&p.name, ga, gb, &p.extra).unwrap_or(false)
+                        }
+                        _ => false,
+                    },
+                    _ => false,
+                }
+            });
+            continue;
+        }
+        let SpatialOperand::Const(qg) = &p.other else { unreachable!() };
+        let (ri, ci) = p.target;
+        // Index prefilter: compute the satisfying rowid set once.
+        let rel = &relations[ri];
+        let index = rel
+            .table_name
+            .as_deref()
+            .and_then(|t| db.index_on(t, &rel.columns[ci]));
+        if let Some((_, inst)) = index {
+            let mut args = vec![Value::Geometry(Arc::clone(qg))];
+            args.extend(p.extra.iter().cloned());
+            let call = OperatorCall { name: p.name.clone(), args };
+            let ok: std::collections::HashSet<RowId> =
+                inst.read().evaluate(&call)?.into_iter().collect();
+            rows.retain(|jr| jr[ri].rid.map(|r| ok.contains(&r)).unwrap_or(false));
+        } else if p.name.eq_ignore_ascii_case("SDO_NN") {
+            // Functional k-NN without an index: rank the relation's rows
+            // by exact distance and keep the top k.
+            let k = p
+                .extra
+                .first()
+                .and_then(|v| v.as_integer())
+                .filter(|&k| k >= 1)
+                .ok_or_else(|| DbError::Plan("SDO_NN needs a result count".into()))?
+                as usize;
+            let mut ranked: Vec<(f64, RowId)> = rel
+                .rows
+                .iter()
+                .filter_map(|(rid, vals)| {
+                    let g = vals.get(ci)?.as_geometry()?;
+                    Some((sdo_geom::distance(g, qg), (*rid)?))
+                })
+                .collect();
+            ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let keep: std::collections::HashSet<RowId> =
+                ranked.into_iter().take(k).map(|(_, r)| r).collect();
+            rows.retain(|jr| jr[ri].rid.map(|r| keep.contains(&r)).unwrap_or(false));
+        } else {
+            rows.retain(|jr| {
+                jr[ri].values.get(ci).and_then(|v| v.as_geometry()).is_some_and(|g| {
+                    eval_spatial_fn(&p.name, g, qg, &p.extra).unwrap_or(false)
+                })
+            });
+        }
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+/// Evaluate a constant expression (no column references).
+pub fn eval_const(e: &Expr) -> Result<Value, DbError> {
+    match e {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column(cr) => Err(DbError::Plan(format!(
+            "column {} not allowed in constant expression",
+            cr.column
+        ))),
+        Expr::FnCall { name, args } => eval_scalar_fn(name, args),
+    }
+}
+
+fn eval_scalar_fn(name: &str, args: &[Expr]) -> Result<Value, DbError> {
+    let vals = args.iter().map(eval_const).collect::<Result<Vec<_>, _>>()?;
+    apply_scalar_fn(name, &vals)
+}
+
+/// Apply a scalar function to already-evaluated argument values. Covers
+/// both geometry constructors (`SDO_GEOMETRY`, `SDO_POINT`) and the
+/// `SDO_GEOM`-package-style measurement functions.
+pub fn apply_scalar_fn(name: &str, vals: &[Value]) -> Result<Value, DbError> {
+    let geom_arg = |i: usize| -> Result<&Arc<Geometry>, DbError> {
+        vals.get(i)
+            .and_then(|v| v.as_geometry())
+            .ok_or_else(|| DbError::Plan(format!("{name}: argument {} must be a geometry", i + 1)))
+    };
+    match name.to_ascii_uppercase().as_str() {
+        // SDO_GEOMETRY('<wkt>'): geometry literal constructor.
+        "SDO_GEOMETRY" => {
+            let wkt = vals
+                .first()
+                .and_then(|v| v.as_text())
+                .ok_or_else(|| DbError::Plan("SDO_GEOMETRY takes one WKT string".into()))?;
+            Ok(Value::geometry(sdo_geom::wkt::parse_wkt(wkt)?))
+        }
+        // SDO_POINT(x, y) convenience constructor.
+        "SDO_POINT" => {
+            let x = vals
+                .first()
+                .and_then(|v| v.as_double())
+                .ok_or_else(|| DbError::Plan("SDO_POINT x must be numeric".into()))?;
+            let y = vals
+                .get(1)
+                .and_then(|v| v.as_double())
+                .ok_or_else(|| DbError::Plan("SDO_POINT y must be numeric".into()))?;
+            Ok(Value::geometry(Geometry::Point(sdo_geom::Point::new(x, y))))
+        }
+        // SDO_GEOM package equivalents over geometry values.
+        "SDO_AREA" => Ok(Value::Double(geom_arg(0)?.area())),
+        "SDO_NUM_POINTS" => Ok(Value::Integer(geom_arg(0)?.num_points() as i64)),
+        "SDO_DISTANCE" => {
+            let a = Arc::clone(geom_arg(0)?);
+            let b = Arc::clone(geom_arg(1)?);
+            Ok(Value::Double(sdo_geom::distance(&a, &b)))
+        }
+        "SDO_CENTROID" => {
+            let c = sdo_geom::algorithms::centroid(geom_arg(0)?);
+            Ok(Value::geometry(Geometry::Point(c)))
+        }
+        "SDO_MBR" => {
+            let bb = geom_arg(0)?.bbox();
+            Ok(Value::geometry(Geometry::Polygon(sdo_geom::Polygon::from_rect(&bb))))
+        }
+        "SDO_WKT" => Ok(Value::text(sdo_geom::wkt::to_wkt(geom_arg(0)?))),
+        "SDO_LENGTH" => Ok(Value::Double(geom_arg(0)?.length())),
+        // SDO_GEOM.VALIDATE_GEOMETRY equivalent: 'TRUE' or the error text.
+        "SDO_VALIDATE" => Ok(match sdo_geom::validate::validate(geom_arg(0)?) {
+            Ok(()) => Value::text("TRUE"),
+            Err(e) => Value::text(e.to_string()),
+        }),
+        other => Err(DbError::Plan(format!("unknown function {other}"))),
+    }
+}
+
+/// Evaluate the exact (functional) form of a spatial operator.
+pub fn eval_spatial_fn(
+    name: &str,
+    a: &Geometry,
+    b: &Geometry,
+    extra: &[Value],
+) -> Result<bool, DbError> {
+    match name.to_ascii_uppercase().as_str() {
+        "SDO_RELATE" => {
+            let mask = extra
+                .first()
+                .and_then(|v| v.as_text())
+                .unwrap_or("ANYINTERACT");
+            let masks = RelateMask::parse_list(mask)?;
+            Ok(sdo_geom::relate::relate_any(a, b, &masks))
+        }
+        "SDO_WITHIN_DISTANCE" => {
+            let d = parse_distance(extra)?;
+            Ok(sdo_geom::within_distance(a, b, d))
+        }
+        "SDO_FILTER" => Ok(a.bbox().intersects(&b.bbox())),
+        "SDO_NN" => Err(DbError::Plan(
+            "SDO_NN ranks rows and cannot be evaluated pairwise; \
+             use it as a single-table predicate"
+                .into(),
+        )),
+        other => Err(DbError::Plan(format!("unknown spatial operator {other}"))),
+    }
+}
+
+/// Transpose operator arguments for a swapped-operand index probe:
+/// `SDO_RELATE` masks transpose (INSIDE ⇄ CONTAINS, COVERS ⇄
+/// COVEREDBY); distance and filter predicates are symmetric.
+fn transpose_spatial_extra(name: &str, extra: &[Value]) -> Result<Vec<Value>, DbError> {
+    if !name.eq_ignore_ascii_case("SDO_RELATE") {
+        return Ok(extra.to_vec());
+    }
+    let mask = extra.first().and_then(|v| v.as_text()).unwrap_or("ANYINTERACT");
+    let masks = RelateMask::parse_list(mask)?;
+    let transposed = masks
+        .iter()
+        .map(|m| format!("{:?}", m.transpose()).to_ascii_uppercase())
+        .collect::<Vec<_>>()
+        .join("+");
+    let mut out = vec![Value::text(transposed)];
+    out.extend(extra.iter().skip(1).cloned());
+    Ok(out)
+}
+
+/// Accept both `SDO_WITHIN_DISTANCE(a, b, 0.5)` and Oracle's
+/// `SDO_WITHIN_DISTANCE(a, b, 'distance=0.5')`.
+pub fn parse_distance(extra: &[Value]) -> Result<f64, DbError> {
+    let v = extra
+        .first()
+        .ok_or_else(|| DbError::Plan("SDO_WITHIN_DISTANCE needs a distance".into()))?;
+    if let Some(d) = v.as_double() {
+        return Ok(d);
+    }
+    if let Some(s) = v.as_text() {
+        let params = crate::extensible::parse_params(s);
+        if let Some(d) = crate::extensible::param(&params, "distance") {
+            return d
+                .parse()
+                .map_err(|_| DbError::Plan(format!("bad distance '{d}'")));
+        }
+    }
+    Err(DbError::Plan("SDO_WITHIN_DISTANCE needs a numeric distance".into()))
+}
+
+fn eval_expr(
+    _db: &Database,
+    metas: &[RelMeta],
+    joined: &[RelRow],
+    e: &Expr,
+) -> Result<Value, DbError> {
+    match e {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::FnCall { name, args } => {
+            let vals = args
+                .iter()
+                .map(|a| eval_expr(_db, metas, joined, a))
+                .collect::<Result<Vec<_>, _>>()?;
+            apply_scalar_fn(name, &vals)
+        }
+        Expr::Column(cr) => {
+            let (ri, ci) = resolve_column_meta(metas, cr)?;
+            if ci == usize::MAX {
+                return joined[ri]
+                    .rid
+                    .map(Value::RowId)
+                    .ok_or_else(|| DbError::Plan("relation has no rowids".into()));
+            }
+            joined[ri]
+                .values
+                .get(ci)
+                .cloned()
+                .ok_or_else(|| DbError::Plan(format!("column {} out of range", cr.column)))
+        }
+    }
+}
+
+fn resolve_column_meta(metas: &[RelMeta], cr: &ColumnRef) -> Result<(usize, usize), DbError> {
+    let col = cr.column.to_ascii_uppercase();
+    if let Some(q) = &cr.qualifier {
+        let q = q.to_ascii_uppercase();
+        let (ri, rel) = metas
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.binding == q)
+            .ok_or_else(|| DbError::Plan(format!("unknown binding {q}")))?;
+        if cr.is_rowid() {
+            return Ok((ri, usize::MAX));
+        }
+        let ci = rel
+            .columns
+            .iter()
+            .position(|c| *c == col)
+            .ok_or_else(|| DbError::Plan(format!("no column {col} in {q}")))?;
+        return Ok((ri, ci));
+    }
+    if cr.is_rowid() && metas.len() == 1 {
+        return Ok((0, usize::MAX));
+    }
+    let mut hit = None;
+    for (ri, rel) in metas.iter().enumerate() {
+        if let Some(ci) = rel.columns.iter().position(|c| *c == col) {
+            if hit.is_some() {
+                return Err(DbError::Plan(format!("ambiguous column {col}")));
+            }
+            hit = Some((ri, ci));
+        }
+    }
+    hit.ok_or_else(|| DbError::Plan(format!("unknown column {col}")))
+}
+
+fn eval_predicate(
+    db: &Database,
+    metas: &[RelMeta],
+    joined: &[RelRow],
+    p: &Predicate,
+) -> Result<bool, DbError> {
+    match p {
+        Predicate::Compare { left, op, right } => {
+            // Spatial operators compared to 'TRUE' evaluate functionally
+            // here (used as residuals after a join).
+            if let Expr::FnCall { name, args } = left {
+                if name.starts_with("SDO_") && args.len() >= 2 {
+                    let a = eval_expr(db, metas, joined, &args[0])?;
+                    let b = eval_expr(db, metas, joined, &args[1])?;
+                    if let (Some(ga), Some(gb)) = (a.as_geometry(), b.as_geometry()) {
+                        let extra = args[2..]
+                            .iter()
+                            .map(eval_const)
+                            .collect::<Result<Vec<_>, _>>()?;
+                        let result = eval_spatial_fn(name, ga, gb, &extra)?;
+                        let want = eval_expr(db, metas, joined, right)?;
+                        return Ok(match want.as_text() {
+                            Some("TRUE") => result == (*op == CmpOp::Eq),
+                            Some("FALSE") => result != (*op == CmpOp::Eq),
+                            _ => false,
+                        });
+                    }
+                }
+            }
+            let l = eval_expr(db, metas, joined, left)?;
+            let r = eval_expr(db, metas, joined, right)?;
+            if l.is_null() || r.is_null() {
+                return Ok(false);
+            }
+            Ok(op.eval(l.sql_cmp(&r)))
+        }
+        Predicate::RowidPairIn { .. } => Err(DbError::Plan(
+            "rowid-pair IN must be the driving predicate of a two-table select".into(),
+        )),
+    }
+}
+
+fn eval_conjuncts(
+    db: &Database,
+    metas: &[RelMeta],
+    joined: &[RelRow],
+    preds: &[Predicate],
+) -> Result<bool, DbError> {
+    for p in preds {
+        if !eval_predicate(db, metas, joined, p)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------------
+// Projection
+// ---------------------------------------------------------------------------
+
+fn project(
+    db: &Database,
+    metas: &[RelMeta],
+    joined: Vec<Vec<RelRow>>,
+    items: &[SelectItem],
+) -> Result<QueryResult, DbError> {
+    if items.len() == 1 && items[0] == SelectItem::CountStar {
+        return Ok(QueryResult {
+            columns: vec!["COUNT(*)".into()],
+            rows: vec![vec![Value::Integer(joined.len() as i64)]],
+        });
+    }
+    if items.len() == 1 && items[0] == SelectItem::Star {
+        let qualify = metas.len() > 1;
+        let mut columns = Vec::new();
+        for m in metas {
+            for c in &m.columns {
+                columns.push(if qualify { format!("{}.{}", m.binding, c) } else { c.clone() });
+            }
+        }
+        let rows = joined
+            .into_iter()
+            .map(|jr| jr.into_iter().flat_map(|r| r.values).collect())
+            .collect();
+        return Ok(QueryResult { columns, rows });
+    }
+    // Expression projection.
+    let mut columns = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            SelectItem::CountStar => columns.push("COUNT(*)".to_string()),
+            SelectItem::Star => {
+                return Err(DbError::Plan("'*' cannot mix with other select items".into()))
+            }
+            SelectItem::Expr { expr, alias } => columns.push(match alias {
+                Some(a) => a.clone(),
+                None => match expr {
+                    Expr::Column(cr) => cr.column.to_ascii_uppercase(),
+                    _ => format!("COL{}", columns.len() + 1),
+                },
+            }),
+        }
+    }
+    if items.contains(&SelectItem::CountStar) {
+        return Err(DbError::Plan("COUNT(*) cannot mix with other select items".into()));
+    }
+    let mut rows = Vec::with_capacity(joined.len());
+    for jr in &joined {
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            let SelectItem::Expr { expr, .. } = item else { unreachable!() };
+            out.push(eval_expr(db, metas, jr, expr)?);
+        }
+        rows.push(out);
+    }
+    Ok(QueryResult { columns, rows })
+}

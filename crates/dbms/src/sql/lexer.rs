@@ -1,0 +1,330 @@
+//! SQL tokenizer.
+
+use crate::error::DbError;
+
+/// A lexical token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is, with its payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source string.
+    pub offset: usize,
+}
+
+/// Lexical token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Unquoted identifier/keyword, uppercased.
+    Ident(String),
+    /// Integer literal.
+    Integer(i64),
+    /// Floating point literal.
+    Float(f64),
+    /// Single-quoted string, with `''` unescaped.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semicolon,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl TokenKind {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, DbError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let offset = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+                continue;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, offset });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, offset });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, offset });
+                i += 1;
+            }
+            '.' if !matches!(bytes.get(i + 1), Some(b) if b.is_ascii_digit()) => {
+                out.push(Token { kind: TokenKind::Dot, offset });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { kind: TokenKind::Star, offset });
+                i += 1;
+            }
+            ';' => {
+                out.push(Token { kind: TokenKind::Semicolon, offset });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token { kind: TokenKind::Eq, offset });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token { kind: TokenKind::Ne, offset });
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Le, offset });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token { kind: TokenKind::Ne, offset });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Lt, offset });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Ge, offset });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Gt, offset });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(DbError::Parse {
+                                offset,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), offset });
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && matches!(bytes.get(i + 1), Some(b) if b.is_ascii_digit()))
+                || (c == '.' && matches!(bytes.get(i + 1), Some(b) if b.is_ascii_digit())) =>
+            {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                let mut is_float = false;
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    if b.is_ascii_digit() {
+                        i += 1;
+                    } else if b == b'.' && !is_float {
+                        is_float = true;
+                        i += 1;
+                    } else if (b == b'e' || b == b'E')
+                        && matches!(bytes.get(i + 1), Some(n) if n.is_ascii_digit() || *n == b'-' || *n == b'+')
+                    {
+                        is_float = true;
+                        i += 2;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| DbError::Parse {
+                        offset,
+                        message: format!("bad number '{text}'"),
+                    })?)
+                } else {
+                    TokenKind::Integer(text.parse().map_err(|_| DbError::Parse {
+                        offset,
+                        message: format!("bad number '{text}'"),
+                    })?)
+                };
+                out.push(Token { kind, offset });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '"' => {
+                if c == '"' {
+                    // quoted identifier: preserve case
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < bytes.len() && bytes[j] != b'"' {
+                        j += 1;
+                    }
+                    if j == bytes.len() {
+                        return Err(DbError::Parse {
+                            offset,
+                            message: "unterminated quoted identifier".into(),
+                        });
+                    }
+                    out.push(Token {
+                        kind: TokenKind::Ident(input[start..j].to_string()),
+                        offset,
+                    });
+                    i = j + 1;
+                } else {
+                    let start = i;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_alphanumeric()
+                            || bytes[i] == b'_'
+                            || bytes[i] == b'$')
+                    {
+                        i += 1;
+                    }
+                    out.push(Token {
+                        kind: TokenKind::Ident(input[start..i].to_ascii_uppercase()),
+                        offset,
+                    });
+                }
+            }
+            other => {
+                return Err(DbError::Parse {
+                    offset,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let k = kinds("SELECT * FROM t WHERE a.x >= 1.5;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Star,
+                TokenKind::Ident("FROM".into()),
+                TokenKind::Ident("T".into()),
+                TokenKind::Ident("WHERE".into()),
+                TokenKind::Ident("A".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("X".into()),
+                TokenKind::Ge,
+                TokenKind::Float(1.5),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::Str("it's".into()), TokenKind::Eof]
+        );
+        assert!(tokenize("'open").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42"), vec![TokenKind::Integer(42), TokenKind::Eof]);
+        assert_eq!(kinds("-7"), vec![TokenKind::Integer(-7), TokenKind::Eof]);
+        assert_eq!(kinds("2.5e2"), vec![TokenKind::Float(250.0), TokenKind::Eof]);
+        assert_eq!(kinds(".5"), vec![TokenKind::Float(0.5), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("SELECT -- comment\n1"),
+            vec![TokenKind::Ident("SELECT".into()), TokenKind::Integer(1), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn identifiers_uppercased_quoted_preserved() {
+        assert_eq!(
+            kinds("abc \"MixedCase\""),
+            vec![
+                TokenKind::Ident("ABC".into()),
+                TokenKind::Ident("MixedCase".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= != <>"),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! The mini SQL dialect: lexer, AST, parser.
+//!
+//! Covers the statement shapes appearing in the paper (its §§2–5 SQL
+//! listings), not full SQL. See [`parser::parse`] for the grammar.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::*;
+pub use parser::parse;

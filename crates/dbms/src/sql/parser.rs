@@ -1,0 +1,681 @@
+//! Recursive-descent parser for the mini SQL dialect.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! statement   := create_table | drop_table | insert | delete
+//!              | create_index | drop_index | select
+//! create_table:= CREATE TABLE ident '(' ident type (',' ident type)* ')'
+//! insert      := INSERT INTO ident VALUES '(' expr (',' expr)* ')'
+//! delete      := DELETE FROM ident [WHERE conjuncts]
+//! create_index:= CREATE INDEX ident ON ident '(' ident ')'
+//!                INDEXTYPE IS ident [PARAMETERS '(' string ')']
+//!                [PARALLEL integer]
+//! select      := SELECT items FROM from_item (',' from_item)*
+//!                [WHERE conjuncts]
+//! items       := '*' | COUNT '(' '*' ')' | expr [AS ident] (',' ...)*
+//! from_item   := ident [ident] | TABLE '(' ident '(' tf_args ')' ')' [ident]
+//! tf_args     := (expr | CURSOR '(' select ')') (',' ...)*
+//! conjuncts   := predicate (AND predicate)*
+//! predicate   := '(' colref ',' colref ')' IN '(' select ')'
+//!              | expr cmp expr
+//! expr        := literal | colref | ident '(' expr (',' expr)* ')'
+//! ```
+
+use crate::error::DbError;
+use crate::sql::ast::*;
+use crate::sql::lexer::{tokenize, Token, TokenKind};
+use sdo_storage::{DataType, Value};
+
+/// Parse one SQL statement (a trailing `;` is allowed).
+pub fn parse(sql: &str) -> Result<Statement, DbError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_if(&TokenKind::Semicolon);
+    p.expect_kind(&TokenKind::Eof, "end of statement")?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err(&self, message: impl Into<String>) -> DbError {
+        DbError::Parse { offset: self.offset(), message: message.into() }
+    }
+
+    fn eat_if(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind, what: &str) -> Result<(), DbError> {
+        if self.peek() == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    /// True when the next token is the given keyword.
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), DbError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, DbError> {
+        match self.advance() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(DbError::Parse {
+                offset: self.tokens[self.pos - 1].offset,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, DbError> {
+        match self.advance() {
+            TokenKind::Str(s) => Ok(s),
+            other => Err(DbError::Parse {
+                offset: self.tokens[self.pos - 1].offset,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    // -- statements --------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement, DbError> {
+        if self.at_kw("SELECT") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.eat_kw("EXPLAIN") {
+            return Ok(Statement::Explain(self.select()?));
+        }
+        if self.eat_kw("CREATE") {
+            if self.eat_kw("TABLE") {
+                return self.create_table();
+            }
+            if self.eat_kw("INDEX") {
+                return self.create_index();
+            }
+            return Err(self.err("expected TABLE or INDEX after CREATE"));
+        }
+        if self.eat_kw("DROP") {
+            if self.eat_kw("TABLE") {
+                return Ok(Statement::DropTable { name: self.ident("table name")? });
+            }
+            if self.eat_kw("INDEX") {
+                return Ok(Statement::DropIndex { name: self.ident("index name")? });
+            }
+            return Err(self.err("expected TABLE or INDEX after DROP"));
+        }
+        if self.eat_kw("INSERT") {
+            self.expect_kw("INTO")?;
+            let table = self.ident("table name")?;
+            self.expect_kw("VALUES")?;
+            self.expect_kind(&TokenKind::LParen, "(")?;
+            let mut values = vec![self.expr()?];
+            while self.eat_if(&TokenKind::Comma) {
+                values.push(self.expr()?);
+            }
+            self.expect_kind(&TokenKind::RParen, ")")?;
+            return Ok(Statement::Insert { table, values });
+        }
+        if self.eat_kw("UPDATE") {
+            let table = self.ident("table name")?;
+            self.expect_kw("SET")?;
+            let mut assignments = Vec::new();
+            loop {
+                let col = self.ident("column name")?;
+                self.expect_kind(&TokenKind::Eq, "=")?;
+                assignments.push((col, self.expr()?));
+                if !self.eat_if(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            let where_clause =
+                if self.eat_kw("WHERE") { self.conjuncts()? } else { Vec::new() };
+            return Ok(Statement::Update { table, assignments, where_clause });
+        }
+        if self.eat_kw("DELETE") {
+            self.expect_kw("FROM")?;
+            let table = self.ident("table name")?;
+            let where_clause =
+                if self.eat_kw("WHERE") { self.conjuncts()? } else { Vec::new() };
+            return Ok(Statement::Delete { table, where_clause });
+        }
+        Err(self.err("expected a statement"))
+    }
+
+    fn create_table(&mut self) -> Result<Statement, DbError> {
+        let name = self.ident("table name")?;
+        self.expect_kind(&TokenKind::LParen, "(")?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident("column name")?;
+            let ty_name = self.ident("column type")?;
+            let ty = DataType::parse(&ty_name)
+                .ok_or_else(|| self.err(format!("unknown type {ty_name}")))?;
+            columns.push((col, ty));
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_kind(&TokenKind::RParen, ")")?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn create_index(&mut self) -> Result<Statement, DbError> {
+        let name = self.ident("index name")?;
+        self.expect_kw("ON")?;
+        let table = self.ident("table name")?;
+        self.expect_kind(&TokenKind::LParen, "(")?;
+        let column = self.ident("column name")?;
+        self.expect_kind(&TokenKind::RParen, ")")?;
+        self.expect_kw("INDEXTYPE")?;
+        self.expect_kw("IS")?;
+        let indextype = self.ident("indextype name")?;
+        let mut parameters = String::new();
+        if self.eat_kw("PARAMETERS") {
+            self.expect_kind(&TokenKind::LParen, "(")?;
+            parameters = self.string("parameters string")?;
+            self.expect_kind(&TokenKind::RParen, ")")?;
+        }
+        let mut parallel = 1;
+        if self.eat_kw("PARALLEL") {
+            match self.advance() {
+                TokenKind::Integer(n) if n >= 1 => parallel = n as usize,
+                other => {
+                    return Err(DbError::Parse {
+                        offset: self.tokens[self.pos - 1].offset,
+                        message: format!("expected positive degree of parallelism, found {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(Statement::CreateIndex { name, table, column, indextype, parameters, parallel })
+    }
+
+    // -- select ------------------------------------------------------------
+
+    fn select(&mut self) -> Result<Select, DbError> {
+        self.expect_kw("SELECT")?;
+        let projection = self.select_items()?;
+        self.expect_kw("FROM")?;
+        let mut from = vec![self.parse_from_item()?];
+        while self.eat_if(&TokenKind::Comma) {
+            from.push(self.parse_from_item()?);
+        }
+        let where_clause = if self.eat_kw("WHERE") { self.conjuncts()? } else { Vec::new() };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let descending = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push(OrderKey { expr, descending });
+                if !self.eat_if(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        if self.eat_kw("LIMIT") {
+            match self.advance() {
+                TokenKind::Integer(n) if n >= 0 => limit = Some(n as usize),
+                other => {
+                    return Err(DbError::Parse {
+                        offset: self.tokens[self.pos - 1].offset,
+                        message: format!("expected LIMIT count, found {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(Select { projection, from, where_clause, order_by, limit })
+    }
+
+    fn select_items(&mut self) -> Result<Vec<SelectItem>, DbError> {
+        if self.eat_if(&TokenKind::Star) {
+            return Ok(vec![SelectItem::Star]);
+        }
+        let mut items = Vec::new();
+        loop {
+            if self.at_kw("COUNT") && *self.peek2() == TokenKind::LParen {
+                self.advance();
+                self.advance();
+                self.expect_kind(&TokenKind::Star, "*")?;
+                self.expect_kind(&TokenKind::RParen, ")")?;
+                items.push(SelectItem::CountStar);
+            } else {
+                let expr = self.expr()?;
+                let explicit = self.eat_kw("AS");
+                let alias = if explicit
+                    || matches!(self.peek(), TokenKind::Ident(s) if !is_reserved(s))
+                {
+                    Some(self.ident("alias")?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_from_item(&mut self) -> Result<FromItem, DbError> {
+        if self.at_kw("TABLE") && *self.peek2() == TokenKind::LParen {
+            self.advance(); // TABLE
+            self.advance(); // (
+            let name = self.ident("table function name")?;
+            self.expect_kind(&TokenKind::LParen, "(")?;
+            let mut args = Vec::new();
+            if *self.peek() != TokenKind::RParen {
+                loop {
+                    if self.at_kw("CURSOR") {
+                        self.advance();
+                        self.expect_kind(&TokenKind::LParen, "(")?;
+                        let sub = self.select()?;
+                        self.expect_kind(&TokenKind::RParen, ")")?;
+                        args.push(TfArgAst::Cursor(sub));
+                    } else {
+                        args.push(TfArgAst::Expr(self.expr()?));
+                    }
+                    if !self.eat_if(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect_kind(&TokenKind::RParen, ")")?;
+            self.expect_kind(&TokenKind::RParen, ")")?;
+            let alias = self.optional_alias();
+            return Ok(FromItem::TableFunction { name, args, alias });
+        }
+        let name = self.ident("table name")?;
+        let alias = self.optional_alias();
+        Ok(FromItem::Table { name, alias })
+    }
+
+    fn optional_alias(&mut self) -> Option<String> {
+        if matches!(self.peek(), TokenKind::Ident(s) if !is_reserved(s)) {
+            match self.advance() {
+                TokenKind::Ident(s) => Some(s),
+                _ => unreachable!(),
+            }
+        } else {
+            None
+        }
+    }
+
+    // -- predicates ----------------------------------------------------------
+
+    fn conjuncts(&mut self) -> Result<Vec<Predicate>, DbError> {
+        let mut out = vec![self.predicate()?];
+        while self.eat_kw("AND") {
+            out.push(self.predicate()?);
+        }
+        Ok(out)
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, DbError> {
+        // Rowid-pair IN: '(' colref ',' colref ')' IN '(' select ')'
+        if *self.peek() == TokenKind::LParen && self.looks_like_rowid_pair() {
+            self.advance(); // (
+            let left = self.column_ref()?;
+            self.expect_kind(&TokenKind::Comma, ",")?;
+            let right = self.column_ref()?;
+            self.expect_kind(&TokenKind::RParen, ")")?;
+            self.expect_kw("IN")?;
+            self.expect_kind(&TokenKind::LParen, "(")?;
+            let subquery = self.select()?;
+            self.expect_kind(&TokenKind::RParen, ")")?;
+            return Ok(Predicate::RowidPairIn { left, right, subquery });
+        }
+        let left = self.expr()?;
+        let op = match self.advance() {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            other => {
+                return Err(DbError::Parse {
+                    offset: self.tokens[self.pos - 1].offset,
+                    message: format!("expected comparison operator, found {other:?}"),
+                })
+            }
+        };
+        let right = self.expr()?;
+        Ok(Predicate::Compare { left, op, right })
+    }
+
+    /// Lookahead for `'(' ident [. ident] ','` — distinguishes a rowid
+    /// pair from a parenthesized expression (which we don't support
+    /// anyway).
+    fn looks_like_rowid_pair(&self) -> bool {
+        let mut i = self.pos + 1;
+        let at = |i: usize| &self.tokens[i.min(self.tokens.len() - 1)].kind;
+        if !matches!(at(i), TokenKind::Ident(_)) {
+            return false;
+        }
+        i += 1;
+        if *at(i) == TokenKind::Dot {
+            i += 2;
+        }
+        *at(i) == TokenKind::Comma
+    }
+
+    // -- expressions -----------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, DbError> {
+        match self.peek().clone() {
+            TokenKind::Integer(v) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Integer(v)))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Double(v)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Expr::Literal(Value::text(s)))
+            }
+            TokenKind::Ident(name) => {
+                if *self.peek2() == TokenKind::LParen {
+                    // function call
+                    self.advance();
+                    self.advance();
+                    let mut args = Vec::new();
+                    if *self.peek() != TokenKind::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_if(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_kind(&TokenKind::RParen, ")")?;
+                    return Ok(Expr::FnCall { name, args });
+                }
+                let cr = self.column_ref()?;
+                Ok(Expr::Column(cr))
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, DbError> {
+        let first = self.ident("column reference")?;
+        if self.eat_if(&TokenKind::Dot) {
+            let col = self.ident("column name")?;
+            Ok(ColumnRef { qualifier: Some(first), column: col })
+        } else {
+            Ok(ColumnRef { qualifier: None, column: first })
+        }
+    }
+}
+
+fn is_reserved(kw: &str) -> bool {
+    matches!(
+        kw,
+        "SELECT"
+            | "FROM"
+            | "WHERE"
+            | "AND"
+            | "IN"
+            | "AS"
+            | "TABLE"
+            | "CURSOR"
+            | "VALUES"
+            | "ON"
+            | "INDEXTYPE"
+            | "IS"
+            | "PARAMETERS"
+            | "PARALLEL"
+            | "COUNT"
+            | "INSERT"
+            | "INTO"
+            | "CREATE"
+            | "DROP"
+            | "DELETE"
+            | "EXPLAIN"
+            | "UPDATE"
+            | "SET"
+            | "INDEX"
+            | "ORDER"
+            | "BY"
+            | "ASC"
+            | "DESC"
+            | "LIMIT"
+            | "GROUP"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table() {
+        let s = parse("CREATE TABLE cities (id NUMBER, name VARCHAR2, geom SDO_GEOMETRY)")
+            .unwrap();
+        match s {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "CITIES");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[2], ("GEOM".to_string(), DataType::Geometry));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_with_geometry_fn() {
+        let s = parse("INSERT INTO t VALUES (1, SDO_GEOMETRY('POINT (1 2)'))").unwrap();
+        match s {
+            Statement::Insert { table, values } => {
+                assert_eq!(table, "T");
+                assert_eq!(values.len(), 2);
+                assert!(matches!(&values[1], Expr::FnCall { name, .. } if name == "SDO_GEOMETRY"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_index_full_form() {
+        let s = parse(
+            "CREATE INDEX cities_sidx ON cities(geom) INDEXTYPE IS SPATIAL_INDEX \
+             PARAMETERS ('sdo_level=8') PARALLEL 4",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateIndex { name, table, column, indextype, parameters, parallel } => {
+                assert_eq!(name, "CITIES_SIDX");
+                assert_eq!(table, "CITIES");
+                assert_eq!(column, "GEOM");
+                assert_eq!(indextype, "SPATIAL_INDEX");
+                assert_eq!(parameters, "sdo_level=8");
+                assert_eq!(parallel, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_count_with_operator() {
+        let s = parse(
+            "SELECT COUNT(*) FROM city_table a, river_table b \
+             WHERE SDO_RELATE(a.city_geom, b.river_geom, 'intersect') = 'TRUE'",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.projection, vec![SelectItem::CountStar]);
+                assert_eq!(sel.from.len(), 2);
+                assert_eq!(sel.from[0].binding(), "A");
+                assert_eq!(sel.where_clause.len(), 1);
+                match &sel.where_clause[0] {
+                    Predicate::Compare { left: Expr::FnCall { name, args }, op, right } => {
+                        assert_eq!(name, "SDO_RELATE");
+                        assert_eq!(args.len(), 3);
+                        assert_eq!(*op, CmpOp::Eq);
+                        assert_eq!(*right, Expr::Literal(Value::text("TRUE")));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_join_query_shape() {
+        // The paper's §4 rewritten join query, verbatim shape.
+        let s = parse(
+            "SELECT COUNT(*) FROM city_table a, river_table b \
+             WHERE (a.rowid, b.rowid) IN \
+             (SELECT rid1, rid2 FROM TABLE(SPATIAL_JOIN( \
+              'city_table', 'city_geom', 'river_table', 'river_geom', 'intersect')))",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(sel) => match &sel.where_clause[0] {
+                Predicate::RowidPairIn { left, right, subquery } => {
+                    assert_eq!(left.qualifier.as_deref(), Some("A"));
+                    assert!(left.is_rowid());
+                    assert!(right.is_rowid());
+                    assert_eq!(subquery.from.len(), 1);
+                    match &subquery.from[0] {
+                        FromItem::TableFunction { name, args, .. } => {
+                            assert_eq!(name, "SPATIAL_JOIN");
+                            assert_eq!(args.len(), 5);
+                        }
+                        other => panic!("{other:?}"),
+                    }
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cursor_argument() {
+        let s = parse(
+            "SELECT * FROM TABLE(F(CURSOR(SELECT * FROM TABLE(SUBTREE_ROOT('idx', 1))), 2))",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(sel) => match &sel.from[0] {
+                FromItem::TableFunction { args, .. } => {
+                    assert!(matches!(args[0], TfArgAst::Cursor(_)));
+                    assert!(matches!(args[1], TfArgAst::Expr(_)));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_with_predicate() {
+        let s = parse("DELETE FROM t WHERE id = 3").unwrap();
+        assert!(matches!(s, Statement::Delete { ref table, ref where_clause }
+            if table == "T" && where_clause.len() == 1));
+        let s = parse("DELETE FROM t").unwrap();
+        assert!(matches!(s, Statement::Delete { ref where_clause, .. } if where_clause.is_empty()));
+    }
+
+    #[test]
+    fn aliases() {
+        let s = parse("SELECT a.name nm, b.id FROM t1 a, t2 b WHERE a.id = b.id").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.projection.len(), 2);
+                match &sel.projection[0] {
+                    SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("NM")),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_have_offsets() {
+        for bad in [
+            "SELECT",
+            "CREATE VIEW v",
+            "SELECT * FROM t WHERE",
+            "INSERT INTO t VALUES 1",
+            "CREATE INDEX i ON t(c)",
+            "SELECT * FROM t WHERE a ==",
+        ] {
+            match parse(bad) {
+                Err(DbError::Parse { .. }) => {}
+                other => panic!("expected parse error for {bad:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_semicolon_and_garbage() {
+        assert!(parse("SELECT * FROM t;").is_ok());
+        assert!(parse("SELECT * FROM t; SELECT").is_err());
+    }
+}

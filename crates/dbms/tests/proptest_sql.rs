@@ -1,0 +1,58 @@
+//! Fuzzing the SQL front end: the lexer/parser must reject garbage with
+//! errors (never panic), and valid statement shapes must round-trip
+//! through parse without loss of the pieces the executor needs.
+
+use proptest::prelude::*;
+use sdo_dbms::sql::{parse, Statement};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC*") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_sql_shaped_input(
+        s in "(SELECT|INSERT|CREATE|DROP|DELETE|UPDATE|EXPLAIN)[ a-zA-Z0-9_'(),.*=<>]*",
+    ) {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn valid_selects_parse(
+        table in "[a-z][a-z0-9_]{0,10}",
+        col in "[a-z][a-z0-9_]{0,10}",
+        n in 0i64..1000,
+        limit in 0usize..50,
+    ) {
+        let sql = format!(
+            "SELECT {col} FROM {table} WHERE {col} >= {n} ORDER BY {col} DESC LIMIT {limit}"
+        );
+        let stmt = parse(&sql).unwrap();
+        let Statement::Select(sel) = stmt else { panic!("not a select") };
+        prop_assert_eq!(sel.from.len(), 1);
+        prop_assert_eq!(sel.where_clause.len(), 1);
+        prop_assert_eq!(sel.order_by.len(), 1);
+        prop_assert!(sel.order_by[0].descending);
+        prop_assert_eq!(sel.limit, Some(limit));
+    }
+
+    #[test]
+    fn string_literals_roundtrip(body in "[a-zA-Z0-9 +=_,.-]*") {
+        // any text that needs no escaping flows through VALUES intact
+        let sql = format!("INSERT INTO t VALUES ('{body}')");
+        match parse(&sql).unwrap() {
+            Statement::Insert { values, .. } => {
+                match &values[0] {
+                    sdo_dbms::sql::Expr::Literal(v) => {
+                        prop_assert_eq!(v.as_text(), Some(body.as_str()));
+                    }
+                    other => prop_assert!(false, "unexpected expr {:?}", other),
+                }
+            }
+            other => prop_assert!(false, "unexpected statement {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Supporting computational-geometry algorithms.
+
+use crate::geometry::Geometry;
+use crate::linestring::LineString;
+use crate::point::Point;
+use crate::polygon::{PointLocation, Polygon};
+use crate::segment::{cross3, Segment};
+use crate::EPS;
+
+/// Andrew's monotone-chain convex hull.
+///
+/// Returns hull vertices in counterclockwise order without a repeated
+/// closing vertex. Degenerate inputs (all collinear) return the two
+/// extreme points; a single point returns itself.
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
+    pts.dedup_by(|a, b| a.almost_eq(b));
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for p in &pts {
+        while hull.len() >= 2
+            && cross3(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= EPS
+        {
+            hull.pop();
+        }
+        hull.push(*p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && cross3(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= EPS
+        {
+            hull.pop();
+        }
+        hull.push(*p);
+    }
+    hull.pop(); // last point equals first
+    if hull.len() < 3 {
+        // Fully collinear input: return the extremes.
+        return vec![pts[0], pts[n - 1]];
+    }
+    hull
+}
+
+/// Douglas–Peucker polyline simplification with absolute tolerance
+/// `epsilon`. Always keeps the first and last vertices.
+pub fn simplify(points: &[Point], epsilon: f64) -> Vec<Point> {
+    if points.len() <= 2 {
+        return points.to_vec();
+    }
+    let mut keep = vec![false; points.len()];
+    keep[0] = true;
+    keep[points.len() - 1] = true;
+    let mut stack = vec![(0usize, points.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let chord = Segment::new(points[lo], points[hi]);
+        let (mut best, mut best_d) = (lo, -1.0f64);
+        for (i, p) in points.iter().enumerate().take(hi).skip(lo + 1) {
+            let d = chord.dist_point(p);
+            if d > best_d {
+                best = i;
+                best_d = d;
+            }
+        }
+        if best_d > epsilon {
+            keep[best] = true;
+            stack.push((lo, best));
+            stack.push((best, hi));
+        }
+    }
+    points
+        .iter()
+        .zip(keep.iter())
+        .filter_map(|(p, &k)| k.then_some(*p))
+        .collect()
+}
+
+/// Area-weighted centroid of a polygon (exterior minus holes).
+pub fn polygon_centroid(poly: &Polygon) -> Point {
+    let mut cx = 0.0;
+    let mut cy = 0.0;
+    let mut a = 0.0;
+    let mut accumulate = |pts: &[Point]| {
+        let n = pts.len();
+        for i in 0..n {
+            let p = pts[i];
+            let q = pts[(i + 1) % n];
+            let w = p.cross(&q);
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+            a += w;
+        }
+    };
+    accumulate(poly.exterior().points());
+    for h in poly.holes() {
+        accumulate(h.points());
+    }
+    if a.abs() <= EPS {
+        // Degenerate polygon: fall back to vertex average.
+        let pts = poly.exterior().points();
+        let n = pts.len() as f64;
+        let sum = pts.iter().fold(Point::ZERO, |acc, p| acc + *p);
+        return sum * (1.0 / n);
+    }
+    Point::new(cx / (3.0 * a), cy / (3.0 * a))
+}
+
+/// Centroid of any geometry: area-weighted for polygons,
+/// length-weighted for curves, vertex mean for points.
+pub fn centroid(g: &Geometry) -> Point {
+    match g {
+        Geometry::Point(p) => *p,
+        Geometry::MultiPoint(m) => {
+            let pts = m.points();
+            let sum = pts.iter().fold(Point::ZERO, |acc, p| acc + *p);
+            sum * (1.0 / pts.len() as f64)
+        }
+        Geometry::LineString(l) => linestring_centroid(l),
+        Geometry::MultiLineString(m) => {
+            let mut acc = Point::ZERO;
+            let mut total = 0.0;
+            for l in m.lines() {
+                let w = l.length();
+                acc = acc + linestring_centroid(l) * w;
+                total += w;
+            }
+            if total <= EPS {
+                linestring_centroid(&m.lines()[0])
+            } else {
+                acc * (1.0 / total)
+            }
+        }
+        Geometry::Polygon(p) => polygon_centroid(p),
+        Geometry::MultiPolygon(m) => {
+            let mut acc = Point::ZERO;
+            let mut total = 0.0;
+            for p in m.polygons() {
+                let w = p.area();
+                acc = acc + polygon_centroid(p) * w;
+                total += w;
+            }
+            if total <= EPS {
+                polygon_centroid(&m.polygons()[0])
+            } else {
+                acc * (1.0 / total)
+            }
+        }
+    }
+}
+
+fn linestring_centroid(l: &LineString) -> Point {
+    let mut acc = Point::ZERO;
+    let mut total = 0.0;
+    for s in l.segments() {
+        let w = s.length();
+        let mid = (s.a + s.b) * 0.5;
+        acc = acc + mid * w;
+        total += w;
+    }
+    if total <= EPS {
+        l.points()[0]
+    } else {
+        acc * (1.0 / total)
+    }
+}
+
+/// Exact minimum distance between two geometries (zero when they
+/// interact). This is the secondary-filter distance the join uses for
+/// within-distance predicates.
+pub fn geometry_distance(a: &Geometry, b: &Geometry) -> f64 {
+    // Multi-geometries: min over element pairs.
+    if a.is_multi() || b.is_multi() {
+        let mut best = f64::INFINITY;
+        for ea in a.elements() {
+            for eb in b.elements() {
+                best = best.min(geometry_distance(&ea, &eb));
+                if best == 0.0 {
+                    return 0.0;
+                }
+            }
+        }
+        return best;
+    }
+    match (a, b) {
+        (Geometry::Point(p), Geometry::Point(q)) => p.dist(q),
+        (Geometry::Point(p), Geometry::LineString(l))
+        | (Geometry::LineString(l), Geometry::Point(p)) => l.dist_point(p),
+        (Geometry::Point(p), Geometry::Polygon(poly))
+        | (Geometry::Polygon(poly), Geometry::Point(p)) => poly.dist_point(p),
+        (Geometry::LineString(l1), Geometry::LineString(l2)) => {
+            segments_min_dist(&l1.segments().collect::<Vec<_>>(), &l2.segments().collect::<Vec<_>>())
+        }
+        (Geometry::LineString(l), Geometry::Polygon(poly))
+        | (Geometry::Polygon(poly), Geometry::LineString(l)) => {
+            // Zero if any line vertex is inside the polygon, else min
+            // boundary distance.
+            if l.points().iter().any(|p| poly.locate_point(p) != PointLocation::Outside) {
+                return 0.0;
+            }
+            segments_min_dist(
+                &l.segments().collect::<Vec<_>>(),
+                &poly.boundary_segments().collect::<Vec<_>>(),
+            )
+        }
+        (Geometry::Polygon(p1), Geometry::Polygon(p2)) => {
+            // Zero if either contains a vertex of the other (covers the
+            // containment case); else min distance between boundaries.
+            if p1
+                .exterior()
+                .points()
+                .iter()
+                .any(|p| p2.locate_point(p) != PointLocation::Outside)
+                || p2
+                    .exterior()
+                    .points()
+                    .iter()
+                    .any(|p| p1.locate_point(p) != PointLocation::Outside)
+            {
+                return 0.0;
+            }
+            segments_min_dist(
+                &p1.boundary_segments().collect::<Vec<_>>(),
+                &p2.boundary_segments().collect::<Vec<_>>(),
+            )
+        }
+        // Multi cases handled above.
+        _ => unreachable!("multi geometries decomposed above"),
+    }
+}
+
+fn segments_min_dist(a: &[Segment], b: &[Segment]) -> f64 {
+    let mut best = f64::INFINITY;
+    for s in a {
+        for t in b {
+            best = best.min(s.dist_segment(t));
+            if best == 0.0 {
+                return 0.0;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::Ring;
+    use crate::rect::Rect;
+
+    fn pt(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn square(x: f64, y: f64, s: f64) -> Geometry {
+        Geometry::Polygon(Polygon::from_rect(&Rect::new(x, y, x + s, y + s)))
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            pt(0.0, 0.0),
+            pt(4.0, 0.0),
+            pt(4.0, 4.0),
+            pt(0.0, 4.0),
+            pt(2.0, 2.0),
+            pt(1.0, 3.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        // CCW orientation
+        let ring = Ring::new(hull).unwrap();
+        assert!(ring.signed_area() > 0.0);
+        assert_eq!(ring.area(), 16.0);
+    }
+
+    #[test]
+    fn hull_collinear() {
+        let pts = vec![pt(0.0, 0.0), pt(1.0, 1.0), pt(2.0, 2.0)];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull, vec![pt(0.0, 0.0), pt(2.0, 2.0)]);
+    }
+
+    #[test]
+    fn hull_single_and_duplicate_points() {
+        assert_eq!(convex_hull(&[pt(1.0, 1.0)]), vec![pt(1.0, 1.0)]);
+        assert_eq!(convex_hull(&[pt(1.0, 1.0), pt(1.0, 1.0)]), vec![pt(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn simplify_collapses_collinear_runs() {
+        let pts = vec![pt(0.0, 0.0), pt(1.0, 0.001), pt(2.0, 0.0), pt(3.0, 1.0)];
+        let out = simplify(&pts, 0.01);
+        assert_eq!(out, vec![pt(0.0, 0.0), pt(2.0, 0.0), pt(3.0, 1.0)]);
+        // With a huge epsilon only endpoints survive.
+        let out = simplify(&pts, 10.0);
+        assert_eq!(out, vec![pt(0.0, 0.0), pt(3.0, 1.0)]);
+    }
+
+    #[test]
+    fn simplify_keeps_salient_vertices() {
+        let pts = vec![pt(0.0, 0.0), pt(5.0, 5.0), pt(10.0, 0.0)];
+        assert_eq!(simplify(&pts, 1.0), pts);
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let g = square(0.0, 0.0, 2.0);
+        let c = centroid(&g);
+        assert!(c.almost_eq(&pt(1.0, 1.0)));
+    }
+
+    #[test]
+    fn centroid_with_hole_shifts_away() {
+        let outer = Ring::new(Rect::new(0.0, 0.0, 10.0, 10.0).corners().to_vec()).unwrap();
+        // hole near the right side pulls centroid left
+        let hole = Ring::new(Rect::new(7.0, 4.0, 9.0, 6.0).corners().to_vec()).unwrap();
+        let g = Geometry::Polygon(Polygon::new(outer, vec![hole]));
+        let c = centroid(&g);
+        assert!(c.x < 5.0);
+        assert!((c.y - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centroid_of_linestring_is_length_weighted() {
+        let l = LineString::new(vec![pt(0.0, 0.0), pt(2.0, 0.0), pt(2.0, 2.0)]).unwrap();
+        let c = centroid(&Geometry::LineString(l));
+        // segment mids (1,0) w=2 and (2,1) w=2 -> (1.5, 0.5)
+        assert!(c.almost_eq(&pt(1.5, 0.5)));
+    }
+
+    #[test]
+    fn distance_between_disjoint_squares() {
+        let a = square(0.0, 0.0, 1.0);
+        let b = square(4.0, 0.0, 1.0);
+        assert!((geometry_distance(&a, &b) - 3.0).abs() < 1e-12);
+        assert_eq!(geometry_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn distance_containment_is_zero() {
+        let big = square(0.0, 0.0, 10.0);
+        let small = square(4.0, 4.0, 1.0);
+        assert_eq!(geometry_distance(&big, &small), 0.0);
+    }
+
+    #[test]
+    fn distance_point_to_polygon() {
+        let g = square(0.0, 0.0, 2.0);
+        assert_eq!(geometry_distance(&g, &Geometry::Point(pt(5.0, 1.0))), 3.0);
+        assert_eq!(geometry_distance(&Geometry::Point(pt(1.0, 1.0)), &g), 0.0);
+    }
+
+    #[test]
+    fn distance_multi_decomposes() {
+        let mp = Geometry::MultiPoint(
+            crate::multi::MultiPoint::new(vec![pt(100.0, 0.0), pt(5.0, 0.0)]).unwrap(),
+        );
+        let g = square(0.0, 0.0, 1.0);
+        assert_eq!(geometry_distance(&mp, &g), 4.0);
+    }
+}

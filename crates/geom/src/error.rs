@@ -1,0 +1,46 @@
+//! Error type shared by geometry construction, parsing and validation.
+
+use std::fmt;
+
+/// Errors produced while constructing, parsing or validating geometries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeomError {
+    /// A ring or line string had fewer vertices than its type requires.
+    TooFewPoints {
+        /// Minimum vertex count for the type.
+        expected: usize,
+        /// Vertices actually supplied.
+        got: usize,
+    },
+    /// An `SDO_GEOMETRY` encoding was structurally invalid.
+    InvalidSdo(String),
+    /// A WKT string could not be parsed.
+    WktParse {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A geometry failed validation (self-intersection, unclosed ring, ...).
+    Invalid(String),
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate,
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::TooFewPoints { expected, got } => {
+                write!(f, "too few points: expected at least {expected}, got {got}")
+            }
+            GeomError::InvalidSdo(msg) => write!(f, "invalid SDO_GEOMETRY: {msg}"),
+            GeomError::WktParse { offset, message } => {
+                write!(f, "WKT parse error at byte {offset}: {message}")
+            }
+            GeomError::Invalid(msg) => write!(f, "invalid geometry: {msg}"),
+            GeomError::NonFiniteCoordinate => write!(f, "coordinate is NaN or infinite"),
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}

@@ -1,0 +1,270 @@
+//! The unified geometry enum.
+
+use crate::linestring::LineString;
+use crate::multi::{MultiLineString, MultiPoint, MultiPolygon};
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::rect::Rect;
+use crate::segment::Segment;
+use serde::{Deserialize, Serialize};
+
+/// Any supported 2-D geometry (the OGC simple-feature subset that
+/// Oracle's `SDO_GEOMETRY` models in two dimensions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Geometry {
+    /// A single point.
+    Point(Point),
+    /// An open polyline.
+    LineString(LineString),
+    /// A polygon with optional holes.
+    Polygon(Polygon),
+    /// A collection of points.
+    MultiPoint(MultiPoint),
+    /// A collection of polylines.
+    MultiLineString(MultiLineString),
+    /// A collection of polygons.
+    MultiPolygon(MultiPolygon),
+}
+
+/// Topological dimension of a geometry type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TopoDim {
+    /// Points.
+    Zero,
+    /// Curves.
+    One,
+    /// Areas.
+    Two,
+}
+
+impl Geometry {
+    /// Minimum bounding rectangle.
+    pub fn bbox(&self) -> Rect {
+        match self {
+            Geometry::Point(p) => p.bbox(),
+            Geometry::LineString(l) => l.bbox(),
+            Geometry::Polygon(p) => p.bbox(),
+            Geometry::MultiPoint(m) => m.bbox(),
+            Geometry::MultiLineString(m) => m.bbox(),
+            Geometry::MultiPolygon(m) => m.bbox(),
+        }
+    }
+
+    /// Topological dimension.
+    pub fn dim(&self) -> TopoDim {
+        match self {
+            Geometry::Point(_) | Geometry::MultiPoint(_) => TopoDim::Zero,
+            Geometry::LineString(_) | Geometry::MultiLineString(_) => TopoDim::One,
+            Geometry::Polygon(_) | Geometry::MultiPolygon(_) => TopoDim::Two,
+        }
+    }
+
+    /// Total number of vertices.
+    pub fn num_points(&self) -> usize {
+        match self {
+            Geometry::Point(_) => 1,
+            Geometry::LineString(l) => l.num_points(),
+            Geometry::Polygon(p) => p.num_points(),
+            Geometry::MultiPoint(m) => m.points().len(),
+            Geometry::MultiLineString(m) => m.lines().iter().map(|l| l.num_points()).sum(),
+            Geometry::MultiPolygon(m) => m.polygons().iter().map(|p| p.num_points()).sum(),
+        }
+    }
+
+    /// Area of areal geometries; zero for points and curves.
+    pub fn area(&self) -> f64 {
+        match self {
+            Geometry::Polygon(p) => p.area(),
+            Geometry::MultiPolygon(m) => m.area(),
+            _ => 0.0,
+        }
+    }
+
+    /// Length of curves, perimeter of areal geometries (Oracle
+    /// `SDO_GEOM.SDO_LENGTH` semantics), zero for points.
+    pub fn length(&self) -> f64 {
+        match self {
+            Geometry::Point(_) | Geometry::MultiPoint(_) => 0.0,
+            Geometry::LineString(l) => l.length(),
+            Geometry::MultiLineString(m) => m.length(),
+            Geometry::Polygon(p) => {
+                p.exterior().perimeter() + p.holes().iter().map(|h| h.perimeter()).sum::<f64>()
+            }
+            Geometry::MultiPolygon(m) => {
+                m.polygons().iter().map(|p| Geometry::Polygon(p.clone()).length()).sum()
+            }
+        }
+    }
+
+    /// All boundary/curve segments of the geometry. Points yield none.
+    pub fn segments(&self) -> Vec<Segment> {
+        match self {
+            Geometry::Point(_) | Geometry::MultiPoint(_) => Vec::new(),
+            Geometry::LineString(l) => l.segments().collect(),
+            Geometry::Polygon(p) => p.boundary_segments().collect(),
+            Geometry::MultiLineString(m) => {
+                m.lines().iter().flat_map(|l| l.segments().collect::<Vec<_>>()).collect()
+            }
+            Geometry::MultiPolygon(m) => m
+                .polygons()
+                .iter()
+                .flat_map(|p| p.boundary_segments().collect::<Vec<_>>())
+                .collect(),
+        }
+    }
+
+    /// Every vertex of the geometry, flattened.
+    pub fn vertices(&self) -> Vec<Point> {
+        match self {
+            Geometry::Point(p) => vec![*p],
+            Geometry::MultiPoint(m) => m.points().to_vec(),
+            Geometry::LineString(l) => l.points().to_vec(),
+            Geometry::MultiLineString(m) => {
+                m.lines().iter().flat_map(|l| l.points().iter().copied()).collect()
+            }
+            Geometry::Polygon(p) => {
+                let mut v: Vec<Point> = p.exterior().points().to_vec();
+                for h in p.holes() {
+                    v.extend_from_slice(h.points());
+                }
+                v
+            }
+            Geometry::MultiPolygon(m) => m
+                .polygons()
+                .iter()
+                .flat_map(|p| Geometry::Polygon(p.clone()).vertices())
+                .collect(),
+        }
+    }
+
+    /// True when `pt` lies on/in the geometry.
+    pub fn covers_point(&self, pt: &Point) -> bool {
+        match self {
+            Geometry::Point(p) => p.almost_eq(pt),
+            Geometry::MultiPoint(m) => m.points().iter().any(|p| p.almost_eq(pt)),
+            Geometry::LineString(l) => l.contains_point(pt),
+            Geometry::MultiLineString(m) => m.lines().iter().any(|l| l.contains_point(pt)),
+            Geometry::Polygon(p) => p.contains_point(pt),
+            Geometry::MultiPolygon(m) => m.contains_point(pt),
+        }
+    }
+
+    /// Decompose a multi-geometry into its elements; single geometries
+    /// yield themselves. Used by predicate code to reduce multi-to-multi
+    /// comparisons to pairwise element comparisons.
+    pub fn elements(&self) -> Vec<Geometry> {
+        match self {
+            Geometry::MultiPoint(m) => m.points().iter().map(|p| Geometry::Point(*p)).collect(),
+            Geometry::MultiLineString(m) => {
+                m.lines().iter().map(|l| Geometry::LineString(l.clone())).collect()
+            }
+            Geometry::MultiPolygon(m) => {
+                m.polygons().iter().map(|p| Geometry::Polygon(p.clone())).collect()
+            }
+            g => vec![g.clone()],
+        }
+    }
+
+    /// True for the `Multi*` variants.
+    pub fn is_multi(&self) -> bool {
+        matches!(
+            self,
+            Geometry::MultiPoint(_) | Geometry::MultiLineString(_) | Geometry::MultiPolygon(_)
+        )
+    }
+}
+
+impl From<Point> for Geometry {
+    fn from(p: Point) -> Self {
+        Geometry::Point(p)
+    }
+}
+
+impl From<LineString> for Geometry {
+    fn from(l: LineString) -> Self {
+        Geometry::LineString(l)
+    }
+}
+
+impl From<Polygon> for Geometry {
+    fn from(p: Polygon) -> Self {
+        Geometry::Polygon(p)
+    }
+}
+
+impl From<MultiPoint> for Geometry {
+    fn from(m: MultiPoint) -> Self {
+        Geometry::MultiPoint(m)
+    }
+}
+
+impl From<MultiLineString> for Geometry {
+    fn from(m: MultiLineString) -> Self {
+        Geometry::MultiLineString(m)
+    }
+}
+
+impl From<MultiPolygon> for Geometry {
+    fn from(m: MultiPolygon) -> Self {
+        Geometry::MultiPolygon(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::Ring;
+
+    fn square(x: f64, y: f64, s: f64) -> Geometry {
+        Geometry::Polygon(Polygon::from_rect(&Rect::new(x, y, x + s, y + s)))
+    }
+
+    #[test]
+    fn dims() {
+        assert_eq!(Geometry::Point(Point::ZERO).dim(), TopoDim::Zero);
+        assert_eq!(square(0.0, 0.0, 1.0).dim(), TopoDim::Two);
+        let l = Geometry::LineString(
+            LineString::new(vec![Point::ZERO, Point::new(1.0, 0.0)]).unwrap(),
+        );
+        assert_eq!(l.dim(), TopoDim::One);
+        assert!(TopoDim::Zero < TopoDim::Two);
+    }
+
+    #[test]
+    fn bbox_dispatch() {
+        let g = square(1.0, 2.0, 3.0);
+        assert_eq!(g.bbox(), Rect::new(1.0, 2.0, 4.0, 5.0));
+        assert_eq!(g.area(), 9.0);
+        assert_eq!(g.num_points(), 4);
+        assert_eq!(g.segments().len(), 4);
+    }
+
+    #[test]
+    fn elements_of_multi() {
+        let mp = Geometry::MultiPoint(
+            MultiPoint::new(vec![Point::ZERO, Point::new(1.0, 1.0)]).unwrap(),
+        );
+        assert_eq!(mp.elements().len(), 2);
+        assert!(mp.is_multi());
+        let p = Geometry::Point(Point::ZERO);
+        assert_eq!(p.elements(), vec![p.clone()]);
+        assert!(!p.is_multi());
+    }
+
+    #[test]
+    fn covers_point_dispatch() {
+        let g = square(0.0, 0.0, 2.0);
+        assert!(g.covers_point(&Point::new(1.0, 1.0)));
+        assert!(g.covers_point(&Point::new(0.0, 0.0)));
+        assert!(!g.covers_point(&Point::new(3.0, 1.0)));
+    }
+
+    #[test]
+    fn vertices_flatten_holes() {
+        let outer = Ring::new(Rect::new(0.0, 0.0, 10.0, 10.0).corners().to_vec()).unwrap();
+        let hole = Ring::new(Rect::new(4.0, 4.0, 6.0, 6.0).corners().to_vec()).unwrap();
+        let g = Geometry::Polygon(Polygon::new(outer, vec![hole]));
+        assert_eq!(g.vertices().len(), 8);
+        assert_eq!(g.num_points(), 8);
+    }
+}

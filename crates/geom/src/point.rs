@@ -1,0 +1,151 @@
+//! 2-D points.
+
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A 2-dimensional point with `f64` coordinates.
+///
+/// `Point` doubles as a vector for the small amount of vector algebra
+/// the predicate code needs (differences, dot/cross products).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// A point at `(x, y)`.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Origin point.
+    pub const ZERO: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn dist2(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Dot product, treating both points as vectors.
+    #[inline]
+    pub fn dot(&self, other: &Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product magnitude (z of the 3-D cross product).
+    #[inline]
+    pub fn cross(&self, other: &Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// The degenerate MBR of this point.
+    #[inline]
+    pub fn bbox(&self) -> Rect {
+        Rect::new(self.x, self.y, self.x, self.y)
+    }
+
+    /// True when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Returns true when the points coincide within [`crate::EPS`].
+    #[inline]
+    pub fn almost_eq(&self, other: &Point) -> bool {
+        crate::feq(self.x, other.x) && crate::feq(self.y, other.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, s: f64) -> Point {
+        Point::new(self.x * s, self.y * s)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist2(&b), 25.0);
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!((a + b), Point::new(4.0, 1.0));
+        assert_eq!((a - b), Point::new(-2.0, 3.0));
+        assert_eq!(a.dot(&b), 1.0);
+        assert_eq!(a.cross(&b), -7.0);
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn bbox_is_degenerate_rect() {
+        let p = Point::new(5.0, 7.0);
+        let r = p.bbox();
+        assert_eq!(r.min_x, 5.0);
+        assert_eq!(r.max_y, 7.0);
+        assert_eq!(r.area(), 0.0);
+    }
+
+    #[test]
+    fn almost_eq_uses_tolerance() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(1.0 + 1e-12, 1.0 - 1e-12);
+        assert!(a.almost_eq(&b));
+        assert!(!a.almost_eq(&Point::new(1.001, 1.0)));
+    }
+}

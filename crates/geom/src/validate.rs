@@ -1,0 +1,155 @@
+//! Geometry validation, mirroring `SDO_GEOM.VALIDATE_GEOMETRY`.
+
+use crate::error::GeomError;
+use crate::geometry::Geometry;
+use crate::polygon::{PointLocation, Polygon};
+use crate::relate::interior_point;
+
+/// Validate a geometry against the structural rules the index and
+/// predicate code assume:
+///
+/// * all coordinates finite (enforced at construction, re-checked),
+/// * rings simple (no self-intersection),
+/// * holes inside their exterior ring and mutually non-overlapping,
+/// * multipolygon elements with disjoint interiors.
+///
+/// Returns `Ok(())` or the first violation found. Validation is
+/// O(n²) in vertices per ring pair; it is meant for load-time checking,
+/// not query paths.
+pub fn validate(g: &Geometry) -> Result<(), GeomError> {
+    match g {
+        Geometry::Point(p) => {
+            if !p.is_finite() {
+                return Err(GeomError::NonFiniteCoordinate);
+            }
+            Ok(())
+        }
+        Geometry::MultiPoint(_) | Geometry::LineString(_) | Geometry::MultiLineString(_) => Ok(()),
+        Geometry::Polygon(p) => validate_polygon(p),
+        Geometry::MultiPolygon(m) => {
+            for p in m.polygons() {
+                validate_polygon(p)?;
+            }
+            // Element interiors must be disjoint.
+            let polys = m.polygons();
+            for i in 0..polys.len() {
+                for j in (i + 1)..polys.len() {
+                    let a = Geometry::Polygon(polys[i].clone());
+                    let b = Geometry::Polygon(polys[j].clone());
+                    if crate::relate::interiors_intersect(&a, &b) {
+                        return Err(GeomError::Invalid(format!(
+                            "multipolygon elements {i} and {j} have overlapping interiors"
+                        )));
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+fn validate_polygon(p: &Polygon) -> Result<(), GeomError> {
+    if !p.exterior().is_simple() {
+        return Err(GeomError::Invalid("exterior ring self-intersects".into()));
+    }
+    for (i, h) in p.holes().iter().enumerate() {
+        if !h.is_simple() {
+            return Err(GeomError::Invalid(format!("hole {i} self-intersects")));
+        }
+        // Every hole vertex must be inside (or on) the exterior ring.
+        for v in h.points() {
+            if p.exterior().locate_point(v) == PointLocation::Outside {
+                return Err(GeomError::Invalid(format!(
+                    "hole {i} extends outside the exterior ring"
+                )));
+            }
+        }
+        // A hole's representative interior point must be inside the
+        // exterior ring too (a hole could share all vertices yet bulge
+        // out between them).
+        let ip = interior_point(&Polygon::from_exterior(h.clone()));
+        if p.exterior().locate_point(&ip) == PointLocation::Outside {
+            return Err(GeomError::Invalid(format!(
+                "hole {i} interior falls outside the exterior ring"
+            )));
+        }
+    }
+    // Holes must not overlap each other.
+    for i in 0..p.holes().len() {
+        for j in (i + 1)..p.holes().len() {
+            let a = Geometry::Polygon(Polygon::from_exterior(p.holes()[i].clone()));
+            let b = Geometry::Polygon(Polygon::from_exterior(p.holes()[j].clone()));
+            if crate::relate::interiors_intersect(&a, &b) {
+                return Err(GeomError::Invalid(format!("holes {i} and {j} overlap")));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+    use crate::polygon::Ring;
+    use crate::rect::Rect;
+
+    fn ring(pts: &[(f64, f64)]) -> Ring {
+        Ring::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn valid_square() {
+        let g = Geometry::Polygon(Polygon::from_rect(&Rect::new(0.0, 0.0, 1.0, 1.0)));
+        assert!(validate(&g).is_ok());
+    }
+
+    #[test]
+    fn bowtie_rejected() {
+        let bow = ring(&[(0.0, 0.0), (2.0, 2.0), (2.0, 0.0), (0.0, 2.0)]);
+        let g = Geometry::Polygon(Polygon::from_exterior(bow));
+        assert!(validate(&g).is_err());
+    }
+
+    #[test]
+    fn hole_outside_rejected() {
+        let outer = ring(&[(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]);
+        let stray = ring(&[(10.0, 10.0), (11.0, 10.0), (11.0, 11.0), (10.0, 11.0)]);
+        let g = Geometry::Polygon(Polygon::new(outer, vec![stray]));
+        assert!(validate(&g).is_err());
+    }
+
+    #[test]
+    fn overlapping_holes_rejected() {
+        let outer = ring(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        let h1 = ring(&[(1.0, 1.0), (5.0, 1.0), (5.0, 5.0), (1.0, 5.0)]);
+        let h2 = ring(&[(3.0, 3.0), (7.0, 3.0), (7.0, 7.0), (3.0, 7.0)]);
+        let g = Geometry::Polygon(Polygon::new(outer, vec![h1, h2]));
+        assert!(validate(&g).is_err());
+    }
+
+    #[test]
+    fn disjoint_holes_accepted() {
+        let outer = ring(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        let h1 = ring(&[(1.0, 1.0), (2.0, 1.0), (2.0, 2.0), (1.0, 2.0)]);
+        let h2 = ring(&[(5.0, 5.0), (6.0, 5.0), (6.0, 6.0), (5.0, 6.0)]);
+        let g = Geometry::Polygon(Polygon::new(outer, vec![h1, h2]));
+        assert!(validate(&g).is_ok());
+    }
+
+    #[test]
+    fn overlapping_multipolygon_elements_rejected() {
+        let m = crate::multi::MultiPolygon::new(vec![
+            Polygon::from_rect(&Rect::new(0.0, 0.0, 2.0, 2.0)),
+            Polygon::from_rect(&Rect::new(1.0, 1.0, 3.0, 3.0)),
+        ])
+        .unwrap();
+        assert!(validate(&Geometry::MultiPolygon(m)).is_err());
+        let ok = crate::multi::MultiPolygon::new(vec![
+            Polygon::from_rect(&Rect::new(0.0, 0.0, 1.0, 1.0)),
+            Polygon::from_rect(&Rect::new(5.0, 5.0, 6.0, 6.0)),
+        ])
+        .unwrap();
+        assert!(validate(&Geometry::MultiPolygon(ok)).is_ok());
+    }
+}

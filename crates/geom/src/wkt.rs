@@ -1,0 +1,363 @@
+//! Well-Known Text parsing and serialization.
+//!
+//! Supports the 2-D subset matching [`Geometry`]: `POINT`, `LINESTRING`,
+//! `POLYGON`, `MULTIPOINT`, `MULTILINESTRING`, `MULTIPOLYGON`. Used for
+//! interchange, test fixtures, and the SQL layer's geometry literals.
+
+use crate::error::GeomError;
+use crate::geometry::Geometry;
+use crate::linestring::LineString;
+use crate::multi::{MultiLineString, MultiPoint, MultiPolygon};
+use crate::point::Point;
+use crate::polygon::{Polygon, Ring};
+use std::fmt::Write as _;
+
+/// Serialize a geometry to WKT. Rings are written closed (first vertex
+/// repeated), as the WKT spec requires.
+pub fn to_wkt(g: &Geometry) -> String {
+    let mut s = String::new();
+    match g {
+        Geometry::Point(p) => {
+            let _ = write!(s, "POINT ({} {})", fmt(p.x), fmt(p.y));
+        }
+        Geometry::LineString(l) => {
+            s.push_str("LINESTRING ");
+            write_coord_list(&mut s, l.points(), false);
+        }
+        Geometry::Polygon(p) => {
+            s.push_str("POLYGON ");
+            write_polygon(&mut s, p);
+        }
+        Geometry::MultiPoint(m) => {
+            s.push_str("MULTIPOINT ");
+            write_coord_list(&mut s, m.points(), false);
+        }
+        Geometry::MultiLineString(m) => {
+            s.push_str("MULTILINESTRING (");
+            for (i, l) in m.lines().iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                write_coord_list(&mut s, l.points(), false);
+            }
+            s.push(')');
+        }
+        Geometry::MultiPolygon(m) => {
+            s.push_str("MULTIPOLYGON (");
+            for (i, p) in m.polygons().iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                write_polygon(&mut s, p);
+            }
+            s.push(')');
+        }
+    }
+    s
+}
+
+fn write_polygon(s: &mut String, p: &Polygon) {
+    s.push('(');
+    write_coord_list(s, p.exterior().points(), true);
+    for h in p.holes() {
+        s.push_str(", ");
+        write_coord_list(s, h.points(), true);
+    }
+    s.push(')');
+}
+
+fn write_coord_list(s: &mut String, pts: &[Point], close: bool) {
+    s.push('(');
+    for (i, p) in pts.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{} {}", fmt(p.x), fmt(p.y));
+    }
+    if close {
+        if let Some(p) = pts.first() {
+            let _ = write!(s, ", {} {}", fmt(p.x), fmt(p.y));
+        }
+    }
+    s.push(')');
+}
+
+/// Format a coordinate without trailing `.0` noise for integral values.
+fn fmt(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Parse a WKT string into a geometry.
+pub fn parse_wkt(input: &str) -> Result<Geometry, GeomError> {
+    let mut p = Parser { input, pos: 0 };
+    let g = p.parse_geometry()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing characters after geometry"));
+    }
+    Ok(g)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> GeomError {
+        GeomError::WktParse { offset: self.pos, message: message.to_string() }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn keyword(&mut self) -> Result<String, GeomError> {
+        self.skip_ws();
+        let start = self.pos;
+        let end = self
+            .rest()
+            .find(|c: char| !c.is_ascii_alphabetic())
+            .map(|i| start + i)
+            .unwrap_or(self.input.len());
+        if end == start {
+            return Err(self.err("expected a geometry keyword"));
+        }
+        let kw = self.input[start..end].to_ascii_uppercase();
+        self.pos = end;
+        Ok(kw)
+    }
+
+    fn expect(&mut self, ch: char) -> Result<(), GeomError> {
+        self.skip_ws();
+        if self.rest().starts_with(ch) {
+            self.pos += ch.len_utf8();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{ch}'")))
+        }
+    }
+
+    fn peek(&mut self, ch: char) -> bool {
+        self.skip_ws();
+        self.rest().starts_with(ch)
+    }
+
+    fn number(&mut self) -> Result<f64, GeomError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.rest().as_bytes();
+        let mut i = 0;
+        if i < bytes.len() && (bytes[i] == b'-' || bytes[i] == b'+') {
+            i += 1;
+        }
+        while i < bytes.len()
+            && (bytes[i].is_ascii_digit()
+                || bytes[i] == b'.'
+                || bytes[i] == b'e'
+                || bytes[i] == b'E'
+                || ((bytes[i] == b'-' || bytes[i] == b'+')
+                    && i > 0
+                    && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+        {
+            i += 1;
+        }
+        if i == 0 {
+            return Err(self.err("expected a number"));
+        }
+        let text = &self.rest()[..i];
+        let v: f64 = text
+            .parse()
+            .map_err(|_| self.err(&format!("invalid number '{text}'")))?;
+        self.pos = start + i;
+        Ok(v)
+    }
+
+    fn coord(&mut self) -> Result<Point, GeomError> {
+        let x = self.number()?;
+        let y = self.number()?;
+        Ok(Point::new(x, y))
+    }
+
+    /// `( x y, x y, ... )`
+    fn coord_list(&mut self) -> Result<Vec<Point>, GeomError> {
+        self.expect('(')?;
+        let mut pts = vec![self.coord()?];
+        while self.peek(',') {
+            self.expect(',')?;
+            pts.push(self.coord()?);
+        }
+        self.expect(')')?;
+        Ok(pts)
+    }
+
+    /// `( ring, ring, ... )` where each ring is a coord list.
+    fn ring_list(&mut self) -> Result<Vec<Vec<Point>>, GeomError> {
+        self.expect('(')?;
+        let mut rings = vec![self.coord_list()?];
+        while self.peek(',') {
+            self.expect(',')?;
+            rings.push(self.coord_list()?);
+        }
+        self.expect(')')?;
+        Ok(rings)
+    }
+
+    fn parse_geometry(&mut self) -> Result<Geometry, GeomError> {
+        let kw = self.keyword()?;
+        match kw.as_str() {
+            "POINT" => {
+                self.expect('(')?;
+                let p = self.coord()?;
+                self.expect(')')?;
+                Ok(Geometry::Point(p))
+            }
+            "LINESTRING" => Ok(Geometry::LineString(LineString::new(self.coord_list()?)?)),
+            "POLYGON" => {
+                let rings = self.ring_list()?;
+                Ok(Geometry::Polygon(polygon_from_rings(rings)?))
+            }
+            "MULTIPOINT" => {
+                // Accept both `MULTIPOINT (1 2, 3 4)` and
+                // `MULTIPOINT ((1 2), (3 4))`.
+                self.expect('(')?;
+                let mut pts = Vec::new();
+                loop {
+                    if self.peek('(') {
+                        self.expect('(')?;
+                        pts.push(self.coord()?);
+                        self.expect(')')?;
+                    } else {
+                        pts.push(self.coord()?);
+                    }
+                    if self.peek(',') {
+                        self.expect(',')?;
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(')')?;
+                Ok(Geometry::MultiPoint(MultiPoint::new(pts)?))
+            }
+            "MULTILINESTRING" => {
+                let lists = self.ring_list()?;
+                let lines = lists
+                    .into_iter()
+                    .map(LineString::new)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Geometry::MultiLineString(MultiLineString::new(lines)?))
+            }
+            "MULTIPOLYGON" => {
+                self.expect('(')?;
+                let mut polys = vec![polygon_from_rings(self.ring_list()?)?];
+                while self.peek(',') {
+                    self.expect(',')?;
+                    polys.push(polygon_from_rings(self.ring_list()?)?);
+                }
+                self.expect(')')?;
+                Ok(Geometry::MultiPolygon(MultiPolygon::new(polys)?))
+            }
+            other => Err(self.err(&format!("unknown geometry type '{other}'"))),
+        }
+    }
+}
+
+fn polygon_from_rings(mut rings: Vec<Vec<Point>>) -> Result<Polygon, GeomError> {
+    if rings.is_empty() {
+        return Err(GeomError::Invalid("polygon with no rings".into()));
+    }
+    let exterior = Ring::new(rings.remove(0))?;
+    let holes = rings.into_iter().map(Ring::new).collect::<Result<Vec<_>, _>>()?;
+    Ok(Polygon::new(exterior, holes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::Rect;
+
+    fn roundtrip(wkt: &str) {
+        let g = parse_wkt(wkt).unwrap();
+        let out = to_wkt(&g);
+        let g2 = parse_wkt(&out).unwrap();
+        assert_eq!(g, g2, "roundtrip failed for {wkt}");
+    }
+
+    #[test]
+    fn point() {
+        let g = parse_wkt("POINT (1 2)").unwrap();
+        assert_eq!(g, Geometry::Point(Point::new(1.0, 2.0)));
+        assert_eq!(to_wkt(&g), "POINT (1 2)");
+        roundtrip("POINT (-1.5 2.25)");
+    }
+
+    #[test]
+    fn linestring() {
+        let g = parse_wkt("LINESTRING (0 0, 1 1, 2 0)").unwrap();
+        match &g {
+            Geometry::LineString(l) => assert_eq!(l.num_points(), 3),
+            _ => panic!(),
+        }
+        roundtrip("LINESTRING (0 0, 1 1, 2 0)");
+    }
+
+    #[test]
+    fn polygon_with_hole() {
+        let wkt = "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))";
+        let g = parse_wkt(wkt).unwrap();
+        assert_eq!(g.area(), 96.0);
+        roundtrip(wkt);
+    }
+
+    #[test]
+    fn multi_variants() {
+        roundtrip("MULTIPOINT (1 2, 3 4)");
+        roundtrip("MULTILINESTRING ((0 0, 1 1), (2 2, 3 3, 4 4))");
+        roundtrip("MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((5 5, 7 5, 7 7, 5 7, 5 5)))");
+        // nested-parens multipoint form
+        let g = parse_wkt("MULTIPOINT ((1 2), (3 4))").unwrap();
+        assert_eq!(g, parse_wkt("MULTIPOINT (1 2, 3 4)").unwrap());
+    }
+
+    #[test]
+    fn scientific_notation_and_signs() {
+        let g = parse_wkt("POINT (1e3 -2.5E-2)").unwrap();
+        assert_eq!(g, Geometry::Point(Point::new(1000.0, -0.025)));
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        assert!(parse_wkt("point (1 2)").is_ok());
+        assert!(parse_wkt("Polygon ((0 0, 1 0, 1 1, 0 0))").is_ok());
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        match parse_wkt("POINT (1 )") {
+            Err(GeomError::WktParse { offset, .. }) => assert!(offset >= 8),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse_wkt("TRIANGLE (0 0, 1 1, 2 2)").is_err());
+        assert!(parse_wkt("POINT (1 2) garbage").is_err());
+        assert!(parse_wkt("LINESTRING (0 0)").is_err()); // too few points
+        assert!(parse_wkt("").is_err());
+    }
+
+    #[test]
+    fn wkt_of_rect_polygon() {
+        let g = Geometry::Polygon(Polygon::from_rect(&Rect::new(0.0, 0.0, 1.0, 1.0)));
+        let wkt = to_wkt(&g);
+        assert!(wkt.starts_with("POLYGON (("));
+        assert!(wkt.ends_with("))"));
+        roundtrip(&wkt);
+    }
+}

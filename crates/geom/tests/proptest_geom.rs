@@ -1,0 +1,204 @@
+//! Property-based tests for the geometry engine's invariants
+//! (DESIGN.md §6).
+
+use proptest::prelude::*;
+use sdo_geom::algorithms::convex_hull;
+use sdo_geom::{
+    intersects, within_distance, Geometry, LineString, Point, Polygon, Rect, RelateMask, Ring,
+};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), 0.1f64..30.0, 0.1f64..30.0)
+        .prop_map(|(p, w, h)| Rect::new(p.x, p.y, p.x + w, p.y + h))
+}
+
+/// Valid simple polygons via convex hulls of random point sets.
+fn arb_polygon() -> impl Strategy<Value = Polygon> {
+    proptest::collection::vec(arb_point(), 3..12).prop_filter_map("degenerate hull", |pts| {
+        let hull = convex_hull(&pts);
+        if hull.len() < 3 {
+            return None;
+        }
+        let ring = Ring::new(hull).ok()?;
+        if ring.area() < 1e-6 {
+            return None;
+        }
+        Some(Polygon::from_exterior(ring))
+    })
+}
+
+fn arb_geometry() -> impl Strategy<Value = Geometry> {
+    prop_oneof![
+        arb_point().prop_map(Geometry::Point),
+        proptest::collection::vec(arb_point(), 2..8)
+            .prop_filter_map("line", |pts| LineString::new(pts).ok().map(Geometry::LineString)),
+        arb_polygon().prop_map(Geometry::Polygon),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rect_union_contains_operands(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn rect_intersection_within_operands(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(a.intersects(&b));
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn rect_mindist_zero_iff_intersects(a in arb_rect(), b in arb_rect()) {
+        let d = a.mindist(&b);
+        prop_assert!(d >= 0.0);
+        prop_assert_eq!(d == 0.0, a.intersects(&b));
+        // symmetry
+        prop_assert!((d - b.mindist(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rect_expansion_turns_distance_into_intersection(
+        a in arb_rect(),
+        b in arb_rect(),
+    ) {
+        let d = a.mindist(&b);
+        // expanding either side by d (plus slack) must make them intersect
+        prop_assert!(a.expanded(d + 1e-9).intersects(&b));
+        // expanding by less than the axis gap must not (when separated
+        // along an axis, mindist <= axis gap, so half of d may fail —
+        // only assert the monotone direction)
+        if d > 1e-6 {
+            prop_assert!(!a.expanded(d * 0.4).intersects(&b) || d <= 1e-6
+                || a.expanded(d * 0.4).mindist(&b) <= d);
+        }
+    }
+
+    #[test]
+    fn wkt_roundtrip(g in arb_geometry()) {
+        let wkt = sdo_geom::wkt::to_wkt(&g);
+        let back = sdo_geom::wkt::parse_wkt(&wkt).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn sdo_roundtrip(g in arb_geometry()) {
+        let sdo = sdo_geom::SdoGeometry::from_geometry(&g);
+        let back = sdo.to_geometry().unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn intersects_is_symmetric(a in arb_geometry(), b in arb_geometry()) {
+        prop_assert_eq!(intersects(&a, &b), intersects(&b, &a));
+    }
+
+    #[test]
+    fn distance_consistent_with_intersects(a in arb_geometry(), b in arb_geometry()) {
+        let d = sdo_geom::distance(&a, &b);
+        prop_assert!(d >= 0.0);
+        if intersects(&a, &b) {
+            prop_assert!(d < 1e-6, "intersecting geometries at distance {d}");
+        } else {
+            prop_assert!(d > 0.0, "disjoint geometries at distance 0");
+        }
+        // symmetry
+        prop_assert!((d - sdo_geom::distance(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn within_distance_monotone(a in arb_geometry(), b in arb_geometry(), d in 0.0f64..50.0) {
+        if within_distance(&a, &b, d) {
+            prop_assert!(within_distance(&a, &b, d + 1.0));
+            prop_assert!(within_distance(&a, &b, d * 2.0 + 0.1));
+        }
+    }
+
+    #[test]
+    fn mbr_filter_is_sound(a in arb_geometry(), b in arb_geometry()) {
+        // the primary filter may only produce false positives, never
+        // false negatives
+        if intersects(&a, &b) {
+            prop_assert!(a.bbox().intersects(&b.bbox()));
+        }
+    }
+
+    #[test]
+    fn polygon_equal_to_itself(p in arb_polygon()) {
+        let g = Geometry::Polygon(p);
+        prop_assert!(sdo_geom::relate(&g, &g, RelateMask::Equal));
+        prop_assert!(sdo_geom::covered_by(&g, &g));
+        prop_assert!(intersects(&g, &g));
+        prop_assert!(!sdo_geom::relate(&g, &g, RelateMask::Disjoint));
+    }
+
+    #[test]
+    fn interior_point_lies_inside(p in arb_polygon()) {
+        let ip = sdo_geom::relate::interior_point(&p);
+        prop_assert!(p.contains_point(&ip));
+    }
+
+    #[test]
+    fn centroid_of_convex_polygon_inside(p in arb_polygon()) {
+        // convex polygons contain their centroid
+        let c = sdo_geom::algorithms::polygon_centroid(&p);
+        prop_assert!(p.contains_point(&c));
+    }
+
+    #[test]
+    fn hull_contains_all_points(pts in proptest::collection::vec(arb_point(), 1..20)) {
+        let hull = convex_hull(&pts);
+        prop_assert!(!hull.is_empty());
+        if hull.len() >= 3 {
+            let ring = Ring::new(hull).unwrap();
+            for p in &pts {
+                prop_assert!(ring.contains_point(p), "hull excludes {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn touch_and_overlap_disjointness(a in arb_polygon(), b in arb_polygon()) {
+        let (ga, gb) = (Geometry::Polygon(a), Geometry::Polygon(b));
+        let touch = sdo_geom::relate(&ga, &gb, RelateMask::Touch);
+        let overlap = sdo_geom::relate(&ga, &gb, RelateMask::Overlap);
+        let disjoint = sdo_geom::relate(&ga, &gb, RelateMask::Disjoint);
+        // at most one of touch/overlap/disjoint holds
+        prop_assert!(u8::from(touch) + u8::from(overlap) + u8::from(disjoint) <= 1);
+        if touch || overlap {
+            prop_assert!(intersects(&ga, &gb));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn binary_codec_roundtrip(g in arb_geometry()) {
+        let bytes = sdo_geom::codec::encode_geometry(&g);
+        let back = sdo_geom::codec::decode_geometry(bytes).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn binary_codec_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // decoding arbitrary bytes must return an error or a value,
+        // never panic
+        let _ = sdo_geom::codec::decode_sdo(bytes::Bytes::from(data));
+    }
+}

@@ -1,0 +1,184 @@
+//! Quadtree spatial join: sorted merge over tile codes.
+//!
+//! Because both indexes store `(tile_code, rowid)` in B-tree order, a
+//! join is a single merge pass: rows of the two tables sharing a tile
+//! are candidate pairs, and a pair sharing a tile that is interior to
+//! either geometry is a definite hit (no secondary filter needed).
+
+use crate::index::QuadtreeIndex;
+use crate::tile::TileCode;
+use sdo_storage::RowId;
+use std::collections::HashMap;
+
+/// A join candidate pair with its filter evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinCandidate {
+    /// Row of the left index's table.
+    pub left: RowId,
+    /// Row of the right index's table.
+    pub right: RowId,
+    /// Tile evidence alone proves the geometries interact.
+    pub definite: bool,
+}
+
+/// Merge-join two quadtree indexes on tile code. Pairs are deduplicated
+/// (two geometries typically share many tiles); `definite` is true when
+/// *any* shared tile proves the interaction.
+pub fn merge_join(left: &QuadtreeIndex, right: &QuadtreeIndex) -> Vec<JoinCandidate> {
+    assert_eq!(
+        left.level(),
+        right.level(),
+        "quadtree join requires equal tiling levels"
+    );
+    let mut li = left.iter_entries().peekable();
+    let mut ri = right.iter_entries().peekable();
+    let mut best: HashMap<(RowId, RowId), bool> = HashMap::new();
+
+    let mut lgroup: Vec<(RowId, bool)> = Vec::new();
+    let mut rgroup: Vec<(RowId, bool)> = Vec::new();
+    while let (Some(&(lc, _, _)), Some(&(rc, _, _))) = (li.peek(), ri.peek()) {
+        if lc < rc {
+            advance_past(&mut li, lc);
+        } else if rc < lc {
+            advance_past(&mut ri, rc);
+        } else {
+            // Shared tile: gather both groups and cross them.
+            lgroup.clear();
+            rgroup.clear();
+            collect_group(&mut li, lc, &mut lgroup);
+            collect_group(&mut ri, rc, &mut rgroup);
+            for &(lr, linterior) in &lgroup {
+                for &(rr, rinterior) in &rgroup {
+                    let definite = linterior || rinterior;
+                    best.entry((lr, rr))
+                        .and_modify(|d| *d = *d || definite)
+                        .or_insert(definite);
+                }
+            }
+        }
+    }
+    let mut out: Vec<JoinCandidate> = best
+        .into_iter()
+        .map(|((left, right), definite)| JoinCandidate { left, right, definite })
+        .collect();
+    out.sort_by_key(|c| (c.left, c.right));
+    out
+}
+
+fn advance_past<I: Iterator<Item = (TileCode, RowId, bool)>>(
+    it: &mut std::iter::Peekable<I>,
+    code: TileCode,
+) {
+    while matches!(it.peek(), Some(&(c, _, _)) if c == code) {
+        it.next();
+    }
+}
+
+fn collect_group<I: Iterator<Item = (TileCode, RowId, bool)>>(
+    it: &mut std::iter::Peekable<I>,
+    code: TileCode,
+    out: &mut Vec<(RowId, bool)>,
+) {
+    while matches!(it.peek(), Some(&(c, _, _)) if c == code) {
+        let (_, r, i) = it.next().unwrap();
+        out.push((r, i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdo_geom::{Geometry, Polygon, Rect};
+
+    const WORLD: Rect = Rect::new(0.0, 0.0, 256.0, 256.0);
+
+    fn square(x: f64, y: f64, s: f64) -> Geometry {
+        Geometry::Polygon(Polygon::from_rect(&Rect::new(x, y, x + s, y + s)))
+    }
+
+    fn dataset(offset: f64, n: usize) -> Vec<Geometry> {
+        (0..n)
+            .map(|i| {
+                let x = offset + ((i * 53) % 200) as f64;
+                let y = ((i * 101) % 200) as f64;
+                square(x, y, 14.0)
+            })
+            .collect()
+    }
+
+    fn index(geoms: &[Geometry]) -> QuadtreeIndex {
+        let mut idx = QuadtreeIndex::new(WORLD, 5);
+        for (i, g) in geoms.iter().enumerate() {
+            idx.insert(RowId::new(i as u64), g);
+        }
+        idx
+    }
+
+    #[test]
+    fn join_candidates_cover_all_true_pairs() {
+        let a = dataset(0.0, 30);
+        let b = dataset(7.0, 25);
+        let ia = index(&a);
+        let ib = index(&b);
+        let candidates = merge_join(&ia, &ib);
+        // ground truth via exact predicate
+        for (i, ga) in a.iter().enumerate() {
+            for (j, gb) in b.iter().enumerate() {
+                if sdo_geom::intersects(ga, gb) {
+                    assert!(
+                        candidates
+                            .iter()
+                            .any(|c| c.left.slot() == i && c.right.slot() == j),
+                        "missing true pair ({i},{j})"
+                    );
+                }
+            }
+        }
+        // definite pairs must be truly interacting
+        for c in &candidates {
+            if c.definite {
+                assert!(
+                    sdo_geom::intersects(&a[c.left.slot()], &b[c.right.slot()]),
+                    "false definite pair {c:?}"
+                );
+            }
+        }
+        assert!(candidates.iter().any(|c| c.definite));
+    }
+
+    #[test]
+    fn self_join_contains_diagonal() {
+        let a = dataset(0.0, 20);
+        let ia = index(&a);
+        let candidates = merge_join(&ia, &ia);
+        for i in 0..20u64 {
+            assert!(
+                candidates
+                    .iter()
+                    .any(|c| c.left == RowId::new(i) && c.right == RowId::new(i)),
+                "diagonal pair missing for row {i}"
+            );
+        }
+        // 14x14 squares on an 8-unit tile grid contain an interior tile
+        // whenever they straddle a full tile; at least some self pairs
+        // must be proven definite by those tiles.
+        assert!(candidates.iter().any(|c| c.left == c.right && c.definite));
+    }
+
+    #[test]
+    fn disjoint_datasets_have_no_candidates_when_tiles_differ() {
+        let a = vec![square(0.0, 0.0, 10.0)];
+        let b = vec![square(200.0, 200.0, 10.0)];
+        let candidates = merge_join(&index(&a), &index(&b));
+        assert!(candidates.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal tiling levels")]
+    fn mismatched_levels_rejected() {
+        let a = index(&dataset(0.0, 3));
+        let mut b = QuadtreeIndex::new(WORLD, 7);
+        b.insert(RowId::new(0), &square(0.0, 0.0, 5.0));
+        let _ = merge_join(&a, &b);
+    }
+}

@@ -1,0 +1,210 @@
+//! Fixed-level tiles and their Morton (Z-order) codes.
+
+use sdo_geom::{Point, Rect};
+
+/// A tile's linear code: the Morton interleaving of its grid
+/// coordinates. Z-order makes spatially-close tiles numerically close,
+/// so B-tree range scans have locality — the property linear quadtrees
+/// rely on.
+pub type TileCode = u64;
+
+/// A tile in the level-`level` grid over some world extent:
+/// `x, y ∈ [0, 2^level)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tile {
+    /// Grid level (tiles per axis = `2^level`).
+    pub level: u32,
+    /// Column in the grid.
+    pub x: u32,
+    /// Row in the grid.
+    pub y: u32,
+}
+
+impl Tile {
+    /// The tile at grid position `(x, y)` of `level`.
+    pub fn new(level: u32, x: u32, y: u32) -> Self {
+        debug_assert!(level <= crate::MAX_LEVEL);
+        debug_assert!(x < (1u32 << level) && y < (1u32 << level));
+        Tile { level, x, y }
+    }
+
+    /// Morton code of this tile.
+    #[inline]
+    pub fn code(&self) -> TileCode {
+        interleave(self.x) | (interleave(self.y) << 1)
+    }
+
+    /// Rebuild a tile from its code.
+    #[inline]
+    pub fn from_code(level: u32, code: TileCode) -> Self {
+        Tile { level, x: deinterleave(code), y: deinterleave(code >> 1) }
+    }
+
+    /// The tile's rectangle within `world`.
+    pub fn rect(&self, world: &Rect) -> Rect {
+        let n = (1u64 << self.level) as f64;
+        let w = world.width() / n;
+        let h = world.height() / n;
+        Rect::new(
+            world.min_x + self.x as f64 * w,
+            world.min_y + self.y as f64 * h,
+            world.min_x + (self.x + 1) as f64 * w,
+            world.min_y + (self.y + 1) as f64 * h,
+        )
+    }
+
+    /// The tile at `level` containing point `p` (clamped to the grid).
+    pub fn containing(level: u32, world: &Rect, p: &Point) -> Tile {
+        let n = 1u32 << level;
+        let fx = ((p.x - world.min_x) / world.width() * n as f64).floor();
+        let fy = ((p.y - world.min_y) / world.height() * n as f64).floor();
+        let x = (fx.max(0.0) as u32).min(n - 1);
+        let y = (fy.max(0.0) as u32).min(n - 1);
+        Tile::new(level, x, y)
+    }
+
+    /// Grid index range `[x0..=x1] x [y0..=y1]` of level-`level` tiles
+    /// intersecting `r` (clamped to the world). Returns `None` when `r`
+    /// is entirely outside the world.
+    pub fn covering_range(
+        level: u32,
+        world: &Rect,
+        r: &Rect,
+    ) -> Option<(u32, u32, u32, u32)> {
+        if !world.intersects(r) || r.is_empty() {
+            return None;
+        }
+        let lo = Tile::containing(level, world, &Point::new(r.min_x, r.min_y));
+        let hi = Tile::containing(level, world, &Point::new(r.max_x, r.max_y));
+        Some((lo.x, hi.x, lo.y, hi.y))
+    }
+
+    /// The four child tiles at `level + 1`.
+    pub fn children(&self) -> [Tile; 4] {
+        let l = self.level + 1;
+        let (x, y) = (self.x * 2, self.y * 2);
+        [
+            Tile::new(l, x, y),
+            Tile::new(l, x + 1, y),
+            Tile::new(l, x, y + 1),
+            Tile::new(l, x + 1, y + 1),
+        ]
+    }
+
+    /// The parent tile at `level - 1` (None at level 0).
+    pub fn parent(&self) -> Option<Tile> {
+        if self.level == 0 {
+            None
+        } else {
+            Some(Tile::new(self.level - 1, self.x / 2, self.y / 2))
+        }
+    }
+}
+
+/// Spread the 32 bits of `v` into the even bit positions of a u64.
+#[inline]
+fn interleave(v: u32) -> u64 {
+    let mut x = v as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`interleave`]: collect the even bit positions.
+#[inline]
+fn deinterleave(v: u64) -> u32 {
+    let mut x = v & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WORLD: Rect = Rect::new(0.0, 0.0, 256.0, 256.0);
+
+    #[test]
+    fn morton_roundtrip() {
+        for level in [1u32, 4, 8, 16, 31] {
+            let n = 1u64 << level;
+            for &(x, y) in &[
+                (0u64, 0u64),
+                (1, 0),
+                (0, 1),
+                (n - 1, n - 1),
+                (n / 2, n / 3),
+            ] {
+                let t = Tile::new(level, x as u32, y as u32);
+                let back = Tile::from_code(t.level, t.code());
+                assert_eq!(t, back);
+            }
+        }
+    }
+
+    #[test]
+    fn morton_is_z_order() {
+        // quadrant order at level 1: (0,0) < (1,0) < (0,1) < (1,1)
+        assert_eq!(Tile::new(1, 0, 0).code(), 0);
+        assert_eq!(Tile::new(1, 1, 0).code(), 1);
+        assert_eq!(Tile::new(1, 0, 1).code(), 2);
+        assert_eq!(Tile::new(1, 1, 1).code(), 3);
+    }
+
+    #[test]
+    fn tile_rects_tile_the_world() {
+        let level = 3;
+        let n = 1u32 << level;
+        let mut total = 0.0;
+        for x in 0..n {
+            for y in 0..n {
+                total += Tile::new(level, x, y).rect(&WORLD).area();
+            }
+        }
+        assert!((total - WORLD.area()).abs() < 1e-6);
+        // corner tile geometry
+        let t = Tile::new(3, 0, 0).rect(&WORLD);
+        assert_eq!(t, Rect::new(0.0, 0.0, 32.0, 32.0));
+    }
+
+    #[test]
+    fn containing_point_and_clamping() {
+        let t = Tile::containing(4, &WORLD, &Point::new(100.0, 200.0));
+        assert!(t.rect(&WORLD).contains_point(&Point::new(100.0, 200.0)));
+        // points outside clamp to edge tiles
+        let t = Tile::containing(4, &WORLD, &Point::new(-50.0, 300.0));
+        assert_eq!((t.x, t.y), (0, 15));
+        // the world's max corner belongs to the last tile
+        let t = Tile::containing(4, &WORLD, &Point::new(256.0, 256.0));
+        assert_eq!((t.x, t.y), (15, 15));
+    }
+
+    #[test]
+    fn covering_range_clips() {
+        let r = Rect::new(-10.0, 100.0, 40.0, 140.0);
+        let (x0, x1, y0, y1) = Tile::covering_range(3, &WORLD, &r).unwrap();
+        assert_eq!((x0, x1), (0, 1)); // 40/32 = 1.25 -> tile 1
+        assert_eq!((y0, y1), (3, 4));
+        assert!(Tile::covering_range(3, &WORLD, &Rect::new(300.0, 0.0, 310.0, 5.0)).is_none());
+    }
+
+    #[test]
+    fn children_and_parent() {
+        let t = Tile::new(2, 1, 3);
+        let kids = t.children();
+        assert_eq!(kids.len(), 4);
+        for k in kids {
+            assert_eq!(k.parent(), Some(t));
+            // children tile the parent's rect
+            assert!(t.rect(&WORLD).contains_rect(&k.rect(&WORLD)));
+        }
+        assert_eq!(Tile::new(0, 0, 0).parent(), None);
+    }
+}

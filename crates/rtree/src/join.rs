@@ -1,0 +1,375 @@
+//! The synchronized-traversal R-tree join.
+//!
+//! The paper's §4.2: "the subtree roots of the R-tree indexes ... are
+//! pushed onto a stack. In each fetch call, the spatial join processing
+//! is resumed using the contents of the stack and as many result join
+//! rowids are determined as specified in the fetch call."
+//!
+//! [`JoinCursor`] is exactly that object: an explicit-stack,
+//! *restartable* tree-matching traversal (Brinkhoff-style, \[10\])
+//! producing candidate pairs in bounded batches. Seed it with the two
+//! roots for a serial join, or with a single subtree-root pair per
+//! parallel slave for the paper's parallel decomposition (Figure 1).
+
+use crate::node::NodeId;
+use crate::tree::RTree;
+use sdo_geom::Rect;
+use sdo_storage::Counters;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The MBR-level predicate driving the primary filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JoinPredicate {
+    /// MBRs intersect (candidates for ANYINTERACT and all containment
+    /// masks).
+    Intersects,
+    /// MBRs lie within distance `d` (candidates for
+    /// `SDO_WITHIN_DISTANCE` joins).
+    WithinDistance(f64),
+}
+
+impl JoinPredicate {
+    /// Evaluate the predicate on two MBRs.
+    #[inline]
+    pub fn matches(&self, a: &Rect, b: &Rect) -> bool {
+        match self {
+            JoinPredicate::Intersects => a.intersects(b),
+            JoinPredicate::WithinDistance(d) => a.mindist(b) <= *d,
+        }
+    }
+}
+
+/// A candidate pair produced by the MBR join: both items plus their
+/// MBRs (the secondary filter uses the items — rowids — to fetch exact
+/// geometries).
+pub type CandidatePair<A, B> = (Rect, A, Rect, B);
+
+/// Suspended traversal state: the pending node-pair stack plus
+/// undelivered candidates (see [`JoinCursor::into_parts`]).
+pub type SuspendedJoin<A, B> = (Vec<(NodeId, NodeId)>, VecDeque<CandidatePair<A, B>>);
+
+/// Restartable synchronized traversal of two R-trees.
+pub struct JoinCursor<'a, A: Clone, B: Clone> {
+    left: &'a RTree<A>,
+    right: &'a RTree<B>,
+    pred: JoinPredicate,
+    /// Pending node pairs still to be expanded.
+    stack: Vec<(NodeId, NodeId)>,
+    /// Candidate pairs produced but not yet handed out.
+    buf: VecDeque<CandidatePair<A, B>>,
+    counters: Option<Arc<Counters>>,
+}
+
+impl<'a, A: Clone, B: Clone> JoinCursor<'a, A, B> {
+    /// Join the full trees (single root pair).
+    pub fn new(left: &'a RTree<A>, right: &'a RTree<B>, pred: JoinPredicate) -> Self {
+        let mut stack = Vec::new();
+        if !left.is_empty() && !right.is_empty() {
+            stack.push((left.root_id(), right.root_id()));
+        }
+        JoinCursor { left, right, pred, stack, buf: VecDeque::new(), counters: None }
+    }
+
+    /// Join specific subtree pairs — the parallel decomposition: each
+    /// slave receives the cross product slice assigned to it.
+    pub fn from_pairs(
+        left: &'a RTree<A>,
+        right: &'a RTree<B>,
+        pred: JoinPredicate,
+        pairs: Vec<(NodeId, NodeId)>,
+    ) -> Self {
+        JoinCursor { left, right, pred, stack: pairs, buf: VecDeque::new(), counters: None }
+    }
+
+    /// Charge MBR tests to shared counters.
+    pub fn with_counters(mut self, counters: Arc<Counters>) -> Self {
+        self.counters = Some(counters);
+        self
+    }
+
+    /// True when no further candidates can be produced.
+    pub fn is_exhausted(&self) -> bool {
+        self.stack.is_empty() && self.buf.is_empty()
+    }
+
+    /// Suspend the traversal: extract the pending node-pair stack and
+    /// undelivered candidates. Together with [`JoinCursor::from_parts`]
+    /// this lets a pipelined table function persist join state between
+    /// `fetch` calls without holding a borrow of the trees.
+    pub fn into_parts(self) -> SuspendedJoin<A, B> {
+        (self.stack, self.buf)
+    }
+
+    /// Resume a suspended traversal (see [`JoinCursor::into_parts`]).
+    pub fn from_parts(
+        left: &'a RTree<A>,
+        right: &'a RTree<B>,
+        pred: JoinPredicate,
+        stack: Vec<(NodeId, NodeId)>,
+        buf: VecDeque<CandidatePair<A, B>>,
+    ) -> Self {
+        JoinCursor { left, right, pred, stack, buf, counters: None }
+    }
+
+    #[inline]
+    fn charge_mbr_tests(&self, n: u64) {
+        if let Some(c) = &self.counters {
+            Counters::add(&c.mbr_tests, n);
+        }
+    }
+
+    /// Produce up to `max` candidate pairs, resuming from the stack —
+    /// the body of the table function's `fetch`. Returns an empty vec
+    /// when the join is complete.
+    pub fn next_batch(&mut self, max: usize) -> Vec<CandidatePair<A, B>> {
+        while self.buf.len() < max {
+            let Some((l, r)) = self.stack.pop() else { break };
+            self.expand(l, r);
+        }
+        let n = self.buf.len().min(max);
+        self.buf.drain(..n).collect()
+    }
+
+    /// Drain the entire join.
+    pub fn collect_all(&mut self) -> Vec<CandidatePair<A, B>> {
+        let mut out = Vec::new();
+        loop {
+            let batch = self.next_batch(4096);
+            if batch.is_empty() {
+                return out;
+            }
+            out.extend(batch);
+        }
+    }
+
+    /// Expand one node pair: emit candidates for leaf/leaf, descend the
+    /// deeper side otherwise.
+    fn expand(&mut self, l: NodeId, r: NodeId) {
+        let ln = self.left.node(l);
+        let rn = self.right.node(r);
+        match (ln.is_leaf(), rn.is_leaf()) {
+            (true, true) => {
+                self.charge_mbr_tests((ln.len() * rn.len()) as u64);
+                for le in &ln.entries {
+                    for re in &rn.entries {
+                        if self.pred.matches(&le.mbr, &re.mbr) {
+                            self.buf.push_back((
+                                le.mbr,
+                                le.item_ref().clone(),
+                                re.mbr,
+                                re.item_ref().clone(),
+                            ));
+                        }
+                    }
+                }
+            }
+            (false, false) if ln.level == rn.level => {
+                // Same level: pairwise child matching.
+                self.charge_mbr_tests((ln.len() * rn.len()) as u64);
+                for le in &ln.entries {
+                    for re in &rn.entries {
+                        if self.pred.matches(&le.mbr, &re.mbr) {
+                            self.stack.push((le.child_id(), re.child_id()));
+                        }
+                    }
+                }
+            }
+            _ => {
+                // Unequal heights: descend whichever node sits higher.
+                if ln.level > rn.level {
+                    let rmbr = rn.mbr();
+                    self.charge_mbr_tests(ln.len() as u64);
+                    for le in &ln.entries {
+                        if self.pred.matches(&le.mbr, &rmbr) {
+                            self.stack.push((le.child_id(), r));
+                        }
+                    }
+                } else {
+                    let lmbr = ln.mbr();
+                    self.charge_mbr_tests(rn.len() as u64);
+                    for re in &rn.entries {
+                        if self.pred.matches(&lmbr, &re.mbr) {
+                            self.stack.push((l, re.child_id()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Build the subtree-pair work list for a parallel join: descend both
+/// trees `levels_down` levels and return the MBR-filtered cross product
+/// of subtree roots (Figure 1's `(R11,S11) ... (R12,S12)` pairs).
+pub fn subtree_pair_tasks<A: Clone, B: Clone>(
+    left: &RTree<A>,
+    right: &RTree<B>,
+    pred: JoinPredicate,
+    levels_down: u32,
+) -> Vec<(NodeId, NodeId)> {
+    if left.is_empty() || right.is_empty() {
+        return Vec::new();
+    }
+    let ls = left.subtree_roots(levels_down);
+    let rs = right.subtree_roots(levels_down);
+    let mut pairs = Vec::new();
+    for l in &ls {
+        for r in &rs {
+            if pred.matches(&l.mbr, &r.mbr) {
+                pairs.push((l.node, r.node));
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RTreeParams;
+
+    fn tree(offset: f64, n: usize, fanout: usize) -> (RTree<usize>, Vec<Rect>) {
+        let mut rects = Vec::new();
+        for i in 0..n {
+            let x = offset + ((i * 2654435761) % 1000) as f64 / 5.0;
+            let y = ((i * 40503) % 1000) as f64 / 5.0;
+            rects.push(Rect::new(x, y, x + 2.0, y + 2.0));
+        }
+        let items: Vec<(Rect, usize)> = rects.iter().cloned().zip(0..n).collect();
+        (RTree::bulk_load(items, RTreeParams::with_fanout(fanout)), rects)
+    }
+
+    fn brute_force(
+        a: &[Rect],
+        b: &[Rect],
+        pred: JoinPredicate,
+    ) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, ra) in a.iter().enumerate() {
+            for (j, rb) in b.iter().enumerate() {
+                if pred.matches(ra, rb) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn sorted_pairs(c: Vec<super::CandidatePair<usize, usize>>) -> Vec<(usize, usize)> {
+        let mut v: Vec<(usize, usize)> = c.into_iter().map(|(_, a, _, b)| (a, b)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn join_matches_nested_loop() {
+        let (ta, ra) = tree(0.0, 400, 8);
+        let (tb, rb) = tree(50.0, 300, 16); // different fanout => different height
+        for pred in [JoinPredicate::Intersects, JoinPredicate::WithinDistance(3.0)] {
+            let mut cursor = JoinCursor::new(&ta, &tb, pred);
+            let got = sorted_pairs(cursor.collect_all());
+            let want = brute_force(&ra, &rb, pred);
+            assert_eq!(got, want, "{pred:?}");
+        }
+    }
+
+    #[test]
+    fn self_join_includes_identity_pairs() {
+        let (t, r) = tree(0.0, 200, 8);
+        let mut cursor = JoinCursor::new(&t, &t, JoinPredicate::Intersects);
+        let got = sorted_pairs(cursor.collect_all());
+        let want = brute_force(&r, &r, JoinPredicate::Intersects);
+        assert_eq!(got, want);
+        // identity pairs present
+        for i in 0..200 {
+            assert!(got.binary_search(&(i, i)).is_ok());
+        }
+    }
+
+    #[test]
+    fn batched_fetches_equal_single_drain() {
+        let (ta, _) = tree(0.0, 300, 8);
+        let (tb, _) = tree(20.0, 300, 8);
+        let mut all = JoinCursor::new(&ta, &tb, JoinPredicate::Intersects);
+        let want = sorted_pairs(all.collect_all());
+        for batch_size in [1usize, 7, 64, 1000] {
+            let mut cursor = JoinCursor::new(&ta, &tb, JoinPredicate::Intersects);
+            let mut got = Vec::new();
+            loop {
+                let b = cursor.next_batch(batch_size);
+                if b.is_empty() {
+                    break;
+                }
+                assert!(b.len() <= batch_size);
+                got.extend(b);
+            }
+            assert!(cursor.is_exhausted());
+            assert_eq!(sorted_pairs(got), want, "batch_size={batch_size}");
+        }
+    }
+
+    #[test]
+    fn subtree_pairs_cover_full_join() {
+        let (ta, ra) = tree(0.0, 500, 8);
+        let (tb, rb) = tree(10.0, 500, 8);
+        let want = brute_force(&ra, &rb, JoinPredicate::Intersects);
+        for levels_down in 0..3 {
+            let pairs =
+                subtree_pair_tasks(&ta, &tb, JoinPredicate::Intersects, levels_down);
+            let mut got = Vec::new();
+            // Emulate slaves: one cursor per pair.
+            for (l, r) in pairs {
+                let mut c = JoinCursor::from_pairs(
+                    &ta,
+                    &tb,
+                    JoinPredicate::Intersects,
+                    vec![(l, r)],
+                );
+                got.extend(c.collect_all());
+            }
+            assert_eq!(sorted_pairs(got), want, "levels_down={levels_down}");
+        }
+    }
+
+    #[test]
+    fn empty_tree_joins_produce_nothing() {
+        let (ta, _) = tree(0.0, 50, 8);
+        let empty: RTree<usize> = RTree::new(RTreeParams::with_fanout(8));
+        let mut c = JoinCursor::new(&ta, &empty, JoinPredicate::Intersects);
+        assert!(c.collect_all().is_empty());
+        let mut c = JoinCursor::new(&empty, &ta, JoinPredicate::Intersects);
+        assert!(c.collect_all().is_empty());
+        assert!(
+            subtree_pair_tasks(&empty, &ta, JoinPredicate::Intersects, 1).is_empty()
+        );
+    }
+
+    #[test]
+    fn distance_join_widens_result() {
+        let (ta, _) = tree(0.0, 200, 8);
+        let (tb, _) = tree(30.0, 200, 8);
+        let count = |d: f64| {
+            JoinCursor::new(&ta, &tb, JoinPredicate::WithinDistance(d))
+                .collect_all()
+                .len()
+        };
+        let c0 = count(0.0);
+        let c5 = count(5.0);
+        let c50 = count(50.0);
+        assert!(c0 <= c5 && c5 <= c50);
+        assert!(c50 > c0, "distance expansion must add pairs on this data");
+    }
+
+    #[test]
+    fn counters_record_mbr_tests() {
+        let c = Arc::new(Counters::new());
+        let (ta, _) = tree(0.0, 100, 8);
+        let (tb, _) = tree(5.0, 100, 8);
+        let mut cursor =
+            JoinCursor::new(&ta, &tb, JoinPredicate::Intersects).with_counters(Arc::clone(&c));
+        cursor.collect_all();
+        assert!(Counters::get(&c.mbr_tests) > 0);
+    }
+}

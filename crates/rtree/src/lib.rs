@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! # sdo-rtree — a from-scratch R-tree
+//!
+//! The R-tree index underneath Oracle Spatial's `spatial_index`
+//! indextype, rebuilt from the literature the paper cites: Guttman's
+//! original dynamic structure \[8\], R*-style split heuristics \[1\],
+//! STR bulk loading (Leutenegger et al. \[13\]), and the synchronized
+//! tree-matching spatial join of Brinkhoff/Huang et al. \[10\].
+//!
+//! Highlights:
+//!
+//! * generic payloads (`RTree<T>`; the spatial layer stores `RowId`s),
+//! * dynamic inserts with selectable split strategy
+//!   ([`SplitStrategy`]), deletes with tree condensation,
+//! * [`bulk`] — Sort-Tile-Recursive packing plus [`RTree::merge`],
+//!   the "build subtrees in parallel, merge at the end" primitive the
+//!   paper's parallel index creation uses,
+//! * [`query`] — window, within-distance and k-nearest-neighbour scans,
+//! * [`join::JoinCursor`] — a *restartable* synchronized traversal of
+//!   two R-trees producing candidate pairs in batches, built to sit
+//!   inside a pipelined table function's `fetch` loop (the paper's §4.2
+//!   stack-based resumable join),
+//! * [`RTree::subtree_roots`] — the roots at a given level, feeding the
+//!   paper's `subtree_root(index, level)` table function for parallel
+//!   joins.
+
+pub mod bulk;
+pub mod join;
+pub mod node;
+pub mod query;
+pub mod split;
+pub mod tree;
+pub mod validate;
+
+pub use join::{JoinCursor, JoinPredicate};
+pub use node::{Entry, Node, NodeId};
+pub use split::SplitStrategy;
+pub use tree::{RTree, RTreeParams, SubtreeRef};
+
+/// Default maximum entries per node (Oracle's default R-tree fanout is
+/// in the mid-tens; 32 keeps trees shallow at paper-scale cardinality).
+pub const DEFAULT_FANOUT: usize = 32;

@@ -1,0 +1,122 @@
+//! Arena-allocated R-tree nodes.
+
+use sdo_geom::Rect;
+
+/// Index of a node in the tree's arena.
+pub type NodeId = usize;
+
+/// One slot of a node: a bounding rectangle plus either a child node
+/// (internal levels) or a data item (leaf level).
+#[derive(Debug, Clone)]
+pub struct Entry<T> {
+    /// Bounding rectangle of the child subtree or data item.
+    pub mbr: Rect,
+    /// Child pointer or data item.
+    pub payload: Payload<T>,
+}
+
+/// What an entry points at.
+#[derive(Debug, Clone)]
+pub enum Payload<T> {
+    /// Child node pointer (level > 0).
+    Node(NodeId),
+    /// Data item (level 0).
+    Item(T),
+}
+
+impl<T> Entry<T> {
+    /// A leaf entry holding `item`.
+    pub fn item(mbr: Rect, item: T) -> Self {
+        Entry { mbr, payload: Payload::Item(item) }
+    }
+
+    /// An internal entry pointing at `node`.
+    pub fn child(mbr: Rect, node: NodeId) -> Self {
+        Entry { mbr, payload: Payload::Node(node) }
+    }
+
+    /// The child node id (panics on leaf entries).
+    pub fn child_id(&self) -> NodeId {
+        match &self.payload {
+            Payload::Node(id) => *id,
+            Payload::Item(_) => panic!("leaf entry has no child"),
+        }
+    }
+
+    /// The data item (panics on internal entries).
+    pub fn item_ref(&self) -> &T {
+        match &self.payload {
+            Payload::Item(t) => t,
+            Payload::Node(_) => panic!("internal entry has no item"),
+        }
+    }
+}
+
+/// An R-tree node: a flat vector of entries plus its level.
+///
+/// `level == 0` is the leaf level; the root carries the largest level.
+/// Keeping levels explicit (instead of deriving them from depth) makes
+/// subtree grafting during parallel-build merges straightforward.
+#[derive(Debug, Clone)]
+pub struct Node<T> {
+    /// 0 = leaf; the root carries the largest level.
+    pub level: u32,
+    /// The node's entries (items at level 0, children above).
+    pub entries: Vec<Entry<T>>,
+}
+
+impl<T> Node<T> {
+    /// An empty node at `level`.
+    pub fn new(level: u32) -> Self {
+        Node { level, entries: Vec::new() }
+    }
+
+    /// True at the leaf level.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries remain.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Tight bounding rectangle over this node's entries.
+    pub fn mbr(&self) -> Rect {
+        self.entries
+            .iter()
+            .fold(Rect::EMPTY, |acc, e| acc.union(&e.mbr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_mbr_is_union_of_entries() {
+        let mut n: Node<u32> = Node::new(0);
+        assert!(n.is_leaf());
+        assert!(n.is_empty());
+        n.entries.push(Entry::item(Rect::new(0.0, 0.0, 1.0, 1.0), 1));
+        n.entries.push(Entry::item(Rect::new(5.0, 2.0, 6.0, 3.0), 2));
+        assert_eq!(n.mbr(), Rect::new(0.0, 0.0, 6.0, 3.0));
+        assert_eq!(n.len(), 2);
+        assert_eq!(*n.entries[0].item_ref(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no child")]
+    fn item_entry_has_no_child() {
+        let e: Entry<u32> = Entry::item(Rect::EMPTY, 1);
+        let _ = e.child_id();
+    }
+}

@@ -1,0 +1,74 @@
+//! Structural invariant checking for R-trees.
+
+use crate::node::{NodeId, Payload};
+use crate::tree::RTree;
+
+impl<T: Clone> RTree<T> {
+    /// Verify every structural invariant:
+    ///
+    /// * each internal entry's MBR equals (not merely contains) the
+    ///   child node's tight MBR,
+    /// * levels decrease by exactly one per edge; leaves are level 0,
+    /// * fill bounds: non-root nodes hold `min..=max` entries, the root
+    ///   holds `<= max` (and `>= 2` when internal),
+    /// * item count matches `len()`.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut items = 0usize;
+        self.check_node(self.root, true, &mut items)?;
+        if items != self.len() {
+            return Err(format!("len() = {} but found {items} items", self.len()));
+        }
+        Ok(())
+    }
+
+    fn check_node(&self, id: NodeId, is_root: bool, items: &mut usize) -> Result<(), String> {
+        let n = self.node_quiet(id);
+        let min = self.params().min_entries;
+        let max = self.params().max_entries;
+        if n.len() > max {
+            return Err(format!("node {id} overfull: {} > {max}", n.len()));
+        }
+        if is_root {
+            if n.level > 0 && n.len() < 2 {
+                return Err(format!("internal root has {} entries", n.len()));
+            }
+        } else if n.len() < min {
+            return Err(format!(
+                "node {id} (level {}) underfull: {} < {min}",
+                n.level,
+                n.len()
+            ));
+        }
+        for e in &n.entries {
+            match &e.payload {
+                Payload::Item(_) => {
+                    if n.level != 0 {
+                        return Err(format!("item entry in internal node {id}"));
+                    }
+                    *items += 1;
+                }
+                Payload::Node(child) => {
+                    if n.level == 0 {
+                        return Err(format!("child entry in leaf node {id}"));
+                    }
+                    let c = self.node_quiet(*child);
+                    if c.level + 1 != n.level {
+                        return Err(format!(
+                            "level mismatch: node {id} level {} -> child {child} level {}",
+                            n.level, c.level
+                        ));
+                    }
+                    let tight = c.mbr();
+                    if e.mbr != tight {
+                        return Err(format!(
+                            "entry MBR {} differs from child {child} tight MBR {tight}",
+                            e.mbr
+                        ));
+                    }
+                    self.check_node(*child, false, items)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,968 @@
+//! A from-scratch in-memory B+tree.
+//!
+//! The linear quadtree stores one `(tile_code, rowid)` entry per tile
+//! covering a geometry and builds a B-tree over the codes ("Construct
+//! B-tree indexes on the codes for the tiles" — paper §5). This module
+//! supplies that B-tree: an ordered set keyed by any `Ord` type, with
+//! iterative inserts, rebalancing deletes, leaf-linked range scans, and
+//! a bottom-up bulk build used by the parallel index-creation path.
+//!
+//! Keys are unique; index layers that need multimap behaviour (several
+//! rows per tile code) key the tree by the composite
+//! `(tile_code, rowid)` and range-scan by tile prefix.
+
+use crate::stats::Counters;
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// Default maximum number of keys per node.
+pub const DEFAULT_ORDER: usize = 64;
+
+#[derive(Debug, Clone)]
+enum Node<K> {
+    Internal {
+        /// Separator keys; `keys[i]` is the smallest key reachable
+        /// through `children[i + 1]`.
+        keys: Vec<K>,
+        children: Vec<u32>,
+    },
+    Leaf {
+        keys: Vec<K>,
+        /// Right sibling for range scans.
+        next: Option<u32>,
+    },
+}
+
+impl<K> Node<K> {
+    fn len(&self) -> usize {
+        match self {
+            Node::Internal { keys, .. } | Node::Leaf { keys, .. } => keys.len(),
+        }
+    }
+}
+
+/// An ordered set stored as a B+tree.
+///
+/// ```
+/// use sdo_storage::BTree;
+/// use std::ops::Bound;
+///
+/// let mut t = BTree::with_order(8);
+/// for k in [5, 1, 9, 3] {
+///     assert!(t.insert(k));
+/// }
+/// assert!(t.contains(&3));
+/// assert!(t.remove(&1));
+/// let in_range: Vec<i32> =
+///     t.range(Bound::Included(&3), Bound::Excluded(&9)).cloned().collect();
+/// assert_eq!(in_range, vec![3, 5]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BTree<K> {
+    nodes: Vec<Node<K>>,
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+    /// Maximum keys per node (`>= 3`); minimum is `order / 2` except at
+    /// the root.
+    order: usize,
+    counters: Option<Arc<Counters>>,
+}
+
+impl<K: Ord + Clone> Default for BTree<K> {
+    fn default() -> Self {
+        BTree::new()
+    }
+}
+
+impl<K: Ord + Clone> BTree<K> {
+    /// Empty tree with the default node order.
+    pub fn new() -> Self {
+        BTree::with_order(DEFAULT_ORDER)
+    }
+
+    /// Empty tree with an explicit node order (max keys per node).
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 3, "B+tree order must be at least 3");
+        BTree {
+            nodes: vec![Node::Leaf { keys: Vec::new(), next: None }],
+            free: Vec::new(),
+            root: 0,
+            len: 0,
+            order,
+            counters: None,
+        }
+    }
+
+    /// Attach shared work counters; node visits are charged to
+    /// `btree_node_visits`.
+    pub fn with_counters(mut self, counters: Arc<Counters>) -> Self {
+        self.counters = Some(counters);
+        self
+    }
+
+    /// Number of stored keys.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no keys are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum keys per node.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Tree height in levels (1 = a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Leaf { .. } => return h,
+                Node::Internal { children, .. } => {
+                    node = children[0];
+                    h += 1;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn visit(&self) {
+        if let Some(c) = &self.counters {
+            Counters::bump(&c.btree_node_visits);
+        }
+    }
+
+    fn alloc(&mut self, node: Node<K>) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn dealloc(&mut self, idx: u32) {
+        self.free.push(idx);
+    }
+
+    #[inline]
+    fn min_keys(&self) -> usize {
+        self.order / 2
+    }
+
+    // -- lookup ------------------------------------------------------------
+
+    /// True when `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        let mut node = self.root;
+        loop {
+            self.visit();
+            match &self.nodes[node as usize] {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k <= key);
+                    node = children[idx];
+                }
+                Node::Leaf { keys, .. } => return keys.binary_search(key).is_ok(),
+            }
+        }
+    }
+
+    /// Smallest key, if any.
+    pub fn first(&self) -> Option<&K> {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Internal { children, .. } => node = children[0],
+                Node::Leaf { keys, .. } => return keys.first(),
+            }
+        }
+    }
+
+    /// Largest key, if any.
+    pub fn last(&self) -> Option<&K> {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Internal { children, .. } => node = *children.last().unwrap(),
+                Node::Leaf { keys, .. } => return keys.last(),
+            }
+        }
+    }
+
+    // -- insert ------------------------------------------------------------
+
+    /// Insert `key`; returns false when it was already present.
+    pub fn insert(&mut self, key: K) -> bool {
+        match self.insert_rec(self.root, key) {
+            InsertOutcome::Duplicate => false,
+            InsertOutcome::Done => {
+                self.len += 1;
+                true
+            }
+            InsertOutcome::Split(sep, right) => {
+                let old_root = self.root;
+                let new_root = self.alloc(Node::Internal {
+                    keys: vec![sep],
+                    children: vec![old_root, right],
+                });
+                self.root = new_root;
+                self.len += 1;
+                true
+            }
+        }
+    }
+
+    fn insert_rec(&mut self, node: u32, key: K) -> InsertOutcome<K> {
+        self.visit();
+        let is_leaf = matches!(self.nodes[node as usize], Node::Leaf { .. });
+        if is_leaf {
+            // Mutate the leaf in a scoped borrow; collect split spoils.
+            let split = {
+                let Node::Leaf { keys, next } = &mut self.nodes[node as usize] else {
+                    unreachable!()
+                };
+                match keys.binary_search(&key) {
+                    Ok(_) => return InsertOutcome::Duplicate,
+                    Err(pos) => keys.insert(pos, key),
+                }
+                if keys.len() <= self.order {
+                    return InsertOutcome::Done;
+                }
+                let mid = keys.len() / 2;
+                let right_keys = keys.split_off(mid);
+                (right_keys, *next)
+            };
+            let (right_keys, old_next) = split;
+            let sep = right_keys[0].clone();
+            let right = self.alloc(Node::Leaf { keys: right_keys, next: old_next });
+            if let Node::Leaf { next, .. } = &mut self.nodes[node as usize] {
+                *next = Some(right);
+            }
+            InsertOutcome::Split(sep, right)
+        } else {
+            let (idx, child) = {
+                let Node::Internal { keys, children } = &self.nodes[node as usize] else {
+                    unreachable!()
+                };
+                let idx = keys.partition_point(|k| k <= &key);
+                (idx, children[idx])
+            };
+            match self.insert_rec(child, key) {
+                InsertOutcome::Split(sep, new_child) => {
+                    let split = {
+                        let Node::Internal { keys, children } = &mut self.nodes[node as usize]
+                        else {
+                            unreachable!()
+                        };
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, new_child);
+                        if keys.len() <= self.order {
+                            return InsertOutcome::Done;
+                        }
+                        // Split internal node: middle key promotes.
+                        let mid = keys.len() / 2;
+                        let promoted = keys[mid].clone();
+                        let right_keys = keys.split_off(mid + 1);
+                        keys.pop(); // drop the promoted key from the left
+                        let right_children = children.split_off(mid + 1);
+                        (promoted, right_keys, right_children)
+                    };
+                    let (promoted, right_keys, right_children) = split;
+                    let right =
+                        self.alloc(Node::Internal { keys: right_keys, children: right_children });
+                    InsertOutcome::Split(promoted, right)
+                }
+                other => other,
+            }
+        }
+    }
+
+    // -- remove ------------------------------------------------------------
+
+    /// Remove `key`; returns false when it was not present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        let removed = self.remove_rec(self.root, key);
+        if removed {
+            self.len -= 1;
+            // Collapse a root that shrank to a single child.
+            if let Node::Internal { keys, children } = &self.nodes[self.root as usize] {
+                if keys.is_empty() {
+                    let only = children[0];
+                    let old_root = self.root;
+                    self.root = only;
+                    self.dealloc(old_root);
+                }
+            }
+        }
+        removed
+    }
+
+    fn remove_rec(&mut self, node: u32, key: &K) -> bool {
+        self.visit();
+        let is_leaf = matches!(self.nodes[node as usize], Node::Leaf { .. });
+        if is_leaf {
+            let Node::Leaf { keys, .. } = &mut self.nodes[node as usize] else {
+                unreachable!()
+            };
+            match keys.binary_search(key) {
+                Ok(pos) => {
+                    keys.remove(pos);
+                    true
+                }
+                Err(_) => false,
+            }
+        } else {
+            let (idx, child) = {
+                let Node::Internal { keys, children } = &self.nodes[node as usize] else {
+                    unreachable!()
+                };
+                let idx = keys.partition_point(|k| k <= key);
+                (idx, children[idx])
+            };
+            let removed = self.remove_rec(child, key);
+            if removed && self.nodes[child as usize].len() < self.min_keys() {
+                self.rebalance_child(node, idx);
+            }
+            removed
+        }
+    }
+
+    /// Fix an underfull `children[idx]` of internal node `node` by
+    /// borrowing from a sibling or merging with one.
+    fn rebalance_child(&mut self, node: u32, idx: usize) {
+        let (left_sib, right_sib, child) = {
+            let Node::Internal { children, .. } = &self.nodes[node as usize] else {
+                unreachable!()
+            };
+            (
+                idx.checked_sub(1).map(|i| children[i]),
+                children.get(idx + 1).copied(),
+                children[idx],
+            )
+        };
+        let min = self.min_keys();
+
+        // Try borrowing from the left sibling.
+        if let Some(left) = left_sib {
+            if self.nodes[left as usize].len() > min {
+                self.borrow_from_left(node, idx, left, child);
+                return;
+            }
+        }
+        // Try borrowing from the right sibling.
+        if let Some(right) = right_sib {
+            if self.nodes[right as usize].len() > min {
+                self.borrow_from_right(node, idx, child, right);
+                return;
+            }
+        }
+        // Merge with a sibling (prefer left).
+        if let Some(left) = left_sib {
+            self.merge_children(node, idx - 1, left, child);
+        } else if let Some(right) = right_sib {
+            self.merge_children(node, idx, child, right);
+        }
+    }
+
+    fn borrow_from_left(&mut self, parent: u32, idx: usize, left: u32, child: u32) {
+        // Move the largest entry of `left` into `child`.
+        let sep_pos = idx - 1;
+        match (left, child) {
+            _ if matches!(self.nodes[left as usize], Node::Leaf { .. }) => {
+                let Node::Leaf { keys: lk, .. } = &mut self.nodes[left as usize] else {
+                    unreachable!()
+                };
+                let moved = lk.pop().unwrap();
+                let new_sep = moved.clone();
+                let Node::Leaf { keys: ck, .. } = &mut self.nodes[child as usize] else {
+                    unreachable!()
+                };
+                ck.insert(0, moved);
+                let Node::Internal { keys, .. } = &mut self.nodes[parent as usize] else {
+                    unreachable!()
+                };
+                keys[sep_pos] = new_sep;
+            }
+            _ => {
+                // Internal: rotate through the parent separator.
+                let Node::Internal { keys: lk, children: lc } = &mut self.nodes[left as usize]
+                else {
+                    unreachable!()
+                };
+                let moved_key = lk.pop().unwrap();
+                let moved_child = lc.pop().unwrap();
+                let Node::Internal { keys, .. } = &mut self.nodes[parent as usize] else {
+                    unreachable!()
+                };
+                let sep = std::mem::replace(&mut keys[sep_pos], moved_key);
+                let Node::Internal { keys: ck, children: cc } = &mut self.nodes[child as usize]
+                else {
+                    unreachable!()
+                };
+                ck.insert(0, sep);
+                cc.insert(0, moved_child);
+            }
+        }
+    }
+
+    fn borrow_from_right(&mut self, parent: u32, idx: usize, child: u32, right: u32) {
+        let sep_pos = idx;
+        match () {
+            _ if matches!(self.nodes[right as usize], Node::Leaf { .. }) => {
+                let Node::Leaf { keys: rk, .. } = &mut self.nodes[right as usize] else {
+                    unreachable!()
+                };
+                let moved = rk.remove(0);
+                let new_sep = rk[0].clone();
+                let Node::Leaf { keys: ck, .. } = &mut self.nodes[child as usize] else {
+                    unreachable!()
+                };
+                ck.push(moved);
+                let Node::Internal { keys, .. } = &mut self.nodes[parent as usize] else {
+                    unreachable!()
+                };
+                keys[sep_pos] = new_sep;
+            }
+            _ => {
+                let Node::Internal { keys: rk, children: rc } = &mut self.nodes[right as usize]
+                else {
+                    unreachable!()
+                };
+                let moved_key = rk.remove(0);
+                let moved_child = rc.remove(0);
+                let Node::Internal { keys, .. } = &mut self.nodes[parent as usize] else {
+                    unreachable!()
+                };
+                let sep = std::mem::replace(&mut keys[sep_pos], moved_key);
+                let Node::Internal { keys: ck, children: cc } = &mut self.nodes[child as usize]
+                else {
+                    unreachable!()
+                };
+                ck.push(sep);
+                cc.push(moved_child);
+            }
+        }
+    }
+
+    /// Merge `right` into `left`; the separator at `sep_pos` disappears.
+    fn merge_children(&mut self, parent: u32, sep_pos: usize, left: u32, right: u32) {
+        let right_node = std::mem::replace(
+            &mut self.nodes[right as usize],
+            Node::Leaf { keys: Vec::new(), next: None },
+        );
+        match right_node {
+            Node::Leaf { keys: rk, next: rnext } => {
+                let Node::Leaf { keys: lk, next } = &mut self.nodes[left as usize] else {
+                    unreachable!()
+                };
+                lk.extend(rk);
+                *next = rnext;
+                let Node::Internal { keys, children } = &mut self.nodes[parent as usize] else {
+                    unreachable!()
+                };
+                keys.remove(sep_pos);
+                children.remove(sep_pos + 1);
+            }
+            Node::Internal { keys: rk, children: rc } => {
+                let Node::Internal { keys: pkeys, children: pchildren } =
+                    &mut self.nodes[parent as usize]
+                else {
+                    unreachable!()
+                };
+                let sep = pkeys.remove(sep_pos);
+                pchildren.remove(sep_pos + 1);
+                let Node::Internal { keys: lk, children: lc } = &mut self.nodes[left as usize]
+                else {
+                    unreachable!()
+                };
+                lk.push(sep);
+                lk.extend(rk);
+                lc.extend(rc);
+            }
+        }
+        self.dealloc(right);
+    }
+
+    // -- range scans ---------------------------------------------------------
+
+    /// Iterate keys in `[lo, hi)` order. `Bound::Unbounded` on either
+    /// side scans to the end.
+    pub fn range<'a>(&'a self, lo: Bound<&K>, hi: Bound<&'a K>) -> RangeIter<'a, K> {
+        // Find the leaf and position of the first in-range key.
+        let (leaf, pos) = match lo {
+            Bound::Unbounded => (self.leftmost_leaf(), 0),
+            Bound::Included(k) => self.seek(k, false),
+            Bound::Excluded(k) => self.seek(k, true),
+        };
+        RangeIter { tree: self, leaf, pos, hi }
+    }
+
+    /// Iterate every key in order.
+    pub fn iter(&self) -> RangeIter<'_, K> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    fn leftmost_leaf(&self) -> u32 {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Internal { children, .. } => node = children[0],
+                Node::Leaf { .. } => return node,
+            }
+        }
+    }
+
+    /// Locate the leaf/position of the first key `>= k` (or `> k` when
+    /// `exclusive`).
+    fn seek(&self, k: &K, exclusive: bool) -> (u32, usize) {
+        let mut node = self.root;
+        loop {
+            self.visit();
+            match &self.nodes[node as usize] {
+                Node::Internal { keys, children } => {
+                    let idx = if exclusive {
+                        keys.partition_point(|s| s <= k)
+                    } else {
+                        // Separator equal to k means k lives right.
+                        keys.partition_point(|s| s <= k)
+                    };
+                    node = children[idx];
+                }
+                Node::Leaf { keys, .. } => {
+                    let pos = if exclusive {
+                        keys.partition_point(|key| key <= k)
+                    } else {
+                        keys.partition_point(|key| key < k)
+                    };
+                    return (node, pos);
+                }
+            }
+        }
+    }
+
+    // -- bulk build ----------------------------------------------------------
+
+    /// Build a packed tree from sorted, deduplicated keys — the fast
+    /// path used after parallel tessellation: slaves emit sorted runs,
+    /// the runs are merged, and the B-tree is built bottom-up in one
+    /// pass (Oracle's `CREATE INDEX ... PARALLEL` equivalent).
+    ///
+    /// Panics in debug builds if the input is not strictly ascending.
+    pub fn bulk_build(keys: Vec<K>, order: usize) -> Self {
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "bulk_build requires strictly ascending keys"
+        );
+        let mut tree = BTree::with_order(order);
+        if keys.is_empty() {
+            return tree;
+        }
+        let len = keys.len();
+        tree.nodes.clear();
+
+        // Pack leaves at ~full fill, keeping the tail >= min_keys by
+        // splitting the final two groups evenly when needed.
+        let cap = order;
+        let mut leaf_ids: Vec<u32> = Vec::new();
+        let mut leaf_first_keys: Vec<K> = Vec::new();
+        let mut chunks: Vec<Vec<K>> = Vec::new();
+        let mut it = keys.into_iter().peekable();
+        let mut remaining = len;
+        while remaining > 0 {
+            let take = if remaining > cap && remaining < 2 * cap {
+                // Balance the last two leaves.
+                remaining / 2
+            } else {
+                cap.min(remaining)
+            };
+            let chunk: Vec<K> = (&mut it).take(take).collect();
+            remaining -= take;
+            chunks.push(chunk);
+        }
+        for chunk in chunks {
+            leaf_first_keys.push(chunk[0].clone());
+            let id = tree.nodes.len() as u32;
+            tree.nodes.push(Node::Leaf { keys: chunk, next: None });
+            leaf_ids.push(id);
+        }
+        // Link leaves.
+        for w in leaf_ids.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if let Node::Leaf { next, .. } = &mut tree.nodes[a as usize] {
+                *next = Some(b);
+            }
+        }
+
+        // Build internal levels until a single root remains. Nodes are
+        // packed to full fanout except that the final two nodes of a
+        // level are balanced so no non-root node drops below min fill.
+        let mut level_ids = leaf_ids;
+        let mut level_keys = leaf_first_keys;
+        while level_ids.len() > 1 {
+            let cap = order + 1; // children per internal node
+            let min = order / 2 + 1;
+            let mut next_ids = Vec::new();
+            let mut next_keys = Vec::new();
+            let mut i = 0;
+            while i < level_ids.len() {
+                let remaining = level_ids.len() - i;
+                let take = if remaining <= cap {
+                    remaining
+                } else if remaining < cap + min {
+                    // Splitting evenly keeps both nodes >= min children.
+                    remaining / 2
+                } else {
+                    cap
+                };
+                let children: Vec<u32> = level_ids[i..i + take].to_vec();
+                let seps: Vec<K> = level_keys[i + 1..i + take].to_vec();
+                next_keys.push(level_keys[i].clone());
+                let id = tree.nodes.len() as u32;
+                tree.nodes.push(Node::Internal { keys: seps, children });
+                next_ids.push(id);
+                i += take;
+            }
+            level_ids = next_ids;
+            level_keys = next_keys;
+        }
+        tree.root = level_ids[0];
+        tree.len = len;
+        tree
+    }
+
+    // -- validation ----------------------------------------------------------
+
+    /// Check every structural invariant; returns a description of the
+    /// first violation. Used by tests and by property-based fuzzing.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut leaf_depth = None;
+        self.check_node(self.root, 0, None, None, &mut leaf_depth, true)?;
+        // Leaf chain must visit exactly `len` keys in ascending order.
+        let mut count = 0;
+        let mut prev: Option<&K> = None;
+        for k in self.iter() {
+            if let Some(p) = prev {
+                if p >= k {
+                    return Err("leaf chain out of order".into());
+                }
+            }
+            prev = Some(k);
+            count += 1;
+        }
+        if count != self.len {
+            return Err(format!("len says {} but leaf chain has {count}", self.len));
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_node(
+        &self,
+        node: u32,
+        depth: usize,
+        lo: Option<&K>,
+        hi: Option<&K>,
+        leaf_depth: &mut Option<usize>,
+        is_root: bool,
+    ) -> Result<(), String> {
+        let n = &self.nodes[node as usize];
+        if !is_root && n.len() < self.min_keys() {
+            return Err(format!("node {node} underfull: {} < {}", n.len(), self.min_keys()));
+        }
+        if n.len() > self.order {
+            return Err(format!("node {node} overfull: {} > {}", n.len(), self.order));
+        }
+        match n {
+            Node::Leaf { keys, .. } => {
+                if let Some(d) = leaf_depth {
+                    if *d != depth {
+                        return Err("leaves at differing depths".into());
+                    }
+                } else {
+                    *leaf_depth = Some(depth);
+                }
+                for w in keys.windows(2) {
+                    if w[0] >= w[1] {
+                        return Err("leaf keys out of order".into());
+                    }
+                }
+                if let (Some(lo), Some(k)) = (lo, keys.first()) {
+                    if k < lo {
+                        return Err("leaf key below lower bound".into());
+                    }
+                }
+                if let (Some(hi), Some(k)) = (hi, keys.last()) {
+                    if k >= hi {
+                        return Err("leaf key at/above upper bound".into());
+                    }
+                }
+                Ok(())
+            }
+            Node::Internal { keys, children } => {
+                if children.len() != keys.len() + 1 {
+                    return Err("internal child count != keys + 1".into());
+                }
+                for w in keys.windows(2) {
+                    if w[0] >= w[1] {
+                        return Err("internal keys out of order".into());
+                    }
+                }
+                for (i, &c) in children.iter().enumerate() {
+                    let child_lo = if i == 0 { lo } else { Some(&keys[i - 1]) };
+                    let child_hi = if i == keys.len() { hi } else { Some(&keys[i]) };
+                    self.check_node(c, depth + 1, child_lo, child_hi, leaf_depth, false)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+enum InsertOutcome<K> {
+    Done,
+    Duplicate,
+    Split(K, u32),
+}
+
+/// In-order iterator over a key range.
+pub struct RangeIter<'a, K> {
+    tree: &'a BTree<K>,
+    leaf: u32,
+    pos: usize,
+    hi: Bound<&'a K>,
+}
+
+impl<'a, K: Ord + Clone> Iterator for RangeIter<'a, K> {
+    type Item = &'a K;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            match &self.tree.nodes[self.leaf as usize] {
+                Node::Leaf { keys, next } => {
+                    if self.pos < keys.len() {
+                        let k = &keys[self.pos];
+                        let in_range = match self.hi {
+                            Bound::Unbounded => true,
+                            Bound::Included(hi) => k <= hi,
+                            Bound::Excluded(hi) => k < hi,
+                        };
+                        if !in_range {
+                            return None;
+                        }
+                        self.pos += 1;
+                        return Some(k);
+                    }
+                    match next {
+                        Some(n) => {
+                            self.leaf = *n;
+                            self.pos = 0;
+                        }
+                        None => return None,
+                    }
+                }
+                Node::Internal { .. } => unreachable!("range iterator positioned on internal node"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn collect<K: Ord + Clone>(t: &BTree<K>) -> Vec<K> {
+        t.iter().cloned().collect()
+    }
+
+    #[test]
+    fn insert_lookup_small_order() {
+        let mut t = BTree::with_order(3);
+        for k in [5, 1, 9, 3, 7, 2, 8, 4, 6, 0] {
+            assert!(t.insert(k));
+        }
+        assert!(!t.insert(5)); // duplicate
+        assert_eq!(t.len(), 10);
+        for k in 0..10 {
+            assert!(t.contains(&k), "missing {k}");
+        }
+        assert!(!t.contains(&42));
+        assert_eq!(collect(&t), (0..10).collect::<Vec<_>>());
+        assert_eq!(t.first(), Some(&0));
+        assert_eq!(t.last(), Some(&9));
+        t.check_invariants().unwrap();
+        assert!(t.height() > 1);
+    }
+
+    #[test]
+    fn sequential_and_reverse_inserts() {
+        for order in [3, 4, 8] {
+            let mut asc = BTree::with_order(order);
+            let mut desc = BTree::with_order(order);
+            for k in 0..500 {
+                asc.insert(k);
+                desc.insert(499 - k);
+            }
+            assert_eq!(collect(&asc), (0..500).collect::<Vec<_>>());
+            assert_eq!(collect(&desc), (0..500).collect::<Vec<_>>());
+            asc.check_invariants().unwrap();
+            desc.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn range_scans() {
+        let mut t = BTree::with_order(4);
+        for k in (0..100).map(|i| i * 2) {
+            t.insert(k);
+        }
+        let got: Vec<i32> = t
+            .range(Bound::Included(&10), Bound::Excluded(&20))
+            .cloned()
+            .collect();
+        assert_eq!(got, vec![10, 12, 14, 16, 18]);
+        // odd bounds (keys absent)
+        let got: Vec<i32> = t
+            .range(Bound::Included(&11), Bound::Included(&15))
+            .cloned()
+            .collect();
+        assert_eq!(got, vec![12, 14]);
+        // exclusive lower
+        let got: Vec<i32> = t
+            .range(Bound::Excluded(&10), Bound::Excluded(&16))
+            .cloned()
+            .collect();
+        assert_eq!(got, vec![12, 14]);
+        // unbounded tail
+        let got: Vec<i32> = t.range(Bound::Included(&190), Bound::Unbounded).cloned().collect();
+        assert_eq!(got, vec![190, 192, 194, 196, 198]);
+        // empty range
+        assert_eq!(t.range(Bound::Included(&500), Bound::Unbounded).count(), 0);
+    }
+
+    #[test]
+    fn remove_with_rebalancing() {
+        let mut t = BTree::with_order(3);
+        let keys: Vec<i32> = (0..200).collect();
+        for &k in &keys {
+            t.insert(k);
+        }
+        // Remove evens, verify odds survive at every step.
+        for k in (0..200).step_by(2) {
+            assert!(t.remove(&k), "failed to remove {k}");
+            assert!(!t.remove(&k), "double remove {k}");
+            t.check_invariants().unwrap_or_else(|e| panic!("after removing {k}: {e}"));
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(collect(&t), (1..200).step_by(2).collect::<Vec<_>>());
+        // Drain completely.
+        for k in (1..200).step_by(2) {
+            assert!(t.remove(&k));
+            t.check_invariants().unwrap();
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn matches_btreeset_reference_under_random_ops() {
+        // Deterministic pseudo-random op sequence (LCG) — no rand dep here.
+        let mut state: u64 = 0x2545F4914F6CDD1D;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut t = BTree::with_order(4);
+        let mut reference = BTreeSet::new();
+        for _ in 0..5000 {
+            let k = (next() % 300) as i32;
+            if next() % 3 == 0 {
+                assert_eq!(t.remove(&k), reference.remove(&k));
+            } else {
+                assert_eq!(t.insert(k), reference.insert(k));
+            }
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(collect(&t), reference.iter().cloned().collect::<Vec<_>>());
+        // spot-check ranges against the reference
+        for lo in [0, 57, 150, 299] {
+            let got: Vec<i32> = t
+                .range(Bound::Included(&lo), Bound::Excluded(&(lo + 40)))
+                .cloned()
+                .collect();
+            let want: Vec<i32> = reference.range(lo..lo + 40).cloned().collect();
+            assert_eq!(got, want, "range [{lo}, {})", lo + 40);
+        }
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental() {
+        for n in [0usize, 1, 5, 64, 65, 1000, 4097] {
+            let keys: Vec<u64> = (0..n as u64).map(|i| i * 3).collect();
+            let bulk = BTree::bulk_build(keys.clone(), 64);
+            assert_eq!(bulk.len(), n);
+            bulk.check_invariants().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            assert_eq!(collect(&bulk), keys);
+            for k in &keys {
+                assert!(bulk.contains(k));
+            }
+            assert!(!bulk.contains(&1));
+        }
+    }
+
+    #[test]
+    fn bulk_built_tree_supports_updates() {
+        let keys: Vec<i64> = (0..1000).map(|i| i * 2).collect();
+        let mut t = BTree::bulk_build(keys, 16);
+        assert!(t.insert(33));
+        assert!(t.remove(&0));
+        assert!(t.contains(&33));
+        assert!(!t.contains(&0));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn composite_keys_prefix_scan() {
+        // The quadtree's usage pattern: (tile_code, rowid) pairs,
+        // scanned by tile prefix.
+        let mut t: BTree<(u64, u64)> = BTree::with_order(8);
+        for tile in 0..20u64 {
+            for rid in 0..5u64 {
+                t.insert((tile, rid));
+            }
+        }
+        let got: Vec<(u64, u64)> = t
+            .range(Bound::Included(&(7, 0)), Bound::Excluded(&(8, 0)))
+            .cloned()
+            .collect();
+        assert_eq!(got, (0..5).map(|r| (7, r)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn counters_record_visits() {
+        let c = Arc::new(Counters::new());
+        let mut t = BTree::with_order(4).with_counters(Arc::clone(&c));
+        for k in 0..100 {
+            t.insert(k);
+        }
+        let before = Counters::get(&c.btree_node_visits);
+        t.contains(&50);
+        assert!(Counters::get(&c.btree_node_visits) > before);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be at least 3")]
+    fn rejects_tiny_order() {
+        let _ = BTree::<i32>::with_order(2);
+    }
+}

@@ -1,0 +1,251 @@
+//! Table catalog and index metadata.
+//!
+//! The paper stores "the metadata for the entire index ... as a row in a
+//! separate metadata table", recording the index table name,
+//! dimensionality, root pointer/fanout for R-trees and the tiling level
+//! for quadtrees. [`IndexMetadata`] reproduces exactly that record;
+//! [`Catalog`] owns the named tables and their index metadata rows.
+
+use crate::stats::Counters;
+use crate::table::Table;
+use crate::StorageError;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The kind of spatial index an index metadata row describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// An R-tree spatial index.
+    RTree,
+    /// A linear quadtree spatial index.
+    Quadtree,
+}
+
+impl std::fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexKind::RTree => write!(f, "RTREE"),
+            IndexKind::Quadtree => write!(f, "QUADTREE"),
+        }
+    }
+}
+
+/// One row of the spatial index metadata table.
+#[derive(Debug, Clone)]
+pub struct IndexMetadata {
+    /// Index name (unique per catalog).
+    pub index_name: String,
+    /// Base table the index covers.
+    pub table_name: String,
+    /// Indexed geometry column.
+    pub column_name: String,
+    /// Quadtree or R-tree.
+    pub kind: IndexKind,
+    /// Dimensionality (always 2 in this reproduction).
+    pub dimensions: u32,
+    /// R-tree fanout, if an R-tree.
+    pub fanout: Option<usize>,
+    /// Quadtree tiling level, if a quadtree.
+    pub tiling_level: Option<u32>,
+    /// Degree of parallelism the index was created with.
+    pub create_dop: usize,
+    /// The raw `PARAMETERS ('...')` string the index was created with,
+    /// kept so snapshots can rebuild the index identically.
+    pub parameters: String,
+}
+
+/// A named collection of tables plus index metadata.
+///
+/// Tables are wrapped in `Arc<RwLock<_>>`: parallel table-function
+/// slaves take read locks to fetch geometries concurrently, DML takes
+/// the write lock — a coarse version of Oracle's statement-level
+/// concurrency.
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Arc<RwLock<Table>>>>,
+    index_metadata: RwLock<HashMap<String, IndexMetadata>>,
+    counters: Arc<Counters>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::new()
+    }
+}
+
+impl Catalog {
+    /// An empty catalog with fresh counters.
+    pub fn new() -> Self {
+        Catalog {
+            tables: RwLock::new(HashMap::new()),
+            index_metadata: RwLock::new(HashMap::new()),
+            counters: Arc::new(Counters::new()),
+        }
+    }
+
+    /// The catalog-wide work counters; tables created here share them.
+    pub fn counters(&self) -> &Arc<Counters> {
+        &self.counters
+    }
+
+    /// Create and register a table.
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: crate::schema::Schema,
+    ) -> Result<Arc<RwLock<Table>>, StorageError> {
+        let key = name.to_ascii_uppercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(StorageError::AlreadyExists(key));
+        }
+        let table = Arc::new(RwLock::new(
+            Table::new(&key, schema).with_counters(Arc::clone(&self.counters)),
+        ));
+        tables.insert(key, Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// Look up a table by name (case-insensitive).
+    pub fn table(&self, name: &str) -> Result<Arc<RwLock<Table>>, StorageError> {
+        let key = name.to_ascii_uppercase();
+        self.tables
+            .read()
+            .get(&key)
+            .cloned()
+            .ok_or(StorageError::NotFound(key))
+    }
+
+    /// Drop a table and any index metadata that references it.
+    pub fn drop_table(&self, name: &str) -> Result<(), StorageError> {
+        let key = name.to_ascii_uppercase();
+        let removed = self.tables.write().remove(&key);
+        if removed.is_none() {
+            return Err(StorageError::NotFound(key));
+        }
+        self.index_metadata
+            .write()
+            .retain(|_, meta| !meta.table_name.eq_ignore_ascii_case(&key));
+        Ok(())
+    }
+
+    /// All table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Record an index metadata row.
+    pub fn register_index(&self, meta: IndexMetadata) -> Result<(), StorageError> {
+        let key = meta.index_name.to_ascii_uppercase();
+        let mut metas = self.index_metadata.write();
+        if metas.contains_key(&key) {
+            return Err(StorageError::AlreadyExists(key));
+        }
+        metas.insert(key, meta);
+        Ok(())
+    }
+
+    /// Fetch index metadata by index name.
+    pub fn index_metadata(&self, index_name: &str) -> Result<IndexMetadata, StorageError> {
+        let key = index_name.to_ascii_uppercase();
+        self.index_metadata
+            .read()
+            .get(&key)
+            .cloned()
+            .ok_or(StorageError::NotFound(key))
+    }
+
+    /// Find the index on `(table, column)`, if one exists.
+    pub fn index_on(&self, table: &str, column: &str) -> Option<IndexMetadata> {
+        self.index_metadata
+            .read()
+            .values()
+            .find(|m| {
+                m.table_name.eq_ignore_ascii_case(table)
+                    && m.column_name.eq_ignore_ascii_case(column)
+            })
+            .cloned()
+    }
+
+    /// Remove an index metadata row.
+    pub fn drop_index(&self, index_name: &str) -> Result<IndexMetadata, StorageError> {
+        let key = index_name.to_ascii_uppercase();
+        self.index_metadata
+            .write()
+            .remove(&key)
+            .ok_or(StorageError::NotFound(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Schema};
+
+    fn meta(index: &str, table: &str) -> IndexMetadata {
+        IndexMetadata {
+            index_name: index.to_string(),
+            table_name: table.to_string(),
+            column_name: "GEOM".to_string(),
+            kind: IndexKind::RTree,
+            dimensions: 2,
+            fanout: Some(32),
+            tiling_level: None,
+            create_dop: 1,
+            parameters: String::new(),
+        }
+    }
+
+    #[test]
+    fn table_lifecycle() {
+        let cat = Catalog::new();
+        let t = cat.create_table("cities", Schema::of(&[("ID", DataType::Integer)])).unwrap();
+        t.write().insert(vec![crate::value::Value::Integer(1)]).unwrap();
+        // case-insensitive lookup
+        assert_eq!(cat.table("CITIES").unwrap().read().len(), 1);
+        assert!(matches!(
+            cat.create_table("Cities", Schema::of(&[])),
+            Err(StorageError::AlreadyExists(_))
+        ));
+        assert_eq!(cat.table_names(), vec!["CITIES".to_string()]);
+        cat.drop_table("cities").unwrap();
+        assert!(cat.table("cities").is_err());
+        assert!(cat.drop_table("cities").is_err());
+    }
+
+    #[test]
+    fn index_metadata_lifecycle() {
+        let cat = Catalog::new();
+        cat.create_table("cities", Schema::of(&[("GEOM", DataType::Geometry)])).unwrap();
+        cat.register_index(meta("cities_sidx", "cities")).unwrap();
+        assert!(cat.register_index(meta("CITIES_SIDX", "cities")).is_err());
+        let m = cat.index_metadata("cities_sidx").unwrap();
+        assert_eq!(m.kind, IndexKind::RTree);
+        assert_eq!(m.fanout, Some(32));
+        let found = cat.index_on("CITIES", "geom").unwrap();
+        assert_eq!(found.index_name, "cities_sidx");
+        assert!(cat.index_on("cities", "other").is_none());
+        cat.drop_index("cities_sidx").unwrap();
+        assert!(cat.index_metadata("cities_sidx").is_err());
+    }
+
+    #[test]
+    fn dropping_table_drops_its_index_metadata() {
+        let cat = Catalog::new();
+        cat.create_table("t1", Schema::of(&[("GEOM", DataType::Geometry)])).unwrap();
+        cat.register_index(meta("t1_idx", "t1")).unwrap();
+        cat.drop_table("t1").unwrap();
+        assert!(cat.index_metadata("t1_idx").is_err());
+    }
+
+    #[test]
+    fn tables_share_catalog_counters() {
+        let cat = Catalog::new();
+        let t = cat.create_table("t", Schema::of(&[("ID", DataType::Integer)])).unwrap();
+        let rid = t.write().insert(vec![crate::value::Value::Integer(1)]).unwrap();
+        t.read().get(rid).unwrap();
+        assert!(Counters::get(&cat.counters().row_fetches) >= 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Table schemas.
+
+use crate::value::Value;
+use crate::StorageError;
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (`NUMBER`).
+    Integer,
+    /// 64-bit float (`DOUBLE`).
+    Double,
+    /// UTF-8 string (`VARCHAR2`).
+    Text,
+    /// Row address.
+    RowId,
+    /// `SDO_GEOMETRY` object column.
+    Geometry,
+}
+
+impl DataType {
+    /// SQL type-name spelling used by the mini SQL dialect.
+    pub fn parse(s: &str) -> Option<DataType> {
+        match s.to_ascii_uppercase().as_str() {
+            "INTEGER" | "INT" | "NUMBER" => Some(DataType::Integer),
+            "DOUBLE" | "FLOAT" | "REAL" => Some(DataType::Double),
+            "TEXT" | "VARCHAR" | "VARCHAR2" => Some(DataType::Text),
+            "ROWID" => Some(DataType::RowId),
+            "GEOMETRY" | "SDO_GEOMETRY" => Some(DataType::Geometry),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DataType::Integer => "INTEGER",
+            DataType::Double => "DOUBLE",
+            DataType::Text => "TEXT",
+            DataType::RowId => "ROWID",
+            DataType::Geometry => "SDO_GEOMETRY",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One column: name plus type. Column names are case-insensitive and
+/// stored uppercased, following the Oracle convention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name, stored uppercased.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl ColumnDef {
+    /// A column definition (name is uppercased).
+    pub fn new(name: &str, data_type: DataType) -> Self {
+        ColumnDef { name: name.to_ascii_uppercase(), data_type }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// A schema from ordered column definitions.
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        Schema { columns }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn of(cols: &[(&str, DataType)]) -> Self {
+        Schema::new(cols.iter().map(|(n, t)| ColumnDef::new(n, *t)).collect())
+    }
+
+    /// The ordered column definitions.
+    #[inline]
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Case-insensitive column lookup.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The column definition at `idx`.
+    pub fn column(&self, idx: usize) -> &ColumnDef {
+        &self.columns[idx]
+    }
+
+    /// Check a row against the schema: arity and per-column types
+    /// (NULL inhabits every type).
+    pub fn check_row(&self, row: &[Value]) -> Result<(), StorageError> {
+        if row.len() != self.arity() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "expected {} columns, got {}",
+                self.arity(),
+                row.len()
+            )));
+        }
+        for (v, c) in row.iter().zip(&self.columns) {
+            if let Some(dt) = v.data_type() {
+                let compatible = dt == c.data_type
+                    || (dt == DataType::Integer && c.data_type == DataType::Double);
+                if !compatible {
+                    return Err(StorageError::SchemaMismatch(format!(
+                        "column {} expects {}, got {:?}",
+                        c.name, c.data_type, dt
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::of(&[("ID", DataType::Integer), ("NAME", DataType::Text), ("GEOM", DataType::Geometry)])
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.column_index("id"), Some(0));
+        assert_eq!(s.column_index("Geom"), Some(2));
+        assert_eq!(s.column_index("missing"), None);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.column(1).name, "NAME");
+    }
+
+    #[test]
+    fn row_checking() {
+        let s = schema();
+        let g = sdo_geom::Geometry::Point(sdo_geom::Point::new(0.0, 0.0));
+        assert!(s.check_row(&[Value::Integer(1), Value::from("x"), Value::geometry(g)]).is_ok());
+        // NULL fits anywhere
+        assert!(s.check_row(&[Value::Null, Value::Null, Value::Null]).is_ok());
+        // wrong arity
+        assert!(s.check_row(&[Value::Integer(1)]).is_err());
+        // wrong type
+        assert!(s
+            .check_row(&[Value::from("oops"), Value::from("x"), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn integer_widens_to_double() {
+        let s = Schema::of(&[("V", DataType::Double)]);
+        assert!(s.check_row(&[Value::Integer(3)]).is_ok());
+    }
+
+    #[test]
+    fn type_parsing() {
+        assert_eq!(DataType::parse("number"), Some(DataType::Integer));
+        assert_eq!(DataType::parse("SDO_GEOMETRY"), Some(DataType::Geometry));
+        assert_eq!(DataType::parse("blob"), None);
+    }
+}

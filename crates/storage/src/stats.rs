@@ -1,0 +1,128 @@
+//! Logical I/O and work counters.
+//!
+//! The paper reports wall-clock times on a specific 2003-era machine;
+//! absolute seconds are not reproducible, but machine-independent work
+//! counters (rows fetched, MBR tests, exact predicate evaluations) track
+//! the same costs and are what the ablation experiments report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe work counters.
+///
+/// Counters are monotone and relaxed — they are observability, not
+/// synchronization. Clone-by-`Arc` so parallel table-function slaves
+/// charge work to the same account.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Rows fetched from heap tables by rowid.
+    pub row_fetches: AtomicU64,
+    /// Rows produced by full-table scans.
+    pub rows_scanned: AtomicU64,
+    /// B+tree node visits.
+    pub btree_node_visits: AtomicU64,
+    /// R-tree node reads.
+    pub rtree_node_reads: AtomicU64,
+    /// MBR-vs-MBR tests performed by primary filters.
+    pub mbr_tests: AtomicU64,
+    /// Exact geometry predicate evaluations (secondary filter).
+    pub exact_tests: AtomicU64,
+    /// Geometries tessellated into tiles.
+    pub tessellations: AtomicU64,
+}
+
+impl Counters {
+    /// All-zero counters.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment a counter by `n`.
+    #[inline]
+    pub fn add(field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Read a counter.
+    #[inline]
+    pub fn get(field: &AtomicU64) -> u64 {
+        field.load(Ordering::Relaxed)
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        for f in [
+            &self.row_fetches,
+            &self.rows_scanned,
+            &self.btree_node_visits,
+            &self.rtree_node_reads,
+            &self.mbr_tests,
+            &self.exact_tests,
+            &self.tessellations,
+        ] {
+            f.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot as `(name, value)` pairs for reporting.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("row_fetches", Counters::get(&self.row_fetches)),
+            ("rows_scanned", Counters::get(&self.rows_scanned)),
+            ("btree_node_visits", Counters::get(&self.btree_node_visits)),
+            ("rtree_node_reads", Counters::get(&self.rtree_node_reads)),
+            ("mbr_tests", Counters::get(&self.mbr_tests)),
+            ("exact_tests", Counters::get(&self.exact_tests)),
+            ("tessellations", Counters::get(&self.tessellations)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bump_and_reset() {
+        let c = Counters::new();
+        Counters::bump(&c.mbr_tests);
+        Counters::add(&c.mbr_tests, 4);
+        assert_eq!(Counters::get(&c.mbr_tests), 5);
+        c.reset();
+        assert_eq!(Counters::get(&c.mbr_tests), 0);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let c = Arc::new(Counters::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        Counters::bump(&c.row_fetches);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(Counters::get(&c.row_fetches), 4000);
+    }
+
+    #[test]
+    fn snapshot_names_every_counter() {
+        let c = Counters::new();
+        Counters::bump(&c.exact_tests);
+        let snap = c.snapshot();
+        assert_eq!(snap.len(), 7);
+        assert!(snap.contains(&("exact_tests", 1)));
+    }
+}

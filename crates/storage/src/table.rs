@@ -1,0 +1,317 @@
+//! Heap tables.
+
+use crate::rowid::RowId;
+use crate::schema::Schema;
+use crate::stats::Counters;
+use crate::value::Value;
+use crate::StorageError;
+use std::sync::Arc;
+
+/// A heap-organized table: a slot array of rows addressed by [`RowId`].
+///
+/// Deleted slots are tombstoned (`None`) so rowids stay stable, like
+/// Oracle heap blocks between reorganizations. Rows are `Arc`-shared so
+/// fetching a row is a refcount bump, not a copy — important because the
+/// spatial join fetches geometry rows repeatedly across candidate pairs.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    slots: Vec<Option<Arc<[Value]>>>,
+    live: usize,
+    counters: Arc<Counters>,
+}
+
+impl Table {
+    /// An empty heap table (name is uppercased).
+    pub fn new(name: &str, schema: Schema) -> Self {
+        Table {
+            name: name.to_ascii_uppercase(),
+            schema,
+            slots: Vec::new(),
+            live: 0,
+            counters: Arc::new(Counters::new()),
+        }
+    }
+
+    /// Attach shared work counters (tables created through a
+    /// [`crate::catalog::Catalog`] share the catalog's counters).
+    pub fn with_counters(mut self, counters: Arc<Counters>) -> Self {
+        self.counters = counters;
+        self
+    }
+
+    /// Table name (uppercase).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table's schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The work counters this table charges reads to.
+    #[inline]
+    pub fn counters(&self) -> &Arc<Counters> {
+        &self.counters
+    }
+
+    /// Number of live rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live rows remain.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Highest slot ever allocated (scan upper bound).
+    #[inline]
+    pub fn high_water_mark(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Insert a row, returning its new rowid.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<RowId, StorageError> {
+        self.schema.check_row(&row)?;
+        let rid = RowId::new(self.slots.len() as u64);
+        self.slots.push(Some(row.into()));
+        self.live += 1;
+        Ok(rid)
+    }
+
+    /// Bulk insert; rowids are assigned in order.
+    pub fn insert_many(
+        &mut self,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<Vec<RowId>, StorageError> {
+        let mut rids = Vec::new();
+        for row in rows {
+            rids.push(self.insert(row)?);
+        }
+        Ok(rids)
+    }
+
+    /// Fetch a row by rowid (a logical read).
+    pub fn get(&self, rid: RowId) -> Result<Arc<[Value]>, StorageError> {
+        Counters::bump(&self.counters.row_fetches);
+        self.slots
+            .get(rid.slot())
+            .and_then(|s| s.clone())
+            .ok_or(StorageError::NoSuchRow(rid))
+    }
+
+    /// Fetch a single column of a row.
+    pub fn get_column(&self, rid: RowId, col: usize) -> Result<Value, StorageError> {
+        let row = self.get(rid)?;
+        row.get(col)
+            .cloned()
+            .ok_or_else(|| StorageError::SchemaMismatch(format!("no column {col}")))
+    }
+
+    /// Replace a row in place.
+    pub fn update(&mut self, rid: RowId, row: Vec<Value>) -> Result<(), StorageError> {
+        self.schema.check_row(&row)?;
+        match self.slots.get_mut(rid.slot()) {
+            Some(slot @ Some(_)) => {
+                *slot = Some(row.into());
+                Ok(())
+            }
+            _ => Err(StorageError::NoSuchRow(rid)),
+        }
+    }
+
+    /// Delete a row, tombstoning its slot.
+    pub fn delete(&mut self, rid: RowId) -> Result<(), StorageError> {
+        match self.slots.get_mut(rid.slot()) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                self.live -= 1;
+                Ok(())
+            }
+            _ => Err(StorageError::NoSuchRow(rid)),
+        }
+    }
+
+    /// True when the rowid addresses a live row.
+    pub fn exists(&self, rid: RowId) -> bool {
+        matches!(self.slots.get(rid.slot()), Some(Some(_)))
+    }
+
+    /// Full scan over live rows in rowid order.
+    pub fn scan(&self) -> TableScan<'_> {
+        TableScan { table: self, next: 0 }
+    }
+
+}
+
+/// Iterator over `(RowId, row)` pairs of live rows.
+pub struct TableScan<'a> {
+    table: &'a Table,
+    next: usize,
+}
+
+impl<'a> TableScan<'a> {
+    fn bounded(self, end: usize) -> BoundedScan<'a> {
+        BoundedScan { inner: self, end }
+    }
+}
+
+impl<'a> Iterator for TableScan<'a> {
+    type Item = (RowId, Arc<[Value]>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.next < self.table.slots.len() {
+            let slot = self.next;
+            self.next += 1;
+            if let Some(row) = &self.table.slots[slot] {
+                Counters::bump(&self.table.counters.rows_scanned);
+                return Some((RowId::new(slot as u64), Arc::clone(row)));
+            }
+        }
+        None
+    }
+}
+
+/// A [`TableScan`] with an exclusive upper slot bound.
+pub struct BoundedScan<'a> {
+    inner: TableScan<'a>,
+    end: usize,
+}
+
+impl<'a> Iterator for BoundedScan<'a> {
+    type Item = (RowId, Arc<[Value]>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.inner.next >= self.end {
+            return None;
+        }
+        // Stop early if the underlying scan would run past the bound.
+        while self.inner.next < self.end {
+            let slot = self.inner.next;
+            self.inner.next += 1;
+            if let Some(row) = &self.inner.table.slots[slot] {
+                Counters::bump(&self.inner.table.counters.rows_scanned);
+                return Some((RowId::new(slot as u64), Arc::clone(row)));
+            }
+        }
+        None
+    }
+}
+
+impl Table {
+    /// Scan restricted to a contiguous slot range `[from, to)` — the
+    /// primitive that RANGE-partitioned parallel table functions use to
+    /// split an input cursor.
+    pub fn scan_slots(&self, from: usize, to: usize) -> BoundedScan<'_> {
+        TableScan { table: self, next: from.min(self.slots.len()) }
+            .bounded(to.min(self.slots.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Schema};
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            Schema::of(&[("ID", DataType::Integer), ("NAME", DataType::Text)]),
+        )
+    }
+
+    fn row(id: i64, name: &str) -> Vec<Value> {
+        vec![Value::Integer(id), Value::from(name)]
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = table();
+        let r1 = t.insert(row(1, "a")).unwrap();
+        let r2 = t.insert(row(2, "b")).unwrap();
+        assert_eq!(r1, RowId::new(0));
+        assert_eq!(r2, RowId::new(1));
+        assert_eq!(t.len(), 2);
+        let fetched = t.get(r2).unwrap();
+        assert_eq!(fetched[1].as_text(), Some("b"));
+        assert_eq!(t.get_column(r1, 0).unwrap().as_integer(), Some(1));
+    }
+
+    #[test]
+    fn schema_enforced_on_insert_and_update() {
+        let mut t = table();
+        assert!(t.insert(vec![Value::from("wrong")]).is_err());
+        let rid = t.insert(row(1, "a")).unwrap();
+        assert!(t.update(rid, vec![Value::Integer(1)]).is_err());
+        assert!(t.update(rid, row(9, "z")).is_ok());
+        assert_eq!(t.get(rid).unwrap()[0].as_integer(), Some(9));
+    }
+
+    #[test]
+    fn delete_tombstones_and_rowids_stay_stable() {
+        let mut t = table();
+        let r0 = t.insert(row(0, "a")).unwrap();
+        let r1 = t.insert(row(1, "b")).unwrap();
+        let r2 = t.insert(row(2, "c")).unwrap();
+        t.delete(r1).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(!t.exists(r1));
+        assert!(t.exists(r0));
+        assert_eq!(t.get(r2).unwrap()[0].as_integer(), Some(2));
+        assert_eq!(t.get(r1), Err(StorageError::NoSuchRow(r1)));
+        assert_eq!(t.delete(r1), Err(StorageError::NoSuchRow(r1)));
+        // scan skips the tombstone
+        let ids: Vec<i64> = t.scan().map(|(_, r)| r[0].as_integer().unwrap()).collect();
+        assert_eq!(ids, vec![0, 2]);
+        // new insert does not reuse the tombstoned slot
+        let r3 = t.insert(row(3, "d")).unwrap();
+        assert_eq!(r3, RowId::new(3));
+    }
+
+    #[test]
+    fn range_scans_respect_bounds() {
+        let mut t = table();
+        for i in 0..10 {
+            t.insert(row(i, "x")).unwrap();
+        }
+        let ids: Vec<i64> = t
+            .scan_slots(3, 6)
+            .map(|(_, r)| r[0].as_integer().unwrap())
+            .collect();
+        assert_eq!(ids, vec![3, 4, 5]);
+        // bounds clamp to table size
+        let ids: Vec<i64> = t
+            .scan_slots(8, 100)
+            .map(|(_, r)| r[0].as_integer().unwrap())
+            .collect();
+        assert_eq!(ids, vec![8, 9]);
+        assert_eq!(t.scan_slots(5, 5).count(), 0);
+    }
+
+    #[test]
+    fn counters_track_io() {
+        let mut t = table();
+        let rid = t.insert(row(1, "a")).unwrap();
+        let before = Counters::get(&t.counters().row_fetches);
+        t.get(rid).unwrap();
+        t.get(rid).unwrap();
+        assert_eq!(Counters::get(&t.counters().row_fetches), before + 2);
+        t.scan().count();
+        assert!(Counters::get(&t.counters().rows_scanned) >= 1);
+    }
+
+    #[test]
+    fn bulk_insert_assigns_sequential_rowids() {
+        let mut t = table();
+        let rids = t.insert_many((0..5).map(|i| row(i, "r"))).unwrap();
+        assert_eq!(rids.len(), 5);
+        assert!(rids.windows(2).all(|w| w[0] < w[1]));
+    }
+}

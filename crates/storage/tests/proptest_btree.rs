@@ -1,0 +1,106 @@
+//! Property-based B+tree testing against the standard library's
+//! `BTreeSet` as the reference model.
+
+use proptest::prelude::*;
+use sdo_storage::BTree;
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i32),
+    Remove(i32),
+    Contains(i32),
+    Range(i32, i32),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (-500i32..500).prop_map(Op::Insert),
+        (-500i32..500).prop_map(Op::Remove),
+        (-500i32..500).prop_map(Op::Contains),
+        ((-500i32..500), (0i32..100)).prop_map(|(lo, w)| Op::Range(lo, lo + w)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matches_btreeset_model(
+        ops in proptest::collection::vec(arb_op(), 1..400),
+        order in 3usize..32,
+    ) {
+        let mut tree = BTree::with_order(order);
+        let mut model = BTreeSet::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k) => prop_assert_eq!(tree.insert(k), model.insert(k)),
+                Op::Remove(k) => prop_assert_eq!(tree.remove(&k), model.remove(&k)),
+                Op::Contains(k) => prop_assert_eq!(tree.contains(&k), model.contains(&k)),
+                Op::Range(lo, hi) => {
+                    let got: Vec<i32> = tree
+                        .range(Bound::Included(&lo), Bound::Excluded(&hi))
+                        .cloned()
+                        .collect();
+                    let want: Vec<i32> = model.range(lo..hi).cloned().collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        tree.check_invariants().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(tree.len(), model.len());
+        let got: Vec<i32> = tree.iter().cloned().collect();
+        let want: Vec<i32> = model.iter().cloned().collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(tree.first(), model.first());
+        prop_assert_eq!(tree.last(), model.last());
+    }
+
+    #[test]
+    fn bulk_build_equals_insertion(
+        mut keys in proptest::collection::btree_set(-10_000i64..10_000, 0..600),
+        order in 3usize..64,
+    ) {
+        let sorted: Vec<i64> = keys.iter().cloned().collect();
+        let bulk = BTree::bulk_build(sorted.clone(), order.max(3));
+        bulk.check_invariants().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(bulk.len(), sorted.len());
+        let got: Vec<i64> = bulk.iter().cloned().collect();
+        prop_assert_eq!(&got, &sorted);
+        // bulk-built trees accept subsequent mutation
+        let mut bulk = bulk;
+        if let Some(&k) = sorted.first() {
+            prop_assert!(bulk.remove(&k));
+            keys.remove(&k);
+            bulk.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        prop_assert!(bulk.insert(i64::MAX));
+        bulk.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn range_bounds_combinations(
+        keys in proptest::collection::btree_set(0i32..1000, 1..200),
+        lo in 0i32..1000,
+        hi in 0i32..1000,
+    ) {
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let tree = BTree::bulk_build(keys.iter().cloned().collect(), 8);
+        for (lob, hib, want) in [
+            (
+                Bound::Included(&lo),
+                Bound::Included(&hi),
+                keys.range(lo..=hi).cloned().collect::<Vec<_>>(),
+            ),
+            (
+                Bound::Excluded(&lo),
+                Bound::Unbounded,
+                keys.range((Bound::Excluded(lo), Bound::Unbounded)).cloned().collect(),
+            ),
+        ] {
+            let got: Vec<i32> = tree.range(lob, hib).cloned().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

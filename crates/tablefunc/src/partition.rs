@@ -1,0 +1,180 @@
+//! Input-cursor partitioning for parallel table functions.
+//!
+//! Oracle lets a parallel table function declare how its input cursor
+//! may be split across slave instances: `PARTITION BY ANY` (any
+//! round-robin/demand split), `PARTITION BY HASH(col)` (rows with equal
+//! column values go to the same instance) or `PARTITION BY RANGE(col)`
+//! (contiguous value ranges). Quadtree tessellation uses `ANY`; joins
+//! that group by subtree pair use `HASH`.
+
+use crate::row::Row;
+use crate::source::{RowSource, VecSource};
+use sdo_storage::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// How an input cursor is split across parallel instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionMethod {
+    /// The runtime may split rows arbitrarily (round-robin here).
+    Any,
+    /// Rows hashing equal on the given column index land on the same
+    /// instance.
+    Hash(usize),
+    /// Rows are split into contiguous runs in cursor order, preserving
+    /// ordering within each partition.
+    Range,
+}
+
+/// Split a materialized set of rows into `dop` partitions.
+///
+/// Every input row appears in exactly one partition (exactness is what
+/// makes parallel execution return the same multiset as serial).
+pub fn partition_rows(rows: Vec<Row>, method: PartitionMethod, dop: usize) -> Vec<Vec<Row>> {
+    assert!(dop >= 1, "degree of parallelism must be >= 1");
+    let mut parts: Vec<Vec<Row>> = (0..dop).map(|_| Vec::new()).collect();
+    match method {
+        PartitionMethod::Any => {
+            for (i, row) in rows.into_iter().enumerate() {
+                parts[i % dop].push(row);
+            }
+        }
+        PartitionMethod::Hash(col) => {
+            for row in rows {
+                let h = hash_value(row.get(col).unwrap_or(&Value::Null));
+                parts[(h % dop as u64) as usize].push(row);
+            }
+        }
+        PartitionMethod::Range => {
+            let n = rows.len();
+            let base = n / dop;
+            let extra = n % dop;
+            let mut it = rows.into_iter();
+            for (i, part) in parts.iter_mut().enumerate() {
+                let take = base + usize::from(i < extra);
+                part.extend(it.by_ref().take(take));
+            }
+        }
+    }
+    parts
+}
+
+/// Split a materialized set of rows into `dop` independent cursors.
+pub fn partition_sources(
+    rows: Vec<Row>,
+    method: PartitionMethod,
+    dop: usize,
+) -> Vec<Box<dyn RowSource>> {
+    partition_rows(rows, method, dop)
+        .into_iter()
+        .map(|p| Box::new(VecSource::new(p)) as Box<dyn RowSource>)
+        .collect()
+}
+
+/// Stable hash of a value for `PARTITION BY HASH`.
+fn hash_value(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    match v {
+        Value::Null => 0u8.hash(&mut h),
+        Value::Integer(i) => i.hash(&mut h),
+        Value::Double(d) => d.to_bits().hash(&mut h),
+        Value::Text(s) => s.hash(&mut h),
+        Value::RowId(r) => r.hash(&mut h),
+        Value::Geometry(g) => {
+            // Geometries hash by MBR — partitioning only needs a
+            // deterministic spread, not full structural hashing.
+            let bb = g.bbox();
+            bb.min_x.to_bits().hash(&mut h);
+            bb.min_y.to_bits().hash(&mut h);
+            bb.max_x.to_bits().hash(&mut h);
+            bb.max_y.to_bits().hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n).map(|i| vec![Value::Integer(i % 7), Value::Integer(i)]).collect()
+    }
+
+    fn flatten_sorted(parts: Vec<Vec<Row>>) -> Vec<i64> {
+        let mut all: Vec<i64> = parts
+            .into_iter()
+            .flatten()
+            .map(|r| r[1].as_integer().unwrap())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn every_method_covers_input_exactly_once() {
+        for method in [PartitionMethod::Any, PartitionMethod::Hash(0), PartitionMethod::Range] {
+            for dop in [1, 2, 3, 8] {
+                let parts = partition_rows(rows(100), method, dop);
+                assert_eq!(parts.len(), dop);
+                assert_eq!(flatten_sorted(parts), (0..100).collect::<Vec<_>>(), "{method:?}/{dop}");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_groups_equal_keys_together() {
+        let parts = partition_rows(rows(700), PartitionMethod::Hash(0), 4);
+        // For each key value 0..7, all rows must be in one partition.
+        for key in 0..7i64 {
+            let holders: Vec<usize> = parts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.iter().any(|r| r[0].as_integer() == Some(key)))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(holders.len(), 1, "key {key} spread over {holders:?}");
+        }
+    }
+
+    #[test]
+    fn range_preserves_order_within_partition() {
+        let parts = partition_rows(rows(10), PartitionMethod::Range, 3);
+        assert_eq!(parts[0].len(), 4); // 10 = 4 + 3 + 3
+        assert_eq!(parts[1].len(), 3);
+        assert_eq!(parts[2].len(), 3);
+        for p in &parts {
+            let ids: Vec<i64> = p.iter().map(|r| r[1].as_integer().unwrap()).collect();
+            assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn dop_larger_than_input() {
+        let parts = partition_rows(rows(2), PartitionMethod::Any, 8);
+        assert_eq!(parts.iter().filter(|p| !p.is_empty()).count(), 2);
+        let parts = partition_rows(rows(2), PartitionMethod::Range, 8);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn partition_sources_drain_to_same_multiset() {
+        let mut sources = partition_sources(rows(50), PartitionMethod::Any, 4);
+        let mut all: Vec<i64> = sources
+            .iter_mut()
+            .flat_map(|s| {
+                let mut rows = Vec::new();
+                loop {
+                    let b = s.next_batch(7);
+                    if b.is_empty() {
+                        break;
+                    }
+                    rows.extend(b);
+                }
+                rows.into_iter().map(|r| r[1].as_integer().unwrap())
+            })
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,258 @@
+//! The pipelined `start` / `fetch` / `close` interface.
+
+use crate::row::Row;
+use crate::TfError;
+
+/// A pipelined table function.
+///
+/// Mirrors the paper's §2 interface: "perform the function (or part of
+/// it) in the start routine, iteratively return the result rows in the
+/// fetch routine and release memory resources in the close routine."
+///
+/// Contract:
+/// * `start` runs once before the first `fetch`,
+/// * `fetch(max)` returns between 1 and `max` rows while results
+///   remain; an **empty** batch signals exhaustion,
+/// * `close` runs once after the last `fetch` (or on early abandonment)
+///   and must be idempotent.
+pub trait TableFunction: Send {
+    /// Run setup once before the first fetch.
+    fn start(&mut self) -> Result<(), TfError>;
+    /// Produce up to `max_rows` more rows; empty means exhausted.
+    fn fetch(&mut self, max_rows: usize) -> Result<Vec<Row>, TfError>;
+    /// Release resources; idempotent, also called on early abandonment.
+    fn close(&mut self);
+}
+
+/// Drive a table function to completion, collecting every row.
+///
+/// `fetch_size` bounds each fetch call, exactly like the array-fetch
+/// size of a SQL cursor.
+///
+/// ```
+/// use sdo_tablefunc::table_function::{collect_all, BufferedFn};
+/// use sdo_storage::Value;
+///
+/// let mut f = BufferedFn::new(|| {
+///     Ok((0..10).map(|i| vec![Value::Integer(i)]).collect())
+/// });
+/// let rows = collect_all(&mut f, 3).unwrap(); // fetched in batches of 3
+/// assert_eq!(rows.len(), 10);
+/// ```
+pub fn collect_all(f: &mut dyn TableFunction, fetch_size: usize) -> Result<Vec<Row>, TfError> {
+    f.start()?;
+    let mut out = Vec::new();
+    loop {
+        let batch = match f.fetch(fetch_size) {
+            Ok(b) => b,
+            Err(e) => {
+                f.close();
+                return Err(e);
+            }
+        };
+        if batch.is_empty() {
+            break;
+        }
+        out.extend(batch);
+    }
+    f.close();
+    Ok(out)
+}
+
+/// Iterator adapter over a started table function.
+///
+/// Calls `start` lazily on first pull and `close` on drop, so a
+/// partially consumed pipeline still releases its resources — the
+/// behaviour Oracle guarantees when a cursor over a pipelined function
+/// is closed early.
+pub struct FetchIter<F: TableFunction> {
+    f: F,
+    buf: std::vec::IntoIter<Row>,
+    fetch_size: usize,
+    state: IterState,
+}
+
+#[derive(PartialEq)]
+enum IterState {
+    Fresh,
+    Running,
+    Finished,
+}
+
+impl<F: TableFunction> FetchIter<F> {
+    /// Iterate `f`, fetching `fetch_size` rows at a time.
+    pub fn new(f: F, fetch_size: usize) -> Self {
+        FetchIter { f, buf: Vec::new().into_iter(), fetch_size, state: IterState::Fresh }
+    }
+}
+
+impl<F: TableFunction> Iterator for FetchIter<F> {
+    type Item = Result<Row, TfError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.state == IterState::Fresh {
+            self.state = IterState::Running;
+            if let Err(e) = self.f.start() {
+                self.state = IterState::Finished;
+                self.f.close();
+                return Some(Err(e));
+            }
+        }
+        if self.state == IterState::Finished {
+            return None;
+        }
+        if let Some(row) = self.buf.next() {
+            return Some(Ok(row));
+        }
+        match self.f.fetch(self.fetch_size) {
+            Ok(batch) if batch.is_empty() => {
+                self.state = IterState::Finished;
+                self.f.close();
+                None
+            }
+            Ok(batch) => {
+                self.buf = batch.into_iter();
+                self.buf.next().map(Ok)
+            }
+            Err(e) => {
+                self.state = IterState::Finished;
+                self.f.close();
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+impl<F: TableFunction> Drop for FetchIter<F> {
+    fn drop(&mut self) {
+        if self.state == IterState::Running {
+            self.f.close();
+        }
+    }
+}
+
+/// A table function defined by a closure producing all rows at `start`
+/// and pipelining them out of an internal buffer. Useful for tests and
+/// for small metadata-producing functions (e.g. `subtree_root`).
+pub struct BufferedFn<G> {
+    generate: Option<G>,
+    buf: Vec<Row>,
+    pos: usize,
+    started: bool,
+}
+
+impl<G: FnOnce() -> Result<Vec<Row>, TfError> + Send> BufferedFn<G> {
+    /// A function whose rows come from running `generate` at `start`.
+    pub fn new(generate: G) -> Self {
+        BufferedFn { generate: Some(generate), buf: Vec::new(), pos: 0, started: false }
+    }
+}
+
+impl<G: FnOnce() -> Result<Vec<Row>, TfError> + Send> TableFunction for BufferedFn<G> {
+    fn start(&mut self) -> Result<(), TfError> {
+        let generate = self
+            .generate
+            .take()
+            .ok_or(TfError::Protocol("start called twice"))?;
+        self.buf = generate()?;
+        self.pos = 0;
+        self.started = true;
+        Ok(())
+    }
+
+    fn fetch(&mut self, max_rows: usize) -> Result<Vec<Row>, TfError> {
+        if !self.started {
+            return Err(TfError::Protocol("fetch before start"));
+        }
+        let end = (self.pos + max_rows).min(self.buf.len());
+        let batch = self.buf[self.pos..end].to_vec();
+        self.pos = end;
+        Ok(batch)
+    }
+
+    fn close(&mut self) {
+        self.buf = Vec::new();
+        self.pos = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdo_storage::Value;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn ints(n: i64) -> BufferedFn<impl FnOnce() -> Result<Vec<Row>, TfError> + Send> {
+        BufferedFn::new(move || Ok((0..n).map(|i| vec![Value::Integer(i)]).collect()))
+    }
+
+    #[test]
+    fn collect_all_respects_fetch_size() {
+        let mut f = ints(10);
+        let rows = collect_all(&mut f, 3).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[9][0].as_integer(), Some(9));
+    }
+
+    #[test]
+    fn fetch_before_start_is_protocol_error() {
+        let mut f = ints(1);
+        assert!(matches!(f.fetch(10), Err(TfError::Protocol(_))));
+    }
+
+    #[test]
+    fn iterator_streams_rows() {
+        let it = FetchIter::new(ints(25), 4);
+        let vals: Vec<i64> = it.map(|r| r.unwrap()[0].as_integer().unwrap()).collect();
+        assert_eq!(vals, (0..25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn iterator_closes_on_early_drop() {
+        struct Tracked {
+            closed: Arc<AtomicUsize>,
+        }
+        impl TableFunction for Tracked {
+            fn start(&mut self) -> Result<(), TfError> {
+                Ok(())
+            }
+            fn fetch(&mut self, _max: usize) -> Result<Vec<Row>, TfError> {
+                Ok(vec![vec![Value::Integer(1)]]) // never exhausts
+            }
+            fn close(&mut self) {
+                self.closed.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let closed = Arc::new(AtomicUsize::new(0));
+        {
+            let mut it = FetchIter::new(Tracked { closed: Arc::clone(&closed) }, 2);
+            assert!(it.next().is_some());
+            // dropped early here
+        }
+        assert_eq!(closed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn error_from_start_is_surfaced_once() {
+        struct Failing;
+        impl TableFunction for Failing {
+            fn start(&mut self) -> Result<(), TfError> {
+                Err(TfError::Execution("boom".into()))
+            }
+            fn fetch(&mut self, _max: usize) -> Result<Vec<Row>, TfError> {
+                unreachable!()
+            }
+            fn close(&mut self) {}
+        }
+        let mut it = FetchIter::new(Failing, 2);
+        assert!(matches!(it.next(), Some(Err(TfError::Execution(_)))));
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn empty_function_yields_nothing() {
+        let rows = collect_all(&mut ints(0), 8).unwrap();
+        assert!(rows.is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based table-function testing: partitioners cover the input
+//! exactly once, and parallel execution returns the serial multiset at
+//! any DOP and fetch size.
+
+use proptest::prelude::*;
+use sdo_storage::Value;
+use sdo_tablefunc::parallel::execute_parallel;
+use sdo_tablefunc::partition::{partition_rows, partition_sources, PartitionMethod};
+use sdo_tablefunc::pipeline::CursorFn;
+use sdo_tablefunc::source::VecSource;
+use sdo_tablefunc::table_function::collect_all;
+use sdo_tablefunc::{Row, TableFunction};
+
+fn arb_rows() -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::vec((0i64..50, any::<i64>()), 0..300).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(k, v)| vec![Value::Integer(k), Value::Integer(v)])
+            .collect()
+    })
+}
+
+fn arb_method() -> impl Strategy<Value = PartitionMethod> {
+    prop_oneof![
+        Just(PartitionMethod::Any),
+        Just(PartitionMethod::Hash(0)),
+        Just(PartitionMethod::Range),
+    ]
+}
+
+fn multiset(rows: &[Row]) -> Vec<(i64, i64)> {
+    let mut v: Vec<(i64, i64)> = rows
+        .iter()
+        .map(|r| (r[0].as_integer().unwrap(), r[1].as_integer().unwrap()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn partitions_cover_exactly_once(
+        rows in arb_rows(),
+        method in arb_method(),
+        dop in 1usize..9,
+    ) {
+        let want = multiset(&rows);
+        let parts = partition_rows(rows, method, dop);
+        prop_assert_eq!(parts.len(), dop);
+        let got = multiset(&parts.into_iter().flatten().collect::<Vec<_>>());
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn hash_partitioning_groups_keys(rows in arb_rows(), dop in 1usize..9) {
+        let parts = partition_rows(rows, PartitionMethod::Hash(0), dop);
+        for key in 0i64..50 {
+            let holders = parts
+                .iter()
+                .filter(|p| p.iter().any(|r| r[0].as_integer() == Some(key)))
+                .count();
+            prop_assert!(holders <= 1, "key {key} split across {holders} partitions");
+        }
+    }
+
+    #[test]
+    fn parallel_cursor_fn_equals_serial(
+        rows in arb_rows(),
+        method in arb_method(),
+        dop in 1usize..6,
+        fetch in 1usize..64,
+    ) {
+        // the function: emit (k, v+1) for even k, drop odd k
+        let body = |r: Row| {
+            let k = r[0].as_integer().unwrap();
+            let v = r[1].as_integer().unwrap();
+            Ok(if k % 2 == 0 {
+                vec![vec![Value::Integer(k), Value::Integer(v.wrapping_add(1))]]
+            } else {
+                vec![]
+            })
+        };
+        let mut serial = CursorFn::new(VecSource::new(rows.clone()), body);
+        let want = multiset(&collect_all(&mut serial, 128).unwrap());
+
+        let parts = partition_sources(rows, method, dop);
+        let instances: Vec<Box<dyn TableFunction>> = parts
+            .into_iter()
+            .map(|p| Box::new(CursorFn::new(p, body)) as Box<dyn TableFunction>)
+            .collect();
+        let got = multiset(&execute_parallel(instances, fetch).unwrap());
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fetch_size_never_exceeded(rows in arb_rows(), fetch in 1usize..32) {
+        let mut f = CursorFn::new(VecSource::new(rows), |r: Row| Ok(vec![r]));
+        f.start().unwrap();
+        loop {
+            let batch = f.fetch(fetch).unwrap();
+            prop_assert!(batch.len() <= fetch);
+            if batch.is_empty() {
+                break;
+            }
+        }
+        f.close();
+    }
+}

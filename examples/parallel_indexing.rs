@@ -1,0 +1,84 @@
+//! Parallel index creation: the paper's Table 3 / Figure 2 scenario.
+//!
+//! Builds quadtree and R-tree indexes over complex block-group polygons
+//! at increasing degrees of parallelism and prints per-stage timings
+//! (the Figure 2 pipeline made visible).
+//!
+//! ```sh
+//! cargo run --release --example parallel_indexing [n_polygons]
+//! ```
+
+use parking_lot::RwLock;
+use sdo_core::create;
+use sdo_core::params::{IndexKindParam, SpatialIndexParams};
+use sdo_datagen::{block_groups, US_EXTENT};
+use sdo_geom::Rect;
+use sdo_storage::{Counters, DataType, Schema, Table, Value};
+use std::sync::Arc;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1500);
+    println!("generating {n} complex block-group polygons...");
+    let data = block_groups::generate(n, &US_EXTENT, 7);
+    let avg_vertices: usize =
+        data.iter().map(|g| g.num_points()).sum::<usize>() / data.len().max(1);
+    println!("average vertex count: {avg_vertices}");
+
+    let mut table = Table::new(
+        "BG",
+        Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]),
+    );
+    for (i, g) in data.into_iter().enumerate() {
+        table.insert(vec![Value::Integer(i as i64), Value::geometry(g)]).unwrap();
+    }
+    let table = Arc::new(RwLock::new(table));
+    let counters = Arc::new(Counters::new());
+    let extent = Rect::new(-125.0, 24.0, -66.0, 50.0);
+
+    println!(
+        "\n{:>5} {:>22} {:>22}",
+        "dop", "quadtree (tess+pack)", "r-tree (cluster+merge)"
+    );
+    for dop in [1usize, 2, 4] {
+        let qp = SpatialIndexParams {
+            kind: IndexKindParam::Quadtree,
+            sdo_level: 8,
+            extent: Some(extent),
+            ..Default::default()
+        };
+        let (qt, qstats) =
+            create::build_quadtree(&table, 1, &qp, dop, Arc::clone(&counters)).unwrap();
+
+        let rp = SpatialIndexParams { extent: Some(extent), ..Default::default() };
+        let (rt, rstats) =
+            create::build_rtree(&table, 1, &rp, dop, Arc::clone(&counters)).unwrap();
+
+        println!(
+            "{:>5} {:>12.1?} +{:>7.1?} {:>12.1?} +{:>7.1?}",
+            dop, qstats.parallel_stage, qstats.merge_stage, rstats.parallel_stage,
+            rstats.merge_stage
+        );
+        if dop == 1 {
+            println!(
+                "      quadtree: {} tile rows over {} geometries; r-tree: {} items, height {}",
+                qt.tile_entries(),
+                qt.len(),
+                rt.len(),
+                rt.height()
+            );
+        }
+    }
+
+    println!("\nFigure 2 pipeline trace (dop=4 quadtree):");
+    let qp = SpatialIndexParams {
+        kind: IndexKindParam::Quadtree,
+        sdo_level: 8,
+        extent: Some(extent),
+        ..Default::default()
+    };
+    let (_, stats) = create::build_quadtree(&table, 1, &qp, 4, counters).unwrap();
+    println!("  partition sizes: {:?}", stats.partition_sizes);
+    println!("  tessellation (parallel table functions): {:?}", stats.parallel_stage);
+    println!("  tile rows produced: {}", stats.stage_rows);
+    println!("  B-tree pack (bulk build): {:?}", stats.merge_stage);
+}

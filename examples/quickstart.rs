@@ -1,0 +1,72 @@
+//! Quickstart: create a spatial table, index it, query it, join it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use sdo_dbms::Database;
+
+fn main() {
+    // A session = a Database with the spatial cartridge registered.
+    let db = Database::new();
+    sdo_core::register_spatial(&db);
+
+    // 1. Create a table with an SDO_GEOMETRY column and load a few
+    //    polygons (WKT literals through the SDO_GEOMETRY constructor).
+    db.execute("CREATE TABLE parks (name VARCHAR2, geom SDO_GEOMETRY)").unwrap();
+    let parks = [
+        ("north", "POLYGON ((0 10, 6 10, 6 16, 0 16, 0 10))"),
+        ("river", "POLYGON ((4 0, 6 0, 6 20, 4 20, 4 0))"),
+        ("east", "POLYGON ((12 2, 18 2, 18 8, 12 8, 12 2))"),
+        ("downtown", "POLYGON ((2 2, 8 2, 8 8, 2 8, 2 2))"),
+    ];
+    for (name, wkt) in parks {
+        db.execute(&format!("INSERT INTO parks VALUES ('{name}', SDO_GEOMETRY('{wkt}'))"))
+            .unwrap();
+    }
+
+    // 2. Create an R-tree spatial index through the extensible-indexing
+    //    DDL (swap the parameters for 'sdo_level=8' to get a quadtree).
+    db.execute(
+        "CREATE INDEX parks_sidx ON parks(geom) \
+         INDEXTYPE IS SPATIAL_INDEX PARAMETERS ('tree_fanout=8')",
+    )
+    .unwrap();
+
+    // 3. Window query: which parks interact with a query rectangle?
+    let res = db
+        .execute(
+            "SELECT name FROM parks WHERE \
+             SDO_RELATE(geom, SDO_GEOMETRY('POLYGON ((5 5, 13 5, 13 12, 5 12, 5 5))'), \
+             'ANYINTERACT') = 'TRUE'",
+        )
+        .unwrap();
+    println!("parks touching the window:");
+    for row in &res.rows {
+        println!("  {}", row[0]);
+    }
+
+    // 4. Spatial self-join via the pipelined table function: which park
+    //    pairs overlap each other?
+    let res = db
+        .execute(
+            "SELECT COUNT(*) FROM parks a, parks b \
+             WHERE (a.rowid, b.rowid) IN \
+             (SELECT rid1, rid2 FROM TABLE( \
+              SPATIAL_JOIN('parks', 'geom', 'parks', 'geom', 'intersect')))",
+        )
+        .unwrap();
+    println!("interacting park pairs (including self pairs): {}", res.count().unwrap());
+
+    // 5. Distance query: everything within 3 units of a point.
+    let res = db
+        .execute(
+            "SELECT name FROM parks WHERE \
+             SDO_WITHIN_DISTANCE(geom, SDO_POINT(10, 5), 3) = 'TRUE'",
+        )
+        .unwrap();
+    println!("parks within 3 of (10, 5):");
+    for row in &res.rows {
+        println!("  {}", row[0]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Interactive SQL session against the spatial engine.
+//!
+//! ```sh
+//! cargo run --example sql_session
+//! sql> CREATE TABLE t (id NUMBER, geom SDO_GEOMETRY)
+//! sql> INSERT INTO t VALUES (1, SDO_GEOMETRY('POINT (1 2)'))
+//! sql> SELECT * FROM t
+//! ```
+//!
+//! Pipe a script: `cargo run --example sql_session < script.sql`
+
+use sdo_dbms::Database;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let db = Database::new();
+    sdo_core::register_spatial(&db);
+    println!("spatial SQL session — statements end at end-of-line; 'quit' exits");
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("sql> ");
+        std::io::stdout().flush().ok();
+        line.clear();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let sql = line.trim().trim_end_matches(';');
+        if sql.is_empty() {
+            continue;
+        }
+        if sql.eq_ignore_ascii_case("quit") || sql.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        match db.execute(sql) {
+            Ok(res) => {
+                if res.columns.is_empty() {
+                    println!("ok");
+                } else {
+                    println!("{}", res.columns.join(" | "));
+                    for row in res.rows.iter().take(50) {
+                        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                        println!("{}", cells.join(" | "));
+                    }
+                    if res.rows.len() > 50 {
+                        println!("... ({} rows total)", res.rows.len());
+                    }
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Star-catalog self-join scaling: the paper's Table 2 scenario.
+//!
+//! Self-joins growing subsets of a clustered star catalog, comparing
+//! the serial table-function join against parallel execution over
+//! subtree pairs.
+//!
+//! ```sh
+//! cargo run --release --example star_catalog [max_stars]
+//! ```
+
+use sdo_datagen::{stars, SKY_EXTENT};
+use sdo_dbms::Database;
+use sdo_storage::Value;
+use std::time::Instant;
+
+fn main() {
+    let max: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2000);
+    let all = stars::generate(max, &SKY_EXTENT, 1977);
+
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>8}",
+        "stars", "pairs", "join dop=1", "join dop=2", "speedup"
+    );
+    let mut size = max / 16;
+    while size <= max {
+        // Table 2 "chooses subsets of the original data": prefixes.
+        let subset = &all[..size];
+        let db = Database::new();
+        sdo_core::register_spatial(&db);
+        db.execute("CREATE TABLE s (id NUMBER, geom SDO_GEOMETRY)").unwrap();
+        for (i, g) in subset.iter().enumerate() {
+            db.insert_row("s", vec![Value::Integer(i as i64), Value::geometry(g.clone())])
+                .unwrap();
+        }
+        db.execute(
+            "CREATE INDEX s_sidx ON s(geom) INDEXTYPE IS SPATIAL_INDEX \
+             PARAMETERS ('tree_fanout=32')",
+        )
+        .unwrap();
+
+        let run = |dop: usize| {
+            let t = Instant::now();
+            let count = db
+                .execute(&format!(
+                    "SELECT COUNT(*) FROM TABLE( \
+                     SPATIAL_JOIN('s','geom','s','geom','intersect', {dop}))"
+                ))
+                .unwrap()
+                .count()
+                .unwrap();
+            (count, t.elapsed())
+        };
+        let (c1, t1) = run(1);
+        let (c2, t2) = run(2);
+        assert_eq!(c1, c2);
+        println!(
+            "{:>8} {:>10} {:>12.1?} {:>12.1?} {:>7.2}x",
+            size,
+            c1,
+            t1,
+            t2,
+            t1.as_secs_f64() / t2.as_secs_f64().max(1e-9)
+        );
+        size *= 2;
+    }
+}

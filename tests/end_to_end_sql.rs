@@ -1,0 +1,393 @@
+//! End-to-end SQL workflow: the paper's statements, verbatim shapes,
+//! against synthetic county data.
+
+use sdo_datagen::{counties, US_EXTENT};
+use sdo_dbms::Database;
+use sdo_storage::Value;
+
+fn load_counties(db: &Database, table: &str, n: usize, seed: u64) {
+    db.execute(&format!(
+        "CREATE TABLE {table} (id NUMBER, geom SDO_GEOMETRY)"
+    ))
+    .unwrap();
+    for (i, g) in counties::generate(n, &US_EXTENT, seed).into_iter().enumerate() {
+        db.insert_row(table, vec![Value::Integer(i as i64), Value::geometry(g)]).unwrap();
+    }
+}
+
+fn session() -> Database {
+    let db = Database::new();
+    sdo_core::register_spatial(&db);
+    db
+}
+
+#[test]
+fn paper_section4_join_queries() {
+    let db = session();
+    load_counties(&db, "city_table", 60, 1);
+    load_counties(&db, "river_table", 60, 2);
+    db.execute(
+        "CREATE INDEX city_sidx ON city_table(geom) INDEXTYPE IS SPATIAL_INDEX \
+         PARAMETERS ('tree_fanout=8')",
+    )
+    .unwrap();
+    db.execute(
+        "CREATE INDEX river_sidx ON river_table(geom) INDEXTYPE IS SPATIAL_INDEX \
+         PARAMETERS ('tree_fanout=8')",
+    )
+    .unwrap();
+
+    // Nested-loop form (paper §4 first listing).
+    let nl = db
+        .execute(
+            "SELECT COUNT(*) FROM city_table a, river_table b \
+             WHERE SDO_RELATE(a.geom, b.geom, 'intersect') = 'TRUE'",
+        )
+        .unwrap()
+        .count()
+        .unwrap();
+
+    // Table-function form (paper §4 second listing).
+    let tf = db
+        .execute(
+            "SELECT COUNT(*) FROM city_table a, river_table b \
+             WHERE (a.rowid, b.rowid) IN \
+             (SELECT rid1, rid2 FROM TABLE(SPATIAL_JOIN( \
+              'city_table', 'geom', 'river_table', 'geom', 'intersect')))",
+        )
+        .unwrap()
+        .count()
+        .unwrap();
+
+    assert_eq!(nl, tf, "nested-loop and table-function joins must agree");
+    assert!(nl > 60, "county grids overlap across seeds: expected many pairs, got {nl}");
+
+    // Parallel table-function form with an explicit DOP.
+    let par = db
+        .execute(
+            "SELECT COUNT(*) FROM city_table a, river_table b \
+             WHERE (a.rowid, b.rowid) IN \
+             (SELECT rid1, rid2 FROM TABLE(SPATIAL_JOIN( \
+              'city_table', 'geom', 'river_table', 'geom', 'intersect', 2)))",
+        )
+        .unwrap()
+        .count()
+        .unwrap();
+    assert_eq!(nl, par);
+}
+
+#[test]
+fn cursor_driven_parallel_join_matches() {
+    let db = session();
+    load_counties(&db, "t1", 50, 3);
+    load_counties(&db, "t2", 50, 4);
+    db.execute("CREATE INDEX t1_sidx ON t1(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
+    db.execute("CREATE INDEX t2_sidx ON t2(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
+
+    let serial = db
+        .execute(
+            "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('t1','geom','t2','geom','intersect'))",
+        )
+        .unwrap()
+        .count()
+        .unwrap();
+
+    // The paper's cursor-driven decomposition: subtree pairs flow in
+    // through CURSOR(SELECT ... FROM TABLE(SUBTREE_PAIRS(...))).
+    let cursor_driven = db
+        .execute(
+            "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN( \
+               CURSOR(SELECT lnode, rnode FROM TABLE( \
+                 SUBTREE_PAIRS('t1_sidx', 't2_sidx', 1, 'intersect'))), \
+               't1','geom','t2','geom','intersect', 2))",
+        )
+        .unwrap()
+        .count()
+        .unwrap();
+    assert_eq!(serial, cursor_driven);
+}
+
+#[test]
+fn subtree_root_function_exposes_index_structure() {
+    let db = session();
+    load_counties(&db, "t", 120, 5);
+    db.execute(
+        "CREATE INDEX t_sidx ON t(geom) INDEXTYPE IS SPATIAL_INDEX PARAMETERS ('tree_fanout=8')",
+    )
+    .unwrap();
+    let roots0 = db
+        .execute("SELECT * FROM TABLE(SUBTREE_ROOT('t_sidx', 0))")
+        .unwrap();
+    assert_eq!(roots0.rows.len(), 1, "level 0 = the root itself");
+    let roots1 = db
+        .execute("SELECT * FROM TABLE(SUBTREE_ROOT('t_sidx', 1))")
+        .unwrap();
+    assert!(roots1.rows.len() > 1, "descending one level must expose children");
+    assert_eq!(roots0.columns[0], "NODE");
+}
+
+#[test]
+fn window_queries_and_within_distance() {
+    let db = session();
+    load_counties(&db, "t", 100, 6);
+    // Functional truth before indexing.
+    let window =
+        "SDO_GEOMETRY('POLYGON ((-100 30, -90 30, -90 40, -100 40, -100 30))')";
+    let functional = db
+        .execute(&format!(
+            "SELECT COUNT(*) FROM t WHERE SDO_RELATE(geom, {window}, 'ANYINTERACT') = 'TRUE'"
+        ))
+        .unwrap()
+        .count()
+        .unwrap();
+    assert!(functional > 0);
+
+    for params in ["tree_fanout=8", "sdo_level=7"] {
+        let db = session();
+        load_counties(&db, "t", 100, 6);
+        db.execute(&format!(
+            "CREATE INDEX t_sidx ON t(geom) INDEXTYPE IS SPATIAL_INDEX PARAMETERS ('{params}')"
+        ))
+        .unwrap();
+        let indexed = db
+            .execute(&format!(
+                "SELECT COUNT(*) FROM t WHERE SDO_RELATE(geom, {window}, 'ANYINTERACT') = 'TRUE'"
+            ))
+            .unwrap()
+            .count()
+            .unwrap();
+        assert_eq!(indexed, functional, "params={params}");
+
+        let d1 = db
+            .execute(&format!(
+                "SELECT COUNT(*) FROM t WHERE SDO_WITHIN_DISTANCE(geom, {window}, 3) = 'TRUE'"
+            ))
+            .unwrap()
+            .count()
+            .unwrap();
+        assert!(d1 >= indexed, "distance query must be a superset");
+    }
+}
+
+#[test]
+fn tessellate_table_function_runs_from_sql() {
+    let db = session();
+    load_counties(&db, "t", 30, 7);
+    let tiles = db
+        .execute("SELECT * FROM TABLE(TESSELLATE('t', 'geom', 6))")
+        .unwrap();
+    assert_eq!(tiles.columns, vec!["TILE_CODE", "RID", "INTERIOR"]);
+    assert!(tiles.rows.len() >= 30, "every county produces at least one tile");
+    // every rowid appears
+    let mut rids: Vec<u64> = tiles
+        .rows
+        .iter()
+        .map(|r| r[1].as_rowid().unwrap().as_u64())
+        .collect();
+    rids.sort_unstable();
+    rids.dedup();
+    assert_eq!(rids.len(), 30);
+}
+
+#[test]
+fn quadtree_spatial_join_from_sql() {
+    let db = session();
+    load_counties(&db, "t1", 40, 8);
+    load_counties(&db, "t2", 40, 9);
+    db.execute(
+        "CREATE INDEX t1_q ON t1(geom) INDEXTYPE IS SPATIAL_INDEX PARAMETERS ('sdo_level=7')",
+    )
+    .unwrap();
+    db.execute(
+        "CREATE INDEX t2_q ON t2(geom) INDEXTYPE IS SPATIAL_INDEX PARAMETERS ('sdo_level=7')",
+    )
+    .unwrap();
+    let qt = db
+        .execute(
+            "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('t1','geom','t2','geom','intersect'))",
+        )
+        .unwrap()
+        .count()
+        .unwrap();
+    // functional truth
+    let nl = db
+        .execute(
+            "SELECT COUNT(*) FROM t1 a, t2 b \
+             WHERE SDO_RELATE(a.geom, b.geom, 'intersect') = 'TRUE'",
+        )
+        .unwrap()
+        .count()
+        .unwrap();
+    assert_eq!(qt, nl);
+}
+
+#[test]
+fn mixed_index_kinds_rejected_for_join() {
+    let db = session();
+    load_counties(&db, "t1", 20, 10);
+    load_counties(&db, "t2", 20, 11);
+    db.execute("CREATE INDEX t1_r ON t1(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
+    db.execute(
+        "CREATE INDEX t2_q ON t2(geom) INDEXTYPE IS SPATIAL_INDEX PARAMETERS ('sdo_level=6')",
+    )
+    .unwrap();
+    let err = db.execute(
+        "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('t1','geom','t2','geom','intersect'))",
+    );
+    assert!(err.is_err(), "joining an R-tree with a quadtree must fail cleanly");
+}
+
+#[test]
+fn join_without_index_is_an_error() {
+    let db = session();
+    load_counties(&db, "t1", 10, 12);
+    load_counties(&db, "t2", 10, 13);
+    assert!(db
+        .execute("SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('t1','geom','t2','geom','intersect'))")
+        .is_err());
+}
+
+#[test]
+fn sdo_nn_nearest_neighbours() {
+    let db = session();
+    load_counties(&db, "t", 100, 14);
+    // functional truth: 5 counties nearest to a probe point
+    let probe = "SDO_POINT(-100, 35)";
+    let truth = db
+        .execute(&format!(
+            "SELECT id FROM t ORDER BY SDO_DISTANCE(geom, {probe}) LIMIT 5"
+        ))
+        .unwrap();
+    let truth_ids: std::collections::HashSet<i64> =
+        truth.rows.iter().map(|r| r[0].as_integer().unwrap()).collect();
+
+    // without an index: functional SDO_NN path
+    let r = db
+        .execute(&format!(
+            "SELECT id FROM t WHERE SDO_NN(geom, {probe}, 5) = 'TRUE'"
+        ))
+        .unwrap();
+    assert_eq!(r.rows.len(), 5);
+    for row in &r.rows {
+        assert!(truth_ids.contains(&row[0].as_integer().unwrap()));
+    }
+
+    // with an R-tree index: filter-refine SDO_NN
+    db.execute("CREATE INDEX t_x ON t(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
+    let r = db
+        .execute(&format!(
+            "SELECT id FROM t WHERE SDO_NN(geom, {probe}, 'sdo_num_res=5') = 'TRUE'"
+        ))
+        .unwrap();
+    assert_eq!(r.rows.len(), 5);
+    for row in &r.rows {
+        assert!(truth_ids.contains(&row[0].as_integer().unwrap()));
+    }
+
+    // quadtree indexes reject SDO_NN cleanly
+    let db2 = session();
+    load_counties(&db2, "t", 30, 15);
+    db2.execute(
+        "CREATE INDEX t_q ON t(geom) INDEXTYPE IS SPATIAL_INDEX PARAMETERS ('sdo_level=6')",
+    )
+    .unwrap();
+    assert!(db2
+        .execute(&format!("SELECT id FROM t WHERE SDO_NN(geom, {probe}, 3) = 'TRUE'"))
+        .is_err());
+}
+
+#[test]
+fn sdo_nn_more_than_table_size() {
+    let db = session();
+    load_counties(&db, "t", 10, 16);
+    db.execute("CREATE INDEX t_x ON t(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
+    let r = db
+        .execute("SELECT COUNT(*) FROM t WHERE SDO_NN(geom, SDO_POINT(0, 0), 50) = 'TRUE'")
+        .unwrap();
+    assert_eq!(r.count(), Some(10));
+}
+
+#[test]
+fn explain_reports_chosen_strategies() {
+    let db = session();
+    load_counties(&db, "a", 20, 21);
+    load_counties(&db, "b", 20, 22);
+    db.execute("CREATE INDEX a_x ON a(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
+    db.execute("CREATE INDEX b_x ON b(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
+
+    let plan = |sql: &str| -> String {
+        db.execute(sql)
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r[0].as_text().unwrap().to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    // nested loop with an indexed inner
+    let p = plan(
+        "EXPLAIN SELECT COUNT(*) FROM a x, b y \
+         WHERE SDO_RELATE(x.geom, y.geom, 'intersect') = 'TRUE'",
+    );
+    assert!(p.contains("NESTED LOOP JOIN"), "{p}");
+    assert!(p.contains("index scan"), "{p}");
+    assert!(p.contains("AGGREGATE COUNT(*)"), "{p}");
+
+    // table-function join
+    let p = plan(
+        "EXPLAIN SELECT COUNT(*) FROM a x, b y WHERE (x.rowid, y.rowid) IN \
+         (SELECT rid1, rid2 FROM TABLE(SPATIAL_JOIN('a','geom','b','geom','intersect')))",
+    );
+    assert!(p.contains("ROWID-PAIR SEMIJOIN"), "{p}");
+    assert!(p.contains("SPATIAL_JOIN"), "{p}");
+
+    // pipelined count fast path
+    let p = plan(
+        "EXPLAIN SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('a','geom','b','geom','intersect'))",
+    );
+    assert!(p.contains("PIPELINED COUNT"), "{p}");
+
+    // window query through the domain index, plus sort and limit
+    let p = plan(
+        "EXPLAIN SELECT id FROM a WHERE \
+         SDO_RELATE(geom, SDO_GEOMETRY('POINT (-100 35)'), 'ANYINTERACT') = 'TRUE' \
+         ORDER BY id DESC LIMIT 3",
+    );
+    assert!(p.contains("domain index"), "{p}");
+    assert!(p.contains("SORT"), "{p}");
+    assert!(p.contains("LIMIT 3"), "{p}");
+
+    // functional evaluation when no index exists
+    let db2 = session();
+    load_counties(&db2, "c", 10, 23);
+    let p2 = db2
+        .execute(
+            "EXPLAIN SELECT COUNT(*) FROM c WHERE \
+             SDO_RELATE(geom, SDO_GEOMETRY('POINT (0 0)'), 'ANYINTERACT') = 'TRUE'",
+        )
+        .unwrap();
+    let text: String = p2
+        .rows
+        .iter()
+        .map(|r| r[0].as_text().unwrap().to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("functional evaluation"), "{text}");
+}
+
+#[test]
+fn sdo_join_alias_matches_spatial_join() {
+    let db = session();
+    load_counties(&db, "t", 30, 40);
+    db.execute("CREATE INDEX t_x ON t(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
+    let a = db
+        .execute("SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('t','geom','t','geom','intersect'))")
+        .unwrap()
+        .count();
+    let b = db
+        .execute("SELECT COUNT(*) FROM TABLE(SDO_JOIN('t','geom','t','geom','intersect'))")
+        .unwrap()
+        .count();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,152 @@
+//! Failure injection and concurrency: a slave failure surfaces as a
+//! SQL error without hanging the session, and concurrent queries /
+//! DML against one session stay consistent.
+
+use sdo_datagen::{counties, US_EXTENT};
+use sdo_dbms::db::TfInstance;
+use sdo_dbms::Database;
+use sdo_storage::Value;
+use sdo_tablefunc::parallel::ParallelTableFunction;
+use sdo_tablefunc::table_function::BufferedFn;
+use sdo_tablefunc::{Row, TableFunction, TfError};
+use std::sync::Arc;
+
+fn session_with_counties(n: usize, seed: u64) -> Database {
+    let db = Database::new();
+    sdo_core::register_spatial(&db);
+    db.execute("CREATE TABLE t (id NUMBER, geom SDO_GEOMETRY)").unwrap();
+    for (i, g) in counties::generate(n, &US_EXTENT, seed).into_iter().enumerate() {
+        db.insert_row("t", vec![Value::Integer(i as i64), Value::geometry(g)]).unwrap();
+    }
+    db
+}
+
+struct PanickingFn;
+
+impl TableFunction for PanickingFn {
+    fn start(&mut self) -> Result<(), TfError> {
+        Ok(())
+    }
+    fn fetch(&mut self, _: usize) -> Result<Vec<Row>, TfError> {
+        panic!("injected slave failure")
+    }
+    fn close(&mut self) {}
+}
+
+#[test]
+fn slave_panic_surfaces_as_sql_error() {
+    let db = Database::new();
+    db.register_table_function("FLAKY_PARALLEL", |_db, _args| {
+        let good: Box<dyn TableFunction> = Box::new(BufferedFn::new(|| {
+            Ok((0..100).map(|i| vec![Value::Integer(i)]).collect())
+        }));
+        let bad: Box<dyn TableFunction> = Box::new(PanickingFn);
+        Ok(TfInstance {
+            func: Box::new(ParallelTableFunction::new(vec![good, bad])),
+            columns: vec!["N".into()],
+        })
+    });
+    let err = db.execute("SELECT COUNT(*) FROM TABLE(FLAKY_PARALLEL())");
+    match err {
+        Err(sdo_dbms::DbError::TableFunction(TfError::SlavePanic(_))) => {}
+        other => panic!("expected slave panic to surface, got {other:?}"),
+    }
+    // the session stays usable afterwards
+    db.execute("CREATE TABLE ok (id NUMBER)").unwrap();
+    db.execute("INSERT INTO ok VALUES (1)").unwrap();
+    assert_eq!(db.execute("SELECT COUNT(*) FROM ok").unwrap().count(), Some(1));
+}
+
+#[test]
+fn failing_table_function_error_propagates() {
+    let db = Database::new();
+    db.register_table_function("FAILS_MIDWAY", |_db, _args| {
+        struct F(usize);
+        impl TableFunction for F {
+            fn start(&mut self) -> Result<(), TfError> {
+                Ok(())
+            }
+            fn fetch(&mut self, _: usize) -> Result<Vec<Row>, TfError> {
+                self.0 += 1;
+                if self.0 > 3 {
+                    Err(TfError::Execution("disk on fire".into()))
+                } else {
+                    Ok(vec![vec![Value::Integer(self.0 as i64)]])
+                }
+            }
+            fn close(&mut self) {}
+        }
+        Ok(TfInstance { func: Box::new(F(0)), columns: vec!["N".into()] })
+    });
+    let err = db.execute("SELECT * FROM TABLE(FAILS_MIDWAY())").unwrap_err();
+    assert!(err.to_string().contains("disk on fire"), "{err}");
+}
+
+#[test]
+fn concurrent_readers_and_writers() {
+    let db = Arc::new(session_with_counties(120, 31));
+    db.execute("CREATE INDEX t_x ON t(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
+    let window = "SDO_GEOMETRY('POLYGON ((-110 28, -90 28, -90 45, -110 45, -110 28))')";
+    let baseline = db
+        .execute(&format!(
+            "SELECT COUNT(*) FROM t WHERE SDO_RELATE(geom, {window}, 'ANYINTERACT') = 'TRUE'"
+        ))
+        .unwrap()
+        .count()
+        .unwrap();
+    assert!(baseline > 0);
+
+    // 4 reader threads hammer window queries and joins while a writer
+    // thread inserts and deletes rows far outside the window.
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let db = Arc::clone(&db);
+            s.spawn(move || {
+                for _ in 0..20 {
+                    let c = db
+                        .execute(&format!(
+                            "SELECT COUNT(*) FROM t WHERE \
+                             SDO_RELATE(geom, {window}, 'ANYINTERACT') = 'TRUE'"
+                        ))
+                        .unwrap()
+                        .count()
+                        .unwrap();
+                    assert_eq!(c, baseline, "reader saw torn state");
+                    let j = db
+                        .execute(
+                            "SELECT COUNT(*) FROM TABLE( \
+                             SPATIAL_JOIN('t','geom','t','geom','intersect', 2))",
+                        )
+                        .unwrap()
+                        .count()
+                        .unwrap();
+                    assert!(j >= 120, "self join lost identity pairs: {j}");
+                }
+            });
+        }
+        let db_w = Arc::clone(&db);
+        s.spawn(move || {
+            for i in 0..20 {
+                // Far outside the query window and the US extent.
+                db_w.execute(&format!(
+                    "INSERT INTO t VALUES ({}, \
+                     SDO_GEOMETRY('POLYGON ((300 300, 301 300, 301 301, 300 301, 300 300))'))",
+                    10_000 + i
+                ))
+                .unwrap();
+                db_w.execute(&format!("DELETE FROM t WHERE id = {}", 10_000 + i)).unwrap();
+            }
+        });
+    });
+
+    // steady state: identical to the baseline
+    let after = db
+        .execute(&format!(
+            "SELECT COUNT(*) FROM t WHERE SDO_RELATE(geom, {window}, 'ANYINTERACT') = 'TRUE'"
+        ))
+        .unwrap()
+        .count()
+        .unwrap();
+    assert_eq!(after, baseline);
+    assert_eq!(db.table("t").unwrap().read().len(), 120);
+}

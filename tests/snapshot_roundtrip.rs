@@ -1,0 +1,138 @@
+//! Whole-database snapshots: tables, rowids and spatial indexes survive
+//! a save/load cycle, and queries answer identically afterwards.
+
+use sdo_datagen::{counties, US_EXTENT};
+use sdo_dbms::Database;
+use sdo_storage::Value;
+
+fn session() -> Database {
+    let db = Database::new();
+    sdo_core::register_spatial(&db);
+    db
+}
+
+fn build_source() -> Database {
+    let db = session();
+    db.execute("CREATE TABLE t (id NUMBER, name VARCHAR2, geom SDO_GEOMETRY)").unwrap();
+    for (i, g) in counties::generate(80, &US_EXTENT, 77).into_iter().enumerate() {
+        db.insert_row(
+            "t",
+            vec![
+                Value::Integer(i as i64),
+                Value::text(format!("county{i}")),
+                Value::geometry(g),
+            ],
+        )
+        .unwrap();
+    }
+    // tombstones must survive
+    db.execute("DELETE FROM t WHERE id = 10").unwrap();
+    db.execute("DELETE FROM t WHERE id = 20").unwrap();
+    db.execute(
+        "CREATE INDEX t_x ON t(geom) INDEXTYPE IS SPATIAL_INDEX \
+         PARAMETERS ('tree_fanout=16') PARALLEL 2",
+    )
+    .unwrap();
+    db
+}
+
+const WINDOW: &str =
+    "SDO_GEOMETRY('POLYGON ((-110 28, -92 28, -92 44, -110 44, -110 28))')";
+
+fn fingerprint(db: &Database) -> (i64, i64, Vec<i64>) {
+    let window_count = db
+        .execute(&format!(
+            "SELECT COUNT(*) FROM t WHERE SDO_RELATE(geom, {WINDOW}, 'ANYINTERACT') = 'TRUE'"
+        ))
+        .unwrap()
+        .count()
+        .unwrap();
+    let join_count = db
+        .execute("SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('t','geom','t','geom','intersect'))")
+        .unwrap()
+        .count()
+        .unwrap();
+    let ids: Vec<i64> = db
+        .execute("SELECT id FROM t ORDER BY id LIMIT 25")
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].as_integer().unwrap())
+        .collect();
+    (window_count, join_count, ids)
+}
+
+#[test]
+fn snapshot_roundtrip_preserves_queries_and_indexes() {
+    let src = build_source();
+    let before = fingerprint(&src);
+    let bytes = src.save_snapshot();
+
+    let dst = session();
+    dst.load_snapshot(bytes).unwrap();
+    // the index was rebuilt with its recorded parameters
+    let meta = dst.catalog().index_metadata("t_x").unwrap();
+    assert_eq!(meta.kind, sdo_storage::IndexKind::RTree);
+    assert_eq!(meta.parameters, "tree_fanout=16");
+    assert_eq!(meta.create_dop, 2);
+    assert_eq!(fingerprint(&dst), before);
+    // tombstoned ids are really gone
+    assert_eq!(
+        dst.execute("SELECT COUNT(*) FROM t WHERE id = 10").unwrap().count(),
+        Some(0)
+    );
+    // and the restored session accepts further DML + queries
+    dst.execute(
+        "INSERT INTO t VALUES (999, 'new', \
+         SDO_GEOMETRY('POLYGON ((-100 30, -99 30, -99 31, -100 31, -100 30))'))",
+    )
+    .unwrap();
+    let after_insert = fingerprint(&dst);
+    assert_eq!(after_insert.0, before.0 + 1, "rebuilt index must track new DML");
+}
+
+#[test]
+fn quadtree_snapshot_roundtrip() {
+    let db = session();
+    db.execute("CREATE TABLE t (id NUMBER, geom SDO_GEOMETRY)").unwrap();
+    for (i, g) in counties::generate(40, &US_EXTENT, 13).into_iter().enumerate() {
+        db.insert_row("t", vec![Value::Integer(i as i64), Value::geometry(g)]).unwrap();
+    }
+    db.execute(
+        "CREATE INDEX t_q ON t(geom) INDEXTYPE IS SPATIAL_INDEX \
+         PARAMETERS ('sdo_level=7, extent=-125:24:-66:50')",
+    )
+    .unwrap();
+    let before = db
+        .execute(&format!(
+            "SELECT COUNT(*) FROM t WHERE SDO_RELATE(geom, {WINDOW}, 'ANYINTERACT') = 'TRUE'"
+        ))
+        .unwrap()
+        .count();
+    let bytes = db.save_snapshot();
+    let dst = session();
+    dst.load_snapshot(bytes).unwrap();
+    assert_eq!(dst.catalog().index_metadata("t_q").unwrap().tiling_level, Some(7));
+    let after = dst
+        .execute(&format!(
+            "SELECT COUNT(*) FROM t WHERE SDO_RELATE(geom, {WINDOW}, 'ANYINTERACT') = 'TRUE'"
+        ))
+        .unwrap()
+        .count();
+    assert_eq!(before, after);
+}
+
+#[test]
+fn load_into_nonempty_session_fails_cleanly() {
+    let src = build_source();
+    let bytes = src.save_snapshot();
+    let dst = session();
+    dst.execute("CREATE TABLE t (id NUMBER)").unwrap(); // name collision
+    assert!(dst.load_snapshot(bytes).is_err());
+}
+
+#[test]
+fn garbage_snapshot_rejected() {
+    let dst = session();
+    assert!(dst.load_snapshot(bytes::Bytes::from_static(b"not a snapshot")).is_err());
+}
