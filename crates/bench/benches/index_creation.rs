@@ -12,10 +12,8 @@ use std::sync::Arc;
 const N: usize = 1_200;
 
 fn geometry_table() -> Arc<RwLock<Table>> {
-    let mut t = Table::new(
-        "BG",
-        Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]),
-    );
+    let mut t =
+        Table::new("BG", Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]));
     for (i, g) in block_groups::generate(N, &US_EXTENT, 7).into_iter().enumerate() {
         t.insert(vec![Value::Integer(i as i64), Value::geometry(g)]).unwrap();
     }

@@ -15,9 +15,7 @@ fn bench_rect_ops(c: &mut Criterion) {
     c.bench_function("rect/intersects", |bench| {
         bench.iter(|| black_box(&a).intersects(black_box(&b)))
     });
-    c.bench_function("rect/mindist", |bench| {
-        bench.iter(|| black_box(&a).mindist(black_box(&b)))
-    });
+    c.bench_function("rect/mindist", |bench| bench.iter(|| black_box(&a).mindist(black_box(&b))));
     c.bench_function("rect/union_enlargement", |bench| {
         bench.iter(|| black_box(&a).enlargement(black_box(&b)))
     });

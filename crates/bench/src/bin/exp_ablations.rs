@@ -45,10 +45,8 @@ fn main() {
 /// Build one join side over county data.
 fn county_side(n: usize, seed: u64) -> JoinSide {
     let geoms = counties::generate(n, &US_EXTENT, seed);
-    let mut t = Table::new(
-        "T",
-        Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]),
-    );
+    let mut t =
+        Table::new("T", Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]));
     let mut items = Vec::new();
     for (i, g) in geoms.into_iter().enumerate() {
         let bb = g.bbox();
@@ -129,11 +127,8 @@ fn bulk_vs_insert() {
     println!("== ablation: STR bulk load vs dynamic insertion ==");
     let n = scaled(230_000, 4_000);
     let geoms = stars::generate(n, &SKY_EXTENT, 3);
-    let items: Vec<(sdo_geom::Rect, RowId)> = geoms
-        .iter()
-        .enumerate()
-        .map(|(i, g)| (g.bbox(), RowId::new(i as u64)))
-        .collect();
+    let items: Vec<(sdo_geom::Rect, RowId)> =
+        geoms.iter().enumerate().map(|(i, g)| (g.bbox(), RowId::new(i as u64))).collect();
     let params = RTreeParams::with_fanout(32);
 
     let (bulk, t_bulk) = timed(|| RTree::bulk_load(items.clone(), params));
@@ -160,18 +155,33 @@ fn bulk_vs_insert() {
         }
         Counters::get(&counters.rtree_node_reads)
     };
-    println!("{:>10} {:>12} {:>8} {:>8} {:>18}", "build", "time", "height", "nodes", "probe node reads");
     println!(
         "{:>10} {:>12} {:>8} {:>8} {:>18}",
-        "STR", secs(t_bulk), bulk.height(), bulk.node_count(), probe_work(&bulk)
+        "build", "time", "height", "nodes", "probe node reads"
     );
     println!(
         "{:>10} {:>12} {:>8} {:>8} {:>18}",
-        "insert", secs(t_incr), incr.height(), incr.node_count(), probe_work(&incr)
+        "STR",
+        secs(t_bulk),
+        bulk.height(),
+        bulk.node_count(),
+        probe_work(&bulk)
     );
     println!(
         "{:>10} {:>12} {:>8} {:>8} {:>18}",
-        "reinsert", secs(t_rstar), rstar.height(), rstar.node_count(), probe_work(&rstar)
+        "insert",
+        secs(t_incr),
+        incr.height(),
+        incr.node_count(),
+        probe_work(&incr)
+    );
+    println!(
+        "{:>10} {:>12} {:>8} {:>8} {:>18}",
+        "reinsert",
+        secs(t_rstar),
+        rstar.height(),
+        rstar.node_count(),
+        probe_work(&rstar)
     );
     println!();
 }
@@ -181,9 +191,7 @@ fn sdo_level() {
     println!("== ablation: quadtree sdo_level ==");
     let n = scaled(230_000, 800);
     let geoms = block_groups::generate(n, &US_EXTENT, 5);
-    let window = sdo_datagen::windows::rect_windows(1, &US_EXTENT, 0.08, 1)
-        .pop()
-        .unwrap();
+    let window = sdo_datagen::windows::rect_windows(1, &US_EXTENT, 0.08, 1).pop().unwrap();
     let truth = geoms.iter().filter(|g| sdo_geom::intersects(g, &window)).count();
     println!(
         "{:>6} {:>12} {:>12} {:>12} {:>12}",

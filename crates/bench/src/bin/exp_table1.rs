@@ -22,6 +22,7 @@ use sdo_bench::*;
 use sdo_datagen::{counties, PAPER_COUNTIES, US_EXTENT};
 
 fn main() {
+    let profile_flag = std::env::args().any(|a| a == "--profile");
     let n = scaled(PAPER_COUNTIES, 200);
     println!("== Table 1: counties self-join (n = {n}, SDO_SCALE = {}) ==\n", scale());
     let db = session();
@@ -66,10 +67,7 @@ fn main() {
         };
         db.counters().reset();
         let (nl, t_nl) = timed(|| {
-            count(
-                &db,
-                &format!("SELECT COUNT(*) FROM counties a, counties b WHERE {nl_pred}"),
-            )
+            count(&db, &format!("SELECT COUNT(*) FROM counties a, counties b WHERE {nl_pred}"))
         });
         let nl_reads = logical_reads(db.counters());
         db.counters().reset();
@@ -96,4 +94,16 @@ fn main() {
         );
     }
     println!("\npaper claim: spatial-index join 33-55% faster than nested loop");
+
+    // `--profile`: re-run the intersect join and dump its operator
+    // profile (text, or JSON with SDO_PROFILE=json).
+    if profile_flag {
+        println!("\n== operator profile: parallel spatial join (dop=2) ==");
+        let _ = count(
+            &db,
+            "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN( \
+             'counties','geom','counties','geom','intersect', 2))",
+        );
+        report_last_profile(&db);
+    }
 }

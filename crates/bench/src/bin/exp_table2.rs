@@ -148,10 +148,8 @@ fn figure1_decomposition(all: &[sdo_geom::Geometry]) {
          PARAMETERS ('tree_fanout=16')",
     )
     .unwrap();
-    let serial = count(
-        &db,
-        "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('f','geom','f','geom','intersect'))",
-    );
+    let serial =
+        count(&db, "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('f','geom','f','geom','intersect'))");
     for level in [0u32, 1, 2] {
         let pairs = db
             .execute(&format!(

@@ -40,10 +40,8 @@ fn main() {
     let avg: usize = data.iter().map(|g| g.num_points()).sum::<usize>() / n;
     println!("average vertices/polygon: {avg}\n");
 
-    let mut table = Table::new(
-        "BG",
-        Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]),
-    );
+    let mut table =
+        Table::new("BG", Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]));
     for (i, g) in data.into_iter().enumerate() {
         table.insert(vec![Value::Integer(i as i64), Value::geometry(g)]).unwrap();
     }
@@ -74,32 +72,22 @@ fn main() {
     let _ = create::build_rtree(&table, 1, &rparams, 1, Arc::clone(&counters)).unwrap();
 
     // Measure the stage split once at dop = 1 for the Amdahl model.
-    let ((_, q1), tq1) = timed(|| {
-        create::build_quadtree(&table, 1, &qparams, 1, Arc::clone(&counters)).unwrap()
-    });
-    let ((_, r1), tr1) = timed(|| {
-        create::build_rtree(&table, 1, &rparams, 1, Arc::clone(&counters)).unwrap()
-    });
+    let ((_, q1), tq1) =
+        timed(|| create::build_quadtree(&table, 1, &qparams, 1, Arc::clone(&counters)).unwrap());
+    let ((_, r1), tr1) =
+        timed(|| create::build_rtree(&table, 1, &rparams, 1, Arc::clone(&counters)).unwrap());
     let amdahl = |stats: &create::CreationStats, dop: usize| {
         let p = stats.parallel_stage.as_secs_f64();
         let s = stats.merge_stage.as_secs_f64();
         (p + s) / (p / dop as f64 + s)
     };
-    println!(
-        "{:>11} {:>15} {:>7.2}x {:>15} {:>7.2}x",
-        1,
-        secs(tq1),
-        1.0,
-        secs(tr1),
-        1.0
-    );
+    println!("{:>11} {:>15} {:>7.2}x {:>15} {:>7.2}x", 1, secs(tq1), 1.0, secs(tr1), 1.0);
     for dop in [2usize, 4] {
         let (_, tq) = timed(|| {
             create::build_quadtree(&table, 1, &qparams, dop, Arc::clone(&counters)).unwrap()
         });
-        let (_, tr) = timed(|| {
-            create::build_rtree(&table, 1, &rparams, dop, Arc::clone(&counters)).unwrap()
-        });
+        let (_, tr) =
+            timed(|| create::build_rtree(&table, 1, &rparams, dop, Arc::clone(&counters)).unwrap());
         println!(
             "{:>11} {:>15} {:>7.2}x {:>15} {:>7.2}x",
             dop,

@@ -47,11 +47,9 @@ pub fn session() -> Database {
 
 /// Create `name (id NUMBER, geom SDO_GEOMETRY)` and load geometries.
 pub fn load_table(db: &Database, name: &str, geoms: &[Geometry]) {
-    db.execute(&format!("CREATE TABLE {name} (id NUMBER, geom SDO_GEOMETRY)"))
-        .unwrap();
+    db.execute(&format!("CREATE TABLE {name} (id NUMBER, geom SDO_GEOMETRY)")).unwrap();
     for (i, g) in geoms.iter().enumerate() {
-        db.insert_row(name, vec![Value::Integer(i as i64), Value::geometry(g.clone())])
-            .unwrap();
+        db.insert_row(name, vec![Value::Integer(i as i64), Value::geometry(g.clone())]).unwrap();
     }
 }
 
@@ -65,6 +63,32 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 /// `COUNT(*)` convenience.
 pub fn count(db: &Database, sql: &str) -> i64 {
     db.execute(sql).unwrap().count().expect("COUNT(*) result")
+}
+
+/// Print the operator profile of the most recent statement executed on
+/// `db`: indented text by default, one JSON object per profile when
+/// `SDO_PROFILE=json`. Follows up with the global metrics registry
+/// (node-visit counters, span histograms) when it is non-empty.
+pub fn report_last_profile(db: &Database) {
+    let Some(profile) = db.last_profile() else {
+        eprintln!("(no profile recorded)");
+        return;
+    };
+    let json =
+        std::env::var("SDO_PROFILE").map(|v| v.eq_ignore_ascii_case("json")).unwrap_or(false);
+    if json {
+        println!("{}", sdo_obs::export::profile_to_json(&profile));
+    } else {
+        print!("{}", profile.render_text());
+    }
+    let snap = sdo_obs::global().snapshot();
+    if !(snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty()) {
+        if json {
+            println!("{}", sdo_obs::export::registry_to_json(&snap));
+        } else {
+            print!("{}", sdo_obs::export::registry_to_text(&snap));
+        }
+    }
 }
 
 /// Pretty seconds.
@@ -83,16 +107,12 @@ pub fn speedup(base: Duration, other: Duration) -> String {
 /// (the parallel critical path).
 pub fn modeled_join_speedup(geoms: &[Geometry], dop: usize) -> f64 {
     // Direct core-API join sides (no SQL session needed).
-    let mut t = Table::new(
-        "S",
-        Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]),
-    );
+    let mut t =
+        Table::new("S", Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]));
     let mut items = Vec::new();
     for (i, g) in geoms.iter().enumerate() {
         let bb = g.bbox();
-        let rid = t
-            .insert(vec![Value::Integer(i as i64), Value::geometry(g.clone())])
-            .unwrap();
+        let rid = t.insert(vec![Value::Integer(i as i64), Value::geometry(g.clone())]).unwrap();
         items.push((bb, rid));
     }
     let table = Arc::new(RwLock::new(t));

@@ -59,9 +59,7 @@ fn partition_cursors(
         let lo = (i * chunk).min(hwm);
         let hi = ((i + 1) * chunk).min(hwm);
         sizes.push(hi - lo);
-        cursors.push(
-            TableCursor::slice(Arc::clone(table), lo, hi).with_projection(vec![column]),
-        );
+        cursors.push(TableCursor::slice(Arc::clone(table), lo, hi).with_projection(vec![column]));
     }
     (cursors, sizes)
 }
@@ -106,9 +104,16 @@ pub fn build_quadtree(
     counters: Arc<Counters>,
 ) -> Result<(QuadtreeIndex, CreationStats), DbError> {
     let dop = dop.max(1);
+    let _span = sdo_obs::span("create.quadtree");
     let world = world_extent_of(table, column, params)?;
     let level = params.sdo_level;
     let geometry_count = table.read().len();
+    let prof = sdo_obs::current().map(|p| {
+        let n = p.child("quadtree build");
+        n.set_attr("dop", dop.to_string());
+        n.set_attr("level", level.to_string());
+        n
+    });
 
     // Stage 1: parallel tessellation through table functions.
     let t0 = Instant::now();
@@ -122,8 +127,16 @@ pub fn build_quadtree(
             })) as Box<dyn TableFunction>
         })
         .collect();
-    let tile_rows = execute_parallel(instances, 1024).map_err(DbError::from)?;
+    let tess_node = prof.as_ref().map(|p| p.child("parallel tessellation"));
+    let tile_rows = {
+        let _scope = tess_node.clone().map(sdo_obs::enter);
+        execute_parallel(instances, 1024).map_err(DbError::from)?
+    };
     let parallel_stage = t0.elapsed();
+    if let Some(n) = &tess_node {
+        n.add_wall(parallel_stage);
+        n.add_rows(tile_rows.len() as u64);
+    }
 
     // Stage 2: decode, sort, pack the B-tree bottom-up.
     let t1 = Instant::now();
@@ -138,14 +151,16 @@ pub fn build_quadtree(
         })
         .collect();
     let stage_rows = entries.len();
-    let index = QuadtreeIndex::bulk_build(world, level, entries, geometry_count)
-        .with_counters(counters);
+    let index =
+        QuadtreeIndex::bulk_build(world, level, entries, geometry_count).with_counters(counters);
     let merge_stage = t1.elapsed();
+    if let Some(p) = &prof {
+        let n = p.child("btree pack");
+        n.add_wall(merge_stage);
+        n.add_rows(stage_rows as u64);
+    }
 
-    Ok((
-        index,
-        CreationStats { dop, parallel_stage, merge_stage, stage_rows, partition_sizes },
-    ))
+    Ok((index, CreationStats { dop, parallel_stage, merge_stage, stage_rows, partition_sizes }))
 }
 
 /// The tessellation table-function body: `(rowid, geometry)` in,
@@ -189,9 +204,15 @@ pub fn build_rtree(
     counters: Arc<Counters>,
 ) -> Result<(RTree<RowId>, CreationStats), DbError> {
     let dop = dop.max(1);
+    let _span = sdo_obs::span("create.rtree");
     let rt_params = RTreeParams::with_fanout(params.tree_fanout)
         .with_split(params.split)
         .with_forced_reinsert(params.forced_reinsert);
+    let prof = sdo_obs::current().map(|p| {
+        let n = p.child("rtree build");
+        n.set_attr("dop", dop.to_string());
+        n
+    });
 
     // Stage 1: parallel geometry load + MBR computation.
     let t0 = Instant::now();
@@ -217,8 +238,16 @@ pub fn build_rtree(
             })) as Box<dyn TableFunction>
         })
         .collect();
-    let mbr_rows = execute_parallel(instances, 1024).map_err(DbError::from)?;
+    let load_node = prof.as_ref().map(|p| p.child("parallel mbr load"));
+    let mbr_rows = {
+        let _scope = load_node.clone().map(sdo_obs::enter);
+        execute_parallel(instances, 1024).map_err(DbError::from)?
+    };
     let stage_rows = mbr_rows.len();
+    if let Some(n) = &load_node {
+        n.add_wall(t0.elapsed());
+        n.add_rows(stage_rows as u64);
+    }
 
     // Decode and spatially slice by x-center so per-slave subtrees have
     // low mutual overlap (better merged tree quality).
@@ -236,8 +265,7 @@ pub fn build_rtree(
         .collect();
     items.sort_by(|a, b| a.0.center().x.total_cmp(&b.0.center().x));
     let chunk = items.len().div_ceil(dop).max(1);
-    let slices: Vec<Vec<(Rect, RowId)>> =
-        items.chunks(chunk).map(|c| c.to_vec()).collect();
+    let slices: Vec<Vec<(Rect, RowId)>> = items.chunks(chunk).map(|c| c.to_vec()).collect();
 
     // Stage 2: cluster subtrees in parallel. Each slave is a table
     // function whose payload is an STR bulk load; it reports one
@@ -265,26 +293,32 @@ pub fn build_rtree(
             })) as Box<dyn TableFunction>
         })
         .collect();
-    execute_parallel(build_instances, 16).map_err(DbError::from)?;
+    let cluster_node = prof.as_ref().map(|p| p.child("parallel subtree cluster"));
+    let t_cluster = Instant::now();
+    {
+        let _scope = cluster_node.clone().map(sdo_obs::enter);
+        execute_parallel(build_instances, 16).map_err(DbError::from)?;
+    }
     let parallel_stage = t0.elapsed();
+    if let Some(n) = &cluster_node {
+        n.add_wall(t_cluster.elapsed());
+    }
 
     // Stage 3: merge subtrees.
     let t1 = Instant::now();
-    let trees: Vec<RTree<RowId>> = subtrees
-        .lock()
-        .iter_mut()
-        .filter_map(|s| s.take())
-        .collect();
+    let trees: Vec<RTree<RowId>> = subtrees.lock().iter_mut().filter_map(|s| s.take()).collect();
     let mut merged = RTree::merge(trees);
     if merged.counters().is_none() {
         merged = merged.with_counters(counters);
     }
     let merge_stage = t1.elapsed();
+    if let Some(p) = &prof {
+        let n = p.child("subtree merge");
+        n.add_wall(merge_stage);
+        n.add_rows(merged.len() as u64);
+    }
 
-    Ok((
-        merged,
-        CreationStats { dop, parallel_stage, merge_stage, stage_rows, partition_sizes },
-    ))
+    Ok((merged, CreationStats { dop, parallel_stage, merge_stage, stage_rows, partition_sizes }))
 }
 
 #[cfg(test)]
@@ -295,10 +329,8 @@ mod tests {
     use sdo_storage::{DataType, Schema};
 
     fn geometry_table(n: usize) -> Arc<RwLock<Table>> {
-        let mut t = Table::new(
-            "G",
-            Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]),
-        );
+        let mut t =
+            Table::new("G", Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]));
         for i in 0..n {
             let x = ((i * 37) % 500) as f64;
             let y = ((i * 91) % 500) as f64;
@@ -316,14 +348,9 @@ mod tests {
     fn quadtree_parallel_equals_serial() {
         let table = geometry_table(200);
         let counters = Arc::new(Counters::new());
-        let (serial, s1) = build_quadtree(
-            &table,
-            1,
-            &params(IndexKindParam::Quadtree),
-            1,
-            Arc::clone(&counters),
-        )
-        .unwrap();
+        let (serial, s1) =
+            build_quadtree(&table, 1, &params(IndexKindParam::Quadtree), 1, Arc::clone(&counters))
+                .unwrap();
         for dop in [2usize, 4] {
             let (parallel, stats) = build_quadtree(
                 &table,
@@ -352,14 +379,9 @@ mod tests {
             build_rtree(&table, 1, &params(IndexKindParam::RTree), 1, Arc::clone(&counters))
                 .unwrap();
         for dop in [2usize, 3, 4] {
-            let (parallel, _) = build_rtree(
-                &table,
-                1,
-                &params(IndexKindParam::RTree),
-                dop,
-                Arc::clone(&counters),
-            )
-            .unwrap();
+            let (parallel, _) =
+                build_rtree(&table, 1, &params(IndexKindParam::RTree), dop, Arc::clone(&counters))
+                    .unwrap();
             parallel.check_invariants().unwrap_or_else(|e| panic!("dop={dop}: {e}"));
             assert_eq!(parallel.len(), serial.len());
             let mut a: Vec<RowId> = parallel.iter_items().map(|(_, r)| *r).collect();

@@ -97,14 +97,11 @@ fn parse_join_options(s: &str) -> Result<SpatialJoinConfig, DbError> {
         };
     }
     if let Some(v) = param(&pairs, "candidates") {
-        cfg.candidate_array = v
-            .parse::<usize>()
-            .map_err(|_| DbError::Plan(format!("bad candidates '{v}'")))?
-            .max(1);
+        cfg.candidate_array =
+            v.parse::<usize>().map_err(|_| DbError::Plan(format!("bad candidates '{v}'")))?.max(1);
     }
     if let Some(v) = param(&pairs, "cache") {
-        cfg.cache_size =
-            v.parse().map_err(|_| DbError::Plan(format!("bad cache '{v}'")))?;
+        cfg.cache_size = v.parse().map_err(|_| DbError::Plan(format!("bad cache '{v}'")))?;
     }
     Ok(cfg)
 }
@@ -183,8 +180,8 @@ fn spatial_join_factory(db: &Database, args: Vec<TfArg>) -> Result<TfInstance, D
                     .into(),
             ));
         }
-        let func = QuadtreeJoin::new(left, right, exact, config, counters)
-            .map_err(DbError::from)?;
+        let func =
+            QuadtreeJoin::new(left, right, exact, config, counters).map_err(DbError::from)?;
         return Ok(TfInstance { func: Box::new(func), columns });
     }
 
@@ -207,8 +204,7 @@ fn spatial_join_factory(db: &Database, args: Vec<TfArg>) -> Result<TfInstance, D
     };
 
     if dop <= 1 {
-        let func =
-            SpatialJoin::with_stack(left, right, exact, config, counters, tasks);
+        let func = SpatialJoin::with_stack(left, right, exact, config, counters, tasks);
         return Ok(TfInstance { func: Box::new(func), columns });
     }
 
@@ -225,10 +221,7 @@ fn spatial_join_factory(db: &Database, args: Vec<TfArg>) -> Result<TfInstance, D
             let stack: Vec<(NodeId, NodeId)> = rows
                 .iter()
                 .map(|r| {
-                    (
-                        r[0].as_integer().unwrap() as NodeId,
-                        r[1].as_integer().unwrap() as NodeId,
-                    )
+                    (r[0].as_integer().unwrap() as NodeId, r[1].as_integer().unwrap() as NodeId)
                 })
                 .collect();
             Box::new(SpatialJoin::with_stack(
@@ -338,14 +331,11 @@ fn tessellate_factory(db: &Database, args: Vec<TfArg>) -> Result<TfInstance, DbE
         .schema()
         .column_index(&column)
         .ok_or_else(|| DbError::Plan(format!("no column {column}")))?;
-    let params = crate::params::SpatialIndexParams {
-        sdo_level: level,
-        ..Default::default()
-    };
+    let params = crate::params::SpatialIndexParams { sdo_level: level, ..Default::default() };
     let world = crate::create::world_extent_of(&table, col, &params)?;
     let counters = Arc::clone(db.counters());
-    let cursor = sdo_tablefunc::source::TableCursor::full(Arc::clone(&table))
-        .with_projection(vec![col]);
+    let cursor =
+        sdo_tablefunc::source::TableCursor::full(Arc::clone(&table)).with_projection(vec![col]);
     let func = sdo_tablefunc::pipeline::CursorFn::new(cursor, move |row| {
         crate::create::tessellate_row(&row, &world, level, &counters)
     });

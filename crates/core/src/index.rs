@@ -39,8 +39,7 @@ impl IndexType for SpatialIndexType {
         let counters = Arc::clone(db.counters());
         let (index, kind): (Box<dyn DomainIndex>, IndexKind) = match p.kind {
             IndexKindParam::RTree => {
-                let (tree, _stats) =
-                    create::build_rtree(&t, col, &p, dop, Arc::clone(&counters))?;
+                let (tree, _stats) = create::build_rtree(&t, col, &p, dop, Arc::clone(&counters))?;
                 (
                     Box::new(RTreeSpatialIndex {
                         name: index_name.to_string(),
@@ -53,8 +52,7 @@ impl IndexType for SpatialIndexType {
                 )
             }
             IndexKindParam::Quadtree => {
-                let (qt, _stats) =
-                    create::build_quadtree(&t, col, &p, dop, Arc::clone(&counters))?;
+                let (qt, _stats) = create::build_quadtree(&t, col, &p, dop, Arc::clone(&counters))?;
                 (
                     Box::new(QuadtreeSpatialIndex {
                         name: index_name.to_string(),
@@ -108,11 +106,7 @@ fn decode_op(call: &OperatorCall) -> Result<DecodedOp, DbError> {
         .ok_or_else(|| DbError::Index(format!("{}: missing query geometry", call.name)))?;
     match call.name.to_ascii_uppercase().as_str() {
         "SDO_RELATE" => {
-            let mask = call
-                .args
-                .get(1)
-                .and_then(|v| v.as_text())
-                .unwrap_or("ANYINTERACT");
+            let mask = call.args.get(1).and_then(|v| v.as_text()).unwrap_or("ANYINTERACT");
             Ok(DecodedOp::Relate(q, RelateMask::parse_list(mask)?))
         }
         "SDO_WITHIN_DISTANCE" => {
@@ -145,7 +139,11 @@ pub fn parse_num_res(extra: &[Value]) -> Result<usize, DbError> {
                 .parse::<usize>()
                 .map_err(|_| DbError::Index(format!("bad sdo_num_res '{k}'")))
                 .and_then(|k| {
-                    if k >= 1 { Ok(k) } else { Err(DbError::Index("sdo_num_res must be >= 1".into())) }
+                    if k >= 1 {
+                        Ok(k)
+                    } else {
+                        Err(DbError::Index("sdo_num_res must be >= 1".into()))
+                    }
                 });
         }
     }
@@ -264,10 +262,7 @@ impl DomainIndex for RTreeSpatialIndex {
                 }
                 let candidates: Vec<(RowId, bool)> = {
                     let tree = self.tree.read();
-                    tree.query_window(&q.bbox())
-                        .into_iter()
-                        .map(|(_, rid)| (rid, false))
-                        .collect()
+                    tree.query_window(&q.bbox()).into_iter().map(|(_, rid)| (rid, false)).collect()
                 };
                 secondary_filter(&self.table, self.column, &self.counters, candidates, |g| {
                     sdo_geom::relate::relate_any(g, &q, &masks)
@@ -295,8 +290,9 @@ impl DomainIndex for RTreeSpatialIndex {
                 // Current top-k by exact distance (k is small: linear
                 // maintenance beats heap overhead).
                 let mut best: Vec<(f64, RowId)> = Vec::with_capacity(k);
-                let worst =
-                    |best: &Vec<(f64, RowId)>| best.last().map(|(d, _)| *d).unwrap_or(f64::INFINITY);
+                let worst = |best: &Vec<(f64, RowId)>| {
+                    best.last().map(|(d, _)| *d).unwrap_or(f64::INFINITY)
+                };
                 for (lower, _, rid) in tree.nearest_iter(qbb) {
                     if best.len() == k && lower > worst(&best) {
                         break; // no remaining candidate can improve top-k
@@ -306,8 +302,7 @@ impl DomainIndex for RTreeSpatialIndex {
                     Counters::bump(&self.counters.exact_tests);
                     let d = sdo_geom::distance(g, &q);
                     if best.len() < k || d < worst(&best) {
-                        let pos = best
-                            .partition_point(|&(bd, brid)| (bd, brid) < (d, rid));
+                        let pos = best.partition_point(|&(bd, brid)| (bd, brid) < (d, rid));
                         best.insert(pos, (d, rid));
                         best.truncate(k);
                     }
@@ -423,14 +418,10 @@ impl DomainIndex for QuadtreeSpatialIndex {
             }
             DecodedOp::WithinDistance(q, d) => {
                 // Expand the query window by d for the tile-level filter.
-                let window =
-                    Geometry::Polygon(Polygon::from_rect(&q.bbox().expanded(d)));
+                let window = Geometry::Polygon(Polygon::from_rect(&q.bbox().expanded(d)));
                 let candidates: Vec<(RowId, bool)> = {
                     let idx = self.index.read();
-                    idx.query_window(&window)
-                        .into_iter()
-                        .map(|c| (c.rowid, false))
-                        .collect()
+                    idx.query_window(&window).into_iter().map(|c| (c.rowid, false)).collect()
                 };
                 secondary_filter(&self.table, self.column, &self.counters, candidates, |g| {
                     sdo_geom::within_distance(g, &q, d)

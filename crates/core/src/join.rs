@@ -23,12 +23,38 @@
 
 use parking_lot::RwLock;
 use sdo_geom::{Geometry, RelateMask};
+use sdo_obs::ProfileNode;
 use sdo_rtree::join::{subtree_pair_tasks, CandidatePair};
 use sdo_rtree::{JoinCursor, JoinPredicate, NodeId, RTree};
 use sdo_storage::{Counters, RowId, Table, Value};
 use sdo_tablefunc::{Row, TableFunction, TfError};
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-phase profile nodes for one join instance — the four §4.2
+/// phases, reported under the operator (or slave) node when a
+/// [`sdo_obs::ProfileSession`] is active. Absent (`None`) otherwise,
+/// so the un-profiled path pays nothing.
+struct JoinPhases {
+    node: ProfileNode,
+    mbr: ProfileNode,
+    sort: ProfileNode,
+    fetch: ProfileNode,
+    filter: ProfileNode,
+}
+
+impl JoinPhases {
+    fn new(node: ProfileNode) -> Self {
+        JoinPhases {
+            mbr: node.child("mbr join"),
+            sort: node.child("candidate sort"),
+            fetch: node.child("geometry fetch"),
+            filter: node.child("exact filter"),
+            node,
+        }
+    }
+}
 
 /// Order in which candidate-pair geometries are fetched (§4.2's
 /// optimization; the `Arrival` setting exists for the ablation bench).
@@ -67,10 +93,7 @@ impl ExactPredicate {
         if t.eq_ignore_ascii_case("filter") {
             return Ok(ExactPredicate::PrimaryOnly);
         }
-        if let Some(d) = t
-            .strip_prefix("distance=")
-            .or_else(|| t.strip_prefix("DISTANCE="))
-        {
+        if let Some(d) = t.strip_prefix("distance=").or_else(|| t.strip_prefix("DISTANCE=")) {
             return d
                 .trim()
                 .parse()
@@ -203,6 +226,8 @@ pub struct SpatialJoin {
     /// Peak candidate-array occupancy (pipelining-memory ablation).
     peak_candidates: usize,
     result_rows: usize,
+    attached: Option<ProfileNode>,
+    phases: Option<JoinPhases>,
 }
 
 impl SpatialJoin {
@@ -247,6 +272,8 @@ impl SpatialJoin {
             mbr_exhausted: false,
             peak_candidates: 0,
             result_rows: 0,
+            attached: None,
+            phases: None,
         }
     }
 
@@ -287,7 +314,13 @@ impl SpatialJoin {
             std::mem::take(&mut self.stack),
             std::mem::take(&mut self.carry),
         );
+        let t_mbr = self.phases.as_ref().map(|_| Instant::now());
         let mut candidates = cursor.next_batch(self.config.candidate_array);
+        if let (Some(p), Some(t0)) = (&self.phases, t_mbr) {
+            p.mbr.add_wall(t0.elapsed());
+            p.mbr.add_batches(1);
+            p.mbr.add_rows(candidates.len() as u64);
+        }
         Counters::add(&self.counters.mbr_tests, candidates.len() as u64);
         let (stack, carry) = cursor.into_parts();
         self.stack = stack;
@@ -300,6 +333,7 @@ impl SpatialJoin {
 
         // §4.2: sort the candidate array by the first rowid before
         // fetching geometries.
+        let t_sort = self.phases.as_ref().map(|_| Instant::now());
         match self.config.fetch_order {
             FetchOrder::RowidSorted => candidates.sort_by_key(|&(_, l, _, r)| (l, r)),
             FetchOrder::Random => candidates.sort_by_key(|&(_, l, _, r)| {
@@ -308,24 +342,39 @@ impl SpatialJoin {
             }),
             FetchOrder::Arrival => {}
         }
+        if let (Some(p), Some(t0)) = (&self.phases, t_sort) {
+            p.sort.add_wall(t0.elapsed());
+        }
 
         for (_, lrid, _, rrid) in candidates {
             if matches!(self.exact, ExactPredicate::PrimaryOnly) {
                 self.out.push_back(vec![Value::RowId(lrid), Value::RowId(rrid)]);
                 continue;
             }
-            let Some(lg) = self.lcache.get(&self.left.table, self.left.column, lrid) else {
+            let t_fetch = self.phases.as_ref().map(|_| Instant::now());
+            let lg = self.lcache.get(&self.left.table, self.left.column, lrid);
+            let rg = lg
+                .is_some()
+                .then(|| self.rcache.get(&self.right.table, self.right.column, rrid))
+                .flatten();
+            if let (Some(p), Some(t0)) = (&self.phases, t_fetch) {
+                p.fetch.add_wall(t0.elapsed());
+                p.fetch.add_rows(u64::from(lg.is_some()) + u64::from(rg.is_some()));
+            }
+            let (Some(lg), Some(rg)) = (lg, rg) else {
                 continue; // row deleted mid-join: skip, like a CR miss
             };
-            let Some(rg) = self.rcache.get(&self.right.table, self.right.column, rrid) else {
-                continue;
-            };
             Counters::bump(&self.counters.exact_tests);
+            let t_filter = self.phases.as_ref().map(|_| Instant::now());
             let keep = match &self.exact {
                 ExactPredicate::Masks(masks) => sdo_geom::relate::relate_any(&lg, &rg, masks),
                 ExactPredicate::Distance(d) => sdo_geom::within_distance(&lg, &rg, *d),
                 ExactPredicate::PrimaryOnly => unreachable!(),
             };
+            if let (Some(p), Some(t0)) = (&self.phases, t_filter) {
+                p.filter.add_wall(t0.elapsed());
+                p.filter.add_rows(1);
+            }
             if keep {
                 self.out.push_back(vec![Value::RowId(lrid), Value::RowId(rrid)]);
             }
@@ -340,6 +389,14 @@ impl TableFunction for SpatialJoin {
             return Err(TfError::Protocol("start called twice"));
         }
         self.started = true;
+        // Resolve the profile target: an explicitly attached node (the
+        // executor's operator node, or a parallel slave's node), else a
+        // child of the ambient profile if a session is active.
+        if let Some(node) =
+            self.attached.clone().or_else(|| sdo_obs::current().map(|c| c.child("spatial join")))
+        {
+            self.phases = Some(JoinPhases::new(node));
+        }
         Ok(())
     }
 
@@ -359,8 +416,18 @@ impl TableFunction for SpatialJoin {
         self.stack.clear();
         self.carry.clear();
         self.out.clear();
+        // Flush once: close is idempotent, so take() the phases.
+        if let Some(p) = self.phases.take() {
+            p.node.add_metric("geom_cache_hits", self.lcache.hits + self.rcache.hits);
+            p.node.add_metric("geom_cache_misses", self.lcache.misses + self.rcache.misses);
+            p.node.add_metric("peak_candidates", self.peak_candidates as u64);
+        }
         self.lcache.clear();
         self.rcache.clear();
+    }
+
+    fn attach_profile(&mut self, node: &ProfileNode) {
+        self.attached = Some(node.clone());
     }
 }
 
@@ -398,6 +465,15 @@ pub struct QuadtreeJoin {
     rcache: GeomCache,
     started: bool,
     merged: bool,
+    attached: Option<ProfileNode>,
+    phases: Option<QtPhases>,
+}
+
+/// Profile nodes for the quadtree join's two phases.
+struct QtPhases {
+    node: ProfileNode,
+    merge: ProfileNode,
+    filter: ProfileNode,
 }
 
 impl QuadtreeJoin {
@@ -430,17 +506,26 @@ impl QuadtreeJoin {
             rcache: GeomCache::new(cache),
             started: false,
             merged: false,
+            attached: None,
+            phases: None,
         })
     }
 
     fn refill(&mut self) -> Result<(), TfError> {
         if !self.merged {
+            let t_merge = self.phases.as_ref().map(|_| Instant::now());
             let cands = sdo_quadtree::join::merge_join(&self.left.index, &self.right.index);
+            if let (Some(p), Some(t0)) = (&self.phases, t_merge) {
+                p.merge.add_wall(t0.elapsed());
+                p.merge.add_batches(1);
+                p.merge.add_rows(cands.len() as u64);
+            }
             Counters::add(&self.counters.mbr_tests, cands.len() as u64);
             self.candidates = cands.into();
             self.merged = true;
         }
         // Secondary-filter one candidate-array's worth.
+        let t_filter = self.phases.as_ref().map(|_| Instant::now());
         let take = self.candidates.len().min(self.config.candidate_array);
         let mut batch: Vec<_> = self.candidates.drain(..take).collect();
         if self.config.fetch_order == FetchOrder::RowidSorted {
@@ -454,8 +539,7 @@ impl QuadtreeJoin {
             {
                 true
             } else {
-                let Some(lg) = self.lcache.get(&self.left.table, self.left.column, c.left)
-                else {
+                let Some(lg) = self.lcache.get(&self.left.table, self.left.column, c.left) else {
                     continue;
                 };
                 let Some(rg) = self.rcache.get(&self.right.table, self.right.column, c.right)
@@ -464,15 +548,17 @@ impl QuadtreeJoin {
                 };
                 Counters::bump(&self.counters.exact_tests);
                 match &self.exact {
-                    ExactPredicate::Masks(masks) => {
-                        sdo_geom::relate::relate_any(&lg, &rg, masks)
-                    }
+                    ExactPredicate::Masks(masks) => sdo_geom::relate::relate_any(&lg, &rg, masks),
                     _ => unreachable!("distance rejected at construction"),
                 }
             };
             if keep {
                 self.out.push_back(vec![Value::RowId(c.left), Value::RowId(c.right)]);
             }
+        }
+        if let (Some(p), Some(t0)) = (&self.phases, t_filter) {
+            p.filter.add_wall(t0.elapsed());
+            p.filter.add_rows(take as u64);
         }
         Ok(())
     }
@@ -484,6 +570,15 @@ impl TableFunction for QuadtreeJoin {
             return Err(TfError::Protocol("start called twice"));
         }
         self.started = true;
+        if let Some(node) =
+            self.attached.clone().or_else(|| sdo_obs::current().map(|c| c.child("quadtree join")))
+        {
+            self.phases = Some(QtPhases {
+                merge: node.child("tile merge"),
+                filter: node.child("exact filter"),
+                node,
+            });
+        }
         Ok(())
     }
 
@@ -501,8 +596,16 @@ impl TableFunction for QuadtreeJoin {
     fn close(&mut self) {
         self.candidates.clear();
         self.out.clear();
+        if let Some(p) = self.phases.take() {
+            p.node.add_metric("geom_cache_hits", self.lcache.hits + self.rcache.hits);
+            p.node.add_metric("geom_cache_misses", self.lcache.misses + self.rcache.misses);
+        }
         self.lcache.clear();
         self.rcache.clear();
+    }
+
+    fn attach_profile(&mut self, node: &ProfileNode) {
+        self.attached = Some(node.clone());
     }
 }
 
@@ -516,27 +619,20 @@ mod tests {
     use sdo_tablefunc::collect_all;
 
     fn make_side(offset: f64, n: usize) -> (JoinSide, Vec<Geometry>) {
-        let mut t = Table::new(
-            "T",
-            Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]),
-        );
+        let mut t =
+            Table::new("T", Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]));
         let mut geoms = Vec::new();
         let mut items = Vec::new();
         for i in 0..n {
             let x = offset + ((i * 53) % 300) as f64;
             let y = ((i * 97) % 300) as f64;
             let g = Geometry::Polygon(Polygon::from_rect(&Rect::new(x, y, x + 8.0, y + 8.0)));
-            let rid = t
-                .insert(vec![Value::Integer(i as i64), Value::geometry(g.clone())])
-                .unwrap();
+            let rid = t.insert(vec![Value::Integer(i as i64), Value::geometry(g.clone())]).unwrap();
             items.push((g.bbox(), rid));
             geoms.push(g);
         }
         let tree = Arc::new(RTree::bulk_load(items, RTreeParams::with_fanout(8)));
-        (
-            JoinSide { table: Arc::new(RwLock::new(t)), column: 1, tree },
-            geoms,
-        )
+        (JoinSide { table: Arc::new(RwLock::new(t)), column: 1, tree }, geoms)
     }
 
     fn brute(a: &[Geometry], b: &[Geometry], exact: &ExactPredicate) -> Vec<(u64, u64)> {
@@ -623,16 +719,8 @@ mod tests {
             let mut got = Vec::new();
             for chunk in tasks.chunks(tasks.len().div_ceil(3).max(1)) {
                 let mut join = SpatialJoin::with_stack(
-                    JoinSide {
-                        table: Arc::clone(&l.table),
-                        column: 1,
-                        tree: Arc::clone(&l.tree),
-                    },
-                    JoinSide {
-                        table: Arc::clone(&r.table),
-                        column: 1,
-                        tree: Arc::clone(&r.tree),
-                    },
+                    JoinSide { table: Arc::clone(&l.table), column: 1, tree: Arc::clone(&l.tree) },
+                    JoinSide { table: Arc::clone(&r.table), column: 1, tree: Arc::clone(&r.tree) },
                     exact.clone(),
                     SpatialJoinConfig::default(),
                     Arc::new(Counters::new()),

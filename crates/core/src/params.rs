@@ -77,9 +77,7 @@ impl SpatialIndexParams {
             };
         }
         if let Some(v) = param(&pairs, "sdo_level") {
-            out.sdo_level = v
-                .parse()
-                .map_err(|_| DbError::Plan(format!("bad sdo_level '{v}'")))?;
+            out.sdo_level = v.parse().map_err(|_| DbError::Plan(format!("bad sdo_level '{v}'")))?;
             // sdo_level implies a quadtree unless the kind was forced.
             if param(&pairs, "layer_gtype").is_none() && param(&pairs, "index_type").is_none() {
                 out.kind = IndexKindParam::Quadtree;
@@ -92,9 +90,8 @@ impl SpatialIndexParams {
             }
         }
         if let Some(v) = param(&pairs, "tree_fanout") {
-            out.tree_fanout = v
-                .parse()
-                .map_err(|_| DbError::Plan(format!("bad tree_fanout '{v}'")))?;
+            out.tree_fanout =
+                v.parse().map_err(|_| DbError::Plan(format!("bad tree_fanout '{v}'")))?;
             if out.tree_fanout < 4 {
                 return Err(DbError::Plan("tree_fanout must be at least 4".into()));
             }

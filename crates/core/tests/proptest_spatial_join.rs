@@ -13,23 +13,18 @@ use sdo_tablefunc::collect_all;
 use std::sync::Arc;
 
 fn arb_rect_poly() -> impl Strategy<Value = Geometry> {
-    ((0.0f64..200.0), (0.0f64..200.0), (0.5f64..25.0), (0.5f64..25.0))
-        .prop_map(|(x, y, w, h)| {
-            Geometry::Polygon(Polygon::from_rect(&Rect::new(x, y, x + w, y + h)))
-        })
+    ((0.0f64..200.0), (0.0f64..200.0), (0.5f64..25.0), (0.5f64..25.0)).prop_map(|(x, y, w, h)| {
+        Geometry::Polygon(Polygon::from_rect(&Rect::new(x, y, x + w, y + h)))
+    })
 }
 
 fn side(geoms: &[Geometry], fanout: usize) -> JoinSide {
-    let mut t = Table::new(
-        "T",
-        Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]),
-    );
+    let mut t =
+        Table::new("T", Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]));
     let mut items = Vec::new();
     for (i, g) in geoms.iter().enumerate() {
         let bb = g.bbox();
-        let rid = t
-            .insert(vec![Value::Integer(i as i64), Value::geometry(g.clone())])
-            .unwrap();
+        let rid = t.insert(vec![Value::Integer(i as i64), Value::geometry(g.clone())]).unwrap();
         items.push((bb, rid));
     }
     JoinSide {
@@ -56,9 +51,7 @@ fn run_join(
     let mut out: Vec<(u64, u64)> = collect_all(&mut join, fetch)
         .unwrap()
         .iter()
-        .map(|row| {
-            (row[0].as_rowid().unwrap().as_u64(), row[1].as_rowid().unwrap().as_u64())
-        })
+        .map(|row| (row[0].as_rowid().unwrap().as_u64(), row[1].as_rowid().unwrap().as_u64()))
         .collect();
     out.sort_unstable();
     out

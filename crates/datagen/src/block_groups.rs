@@ -43,9 +43,7 @@ pub fn generate(n: usize, extent: &Rect, seed: u64) -> Vec<Geometry> {
         // (clamping would create degenerate collinear runs). At tiny n
         // the radius can rival the extent; cap the inset at just under
         // the half-extent so the clamp below stays well-formed.
-        let margin = (r * 1.6)
-            .min(extent.width() * 0.49)
-            .min(extent.height() * 0.49);
+        let margin = (r * 1.6).min(extent.width() * 0.49).min(extent.height() * 0.49);
         let center = Point::new(
             center.x.clamp(extent.min_x + margin, extent.max_x - margin),
             center.y.clamp(extent.min_y + margin, extent.max_y - margin),
@@ -65,29 +63,16 @@ pub fn generate(n: usize, extent: &Rect, seed: u64) -> Vec<Geometry> {
 
 /// A simple star-shaped ring: `r(θ) = r0 * (1 + Σ a_k sin(kθ + φ_k))`
 /// with `Σ|a_k| <= 0.5`, clamped into the extent.
-fn star_ring(
-    rng: &mut StdRng,
-    center: Point,
-    r0: f64,
-    vertices: usize,
-    extent: &Rect,
-) -> Ring {
+fn star_ring(rng: &mut StdRng, center: Point, r0: f64, vertices: usize, extent: &Rect) -> Ring {
     let harmonics: Vec<(f64, f64, f64)> = (2..6)
         .map(|k| {
-            (
-                k as f64,
-                rng.random_range(0.0..0.125),
-                rng.random_range(0.0..std::f64::consts::TAU),
-            )
+            (k as f64, rng.random_range(0.0..0.125), rng.random_range(0.0..std::f64::consts::TAU))
         })
         .collect();
     let pts: Vec<Point> = (0..vertices)
         .map(|i| {
             let theta = i as f64 / vertices as f64 * std::f64::consts::TAU;
-            let wobble: f64 = harmonics
-                .iter()
-                .map(|(k, a, phi)| a * (k * theta + phi).sin())
-                .sum();
+            let wobble: f64 = harmonics.iter().map(|(k, a, phi)| a * (k * theta + phi).sin()).sum();
             let r = r0 * (1.0 + wobble);
             Point::new(
                 (center.x + r * theta.cos()).clamp(extent.min_x, extent.max_x),

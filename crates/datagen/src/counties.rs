@@ -128,11 +128,7 @@ mod tests {
         // other polygon (its grid neighbour) at distance 0.
         let counties = generate(60, &US_EXTENT, 3);
         let g0 = &counties[0];
-        let touching = counties
-            .iter()
-            .skip(1)
-            .filter(|g| sdo_geom::intersects(g0, g))
-            .count();
+        let touching = counties.iter().skip(1).filter(|g| sdo_geom::intersects(g0, g)).count();
         assert!(touching >= 1, "county 0 has no touching neighbours");
     }
 

@@ -104,10 +104,7 @@ mod tests {
             cells[j * 10 + i] += 1;
         }
         let max = *cells.iter().max().unwrap();
-        assert!(
-            max as f64 > 3.0 * 50.0,
-            "densest cell {max} not skewed enough for cluster data"
-        );
+        assert!(max as f64 > 3.0 * 50.0, "densest cell {max} not skewed enough for cluster data");
     }
 
     #[test]

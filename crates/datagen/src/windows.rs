@@ -38,9 +38,6 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(
-            rect_windows(5, &US_EXTENT, 0.05, 3),
-            rect_windows(5, &US_EXTENT, 0.05, 3)
-        );
+        assert_eq!(rect_windows(5, &US_EXTENT, 0.05, 3), rect_windows(5, &US_EXTENT, 0.05, 3));
     }
 }

@@ -28,23 +28,17 @@ impl TfArg {
 
     /// The argument as a string.
     pub fn text(&self) -> Result<&str, DbError> {
-        self.scalar()?
-            .as_text()
-            .ok_or_else(|| DbError::Plan("expected string argument".into()))
+        self.scalar()?.as_text().ok_or_else(|| DbError::Plan("expected string argument".into()))
     }
 
     /// The argument as an integer.
     pub fn integer(&self) -> Result<i64, DbError> {
-        self.scalar()?
-            .as_integer()
-            .ok_or_else(|| DbError::Plan("expected integer argument".into()))
+        self.scalar()?.as_integer().ok_or_else(|| DbError::Plan("expected integer argument".into()))
     }
 
     /// The argument as a double (integers widen).
     pub fn double(&self) -> Result<f64, DbError> {
-        self.scalar()?
-            .as_double()
-            .ok_or_else(|| DbError::Plan("expected numeric argument".into()))
+        self.scalar()?.as_double().ok_or_else(|| DbError::Plan("expected numeric argument".into()))
     }
 
     /// The materialized cursor rows, or an error for scalars.
@@ -66,8 +60,7 @@ pub struct TfInstance {
 }
 
 /// Factory signature for registered table functions.
-pub type TfFactory =
-    dyn Fn(&Database, Vec<TfArg>) -> Result<TfInstance, DbError> + Send + Sync;
+pub type TfFactory = dyn Fn(&Database, Vec<TfArg>) -> Result<TfInstance, DbError> + Send + Sync;
 
 /// Result set of a query: column names plus rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +93,7 @@ pub struct Database {
     indextypes: RwLock<HashMap<String, Arc<dyn IndexType>>>,
     indexes: RwLock<HashMap<String, IndexHandle>>,
     table_functions: RwLock<HashMap<String, Arc<TfFactory>>>,
+    last_profile: RwLock<Option<sdo_obs::QueryProfile>>,
 }
 
 impl Default for Database {
@@ -116,7 +110,20 @@ impl Database {
             indextypes: RwLock::new(HashMap::new()),
             indexes: RwLock::new(HashMap::new()),
             table_functions: RwLock::new(HashMap::new()),
+            last_profile: RwLock::new(None),
         }
+    }
+
+    /// The operator profile of the most recent statement executed via
+    /// [`Database::execute`], if any. Every statement records one; use
+    /// `EXPLAIN ANALYZE` to render it as result rows instead.
+    pub fn last_profile(&self) -> Option<sdo_obs::QueryProfile> {
+        self.last_profile.read().clone()
+    }
+
+    /// Store the profile of a finished statement.
+    pub(crate) fn store_profile(&self, profile: sdo_obs::QueryProfile) {
+        *self.last_profile.write() = Some(profile);
     }
 
     /// The underlying storage catalog.
@@ -144,17 +151,11 @@ impl Database {
         name: &str,
         factory: impl Fn(&Database, Vec<TfArg>) -> Result<TfInstance, DbError> + Send + Sync + 'static,
     ) {
-        self.table_functions
-            .write()
-            .insert(name.to_ascii_uppercase(), Arc::new(factory));
+        self.table_functions.write().insert(name.to_ascii_uppercase(), Arc::new(factory));
     }
 
     /// Instantiate a registered table function.
-    pub fn make_table_function(
-        &self,
-        name: &str,
-        args: Vec<TfArg>,
-    ) -> Result<TfInstance, DbError> {
+    pub fn make_table_function(&self, name: &str, args: Vec<TfArg>) -> Result<TfInstance, DbError> {
         let factory = self
             .table_functions
             .read()
@@ -319,10 +320,7 @@ impl Database {
     pub fn save_snapshot(&self) -> bytes::Bytes {
         let metas: Vec<IndexMetadata> = {
             let indexes = self.indexes.read();
-            indexes
-                .keys()
-                .filter_map(|name| self.catalog.index_metadata(name).ok())
-                .collect()
+            indexes.keys().filter_map(|name| self.catalog.index_metadata(name).ok()).collect()
         };
         sdo_storage::snapshot::save_catalog(&self.catalog, &metas)
     }
@@ -373,9 +371,8 @@ mod tests {
                 columns: vec!["N".into()],
             })
         });
-        let mut inst = db
-            .make_table_function("nums", vec![TfArg::Scalar(Value::Integer(3))])
-            .unwrap();
+        let mut inst =
+            db.make_table_function("nums", vec![TfArg::Scalar(Value::Integer(3))]).unwrap();
         let rows = sdo_tablefunc::collect_all(inst.func.as_mut(), 10).unwrap();
         assert_eq!(rows.len(), 3);
         assert_eq!(inst.columns, vec!["N".to_string()]);

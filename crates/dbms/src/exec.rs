@@ -22,24 +22,68 @@ use crate::extensible::OperatorCall;
 use crate::sql::ast::*;
 use parking_lot::RwLock;
 use sdo_geom::{Geometry, RelateMask};
+use sdo_obs::ProfileSession;
 use sdo_storage::{ColumnDef, RowId, Schema, Table, Value};
 use sdo_tablefunc::Row;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Upper bound on unconstrained cross products, as a foot-gun guard.
 const MAX_CROSS_ROWS: usize = 5_000_000;
 
 /// Execute a parsed statement.
+///
+/// Every top-level statement runs under an [`sdo_obs`] profile session,
+/// so [`Database::last_profile`] always reflects the most recent
+/// statement. `EXPLAIN ANALYZE` executes the wrapped statement the same
+/// way but returns the rendered profile tree as its result rows.
 pub fn execute(db: &Database, stmt: &Statement) -> Result<QueryResult, DbError> {
+    if let Statement::ExplainAnalyze(inner) = stmt {
+        let session = ProfileSession::begin(statement_label(inner));
+        let result = execute_inner(db, inner);
+        if let Ok(r) = &result {
+            session.root().add_rows(r.rows.len() as u64);
+        }
+        let profile = session.finish();
+        result?;
+        db.store_profile(profile.clone());
+        return Ok(explain_result(profile.render_text().lines().map(String::from).collect()));
+    }
+    if sdo_obs::current().is_some() {
+        // Already inside an enclosing profile node (e.g. a harness that
+        // opened its own session): contribute to it, don't nest sessions.
+        return execute_inner(db, stmt);
+    }
+    let session = ProfileSession::begin(statement_label(stmt));
+    let result = execute_inner(db, stmt);
+    if let Ok(r) = &result {
+        session.root().add_rows(r.rows.len() as u64);
+    }
+    db.store_profile(session.finish());
+    result
+}
+
+/// Root label for a statement's profile tree.
+fn statement_label(stmt: &Statement) -> String {
+    match stmt {
+        Statement::CreateTable { name, .. } => format!("CREATE TABLE {name}"),
+        Statement::DropTable { name } => format!("DROP TABLE {name}"),
+        Statement::Insert { table, .. } => format!("INSERT {table}"),
+        Statement::Delete { table, .. } => format!("DELETE {table}"),
+        Statement::Update { table, .. } => format!("UPDATE {table}"),
+        Statement::CreateIndex { name, .. } => format!("CREATE INDEX {name}"),
+        Statement::DropIndex { name } => format!("DROP INDEX {name}"),
+        Statement::Select(_) => "SELECT".into(),
+        Statement::Explain(_) => "EXPLAIN".into(),
+        Statement::ExplainAnalyze(_) => "EXPLAIN ANALYZE".into(),
+    }
+}
+
+fn execute_inner(db: &Database, stmt: &Statement) -> Result<QueryResult, DbError> {
     match stmt {
         Statement::CreateTable { name, columns } => {
-            let schema = Schema::new(
-                columns
-                    .iter()
-                    .map(|(n, t)| ColumnDef::new(n, *t))
-                    .collect(),
-            );
+            let schema = Schema::new(columns.iter().map(|(n, t)| ColumnDef::new(n, *t)).collect());
             db.create_table(name, schema)?;
             Ok(QueryResult::empty())
         }
@@ -48,10 +92,7 @@ pub fn execute(db: &Database, stmt: &Statement) -> Result<QueryResult, DbError> 
             Ok(QueryResult::empty())
         }
         Statement::Insert { table, values } => {
-            let row = values
-                .iter()
-                .map(eval_const)
-                .collect::<Result<Vec<_>, _>>()?;
+            let row = values.iter().map(eval_const).collect::<Result<Vec<_>, _>>()?;
             db.insert_row(table, row)?;
             Ok(QueryResult::empty())
         }
@@ -117,6 +158,8 @@ pub fn execute(db: &Database, stmt: &Statement) -> Result<QueryResult, DbError> 
         }
         Statement::Select(sel) => run_select(db, sel),
         Statement::Explain(sel) => explain_select(db, sel),
+        // A nested `EXPLAIN ANALYZE` re-enters the profiling wrapper.
+        Statement::ExplainAnalyze(_) => execute(db, stmt),
     }
 }
 
@@ -132,7 +175,9 @@ fn explain_select(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
         && sel.from.len() == 1
     {
         if let FromItem::TableFunction { name, .. } = &sel.from[0] {
-            lines.push(format!("PIPELINED COUNT over TABLE({name}) [streaming, no materialization]"));
+            lines.push(format!(
+                "PIPELINED COUNT over TABLE({name}) [streaming, no materialization]"
+            ));
             return Ok(explain_result(lines));
         }
     }
@@ -225,11 +270,8 @@ fn explain_result(lines: Vec<String>) -> QueryResult {
 fn index_for(db: &Database, sel: &Select, cr: &ColumnRef) -> Option<String> {
     for f in &sel.from {
         let FromItem::Table { name, .. } = f else { continue };
-        let matches_binding = cr
-            .qualifier
-            .as_deref()
-            .map(|q| q.eq_ignore_ascii_case(f.binding()))
-            .unwrap_or(true);
+        let matches_binding =
+            cr.qualifier.as_deref().map(|q| q.eq_ignore_ascii_case(f.binding())).unwrap_or(true);
         if matches_binding {
             if let Some((meta, _)) = db.index_on(name, &cr.column) {
                 return Some(format!("{} ({})", meta.index_name, meta.kind));
@@ -276,12 +318,9 @@ struct RelRow {
 fn materialize_table(db: &Database, name: &str, binding: &str) -> Result<Relation, DbError> {
     let table = db.table(name)?;
     let guard = table.read();
-    let columns: Vec<String> =
-        guard.schema().columns().iter().map(|c| c.name.clone()).collect();
-    let rows: Vec<(Option<RowId>, Row)> = guard
-        .scan()
-        .map(|(rid, values)| (Some(rid), values.to_vec()))
-        .collect();
+    let columns: Vec<String> = guard.schema().columns().iter().map(|c| c.name.clone()).collect();
+    let rows: Vec<(Option<RowId>, Row)> =
+        guard.scan().map(|(rid, values)| (Some(rid), values.to_vec())).collect();
     drop(guard);
     Ok(Relation {
         binding: binding.to_ascii_uppercase(),
@@ -294,7 +333,20 @@ fn materialize_table(db: &Database, name: &str, binding: &str) -> Result<Relatio
 
 fn bind_from_item(db: &Database, item: &FromItem) -> Result<Relation, DbError> {
     match item {
-        FromItem::Table { name, .. } => materialize_table(db, name, item.binding()),
+        FromItem::Table { name, .. } => {
+            let parent = sdo_obs::current();
+            let t0 = parent.as_ref().map(|_| Instant::now());
+            let before = parent.as_ref().map(|_| db.counters().snapshot());
+            let rel = materialize_table(db, name, item.binding())?;
+            if let (Some(p), Some(t0), Some(b)) = (&parent, t0, &before) {
+                let node = p.child(format!("TABLE SCAN {}", name.to_ascii_uppercase()));
+                node.add_rows(rel.rows.len() as u64);
+                node.add_batches(1);
+                node.add_wall(t0.elapsed());
+                node.add_metric_deltas(&db.counters().diff(b).pairs());
+            }
+            Ok(rel)
+        }
         FromItem::TableFunction { name, args, .. } => {
             let mut tf_args = Vec::with_capacity(args.len());
             for a in args {
@@ -306,8 +358,20 @@ fn bind_from_item(db: &Database, item: &FromItem) -> Result<Relation, DbError> {
                     }
                 }
             }
+            let node = sdo_obs::current()
+                .map(|p| p.child(format!("TABLE FUNCTION SCAN {}", name.to_ascii_uppercase())));
+            let t0 = node.as_ref().map(|_| Instant::now());
+            let before = node.as_ref().map(|_| db.counters().snapshot());
             let mut inst = db.make_table_function(name, tf_args)?;
+            if let Some(n) = &node {
+                inst.func.attach_profile(n);
+            }
             let rows = sdo_tablefunc::collect_all(inst.func.as_mut(), 1024)?;
+            if let (Some(n), Some(t0), Some(b)) = (&node, t0, &before) {
+                n.add_rows(rows.len() as u64);
+                n.add_wall(t0.elapsed());
+                n.add_metric_deltas(&db.counters().diff(b).pairs());
+            }
             Ok(Relation {
                 binding: item.binding().to_ascii_uppercase(),
                 columns: inst.columns.iter().map(|c| c.to_ascii_uppercase()).collect(),
@@ -341,12 +405,16 @@ fn run_select(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
             for a in args {
                 match a {
                     TfArgAst::Expr(e) => tf_args.push(TfArg::Scalar(eval_const(e)?)),
-                    TfArgAst::Cursor(sub) => {
-                        tf_args.push(TfArg::Cursor(run_select(db, sub)?.rows))
-                    }
+                    TfArgAst::Cursor(sub) => tf_args.push(TfArg::Cursor(run_select(db, sub)?.rows)),
                 }
             }
             let mut inst = db.make_table_function(name, tf_args)?;
+            let op = sdo_obs::current().map(|c| c.child(format!("PIPELINED COUNT TABLE({name})")));
+            let before = op.as_ref().map(|_| db.counters().snapshot());
+            let t0 = op.as_ref().map(|_| Instant::now());
+            if let Some(node) = &op {
+                inst.func.attach_profile(node);
+            }
             inst.func.start()?;
             let mut n: i64 = 0;
             loop {
@@ -361,8 +429,16 @@ fn run_select(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
                     break;
                 }
                 n += batch.len() as i64;
+                if let Some(node) = &op {
+                    node.add_batches(1);
+                    node.add_rows(batch.len() as u64);
+                }
             }
             inst.func.close();
+            if let (Some(node), Some(t0), Some(b)) = (&op, t0, &before) {
+                node.add_wall(t0.elapsed());
+                node.add_metric_deltas(&db.counters().diff(b).pairs());
+            }
             return Ok(QueryResult {
                 columns: vec!["COUNT(*)".into()],
                 rows: vec![vec![Value::Integer(n)]],
@@ -370,11 +446,8 @@ fn run_select(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
         }
     }
 
-    let relations: Vec<Relation> = sel
-        .from
-        .iter()
-        .map(|f| bind_from_item(db, f))
-        .collect::<Result<Vec<_>, _>>()?;
+    let relations: Vec<Relation> =
+        sel.from.iter().map(|f| bind_from_item(db, f)).collect::<Result<Vec<_>, _>>()?;
 
     // Classify conjuncts.
     let op_names = db.operator_names();
@@ -394,19 +467,52 @@ fn run_select(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
         }
     }
 
-    // Choose a join strategy and produce joined rows.
+    // Choose a join strategy and produce joined rows. Each strategy
+    // gets an operator node; nodes created while it runs (table
+    // function scans inside the semijoin subquery, say) nest under it.
     let metas: Vec<RelMeta> = relations.iter().map(|r| r.clone_meta()).collect();
+    let profile = sdo_obs::current();
     let mut joined: Vec<Vec<RelRow>>;
     if let Some(Predicate::RowidPairIn { left, right, subquery }) = rowid_pairs.first() {
-        joined = rowid_pair_join(db, &relations, left, right, subquery)?;
+        let node = profile.as_ref().map(|p| p.child("ROWID-PAIR SEMIJOIN"));
+        let t0 = node.as_ref().map(|_| Instant::now());
+        let before = node.as_ref().map(|_| db.counters().snapshot());
+        {
+            let _scope = node.clone().map(sdo_obs::enter);
+            joined = rowid_pair_join(db, &relations, left, right, subquery)?;
+        }
+        if let (Some(n), Some(t0), Some(b)) = (&node, t0, &before) {
+            n.add_rows(joined.len() as u64);
+            n.add_wall(t0.elapsed());
+            n.add_metric_deltas(&db.counters().diff(b).pairs());
+        }
         // Any spatial predicates left over apply as filters.
         joined = apply_spatial_filters(db, &relations, joined, &spatial)?;
     } else if let Some(join_pred) = spatial.iter().position(|s| s.is_join()) {
         let jp = spatial.remove(join_pred);
-        joined = nested_loop_join(db, &relations, &jp)?;
+        let node = profile.as_ref().map(|p| p.child(format!("NESTED LOOP JOIN ({})", jp.name)));
+        let t0 = node.as_ref().map(|_| Instant::now());
+        let before = node.as_ref().map(|_| db.counters().snapshot());
+        {
+            let _scope = node.clone().map(sdo_obs::enter);
+            joined = nested_loop_join(db, &relations, &jp)?;
+        }
+        if let (Some(n), Some(t0), Some(b)) = (&node, t0, &before) {
+            n.add_rows(joined.len() as u64);
+            n.add_wall(t0.elapsed());
+            n.add_metric_deltas(&db.counters().diff(b).pairs());
+        }
         joined = apply_spatial_filters(db, &relations, joined, &spatial)?;
     } else {
+        let node = (relations.len() > 1)
+            .then(|| profile.as_ref().map(|p| p.child("CARTESIAN PRODUCT")))
+            .flatten();
+        let t0 = node.as_ref().map(|_| Instant::now());
         joined = cross_product(&relations)?;
+        if let (Some(n), Some(t0)) = (&node, t0) {
+            n.add_rows(joined.len() as u64);
+            n.add_wall(t0.elapsed());
+        }
         joined = apply_spatial_filters(db, &relations, joined, &spatial)?;
     }
 
@@ -505,17 +611,13 @@ fn classify_spatial<'a>(
         }
         e => {
             let v = eval_const(e)?;
-            let g = v
-                .as_geometry()
-                .cloned()
-                .ok_or_else(|| DbError::Plan(format!("{name}: second argument must be a geometry")))?;
+            let g = v.as_geometry().cloned().ok_or_else(|| {
+                DbError::Plan(format!("{name}: second argument must be a geometry"))
+            })?;
             SpatialOperand::Const(g)
         }
     };
-    let extra = args[2..]
-        .iter()
-        .map(eval_const)
-        .collect::<Result<Vec<_>, _>>()?;
+    let extra = args[2..].iter().map(eval_const).collect::<Result<Vec<_>, _>>()?;
     Ok(SpatialPred {
         name: name.to_ascii_uppercase(),
         target,
@@ -608,10 +710,7 @@ fn rowid_pair_join(
         }
         let lvals = lt.read().get(lrid)?;
         let rvals = rt.read().get(rrid)?;
-        let mut jr = vec![
-            RelRow { rid: None, values: Vec::new() };
-            relations.len()
-        ];
+        let mut jr = vec![RelRow { rid: None, values: Vec::new() }; relations.len()];
         jr[l_rel] = RelRow { rid: Some(lrid), values: lvals.to_vec() };
         jr[r_rel] = RelRow { rid: Some(rrid), values: rvals.to_vec() };
         out.push(jr);
@@ -635,17 +734,10 @@ fn nested_loop_join(
     }
     // Index available on the inner column?
     let inner = &relations[inner_rel];
-    let index = inner
-        .table_name
-        .as_deref()
-        .and_then(|t| db.index_on(t, &inner.columns[inner_col]));
+    let index = inner.table_name.as_deref().and_then(|t| db.index_on(t, &inner.columns[inner_col]));
     // Rowid -> position map for index probes.
-    let rid_pos: HashMap<RowId, usize> = inner
-        .rows
-        .iter()
-        .enumerate()
-        .filter_map(|(i, (rid, _))| rid.map(|r| (r, i)))
-        .collect();
+    let rid_pos: HashMap<RowId, usize> =
+        inner.rows.iter().enumerate().filter_map(|(i, (rid, _))| rid.map(|r| (r, i))).collect();
 
     let mut out = Vec::new();
     for (orid, ovals) in &relations[outer_rel].rows {
@@ -679,10 +771,7 @@ fn nested_loop_join(
         };
         for i in matches {
             let (irid, ivals) = &inner.rows[i];
-            let mut jr = vec![
-                RelRow { rid: None, values: Vec::new() };
-                relations.len()
-            ];
+            let mut jr = vec![RelRow { rid: None, values: Vec::new() }; relations.len()];
             jr[outer_rel] = RelRow { rid: *orid, values: ovals.clone() };
             jr[inner_rel] = RelRow { rid: *irid, values: ivals.clone() };
             out.push(jr);
@@ -727,16 +816,14 @@ fn apply_spatial_filters(
             // A second join predicate: evaluate functionally per row.
             let SpatialOperand::Column(ir, ic) = p.other else { unreachable!() };
             let (or, oc) = p.target;
-            rows.retain(|jr| {
-                match (jr[or].values.get(oc), jr[ir].values.get(ic)) {
-                    (Some(a), Some(b)) => match (a.as_geometry(), b.as_geometry()) {
-                        (Some(ga), Some(gb)) => {
-                            eval_spatial_fn(&p.name, ga, gb, &p.extra).unwrap_or(false)
-                        }
-                        _ => false,
-                    },
+            rows.retain(|jr| match (jr[or].values.get(oc), jr[ir].values.get(ic)) {
+                (Some(a), Some(b)) => match (a.as_geometry(), b.as_geometry()) {
+                    (Some(ga), Some(gb)) => {
+                        eval_spatial_fn(&p.name, ga, gb, &p.extra).unwrap_or(false)
+                    }
                     _ => false,
-                }
+                },
+                _ => false,
             });
             continue;
         }
@@ -744,10 +831,7 @@ fn apply_spatial_filters(
         let (ri, ci) = p.target;
         // Index prefilter: compute the satisfying rowid set once.
         let rel = &relations[ri];
-        let index = rel
-            .table_name
-            .as_deref()
-            .and_then(|t| db.index_on(t, &rel.columns[ci]));
+        let index = rel.table_name.as_deref().and_then(|t| db.index_on(t, &rel.columns[ci]));
         if let Some((_, inst)) = index {
             let mut args = vec![Value::Geometry(Arc::clone(qg))];
             args.extend(p.extra.iter().cloned());
@@ -779,9 +863,11 @@ fn apply_spatial_filters(
             rows.retain(|jr| jr[ri].rid.map(|r| keep.contains(&r)).unwrap_or(false));
         } else {
             rows.retain(|jr| {
-                jr[ri].values.get(ci).and_then(|v| v.as_geometry()).is_some_and(|g| {
-                    eval_spatial_fn(&p.name, g, qg, &p.extra).unwrap_or(false)
-                })
+                jr[ri]
+                    .values
+                    .get(ci)
+                    .and_then(|v| v.as_geometry())
+                    .is_some_and(|g| eval_spatial_fn(&p.name, g, qg, &p.extra).unwrap_or(false))
             });
         }
     }
@@ -796,10 +882,9 @@ fn apply_spatial_filters(
 pub fn eval_const(e: &Expr) -> Result<Value, DbError> {
     match e {
         Expr::Literal(v) => Ok(v.clone()),
-        Expr::Column(cr) => Err(DbError::Plan(format!(
-            "column {} not allowed in constant expression",
-            cr.column
-        ))),
+        Expr::Column(cr) => {
+            Err(DbError::Plan(format!("column {} not allowed in constant expression", cr.column)))
+        }
         Expr::FnCall { name, args } => eval_scalar_fn(name, args),
     }
 }
@@ -875,10 +960,7 @@ pub fn eval_spatial_fn(
 ) -> Result<bool, DbError> {
     match name.to_ascii_uppercase().as_str() {
         "SDO_RELATE" => {
-            let mask = extra
-                .first()
-                .and_then(|v| v.as_text())
-                .unwrap_or("ANYINTERACT");
+            let mask = extra.first().and_then(|v| v.as_text()).unwrap_or("ANYINTERACT");
             let masks = RelateMask::parse_list(mask)?;
             Ok(sdo_geom::relate::relate_any(a, b, &masks))
         }
@@ -927,9 +1009,7 @@ pub fn parse_distance(extra: &[Value]) -> Result<f64, DbError> {
     if let Some(s) = v.as_text() {
         let params = crate::extensible::parse_params(s);
         if let Some(d) = crate::extensible::param(&params, "distance") {
-            return d
-                .parse()
-                .map_err(|_| DbError::Plan(format!("bad distance '{d}'")));
+            return d.parse().map_err(|_| DbError::Plan(format!("bad distance '{d}'")));
         }
     }
     Err(DbError::Plan("SDO_WITHIN_DISTANCE needs a numeric distance".into()))
@@ -1016,10 +1096,8 @@ fn eval_predicate(
                     let a = eval_expr(db, metas, joined, &args[0])?;
                     let b = eval_expr(db, metas, joined, &args[1])?;
                     if let (Some(ga), Some(gb)) = (a.as_geometry(), b.as_geometry()) {
-                        let extra = args[2..]
-                            .iter()
-                            .map(eval_const)
-                            .collect::<Result<Vec<_>, _>>()?;
+                        let extra =
+                            args[2..].iter().map(eval_const).collect::<Result<Vec<_>, _>>()?;
                         let result = eval_spatial_fn(name, ga, gb, &extra)?;
                         let want = eval_expr(db, metas, joined, right)?;
                         return Ok(match want.as_text() {
@@ -1081,10 +1159,8 @@ fn project(
                 columns.push(if qualify { format!("{}.{}", m.binding, c) } else { c.clone() });
             }
         }
-        let rows = joined
-            .into_iter()
-            .map(|jr| jr.into_iter().flat_map(|r| r.values).collect())
-            .collect();
+        let rows =
+            joined.into_iter().map(|jr| jr.into_iter().flat_map(|r| r.values).collect()).collect();
         return Ok(QueryResult { columns, rows });
     }
     // Expression projection.

@@ -85,18 +85,14 @@ pub fn parse_params(params: &str) -> Vec<(String, String)> {
         .split([',', ' ', '\t', '\n'])
         .filter(|s| !s.is_empty())
         .filter_map(|kv| {
-            kv.split_once('=')
-                .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+            kv.split_once('=').map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
         })
         .collect()
 }
 
 /// Look up a parameter value by key.
 pub fn param<'a>(params: &'a [(String, String)], key: &str) -> Option<&'a str> {
-    params
-        .iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| v.as_str())
+    params.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
 }
 
 #[cfg(test)]

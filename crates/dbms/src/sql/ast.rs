@@ -66,6 +66,11 @@ pub enum Statement {
     /// `EXPLAIN SELECT ...` — describe the chosen strategy instead of
     /// executing the query.
     Explain(Select),
+    /// `EXPLAIN ANALYZE <statement>` — execute the statement with a
+    /// profile session attached and return the per-operator profile
+    /// tree (rows, batches, wall time, work-counter deltas) instead of
+    /// the statement's own result.
+    ExplainAnalyze(Box<Statement>),
 }
 
 /// A `SELECT` query.
@@ -178,10 +183,7 @@ pub struct ColumnRef {
 impl ColumnRef {
     /// Build a reference from an optional qualifier and a column name.
     pub fn new(qualifier: Option<&str>, column: &str) -> Self {
-        ColumnRef {
-            qualifier: qualifier.map(|s| s.to_string()),
-            column: column.to_string(),
-        }
+        ColumnRef { qualifier: qualifier.map(|s| s.to_string()), column: column.to_string() }
     }
 
     /// True when this references the `ROWID` pseudo column.

@@ -213,10 +213,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, DbError> {
                             message: "unterminated quoted identifier".into(),
                         });
                     }
-                    out.push(Token {
-                        kind: TokenKind::Ident(input[start..j].to_string()),
-                        offset,
-                    });
+                    out.push(Token { kind: TokenKind::Ident(input[start..j].to_string()), offset });
                     i = j + 1;
                 } else {
                     let start = i;
@@ -277,10 +274,7 @@ mod tests {
 
     #[test]
     fn strings_with_escapes() {
-        assert_eq!(
-            kinds("'it''s'"),
-            vec![TokenKind::Str("it's".into()), TokenKind::Eof]
-        );
+        assert_eq!(kinds("'it''s'"), vec![TokenKind::Str("it's".into()), TokenKind::Eof]);
         assert!(tokenize("'open").is_err());
     }
 

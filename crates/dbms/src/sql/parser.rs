@@ -134,6 +134,9 @@ impl Parser {
             return Ok(Statement::Select(self.select()?));
         }
         if self.eat_kw("EXPLAIN") {
+            if self.eat_kw("ANALYZE") {
+                return Ok(Statement::ExplainAnalyze(Box::new(self.statement()?)));
+            }
             return Ok(Statement::Explain(self.select()?));
         }
         if self.eat_kw("CREATE") {
@@ -178,15 +181,13 @@ impl Parser {
                     break;
                 }
             }
-            let where_clause =
-                if self.eat_kw("WHERE") { self.conjuncts()? } else { Vec::new() };
+            let where_clause = if self.eat_kw("WHERE") { self.conjuncts()? } else { Vec::new() };
             return Ok(Statement::Update { table, assignments, where_clause });
         }
         if self.eat_kw("DELETE") {
             self.expect_kw("FROM")?;
             let table = self.ident("table name")?;
-            let where_clause =
-                if self.eat_kw("WHERE") { self.conjuncts()? } else { Vec::new() };
+            let where_clause = if self.eat_kw("WHERE") { self.conjuncts()? } else { Vec::new() };
             return Ok(Statement::Delete { table, where_clause });
         }
         Err(self.err("expected a statement"))
@@ -233,7 +234,9 @@ impl Parser {
                 other => {
                     return Err(DbError::Parse {
                         offset: self.tokens[self.pos - 1].offset,
-                        message: format!("expected positive degree of parallelism, found {other:?}"),
+                        message: format!(
+                            "expected positive degree of parallelism, found {other:?}"
+                        ),
                     })
                 }
             }
@@ -299,13 +302,12 @@ impl Parser {
             } else {
                 let expr = self.expr()?;
                 let explicit = self.eat_kw("AS");
-                let alias = if explicit
-                    || matches!(self.peek(), TokenKind::Ident(s) if !is_reserved(s))
-                {
-                    Some(self.ident("alias")?)
-                } else {
-                    None
-                };
+                let alias =
+                    if explicit || matches!(self.peek(), TokenKind::Ident(s) if !is_reserved(s)) {
+                        Some(self.ident("alias")?)
+                    } else {
+                        None
+                    };
                 items.push(SelectItem::Expr { expr, alias });
             }
             if !self.eat_if(&TokenKind::Comma) {
@@ -511,8 +513,7 @@ mod tests {
 
     #[test]
     fn create_table() {
-        let s = parse("CREATE TABLE cities (id NUMBER, name VARCHAR2, geom SDO_GEOMETRY)")
-            .unwrap();
+        let s = parse("CREATE TABLE cities (id NUMBER, name VARCHAR2, geom SDO_GEOMETRY)").unwrap();
         match s {
             Statement::CreateTable { name, columns } => {
                 assert_eq!(name, "CITIES");
@@ -616,10 +617,9 @@ mod tests {
 
     #[test]
     fn cursor_argument() {
-        let s = parse(
-            "SELECT * FROM TABLE(F(CURSOR(SELECT * FROM TABLE(SUBTREE_ROOT('idx', 1))), 2))",
-        )
-        .unwrap();
+        let s =
+            parse("SELECT * FROM TABLE(F(CURSOR(SELECT * FROM TABLE(SUBTREE_ROOT('idx', 1))), 2))")
+                .unwrap();
         match s {
             Statement::Select(sel) => match &sel.from[0] {
                 FromItem::TableFunction { args, .. } => {

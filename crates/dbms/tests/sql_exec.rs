@@ -5,8 +5,7 @@
 use parking_lot::RwLock;
 use sdo_dbms::{Database, DbError, DomainIndex, IndexType, OperatorCall};
 use sdo_geom::Rect;
-use sdo_storage::{IndexKind
-    , RowId, Value};
+use sdo_storage::{IndexKind, RowId, Value};
 use sdo_tablefunc::table_function::BufferedFn;
 use std::sync::Arc;
 
@@ -127,8 +126,7 @@ fn setup() -> Database {
             x1 = gx + 2,
             y1 = gy + 2
         );
-        db.execute(&format!("INSERT INTO squares VALUES ({i}, SDO_GEOMETRY('{wkt}'))"))
-            .unwrap();
+        db.execute(&format!("INSERT INTO squares VALUES ({i}, SDO_GEOMETRY('{wkt}'))")).unwrap();
     }
     db
 }
@@ -145,14 +143,9 @@ fn create_insert_select_star() {
 fn count_star_and_residual_filters() {
     let db = setup();
     assert_eq!(db.execute("SELECT COUNT(*) FROM squares").unwrap().count(), Some(25));
+    assert_eq!(db.execute("SELECT COUNT(*) FROM squares WHERE id < 10").unwrap().count(), Some(10));
     assert_eq!(
-        db.execute("SELECT COUNT(*) FROM squares WHERE id < 10").unwrap().count(),
-        Some(10)
-    );
-    assert_eq!(
-        db.execute("SELECT COUNT(*) FROM squares WHERE id >= 10 AND id != 12")
-            .unwrap()
-            .count(),
+        db.execute("SELECT COUNT(*) FROM squares WHERE id >= 10 AND id != 12").unwrap().count(),
         Some(14)
     );
 }
@@ -180,8 +173,7 @@ fn window_query_with_index_matches_functional() {
                SDO_RELATE(geom, SDO_GEOMETRY('POLYGON ((1 1, 7 1, 7 7, 1 7, 1 1))'), \
                'ANYINTERACT') = 'TRUE'";
     let before = db.execute(sql).unwrap().count();
-    db.execute("CREATE INDEX squares_sidx ON squares(geom) INDEXTYPE IS SPATIAL_INDEX")
-        .unwrap();
+    db.execute("CREATE INDEX squares_sidx ON squares(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
     let after = db.execute(sql).unwrap().count();
     assert_eq!(before, after);
     assert!(after.unwrap() > 0);
@@ -190,8 +182,7 @@ fn window_query_with_index_matches_functional() {
 #[test]
 fn nested_loop_self_join() {
     let db = setup();
-    db.execute("CREATE INDEX squares_sidx ON squares(geom) INDEXTYPE IS SPATIAL_INDEX")
-        .unwrap();
+    db.execute("CREATE INDEX squares_sidx ON squares(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
     db.execute("CREATE TABLE probes (id NUMBER, geom SDO_GEOMETRY)").unwrap();
     // one probe overlapping squares 0 and 1
     db.execute(
@@ -220,8 +211,7 @@ fn nested_loop_self_join() {
 #[test]
 fn within_distance_join() {
     let db = setup();
-    db.execute("CREATE INDEX squares_sidx ON squares(geom) INDEXTYPE IS SPATIAL_INDEX")
-        .unwrap();
+    db.execute("CREATE INDEX squares_sidx ON squares(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
     // neighbours are 1 apart; diagonal neighbours sqrt(2) apart
     let r = db
         .execute(
@@ -246,17 +236,12 @@ fn table_function_scan_and_rowid_pair_join() {
         let rids: Vec<RowId> = t.read().scan().map(|(r, _)| r).collect();
         Ok(sdo_dbms::db::TfInstance {
             func: Box::new(BufferedFn::new(move || {
-                Ok(rids
-                    .iter()
-                    .map(|r| vec![Value::RowId(*r), Value::RowId(*r)])
-                    .collect())
+                Ok(rids.iter().map(|r| vec![Value::RowId(*r), Value::RowId(*r)]).collect())
             })),
             columns: vec!["RID1".into(), "RID2".into()],
         })
     });
-    let r = db
-        .execute("SELECT rid1, rid2 FROM TABLE(ID_PAIRS('squares'))")
-        .unwrap();
+    let r = db.execute("SELECT rid1, rid2 FROM TABLE(ID_PAIRS('squares'))").unwrap();
     assert_eq!(r.columns, vec!["RID1", "RID2"]);
     assert_eq!(r.rows.len(), 25);
     // drive a two-table semijoin from the pairs
@@ -288,9 +273,7 @@ fn cursor_arguments_materialize_subqueries() {
         })
     });
     let r = db
-        .execute(
-            "SELECT n FROM TABLE(COUNT_CURSOR(CURSOR(SELECT id FROM squares WHERE id < 7)))",
-        )
+        .execute("SELECT n FROM TABLE(COUNT_CURSOR(CURSOR(SELECT id FROM squares WHERE id < 7)))")
         .unwrap();
     assert_eq!(r.rows[0][0].as_integer(), Some(7));
 }
@@ -298,8 +281,7 @@ fn cursor_arguments_materialize_subqueries() {
 #[test]
 fn dml_maintains_domain_indexes() {
     let db = setup();
-    db.execute("CREATE INDEX squares_sidx ON squares(geom) INDEXTYPE IS SPATIAL_INDEX")
-        .unwrap();
+    db.execute("CREATE INDEX squares_sidx ON squares(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
     let window_sql = "SELECT COUNT(*) FROM squares WHERE \
         SDO_RELATE(geom, SDO_GEOMETRY('POLYGON ((100 100, 104 100, 104 104, 100 104, 100 100))'), \
         'ANYINTERACT') = 'TRUE'";
@@ -317,8 +299,7 @@ fn dml_maintains_domain_indexes() {
 #[test]
 fn drop_table_and_index() {
     let db = setup();
-    db.execute("CREATE INDEX squares_sidx ON squares(geom) INDEXTYPE IS SPATIAL_INDEX")
-        .unwrap();
+    db.execute("CREATE INDEX squares_sidx ON squares(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
     db.execute("DROP INDEX squares_sidx").unwrap();
     assert!(db.execute("DROP INDEX squares_sidx").is_err());
     db.execute("DROP TABLE squares").unwrap();
@@ -328,22 +309,14 @@ fn drop_table_and_index() {
 #[test]
 fn errors_are_reported() {
     let db = setup();
-    assert!(matches!(
-        db.execute("SELECT * FROM missing"),
-        Err(DbError::Storage(_))
-    ));
+    assert!(matches!(db.execute("SELECT * FROM missing"), Err(DbError::Storage(_))));
     assert!(matches!(db.execute("SELECT ^"), Err(DbError::Parse { .. })));
-    assert!(matches!(
-        db.execute("SELECT nope FROM squares"),
-        Err(DbError::Plan(_))
-    ));
+    assert!(matches!(db.execute("SELECT nope FROM squares"), Err(DbError::Plan(_))));
     assert!(matches!(
         db.execute("INSERT INTO squares VALUES (1, SDO_GEOMETRY('POINT (bad)'))"),
         Err(DbError::Geometry(_))
     ));
-    assert!(db
-        .execute("CREATE INDEX i ON squares(geom) INDEXTYPE IS NOT_REGISTERED")
-        .is_err());
+    assert!(db.execute("CREATE INDEX i ON squares(geom) INDEXTYPE IS NOT_REGISTERED").is_err());
 }
 
 #[test]
@@ -357,15 +330,11 @@ fn rowid_projection() {
 #[test]
 fn order_by_and_limit() {
     let db = setup();
-    let r = db
-        .execute("SELECT id FROM squares ORDER BY id DESC LIMIT 3")
-        .unwrap();
+    let r = db.execute("SELECT id FROM squares ORDER BY id DESC LIMIT 3").unwrap();
     let ids: Vec<i64> = r.rows.iter().map(|row| row[0].as_integer().unwrap()).collect();
     assert_eq!(ids, vec![24, 23, 22]);
     // ascending is the default; keys may be unprojected expressions
-    let r = db
-        .execute("SELECT id FROM squares WHERE id >= 20 ORDER BY id ASC")
-        .unwrap();
+    let r = db.execute("SELECT id FROM squares WHERE id >= 20 ORDER BY id ASC").unwrap();
     let ids: Vec<i64> = r.rows.iter().map(|row| row[0].as_integer().unwrap()).collect();
     assert_eq!(ids, vec![20, 21, 22, 23, 24]);
     // LIMIT 0
@@ -376,15 +345,11 @@ fn order_by_and_limit() {
 fn scalar_geometry_functions() {
     let db = setup();
     // every square is 2x2 => area 4
-    let r = db
-        .execute("SELECT SDO_AREA(geom) a FROM squares WHERE id = 0")
-        .unwrap();
+    let r = db.execute("SELECT SDO_AREA(geom) a FROM squares WHERE id = 0").unwrap();
     assert_eq!(r.columns, vec!["A"]);
     assert_eq!(r.rows[0][0].as_double(), Some(4.0));
 
-    let r = db
-        .execute("SELECT SDO_NUM_POINTS(geom) FROM squares WHERE id = 0")
-        .unwrap();
+    let r = db.execute("SELECT SDO_NUM_POINTS(geom) FROM squares WHERE id = 0").unwrap();
     assert_eq!(r.rows[0][0].as_integer(), Some(4));
 
     // distance from each square to a fixed point, ordered
@@ -399,9 +364,7 @@ fn scalar_geometry_functions() {
     assert!(r.rows[1][1].as_double().unwrap() > 0.0);
 
     // centroid + wkt round trip through SQL
-    let r = db
-        .execute("SELECT SDO_WKT(SDO_CENTROID(geom)) FROM squares WHERE id = 0")
-        .unwrap();
+    let r = db.execute("SELECT SDO_WKT(SDO_CENTROID(geom)) FROM squares WHERE id = 0").unwrap();
     assert_eq!(r.rows[0][0].as_text(), Some("POINT (1 1)"));
 
     // MBR of a geometry is a polygon
@@ -421,13 +384,9 @@ fn order_by_rejects_bad_keys() {
 fn length_and_validate_functions() {
     let db = setup();
     // 2x2 square: perimeter 8
-    let r = db
-        .execute("SELECT SDO_LENGTH(geom) FROM squares WHERE id = 0")
-        .unwrap();
+    let r = db.execute("SELECT SDO_LENGTH(geom) FROM squares WHERE id = 0").unwrap();
     assert_eq!(r.rows[0][0].as_double(), Some(8.0));
-    let r = db
-        .execute("SELECT SDO_VALIDATE(geom) FROM squares WHERE id = 0")
-        .unwrap();
+    let r = db.execute("SELECT SDO_VALIDATE(geom) FROM squares WHERE id = 0").unwrap();
     assert_eq!(r.rows[0][0].as_text(), Some("TRUE"));
     // a bowtie fails validation with a reason
     db.execute(
@@ -435,9 +394,7 @@ fn length_and_validate_functions() {
          SDO_GEOMETRY('POLYGON ((0 0, 2 2, 2 0, 0 2, 0 0))'))",
     )
     .unwrap();
-    let r = db
-        .execute("SELECT SDO_VALIDATE(geom) FROM squares WHERE id = 500")
-        .unwrap();
+    let r = db.execute("SELECT SDO_VALIDATE(geom) FROM squares WHERE id = 500").unwrap();
     assert!(r.rows[0][0].as_text().unwrap().contains("self-intersect"));
 }
 

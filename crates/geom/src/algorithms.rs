@@ -23,9 +23,7 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
     // Lower hull.
     for p in &pts {
-        while hull.len() >= 2
-            && cross3(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= EPS
-        {
+        while hull.len() >= 2 && cross3(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= EPS {
             hull.pop();
         }
         hull.push(*p);
@@ -77,11 +75,7 @@ pub fn simplify(points: &[Point], epsilon: f64) -> Vec<Point> {
             stack.push((best, hi));
         }
     }
-    points
-        .iter()
-        .zip(keep.iter())
-        .filter_map(|(p, &k)| k.then_some(*p))
-        .collect()
+    points.iter().zip(keep.iter()).filter_map(|(p, &k)| k.then_some(*p)).collect()
 }
 
 /// Area-weighted centroid of a polygon (exterior minus holes).
@@ -196,9 +190,10 @@ pub fn geometry_distance(a: &Geometry, b: &Geometry) -> f64 {
         | (Geometry::LineString(l), Geometry::Point(p)) => l.dist_point(p),
         (Geometry::Point(p), Geometry::Polygon(poly))
         | (Geometry::Polygon(poly), Geometry::Point(p)) => poly.dist_point(p),
-        (Geometry::LineString(l1), Geometry::LineString(l2)) => {
-            segments_min_dist(&l1.segments().collect::<Vec<_>>(), &l2.segments().collect::<Vec<_>>())
-        }
+        (Geometry::LineString(l1), Geometry::LineString(l2)) => segments_min_dist(
+            &l1.segments().collect::<Vec<_>>(),
+            &l2.segments().collect::<Vec<_>>(),
+        ),
         (Geometry::LineString(l), Geometry::Polygon(poly))
         | (Geometry::Polygon(poly), Geometry::LineString(l)) => {
             // Zero if any line vertex is inside the polygon, else min
@@ -214,11 +209,7 @@ pub fn geometry_distance(a: &Geometry, b: &Geometry) -> f64 {
         (Geometry::Polygon(p1), Geometry::Polygon(p2)) => {
             // Zero if either contains a vertex of the other (covers the
             // containment case); else min distance between boundaries.
-            if p1
-                .exterior()
-                .points()
-                .iter()
-                .any(|p| p2.locate_point(p) != PointLocation::Outside)
+            if p1.exterior().points().iter().any(|p| p2.locate_point(p) != PointLocation::Outside)
                 || p2
                     .exterior()
                     .points()

@@ -64,9 +64,7 @@ pub fn decode_sdo(mut buf: impl Buf) -> Result<SdoGeometry, GeomError> {
     }
     let version = buf.get_u8();
     if version != VERSION {
-        return Err(GeomError::InvalidSdo(format!(
-            "codec: unsupported version {version}"
-        )));
+        return Err(GeomError::InvalidSdo(format!("codec: unsupported version {version}")));
     }
     let gtype = buf.get_u32_le();
     let n_elem = buf.get_u32_le() as usize;

@@ -129,11 +129,9 @@ impl Geometry {
                 }
                 v
             }
-            Geometry::MultiPolygon(m) => m
-                .polygons()
-                .iter()
-                .flat_map(|p| Geometry::Polygon(p.clone()).vertices())
-                .collect(),
+            Geometry::MultiPolygon(m) => {
+                m.polygons().iter().flat_map(|p| Geometry::Polygon(p.clone()).vertices()).collect()
+            }
         }
     }
 
@@ -223,9 +221,8 @@ mod tests {
     fn dims() {
         assert_eq!(Geometry::Point(Point::ZERO).dim(), TopoDim::Zero);
         assert_eq!(square(0.0, 0.0, 1.0).dim(), TopoDim::Two);
-        let l = Geometry::LineString(
-            LineString::new(vec![Point::ZERO, Point::new(1.0, 0.0)]).unwrap(),
-        );
+        let l =
+            Geometry::LineString(LineString::new(vec![Point::ZERO, Point::new(1.0, 0.0)]).unwrap());
         assert_eq!(l.dim(), TopoDim::One);
         assert!(TopoDim::Zero < TopoDim::Two);
     }
@@ -241,9 +238,8 @@ mod tests {
 
     #[test]
     fn elements_of_multi() {
-        let mp = Geometry::MultiPoint(
-            MultiPoint::new(vec![Point::ZERO, Point::new(1.0, 1.0)]).unwrap(),
-        );
+        let mp =
+            Geometry::MultiPoint(MultiPoint::new(vec![Point::ZERO, Point::new(1.0, 1.0)]).unwrap());
         assert_eq!(mp.elements().len(), 2);
         assert!(mp.is_multi());
         let p = Geometry::Point(Point::ZERO);

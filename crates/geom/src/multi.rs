@@ -65,9 +65,7 @@ impl MultiLineString {
 
     /// Bounding rectangle over every member.
     pub fn bbox(&self) -> Rect {
-        self.lines
-            .iter()
-            .fold(Rect::EMPTY, |acc, l| acc.union(&l.bbox()))
+        self.lines.iter().fold(Rect::EMPTY, |acc, l| acc.union(&l.bbox()))
     }
 }
 
@@ -99,9 +97,7 @@ impl MultiPolygon {
 
     /// Bounding rectangle over every member.
     pub fn bbox(&self) -> Rect {
-        self.polygons
-            .iter()
-            .fold(Rect::EMPTY, |acc, p| acc.union(&p.bbox()))
+        self.polygons.iter().fold(Rect::EMPTY, |acc, p| acc.union(&p.bbox()))
     }
 
     /// True when any member covers `p`.

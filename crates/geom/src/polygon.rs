@@ -233,9 +233,7 @@ impl Polygon {
 
     /// All boundary edges: exterior ring plus hole rings.
     pub fn boundary_segments(&self) -> impl Iterator<Item = Segment> + '_ {
-        self.exterior
-            .segments()
-            .chain(self.holes.iter().flat_map(|h| h.segments()))
+        self.exterior.segments().chain(self.holes.iter().flat_map(|h| h.segments()))
     }
 
     /// Total number of vertices across all rings.
@@ -271,10 +269,9 @@ impl Polygon {
     pub fn dist_point(&self, p: &Point) -> f64 {
         match self.locate_point(p) {
             PointLocation::Inside | PointLocation::OnBoundary => 0.0,
-            PointLocation::Outside => self
-                .boundary_segments()
-                .map(|s| s.dist_point(p))
-                .fold(f64::INFINITY, f64::min),
+            PointLocation::Outside => {
+                self.boundary_segments().map(|s| s.dist_point(p)).fold(f64::INFINITY, f64::min)
+            }
         }
     }
 

@@ -44,12 +44,7 @@ impl Rect {
     /// Rectangle spanning two corner points in any order.
     #[inline]
     pub fn from_corners(a: Point, b: Point) -> Self {
-        Rect {
-            min_x: a.x.min(b.x),
-            min_y: a.y.min(b.y),
-            max_x: a.x.max(b.x),
-            max_y: a.y.max(b.y),
-        }
+        Rect { min_x: a.x.min(b.x), min_y: a.y.min(b.y), max_x: a.x.max(b.x), max_y: a.y.max(b.y) }
     }
 
     /// Smallest rectangle containing every point in `points`.
@@ -240,11 +235,7 @@ impl Rect {
 
 impl fmt::Display for Rect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{}, {}] x [{}, {}]",
-            self.min_x, self.max_x, self.min_y, self.max_y
-        )
+        write!(f, "[{}, {}] x [{}, {}]", self.min_x, self.max_x, self.min_y, self.max_y)
     }
 }
 

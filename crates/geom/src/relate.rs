@@ -99,9 +99,7 @@ pub fn relate(a: &Geometry, b: &Geometry, mask: RelateMask) -> bool {
         RelateMask::CoveredBy => covered_by(a, b) && boundaries_interact(a, b) && !covered_by(b, a),
         RelateMask::Covers => covered_by(b, a) && boundaries_interact(a, b) && !covered_by(a, b),
         RelateMask::Touch => intersects(a, b) && !interiors_intersect(a, b),
-        RelateMask::Overlap => {
-            interiors_intersect(a, b) && !covered_by(a, b) && !covered_by(b, a)
-        }
+        RelateMask::Overlap => interiors_intersect(a, b) && !covered_by(a, b) && !covered_by(b, a),
         RelateMask::Equal => covered_by(a, b) && covered_by(b, a),
     }
 }
@@ -221,9 +219,7 @@ pub fn covered_by(a: &Geometry, b: &Geometry) -> bool {
     // a ⊆ b iff every element of a is covered by the union of b's
     // elements; for disjoint simple elements of b, each element of a
     // must be covered by a single element (true for valid OGC multis).
-    a.elements()
-        .iter()
-        .all(|ea| b.elements().iter().any(|eb| covered_by_simple(ea, eb)))
+    a.elements().iter().all(|ea| b.elements().iter().any(|eb| covered_by_simple(ea, eb)))
 }
 
 fn covered_by_simple(a: &Geometry, b: &Geometry) -> bool {
@@ -234,9 +230,7 @@ fn covered_by_simple(a: &Geometry, b: &Geometry) -> bool {
         (LineString(l1), LineString(l2)) => {
             // Every vertex and every segment midpoint of l1 on l2.
             l1.points().iter().all(|p| l2.contains_point(p))
-                && l1
-                    .segments()
-                    .all(|s| l2.contains_point(&((s.a + s.b) * 0.5)))
+                && l1.segments().all(|s| l2.contains_point(&((s.a + s.b) * 0.5)))
         }
         (LineString(l), Polygon(poly)) => {
             l.points().iter().all(|p| poly.contains_point(p))
@@ -281,18 +275,14 @@ fn polygon_covered_by(a: &Polygon, b: &Polygon) -> bool {
     }
     // A hole of b strictly inside a would punch uncovered area out of a.
     for h in b.holes() {
-        if h.points()
-            .iter()
-            .any(|p| a.locate_point(p) == PointLocation::Inside)
-        {
+        if h.points().iter().any(|p| a.locate_point(p) == PointLocation::Inside) {
             return false;
         }
         // Hole of b entirely within a but vertex-coincident with a's
         // boundary: catch via a representative interior point of the hole.
         if h.points().iter().all(|p| a.contains_point(p)) {
-            let c = crate::algorithms::centroid(&Geometry::Polygon(Polygon::from_exterior(
-                h.clone(),
-            )));
+            let c =
+                crate::algorithms::centroid(&Geometry::Polygon(Polygon::from_exterior(h.clone())));
             if a.locate_point(&c) == PointLocation::Inside
                 && b.locate_point(&c) == PointLocation::Outside
             {
@@ -340,9 +330,7 @@ pub fn interiors_intersect(a: &Geometry, b: &Geometry) -> bool {
     use Geometry::*;
     match (a, b) {
         (Point(p), Point(q)) => p.almost_eq(q),
-        (Point(p), LineString(l)) | (LineString(l), Point(p)) => {
-            line_interior_contains(l, p)
-        }
+        (Point(p), LineString(l)) | (LineString(l), Point(p)) => line_interior_contains(l, p),
         (Point(p), Polygon(poly)) | (Polygon(poly), Point(p)) => {
             poly.locate_point(p) == PointLocation::Inside
         }
@@ -365,17 +353,12 @@ pub fn interiors_intersect(a: &Geometry, b: &Geometry) -> bool {
         }
         (LineString(l), Polygon(poly)) | (Polygon(poly), LineString(l)) => {
             // Any point of the line strictly inside the polygon.
-            if l.points()
-                .iter()
-                .any(|p| poly.locate_point(p) == PointLocation::Inside)
-            {
+            if l.points().iter().any(|p| poly.locate_point(p) == PointLocation::Inside) {
                 return true;
             }
             l.segments().any(|s| {
                 poly.locate_point(&((s.a + s.b) * 0.5)) == PointLocation::Inside
-                    || poly
-                        .boundary_segments()
-                        .any(|t| s.crosses_properly(&t))
+                    || poly.boundary_segments().any(|t| s.crosses_properly(&t))
             })
         }
         (Polygon(p1), Polygon(p2)) => polygon_interiors_intersect(p1, p2),
@@ -397,14 +380,8 @@ fn line_interior_contains(l: &LineString, p: &Point) -> bool {
 
 fn polygon_interiors_intersect(a: &Polygon, b: &Polygon) -> bool {
     // 1. Any vertex of one strictly inside the other.
-    if a.exterior()
-        .points()
-        .iter()
-        .any(|p| b.locate_point(p) == PointLocation::Inside)
-        || b.exterior()
-            .points()
-            .iter()
-            .any(|p| a.locate_point(p) == PointLocation::Inside)
+    if a.exterior().points().iter().any(|p| b.locate_point(p) == PointLocation::Inside)
+        || b.exterior().points().iter().any(|p| a.locate_point(p) == PointLocation::Inside)
     {
         return true;
     }
@@ -484,9 +461,7 @@ mod tests {
     }
 
     fn line(pts: &[(f64, f64)]) -> Geometry {
-        Geometry::LineString(
-            LineString::new(pts.iter().map(|&(x, y)| pt(x, y)).collect()).unwrap(),
-        )
+        Geometry::LineString(LineString::new(pts.iter().map(|&(x, y)| pt(x, y)).collect()).unwrap())
     }
 
     #[test]
@@ -651,7 +626,13 @@ mod tests {
     fn symmetry_of_symmetric_masks() {
         let a = square(0.0, 0.0, 2.0);
         let b = square(1.0, 1.0, 2.0);
-        for m in [RelateMask::AnyInteract, RelateMask::Touch, RelateMask::Overlap, RelateMask::Equal, RelateMask::Disjoint] {
+        for m in [
+            RelateMask::AnyInteract,
+            RelateMask::Touch,
+            RelateMask::Overlap,
+            RelateMask::Equal,
+            RelateMask::Disjoint,
+        ] {
             assert_eq!(relate(&a, &b, m), relate(&b, &a, m), "{m:?} not symmetric");
         }
     }

@@ -183,10 +183,7 @@ impl SdoGeometry {
                 self.ordinates.len()
             };
             let ords = &self.ordinates[offset - 1..end];
-            let points: Vec<Point> = ords
-                .chunks_exact(2)
-                .map(|c| Point::new(c[0], c[1]))
-                .collect();
+            let points: Vec<Point> = ords.chunks_exact(2).map(|c| Point::new(c[0], c[1])).collect();
             out.push(Element { etype, interp, points });
         }
         Ok(out)
@@ -196,10 +193,9 @@ impl SdoGeometry {
         match self.type_code() {
             TT_POINT => {
                 let e = single(&elems, ETYPE_POINT)?;
-                let p = e
-                    .points
-                    .first()
-                    .ok_or_else(|| GeomError::InvalidSdo("point element with no ordinates".into()))?;
+                let p = e.points.first().ok_or_else(|| {
+                    GeomError::InvalidSdo("point element with no ordinates".into())
+                })?;
                 Ok(Geometry::Point(*p))
             }
             TT_MULTIPOINT => {
@@ -259,8 +255,7 @@ struct Encoder {
 impl Encoder {
     /// Begin a new element at the current (1-based) ordinate offset.
     fn element(&mut self, etype: u32, interp: u32) {
-        self.elem_info
-            .extend_from_slice(&[self.ordinates.len() as u32 + 1, etype, interp]);
+        self.elem_info.extend_from_slice(&[self.ordinates.len() as u32 + 1, etype, interp]);
     }
 
     fn push_point(&mut self, p: &Point) {
@@ -316,9 +311,7 @@ impl Element {
 
 fn single(elems: &[Element], want: u32) -> Result<&Element, GeomError> {
     if elems.len() != 1 || elems[0].etype != want {
-        return Err(GeomError::InvalidSdo(format!(
-            "expected a single element of etype {want}"
-        )));
+        return Err(GeomError::InvalidSdo(format!("expected a single element of etype {want}")));
     }
     Ok(&elems[0])
 }
@@ -472,11 +465,8 @@ mod tests {
         let bad = SdoGeometry { gtype: 2001, elem_info: vec![1, 1], ordinates: vec![0.0, 0.0] };
         assert!(bad.to_geometry().is_err());
         // non-increasing offsets
-        let bad = SdoGeometry {
-            gtype: 2006,
-            elem_info: vec![5, 2, 1, 1, 2, 1],
-            ordinates: vec![0.0; 8],
-        };
+        let bad =
+            SdoGeometry { gtype: 2006, elem_info: vec![5, 2, 1, 1, 2, 1], ordinates: vec![0.0; 8] };
         assert!(bad.to_geometry().is_err());
         // even (non 1-based-pair) offset
         let bad = SdoGeometry { gtype: 2001, elem_info: vec![2, 1, 1], ordinates: vec![0.0, 0.0] };
@@ -489,11 +479,8 @@ mod tests {
         };
         assert!(bad.to_geometry().is_err());
         // NaN ordinate
-        let bad = SdoGeometry {
-            gtype: 2001,
-            elem_info: vec![1, 1, 1],
-            ordinates: vec![f64::NAN, 0.0],
-        };
+        let bad =
+            SdoGeometry { gtype: 2001, elem_info: vec![1, 1, 1], ordinates: vec![f64::NAN, 0.0] };
         assert_eq!(bad.to_geometry(), Err(GeomError::NonFiniteCoordinate));
     }
 

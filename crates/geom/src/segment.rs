@@ -89,8 +89,12 @@ impl Segment {
         let o3 = orientation(p3, p4, p1);
         let o4 = orientation(p3, p4, p2);
 
-        if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear
-            && o3 != Orientation::Collinear && o4 != Orientation::Collinear
+        if o1 != o2
+            && o3 != o4
+            && o1 != Orientation::Collinear
+            && o2 != Orientation::Collinear
+            && o3 != Orientation::Collinear
+            && o4 != Orientation::Collinear
         {
             return true;
         }

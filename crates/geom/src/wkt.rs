@@ -175,9 +175,7 @@ impl<'a> Parser<'a> {
             return Err(self.err("expected a number"));
         }
         let text = &self.rest()[..i];
-        let v: f64 = text
-            .parse()
-            .map_err(|_| self.err(&format!("invalid number '{text}'")))?;
+        let v: f64 = text.parse().map_err(|_| self.err(&format!("invalid number '{text}'")))?;
         self.pos = start + i;
         Ok(v)
     }
@@ -250,10 +248,8 @@ impl<'a> Parser<'a> {
             }
             "MULTILINESTRING" => {
                 let lists = self.ring_list()?;
-                let lines = lists
-                    .into_iter()
-                    .map(LineString::new)
-                    .collect::<Result<Vec<_>, _>>()?;
+                let lines =
+                    lists.into_iter().map(LineString::new).collect::<Result<Vec<_>, _>>()?;
                 Ok(Geometry::MultiLineString(MultiLineString::new(lines)?))
             }
             "MULTIPOLYGON" => {

@@ -1,0 +1,167 @@
+//! Text / JSON exporters for profiles and registry snapshots, used by
+//! the bench binaries to dump machine-independent work profiles next
+//! to wall-clock numbers.
+
+use crate::metrics::RegistrySnapshot;
+use crate::profile::{OpProfile, QueryProfile};
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn op_to_json(node: &OpProfile, out: &mut String) {
+    out.push_str("{\"name\":\"");
+    escape_into(&node.name, out);
+    out.push_str(&format!(
+        "\",\"rows\":{},\"batches\":{},\"wall_ns\":{}",
+        node.rows,
+        node.batches,
+        node.wall.as_nanos()
+    ));
+    if !node.attrs.is_empty() {
+        out.push_str(",\"attrs\":{");
+        for (i, (k, v)) in node.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(k, out);
+            out.push_str("\":\"");
+            escape_into(v, out);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    if !node.metrics.is_empty() {
+        out.push_str(",\"metrics\":{");
+        for (i, (k, v)) in node.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(k, out);
+            out.push_str(&format!("\":{v}"));
+        }
+        out.push('}');
+    }
+    if !node.children.is_empty() {
+        out.push_str(",\"children\":[");
+        for (i, c) in node.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            op_to_json(c, out);
+        }
+        out.push(']');
+    }
+    out.push('}');
+}
+
+/// Render a profile as a single JSON object.
+pub fn profile_to_json(profile: &QueryProfile) -> String {
+    let mut out = String::new();
+    op_to_json(&profile.root, &mut out);
+    out
+}
+
+/// Render a registry snapshot as a JSON object with `counters`,
+/// `gauges`, and `histograms` sections.
+pub fn registry_to_json(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (k, v)) in snapshot.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(k, &mut out);
+        out.push_str(&format!("\":{v}"));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (k, v)) in snapshot.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(k, &mut out);
+        out.push_str(&format!("\":{v}"));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (k, h)) in snapshot.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(k, &mut out);
+        out.push_str(&format!(
+            "\":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            h.count, h.sum, h.max, h.p50, h.p95, h.p99
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Render a registry snapshot as aligned human-readable text.
+pub fn registry_to_text(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (k, v) in &snapshot.counters {
+        out.push_str(&format!("counter   {k:40} {v}\n"));
+    }
+    for (k, v) in &snapshot.gauges {
+        out.push_str(&format!("gauge     {k:40} {v}\n"));
+    }
+    for (k, h) in &snapshot.histograms {
+        out.push_str(&format!(
+            "histogram {k:40} count={} mean={:.0}ns p50={} p95={} p99={} max={}\n",
+            h.count,
+            if h.count == 0 { 0.0 } else { h.sum as f64 / h.count as f64 },
+            h.p50,
+            h.p95,
+            h.p99,
+            h.max
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::profile::ProfileSession;
+
+    #[test]
+    fn json_exports_are_well_formed() {
+        let session = ProfileSession::begin("SELECT \"x\"");
+        let scan = session.root().child("SCAN t");
+        scan.add_rows(3);
+        scan.add_metric("row_fetches", 3);
+        scan.set_attr("strategy", "full");
+        let profile = session.finish();
+        let json = profile_to_json(&profile);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"name\":\"SELECT \\\"x\\\"\""));
+        assert!(json.contains("\"rows\":3"));
+        assert!(json.contains("\"row_fetches\":3"));
+        assert!(json.contains("\"strategy\":\"full\""));
+
+        let registry = MetricsRegistry::new();
+        registry.counter("events").add(9);
+        registry.histogram("lat").record(100);
+        let snap = registry.snapshot();
+        let json = registry_to_json(&snap);
+        assert!(json.contains("\"events\":9"));
+        assert!(json.contains("\"count\":1"));
+        assert!(registry_to_text(&snap).contains("counter"));
+    }
+}

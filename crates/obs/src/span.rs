@@ -1,0 +1,68 @@
+//! RAII span timers recording into registry histograms.
+
+use crate::metrics::{global, Histogram, MetricsRegistry};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Live span; records elapsed wall time into its histogram on drop.
+pub struct Span {
+    histogram: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Span {
+    /// Elapsed time so far.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.histogram.record_duration(self.start.elapsed());
+    }
+}
+
+/// Start a span recording into the [`global`] registry:
+///
+/// ```
+/// let _guard = sdo_obs::span("rtree.join.fetch");
+/// // ... timed work ...
+/// ```
+pub fn span(name: &str) -> Span {
+    span_in(global(), name)
+}
+
+/// Start a span recording into a specific registry.
+pub fn span_in(registry: &MetricsRegistry, name: &str) -> Span {
+    Span { histogram: registry.histogram(name), start: Instant::now() }
+}
+
+/// Time a closure into a pre-resolved histogram handle — the zero-
+/// lookup variant for hot loops.
+pub fn timed_into<T>(histogram: &Histogram, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    histogram.record_duration(start.elapsed());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let registry = MetricsRegistry::new();
+        {
+            let _s = span_in(&registry, "unit.test.span");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let h = registry.histogram("unit.test.span");
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= 1_000_000, "recorded {} ns", h.max());
+        let v = timed_into(&h, || 7);
+        assert_eq!(v, 7);
+        assert_eq!(h.count(), 2);
+    }
+}

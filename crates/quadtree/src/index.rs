@@ -8,6 +8,13 @@ use std::collections::HashMap;
 use std::ops::Bound;
 use std::sync::Arc;
 
+/// Cached handle for the global `quadtree.tile_probes` metric, bumped
+/// only while a profile session is active.
+fn obs_tile_probes() -> &'static Arc<sdo_obs::Counter> {
+    static HANDLE: std::sync::OnceLock<Arc<sdo_obs::Counter>> = std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| sdo_obs::global().counter("quadtree.tile_probes"))
+}
+
 /// A window-query candidate: the row plus whether the tile-level
 /// evidence already proves the interaction (interior tiles), letting
 /// the caller skip the exact secondary filter.
@@ -122,6 +129,9 @@ impl QuadtreeIndex {
 
     /// All rows sharing tile `code`, with interior flags.
     pub fn rows_in_tile(&self, code: TileCode) -> Vec<(RowId, bool)> {
+        if sdo_obs::profiling() {
+            obs_tile_probes().add(1);
+        }
         self.btree
             .range(
                 Bound::Included(&(code, RowId::new(0))),
@@ -144,15 +154,11 @@ impl QuadtreeIndex {
         for wt in &wtiles {
             for (rowid, data_interior) in self.rows_in_tile(wt.code) {
                 let definite = wt.interior || data_interior;
-                best.entry(rowid)
-                    .and_modify(|d| *d = *d || definite)
-                    .or_insert(definite);
+                best.entry(rowid).and_modify(|d| *d = *d || definite).or_insert(definite);
             }
         }
-        let mut out: Vec<Candidate> = best
-            .into_iter()
-            .map(|(rowid, definite)| Candidate { rowid, definite })
-            .collect();
+        let mut out: Vec<Candidate> =
+            best.into_iter().map(|(rowid, definite)| Candidate { rowid, definite }).collect();
         out.sort_by_key(|c| c.rowid);
         out
     }
@@ -160,9 +166,7 @@ impl QuadtreeIndex {
     /// Iterate every `(code, rowid, interior)` entry in tile order —
     /// the input to the quadtree merge join.
     pub fn iter_entries(&self) -> impl Iterator<Item = (TileCode, RowId, bool)> + '_ {
-        self.btree
-            .iter()
-            .map(|&(c, r)| (c, r, *self.interior.get(&(c, r)).unwrap_or(&false)))
+        self.btree.iter().map(|&(c, r)| (c, r, *self.interior.get(&(c, r)).unwrap_or(&false)))
     }
 
     /// Bulk-build from tessellated rows (sorted or not). Used by the
@@ -240,11 +244,7 @@ mod tests {
         // definite candidates ⊆ truth (no false definite)
         for c in &candidates {
             if c.definite {
-                assert!(
-                    truth.contains(&c.rowid.slot()),
-                    "false definite candidate {:?}",
-                    c.rowid
-                );
+                assert!(truth.contains(&c.rowid.slot()), "false definite candidate {:?}", c.rowid);
             }
         }
         // a window this large must prove some hits definitively

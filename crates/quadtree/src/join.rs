@@ -25,11 +25,7 @@ pub struct JoinCandidate {
 /// (two geometries typically share many tiles); `definite` is true when
 /// *any* shared tile proves the interaction.
 pub fn merge_join(left: &QuadtreeIndex, right: &QuadtreeIndex) -> Vec<JoinCandidate> {
-    assert_eq!(
-        left.level(),
-        right.level(),
-        "quadtree join requires equal tiling levels"
-    );
+    assert_eq!(left.level(), right.level(), "quadtree join requires equal tiling levels");
     let mut li = left.iter_entries().peekable();
     let mut ri = right.iter_entries().peekable();
     let mut best: HashMap<(RowId, RowId), bool> = HashMap::new();
@@ -50,9 +46,7 @@ pub fn merge_join(left: &QuadtreeIndex, right: &QuadtreeIndex) -> Vec<JoinCandid
             for &(lr, linterior) in &lgroup {
                 for &(rr, rinterior) in &rgroup {
                     let definite = linterior || rinterior;
-                    best.entry((lr, rr))
-                        .and_modify(|d| *d = *d || definite)
-                        .or_insert(definite);
+                    best.entry((lr, rr)).and_modify(|d| *d = *d || definite).or_insert(definite);
                 }
             }
         }
@@ -126,9 +120,7 @@ mod tests {
             for (j, gb) in b.iter().enumerate() {
                 if sdo_geom::intersects(ga, gb) {
                     assert!(
-                        candidates
-                            .iter()
-                            .any(|c| c.left.slot() == i && c.right.slot() == j),
+                        candidates.iter().any(|c| c.left.slot() == i && c.right.slot() == j),
                         "missing true pair ({i},{j})"
                     );
                 }
@@ -153,9 +145,7 @@ mod tests {
         let candidates = merge_join(&ia, &ia);
         for i in 0..20u64 {
             assert!(
-                candidates
-                    .iter()
-                    .any(|c| c.left == RowId::new(i) && c.right == RowId::new(i)),
+                candidates.iter().any(|c| c.left == RowId::new(i) && c.right == RowId::new(i)),
                 "diagonal pair missing for row {i}"
             );
         }

@@ -82,9 +82,8 @@ fn classify_tile(g: &Geometry, tile_rect: &Rect, areal: bool) -> TileClass {
             // All four corners strictly inside and no boundary edge
             // crossing the tile => interior.
             let corners = tile_rect.corners();
-            let inside = corners
-                .iter()
-                .all(|c| poly.exterior().locate_point(c) == PointLocation::Inside);
+            let inside =
+                corners.iter().all(|c| poly.exterior().locate_point(c) == PointLocation::Inside);
             if inside {
                 let crossed = poly
                     .boundary_segments()

@@ -66,11 +66,7 @@ impl Tile {
     /// Grid index range `[x0..=x1] x [y0..=y1]` of level-`level` tiles
     /// intersecting `r` (clamped to the world). Returns `None` when `r`
     /// is entirely outside the world.
-    pub fn covering_range(
-        level: u32,
-        world: &Rect,
-        r: &Rect,
-    ) -> Option<(u32, u32, u32, u32)> {
+    pub fn covering_range(level: u32, world: &Rect, r: &Rect) -> Option<(u32, u32, u32, u32)> {
         if !world.intersects(r) || r.is_empty() {
             return None;
         }
@@ -135,13 +131,7 @@ mod tests {
     fn morton_roundtrip() {
         for level in [1u32, 4, 8, 16, 31] {
             let n = 1u64 << level;
-            for &(x, y) in &[
-                (0u64, 0u64),
-                (1, 0),
-                (0, 1),
-                (n - 1, n - 1),
-                (n / 2, n / 3),
-            ] {
+            for &(x, y) in &[(0u64, 0u64), (1, 0), (0, 1), (n - 1, n - 1), (n / 2, n / 3)] {
                 let t = Tile::new(level, x as u32, y as u32);
                 let back = Tile::from_code(t.level, t.code());
                 assert_eq!(t, back);

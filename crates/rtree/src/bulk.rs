@@ -119,11 +119,8 @@ mod tests {
         let window = Rect::new(100.0, 100.0, 400.0, 300.0);
         let mut got: Vec<usize> = t.query_window(&window).into_iter().map(|(_, i)| i).collect();
         got.sort_unstable();
-        let mut want: Vec<usize> = data
-            .iter()
-            .filter(|(r, _)| r.intersects(&window))
-            .map(|(_, i)| *i)
-            .collect();
+        let mut want: Vec<usize> =
+            data.iter().filter(|(r, _)| r.intersects(&window)).map(|(_, i)| *i).collect();
         want.sort_unstable();
         assert_eq!(got, want);
     }

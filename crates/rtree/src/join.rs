@@ -240,11 +240,7 @@ mod tests {
         (RTree::bulk_load(items, RTreeParams::with_fanout(fanout)), rects)
     }
 
-    fn brute_force(
-        a: &[Rect],
-        b: &[Rect],
-        pred: JoinPredicate,
-    ) -> Vec<(usize, usize)> {
+    fn brute_force(a: &[Rect], b: &[Rect], pred: JoinPredicate) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
         for (i, ra) in a.iter().enumerate() {
             for (j, rb) in b.iter().enumerate() {
@@ -316,17 +312,12 @@ mod tests {
         let (tb, rb) = tree(10.0, 500, 8);
         let want = brute_force(&ra, &rb, JoinPredicate::Intersects);
         for levels_down in 0..3 {
-            let pairs =
-                subtree_pair_tasks(&ta, &tb, JoinPredicate::Intersects, levels_down);
+            let pairs = subtree_pair_tasks(&ta, &tb, JoinPredicate::Intersects, levels_down);
             let mut got = Vec::new();
             // Emulate slaves: one cursor per pair.
             for (l, r) in pairs {
-                let mut c = JoinCursor::from_pairs(
-                    &ta,
-                    &tb,
-                    JoinPredicate::Intersects,
-                    vec![(l, r)],
-                );
+                let mut c =
+                    JoinCursor::from_pairs(&ta, &tb, JoinPredicate::Intersects, vec![(l, r)]);
                 got.extend(c.collect_all());
             }
             assert_eq!(sorted_pairs(got), want, "levels_down={levels_down}");
@@ -341,9 +332,7 @@ mod tests {
         assert!(c.collect_all().is_empty());
         let mut c = JoinCursor::new(&empty, &ta, JoinPredicate::Intersects);
         assert!(c.collect_all().is_empty());
-        assert!(
-            subtree_pair_tasks(&empty, &ta, JoinPredicate::Intersects, 1).is_empty()
-        );
+        assert!(subtree_pair_tasks(&empty, &ta, JoinPredicate::Intersects, 1).is_empty());
     }
 
     #[test]
@@ -351,9 +340,7 @@ mod tests {
         let (ta, _) = tree(0.0, 200, 8);
         let (tb, _) = tree(30.0, 200, 8);
         let count = |d: f64| {
-            JoinCursor::new(&ta, &tb, JoinPredicate::WithinDistance(d))
-                .collect_all()
-                .len()
+            JoinCursor::new(&ta, &tb, JoinPredicate::WithinDistance(d)).collect_all().len()
         };
         let c0 = count(0.0);
         let c5 = count(5.0);

@@ -91,9 +91,7 @@ impl<T> Node<T> {
 
     /// Tight bounding rectangle over this node's entries.
     pub fn mbr(&self) -> Rect {
-        self.entries
-            .iter()
-            .fold(Rect::EMPTY, |acc, e| acc.union(&e.mbr))
+        self.entries.iter().fold(Rect::EMPTY, |acc, e| acc.union(&e.mbr))
     }
 }
 

@@ -64,8 +64,8 @@ fn pick_seeds_linear<T>(entries: &[Entry<T>]) -> (usize, usize) {
         if highest_low == lowest_high {
             continue;
         }
-        let sep = (low(&entries[highest_low].mbr, axis) - high(&entries[lowest_high].mbr, axis))
-            / width;
+        let sep =
+            (low(&entries[highest_low].mbr, axis) - high(&entries[lowest_high].mbr, axis)) / width;
         let _ = (lo, hi);
         if sep > best_sep {
             best_sep = sep;
@@ -283,8 +283,7 @@ mod tests {
         assert!(b.len() >= min, "{strategy:?}: group B underfull ({})", b.len());
         assert_eq!(a.len() + b.len(), n, "{strategy:?}: entries lost");
         // no duplicates
-        let mut ids: Vec<usize> =
-            a.iter().chain(b.iter()).map(|e| *e.item_ref()).collect();
+        let mut ids: Vec<usize> = a.iter().chain(b.iter()).map(|e| *e.item_ref()).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), n, "{strategy:?}: duplicated entries");

@@ -7,6 +7,13 @@ use sdo_geom::Rect;
 use sdo_storage::Counters;
 use std::sync::Arc;
 
+/// Cached handle for the global `rtree.node_reads` metric, bumped only
+/// while a profile session is active (one relaxed load otherwise).
+fn obs_node_reads() -> &'static Arc<sdo_obs::Counter> {
+    static HANDLE: std::sync::OnceLock<Arc<sdo_obs::Counter>> = std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| sdo_obs::global().counter("rtree.node_reads"))
+}
+
 /// Tuning parameters, mirroring the knobs Oracle stores in the index
 /// metadata row (fanout) plus the split strategy.
 #[derive(Debug, Clone, Copy)]
@@ -179,6 +186,9 @@ impl<T: Clone> RTree<T> {
         if let Some(c) = &self.counters {
             Counters::bump(&c.rtree_node_reads);
         }
+        if sdo_obs::profiling() {
+            obs_node_reads().add(1);
+        }
         &self.nodes[id]
     }
 
@@ -300,10 +310,7 @@ impl<T: Clone> RTree<T> {
             let center = self.nodes[node].mbr().center();
             let n = &mut self.nodes[node];
             n.entries.sort_by(|a, b| {
-                a.mbr
-                    .center()
-                    .dist2(&center)
-                    .total_cmp(&b.mbr.center().dist2(&center))
+                a.mbr.center().dist2(&center).total_cmp(&b.mbr.center().dist2(&center))
             });
             let evicted = n.entries.split_off(n.entries.len() - evict);
             return Some(Overflow::Reinsert(level, evicted));
@@ -415,10 +422,8 @@ impl<T: Clone> RTree<T> {
         T: PartialEq,
     {
         if self.nodes[node].is_leaf() {
-            let pos = self.nodes[node]
-                .entries
-                .iter()
-                .position(|e| e.mbr == *mbr && e.item_ref() == item);
+            let pos =
+                self.nodes[node].entries.iter().position(|e| e.mbr == *mbr && e.item_ref() == item);
             return match pos {
                 Some(i) => {
                     self.nodes[node].entries.swap_remove(i);

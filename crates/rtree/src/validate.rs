@@ -33,11 +33,7 @@ impl<T: Clone> RTree<T> {
                 return Err(format!("internal root has {} entries", n.len()));
             }
         } else if n.len() < min {
-            return Err(format!(
-                "node {id} (level {}) underfull: {} < {min}",
-                n.level,
-                n.len()
-            ));
+            return Err(format!("node {id} (level {}) underfull: {} < {min}", n.level, n.len()));
         }
         for e in &n.entries {
             match &e.payload {

@@ -23,9 +23,7 @@ fn arb_params() -> impl Strategy<Value = RTreeParams> {
         any::<bool>(),
     )
         .prop_map(|(fanout, split, reinsert)| {
-            RTreeParams::with_fanout(fanout.max(5))
-                .with_split(split)
-                .with_forced_reinsert(reinsert)
+            RTreeParams::with_fanout(fanout.max(5)).with_split(split).with_forced_reinsert(reinsert)
         })
 }
 

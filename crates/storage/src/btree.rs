@@ -211,10 +211,8 @@ impl<K: Ord + Clone> BTree<K> {
             }
             InsertOutcome::Split(sep, right) => {
                 let old_root = self.root;
-                let new_root = self.alloc(Node::Internal {
-                    keys: vec![sep],
-                    children: vec![old_root, right],
-                });
+                let new_root =
+                    self.alloc(Node::Internal { keys: vec![sep], children: vec![old_root, right] });
                 self.root = new_root;
                 self.len += 1;
                 true
@@ -311,9 +309,7 @@ impl<K: Ord + Clone> BTree<K> {
         self.visit();
         let is_leaf = matches!(self.nodes[node as usize], Node::Leaf { .. });
         if is_leaf {
-            let Node::Leaf { keys, .. } = &mut self.nodes[node as usize] else {
-                unreachable!()
-            };
+            let Node::Leaf { keys, .. } = &mut self.nodes[node as usize] else { unreachable!() };
             match keys.binary_search(key) {
                 Ok(pos) => {
                     keys.remove(pos);
@@ -344,11 +340,7 @@ impl<K: Ord + Clone> BTree<K> {
             let Node::Internal { children, .. } = &self.nodes[node as usize] else {
                 unreachable!()
             };
-            (
-                idx.checked_sub(1).map(|i| children[i]),
-                children.get(idx + 1).copied(),
-                children[idx],
-            )
+            (idx.checked_sub(1).map(|i| children[i]), children.get(idx + 1).copied(), children[idx])
         };
         let min = self.min_keys();
 
@@ -826,22 +818,13 @@ mod tests {
         for k in (0..100).map(|i| i * 2) {
             t.insert(k);
         }
-        let got: Vec<i32> = t
-            .range(Bound::Included(&10), Bound::Excluded(&20))
-            .cloned()
-            .collect();
+        let got: Vec<i32> = t.range(Bound::Included(&10), Bound::Excluded(&20)).cloned().collect();
         assert_eq!(got, vec![10, 12, 14, 16, 18]);
         // odd bounds (keys absent)
-        let got: Vec<i32> = t
-            .range(Bound::Included(&11), Bound::Included(&15))
-            .cloned()
-            .collect();
+        let got: Vec<i32> = t.range(Bound::Included(&11), Bound::Included(&15)).cloned().collect();
         assert_eq!(got, vec![12, 14]);
         // exclusive lower
-        let got: Vec<i32> = t
-            .range(Bound::Excluded(&10), Bound::Excluded(&16))
-            .cloned()
-            .collect();
+        let got: Vec<i32> = t.range(Bound::Excluded(&10), Bound::Excluded(&16)).cloned().collect();
         assert_eq!(got, vec![12, 14]);
         // unbounded tail
         let got: Vec<i32> = t.range(Bound::Included(&190), Bound::Unbounded).cloned().collect();
@@ -896,10 +879,8 @@ mod tests {
         assert_eq!(collect(&t), reference.iter().cloned().collect::<Vec<_>>());
         // spot-check ranges against the reference
         for lo in [0, 57, 150, 299] {
-            let got: Vec<i32> = t
-                .range(Bound::Included(&lo), Bound::Excluded(&(lo + 40)))
-                .cloned()
-                .collect();
+            let got: Vec<i32> =
+                t.range(Bound::Included(&lo), Bound::Excluded(&(lo + 40))).cloned().collect();
             let want: Vec<i32> = reference.range(lo..lo + 40).cloned().collect();
             assert_eq!(got, want, "range [{lo}, {})", lo + 40);
         }
@@ -941,10 +922,8 @@ mod tests {
                 t.insert((tile, rid));
             }
         }
-        let got: Vec<(u64, u64)> = t
-            .range(Bound::Included(&(7, 0)), Bound::Excluded(&(8, 0)))
-            .cloned()
-            .collect();
+        let got: Vec<(u64, u64)> =
+            t.range(Bound::Included(&(7, 0)), Bound::Excluded(&(8, 0))).cloned().collect();
         assert_eq!(got, (0..5).map(|r| (7, r)).collect::<Vec<_>>());
     }
 

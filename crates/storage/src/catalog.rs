@@ -109,11 +109,7 @@ impl Catalog {
     /// Look up a table by name (case-insensitive).
     pub fn table(&self, name: &str) -> Result<Arc<RwLock<Table>>, StorageError> {
         let key = name.to_ascii_uppercase();
-        self.tables
-            .read()
-            .get(&key)
-            .cloned()
-            .ok_or(StorageError::NotFound(key))
+        self.tables.read().get(&key).cloned().ok_or(StorageError::NotFound(key))
     }
 
     /// Drop a table and any index metadata that references it.
@@ -123,9 +119,7 @@ impl Catalog {
         if removed.is_none() {
             return Err(StorageError::NotFound(key));
         }
-        self.index_metadata
-            .write()
-            .retain(|_, meta| !meta.table_name.eq_ignore_ascii_case(&key));
+        self.index_metadata.write().retain(|_, meta| !meta.table_name.eq_ignore_ascii_case(&key));
         Ok(())
     }
 
@@ -150,11 +144,7 @@ impl Catalog {
     /// Fetch index metadata by index name.
     pub fn index_metadata(&self, index_name: &str) -> Result<IndexMetadata, StorageError> {
         let key = index_name.to_ascii_uppercase();
-        self.index_metadata
-            .read()
-            .get(&key)
-            .cloned()
-            .ok_or(StorageError::NotFound(key))
+        self.index_metadata.read().get(&key).cloned().ok_or(StorageError::NotFound(key))
     }
 
     /// Find the index on `(table, column)`, if one exists.
@@ -172,10 +162,7 @@ impl Catalog {
     /// Remove an index metadata row.
     pub fn drop_index(&self, index_name: &str) -> Result<IndexMetadata, StorageError> {
         let key = index_name.to_ascii_uppercase();
-        self.index_metadata
-            .write()
-            .remove(&key)
-            .ok_or(StorageError::NotFound(key))
+        self.index_metadata.write().remove(&key).ok_or(StorageError::NotFound(key))
     }
 }
 

@@ -93,9 +93,7 @@ impl Schema {
 
     /// Case-insensitive column lookup.
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns
-            .iter()
-            .position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     /// The column definition at `idx`.
@@ -134,7 +132,11 @@ mod tests {
     use super::*;
 
     fn schema() -> Schema {
-        Schema::of(&[("ID", DataType::Integer), ("NAME", DataType::Text), ("GEOM", DataType::Geometry)])
+        Schema::of(&[
+            ("ID", DataType::Integer),
+            ("NAME", DataType::Text),
+            ("GEOM", DataType::Geometry),
+        ])
     }
 
     #[test]
@@ -157,9 +159,7 @@ mod tests {
         // wrong arity
         assert!(s.check_row(&[Value::Integer(1)]).is_err());
         // wrong type
-        assert!(s
-            .check_row(&[Value::from("oops"), Value::from("x"), Value::Null])
-            .is_err());
+        assert!(s.check_row(&[Value::from("oops"), Value::from("x"), Value::Null]).is_err());
     }
 
     #[test]

@@ -329,10 +329,7 @@ mod tests {
         let row = t.get(RowId::new(5)).unwrap();
         assert_eq!(row[0].as_integer(), Some(5));
         assert_eq!(row[1].as_text(), Some("row5"));
-        assert_eq!(
-            row[2].as_geometry().map(|g| g.bbox().center()),
-            Some(Point::new(5.0, -5.0))
-        );
+        assert_eq!(row[2].as_geometry().map(|g| g.bbox().center()), Some(Point::new(5.0, -5.0)));
     }
 
     #[test]

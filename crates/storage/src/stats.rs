@@ -69,17 +69,77 @@ impl Counters {
         }
     }
 
-    /// Snapshot as `(name, value)` pairs for reporting.
-    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
-        vec![
-            ("row_fetches", Counters::get(&self.row_fetches)),
-            ("rows_scanned", Counters::get(&self.rows_scanned)),
-            ("btree_node_visits", Counters::get(&self.btree_node_visits)),
-            ("rtree_node_reads", Counters::get(&self.rtree_node_reads)),
-            ("mbr_tests", Counters::get(&self.mbr_tests)),
-            ("exact_tests", Counters::get(&self.exact_tests)),
-            ("tessellations", Counters::get(&self.tessellations)),
-        ]
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            values: [
+                Counters::get(&self.row_fetches),
+                Counters::get(&self.rows_scanned),
+                Counters::get(&self.btree_node_visits),
+                Counters::get(&self.rtree_node_reads),
+                Counters::get(&self.mbr_tests),
+                Counters::get(&self.exact_tests),
+                Counters::get(&self.tessellations),
+            ],
+        }
+    }
+
+    /// Work done since `earlier` was snapshotted. Saturating, so a
+    /// concurrent `reset` yields zeros rather than wrapping.
+    pub fn diff(&self, earlier: &CountersSnapshot) -> CountersSnapshot {
+        self.snapshot().diff(earlier)
+    }
+}
+
+/// Names of the [`Counters`] fields, in snapshot order.
+pub const COUNTER_NAMES: [&str; 7] = [
+    "row_fetches",
+    "rows_scanned",
+    "btree_node_visits",
+    "rtree_node_reads",
+    "mbr_tests",
+    "exact_tests",
+    "tessellations",
+];
+
+/// Immutable copy of all [`Counters`] values, used to report
+/// per-operation deltas (`after.diff(&before)`) instead of absolute
+/// process-lifetime totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CountersSnapshot {
+    /// Values in [`COUNTER_NAMES`] order.
+    pub values: [u64; 7],
+}
+
+impl CountersSnapshot {
+    /// Element-wise saturating subtraction: the work between `earlier`
+    /// and `self`.
+    pub fn diff(&self, earlier: &CountersSnapshot) -> CountersSnapshot {
+        let mut values = [0u64; 7];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = self.values[i].saturating_sub(earlier.values[i]);
+        }
+        CountersSnapshot { values }
+    }
+
+    /// `(name, value)` pairs in declaration order.
+    pub fn pairs(&self) -> Vec<(&'static str, u64)> {
+        COUNTER_NAMES.iter().copied().zip(self.values).collect()
+    }
+
+    /// Look up one counter by name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        COUNTER_NAMES.iter().position(|n| *n == name).map(|i| self.values[i])
+    }
+
+    /// Sum of all counters — a single scalar "work" figure.
+    pub fn total(&self) -> u64 {
+        self.values.iter().sum()
+    }
+
+    /// `true` if every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        self.values.iter().all(|v| *v == 0)
     }
 }
 
@@ -121,8 +181,26 @@ mod tests {
     fn snapshot_names_every_counter() {
         let c = Counters::new();
         Counters::bump(&c.exact_tests);
-        let snap = c.snapshot();
+        let snap = c.snapshot().pairs();
         assert_eq!(snap.len(), 7);
+        assert_eq!(snap.len(), COUNTER_NAMES.len());
         assert!(snap.contains(&("exact_tests", 1)));
+    }
+
+    #[test]
+    fn diff_reports_deltas() {
+        let c = Counters::new();
+        Counters::add(&c.mbr_tests, 10);
+        let before = c.snapshot();
+        Counters::add(&c.mbr_tests, 7);
+        Counters::bump(&c.row_fetches);
+        let delta = c.diff(&before);
+        assert_eq!(delta.get("mbr_tests"), Some(7));
+        assert_eq!(delta.get("row_fetches"), Some(1));
+        assert_eq!(delta.total(), 8);
+        assert!(!delta.is_zero());
+        // Saturating: a reset between snapshots cannot underflow.
+        c.reset();
+        assert!(c.diff(&before).is_zero() || c.diff(&before).get("mbr_tests") == Some(0));
     }
 }

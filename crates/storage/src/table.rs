@@ -101,10 +101,7 @@ impl Table {
     /// Fetch a row by rowid (a logical read).
     pub fn get(&self, rid: RowId) -> Result<Arc<[Value]>, StorageError> {
         Counters::bump(&self.counters.row_fetches);
-        self.slots
-            .get(rid.slot())
-            .and_then(|s| s.clone())
-            .ok_or(StorageError::NoSuchRow(rid))
+        self.slots.get(rid.slot()).and_then(|s| s.clone()).ok_or(StorageError::NoSuchRow(rid))
     }
 
     /// Fetch a single column of a row.
@@ -148,7 +145,6 @@ impl Table {
     pub fn scan(&self) -> TableScan<'_> {
         TableScan { table: self, next: 0 }
     }
-
 }
 
 /// Iterator over `(RowId, row)` pairs of live rows.
@@ -221,10 +217,7 @@ mod tests {
     use crate::schema::{DataType, Schema};
 
     fn table() -> Table {
-        Table::new(
-            "t",
-            Schema::of(&[("ID", DataType::Integer), ("NAME", DataType::Text)]),
-        )
+        Table::new("t", Schema::of(&[("ID", DataType::Integer), ("NAME", DataType::Text)]))
     }
 
     fn row(id: i64, name: &str) -> Vec<Value> {
@@ -281,16 +274,10 @@ mod tests {
         for i in 0..10 {
             t.insert(row(i, "x")).unwrap();
         }
-        let ids: Vec<i64> = t
-            .scan_slots(3, 6)
-            .map(|(_, r)| r[0].as_integer().unwrap())
-            .collect();
+        let ids: Vec<i64> = t.scan_slots(3, 6).map(|(_, r)| r[0].as_integer().unwrap()).collect();
         assert_eq!(ids, vec![3, 4, 5]);
         // bounds clamp to table size
-        let ids: Vec<i64> = t
-            .scan_slots(8, 100)
-            .map(|(_, r)| r[0].as_integer().unwrap())
-            .collect();
+        let ids: Vec<i64> = t.scan_slots(8, 100).map(|(_, r)| r[0].as_integer().unwrap()).collect();
         assert_eq!(ids, vec![8, 9]);
         assert_eq!(t.scan_slots(5, 5).count(), 0);
     }

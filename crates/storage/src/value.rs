@@ -133,10 +133,8 @@ impl Value {
             (Geometry(a), Geometry(b)) => a == b,
             (a, b) => {
                 rank(a) == rank(b) && a.sql_cmp(b) == Ordering::Equal
-                    || matches!(
-                        (a, b),
-                        (Integer(_), Double(_)) | (Double(_), Integer(_))
-                    ) && a.sql_cmp(b) == Ordering::Equal
+                    || matches!((a, b), (Integer(_), Double(_)) | (Double(_), Integer(_)))
+                        && a.sql_cmp(b) == Ordering::Equal
             }
         }
     }

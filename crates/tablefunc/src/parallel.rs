@@ -13,9 +13,11 @@ use crate::row::Row;
 use crate::table_function::TableFunction;
 use crate::TfError;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use sdo_obs::ProfileNode;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// How many in-flight batches each executor buffers before slaves
 /// block. Small by design: the paper's pipelining argument is that the
@@ -39,6 +41,7 @@ pub struct ParallelTableFunction {
     handles: Vec<JoinHandle<()>>,
     pending: VecDeque<Row>,
     failed: Option<TfError>,
+    profile: Option<ProfileNode>,
 }
 
 impl ParallelTableFunction {
@@ -53,6 +56,7 @@ impl ParallelTableFunction {
             handles: Vec::new(),
             pending: VecDeque::new(),
             failed: None,
+            profile: None,
         }
     }
 
@@ -72,14 +76,30 @@ impl ParallelTableFunction {
         mut f: Box<dyn TableFunction>,
         tx: Sender<Result<Vec<Row>, TfError>>,
         fetch_size: usize,
+        profile: Option<ProfileNode>,
     ) -> JoinHandle<()> {
         std::thread::Builder::new()
             .name(format!("tf-slave-{id}"))
             .spawn(move || {
+                // Profiling: this slave's node becomes the thread's
+                // current profile, so operators running inside the
+                // instance hang their detail under "slave N".
+                let _profile_scope = profile.clone().map(sdo_obs::enter);
+                if let Some(node) = &profile {
+                    f.attach_profile(node);
+                }
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     f.start()?;
                     loop {
+                        let fetch_started = profile.as_ref().map(|_| Instant::now());
                         let batch = f.fetch(fetch_size)?;
+                        if let (Some(node), Some(t0)) = (&profile, fetch_started) {
+                            node.add_wall(t0.elapsed());
+                            if !batch.is_empty() {
+                                node.add_batches(1);
+                                node.add_rows(batch.len() as u64);
+                            }
+                        }
                         if batch.is_empty() {
                             break;
                         }
@@ -111,10 +131,22 @@ impl TableFunction for ParallelTableFunction {
         if self.rx.is_some() {
             return Err(TfError::Protocol("start called twice"));
         }
+        // If no node was attached explicitly, pick up the ambient
+        // profile of the calling thread (if a session is active).
+        let parent = self.profile.clone().or_else(sdo_obs::current);
+        if let Some(p) = &parent {
+            p.set_attr("dop", self.instances.len().to_string());
+        }
         let (tx, rx) = bounded(CHANNEL_DEPTH.max(self.instances.len()));
         for (id, inst) in self.instances.drain(..).enumerate() {
-            self.handles
-                .push(Self::spawn_slave(id, inst, tx.clone(), self.slave_fetch_size));
+            let slave_node = parent.as_ref().map(|p| p.child(format!("slave {id}")));
+            self.handles.push(Self::spawn_slave(
+                id,
+                inst,
+                tx.clone(),
+                self.slave_fetch_size,
+                slave_node,
+            ));
         }
         drop(tx); // receiver disconnects once every slave finishes
         self.rx = Some(rx);
@@ -148,6 +180,10 @@ impl TableFunction for ParallelTableFunction {
         }
         self.pending.clear();
     }
+
+    fn attach_profile(&mut self, node: &ProfileNode) {
+        self.profile = Some(node.clone());
+    }
 }
 
 impl Drop for ParallelTableFunction {
@@ -175,9 +211,7 @@ mod tests {
     use sdo_storage::Value;
 
     fn instance(lo: i64, hi: i64) -> Box<dyn TableFunction> {
-        Box::new(BufferedFn::new(move || {
-            Ok((lo..hi).map(|i| vec![Value::Integer(i)]).collect())
-        }))
+        Box::new(BufferedFn::new(move || Ok((lo..hi).map(|i| vec![Value::Integer(i)]).collect())))
     }
 
     fn sorted_ints(rows: Vec<Row>) -> Vec<i64> {
@@ -190,9 +224,8 @@ mod tests {
     fn merges_all_slave_output() {
         for dop in [1usize, 2, 4, 7] {
             let per = 100i64;
-            let instances: Vec<_> = (0..dop as i64)
-                .map(|i| instance(i * per, (i + 1) * per))
-                .collect();
+            let instances: Vec<_> =
+                (0..dop as i64).map(|i| instance(i * per, (i + 1) * per)).collect();
             let rows = execute_parallel(instances, 16).unwrap();
             assert_eq!(sorted_ints(rows), (0..dop as i64 * per).collect::<Vec<_>>());
         }
@@ -274,6 +307,23 @@ mod tests {
         p.start().unwrap();
         let _ = p.fetch(10).unwrap();
         p.close(); // returns promptly; test would hang otherwise
+    }
+
+    #[test]
+    fn per_slave_profiles_report_rows() {
+        let session = sdo_obs::ProfileSession::begin("parallel scan");
+        let node = session.root().child("PARALLEL TF");
+        let mut p = ParallelTableFunction::new(vec![instance(0, 60), instance(60, 100)]);
+        p.attach_profile(&node);
+        let rows = crate::table_function::collect_all(&mut p, 16).unwrap();
+        assert_eq!(rows.len(), 100);
+        let profile = session.finish();
+        let op = profile.root.find("PARALLEL TF").expect("operator node");
+        assert!(op.attrs.iter().any(|(k, v)| k == "dop" && v == "2"));
+        assert_eq!(op.children.len(), 2, "one child per slave");
+        let per_slave: u64 = op.children.iter().map(|c| c.rows).sum();
+        assert_eq!(per_slave, 100, "slave rows sum to result cardinality");
+        assert!(op.children.iter().all(|c| c.batches > 0));
     }
 
     #[test]

@@ -102,11 +102,8 @@ mod tests {
     }
 
     fn flatten_sorted(parts: Vec<Vec<Row>>) -> Vec<i64> {
-        let mut all: Vec<i64> = parts
-            .into_iter()
-            .flatten()
-            .map(|r| r[1].as_integer().unwrap())
-            .collect();
+        let mut all: Vec<i64> =
+            parts.into_iter().flatten().map(|r| r[1].as_integer().unwrap()).collect();
         all.sort_unstable();
         all
     }

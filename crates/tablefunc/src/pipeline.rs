@@ -19,6 +19,7 @@ pub struct CursorFn<S, F> {
     out: std::collections::VecDeque<Row>,
     started: bool,
     input_done: bool,
+    profile: Option<sdo_obs::ProfileNode>,
 }
 
 impl<S, F> CursorFn<S, F>
@@ -34,6 +35,7 @@ where
             out: std::collections::VecDeque::new(),
             started: false,
             input_done: false,
+            profile: None,
         }
     }
 }
@@ -55,6 +57,7 @@ where
         if !self.started {
             return Err(TfError::Protocol("fetch before start"));
         }
+        let fetch_started = self.profile.as_ref().map(|_| std::time::Instant::now());
         while self.out.len() < max_rows && !self.input_done {
             let batch = self.input.next_batch(max_rows.max(16));
             if batch.is_empty() {
@@ -66,12 +69,26 @@ where
             }
         }
         let n = self.out.len().min(max_rows);
+        if let (Some(node), Some(t0)) = (&self.profile, fetch_started) {
+            node.add_wall(t0.elapsed());
+            if n > 0 {
+                node.add_batches(1);
+                node.add_rows(n as u64);
+            }
+        }
         Ok(self.out.drain(..n).collect())
     }
 
     fn close(&mut self) {
         self.out.clear();
         self.input_done = true;
+    }
+
+    fn attach_profile(&mut self, node: &sdo_obs::ProfileNode) {
+        // Record into a child so the attached node's own rows/batches
+        // stay whatever the *caller* accounts there (executor scans,
+        // parallel slave loops) — attaching must never double-count.
+        self.profile = Some(node.child("cursor pipeline"));
     }
 }
 
@@ -91,8 +108,7 @@ where
 {
     /// Wrap an input cursor with a keep-predicate.
     pub fn new(input: S, mut pred: P) -> Self {
-        let f: BoxedRowFn =
-            Box::new(move |row| Ok(if pred(&row) { vec![row] } else { vec![] }));
+        let f: BoxedRowFn = Box::new(move |row| Ok(if pred(&row) { vec![row] } else { vec![] }));
         FilterFn { inner: CursorFn::new(input, f), _marker: std::marker::PhantomData }
     }
 }
@@ -112,6 +128,10 @@ where
 
     fn close(&mut self) {
         self.inner.close()
+    }
+
+    fn attach_profile(&mut self, node: &sdo_obs::ProfileNode) {
+        self.inner.attach_profile(node)
     }
 }
 

@@ -189,10 +189,8 @@ mod tests {
     #[test]
     fn table_cursor_projection() {
         let t = Arc::new(RwLock::new({
-            let mut t = Table::new(
-                "t",
-                Schema::of(&[("A", DataType::Integer), ("B", DataType::Text)]),
-            );
+            let mut t =
+                Table::new("t", Schema::of(&[("A", DataType::Integer), ("B", DataType::Text)]));
             t.insert(vec![Value::Integer(7), Value::from("x")]).unwrap();
             t
         }));

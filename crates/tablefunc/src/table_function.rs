@@ -22,6 +22,14 @@ pub trait TableFunction: Send {
     fn fetch(&mut self, max_rows: usize) -> Result<Vec<Row>, TfError>;
     /// Release resources; idempotent, also called on early abandonment.
     fn close(&mut self);
+    /// Attach a profile node for `EXPLAIN ANALYZE`-style instrumentation.
+    ///
+    /// Called before `start` when a [`sdo_obs::ProfileSession`] is
+    /// active. Implementations that want to report per-operator detail
+    /// (e.g. per-slave rows for a parallel executor) keep the node and
+    /// record into it or its children; the default ignores it, which is
+    /// always safe — callers still time the fetches from outside.
+    fn attach_profile(&mut self, _node: &sdo_obs::ProfileNode) {}
 }
 
 /// Drive a table function to completion, collecting every row.
@@ -150,10 +158,7 @@ impl<G: FnOnce() -> Result<Vec<Row>, TfError> + Send> BufferedFn<G> {
 
 impl<G: FnOnce() -> Result<Vec<Row>, TfError> + Send> TableFunction for BufferedFn<G> {
     fn start(&mut self) -> Result<(), TfError> {
-        let generate = self
-            .generate
-            .take()
-            .ok_or(TfError::Protocol("start called twice"))?;
+        let generate = self.generate.take().ok_or(TfError::Protocol("start called twice"))?;
         self.buf = generate()?;
         self.pos = 0;
         self.started = true;

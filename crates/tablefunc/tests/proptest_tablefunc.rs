@@ -13,10 +13,7 @@ use sdo_tablefunc::{Row, TableFunction};
 
 fn arb_rows() -> impl Strategy<Value = Vec<Row>> {
     proptest::collection::vec((0i64..50, any::<i64>()), 0..300).prop_map(|pairs| {
-        pairs
-            .into_iter()
-            .map(|(k, v)| vec![Value::Integer(k), Value::Integer(v)])
-            .collect()
+        pairs.into_iter().map(|(k, v)| vec![Value::Integer(k), Value::Integer(v)]).collect()
     })
 }
 
@@ -29,10 +26,8 @@ fn arb_method() -> impl Strategy<Value = PartitionMethod> {
 }
 
 fn multiset(rows: &[Row]) -> Vec<(i64, i64)> {
-    let mut v: Vec<(i64, i64)> = rows
-        .iter()
-        .map(|r| (r[0].as_integer().unwrap(), r[1].as_integer().unwrap()))
-        .collect();
+    let mut v: Vec<(i64, i64)> =
+        rows.iter().map(|r| (r[0].as_integer().unwrap(), r[1].as_integer().unwrap())).collect();
     v.sort_unstable();
     v
 }

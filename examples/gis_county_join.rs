@@ -21,8 +21,7 @@ fn main() {
     println!("loading {n} synthetic counties...");
     db.execute("CREATE TABLE counties (id NUMBER, geom SDO_GEOMETRY)").unwrap();
     for (i, g) in counties::generate(n, &US_EXTENT, 2003).into_iter().enumerate() {
-        db.insert_row("counties", vec![Value::Integer(i as i64), Value::geometry(g)])
-            .unwrap();
+        db.insert_row("counties", vec![Value::Integer(i as i64), Value::geometry(g)]).unwrap();
     }
     db.execute(
         "CREATE INDEX counties_sidx ON counties(geom) \
@@ -30,24 +29,23 @@ fn main() {
     )
     .unwrap();
 
-    println!(
-        "{:>10} {:>10} {:>14} {:>14}",
-        "distance", "result", "nested-loop", "spatial-join"
-    );
+    println!("{:>10} {:>10} {:>14} {:>14}", "distance", "result", "nested-loop", "spatial-join");
     for d in [0.0f64, 0.25, 0.5, 1.0] {
         let (nl_pred, tf_pred) = if d == 0.0 {
-            ("SDO_RELATE(a.geom, b.geom, 'intersect') = 'TRUE'".to_string(),
-             "'intersect'".to_string())
+            (
+                "SDO_RELATE(a.geom, b.geom, 'intersect') = 'TRUE'".to_string(),
+                "'intersect'".to_string(),
+            )
         } else {
-            (format!("SDO_WITHIN_DISTANCE(a.geom, b.geom, {d}) = 'TRUE'"),
-             format!("'distance={d}'"))
+            (
+                format!("SDO_WITHIN_DISTANCE(a.geom, b.geom, {d}) = 'TRUE'"),
+                format!("'distance={d}'"),
+            )
         };
 
         let t = Instant::now();
         let nl = db
-            .execute(&format!(
-                "SELECT COUNT(*) FROM counties a, counties b WHERE {nl_pred}"
-            ))
+            .execute(&format!("SELECT COUNT(*) FROM counties a, counties b WHERE {nl_pred}"))
             .unwrap()
             .count()
             .unwrap();
@@ -65,9 +63,6 @@ fn main() {
         let tf_time = t.elapsed();
 
         assert_eq!(nl, tf, "join strategies disagree");
-        println!(
-            "{:>10} {:>10} {:>12.1?} {:>12.1?}",
-            d, nl, nl_time, tf_time
-        );
+        println!("{:>10} {:>10} {:>12.1?} {:>12.1?}", d, nl, nl_time, tf_time);
     }
 }

@@ -25,8 +25,7 @@ fn main() {
     println!("generated {} county polygons", geoms.len());
 
     // --- R-tree: bulk load + queries -------------------------------------
-    let items: Vec<(Rect, usize)> =
-        geoms.iter().enumerate().map(|(i, g)| (g.bbox(), i)).collect();
+    let items: Vec<(Rect, usize)> = geoms.iter().enumerate().map(|(i, g)| (g.bbox(), i)).collect();
     let rtree = RTree::bulk_load(items, RTreeParams::with_fanout(32));
     println!(
         "R-tree: {} items, height {}, {} nodes",
@@ -57,16 +56,12 @@ fn main() {
     );
 
     // --- pipelined spatial join, driven manually -------------------------
-    let mut table = Table::new(
-        "C",
-        Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]),
-    );
+    let mut table =
+        Table::new("C", Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]));
     let mut join_items = Vec::new();
     for (i, g) in geoms.iter().enumerate() {
         let bb = g.bbox();
-        let rid = table
-            .insert(vec![Value::Integer(i as i64), Value::geometry(g.clone())])
-            .unwrap();
+        let rid = table.insert(vec![Value::Integer(i as i64), Value::geometry(g.clone())]).unwrap();
         join_items.push((bb, rid));
     }
     let table = Arc::new(RwLock::new(table));
@@ -95,10 +90,7 @@ fn main() {
     // --- a parallel table function from scratch --------------------------
     // Compute polygon areas in 4 parallel slaves over an ANY-partitioned
     // cursor, then sum them.
-    let rows: Vec<Row> = geoms
-        .iter()
-        .map(|g| vec![Value::geometry(g.clone())])
-        .collect();
+    let rows: Vec<Row> = geoms.iter().map(|g| vec![Value::geometry(g.clone())]).collect();
     let parts = partition_sources(rows, PartitionMethod::Any, 4);
     let instances: Vec<Box<dyn TableFunction>> = parts
         .into_iter()
@@ -119,18 +111,12 @@ fn main() {
 
     // single-instance sanity check through collect_all
     let rows2: Vec<Row> = geoms.iter().map(|g| vec![Value::geometry(g.clone())]).collect();
-    let mut serial = CursorFn::new(
-        sdo_tablefunc::VecSource::new(rows2),
-        |row: Row| {
-            let g = row[0].as_geometry().unwrap();
-            Ok(vec![vec![Value::Double(g.area())]])
-        },
-    );
-    let serial_total: f64 = collect_all(&mut serial, 128)
-        .unwrap()
-        .iter()
-        .map(|r| r[0].as_double().unwrap())
-        .sum();
+    let mut serial = CursorFn::new(sdo_tablefunc::VecSource::new(rows2), |row: Row| {
+        let g = row[0].as_geometry().unwrap();
+        Ok(vec![vec![Value::Double(g.area())]])
+    });
+    let serial_total: f64 =
+        collect_all(&mut serial, 128).unwrap().iter().map(|r| r[0].as_double().unwrap()).sum();
     assert!((total - serial_total).abs() < 1e-6);
     println!("parallel == serial ✓");
 }

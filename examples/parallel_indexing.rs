@@ -24,10 +24,8 @@ fn main() {
         data.iter().map(|g| g.num_points()).sum::<usize>() / data.len().max(1);
     println!("average vertex count: {avg_vertices}");
 
-    let mut table = Table::new(
-        "BG",
-        Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]),
-    );
+    let mut table =
+        Table::new("BG", Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]));
     for (i, g) in data.into_iter().enumerate() {
         table.insert(vec![Value::Integer(i as i64), Value::geometry(g)]).unwrap();
     }
@@ -35,10 +33,7 @@ fn main() {
     let counters = Arc::new(Counters::new());
     let extent = Rect::new(-125.0, 24.0, -66.0, 50.0);
 
-    println!(
-        "\n{:>5} {:>22} {:>22}",
-        "dop", "quadtree (tess+pack)", "r-tree (cluster+merge)"
-    );
+    println!("\n{:>5} {:>22} {:>22}", "dop", "quadtree (tess+pack)", "r-tree (cluster+merge)");
     for dop in [1usize, 2, 4] {
         let qp = SpatialIndexParams {
             kind: IndexKindParam::Quadtree,
@@ -50,12 +45,14 @@ fn main() {
             create::build_quadtree(&table, 1, &qp, dop, Arc::clone(&counters)).unwrap();
 
         let rp = SpatialIndexParams { extent: Some(extent), ..Default::default() };
-        let (rt, rstats) =
-            create::build_rtree(&table, 1, &rp, dop, Arc::clone(&counters)).unwrap();
+        let (rt, rstats) = create::build_rtree(&table, 1, &rp, dop, Arc::clone(&counters)).unwrap();
 
         println!(
             "{:>5} {:>12.1?} +{:>7.1?} {:>12.1?} +{:>7.1?}",
-            dop, qstats.parallel_stage, qstats.merge_stage, rstats.parallel_stage,
+            dop,
+            qstats.parallel_stage,
+            qstats.merge_stage,
+            rstats.parallel_stage,
             rstats.merge_stage
         );
         if dop == 1 {

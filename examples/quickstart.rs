@@ -21,8 +21,7 @@ fn main() {
         ("downtown", "POLYGON ((2 2, 8 2, 8 8, 2 8, 2 2))"),
     ];
     for (name, wkt) in parks {
-        db.execute(&format!("INSERT INTO parks VALUES ('{name}', SDO_GEOMETRY('{wkt}'))"))
-            .unwrap();
+        db.execute(&format!("INSERT INTO parks VALUES ('{name}', SDO_GEOMETRY('{wkt}'))")).unwrap();
     }
 
     // 2. Create an R-tree spatial index through the extensible-indexing

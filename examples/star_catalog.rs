@@ -29,8 +29,7 @@ fn main() {
         sdo_core::register_spatial(&db);
         db.execute("CREATE TABLE s (id NUMBER, geom SDO_GEOMETRY)").unwrap();
         for (i, g) in subset.iter().enumerate() {
-            db.insert_row("s", vec![Value::Integer(i as i64), Value::geometry(g.clone())])
-                .unwrap();
+            db.insert_row("s", vec![Value::Integer(i as i64), Value::geometry(g.clone())]).unwrap();
         }
         db.execute(
             "CREATE INDEX s_sidx ON s(geom) INDEXTYPE IS SPATIAL_INDEX \

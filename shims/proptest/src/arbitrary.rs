@@ -1,0 +1,84 @@
+//! `any::<T>()` strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value of `Self`.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary_value(rng))
+    }
+}
+
+/// Full-domain strategy for `T` (`any::<i64>()`, `any::<bool>()`, ...).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+) => {
+        $(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    // Bias 1-in-8 draws toward boundary values, which
+                    // is where integer bugs live.
+                    if rng.below(8) == 0 {
+                        let specials = [0 as $t, 1 as $t, <$t>::MIN, <$t>::MAX];
+                        specials[rng.below(specials.len() as u64) as usize]
+                    } else {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )+
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> f64 {
+        if rng.below(8) == 0 {
+            let specials = [0.0, -0.0, 1.0, -1.0, f64::MAX, f64::MIN, f64::EPSILON];
+            specials[rng.below(specials.len() as u64) as usize]
+        } else {
+            (rng.unit_f64() - 0.5) * 2e6
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_domain() {
+        let mut rng = TestRng::from_seed(3);
+        let bools: Vec<bool> =
+            (0..32).map(|_| any::<bool>().gen_value(&mut rng).unwrap()).collect();
+        assert!(bools.iter().any(|b| *b) && bools.iter().any(|b| !*b));
+        let mut saw_extreme = false;
+        for _ in 0..200 {
+            let v = any::<i64>().gen_value(&mut rng).unwrap();
+            saw_extreme |= v == i64::MIN || v == i64::MAX;
+        }
+        assert!(saw_extreme, "boundary bias should surface extremes");
+    }
+}

@@ -1,0 +1,148 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate vendors
+//! the subset of the proptest 1.x API the workspace's property tests
+//! use: the [`proptest!`] / [`prop_assert!`] / [`prop_oneof!`] macros,
+//! the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_filter_map` combinators, range / tuple / regex-string
+//! strategies, and [`collection::vec`] / [`collection::btree_set`].
+//!
+//! Differences from real proptest: generation is *deterministic* per
+//! test name (stable CI, no regression files needed) and failing
+//! cases are reported without shrinking.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Common imports for property tests (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]`-able function that runs `config.cases` generated
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                let mut __accepted: u32 = 0;
+                let mut __rejected: u32 = 0;
+                while __accepted < __config.cases {
+                    $(
+                        let $arg = {
+                            let __strategy = &$strat;
+                            match $crate::strategy::Strategy::gen_value(__strategy, &mut __rng) {
+                                Some(v) => v,
+                                None => {
+                                    __rejected += 1;
+                                    assert!(
+                                        __rejected <= 20_000,
+                                        "proptest {}: too many rejected cases",
+                                        stringify!($name)
+                                    );
+                                    continue;
+                                }
+                            }
+                        };
+                    )*
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        Ok(()) => __accepted += 1,
+                        Err(e) => panic!(
+                            "proptest case {} failed: {}\n(deterministic seed; rerun reproduces)",
+                            stringify!($name),
+                            e
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a proptest body; failure aborts the current case with
+/// a [`test_runner::TestCaseError`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, "assertion failed: `{:?} == {:?}`", __l, __r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?} == {:?}`: {}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, "assertion failed: `{:?} != {:?}`", __l, __r);
+    }};
+}
+
+/// Uniform choice between heterogeneous strategies producing the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

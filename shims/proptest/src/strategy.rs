@@ -1,0 +1,269 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// How many times filtering combinators retry their inner strategy
+/// before giving up on the current case.
+const FILTER_RETRIES: usize = 16;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// `gen_value` returns `None` when a filter rejected the draw; the
+/// test runner retries with fresh randomness.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value, or `None` on a filtered-out draw.
+    fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values for which `f` returns `true`.
+    fn prop_filter<R, F>(self, _reason: R, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: std::fmt::Display,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+
+    /// Transform values, dropping those for which `f` returns `None`.
+    fn prop_filter_map<R, U, F>(self, _reason: R, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        R: std::fmt::Display,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.gen_value(rng).map(&self.f)
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        for _ in 0..FILTER_RETRIES {
+            if let Some(v) = self.inner.gen_value(rng) {
+                if (self.f)(&v) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Output of [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<U> {
+        for _ in 0..FILTER_RETRIES {
+            if let Some(v) = self.inner.gen_value(rng) {
+                if let Some(u) = (self.f)(v) {
+                    return Some(u);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Strategy producing a single cloned constant.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Type-erased strategy handle (output of [`Strategy::boxed`]).
+pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<V> {
+        self.0.gen_value(rng)
+    }
+}
+
+/// Uniform choice over boxed strategies (`prop_oneof!`).
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    /// Build from the alternative strategies. Must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<V> {
+        let idx = rng.below(self.0.len() as u64) as usize;
+        self.0[idx].gen_value(rng)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<f64> {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        Some(self.start + rng.unit_f64() * (self.end - self.start))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                    Some((self.start as i128 + draw as i128) as $t)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty inclusive range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                    Some((lo as i128 + draw as i128) as $t)
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident . $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.gen_value(rng)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+impl Strategy for &str {
+    type Value = String;
+
+    /// String literals act as generation-only regex patterns, matching
+    /// real proptest's `&str` strategy.
+    fn gen_value(&self, rng: &mut TestRng) -> Option<String> {
+        Some(crate::string::gen_from_pattern(self, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_filter_union() {
+        let mut rng = TestRng::from_seed(1);
+        let s = (0i32..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = s.gen_value(&mut rng).unwrap();
+            assert!(v % 2 == 0 && (0..20).contains(&v));
+        }
+        let odd = (0i32..10).prop_filter("odd", |v| v % 2 == 1);
+        for _ in 0..50 {
+            assert!(odd.gen_value(&mut rng).unwrap() % 2 == 1);
+        }
+        let u = Union::new(vec![Just(1i32).boxed(), Just(2i32).boxed()]);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..64 {
+            seen.insert(u.gen_value(&mut rng).unwrap());
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn tuple_and_ranges() {
+        let mut rng = TestRng::from_seed(2);
+        let s = (0u8..4, -5i64..5, 0.0f64..1.0);
+        for _ in 0..200 {
+            let (a, b, c) = s.gen_value(&mut rng).unwrap();
+            assert!(a < 4);
+            assert!((-5..5).contains(&b));
+            assert!((0.0..1.0).contains(&c));
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Generation-only regex engine backing the `&str` strategy.
+//!
+//! Supports the pattern subset the workspace's tests use: literals,
+//! alternation groups `(a|b)`, character classes `[a-z0-9_]` (with
+//! ranges and negation), `.` and `\PC` (printable), `\d` / `\w`, and
+//! the quantifiers `*`, `+`, `?`, `{m}`, `{m,}`, `{m,n}`. Unbounded
+//! quantifiers draw lengths in `0..=8`.
+
+use crate::test_runner::TestRng;
+
+/// Maximum repetitions drawn for `*`, `+`, and `{m,}`.
+const MAX_UNBOUNDED_REPS: u32 = 8;
+
+#[derive(Debug)]
+enum Node {
+    Lit(char),
+    Class(Vec<char>),
+    Seq(Vec<Node>),
+    Alt(Vec<Node>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+fn printable_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..0x7F).map(char::from).collect();
+    // A few multi-byte characters so lexers see non-ASCII input too.
+    pool.extend(['é', 'λ', '中', '→']);
+    pool
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_alt(&mut self) -> Node {
+        let mut arms = vec![self.parse_seq()];
+        while self.eat('|') {
+            arms.push(self.parse_seq());
+        }
+        if arms.len() == 1 {
+            arms.pop().unwrap()
+        } else {
+            Node::Alt(arms)
+        }
+    }
+
+    fn parse_seq(&mut self) -> Node {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            items.push(self.parse_quant(atom));
+        }
+        Node::Seq(items)
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.bump().expect("parse_atom at end of pattern") {
+            '(' => {
+                let inner = self.parse_alt();
+                self.eat(')');
+                inner
+            }
+            '[' => self.parse_class(),
+            '\\' => self.parse_escape(),
+            '.' => Node::Class(printable_pool()),
+            c => Node::Lit(c),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Node {
+        match self.bump().unwrap_or('\\') {
+            // Unicode category escape: `\PC` = "not control" ≈ printable.
+            // `\p{..}`/`\P{..}` braces are consumed if present.
+            'P' | 'p' => {
+                if self.eat('{') {
+                    while let Some(c) = self.bump() {
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                } else {
+                    self.bump();
+                }
+                Node::Class(printable_pool())
+            }
+            'd' => Node::Class(('0'..='9').collect()),
+            'w' => {
+                let mut pool: Vec<char> = ('a'..='z').collect();
+                pool.extend('A'..='Z');
+                pool.extend('0'..='9');
+                pool.push('_');
+                Node::Class(pool)
+            }
+            's' => Node::Class(vec![' ', '\t', '\n']),
+            'n' => Node::Lit('\n'),
+            't' => Node::Lit('\t'),
+            'r' => Node::Lit('\r'),
+            c => Node::Lit(c),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let negated = self.eat('^');
+        let mut members = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == ']' {
+                self.pos += 1;
+                break;
+            }
+            self.pos += 1;
+            let lo = if c == '\\' { self.bump().unwrap_or('\\') } else { c };
+            // `x-y` is a range unless `-` is the final member.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1).copied() != Some(']') {
+                self.pos += 1;
+                let hi = self.bump().unwrap_or(lo);
+                members.extend(lo..=hi);
+            } else {
+                members.push(lo);
+            }
+        }
+        if negated {
+            let excluded: std::collections::BTreeSet<char> = members.into_iter().collect();
+            members = printable_pool().into_iter().filter(|c| !excluded.contains(c)).collect();
+            if members.is_empty() {
+                members.push('?');
+            }
+            return Node::Class(members);
+        }
+        if members.is_empty() {
+            members.push('?');
+        }
+        Node::Class(members)
+    }
+
+    fn parse_quant(&mut self, atom: Node) -> Node {
+        match self.peek() {
+            Some('*') => {
+                self.pos += 1;
+                Node::Repeat(Box::new(atom), 0, MAX_UNBOUNDED_REPS)
+            }
+            Some('+') => {
+                self.pos += 1;
+                Node::Repeat(Box::new(atom), 1, MAX_UNBOUNDED_REPS)
+            }
+            Some('?') => {
+                self.pos += 1;
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('{') => {
+                self.pos += 1;
+                let mut lo = 0u32;
+                let mut cur = String::new();
+                let mut saw_comma = false;
+                while let Some(c) = self.bump() {
+                    match c {
+                        '}' => break,
+                        ',' => {
+                            lo = cur.parse().unwrap_or(0);
+                            cur.clear();
+                            saw_comma = true;
+                        }
+                        d => cur.push(d),
+                    }
+                }
+                let hi = if saw_comma {
+                    cur.parse().unwrap_or(lo + MAX_UNBOUNDED_REPS)
+                } else {
+                    lo = cur.parse().unwrap_or(0);
+                    lo
+                };
+                Node::Repeat(Box::new(atom), lo, hi.max(lo))
+            }
+            _ => atom,
+        }
+    }
+}
+
+fn generate(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(pool) => {
+            out.push(pool[rng.below(pool.len() as u64) as usize]);
+        }
+        Node::Seq(items) => {
+            for item in items {
+                generate(item, rng, out);
+            }
+        }
+        Node::Alt(arms) => {
+            let idx = rng.below(arms.len() as u64) as usize;
+            generate(&arms[idx], rng, out);
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let reps = lo + rng.below((hi - lo + 1) as u64) as u32;
+            for _ in 0..reps {
+                generate(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser { chars: pattern.chars().collect(), pos: 0 };
+    let ast = parser.parse_alt();
+    let mut out = String::new();
+    generate(&ast, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(6)
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = gen_from_pattern("[a-z][a-z0-9_]{0,10}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 11, "bad len: {s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn alternation_prefix() {
+        let mut rng = rng();
+        let keywords = ["SELECT", "INSERT", "CREATE", "DROP"];
+        for _ in 0..100 {
+            let s = gen_from_pattern("(SELECT|INSERT|CREATE|DROP)[ a-z0-9_'(),.*=<>]*", &mut rng);
+            assert!(keywords.iter().any(|k| s.starts_with(k)), "bad prefix: {s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_star() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = gen_from_pattern("\\PC*", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "control char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_dash_and_class_symbols() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = gen_from_pattern("[a-zA-Z0-9 +=_,.-]*", &mut rng);
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric() || " +=_,.-".contains(c)),
+                "unexpected char in {s:?}"
+            );
+        }
+    }
+}

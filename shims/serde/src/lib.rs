@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde`: marker traits plus no-op derive
+//! macros. The workspace's persistent formats are hand-written codecs
+//! (see `sdo-geom::codec` and `sdo-storage::snapshot`); the serde
+//! derives on types are declarative only.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

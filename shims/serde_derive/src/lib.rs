@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`: the derive macros expand to
+//! nothing. The workspace tags types with `#[derive(Serialize,
+//! Deserialize)]` for forward compatibility but performs all real
+//! encoding through its own codecs, so no generated impls are needed.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

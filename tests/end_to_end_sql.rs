@@ -6,10 +6,7 @@ use sdo_dbms::Database;
 use sdo_storage::Value;
 
 fn load_counties(db: &Database, table: &str, n: usize, seed: u64) {
-    db.execute(&format!(
-        "CREATE TABLE {table} (id NUMBER, geom SDO_GEOMETRY)"
-    ))
-    .unwrap();
+    db.execute(&format!("CREATE TABLE {table} (id NUMBER, geom SDO_GEOMETRY)")).unwrap();
     for (i, g) in counties::generate(n, &US_EXTENT, seed).into_iter().enumerate() {
         db.insert_row(table, vec![Value::Integer(i as i64), Value::geometry(g)]).unwrap();
     }
@@ -85,9 +82,7 @@ fn cursor_driven_parallel_join_matches() {
     db.execute("CREATE INDEX t2_sidx ON t2(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
 
     let serial = db
-        .execute(
-            "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('t1','geom','t2','geom','intersect'))",
-        )
+        .execute("SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('t1','geom','t2','geom','intersect'))")
         .unwrap()
         .count()
         .unwrap();
@@ -115,13 +110,9 @@ fn subtree_root_function_exposes_index_structure() {
         "CREATE INDEX t_sidx ON t(geom) INDEXTYPE IS SPATIAL_INDEX PARAMETERS ('tree_fanout=8')",
     )
     .unwrap();
-    let roots0 = db
-        .execute("SELECT * FROM TABLE(SUBTREE_ROOT('t_sidx', 0))")
-        .unwrap();
+    let roots0 = db.execute("SELECT * FROM TABLE(SUBTREE_ROOT('t_sidx', 0))").unwrap();
     assert_eq!(roots0.rows.len(), 1, "level 0 = the root itself");
-    let roots1 = db
-        .execute("SELECT * FROM TABLE(SUBTREE_ROOT('t_sidx', 1))")
-        .unwrap();
+    let roots1 = db.execute("SELECT * FROM TABLE(SUBTREE_ROOT('t_sidx', 1))").unwrap();
     assert!(roots1.rows.len() > 1, "descending one level must expose children");
     assert_eq!(roots0.columns[0], "NODE");
 }
@@ -131,8 +122,7 @@ fn window_queries_and_within_distance() {
     let db = session();
     load_counties(&db, "t", 100, 6);
     // Functional truth before indexing.
-    let window =
-        "SDO_GEOMETRY('POLYGON ((-100 30, -90 30, -90 40, -100 40, -100 30))')";
+    let window = "SDO_GEOMETRY('POLYGON ((-100 30, -90 30, -90 40, -100 40, -100 30))')";
     let functional = db
         .execute(&format!(
             "SELECT COUNT(*) FROM t WHERE SDO_RELATE(geom, {window}, 'ANYINTERACT') = 'TRUE'"
@@ -173,17 +163,11 @@ fn window_queries_and_within_distance() {
 fn tessellate_table_function_runs_from_sql() {
     let db = session();
     load_counties(&db, "t", 30, 7);
-    let tiles = db
-        .execute("SELECT * FROM TABLE(TESSELLATE('t', 'geom', 6))")
-        .unwrap();
+    let tiles = db.execute("SELECT * FROM TABLE(TESSELLATE('t', 'geom', 6))").unwrap();
     assert_eq!(tiles.columns, vec!["TILE_CODE", "RID", "INTERIOR"]);
     assert!(tiles.rows.len() >= 30, "every county produces at least one tile");
     // every rowid appears
-    let mut rids: Vec<u64> = tiles
-        .rows
-        .iter()
-        .map(|r| r[1].as_rowid().unwrap().as_u64())
-        .collect();
+    let mut rids: Vec<u64> = tiles.rows.iter().map(|r| r[1].as_rowid().unwrap().as_u64()).collect();
     rids.sort_unstable();
     rids.dedup();
     assert_eq!(rids.len(), 30);
@@ -203,9 +187,7 @@ fn quadtree_spatial_join_from_sql() {
     )
     .unwrap();
     let qt = db
-        .execute(
-            "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('t1','geom','t2','geom','intersect'))",
-        )
+        .execute("SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('t1','geom','t2','geom','intersect'))")
         .unwrap()
         .count()
         .unwrap();
@@ -231,9 +213,8 @@ fn mixed_index_kinds_rejected_for_join() {
         "CREATE INDEX t2_q ON t2(geom) INDEXTYPE IS SPATIAL_INDEX PARAMETERS ('sdo_level=6')",
     )
     .unwrap();
-    let err = db.execute(
-        "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('t1','geom','t2','geom','intersect'))",
-    );
+    let err =
+        db.execute("SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('t1','geom','t2','geom','intersect'))");
     assert!(err.is_err(), "joining an R-tree with a quadtree must fail cleanly");
 }
 
@@ -254,19 +235,14 @@ fn sdo_nn_nearest_neighbours() {
     // functional truth: 5 counties nearest to a probe point
     let probe = "SDO_POINT(-100, 35)";
     let truth = db
-        .execute(&format!(
-            "SELECT id FROM t ORDER BY SDO_DISTANCE(geom, {probe}) LIMIT 5"
-        ))
+        .execute(&format!("SELECT id FROM t ORDER BY SDO_DISTANCE(geom, {probe}) LIMIT 5"))
         .unwrap();
     let truth_ids: std::collections::HashSet<i64> =
         truth.rows.iter().map(|r| r[0].as_integer().unwrap()).collect();
 
     // without an index: functional SDO_NN path
-    let r = db
-        .execute(&format!(
-            "SELECT id FROM t WHERE SDO_NN(geom, {probe}, 5) = 'TRUE'"
-        ))
-        .unwrap();
+    let r =
+        db.execute(&format!("SELECT id FROM t WHERE SDO_NN(geom, {probe}, 5) = 'TRUE'")).unwrap();
     assert_eq!(r.rows.len(), 5);
     for row in &r.rows {
         assert!(truth_ids.contains(&row[0].as_integer().unwrap()));
@@ -275,9 +251,7 @@ fn sdo_nn_nearest_neighbours() {
     // with an R-tree index: filter-refine SDO_NN
     db.execute("CREATE INDEX t_x ON t(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
     let r = db
-        .execute(&format!(
-            "SELECT id FROM t WHERE SDO_NN(geom, {probe}, 'sdo_num_res=5') = 'TRUE'"
-        ))
+        .execute(&format!("SELECT id FROM t WHERE SDO_NN(geom, {probe}, 'sdo_num_res=5') = 'TRUE'"))
         .unwrap();
     assert_eq!(r.rows.len(), 5);
     for row in &r.rows {
@@ -343,9 +317,8 @@ fn explain_reports_chosen_strategies() {
     assert!(p.contains("SPATIAL_JOIN"), "{p}");
 
     // pipelined count fast path
-    let p = plan(
-        "EXPLAIN SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('a','geom','b','geom','intersect'))",
-    );
+    let p =
+        plan("EXPLAIN SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('a','geom','b','geom','intersect'))");
     assert!(p.contains("PIPELINED COUNT"), "{p}");
 
     // window query through the domain index, plus sort and limit
@@ -367,12 +340,8 @@ fn explain_reports_chosen_strategies() {
              SDO_RELATE(geom, SDO_GEOMETRY('POINT (0 0)'), 'ANYINTERACT') = 'TRUE'",
         )
         .unwrap();
-    let text: String = p2
-        .rows
-        .iter()
-        .map(|r| r[0].as_text().unwrap().to_string())
-        .collect::<Vec<_>>()
-        .join("\n");
+    let text: String =
+        p2.rows.iter().map(|r| r[0].as_text().unwrap().to_string()).collect::<Vec<_>>().join("\n");
     assert!(text.contains("functional evaluation"), "{text}");
 }
 

@@ -1,0 +1,118 @@
+//! `EXPLAIN ANALYZE` integration: the operator profile's row counts
+//! must agree with the cardinality of the plain query, including the
+//! per-slave breakdown of a parallel table function.
+
+use sdo_datagen::{counties, US_EXTENT};
+use sdo_dbms::Database;
+use sdo_storage::Value;
+
+fn load_counties(db: &Database, table: &str, n: usize, seed: u64) {
+    db.execute(&format!("CREATE TABLE {table} (id NUMBER, geom SDO_GEOMETRY)")).unwrap();
+    for (i, g) in counties::generate(n, &US_EXTENT, seed).into_iter().enumerate() {
+        db.insert_row(table, vec![Value::Integer(i as i64), Value::geometry(g)]).unwrap();
+    }
+}
+
+fn session_with_tables() -> Database {
+    let db = Database::new();
+    sdo_core::register_spatial(&db);
+    load_counties(&db, "city_table", 60, 1);
+    load_counties(&db, "river_table", 60, 2);
+    for (idx, table) in [("city_sidx", "city_table"), ("river_sidx", "river_table")] {
+        db.execute(&format!(
+            "CREATE INDEX {idx} ON {table}(geom) INDEXTYPE IS SPATIAL_INDEX \
+             PARAMETERS ('tree_fanout=8')"
+        ))
+        .unwrap();
+    }
+    db
+}
+
+#[test]
+fn pipelined_count_profile_matches_cardinality_with_per_slave_rows() {
+    let db = session_with_tables();
+    let sql = "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN( \
+               'city_table', 'geom', 'river_table', 'geom', 'intersect', 2))";
+
+    // Plain execution: result plus an implicitly recorded profile.
+    let n = db.execute(sql).unwrap().count().unwrap();
+    assert!(n > 0, "county grids overlap: expected a non-empty join");
+    let plain = db.last_profile().expect("plain statements record a profile");
+    assert_eq!(plain.root.name, "SELECT");
+
+    // EXPLAIN ANALYZE: renders the profile as PLAN rows...
+    let res = db.execute(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
+    assert_eq!(res.columns, vec!["PLAN".to_string()]);
+    assert!(res.rows.len() > 1, "expected a rendered profile tree");
+
+    // ...and records the same tree on the session.
+    let profile = db.last_profile().unwrap();
+    let op = profile
+        .root
+        .find("PIPELINED COUNT")
+        .expect("COUNT(*) over TABLE() takes the pipelined fast path");
+    assert_eq!(op.rows, n as u64, "operator rows must equal the query cardinality");
+    assert!(op.batches > 0);
+    assert!(op.attrs.iter().any(|(k, v)| k == "dop" && v == "2"));
+
+    // Per-slave rows of the parallel table function sum to the total.
+    let slaves: Vec<_> = op.children.iter().filter(|c| c.name.starts_with("slave")).collect();
+    assert_eq!(slaves.len(), 2, "dop=2 must report two slave operators");
+    assert_eq!(slaves.iter().map(|s| s.rows).sum::<u64>(), n as u64);
+    for s in &slaves {
+        assert!(s.find("exact filter").is_some(), "join phases nest under each slave");
+    }
+}
+
+#[test]
+fn semijoin_profile_matches_two_table_join_cardinality() {
+    let db = session_with_tables();
+    let sql = "SELECT a.id, b.id FROM city_table a, river_table b \
+               WHERE (a.rowid, b.rowid) IN \
+               (SELECT rid1, rid2 FROM TABLE(SPATIAL_JOIN( \
+                'city_table', 'geom', 'river_table', 'geom', 'intersect')))";
+
+    let res = db.execute(sql).unwrap();
+    let n = res.rows.len() as u64;
+    assert!(n > 0);
+
+    let profile = db.last_profile().unwrap();
+    assert_eq!(profile.root.rows, n, "root rows = statement result rows");
+    assert!(profile.root.find("TABLE SCAN CITY_TABLE").is_some());
+    assert!(profile.root.find("TABLE SCAN RIVER_TABLE").is_some());
+
+    let semi = profile.root.find("ROWID-PAIR SEMIJOIN").unwrap();
+    assert_eq!(semi.rows, n, "semijoin output rows = result rows");
+
+    // The pair-producing table function nests under the semijoin and
+    // produced exactly the joined pairs.
+    let tf = semi.find("TABLE FUNCTION SCAN SPATIAL_JOIN").unwrap();
+    assert_eq!(tf.rows, n, "rowid pairs = joined rows (pairs are distinct)");
+
+    // EXPLAIN ANALYZE of the same statement renders every operator.
+    let plan = db.execute(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
+    let text: Vec<String> = plan.rows.iter().map(|r| r[0].as_text().unwrap().to_string()).collect();
+    assert!(text.iter().any(|l| l.contains("ROWID-PAIR SEMIJOIN")));
+    assert!(text.iter().any(|l| l.contains("TABLE FUNCTION SCAN SPATIAL_JOIN")));
+}
+
+#[test]
+fn nested_loop_profile_reports_strategy_and_counters() {
+    let db = session_with_tables();
+    let res = db
+        .execute(
+            "SELECT a.id, b.id FROM city_table a, river_table b \
+             WHERE SDO_RELATE(a.geom, b.geom, 'intersect') = 'TRUE'",
+        )
+        .unwrap();
+    let profile = db.last_profile().unwrap();
+    let nl = profile
+        .root
+        .find("NESTED LOOP JOIN")
+        .expect("two-table spatial predicate takes the nested-loop strategy");
+    assert_eq!(nl.rows, res.rows.len() as u64);
+    assert!(
+        nl.metric("exact_tests").unwrap_or(0) > 0,
+        "work-counter deltas ride on the join operator"
+    );
+}

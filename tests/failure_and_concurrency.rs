@@ -37,9 +37,8 @@ impl TableFunction for PanickingFn {
 fn slave_panic_surfaces_as_sql_error() {
     let db = Database::new();
     db.register_table_function("FLAKY_PARALLEL", |_db, _args| {
-        let good: Box<dyn TableFunction> = Box::new(BufferedFn::new(|| {
-            Ok((0..100).map(|i| vec![Value::Integer(i)]).collect())
-        }));
+        let good: Box<dyn TableFunction> =
+            Box::new(BufferedFn::new(|| Ok((0..100).map(|i| vec![Value::Integer(i)]).collect())));
         let bad: Box<dyn TableFunction> = Box::new(PanickingFn);
         Ok(TfInstance {
             func: Box::new(ParallelTableFunction::new(vec![good, bad])),

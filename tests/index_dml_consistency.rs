@@ -21,8 +21,7 @@ fn session(params: &str) -> Database {
     db
 }
 
-const WINDOW: &str =
-    "SDO_GEOMETRY('POLYGON ((-110 30, -95 30, -95 42, -110 42, -110 30))')";
+const WINDOW: &str = "SDO_GEOMETRY('POLYGON ((-110 30, -95 30, -95 42, -110 42, -110 30))')";
 
 fn window_count(db: &Database) -> i64 {
     db.execute(&format!(
@@ -85,17 +84,14 @@ fn join_sees_post_creation_inserts() {
         vec![
             Value::Integer(0),
             Value::geometry(
-                sdo_geom::wkt::parse_wkt("POLYGON ((-105 35, -104 35, -104 36, -105 36))")
-                    .unwrap(),
+                sdo_geom::wkt::parse_wkt("POLYGON ((-105 35, -104 35, -104 36, -105 36))").unwrap(),
             ),
         ],
     )
     .unwrap();
     db.execute("CREATE INDEX probe_x ON probe(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
     let before = db
-        .execute(
-            "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('probe','geom','t','geom','intersect'))",
-        )
+        .execute("SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('probe','geom','t','geom','intersect'))")
         .unwrap()
         .count()
         .unwrap();
@@ -107,9 +103,7 @@ fn join_sees_post_creation_inserts() {
     )
     .unwrap();
     let after = db
-        .execute(
-            "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('probe','geom','t','geom','intersect'))",
-        )
+        .execute("SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN('probe','geom','t','geom','intersect'))")
         .unwrap()
         .count()
         .unwrap();

@@ -11,8 +11,7 @@ fn session_with(table: &str, geoms: &[Geometry]) -> Database {
     sdo_core::register_spatial(&db);
     db.execute(&format!("CREATE TABLE {table} (id NUMBER, geom SDO_GEOMETRY)")).unwrap();
     for (i, g) in geoms.iter().enumerate() {
-        db.insert_row(table, vec![Value::Integer(i as i64), Value::geometry(g.clone())])
-            .unwrap();
+        db.insert_row(table, vec![Value::Integer(i as i64), Value::geometry(g.clone())]).unwrap();
     }
     db
 }
@@ -22,12 +21,7 @@ fn pair_set(db: &Database, sql: &str) -> Vec<(u64, u64)> {
     let mut out: Vec<(u64, u64)> = res
         .rows
         .iter()
-        .map(|r| {
-            (
-                r[0].as_rowid().expect("rid1").as_u64(),
-                r[1].as_rowid().expect("rid2").as_u64(),
-            )
-        })
+        .map(|r| (r[0].as_rowid().expect("rid1").as_u64(), r[1].as_rowid().expect("rid2").as_u64()))
         .collect();
     out.sort_unstable();
     out
@@ -53,8 +47,7 @@ fn rtree_join_equals_brute_force_counties() {
     let db = session_with("ta", &a);
     db.execute("CREATE TABLE tb (id NUMBER, geom SDO_GEOMETRY)").unwrap();
     for (i, g) in b.iter().enumerate() {
-        db.insert_row("tb", vec![Value::Integer(i as i64), Value::geometry(g.clone())])
-            .unwrap();
+        db.insert_row("tb", vec![Value::Integer(i as i64), Value::geometry(g.clone())]).unwrap();
     }
     db.execute("CREATE INDEX ta_x ON ta(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
     db.execute("CREATE INDEX tb_x ON tb(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
@@ -78,8 +71,7 @@ fn quadtree_join_equals_rtree_join_stars() {
     let db_r = session_with("s1", &s);
     db_r.execute("CREATE TABLE s2 (id NUMBER, geom SDO_GEOMETRY)").unwrap();
     for (i, g) in s.iter().enumerate() {
-        db_r.insert_row("s2", vec![Value::Integer(i as i64), Value::geometry(g.clone())])
-            .unwrap();
+        db_r.insert_row("s2", vec![Value::Integer(i as i64), Value::geometry(g.clone())]).unwrap();
     }
     db_r.execute("CREATE INDEX s1_x ON s1(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
     db_r.execute("CREATE INDEX s2_x ON s2(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
@@ -92,8 +84,7 @@ fn quadtree_join_equals_rtree_join_stars() {
     let db_q = session_with("s1", &s);
     db_q.execute("CREATE TABLE s2 (id NUMBER, geom SDO_GEOMETRY)").unwrap();
     for (i, g) in s.iter().enumerate() {
-        db_q.insert_row("s2", vec![Value::Integer(i as i64), Value::geometry(g.clone())])
-            .unwrap();
+        db_q.insert_row("s2", vec![Value::Integer(i as i64), Value::geometry(g.clone())]).unwrap();
     }
     db_q.execute(
         "CREATE INDEX s1_q ON s1(geom) INDEXTYPE IS SPATIAL_INDEX \
@@ -142,10 +133,8 @@ fn filter_interaction_returns_mbr_candidates() {
     let a = counties::generate(30, &US_EXTENT, 88);
     let db = session_with("c", &a);
     db.execute("CREATE INDEX c_x ON c(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
-    let primary = pair_set(
-        &db,
-        "SELECT rid1, rid2 FROM TABLE(SPATIAL_JOIN('c','geom','c','geom','FILTER'))",
-    );
+    let primary =
+        pair_set(&db, "SELECT rid1, rid2 FROM TABLE(SPATIAL_JOIN('c','geom','c','geom','FILTER'))");
     let exact = pair_set(
         &db,
         "SELECT rid1, rid2 FROM TABLE(SPATIAL_JOIN('c','geom','c','geom','intersect'))",

@@ -13,8 +13,7 @@ fn session(n: usize) -> Database {
     for t in ["a", "b"] {
         db.execute(&format!("CREATE TABLE {t} (id NUMBER, geom SDO_GEOMETRY)")).unwrap();
         for (i, g) in s.iter().enumerate() {
-            db.insert_row(t, vec![Value::Integer(i as i64), Value::geometry(g.clone())])
-                .unwrap();
+            db.insert_row(t, vec![Value::Integer(i as i64), Value::geometry(g.clone())]).unwrap();
         }
         db.execute(&format!(
             "CREATE INDEX {t}_x ON {t}(geom) INDEXTYPE IS SPATIAL_INDEX \
@@ -40,10 +39,8 @@ fn pairs(db: &Database, sql: &str) -> Vec<(u64, u64)> {
 #[test]
 fn dop_sweep_preserves_results() {
     let db = session(300);
-    let serial = pairs(
-        &db,
-        "SELECT rid1, rid2 FROM TABLE(SPATIAL_JOIN('a','geom','b','geom','intersect'))",
-    );
+    let serial =
+        pairs(&db, "SELECT rid1, rid2 FROM TABLE(SPATIAL_JOIN('a','geom','b','geom','intersect'))");
     assert!(!serial.is_empty());
     for dop in [2, 3, 4, 8] {
         let par = pairs(
@@ -60,10 +57,8 @@ fn dop_sweep_preserves_results() {
 #[test]
 fn descent_level_sweep_preserves_results() {
     let db = session(250);
-    let serial = pairs(
-        &db,
-        "SELECT rid1, rid2 FROM TABLE(SPATIAL_JOIN('a','geom','b','geom','intersect'))",
-    );
+    let serial =
+        pairs(&db, "SELECT rid1, rid2 FROM TABLE(SPATIAL_JOIN('a','geom','b','geom','intersect'))");
     for level in [0, 1, 2] {
         let par = pairs(
             &db,
@@ -79,10 +74,8 @@ fn descent_level_sweep_preserves_results() {
 #[test]
 fn options_do_not_change_results() {
     let db = session(200);
-    let baseline = pairs(
-        &db,
-        "SELECT rid1, rid2 FROM TABLE(SPATIAL_JOIN('a','geom','b','geom','intersect'))",
-    );
+    let baseline =
+        pairs(&db, "SELECT rid1, rid2 FROM TABLE(SPATIAL_JOIN('a','geom','b','geom','intersect'))");
     for opts in [
         "fetch_order=arrival",
         "candidates=3",

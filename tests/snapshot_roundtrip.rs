@@ -17,11 +17,7 @@ fn build_source() -> Database {
     for (i, g) in counties::generate(80, &US_EXTENT, 77).into_iter().enumerate() {
         db.insert_row(
             "t",
-            vec![
-                Value::Integer(i as i64),
-                Value::text(format!("county{i}")),
-                Value::geometry(g),
-            ],
+            vec![Value::Integer(i as i64), Value::text(format!("county{i}")), Value::geometry(g)],
         )
         .unwrap();
     }
@@ -36,8 +32,7 @@ fn build_source() -> Database {
     db
 }
 
-const WINDOW: &str =
-    "SDO_GEOMETRY('POLYGON ((-110 28, -92 28, -92 44, -110 44, -110 28))')";
+const WINDOW: &str = "SDO_GEOMETRY('POLYGON ((-110 28, -92 28, -92 44, -110 44, -110 28))')";
 
 fn fingerprint(db: &Database) -> (i64, i64, Vec<i64>) {
     let window_count = db
@@ -77,10 +72,7 @@ fn snapshot_roundtrip_preserves_queries_and_indexes() {
     assert_eq!(meta.create_dop, 2);
     assert_eq!(fingerprint(&dst), before);
     // tombstoned ids are really gone
-    assert_eq!(
-        dst.execute("SELECT COUNT(*) FROM t WHERE id = 10").unwrap().count(),
-        Some(0)
-    );
+    assert_eq!(dst.execute("SELECT COUNT(*) FROM t WHERE id = 10").unwrap().count(), Some(0));
     // and the restored session accepts further DML + queries
     dst.execute(
         "INSERT INTO t VALUES (999, 'new', \
