@@ -77,7 +77,12 @@ fn fetch_order() {
                 clone_side(&side),
                 clone_side(&side),
                 ExactPredicate::Masks(vec![RelateMask::AnyInteract]),
-                SpatialJoinConfig { candidate_array: 4096, fetch_order: order, cache_size: cache },
+                SpatialJoinConfig {
+                    candidate_array: 4096,
+                    fetch_order: order,
+                    cache_size: cache,
+                    ..Default::default()
+                },
                 Arc::new(Counters::new()),
             );
             let _ = collect_all(&mut join, 1024).unwrap();
@@ -111,6 +116,7 @@ fn pipeline_memory() {
                 candidate_array: cap,
                 fetch_order: FetchOrder::RowidSorted,
                 cache_size: 512,
+                ..Default::default()
             },
             Arc::new(Counters::new()),
         );

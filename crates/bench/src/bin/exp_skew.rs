@@ -1,0 +1,148 @@
+//! Skewed-workload parallel join: static round-robin vs work-stealing.
+//!
+//! One dense Gaussian hotspot plus uniform background
+//! ([`sdo_datagen::hotspot`]) is the adversarial case for static task
+//! partitioning: nearly all real join work lands in the few subtree
+//! pairs covering the hotspot, pinning one slave while the rest idle.
+//! The work-stealing schedule (the default) splits oversized pairs and
+//! lets idle slaves steal, so no slave starves.
+//!
+//! ```sh
+//! cargo run --release -p sdo-bench --bin exp_skew
+//! SDO_SCALE=0.002 cargo run -p sdo-bench --bin exp_skew   # smoke test
+//! ```
+
+use sdo_bench::*;
+use sdo_datagen::{hotspot, US_EXTENT};
+use sdo_obs::OpProfile;
+
+fn main() {
+    let n = scaled(250_000, 400);
+    println!("== skewed-workload join: static vs work-stealing scheduling ==");
+    println!("(hotspot data: {n} boxes, 70% in one Gaussian cluster)");
+    let geoms = hotspot::generate(n, &US_EXTENT, 0.7, 7);
+    let db = session();
+    load_table(&db, "h", &geoms);
+    db.execute(
+        "CREATE INDEX h_x ON h(geom) INDEXTYPE IS SPATIAL_INDEX PARAMETERS ('tree_fanout=32')",
+    )
+    .unwrap();
+
+    println!(
+        "{:>4} {:>9} {:>12} {:>10} {:>12} {:>8} {:>20}",
+        "dop", "schedule", "join time", "wallclock", "work model", "stolen", "slave tasks min/max"
+    );
+    let mut expect = None;
+    let mut static_base = None;
+    for dop in [1usize, 2, 4, 8] {
+        for schedule in ["static", "steal"] {
+            let sql = format!(
+                "SELECT COUNT(*) FROM TABLE( \
+                 SPATIAL_JOIN('h','geom','h','geom','intersect', {dop}, -1, \
+                 'schedule={schedule}'))"
+            );
+            let (c, t) = timed(|| count(&db, &sql));
+            let e = *expect.get_or_insert(c);
+            assert_eq!(e, c, "schedule changed the result cardinality");
+            let base = *static_base.get_or_insert(t);
+            let model = match schedule {
+                "steal" => modeled_steal_join_speedup(&geoms, dop),
+                _ => modeled_join_speedup(&geoms, dop),
+            };
+            let (stolen, spread) = slave_task_stats(&db);
+            println!(
+                "{:>4} {:>9} {:>12} {:>10} {:>11.2}x {:>8} {:>20}",
+                dop,
+                schedule,
+                secs(t),
+                speedup(base, t),
+                model,
+                stolen,
+                spread
+            );
+        }
+    }
+    println!("(wall-clock is bounded by host cores; the work model is the balance quality)");
+
+    println!();
+    println!("-- coarse tasks: fanout-8 index, forced descent level 1, dop=4 --");
+    // A shallow-fanout index makes level 1 only a handful of subtree
+    // pairs, so one hot pair is an entire slave's static assignment —
+    // the adversarial case the work-stealing scheduler exists for.
+    load_table(&db, "h2", &geoms);
+    db.execute(
+        "CREATE INDEX h2_x ON h2(geom) INDEXTYPE IS SPATIAL_INDEX PARAMETERS ('tree_fanout=8')",
+    )
+    .unwrap();
+    for schedule in ["static", "steal"] {
+        let sql = format!(
+            "SELECT COUNT(*) FROM TABLE( \
+             SPATIAL_JOIN('h2','geom','h2','geom','intersect', 4, 1, 'schedule={schedule}'))"
+        );
+        let (c, t) = timed(|| count(&db, &sql));
+        assert_eq!(expect.unwrap_or(c), c, "schedule changed the result cardinality");
+        let rows = per_slave_rows(&db);
+        let total: u64 = rows.iter().sum();
+        let max = rows.iter().copied().max().unwrap_or(1).max(1);
+        println!(
+            "{:>9}: {} balance {:.2}x (rows per slave: {:?})",
+            schedule,
+            secs(t),
+            total as f64 / max as f64,
+            rows
+        );
+    }
+    println!("(balance = total slave output / busiest slave — 4.00x is perfect for dop=4)");
+
+    println!();
+    println!("-- EXPLAIN ANALYZE (dop=4, work-stealing) --");
+    let out = db
+        .execute(
+            "EXPLAIN ANALYZE SELECT COUNT(*) FROM TABLE( \
+             SPATIAL_JOIN('h','geom','h','geom','intersect', 4))",
+        )
+        .unwrap();
+    for row in &out.rows {
+        for v in row {
+            if let Some(s) = v.as_text() {
+                println!("{s}");
+            }
+        }
+    }
+}
+
+/// Per-slave `tasks_executed`/`tasks_stolen` from the most recent
+/// statement's profile: total steals plus the min/max executed spread.
+/// Static slaves record no task metrics, shown as `-`.
+fn slave_task_stats(db: &sdo_dbms::Database) -> (String, String) {
+    let Some(profile) = db.last_profile() else {
+        return ("-".into(), "-".into());
+    };
+    let executed: Vec<u64> = slave_metric(&profile.root, "tasks_executed");
+    if executed.is_empty() {
+        return ("-".into(), "-".into());
+    }
+    let stolen: u64 = slave_metric(&profile.root, "tasks_stolen").iter().sum();
+    let min = executed.iter().min().copied().unwrap_or(0);
+    let max = executed.iter().max().copied().unwrap_or(0);
+    (stolen.to_string(), format!("{min}/{max}"))
+}
+
+/// Values of `name` on every profile node that records it.
+fn slave_metric(root: &OpProfile, name: &str) -> Vec<u64> {
+    root.walk().into_iter().filter_map(|(_, node)| node.metric(name)).collect()
+}
+
+/// Rows produced by each parallel slave in the last statement.
+fn per_slave_rows(db: &sdo_dbms::Database) -> Vec<u64> {
+    let Some(profile) = db.last_profile() else {
+        return Vec::new();
+    };
+    profile
+        .root
+        .walk()
+        .into_iter()
+        .filter(|(_, node)| node.name.starts_with("slave "))
+        .map(|(_, node)| node.rows)
+        .collect()
+}

@@ -19,8 +19,8 @@ use sdo_core::join::{ExactPredicate, JoinSide, SpatialJoin, SpatialJoinConfig};
 use sdo_dbms::Database;
 use sdo_geom::{Geometry, RelateMask};
 use sdo_rtree::{RTree, RTreeParams};
-use sdo_storage::{Counters, DataType, Schema, Table, Value};
-use sdo_tablefunc::collect_all;
+use sdo_storage::{Counters, DataType, RowId, Schema, Table, Value};
+use sdo_tablefunc::{collect_all, execute_parallel, TableFunction, TaskQueue};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -101,12 +101,8 @@ pub fn speedup(base: Duration, other: Duration) -> String {
     format!("{:.2}x", base.as_secs_f64() / other.as_secs_f64().max(1e-12))
 }
 
-/// Work-partition speedup model for a DOP-`dop` self-join: run each
-/// slave's share of the subtree-pair decomposition with private
-/// counters and compare total work against the maximum slave's work
-/// (the parallel critical path).
-pub fn modeled_join_speedup(geoms: &[Geometry], dop: usize) -> f64 {
-    // Direct core-API join sides (no SQL session needed).
+/// Direct core-API self-join side over `geoms` (no SQL session needed).
+fn self_join_side(geoms: &[Geometry]) -> (Arc<RwLock<Table>>, Arc<RTree<RowId>>) {
     let mut t =
         Table::new("S", Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]));
     let mut items = Vec::new();
@@ -115,8 +111,15 @@ pub fn modeled_join_speedup(geoms: &[Geometry], dop: usize) -> f64 {
         let rid = t.insert(vec![Value::Integer(i as i64), Value::geometry(g.clone())]).unwrap();
         items.push((bb, rid));
     }
-    let table = Arc::new(RwLock::new(t));
-    let tree = Arc::new(RTree::bulk_load(items, RTreeParams::with_fanout(32)));
+    (Arc::new(RwLock::new(t)), Arc::new(RTree::bulk_load(items, RTreeParams::with_fanout(32))))
+}
+
+/// Work-partition speedup model for a DOP-`dop` self-join: run each
+/// slave's share of the subtree-pair decomposition with private
+/// counters and compare total work against the maximum slave's work
+/// (the parallel critical path).
+pub fn modeled_join_speedup(geoms: &[Geometry], dop: usize) -> f64 {
+    let (table, tree) = self_join_side(geoms);
     let exact = ExactPredicate::Masks(vec![RelateMask::AnyInteract]);
     let (_, tasks) = sdo_core::functions::choose_descent_level(&tree, &tree, &exact, dop);
     if tasks.is_empty() {
@@ -150,6 +153,41 @@ pub fn modeled_join_speedup(geoms: &[Geometry], dop: usize) -> f64 {
     let total: u64 = slave_work.iter().sum();
     let max = *slave_work.iter().max().unwrap_or(&1);
     total as f64 / max.max(1) as f64
+}
+
+/// The same critical-path model under the work-stealing scheduler: the
+/// slaves share one [`TaskQueue`] through the real parallel executor,
+/// each with private counters, so per-slave work reflects the dynamic
+/// balance (splits + steals) rather than the static task assignment.
+pub fn modeled_steal_join_speedup(geoms: &[Geometry], dop: usize) -> f64 {
+    let (table, tree) = self_join_side(geoms);
+    let exact = ExactPredicate::Masks(vec![RelateMask::AnyInteract]);
+    let (_, tasks) = sdo_core::functions::choose_descent_level(&tree, &tree, &exact, dop);
+    if tasks.is_empty() {
+        return 1.0;
+    }
+    let queue = TaskQueue::seed_round_robin(tasks, dop);
+    let counters: Vec<Arc<Counters>> = (0..dop).map(|_| Arc::new(Counters::new())).collect();
+    let instances: Vec<Box<dyn TableFunction>> = (0..dop)
+        .map(|worker| {
+            Box::new(SpatialJoin::with_shared_tasks(
+                JoinSide { table: Arc::clone(&table), column: 1, tree: Arc::clone(&tree) },
+                JoinSide { table: Arc::clone(&table), column: 1, tree: Arc::clone(&tree) },
+                exact.clone(),
+                SpatialJoinConfig::default(),
+                Arc::clone(&counters[worker]),
+                Arc::clone(&queue),
+                worker,
+            )) as Box<dyn TableFunction>
+        })
+        .collect();
+    let _ = execute_parallel(instances, 1024).unwrap();
+    let work: Vec<u64> = counters
+        .iter()
+        .map(|c| Counters::get(&c.exact_tests) + Counters::get(&c.mbr_tests))
+        .collect();
+    let total: u64 = work.iter().sum();
+    total as f64 / work.iter().copied().max().unwrap_or(1).max(1) as f64
 }
 
 #[cfg(test)]

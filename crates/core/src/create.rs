@@ -3,16 +3,22 @@
 //! Both builders drive the **same table-function machinery the paper
 //! describes**:
 //!
-//! * Quadtree (Figure 2): the geometry cursor is RANGE-partitioned into
-//!   `dop` slices; each slice feeds a tessellation table function
-//!   ([`sdo_tablefunc::pipeline::CursorFn`]) running on its own slave;
-//!   tile rows funnel back and the B-tree over tile codes is
-//!   bulk-packed from the merged sorted run.
+//! * Quadtree (Figure 2): the geometry cursor is chunked into slot
+//!   ranges that `dop` tessellation slaves pull from a shared
+//!   work-stealing queue ([`sdo_tablefunc::scheduler`]); tile rows
+//!   funnel back and the B-tree over tile codes is bulk-packed from
+//!   the merged sorted run.
 //! * R-tree: stage 1 loads geometries and computes MBRs in parallel
-//!   (one table function instance per cursor partition); stage 2
-//!   spatially slices the MBR stream and *clusters subtrees in
-//!   parallel* — each slave STR-packs its slice into a subtree — and
-//!   the subtrees are merged at the end ([`sdo_rtree::RTree::merge`]).
+//!   (the same dynamically-scheduled cursor chunks); stage 2 spatially
+//!   slices the MBR stream and *clusters subtrees in parallel* — each
+//!   slave STR-packs its slice into a subtree — and the subtrees are
+//!   merged at the end ([`sdo_rtree::RTree::merge`]).
+//!
+//! Earlier versions RANGE-partitioned the cursor statically, one slice
+//! per slave, as Oracle does; with clustered data and variable-cost
+//! geometries that loads slaves unevenly, so both stages now pull
+//! chunks on demand instead. The chunk set covers the same slot space
+//! exactly once, so results are unchanged.
 
 use crate::params::SpatialIndexParams;
 use parking_lot::{Mutex, RwLock};
@@ -21,9 +27,10 @@ use sdo_geom::Rect;
 use sdo_quadtree::QuadtreeIndex;
 use sdo_rtree::{RTree, RTreeParams};
 use sdo_storage::{Counters, RowId, Table, Value};
-use sdo_tablefunc::pipeline::CursorFn;
-use sdo_tablefunc::source::TableCursor;
+use sdo_tablefunc::scheduler::{TaskQueue, WorkStealingFn};
+use sdo_tablefunc::source::{RowSource, TableCursor};
 use sdo_tablefunc::{execute_parallel, Row, TableFunction, TfError};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -40,28 +47,71 @@ pub struct CreationStats {
     pub merge_stage: Duration,
     /// Rows produced by the parallel stage (tile rows or MBR rows).
     pub stage_rows: usize,
-    /// Input rows per partition, for skew inspection.
+    /// Input slots actually processed per slave. Under dynamic
+    /// scheduling this reflects how the load really spread (a slave
+    /// that stalls processes fewer slots), not a predetermined split.
     pub partition_sizes: Vec<usize>,
 }
 
-/// Slice a table's slot space into `dop` contiguous cursor partitions —
-/// RANGE partitioning of the input cursor.
-fn partition_cursors(
+/// Chunk a table's slot space into work-stealing range tasks: several
+/// chunks per worker, so slaves pull often enough for load balancing
+/// without paying a queue pop per row.
+fn range_tasks(hwm: usize, dop: usize) -> Vec<(usize, usize)> {
+    let chunk = hwm.div_ceil(dop.max(1) * 8).max(1);
+    let mut tasks = Vec::new();
+    let mut lo = 0;
+    while lo < hwm {
+        let hi = (lo + chunk).min(hwm);
+        tasks.push((lo, hi));
+        lo = hi;
+    }
+    tasks
+}
+
+/// Build `dop` work-stealing slave instances over a geometry cursor:
+/// each slave pulls `(lo, hi)` slot ranges from a shared [`TaskQueue`]
+/// and maps every `(rowid, geometry)` row through `body`. Returns the
+/// instances plus the per-worker processed-slot counters that become
+/// [`CreationStats::partition_sizes`].
+fn stealing_cursor_stage(
     table: &Arc<RwLock<Table>>,
     column: usize,
     dop: usize,
-) -> (Vec<TableCursor>, Vec<usize>) {
+    body: impl Fn(Row) -> Result<Vec<Row>, TfError> + Send + Sync + 'static,
+) -> (Vec<Box<dyn TableFunction>>, Arc<Vec<AtomicUsize>>) {
     let hwm = table.read().high_water_mark();
-    let chunk = hwm.div_ceil(dop.max(1)).max(1);
-    let mut cursors = Vec::new();
-    let mut sizes = Vec::new();
-    for i in 0..dop {
-        let lo = (i * chunk).min(hwm);
-        let hi = ((i + 1) * chunk).min(hwm);
-        sizes.push(hi - lo);
-        cursors.push(TableCursor::slice(Arc::clone(table), lo, hi).with_projection(vec![column]));
-    }
-    (cursors, sizes)
+    let queue = TaskQueue::seed_round_robin(range_tasks(hwm, dop), dop);
+    let processed: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..dop).map(|_| AtomicUsize::new(0)).collect());
+    let body = Arc::new(body);
+    let instances = (0..dop)
+        .map(|worker| {
+            let table = Arc::clone(table);
+            let body = Arc::clone(&body);
+            let processed = Arc::clone(&processed);
+            Box::new(WorkStealingFn::new(
+                Arc::clone(&queue),
+                worker,
+                move |(lo, hi): (usize, usize)| {
+                    let mut cursor = TableCursor::slice(Arc::clone(&table), lo, hi)
+                        .with_projection(vec![column]);
+                    let mut out = Vec::new();
+                    loop {
+                        let batch = cursor.next_batch(256);
+                        if batch.is_empty() {
+                            break;
+                        }
+                        for row in batch {
+                            out.extend(body(row)?);
+                        }
+                    }
+                    processed[worker].fetch_add(hi - lo, Ordering::Relaxed);
+                    Ok(out)
+                },
+            )) as Box<dyn TableFunction>
+        })
+        .collect();
+    (instances, processed)
 }
 
 /// Compute (or adopt) the world extent for a quadtree.
@@ -115,23 +165,19 @@ pub fn build_quadtree(
         n
     });
 
-    // Stage 1: parallel tessellation through table functions.
+    // Stage 1: parallel tessellation through work-stealing table
+    // functions pulling cursor chunks on demand.
     let t0 = Instant::now();
-    let (cursors, partition_sizes) = partition_cursors(table, column, dop);
-    let instances: Vec<Box<dyn TableFunction>> = cursors
-        .into_iter()
-        .map(|cursor| {
-            let counters = Arc::clone(&counters);
-            Box::new(CursorFn::new(cursor, move |row: Row| {
-                tessellate_row(&row, &world, level, &counters)
-            })) as Box<dyn TableFunction>
-        })
-        .collect();
+    let stage_counters = Arc::clone(&counters);
+    let (instances, processed) = stealing_cursor_stage(table, column, dop, move |row: Row| {
+        tessellate_row(&row, &world, level, &stage_counters)
+    });
     let tess_node = prof.as_ref().map(|p| p.child("parallel tessellation"));
     let tile_rows = {
         let _scope = tess_node.clone().map(sdo_obs::enter);
         execute_parallel(instances, 1024).map_err(DbError::from)?
     };
+    let partition_sizes: Vec<usize> = processed.iter().map(|c| c.load(Ordering::Relaxed)).collect();
     let parallel_stage = t0.elapsed();
     if let Some(n) = &tess_node {
         n.add_wall(parallel_stage);
@@ -214,35 +260,31 @@ pub fn build_rtree(
         n
     });
 
-    // Stage 1: parallel geometry load + MBR computation.
+    // Stage 1: parallel geometry load + MBR computation, pulling
+    // cursor chunks from a shared work-stealing queue.
     let t0 = Instant::now();
-    let (cursors, partition_sizes) = partition_cursors(table, column, dop);
-    let instances: Vec<Box<dyn TableFunction>> = cursors
-        .into_iter()
-        .map(|cursor| {
-            Box::new(CursorFn::new(cursor, move |row: Row| {
-                let rid = row[0].as_rowid().ok_or_else(|| {
-                    TfError::Execution("mbr load: first column must be rowid".into())
-                })?;
-                let Some(g) = row.get(1).and_then(|v| v.as_geometry()) else {
-                    return Ok(Vec::new());
-                };
-                let bb = g.bbox();
-                Ok(vec![vec![
-                    Value::RowId(rid),
-                    Value::Double(bb.min_x),
-                    Value::Double(bb.min_y),
-                    Value::Double(bb.max_x),
-                    Value::Double(bb.max_y),
-                ]])
-            })) as Box<dyn TableFunction>
-        })
-        .collect();
+    let (instances, processed) = stealing_cursor_stage(table, column, dop, move |row: Row| {
+        let rid = row[0]
+            .as_rowid()
+            .ok_or_else(|| TfError::Execution("mbr load: first column must be rowid".into()))?;
+        let Some(g) = row.get(1).and_then(|v| v.as_geometry()) else {
+            return Ok(Vec::new());
+        };
+        let bb = g.bbox();
+        Ok(vec![vec![
+            Value::RowId(rid),
+            Value::Double(bb.min_x),
+            Value::Double(bb.min_y),
+            Value::Double(bb.max_x),
+            Value::Double(bb.max_y),
+        ]])
+    });
     let load_node = prof.as_ref().map(|p| p.child("parallel mbr load"));
     let mbr_rows = {
         let _scope = load_node.clone().map(sdo_obs::enter);
         execute_parallel(instances, 1024).map_err(DbError::from)?
     };
+    let partition_sizes: Vec<usize> = processed.iter().map(|c| c.load(Ordering::Relaxed)).collect();
     let stage_rows = mbr_rows.len();
     if let Some(n) = &load_node {
         n.add_wall(t0.elapsed());

@@ -2,7 +2,8 @@
 
 use crate::index::{QuadtreeSpatialIndex, RTreeSpatialIndex, SpatialIndexType};
 use crate::join::{
-    ExactPredicate, JoinSide, QtJoinSide, QuadtreeJoin, SpatialJoin, SpatialJoinConfig,
+    ExactPredicate, JoinSchedule, JoinSide, QtJoinSide, QuadtreeJoin, SpatialJoin,
+    SpatialJoinConfig,
 };
 use crate::FetchOrder;
 use sdo_dbms::db::TfInstance;
@@ -22,8 +23,13 @@ use std::sync::Arc;
 /// * `SPATIAL_JOIN(left_table, left_col, right_table, right_col,
 ///   interaction [, dop [, level [, options]]])` — the pipelined
 ///   (and, with `dop > 1`, parallel) spatial join table function.
+///   A negative `level` means "choose automatically" (the SQL dialect
+///   has no NULL literal, so `-1` is the explicit don't-care).
 ///   `interaction` is `'intersect'`/`'mask=...'`/`'distance=d'`;
-///   `options` is `'fetch_order=arrival, candidates=N, cache=N'`.
+///   `options` is `'fetch_order=arrival, candidates=N, cache=N,
+///   schedule=steal|static, split=N'` (`schedule` picks work-stealing
+///   vs. the paper's static task split; `split` is the work-stealing
+///   task-split threshold).
 ///   A leading `CURSOR(SELECT * FROM TABLE(SUBTREE_PAIRS(...)))`
 ///   argument supplies explicit subtree-pair tasks, matching the
 ///   paper's cursor-driven form,
@@ -85,7 +91,7 @@ fn parse_join_options(s: &str) -> Result<SpatialJoinConfig, DbError> {
     let mut cfg = SpatialJoinConfig::default();
     let pairs = parse_params(s);
     for (k, _) in &pairs {
-        if !matches!(k.as_str(), "fetch_order" | "candidates" | "cache") {
+        if !matches!(k.as_str(), "fetch_order" | "candidates" | "cache" | "schedule" | "split") {
             return Err(DbError::Plan(format!("unknown SPATIAL_JOIN option '{k}'")));
         }
     }
@@ -102,6 +108,17 @@ fn parse_join_options(s: &str) -> Result<SpatialJoinConfig, DbError> {
     }
     if let Some(v) = param(&pairs, "cache") {
         cfg.cache_size = v.parse().map_err(|_| DbError::Plan(format!("bad cache '{v}'")))?;
+    }
+    if let Some(v) = param(&pairs, "schedule") {
+        cfg.schedule = match v.to_ascii_lowercase().as_str() {
+            "steal" | "dynamic" => JoinSchedule::Steal,
+            "static" => JoinSchedule::Static,
+            other => return Err(DbError::Plan(format!("unknown schedule '{other}'"))),
+        };
+    }
+    if let Some(v) = param(&pairs, "split") {
+        cfg.split_threshold =
+            v.parse::<u64>().map_err(|_| DbError::Plan(format!("bad split '{v}'")))?.max(1);
     }
     Ok(cfg)
 }
@@ -162,7 +179,9 @@ fn spatial_join_factory(db: &Database, args: Vec<TfArg>) -> Result<TfInstance, D
     let rc = rest[3].text()?;
     let exact = ExactPredicate::parse(rest[4].text()?).map_err(DbError::from)?;
     let dop = rest.get(5).map(|a| a.integer()).transpose()?.unwrap_or(1).max(1) as usize;
-    let forced_level = rest.get(6).map(|a| a.integer()).transpose()?;
+    // Negative level = auto (lets SQL callers reach the options
+    // argument without forcing a descent level).
+    let forced_level = rest.get(6).map(|a| a.integer()).transpose()?.filter(|&l| l >= 0);
     let config = match rest.get(7) {
         Some(a) => parse_join_options(a.text()?)?,
         None => SpatialJoinConfig::default(),
@@ -208,40 +227,74 @@ fn spatial_join_factory(db: &Database, args: Vec<TfArg>) -> Result<TfInstance, D
         return Ok(TfInstance { func: Box::new(func), columns });
     }
 
-    // Parallel: partition the subtree-pair tasks across dop slave
-    // instances of the join function.
-    let task_rows: Vec<sdo_tablefunc::Row> = tasks
-        .iter()
-        .map(|&(l, r)| vec![Value::Integer(l as i64), Value::Integer(r as i64)])
-        .collect();
-    let parts = partition_rows(task_rows, PartitionMethod::Any, dop);
-    let instances: Vec<Box<dyn TableFunction>> = parts
-        .into_iter()
-        .map(|rows| {
-            let stack: Vec<(NodeId, NodeId)> = rows
-                .iter()
-                .map(|r| {
-                    (r[0].as_integer().unwrap() as NodeId, r[1].as_integer().unwrap() as NodeId)
+    // Parallel: distribute the subtree-pair tasks across dop slave
+    // instances of the join function. The default work-stealing
+    // schedule shares one task queue — slaves pull on demand and steal
+    // across shards, so a dense cluster cannot pin a single slave. The
+    // static schedule reproduces the paper's fixed cursor partitioning
+    // (kept for the skew ablation and regression comparison).
+    let instances: Vec<Box<dyn TableFunction>> = match config.schedule {
+        JoinSchedule::Steal => {
+            let queue = sdo_tablefunc::TaskQueue::seed_round_robin(tasks, dop);
+            (0..dop)
+                .map(|worker| {
+                    Box::new(SpatialJoin::with_shared_tasks(
+                        JoinSide {
+                            table: Arc::clone(&left.table),
+                            column: left.column,
+                            tree: Arc::clone(&left.tree),
+                        },
+                        JoinSide {
+                            table: Arc::clone(&right.table),
+                            column: right.column,
+                            tree: Arc::clone(&right.tree),
+                        },
+                        exact.clone(),
+                        config.clone(),
+                        Arc::clone(&counters),
+                        Arc::clone(&queue),
+                        worker,
+                    )) as Box<dyn TableFunction>
                 })
+                .collect()
+        }
+        JoinSchedule::Static => {
+            let task_rows: Vec<sdo_tablefunc::Row> = tasks
+                .iter()
+                .map(|&(l, r)| vec![Value::Integer(l as i64), Value::Integer(r as i64)])
                 .collect();
-            Box::new(SpatialJoin::with_stack(
-                JoinSide {
-                    table: Arc::clone(&left.table),
-                    column: left.column,
-                    tree: Arc::clone(&left.tree),
-                },
-                JoinSide {
-                    table: Arc::clone(&right.table),
-                    column: right.column,
-                    tree: Arc::clone(&right.tree),
-                },
-                exact.clone(),
-                config.clone(),
-                Arc::clone(&counters),
-                stack,
-            )) as Box<dyn TableFunction>
-        })
-        .collect();
+            partition_rows(task_rows, PartitionMethod::Any, dop)
+                .into_iter()
+                .map(|rows| {
+                    let stack: Vec<(NodeId, NodeId)> = rows
+                        .iter()
+                        .map(|r| {
+                            (
+                                r[0].as_integer().unwrap() as NodeId,
+                                r[1].as_integer().unwrap() as NodeId,
+                            )
+                        })
+                        .collect();
+                    Box::new(SpatialJoin::with_stack(
+                        JoinSide {
+                            table: Arc::clone(&left.table),
+                            column: left.column,
+                            tree: Arc::clone(&left.tree),
+                        },
+                        JoinSide {
+                            table: Arc::clone(&right.table),
+                            column: right.column,
+                            tree: Arc::clone(&right.tree),
+                        },
+                        exact.clone(),
+                        config.clone(),
+                        Arc::clone(&counters),
+                        stack,
+                    )) as Box<dyn TableFunction>
+                })
+                .collect()
+        }
+    };
     Ok(TfInstance { func: Box::new(ParallelTableFunction::new(instances)), columns })
 }
 

@@ -93,7 +93,14 @@ impl ExactPredicate {
         if t.eq_ignore_ascii_case("filter") {
             return Ok(ExactPredicate::PrimaryOnly);
         }
-        if let Some(d) = t.strip_prefix("distance=").or_else(|| t.strip_prefix("DISTANCE=")) {
+        // Prefix match is case-insensitive, like Oracle keyword syntax
+        // ('Distance=2.5' must not fall through to mask parsing).
+        let dist_prefix = "distance=".len();
+        if t.len() >= dist_prefix
+            && t.is_char_boundary(dist_prefix)
+            && t[..dist_prefix].eq_ignore_ascii_case("distance=")
+        {
+            let d = &t[dist_prefix..];
             return d
                 .trim()
                 .parse()
@@ -114,6 +121,20 @@ impl ExactPredicate {
     }
 }
 
+/// How subtree-pair tasks are distributed across parallel slaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinSchedule {
+    /// Work-stealing: slaves share a [`sdo_tablefunc::TaskQueue`] and
+    /// pull tasks on demand, stealing from busy siblings when their own
+    /// share runs dry. Robust to skewed data — the default.
+    #[default]
+    Steal,
+    /// Oracle's static split: tasks are dealt round-robin up front and
+    /// each slave owns its list. Kept for the ablation bench and as the
+    /// faithful reproduction of the paper's cursor partitioning.
+    Static,
+}
+
 /// Tuning for the join function.
 #[derive(Debug, Clone)]
 pub struct SpatialJoinConfig {
@@ -125,6 +146,13 @@ pub struct SpatialJoinConfig {
     pub fetch_order: FetchOrder,
     /// Geometry buffer-cache entries per side (0 disables caching).
     pub cache_size: usize,
+    /// Parallel task distribution policy (ignored when serial).
+    pub schedule: JoinSchedule,
+    /// Work-stealing granularity: a pulled task whose estimated work
+    /// ([`sdo_rtree::join::estimate_pair_work`]) exceeds this is split
+    /// one level and re-queued, so a single dense subtree pair cannot
+    /// pin one slave.
+    pub split_threshold: u64,
 }
 
 impl Default for SpatialJoinConfig {
@@ -133,6 +161,11 @@ impl Default for SpatialJoinConfig {
             candidate_array: 4096,
             fetch_order: FetchOrder::default(),
             cache_size: 512,
+            schedule: JoinSchedule::default(),
+            // One fanout^2 descent below the default task size: coarse
+            // enough that splitting stays rare on uniform data, fine
+            // enough that a hot cluster spreads across slaves.
+            split_threshold: 32_768,
         }
     }
 }
@@ -147,11 +180,14 @@ pub struct JoinSide {
     pub tree: Arc<RTree<RowId>>,
 }
 
-/// A tiny LRU-ish buffer cache for fetched geometries.
+/// A tiny LRU buffer cache for fetched geometries.
 ///
 /// Models the block buffer cache that makes the paper's rowid-sorted
 /// fetch order pay off: consecutive fetches of nearby rowids hit the
-/// cache, random order thrashes it. Hits avoid charging `row_fetches`.
+/// cache, random order thrashes it. Hits promote the entry to
+/// most-recently-used; eviction drops the least-recently-used entry.
+/// A fetch that finds no geometry (row deleted mid-join) is neither a
+/// hit nor a miss — the statistics count real geometry loads only.
 struct GeomCache {
     cap: usize,
     map: std::collections::HashMap<RowId, Arc<Geometry>>,
@@ -187,12 +223,18 @@ impl GeomCache {
         if self.cap > 0 {
             if let Some(g) = self.map.get(&rid) {
                 self.hits += 1;
+                // LRU promotion: the entry moves to the MRU end so a
+                // re-referenced geometry outlives one-shot fills.
+                if let Some(pos) = self.order.iter().position(|&o| o == rid) {
+                    self.order.remove(pos);
+                    self.order.push_back(rid);
+                }
                 return Some(Arc::clone(g));
             }
         }
-        self.misses += 1;
         let row = table.read().get(rid).ok()?;
         let g = row.get(column)?.as_geometry().cloned()?;
+        self.misses += 1;
         if self.cap > 0 {
             if self.map.len() >= self.cap {
                 if let Some(evict) = self.order.pop_front() {
@@ -206,6 +248,16 @@ impl GeomCache {
     }
 }
 
+/// A parallel slave's handle on the shared work-stealing task queue:
+/// where to pull the next subtree-pair task from, plus per-slave
+/// scheduling statistics for `EXPLAIN ANALYZE`.
+struct SharedTasks {
+    queue: Arc<sdo_tablefunc::TaskQueue<(NodeId, NodeId)>>,
+    worker: usize,
+    executed: u64,
+    stolen: u64,
+}
+
 /// The pipelined spatial join over two R-tree-indexed tables.
 pub struct SpatialJoin {
     left: JoinSide,
@@ -213,6 +265,9 @@ pub struct SpatialJoin {
     exact: ExactPredicate,
     config: SpatialJoinConfig,
     counters: Arc<Counters>,
+    /// Present in work-stealing parallel mode: tasks are pulled from
+    /// this shared queue instead of living on the private stack.
+    tasks: Option<SharedTasks>,
     /// Suspended traversal state: pending node pairs + undelivered MBR
     /// candidates.
     stack: Vec<(NodeId, NodeId)>,
@@ -263,6 +318,7 @@ impl SpatialJoin {
             exact,
             config,
             counters,
+            tasks: None,
             stack,
             carry: VecDeque::new(),
             out: VecDeque::new(),
@@ -274,6 +330,57 @@ impl SpatialJoin {
             result_rows: 0,
             attached: None,
             phases: None,
+        }
+    }
+
+    /// Work-stealing parallel slave: instead of owning a fixed task
+    /// stack, this instance pulls subtree-pair tasks from the shared
+    /// `queue` as worker `worker`, stealing from siblings when its own
+    /// shard runs dry. Oversized tasks (estimated work above
+    /// `config.split_threshold`) are split one level and re-queued so
+    /// a dense cluster spreads across slaves instead of pinning one.
+    pub fn with_shared_tasks(
+        left: JoinSide,
+        right: JoinSide,
+        exact: ExactPredicate,
+        config: SpatialJoinConfig,
+        counters: Arc<Counters>,
+        queue: Arc<sdo_tablefunc::TaskQueue<(NodeId, NodeId)>>,
+        worker: usize,
+    ) -> Self {
+        let mut join = Self::with_stack(left, right, exact, config, counters, Vec::new());
+        join.tasks = Some(SharedTasks { queue, worker, executed: 0, stolen: 0 });
+        join
+    }
+
+    /// Pull the next task from the shared queue onto the private stack,
+    /// splitting oversized tasks into re-queued children first. Returns
+    /// `false` when the queue is dry (or in static/serial mode, where
+    /// there is no queue).
+    fn pull_task(&mut self) -> bool {
+        let Some(ts) = &mut self.tasks else { return false };
+        let pred = self.exact.join_predicate();
+        loop {
+            let Some(pulled) = ts.queue.pop(ts.worker) else { return false };
+            ts.executed += 1;
+            ts.stolen += u64::from(pulled.stolen);
+            let (l, r) = pulled.task;
+            let work = sdo_rtree::join::estimate_pair_work(&self.left.tree, &self.right.tree, l, r);
+            if work > self.config.split_threshold {
+                if let Some(children) =
+                    sdo_rtree::join::split_pair(&self.left.tree, &self.right.tree, pred, l, r)
+                {
+                    // Children go to the own shard: this worker keeps
+                    // descending depth-first while idle siblings steal
+                    // the oldest (largest) children from the far end.
+                    for c in children {
+                        ts.queue.push(ts.worker, c);
+                    }
+                    continue;
+                }
+            }
+            self.stack.push((l, r));
+            return true;
         }
     }
 
@@ -306,6 +413,16 @@ impl SpatialJoin {
     /// Refill the candidate array by resuming the index-based join,
     /// then run the secondary filter over it.
     fn process_one_candidate_array(&mut self) -> Result<(), TfError> {
+        // Work-stealing mode: with no private work left, pull the next
+        // shared task; a dry queue means this slave is done.
+        if self.stack.is_empty()
+            && self.carry.is_empty()
+            && self.tasks.is_some()
+            && !self.pull_task()
+        {
+            self.mbr_exhausted = true;
+            return Ok(());
+        }
         // Resume the synchronized traversal from the saved stack.
         let mut cursor = JoinCursor::from_parts(
             &self.left.tree,
@@ -326,7 +443,12 @@ impl SpatialJoin {
         self.stack = stack;
         self.carry = carry;
         if candidates.is_empty() && self.stack.is_empty() && self.carry.is_empty() {
-            self.mbr_exhausted = true;
+            // In work-stealing mode a task may legitimately produce no
+            // candidates; the next call pulls again and only a dry
+            // queue (above) ends the slave.
+            if self.tasks.is_none() {
+                self.mbr_exhausted = true;
+            }
             return Ok(());
         }
         self.peak_candidates = self.peak_candidates.max(candidates.len());
@@ -421,6 +543,12 @@ impl TableFunction for SpatialJoin {
             p.node.add_metric("geom_cache_hits", self.lcache.hits + self.rcache.hits);
             p.node.add_metric("geom_cache_misses", self.lcache.misses + self.rcache.misses);
             p.node.add_metric("peak_candidates", self.peak_candidates as u64);
+            if let Some(ts) = &self.tasks {
+                // set_metric: zeros must render — a slave at 0 tasks
+                // is the imbalance EXPLAIN ANALYZE exists to expose.
+                p.node.set_metric("tasks_executed", ts.executed);
+                p.node.set_metric("tasks_stolen", ts.stolen);
+            }
         }
         self.lcache.clear();
         self.rcache.clear();
@@ -465,6 +593,7 @@ pub struct QuadtreeJoin {
     rcache: GeomCache,
     started: bool,
     merged: bool,
+    result_rows: usize,
     attached: Option<ProfileNode>,
     phases: Option<QtPhases>,
 }
@@ -506,9 +635,15 @@ impl QuadtreeJoin {
             rcache: GeomCache::new(cache),
             started: false,
             merged: false,
+            result_rows: 0,
             attached: None,
             phases: None,
         })
+    }
+
+    /// Total result rows delivered so far.
+    pub fn rows_returned(&self) -> usize {
+        self.result_rows
     }
 
     fn refill(&mut self) -> Result<(), TfError> {
@@ -533,6 +668,10 @@ impl QuadtreeJoin {
         }
         let prove_by_tiles =
             matches!(&self.exact, ExactPredicate::Masks(m) if m == &[RelateMask::AnyInteract]);
+        // Candidates actually filtered; pairs whose row vanished
+        // mid-join are skipped and must not inflate the filter's row
+        // count past the delivered cardinality.
+        let mut processed = 0u64;
         for c in batch {
             let keep = if matches!(self.exact, ExactPredicate::PrimaryOnly)
                 || (prove_by_tiles && c.definite)
@@ -552,13 +691,14 @@ impl QuadtreeJoin {
                     _ => unreachable!("distance rejected at construction"),
                 }
             };
+            processed += 1;
             if keep {
                 self.out.push_back(vec![Value::RowId(c.left), Value::RowId(c.right)]);
             }
         }
         if let (Some(p), Some(t0)) = (&self.phases, t_filter) {
             p.filter.add_wall(t0.elapsed());
-            p.filter.add_rows(take as u64);
+            p.filter.add_rows(processed);
         }
         Ok(())
     }
@@ -590,6 +730,7 @@ impl TableFunction for QuadtreeJoin {
             self.refill()?;
         }
         let n = self.out.len().min(max_rows);
+        self.result_rows += n;
         Ok(self.out.drain(..n).collect())
     }
 
@@ -698,7 +839,12 @@ mod tests {
                 JoinSide { table: Arc::clone(&l.table), column: 1, tree: Arc::clone(&l.tree) },
                 JoinSide { table: Arc::clone(&r.table), column: 1, tree: Arc::clone(&r.tree) },
                 ExactPredicate::Masks(vec![RelateMask::AnyInteract]),
-                SpatialJoinConfig { candidate_array: cap, fetch_order: order, cache_size: 16 },
+                SpatialJoinConfig {
+                    candidate_array: cap,
+                    fetch_order: order,
+                    cache_size: 16,
+                    ..Default::default()
+                },
                 Arc::new(Counters::new()),
             );
             assert_eq!(run(&mut join, fetch), want, "fetch={fetch} cap={cap} {order:?}");
@@ -742,7 +888,12 @@ mod tests {
                 JoinSide { table: Arc::clone(&l.table), column: 1, tree: Arc::clone(&l.tree) },
                 JoinSide { table: Arc::clone(&r.table), column: 1, tree: Arc::clone(&r.tree) },
                 ExactPredicate::Masks(vec![RelateMask::AnyInteract]),
-                SpatialJoinConfig { candidate_array: 4096, fetch_order: order, cache_size: 8 },
+                SpatialJoinConfig {
+                    candidate_array: 4096,
+                    fetch_order: order,
+                    cache_size: 8,
+                    ..Default::default()
+                },
                 Arc::new(Counters::new()),
             );
             let _ = collect_all(&mut join, 256).unwrap();
@@ -771,6 +922,130 @@ mod tests {
             Arc::new(Counters::new()),
         );
         assert!(collect_all(&mut join, 16).unwrap().is_empty());
+    }
+
+    #[test]
+    fn work_stealing_slaves_match_serial_join() {
+        let (l, lg) = make_side(0.0, 200);
+        let (r, rg) = make_side(5.0, 200);
+        let exact = ExactPredicate::Masks(vec![RelateMask::AnyInteract]);
+        let want = brute(&lg, &rg, &exact);
+        for dop in [1usize, 2, 4] {
+            let tasks = SpatialJoin::parallel_tasks(&l.tree, &r.tree, &exact, 1);
+            let queue = sdo_tablefunc::TaskQueue::seed_round_robin(tasks, dop);
+            // Tiny threshold forces split-and-requeue on every internal
+            // pair, exercising mid-run pushes and steals.
+            let config = SpatialJoinConfig { split_threshold: 4, ..Default::default() };
+            let mut got = Vec::new();
+            for worker in 0..dop {
+                let mut join = SpatialJoin::with_shared_tasks(
+                    JoinSide { table: Arc::clone(&l.table), column: 1, tree: Arc::clone(&l.tree) },
+                    JoinSide { table: Arc::clone(&r.table), column: 1, tree: Arc::clone(&r.tree) },
+                    exact.clone(),
+                    config.clone(),
+                    Arc::new(Counters::new()),
+                    Arc::clone(&queue),
+                    worker,
+                );
+                got.extend(run(&mut join, 64));
+            }
+            got.sort_unstable();
+            assert_eq!(got, want, "dop={dop}");
+        }
+    }
+
+    #[test]
+    fn distance_prefix_is_case_insensitive() {
+        for s in ["distance=2.5", "Distance=2.5", "DISTANCE=2.5", "DiStAnCe= 2.5"] {
+            assert_eq!(ExactPredicate::parse(s).unwrap(), ExactPredicate::Distance(2.5), "{s}");
+        }
+        assert!(ExactPredicate::parse("Distance=abc").is_err());
+    }
+
+    #[test]
+    fn geom_cache_promotes_on_hit() {
+        // cap=2 with access pattern A,B,A,C,A: LRU keeps A alive (B is
+        // evicted for C), pure FIFO would evict A for C.
+        let (side, _) = make_side(0.0, 3);
+        let rid = |i: u64| RowId::new(i);
+        let mut cache = GeomCache::new(2);
+        for i in [0u64, 1, 0, 2, 0] {
+            assert!(cache.get(&side.table, side.column, rid(i)).is_some());
+        }
+        assert_eq!((cache.hits, cache.misses), (2, 3), "A,B,miss A,hit C,miss A,hit");
+    }
+
+    #[test]
+    fn deleted_row_fetch_is_not_a_miss() {
+        let (side, _) = make_side(0.0, 2);
+        let victim = RowId::new(1);
+        side.table.write().delete(victim).unwrap();
+        let mut cache = GeomCache::new(4);
+        assert!(cache.get(&side.table, side.column, RowId::new(0)).is_some());
+        assert!(cache.get(&side.table, side.column, victim).is_none());
+        assert_eq!((cache.hits, cache.misses), (0, 1), "failed fetch counts as neither");
+    }
+
+    #[test]
+    fn quadtree_join_reports_delivered_cardinality() {
+        // Build two quadtree-indexed sides, delete a right-side row
+        // after indexing, and check that (a) rows_returned matches the
+        // delivered rows and (b) the profiled filter row count excludes
+        // the candidates skipped for the deleted row.
+        let make_qt = |n: usize| {
+            let (side, _) = make_side(0.0, n);
+            let params = crate::params::SpatialIndexParams {
+                kind: crate::params::IndexKindParam::Quadtree,
+                sdo_level: 5,
+                ..Default::default()
+            };
+            let (index, _) = crate::create::build_quadtree(
+                &side.table,
+                1,
+                &params,
+                1,
+                Arc::new(Counters::new()),
+            )
+            .unwrap();
+            QtJoinSide { table: side.table, column: 1, index: Arc::new(index) }
+        };
+        let left = make_qt(40);
+        let right = make_qt(40);
+        right.table.write().delete(RowId::new(7)).unwrap();
+
+        let session = sdo_obs::ProfileSession::begin("qt join");
+        let node = session.root().child("QUADTREE JOIN");
+        let mut join = QuadtreeJoin::new(
+            QtJoinSide {
+                table: Arc::clone(&left.table),
+                column: 1,
+                index: Arc::clone(&left.index),
+            },
+            QtJoinSide {
+                table: Arc::clone(&right.table),
+                column: 1,
+                index: Arc::clone(&right.index),
+            },
+            // OVERLAP is never tile-provable, so every surviving
+            // candidate passes through the geometry filter.
+            ExactPredicate::Masks(vec![RelateMask::Overlap, RelateMask::Equal]),
+            SpatialJoinConfig::default(),
+            Arc::new(Counters::new()),
+        )
+        .unwrap();
+        join.attach_profile(&node);
+        let rows = collect_all(&mut join, 16).unwrap();
+        assert_eq!(join.rows_returned(), rows.len(), "delivered cardinality is tracked");
+        let profile = session.finish();
+        let op = profile.root.find("QUADTREE JOIN").unwrap();
+        let merged = op.find("tile merge").unwrap().rows;
+        let filtered = op.find("exact filter").unwrap().rows;
+        assert!(
+            filtered < merged,
+            "candidates touching the deleted row must not count as filtered \
+             ({filtered} vs {merged} merged)"
+        );
+        assert!(filtered >= rows.len() as u64);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use sdo_geom::{Geometry, Polygon, Rect, RelateMask};
 use sdo_rtree::{RTree, RTreeParams};
 use sdo_storage::{Counters, DataType, Schema, Table, Value};
 use sdo_tablefunc::collect_all;
+use sdo_tablefunc::{execute_parallel, TableFunction, TaskQueue};
 use std::sync::Arc;
 
 fn arb_rect_poly() -> impl Strategy<Value = Geometry> {
@@ -99,7 +100,28 @@ fn arb_config() -> impl Strategy<Value = SpatialJoinConfig> {
             candidate_array,
             fetch_order,
             cache_size,
+            ..Default::default()
         })
+}
+
+/// Skewed input: one dense cluster of small rectangles plus a uniform
+/// background — the distribution where static task partitioning loads
+/// one slave and work stealing has to rebalance.
+fn arb_clustered_polys() -> impl Strategy<Value = Vec<Geometry>> {
+    let cluster = ((20.0f64..180.0), (20.0f64..180.0)).prop_flat_map(|(cx, cy)| {
+        proptest::collection::vec(
+            ((-8.0f64..8.0), (-8.0f64..8.0), (0.5f64..4.0)).prop_map(move |(dx, dy, w)| {
+                let (x, y) = (cx + dx, cy + dy);
+                Geometry::Polygon(Polygon::from_rect(&Rect::new(x, y, x + w, y + w)))
+            }),
+            30..70,
+        )
+    });
+    let background = proptest::collection::vec(arb_rect_poly(), 5..30);
+    (cluster, background).prop_map(|(mut c, b)| {
+        c.extend(b);
+        c
+    })
 }
 
 proptest! {
@@ -146,5 +168,56 @@ proptest! {
         }
         got.sort_unstable();
         prop_assert_eq!(got, serial);
+    }
+
+    /// The work-stealing scheduler is invisible in results: on skewed
+    /// (clustered) inputs, any DOP and any split threshold yields the
+    /// serial rowid-pair multiset — dynamic scheduling repartitions the
+    /// same task set, it never changes it.
+    #[test]
+    fn work_stealing_matches_serial_on_skewed_inputs(
+        a in arb_clustered_polys(),
+        b in arb_clustered_polys(),
+        split in prop_oneof![Just(16u64), Just(4096), Just(u64::MAX)],
+    ) {
+        let l = side(&a, 6);
+        let r = side(&b, 6);
+        let exact = ExactPredicate::Masks(vec![RelateMask::AnyInteract]);
+        let serial = run_join(&l, &r, exact.clone(), SpatialJoinConfig::default(), 128);
+        for dop in [1usize, 2, 4] {
+            let tasks = SpatialJoin::parallel_tasks(&l.tree, &r.tree, &exact, 1);
+            let queue = TaskQueue::seed_round_robin(tasks, dop);
+            let config = SpatialJoinConfig { split_threshold: split, ..Default::default() };
+            let instances: Vec<Box<dyn TableFunction>> = (0..dop)
+                .map(|worker| {
+                    Box::new(SpatialJoin::with_shared_tasks(
+                        JoinSide {
+                            table: Arc::clone(&l.table),
+                            column: 1,
+                            tree: Arc::clone(&l.tree),
+                        },
+                        JoinSide {
+                            table: Arc::clone(&r.table),
+                            column: 1,
+                            tree: Arc::clone(&r.tree),
+                        },
+                        exact.clone(),
+                        config.clone(),
+                        Arc::new(Counters::new()),
+                        Arc::clone(&queue),
+                        worker,
+                    )) as Box<dyn TableFunction>
+                })
+                .collect();
+            let mut got: Vec<(u64, u64)> = execute_parallel(instances, 64)
+                .unwrap()
+                .iter()
+                .map(|row| {
+                    (row[0].as_rowid().unwrap().as_u64(), row[1].as_rowid().unwrap().as_u64())
+                })
+                .collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &serial, "dop={} split={}", dop, split);
+        }
     }
 }

@@ -1,0 +1,121 @@
+//! Adversarially skewed data: one dense hotspot + uniform background.
+//!
+//! The star generator spreads its skew over many clusters, which a
+//! static round-robin partition of R-tree subtrees can still balance by
+//! luck. This generator concentrates a configurable fraction of all
+//! geometries into a *single* tight Gaussian hotspot, so every
+//! candidate pair of a self- or cross-join lands in the handful of
+//! subtrees covering that spot — the worst case for static slave
+//! scheduling and the motivating workload for the work-stealing
+//! scheduler.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdo_geom::{Geometry, Point, Polygon, Rect, Ring};
+
+/// Generate `n` small rectangles over `extent`, `hot_fraction` of them
+/// packed into one Gaussian hotspot (σ ≈ 1% of the extent) centred at
+/// 35%/65% of the extent, the rest uniform background.
+///
+/// Deterministic given `seed`. `hot_fraction` is clamped to `[0, 1]`.
+pub fn generate(n: usize, extent: &Rect, hot_fraction: f64, seed: u64) -> Vec<Geometry> {
+    let hot_fraction = hot_fraction.clamp(0.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hot =
+        Point::new(extent.min_x + extent.width() * 0.35, extent.min_y + extent.height() * 0.65);
+    let sigma_x = extent.width() * 0.01;
+    let sigma_y = extent.height() * 0.01;
+    // Boxes small relative to the hotspot spread so the dense cell
+    // produces many genuine overlaps, not one giant blob.
+    let w = (sigma_x + sigma_y) * 0.2;
+
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = if rng.random_bool(hot_fraction) {
+            Point::new(hot.x + gaussian(&mut rng) * sigma_x, hot.y + gaussian(&mut rng) * sigma_y)
+        } else {
+            Point::new(
+                rng.random_range(extent.min_x..extent.max_x),
+                rng.random_range(extent.min_y..extent.max_y),
+            )
+        };
+        let c = Point::new(
+            c.x.clamp(extent.min_x + w, extent.max_x - w),
+            c.y.clamp(extent.min_y + w, extent.max_y - w),
+        );
+        let ring = Ring::new(vec![
+            Point::new(c.x - w, c.y - w),
+            Point::new(c.x + w, c.y - w),
+            Point::new(c.x + w, c.y + w),
+            Point::new(c.x - w, c.y + w),
+        ])
+        .expect("hotspot box ring");
+        out.push(Geometry::Polygon(Polygon::from_exterior(ring)));
+    }
+    out
+}
+
+/// Box–Muller standard normal.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::US_EXTENT;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = generate(800, &US_EXTENT, 0.7, 3);
+        let b = generate(800, &US_EXTENT, 0.7, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 800);
+    }
+
+    #[test]
+    fn geometries_stay_in_extent_and_validate() {
+        let boxes = generate(400, &US_EXTENT, 0.7, 11);
+        for (i, g) in boxes.iter().enumerate() {
+            assert!(US_EXTENT.contains_rect(&g.bbox()), "box {i} out of extent");
+            sdo_geom::validate::validate(g).unwrap_or_else(|e| panic!("box {i}: {e}"));
+        }
+    }
+
+    #[test]
+    fn one_cell_dominates() {
+        // A single hotspot must put far more mass in its one grid cell
+        // than the many-cluster star generator would: the densest cell
+        // of a 10x10 grid should hold the hot fraction, give or take.
+        let n = 4000;
+        let boxes = generate(n, &US_EXTENT, 0.7, 17);
+        let mut cells = vec![0usize; 100];
+        for g in &boxes {
+            let c = g.bbox().center();
+            let i = (((c.x - US_EXTENT.min_x) / US_EXTENT.width() * 10.0) as usize).min(9);
+            let j = (((c.y - US_EXTENT.min_y) / US_EXTENT.height() * 10.0) as usize).min(9);
+            cells[j * 10 + i] += 1;
+        }
+        let max = *cells.iter().max().unwrap();
+        assert!(
+            max as f64 > 0.6 * n as f64,
+            "densest cell {max}/{n}: hotspot not concentrated enough"
+        );
+    }
+
+    #[test]
+    fn hot_fraction_zero_is_uniform() {
+        let boxes = generate(2000, &US_EXTENT, 0.0, 23);
+        let mut cells = vec![0usize; 100];
+        for g in &boxes {
+            let c = g.bbox().center();
+            let i = (((c.x - US_EXTENT.min_x) / US_EXTENT.width() * 10.0) as usize).min(9);
+            let j = (((c.y - US_EXTENT.min_y) / US_EXTENT.height() * 10.0) as usize).min(9);
+            cells[j * 10 + i] += 1;
+        }
+        let max = *cells.iter().max().unwrap();
+        assert!(max < 60, "uniform data should not concentrate ({max} in one cell)");
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod block_groups;
 pub mod counties;
+pub mod hotspot;
 pub mod stars;
 pub mod windows;
 

@@ -415,7 +415,13 @@ fn run_select(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
             if let Some(node) = &op {
                 inst.func.attach_profile(node);
             }
-            inst.func.start()?;
+            if let Err(e) = inst.func.start() {
+                // Release any resources start() acquired before
+                // failing (a parallel executor may have launched some
+                // slaves already).
+                inst.func.close();
+                return Err(e.into());
+            }
             let mut n: i64 = 0;
             loop {
                 let batch = match inst.func.fetch(8192) {

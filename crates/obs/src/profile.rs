@@ -69,6 +69,15 @@ impl ProfileNode {
             value;
     }
 
+    /// Set a named metric to an absolute value, recording it even when
+    /// zero. `add_metric` drops zeros because an absent delta carries
+    /// no information; for state flushed once at close — a parallel
+    /// slave's `tasks_executed`, say — zero IS the information (it
+    /// means the slave starved), so it must render.
+    pub fn set_metric(&self, name: &str, value: u64) {
+        self.0.metrics.lock().expect("profile poisoned").insert(name.to_string(), value);
+    }
+
     /// Record every non-zero `(name, delta)` pair as a metric.
     pub fn add_metric_deltas(&self, deltas: &[(&str, u64)]) {
         for (name, delta) in deltas {
@@ -155,6 +164,12 @@ impl OpProfile {
     /// Value of a named metric on this node, if recorded.
     pub fn metric(&self, name: &str) -> Option<u64> {
         self.metrics.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Sum of a named metric over this whole subtree — e.g. total
+    /// `tasks_stolen` across every parallel slave under an operator.
+    pub fn metric_sum(&self, name: &str) -> u64 {
+        self.walk().into_iter().filter_map(|(_, n)| n.metric(name)).sum()
     }
 }
 

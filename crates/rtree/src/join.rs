@@ -224,6 +224,79 @@ pub fn subtree_pair_tasks<A: Clone, B: Clone>(
     pairs
 }
 
+/// Split one join task into finer-grained tasks by expanding the pair
+/// a single level, applying the same matching rules as the traversal
+/// itself (pairwise children at equal levels, descend the higher side
+/// otherwise). Returns `None` for a leaf/leaf pair — that task is
+/// already atomic. Used by the work-stealing parallel join to keep
+/// task granularity small enough for load balancing: processing the
+/// returned tasks yields exactly the candidates the original pair
+/// would have produced.
+pub fn split_pair<A: Clone, B: Clone>(
+    left: &RTree<A>,
+    right: &RTree<B>,
+    pred: JoinPredicate,
+    l: NodeId,
+    r: NodeId,
+) -> Option<Vec<(NodeId, NodeId)>> {
+    let ln = left.node(l);
+    let rn = right.node(r);
+    let mut out = Vec::new();
+    match (ln.is_leaf(), rn.is_leaf()) {
+        (true, true) => return None,
+        (false, false) if ln.level == rn.level => {
+            for le in &ln.entries {
+                for re in &rn.entries {
+                    if pred.matches(&le.mbr, &re.mbr) {
+                        out.push((le.child_id(), re.child_id()));
+                    }
+                }
+            }
+        }
+        _ => {
+            if ln.level > rn.level {
+                let rmbr = rn.mbr();
+                for le in &ln.entries {
+                    if pred.matches(&le.mbr, &rmbr) {
+                        out.push((le.child_id(), r));
+                    }
+                }
+            } else {
+                let lmbr = ln.mbr();
+                for re in &rn.entries {
+                    if pred.matches(&lmbr, &re.mbr) {
+                        out.push((l, re.child_id()));
+                    }
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Crude upper bound on the leaf-level work of joining the subtrees
+/// under a node pair: the product of each side's estimated item count
+/// (`len * fanout^level`). Cheap — two node reads, no traversal — and
+/// monotone in subtree size, which is all the work-stealing scheduler
+/// needs to decide whether a task is worth splitting.
+pub fn estimate_pair_work<A: Clone, B: Clone>(
+    left: &RTree<A>,
+    right: &RTree<B>,
+    l: NodeId,
+    r: NodeId,
+) -> u64 {
+    fn est<T: Clone>(tree: &RTree<T>, id: NodeId) -> u64 {
+        let node = tree.node(id);
+        let fanout = tree.params().max_entries as u64;
+        let mut n = node.len() as u64;
+        for _ in 0..node.level {
+            n = n.saturating_mul(fanout);
+        }
+        n.max(1)
+    }
+    est(left, l).saturating_mul(est(right, r))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,6 +420,42 @@ mod tests {
         let c50 = count(50.0);
         assert!(c0 <= c5 && c5 <= c50);
         assert!(c50 > c0, "distance expansion must add pairs on this data");
+    }
+
+    #[test]
+    fn split_pair_preserves_candidates() {
+        let (ta, _) = tree(0.0, 400, 8);
+        let (tb, _) = tree(10.0, 300, 16); // unequal heights exercised too
+        let pred = JoinPredicate::Intersects;
+        let root = (ta.root_id(), tb.root_id());
+        let mut whole = JoinCursor::from_pairs(&ta, &tb, pred, vec![root]);
+        let want = sorted_pairs(whole.collect_all());
+
+        // Recursively split down to leaf/leaf tasks, then run those.
+        let mut atomic = Vec::new();
+        let mut todo = vec![root];
+        while let Some((l, r)) = todo.pop() {
+            match split_pair(&ta, &tb, pred, l, r) {
+                None => atomic.push((l, r)),
+                Some(children) => todo.extend(children),
+            }
+        }
+        assert!(atomic.len() > 1, "splitting must produce several atomic tasks");
+        let mut c = JoinCursor::from_pairs(&ta, &tb, pred, atomic);
+        assert_eq!(sorted_pairs(c.collect_all()), want);
+    }
+
+    #[test]
+    fn work_estimate_shrinks_under_splitting() {
+        let (ta, _) = tree(0.0, 600, 8);
+        let (tb, _) = tree(5.0, 600, 8);
+        let root = (ta.root_id(), tb.root_id());
+        let whole = estimate_pair_work(&ta, &tb, root.0, root.1);
+        assert!(whole >= 600 * 600 / 4, "estimate must reflect subtree sizes");
+        let children = split_pair(&ta, &tb, JoinPredicate::Intersects, root.0, root.1).unwrap();
+        for (l, r) in children {
+            assert!(estimate_pair_work(&ta, &tb, l, r) < whole);
+        }
     }
 
     #[test]

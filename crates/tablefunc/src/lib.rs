@@ -25,12 +25,14 @@ pub mod parallel;
 pub mod partition;
 pub mod pipeline;
 pub mod row;
+pub mod scheduler;
 pub mod source;
 pub mod table_function;
 
 pub use parallel::{execute_parallel, ParallelTableFunction};
 pub use partition::PartitionMethod;
 pub use row::Row;
+pub use scheduler::{TaskQueue, WorkStealingFn};
 pub use source::{RowSource, VecSource};
 pub use table_function::{collect_all, FetchIter, TableFunction};
 

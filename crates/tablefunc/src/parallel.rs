@@ -36,6 +36,7 @@ const CHANNEL_DEPTH: usize = 8;
 /// apply, exactly as with Oracle parallel query.
 pub struct ParallelTableFunction {
     instances: Vec<Box<dyn TableFunction>>,
+    dop: usize,
     slave_fetch_size: usize,
     rx: Option<Receiver<Result<Vec<Row>, TfError>>>,
     handles: Vec<JoinHandle<()>>,
@@ -50,6 +51,7 @@ impl ParallelTableFunction {
     pub fn new(instances: Vec<Box<dyn TableFunction>>) -> Self {
         assert!(!instances.is_empty(), "need at least one instance");
         ParallelTableFunction {
+            dop: instances.len(),
             instances,
             slave_fetch_size: 256,
             rx: None,
@@ -66,9 +68,11 @@ impl ParallelTableFunction {
         self
     }
 
-    /// Degree of parallelism.
+    /// Degree of parallelism. Recorded at construction, so it stays
+    /// valid across the whole lifecycle (`start` drains `instances`
+    /// into slave threads and `close` drains `handles`).
     pub fn dop(&self) -> usize {
-        self.instances.len().max(self.handles.len())
+        self.dop
     }
 
     fn spawn_slave(
@@ -135,7 +139,7 @@ impl TableFunction for ParallelTableFunction {
         // profile of the calling thread (if a session is active).
         let parent = self.profile.clone().or_else(sdo_obs::current);
         if let Some(p) = &parent {
-            p.set_attr("dop", self.instances.len().to_string());
+            p.set_attr("dop", self.dop.to_string());
         }
         let (tx, rx) = bounded(CHANNEL_DEPTH.max(self.instances.len()));
         for (id, inst) in self.instances.drain(..).enumerate() {
@@ -296,6 +300,17 @@ mod tests {
         }
         let err = execute_parallel(vec![Box::new(Panicking)], 4).unwrap_err();
         assert_eq!(err, TfError::SlavePanic(0));
+    }
+
+    #[test]
+    fn dop_survives_the_full_lifecycle() {
+        let mut p = ParallelTableFunction::new(vec![instance(0, 10), instance(10, 20)]);
+        assert_eq!(p.dop(), 2);
+        p.start().unwrap();
+        assert_eq!(p.dop(), 2, "start() drains instances into slaves");
+        while !p.fetch(8).unwrap().is_empty() {}
+        p.close();
+        assert_eq!(p.dop(), 2, "close() drains the slave handles");
     }
 
     #[test]

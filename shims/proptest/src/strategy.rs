@@ -28,6 +28,17 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Derive a second strategy from each generated value and draw
+    /// from it — dependent generation (real proptest's `prop_flat_map`).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
     /// Keep only values for which `f` returns `true`.
     fn prop_filter<R, F>(self, _reason: R, f: F) -> Filter<Self, F>
     where
@@ -68,6 +79,20 @@ impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
 
     fn gen_value(&self, rng: &mut TestRng) -> Option<U> {
         self.inner.gen_value(rng).map(&self.f)
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        (self.f)(self.inner.gen_value(rng)?).gen_value(rng)
     }
 }
 
