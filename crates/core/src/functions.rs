@@ -91,7 +91,10 @@ fn parse_join_options(s: &str) -> Result<SpatialJoinConfig, DbError> {
     let mut cfg = SpatialJoinConfig::default();
     let pairs = parse_params(s);
     for (k, _) in &pairs {
-        if !matches!(k.as_str(), "fetch_order" | "candidates" | "cache" | "schedule" | "split") {
+        if !matches!(
+            k.as_str(),
+            "fetch_order" | "candidates" | "cache" | "schedule" | "split" | "kernel" | "prepare"
+        ) {
             return Err(DbError::Plan(format!("unknown SPATIAL_JOIN option '{k}'")));
         }
     }
@@ -119,6 +122,17 @@ fn parse_join_options(s: &str) -> Result<SpatialJoinConfig, DbError> {
     if let Some(v) = param(&pairs, "split") {
         cfg.split_threshold =
             v.parse::<u64>().map_err(|_| DbError::Plan(format!("bad split '{v}'")))?.max(1);
+    }
+    if let Some(v) = param(&pairs, "kernel") {
+        cfg.kernel = sdo_rtree::KernelMode::parse(v)
+            .ok_or_else(|| DbError::Plan(format!("unknown kernel '{v}' (scalar|batch)")))?;
+    }
+    if let Some(v) = param(&pairs, "prepare") {
+        cfg.prepare = match v.to_ascii_lowercase().as_str() {
+            "on" | "true" | "1" => true,
+            "off" | "false" | "0" => false,
+            other => return Err(DbError::Plan(format!("unknown prepare '{other}' (on|off)"))),
+        };
     }
     Ok(cfg)
 }

@@ -22,10 +22,10 @@
 //! rowid-sort fetch-order optimization measurable.
 
 use parking_lot::RwLock;
-use sdo_geom::{Geometry, RelateMask};
+use sdo_geom::{PreparedGeometry, RelateMask};
 use sdo_obs::ProfileNode;
 use sdo_rtree::join::{subtree_pair_tasks, CandidatePair};
-use sdo_rtree::{JoinCursor, JoinPredicate, NodeId, RTree};
+use sdo_rtree::{JoinCursor, JoinPredicate, KernelMode, KernelStats, NodeId, RTree};
 use sdo_storage::{Counters, RowId, Table, Value};
 use sdo_tablefunc::{Row, TableFunction, TfError};
 use std::collections::VecDeque;
@@ -153,6 +153,14 @@ pub struct SpatialJoinConfig {
     /// one level and re-queued, so a single dense subtree pair cannot
     /// pin one slave.
     pub split_threshold: u64,
+    /// Primary-filter MBR kernel: batched SoA scans and plane sweeps
+    /// (`batch`, the default) or the entry-by-entry scalar loops
+    /// (`scalar`, kept for ablation).
+    pub kernel: KernelMode,
+    /// Secondary filter on [`PreparedGeometry`] fast paths (`true`,
+    /// the default) or the naive allocating `relate` family (`false`,
+    /// kept for ablation).
+    pub prepare: bool,
 }
 
 impl Default for SpatialJoinConfig {
@@ -166,6 +174,8 @@ impl Default for SpatialJoinConfig {
             // enough that splitting stays rare on uniform data, fine
             // enough that a hot cluster spreads across slaves.
             split_threshold: 32_768,
+            kernel: KernelMode::default(),
+            prepare: true,
         }
     }
 }
@@ -188,9 +198,16 @@ pub struct JoinSide {
 /// most-recently-used; eviction drops the least-recently-used entry.
 /// A fetch that finds no geometry (row deleted mid-join) is neither a
 /// hit nor a miss — the statistics count real geometry loads only.
+///
+/// Entries are [`PreparedGeometry`] wrappers: the decoded edge arrays
+/// and segment index a prepared predicate builds on first use stay
+/// cached with the geometry, so a hot geometry is prepared once no
+/// matter how many candidate pairs it appears in. The wrapper itself
+/// is lazy — with `prepare=off` nothing beyond the naive `Arc` clone
+/// is ever built.
 struct GeomCache {
     cap: usize,
-    map: std::collections::HashMap<RowId, Arc<Geometry>>,
+    map: std::collections::HashMap<RowId, Arc<PreparedGeometry>>,
     order: VecDeque<RowId>,
     pub hits: u64,
     pub misses: u64,
@@ -219,7 +236,7 @@ impl GeomCache {
         table: &Arc<RwLock<Table>>,
         column: usize,
         rid: RowId,
-    ) -> Option<Arc<Geometry>> {
+    ) -> Option<Arc<PreparedGeometry>> {
         if self.cap > 0 {
             if let Some(g) = self.map.get(&rid) {
                 self.hits += 1;
@@ -233,7 +250,7 @@ impl GeomCache {
             }
         }
         let row = table.read().get(rid).ok()?;
-        let g = row.get(column)?.as_geometry().cloned()?;
+        let g = Arc::new(PreparedGeometry::from_arc(row.get(column)?.as_geometry().cloned()?));
         self.misses += 1;
         if self.cap > 0 {
             if self.map.len() >= self.cap {
@@ -280,6 +297,8 @@ pub struct SpatialJoin {
     mbr_exhausted: bool,
     /// Peak candidate-array occupancy (pipelining-memory ablation).
     peak_candidates: usize,
+    /// MBR-kernel accounting merged across every resumed cursor.
+    kernel_stats: KernelStats,
     result_rows: usize,
     attached: Option<ProfileNode>,
     phases: Option<JoinPhases>,
@@ -327,6 +346,7 @@ impl SpatialJoin {
             started: false,
             mbr_exhausted: false,
             peak_candidates: 0,
+            kernel_stats: KernelStats::default(),
             result_rows: 0,
             attached: None,
             phases: None,
@@ -405,6 +425,11 @@ impl SpatialJoin {
         self.peak_candidates
     }
 
+    /// MBR-kernel accounting accumulated across all resumed cursors.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.kernel_stats
+    }
+
     /// Total result rows delivered so far.
     pub fn rows_returned(&self) -> usize {
         self.result_rows
@@ -430,9 +455,11 @@ impl SpatialJoin {
             self.exact.join_predicate(),
             std::mem::take(&mut self.stack),
             std::mem::take(&mut self.carry),
-        );
+        )
+        .with_kernel(self.config.kernel);
         let t_mbr = self.phases.as_ref().map(|_| Instant::now());
         let mut candidates = cursor.next_batch(self.config.candidate_array);
+        self.kernel_stats.merge(&cursor.kernel_stats());
         if let (Some(p), Some(t0)) = (&self.phases, t_mbr) {
             p.mbr.add_wall(t0.elapsed());
             p.mbr.add_batches(1);
@@ -488,10 +515,16 @@ impl SpatialJoin {
             };
             Counters::bump(&self.counters.exact_tests);
             let t_filter = self.phases.as_ref().map(|_| Instant::now());
-            let keep = match &self.exact {
-                ExactPredicate::Masks(masks) => sdo_geom::relate::relate_any(&lg, &rg, masks),
-                ExactPredicate::Distance(d) => sdo_geom::within_distance(&lg, &rg, *d),
-                ExactPredicate::PrimaryOnly => unreachable!(),
+            let keep = match (&self.exact, self.config.prepare) {
+                (ExactPredicate::Masks(masks), true) => lg.relate_any(&rg, masks),
+                (ExactPredicate::Masks(masks), false) => {
+                    sdo_geom::relate::relate_any(lg.geometry(), rg.geometry(), masks)
+                }
+                (ExactPredicate::Distance(d), true) => lg.within_distance(&rg, *d),
+                (ExactPredicate::Distance(d), false) => {
+                    sdo_geom::within_distance(lg.geometry(), rg.geometry(), *d)
+                }
+                (ExactPredicate::PrimaryOnly, _) => unreachable!(),
             };
             if let (Some(p), Some(t0)) = (&self.phases, t_filter) {
                 p.filter.add_wall(t0.elapsed());
@@ -543,6 +576,9 @@ impl TableFunction for SpatialJoin {
             p.node.add_metric("geom_cache_hits", self.lcache.hits + self.rcache.hits);
             p.node.add_metric("geom_cache_misses", self.lcache.misses + self.rcache.misses);
             p.node.add_metric("peak_candidates", self.peak_candidates as u64);
+            p.node.add_metric("kernel_sweeps", self.kernel_stats.sweeps);
+            p.node.add_metric("kernel_scans", self.kernel_stats.scans);
+            p.node.add_metric("kernel_tests", self.kernel_stats.tests);
             if let Some(ts) = &self.tasks {
                 // set_metric: zeros must render — a slave at 0 tasks
                 // is the imbalance EXPLAIN ANALYZE exists to expose.
@@ -687,7 +723,12 @@ impl QuadtreeJoin {
                 };
                 Counters::bump(&self.counters.exact_tests);
                 match &self.exact {
-                    ExactPredicate::Masks(masks) => sdo_geom::relate::relate_any(&lg, &rg, masks),
+                    ExactPredicate::Masks(masks) if self.config.prepare => {
+                        lg.relate_any(&rg, masks)
+                    }
+                    ExactPredicate::Masks(masks) => {
+                        sdo_geom::relate::relate_any(lg.geometry(), rg.geometry(), masks)
+                    }
                     _ => unreachable!("distance rejected at construction"),
                 }
             };
@@ -753,6 +794,7 @@ impl TableFunction for QuadtreeJoin {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sdo_geom::Geometry;
     use sdo_geom::Polygon;
     use sdo_geom::Rect;
     use sdo_rtree::RTreeParams;

@@ -32,6 +32,7 @@ pub mod linestring;
 pub mod multi;
 pub mod point;
 pub mod polygon;
+pub mod prepared;
 pub mod rect;
 pub mod relate;
 pub mod sdo;
@@ -45,6 +46,7 @@ pub use linestring::LineString;
 pub use multi::{MultiLineString, MultiPoint, MultiPolygon};
 pub use point::Point;
 pub use polygon::{Polygon, Ring};
+pub use prepared::{PreparedGeometry, SegIndex};
 pub use rect::Rect;
 pub use relate::{covered_by, distance, intersects, relate, within_distance, RelateMask};
 pub use sdo::SdoGeometry;

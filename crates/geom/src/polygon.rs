@@ -149,9 +149,14 @@ impl Ring {
     }
 
     /// True when the ring is simple (no self-intersections apart from
-    /// consecutive edges sharing a vertex). Quadratic; used by
-    /// validation, not by query paths.
+    /// consecutive edges sharing a vertex). Small rings use the direct
+    /// quadratic pair scan; larger rings route through the segment
+    /// index ([`crate::prepared::SegIndex`]) for `O(n log n)` expected
+    /// work — same pair tests, so the answer is identical.
     pub fn is_simple(&self) -> bool {
+        if self.num_points() > crate::prepared::SIMPLE_SCAN_CUTOFF {
+            return crate::prepared::ring_is_simple_indexed(self);
+        }
         let edges: Vec<Segment> = self.segments().collect();
         let n = edges.len();
         for i in 0..n {

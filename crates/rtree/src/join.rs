@@ -11,12 +11,69 @@
 //! roots for a serial join, or with a single subtree-root pair per
 //! parallel slave for the paper's parallel decomposition (Figure 1).
 
-use crate::node::NodeId;
+use crate::kernel::{sweep_pairs, SoaMbrs, SweepScratch, SWEEP_THRESHOLD};
+use crate::node::{Node, NodeId};
 use crate::tree::RTree;
 use sdo_geom::Rect;
 use sdo_storage::Counters;
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+fn obs_kernel_sweeps() -> &'static Arc<sdo_obs::Counter> {
+    static HANDLE: std::sync::OnceLock<Arc<sdo_obs::Counter>> = std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| sdo_obs::global().counter("rtree.kernel.sweeps"))
+}
+
+fn obs_kernel_scans() -> &'static Arc<sdo_obs::Counter> {
+    static HANDLE: std::sync::OnceLock<Arc<sdo_obs::Counter>> = std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| sdo_obs::global().counter("rtree.kernel.scans"))
+}
+
+/// Which node-pair matching implementation the join runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Entry-by-entry nested loops over the AoS node layout — the
+    /// pre-kernel code path, kept for ablation (`kernel=scalar`).
+    Scalar,
+    /// SoA batch kernels: chunked branch-free scans for small node
+    /// pairs, sort + forward plane-sweep above [`SWEEP_THRESHOLD`].
+    #[default]
+    Batch,
+}
+
+impl KernelMode {
+    /// Parse the SQL option value (`scalar` | `batch`).
+    pub fn parse(s: &str) -> Option<KernelMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelMode::Scalar),
+            "batch" => Some(KernelMode::Batch),
+            _ => None,
+        }
+    }
+}
+
+/// Per-cursor kernel accounting: how many node pairs went through the
+/// plane-sweep vs the batch scan, and how many pair tests each ran.
+/// Surfaced as `kernel_sweeps` / `kernel_scans` metrics in
+/// `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Node pairs matched with the plane-sweep.
+    pub sweeps: u64,
+    /// Node pairs (or single-rect probes) matched with batch scans.
+    pub scans: u64,
+    /// Pair tests actually executed by the batch kernels.
+    pub tests: u64,
+}
+
+impl KernelStats {
+    /// Accumulate another cursor's stats (parallel slaves merge here).
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.sweeps += other.sweeps;
+        self.scans += other.scans;
+        self.tests += other.tests;
+    }
+}
 
 /// The MBR-level predicate driving the primary filter.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,6 +116,13 @@ pub struct JoinCursor<'a, A: Clone, B: Clone> {
     /// Candidate pairs produced but not yet handed out.
     buf: VecDeque<CandidatePair<A, B>>,
     counters: Option<Arc<Counters>>,
+    kernel: KernelMode,
+    /// SoA scratch views + sweep order buffers, reused across node
+    /// pairs so the steady-state join loop does not allocate.
+    soa_left: SoaMbrs,
+    soa_right: SoaMbrs,
+    sweep: SweepScratch,
+    stats: KernelStats,
 }
 
 impl<'a, A: Clone, B: Clone> JoinCursor<'a, A, B> {
@@ -68,7 +132,29 @@ impl<'a, A: Clone, B: Clone> JoinCursor<'a, A, B> {
         if !left.is_empty() && !right.is_empty() {
             stack.push((left.root_id(), right.root_id()));
         }
-        JoinCursor { left, right, pred, stack, buf: VecDeque::new(), counters: None }
+        Self::build(left, right, pred, stack, VecDeque::new())
+    }
+
+    fn build(
+        left: &'a RTree<A>,
+        right: &'a RTree<B>,
+        pred: JoinPredicate,
+        stack: Vec<(NodeId, NodeId)>,
+        buf: VecDeque<CandidatePair<A, B>>,
+    ) -> Self {
+        JoinCursor {
+            left,
+            right,
+            pred,
+            stack,
+            buf,
+            counters: None,
+            kernel: KernelMode::default(),
+            soa_left: SoaMbrs::new(),
+            soa_right: SoaMbrs::new(),
+            sweep: SweepScratch::new(),
+            stats: KernelStats::default(),
+        }
     }
 
     /// Join specific subtree pairs — the parallel decomposition: each
@@ -79,13 +165,24 @@ impl<'a, A: Clone, B: Clone> JoinCursor<'a, A, B> {
         pred: JoinPredicate,
         pairs: Vec<(NodeId, NodeId)>,
     ) -> Self {
-        JoinCursor { left, right, pred, stack: pairs, buf: VecDeque::new(), counters: None }
+        Self::build(left, right, pred, pairs, VecDeque::new())
     }
 
     /// Charge MBR tests to shared counters.
     pub fn with_counters(mut self, counters: Arc<Counters>) -> Self {
         self.counters = Some(counters);
         self
+    }
+
+    /// Select the node-pair matching kernel (default [`KernelMode::Batch`]).
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Kernel accounting accumulated so far (sweeps/scans/tests).
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.stats
     }
 
     /// True when no further candidates can be produced.
@@ -109,7 +206,7 @@ impl<'a, A: Clone, B: Clone> JoinCursor<'a, A, B> {
         stack: Vec<(NodeId, NodeId)>,
         buf: VecDeque<CandidatePair<A, B>>,
     ) -> Self {
-        JoinCursor { left, right, pred, stack, buf, counters: None }
+        Self::build(left, right, pred, stack, buf)
     }
 
     #[inline]
@@ -144,58 +241,163 @@ impl<'a, A: Clone, B: Clone> JoinCursor<'a, A, B> {
     }
 
     /// Expand one node pair: emit candidates for leaf/leaf, descend the
-    /// deeper side otherwise.
+    /// deeper side otherwise. Under [`KernelMode::Batch`] the pairwise
+    /// cases run the SoA kernels: plane-sweep above
+    /// [`SWEEP_THRESHOLD`], chunked batch scans below it.
     fn expand(&mut self, l: NodeId, r: NodeId) {
         let ln = self.left.node(l);
         let rn = self.right.node(r);
         match (ln.is_leaf(), rn.is_leaf()) {
-            (true, true) => {
-                self.charge_mbr_tests((ln.len() * rn.len()) as u64);
-                for le in &ln.entries {
-                    for re in &rn.entries {
-                        if self.pred.matches(&le.mbr, &re.mbr) {
-                            self.buf.push_back((
-                                le.mbr,
-                                le.item_ref().clone(),
-                                re.mbr,
-                                re.item_ref().clone(),
-                            ));
+            (true, true) => match self.kernel {
+                KernelMode::Scalar => {
+                    self.charge_mbr_tests((ln.len() * rn.len()) as u64);
+                    for le in &ln.entries {
+                        for re in &rn.entries {
+                            if self.pred.matches(&le.mbr, &re.mbr) {
+                                self.buf.push_back((
+                                    le.mbr,
+                                    le.item_ref().clone(),
+                                    re.mbr,
+                                    re.item_ref().clone(),
+                                ));
+                            }
                         }
                     }
                 }
-            }
-            (false, false) if ln.level == rn.level => {
-                // Same level: pairwise child matching.
-                self.charge_mbr_tests((ln.len() * rn.len()) as u64);
-                for le in &ln.entries {
-                    for re in &rn.entries {
-                        if self.pred.matches(&le.mbr, &re.mbr) {
-                            self.stack.push((le.child_id(), re.child_id()));
+                KernelMode::Batch => {
+                    let tests = self.match_pairwise(ln, rn, |ln, rn, buf, _, i, j| {
+                        let (le, re) = (&ln.entries[i], &rn.entries[j]);
+                        buf.push_back((
+                            le.mbr,
+                            le.item_ref().clone(),
+                            re.mbr,
+                            re.item_ref().clone(),
+                        ));
+                    });
+                    self.charge_mbr_tests(tests);
+                }
+            },
+            (false, false) if ln.level == rn.level => match self.kernel {
+                KernelMode::Scalar => {
+                    // Same level: pairwise child matching.
+                    self.charge_mbr_tests((ln.len() * rn.len()) as u64);
+                    for le in &ln.entries {
+                        for re in &rn.entries {
+                            if self.pred.matches(&le.mbr, &re.mbr) {
+                                self.stack.push((le.child_id(), re.child_id()));
+                            }
                         }
                     }
                 }
-            }
+                KernelMode::Batch => {
+                    let tests = self.match_pairwise(ln, rn, |ln, rn, _, stack, i, j| {
+                        stack.push((ln.entries[i].child_id(), rn.entries[j].child_id()));
+                    });
+                    self.charge_mbr_tests(tests);
+                }
+            },
             _ => {
                 // Unequal heights: descend whichever node sits higher.
                 if ln.level > rn.level {
                     let rmbr = rn.mbr();
                     self.charge_mbr_tests(ln.len() as u64);
-                    for le in &ln.entries {
-                        if self.pred.matches(&le.mbr, &rmbr) {
-                            self.stack.push((le.child_id(), r));
+                    match self.kernel {
+                        KernelMode::Scalar => {
+                            for le in &ln.entries {
+                                if self.pred.matches(&le.mbr, &rmbr) {
+                                    self.stack.push((le.child_id(), r));
+                                }
+                            }
+                        }
+                        KernelMode::Batch => {
+                            self.soa_left.fill_from_entries(&ln.entries);
+                            let stack = &mut self.stack;
+                            let tests = self.soa_left.scan_pred(self.pred, &rmbr, |i| {
+                                stack.push((ln.entries[i].child_id(), r));
+                            });
+                            self.stats.scans += 1;
+                            self.stats.tests += tests;
+                            if sdo_obs::profiling() {
+                                obs_kernel_scans().add(1);
+                            }
                         }
                     }
                 } else {
                     let lmbr = ln.mbr();
                     self.charge_mbr_tests(rn.len() as u64);
-                    for re in &rn.entries {
-                        if self.pred.matches(&lmbr, &re.mbr) {
-                            self.stack.push((l, re.child_id()));
+                    match self.kernel {
+                        KernelMode::Scalar => {
+                            for re in &rn.entries {
+                                if self.pred.matches(&lmbr, &re.mbr) {
+                                    self.stack.push((l, re.child_id()));
+                                }
+                            }
+                        }
+                        KernelMode::Batch => {
+                            self.soa_right.fill_from_entries(&rn.entries);
+                            let stack = &mut self.stack;
+                            let tests = self.soa_right.scan_pred(self.pred, &lmbr, |j| {
+                                stack.push((l, rn.entries[j].child_id()));
+                            });
+                            self.stats.scans += 1;
+                            self.stats.tests += tests;
+                            if sdo_obs::profiling() {
+                                obs_kernel_scans().add(1);
+                            }
                         }
                     }
                 }
             }
         }
+    }
+
+    /// Batch-mode pairwise matching of two nodes' entry lists: the
+    /// plane-sweep when the pair product is large enough to amortize
+    /// the sort, per-probe batch scans otherwise. `emit` receives the
+    /// two nodes, the candidate buffer, the traversal stack, and the
+    /// matching entry index pair; returns pair tests executed.
+    fn match_pairwise(
+        &mut self,
+        ln: &Node<A>,
+        rn: &Node<B>,
+        mut emit: impl FnMut(
+            &Node<A>,
+            &Node<B>,
+            &mut VecDeque<CandidatePair<A, B>>,
+            &mut Vec<(NodeId, NodeId)>,
+            usize,
+            usize,
+        ),
+    ) -> u64 {
+        self.soa_right.fill_from_entries(&rn.entries);
+        let buf = &mut self.buf;
+        let stack = &mut self.stack;
+        let tests;
+        if ln.len() * rn.len() >= SWEEP_THRESHOLD {
+            self.soa_left.fill_from_entries(&ln.entries);
+            tests =
+                sweep_pairs(&self.soa_left, &self.soa_right, self.pred, &mut self.sweep, |i, j| {
+                    emit(ln, rn, buf, stack, i, j)
+                });
+            self.stats.sweeps += 1;
+            if sdo_obs::profiling() {
+                obs_kernel_sweeps().add(1);
+            }
+        } else {
+            let mut n = 0;
+            for (i, le) in ln.entries.iter().enumerate() {
+                n += self
+                    .soa_right
+                    .scan_pred(self.pred, &le.mbr, |j| emit(ln, rn, buf, stack, i, j));
+            }
+            tests = n;
+            self.stats.scans += 1;
+            if sdo_obs::profiling() {
+                obs_kernel_scans().add(1);
+            }
+        }
+        self.stats.tests += tests;
+        tests
     }
 }
 
@@ -456,6 +658,36 @@ mod tests {
         for (l, r) in children {
             assert!(estimate_pair_work(&ta, &tb, l, r) < whole);
         }
+    }
+
+    #[test]
+    fn batch_kernel_matches_scalar_kernel() {
+        // Fanout 32 makes leaf pairs cross SWEEP_THRESHOLD, so both
+        // the plane-sweep and the scan fallback paths run.
+        let (ta, _) = tree(0.0, 500, 32);
+        let (tb, _) = tree(25.0, 400, 32);
+        for pred in [JoinPredicate::Intersects, JoinPredicate::WithinDistance(4.0)] {
+            let mut scalar = JoinCursor::new(&ta, &tb, pred).with_kernel(KernelMode::Scalar);
+            let want = sorted_pairs(scalar.collect_all());
+            assert_eq!(scalar.kernel_stats(), KernelStats::default());
+            let mut batch = JoinCursor::new(&ta, &tb, pred).with_kernel(KernelMode::Batch);
+            let got = sorted_pairs(batch.collect_all());
+            assert_eq!(got, want, "{pred:?}");
+            let stats = batch.kernel_stats();
+            assert!(stats.sweeps > 0, "{pred:?}: expected plane-sweep invocations");
+            assert!(stats.tests > 0);
+        }
+    }
+
+    #[test]
+    fn small_nodes_use_scan_fallback() {
+        let (ta, ra) = tree(0.0, 60, 4); // 4*4 pairs stay below SWEEP_THRESHOLD
+        let (tb, rb) = tree(10.0, 60, 4);
+        let mut c = JoinCursor::new(&ta, &tb, JoinPredicate::Intersects);
+        let got = sorted_pairs(c.collect_all());
+        assert_eq!(got, brute_force(&ra, &rb, JoinPredicate::Intersects));
+        let stats = c.kernel_stats();
+        assert!(stats.scans > 0 && stats.sweeps == 0);
     }
 
     #[test]

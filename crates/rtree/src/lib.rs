@@ -26,13 +26,15 @@
 
 pub mod bulk;
 pub mod join;
+pub mod kernel;
 pub mod node;
 pub mod query;
 pub mod split;
 pub mod tree;
 pub mod validate;
 
-pub use join::{JoinCursor, JoinPredicate};
+pub use join::{JoinCursor, JoinPredicate, KernelMode, KernelStats};
+pub use kernel::{SoaMbrs, SWEEP_THRESHOLD};
 pub use node::{Entry, Node, NodeId};
 pub use split::SplitStrategy;
 pub use tree::{RTree, RTreeParams, SubtreeRef};

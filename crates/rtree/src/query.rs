@@ -1,5 +1,6 @@
 //! R-tree queries: window, within-distance, nearest-neighbour.
 
+use crate::kernel::SoaMbrs;
 use crate::node::Payload;
 use crate::tree::RTree;
 use sdo_geom::{Point, Rect};
@@ -16,42 +17,52 @@ impl<T: Clone> RTree<T> {
     }
 
     /// Visitor-form window query, avoiding result materialization.
+    ///
+    /// Each visited node's MBRs are scanned through the batched SoA
+    /// intersection kernel ([`SoaMbrs::scan_intersects`]) rather than
+    /// entry-by-entry `Rect::intersects` calls; the SoA scratch view
+    /// is reused across nodes so the loop does not allocate after the
+    /// first node at each fanout.
     pub fn query_window_visit(&self, window: &Rect, visit: &mut impl FnMut(Rect, &T)) {
         if self.is_empty() {
             return;
         }
+        let mut soa = SoaMbrs::new();
         let mut stack = vec![self.root_id()];
         while let Some(id) = stack.pop() {
             let n = self.node(id);
-            for e in &n.entries {
-                if e.mbr.intersects(window) {
-                    match &e.payload {
-                        Payload::Item(t) => visit(e.mbr, t),
-                        Payload::Node(c) => stack.push(*c),
-                    }
+            soa.fill_from_entries(&n.entries);
+            soa.scan_intersects(window, |i| {
+                let e = &n.entries[i];
+                match &e.payload {
+                    Payload::Item(t) => visit(e.mbr, t),
+                    Payload::Node(c) => stack.push(*c),
                 }
-            }
+            });
         }
     }
 
     /// Items whose MBRs lie within `d` of `window` (`mindist <= d`),
-    /// the primary filter for `SDO_WITHIN_DISTANCE`.
+    /// the primary filter for `SDO_WITHIN_DISTANCE`. Runs the batched
+    /// SoA within-distance kernel per node, like
+    /// [`RTree::query_window_visit`].
     pub fn query_within_distance(&self, window: &Rect, d: f64) -> Vec<(Rect, T)> {
         let mut out = Vec::new();
         if self.is_empty() {
             return out;
         }
+        let mut soa = SoaMbrs::new();
         let mut stack = vec![self.root_id()];
         while let Some(id) = stack.pop() {
             let n = self.node(id);
-            for e in &n.entries {
-                if e.mbr.mindist(window) <= d {
-                    match &e.payload {
-                        Payload::Item(t) => out.push((e.mbr, t.clone())),
-                        Payload::Node(c) => stack.push(*c),
-                    }
+            soa.fill_from_entries(&n.entries);
+            soa.scan_within(window, d, |i| {
+                let e = &n.entries[i];
+                match &e.payload {
+                    Payload::Item(t) => out.push((e.mbr, t.clone())),
+                    Payload::Node(c) => stack.push(*c),
                 }
-            }
+            });
         }
         out
     }

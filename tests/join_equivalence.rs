@@ -144,3 +144,32 @@ fn filter_interaction_returns_mbr_candidates() {
     assert!(exact.len() <= primary.len());
     assert!(exact_set.iter().all(|p| primary.binary_search(p).is_ok()));
 }
+
+#[test]
+fn kernel_and_prepare_options_preserve_join_results() {
+    // The batched MBR kernels and the prepared-geometry secondary
+    // filter are pure optimizations: every combination of
+    // kernel=scalar|batch x prepare=on|off must return the same pairs.
+    let a = counties::generate(60, &US_EXTENT, 300);
+    let db = session_with("k", &a);
+    db.execute("CREATE INDEX k_x ON k(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
+    for pred in ["intersect", "mask=touch+overlap", "distance=1.5"] {
+        let base = pair_set(
+            &db,
+            &format!("SELECT rid1, rid2 FROM TABLE(SPATIAL_JOIN('k','geom','k','geom','{pred}'))"),
+        );
+        assert!(!base.is_empty(), "{pred} join must produce pairs");
+        for opts in
+            ["kernel=scalar", "prepare=off", "kernel=scalar,prepare=off", "kernel=batch,prepare=on"]
+        {
+            let got = pair_set(
+                &db,
+                &format!(
+                    "SELECT rid1, rid2 FROM TABLE( \
+                     SPATIAL_JOIN('k','geom','k','geom','{pred}', 1, -1, '{opts}'))"
+                ),
+            );
+            assert_eq!(got, base, "pred={pred} opts={opts}");
+        }
+    }
+}
