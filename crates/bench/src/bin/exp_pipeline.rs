@@ -1,0 +1,112 @@
+//! Streaming vs. materializing executor: peak resident rows and time.
+//!
+//! A `TABLE(SPATIAL_JOIN)` self-join over a shared-boundary county grid
+//! emits roughly nine pairs per county. With `WHERE 1 = 1` the COUNT
+//! fast path is defeated, so both executors must drive the full scan +
+//! filter pipeline: the materializing executor binds every pair (plus
+//! the joined copy) before counting, while the streaming executor keeps
+//! only batches in flight. The experiment reports wall-clock time and
+//! the `peak_resident_rows` gauge at three join cardinalities, then
+//! shows `LIMIT` cutting the traversal short.
+//!
+//! ```sh
+//! cargo run --release -p sdo-bench --bin exp_pipeline
+//! SDO_SCALE=0.0001 cargo run -p sdo-bench --bin exp_pipeline   # smoke test
+//! ```
+
+use sdo_bench::*;
+use sdo_datagen::{counties, US_EXTENT};
+
+fn peak_resident(db: &sdo_dbms::Database) -> u64 {
+    db.last_profile()
+        .and_then(|p| p.root.metric("peak_resident_rows"))
+        .expect("every SELECT reports peak_resident_rows")
+}
+
+fn main() {
+    println!("== streaming vs materializing pipeline: peak resident rows ==");
+    println!(
+        "{:>10} {:>10} | {:>11} {:>11} | {:>11} {:>11} | {:>9}",
+        "counties", "pairs", "mat time", "mat peak", "strm time", "strm peak", "reduction"
+    );
+
+    let mut worst_reduction = f64::INFINITY;
+    for target_pairs in [10_000usize, 100_000, 1_000_000] {
+        // ~9 intersecting pairs per county (self + 8 jittered neighbours).
+        let n = scaled(target_pairs / 9, 64);
+        let db = session();
+        load_table(&db, "t", &counties::generate(n, &US_EXTENT, 42));
+        db.execute("CREATE INDEX t_sidx ON t(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
+        // Keep the materialized run within the session budget.
+        db.execute("ALTER SESSION SET max_resident_rows = 100000000").unwrap();
+        let sql = "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN( \
+                   't', 'geom', 't', 'geom', 'intersect')) WHERE 1 = 1";
+
+        db.execute("ALTER SESSION SET materialize = on").unwrap();
+        let (pairs, mat_t) = timed(|| count(&db, sql));
+        let mat_peak = peak_resident(&db);
+
+        db.execute("ALTER SESSION SET materialize = off").unwrap();
+        let (pairs2, strm_t) = timed(|| count(&db, sql));
+        let strm_peak = peak_resident(&db);
+        assert_eq!(pairs, pairs2, "executors disagree on cardinality");
+
+        let reduction = mat_peak as f64 / strm_peak.max(1) as f64;
+        // Only joins much larger than a batch can show the contrast;
+        // at smoke scales the whole result fits in one batch.
+        if pairs > 8 * 1024 {
+            worst_reduction = worst_reduction.min(reduction);
+        }
+        println!(
+            "{:>10} {:>10} | {:>11} {:>11} | {:>11} {:>11} | {:>8.1}x",
+            n,
+            pairs,
+            secs(mat_t),
+            mat_peak,
+            secs(strm_t),
+            strm_peak,
+            reduction
+        );
+    }
+    if worst_reduction.is_finite() {
+        println!("worst-case peak-memory reduction: {worst_reduction:.1}x");
+        assert!(
+            worst_reduction >= 5.0,
+            "streaming should hold at least 5x fewer resident rows than materializing"
+        );
+    } else {
+        println!("(joins too small to contrast peaks at this scale)");
+    }
+
+    // LIMIT early termination: the limited scan closes the pipeline
+    // after one batch, abandoning the rest of the R-tree traversal.
+    println!("\n== LIMIT early termination on the pair scan ==");
+    let n = scaled(40_000, 400);
+    let db = session();
+    load_table(&db, "t", &counties::generate(n, &US_EXTENT, 42));
+    db.execute("CREATE INDEX t_sidx ON t(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
+    let scan = "SELECT rid1, rid2 FROM TABLE(SPATIAL_JOIN( \
+                't', 'geom', 't', 'geom', 'intersect'))";
+
+    let before = db.counters().snapshot();
+    let (full, full_t) = timed(|| db.execute(scan).unwrap().rows.len());
+    let full_work = db.counters().diff(&before).total();
+
+    let before = db.counters().snapshot();
+    let (limited, limited_t) =
+        timed(|| db.execute(&format!("{scan} LIMIT 10")).unwrap().rows.len());
+    let limited_work = db.counters().diff(&before).total();
+
+    println!("full scan : {:>9} rows  {:>10}  {:>10} work units", full, secs(full_t), full_work);
+    println!(
+        "LIMIT 10  : {:>9} rows  {:>10}  {:>10} work units ({:.1}% of full)",
+        limited,
+        secs(limited_t),
+        limited_work,
+        100.0 * limited_work as f64 / full_work.max(1) as f64
+    );
+    assert_eq!(limited, 10.min(full));
+    if full > 8 * 1024 {
+        assert!(limited_work < full_work, "LIMIT must abandon part of the traversal");
+    }
+}

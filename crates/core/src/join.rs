@@ -575,6 +575,11 @@ impl TableFunction for SpatialJoin {
         if let Some(p) = self.phases.take() {
             p.node.add_metric("geom_cache_hits", self.lcache.hits + self.rcache.hits);
             p.node.add_metric("geom_cache_misses", self.lcache.misses + self.rcache.misses);
+            // The cache serves the secondary (exact) filter, so its
+            // hit rate belongs on that phase node too — set_metric so
+            // a cold cache (0 hits) still renders.
+            p.filter.set_metric("cache_hits", self.lcache.hits + self.rcache.hits);
+            p.filter.set_metric("cache_misses", self.lcache.misses + self.rcache.misses);
             p.node.add_metric("peak_candidates", self.peak_candidates as u64);
             p.node.add_metric("kernel_sweeps", self.kernel_stats.sweeps);
             p.node.add_metric("kernel_scans", self.kernel_stats.scans);
@@ -781,6 +786,8 @@ impl TableFunction for QuadtreeJoin {
         if let Some(p) = self.phases.take() {
             p.node.add_metric("geom_cache_hits", self.lcache.hits + self.rcache.hits);
             p.node.add_metric("geom_cache_misses", self.lcache.misses + self.rcache.misses);
+            p.filter.set_metric("cache_hits", self.lcache.hits + self.rcache.hits);
+            p.filter.set_metric("cache_misses", self.lcache.misses + self.rcache.misses);
         }
         self.lcache.clear();
         self.rcache.clear();

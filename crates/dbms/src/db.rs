@@ -94,6 +94,26 @@ pub struct Database {
     indexes: RwLock<HashMap<String, IndexHandle>>,
     table_functions: RwLock<HashMap<String, Arc<TfFactory>>>,
     last_profile: RwLock<Option<sdo_obs::QueryProfile>>,
+    options: RwLock<SessionOptions>,
+}
+
+/// Per-session executor options, set via `ALTER SESSION SET ...`.
+#[derive(Debug, Clone)]
+pub struct SessionOptions {
+    /// `materialize = on` routes SELECTs through the legacy
+    /// materialize-everything executor (compatibility / benchmarking);
+    /// the default is the streaming batch pipeline.
+    pub materialize: bool,
+    /// Resident-row budget per statement, enforced by the executor's
+    /// [`sdo_obs::MemoryGauge`]. Exceeding it fails the query, naming
+    /// the operator that tipped it over.
+    pub max_resident_rows: u64,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions { materialize: false, max_resident_rows: 5_000_000 }
+    }
 }
 
 impl Default for Database {
@@ -111,7 +131,44 @@ impl Database {
             indexes: RwLock::new(HashMap::new()),
             table_functions: RwLock::new(HashMap::new()),
             last_profile: RwLock::new(None),
+            options: RwLock::new(SessionOptions::default()),
         }
+    }
+
+    /// Current session options (copy).
+    pub fn options(&self) -> SessionOptions {
+        self.options.read().clone()
+    }
+
+    /// Set a session option by name. Recognised options:
+    /// `materialize` (`on`/`off`) and `max_resident_rows` (a positive
+    /// row count).
+    pub fn set_option(&self, name: &str, value: &str) -> Result<(), DbError> {
+        let mut opts = self.options.write();
+        match name.to_ascii_lowercase().as_str() {
+            "materialize" => match value.to_ascii_lowercase().as_str() {
+                "on" | "true" | "1" => opts.materialize = true,
+                "off" | "false" | "0" => opts.materialize = false,
+                other => {
+                    return Err(DbError::Plan(format!(
+                        "invalid value '{other}' for MATERIALIZE (expected on/off)"
+                    )))
+                }
+            },
+            "max_resident_rows" => {
+                let n: i64 = value.parse().map_err(|_| {
+                    DbError::Plan(format!("invalid value '{value}' for MAX_RESIDENT_ROWS"))
+                })?;
+                if n <= 0 {
+                    return Err(DbError::Plan(
+                        "MAX_RESIDENT_ROWS must be a positive row count".into(),
+                    ));
+                }
+                opts.max_resident_rows = n as u64;
+            }
+            other => return Err(DbError::Plan(format!("unknown session option '{other}'"))),
+        }
+        Ok(())
     }
 
     /// The operator profile of the most recent statement executed via

@@ -19,6 +19,7 @@
 use crate::db::{Database, QueryResult, TfArg};
 use crate::error::DbError;
 use crate::extensible::OperatorCall;
+use crate::operators::{self, ExecCtx, Resident};
 use crate::sql::ast::*;
 use parking_lot::RwLock;
 use sdo_geom::{Geometry, RelateMask};
@@ -28,9 +29,6 @@ use sdo_tablefunc::Row;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
-
-/// Upper bound on unconstrained cross products, as a foot-gun guard.
-const MAX_CROSS_ROWS: usize = 5_000_000;
 
 /// Execute a parsed statement.
 ///
@@ -77,6 +75,15 @@ fn statement_label(stmt: &Statement) -> String {
         Statement::Select(_) => "SELECT".into(),
         Statement::Explain(_) => "EXPLAIN".into(),
         Statement::ExplainAnalyze(_) => "EXPLAIN ANALYZE".into(),
+        Statement::AlterSession { name, .. } => format!("ALTER SESSION SET {name}"),
+    }
+}
+
+/// Publish the statement's peak resident-row count on the enclosing
+/// profile node (rendered by `EXPLAIN ANALYZE`).
+fn note_peak_resident(ctx: &ExecCtx<'_>) {
+    if let Some(p) = sdo_obs::current() {
+        p.set_metric("peak_resident_rows", ctx.gauge.peak());
     }
 }
 
@@ -97,52 +104,57 @@ fn execute_inner(db: &Database, stmt: &Statement) -> Result<QueryResult, DbError
             Ok(QueryResult::empty())
         }
         Statement::Delete { table, where_clause } => {
-            let rel = materialize_table(db, table, table)?;
-            let mut doomed = Vec::new();
-            for (rid, values) in &rel.rows {
-                let joined = vec![RelRow { rid: *rid, values: values.clone() }];
-                if eval_conjuncts(db, &[rel.clone_meta()], &joined, where_clause)? {
-                    doomed.push(rid.expect("table rows have rowids"));
-                }
-            }
-            let n = doomed.len();
-            for rid in doomed {
+            // The doomed set is collected through the same streaming
+            // scan + filter operators as SELECT.
+            let ctx = ExecCtx::new(db);
+            let matched = operators::collect_matching(&ctx, table, where_clause)?;
+            let n = matched.len();
+            for (rid, _) in matched {
                 db.delete_row(table, rid)?;
             }
+            note_peak_resident(&ctx);
             Ok(QueryResult {
                 columns: vec!["DELETED".into()],
                 rows: vec![vec![Value::Integer(n as i64)]],
             })
         }
         Statement::Update { table, assignments, where_clause } => {
-            let rel = materialize_table(db, table, table)?;
+            let ctx = ExecCtx::new(db);
+            let matched = operators::collect_matching(&ctx, table, where_clause)?;
+            let handle = db.table(table)?;
+            let columns: Vec<String> =
+                handle.read().schema().columns().iter().map(|c| c.name.clone()).collect();
             // Resolve assignment targets against the table schema.
             let targets: Vec<(usize, &Expr)> = assignments
                 .iter()
                 .map(|(col, e)| {
-                    rel.columns
+                    columns
                         .iter()
                         .position(|c| c.eq_ignore_ascii_case(col))
                         .map(|i| (i, e))
                         .ok_or_else(|| DbError::Plan(format!("no column {col} on {table}")))
                 })
                 .collect::<Result<Vec<_>, _>>()?;
-            let metas = [rel.clone_meta()];
-            let mut updates = Vec::new();
-            for (rid, values) in &rel.rows {
-                let joined = vec![RelRow { rid: *rid, values: values.clone() }];
-                if eval_conjuncts(db, &metas, &joined, where_clause)? {
-                    let mut new_row = values.clone();
-                    for (ci, e) in &targets {
-                        new_row[*ci] = eval_expr(db, &metas, &joined, e)?;
-                    }
-                    updates.push((rid.expect("table rows have rowids"), new_row));
+            let metas = [RelMeta {
+                binding: table.to_ascii_uppercase(),
+                columns,
+                table: Some(handle),
+                table_name: Some(table.to_ascii_uppercase()),
+            }];
+            let mut updates = Vec::with_capacity(matched.len());
+            for (rid, values) in matched {
+                let joined = vec![RelRow { rid: Some(rid), values }];
+                let mut new_row = joined[0].values.clone();
+                for (ci, e) in &targets {
+                    new_row[*ci] = eval_expr(db, &metas, &joined, e)?;
                 }
+                updates.push((rid, new_row));
             }
             let n = updates.len();
             for (rid, row) in updates {
                 db.update_row(table, rid, row)?;
             }
+            note_peak_resident(&ctx);
             Ok(QueryResult {
                 columns: vec!["UPDATED".into()],
                 rows: vec![vec![Value::Integer(n as i64)]],
@@ -156,10 +168,14 @@ fn execute_inner(db: &Database, stmt: &Statement) -> Result<QueryResult, DbError
             db.drop_domain_index(name)?;
             Ok(QueryResult::empty())
         }
-        Statement::Select(sel) => run_select(db, sel),
+        Statement::Select(sel) => run_select_top(db, sel),
         Statement::Explain(sel) => explain_select(db, sel),
         // A nested `EXPLAIN ANALYZE` re-enters the profiling wrapper.
         Statement::ExplainAnalyze(_) => execute(db, stmt),
+        Statement::AlterSession { name, value } => {
+            db.set_option(name, value)?;
+            Ok(QueryResult::empty())
+        }
     }
 }
 
@@ -296,23 +312,34 @@ struct Relation {
     table_name: Option<String>,
 }
 
-/// Schema-only view of a relation used during predicate evaluation.
-struct RelMeta {
-    binding: String,
-    columns: Vec<String>,
+/// Schema view of a relation used during predicate evaluation and by
+/// the streaming operators (which never materialize rows and so have
+/// no [`Relation`]).
+#[derive(Clone)]
+pub(crate) struct RelMeta {
+    pub(crate) binding: String,
+    pub(crate) columns: Vec<String>,
+    /// Set for base tables (used for index lookup and rowid fetch).
+    pub(crate) table: Option<Arc<RwLock<Table>>>,
+    pub(crate) table_name: Option<String>,
 }
 
 impl Relation {
     fn clone_meta(&self) -> RelMeta {
-        RelMeta { binding: self.binding.clone(), columns: self.columns.clone() }
+        RelMeta {
+            binding: self.binding.clone(),
+            columns: self.columns.clone(),
+            table: self.table.clone(),
+            table_name: self.table_name.clone(),
+        }
     }
 }
 
 /// One relation's contribution to a joined row.
 #[derive(Clone)]
-struct RelRow {
-    rid: Option<RowId>,
-    values: Row,
+pub(crate) struct RelRow {
+    pub(crate) rid: Option<RowId>,
+    pub(crate) values: Row,
 }
 
 fn materialize_table(db: &Database, name: &str, binding: &str) -> Result<Relation, DbError> {
@@ -331,7 +358,8 @@ fn materialize_table(db: &Database, name: &str, binding: &str) -> Result<Relatio
     })
 }
 
-fn bind_from_item(db: &Database, item: &FromItem) -> Result<Relation, DbError> {
+fn bind_from_item(ctx: &ExecCtx<'_>, item: &FromItem) -> Result<Relation, DbError> {
+    let db = ctx.db;
     match item {
         FromItem::Table { name, .. } => {
             let parent = sdo_obs::current();
@@ -353,7 +381,7 @@ fn bind_from_item(db: &Database, item: &FromItem) -> Result<Relation, DbError> {
                 match a {
                     TfArgAst::Expr(e) => tf_args.push(TfArg::Scalar(eval_const(e)?)),
                     TfArgAst::Cursor(sub) => {
-                        let res = run_select(db, sub)?;
+                        let res = run_subselect(ctx, sub)?;
                         tf_args.push(TfArg::Cursor(res.rows));
                     }
                 }
@@ -387,7 +415,25 @@ fn bind_from_item(db: &Database, item: &FromItem) -> Result<Relation, DbError> {
 // SELECT
 // ---------------------------------------------------------------------------
 
-fn run_select(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
+/// Top-level SELECT entry: builds the execution context from the
+/// session options, runs the query, and publishes the statement's peak
+/// resident-row count.
+fn run_select_top(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
+    let ctx = ExecCtx::new(db);
+    let res = run_select(&ctx, sel);
+    note_peak_resident(&ctx);
+    res
+}
+
+/// Run a nested SELECT (cursor argument, semijoin subquery) in the
+/// enclosing statement's context, honoring its execution mode and
+/// sharing its resident-row gauge.
+pub(crate) fn run_subselect(ctx: &ExecCtx<'_>, sel: &Select) -> Result<QueryResult, DbError> {
+    run_select(ctx, sel)
+}
+
+pub(crate) fn run_select(ctx: &ExecCtx<'_>, sel: &Select) -> Result<QueryResult, DbError> {
+    let db = ctx.db;
     // Pipelined aggregation fast path: `SELECT COUNT(*) FROM TABLE(f(...))`
     // with no other clauses streams batches through the table function
     // without ever materializing the result — the memory property the
@@ -405,7 +451,9 @@ fn run_select(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
             for a in args {
                 match a {
                     TfArgAst::Expr(e) => tf_args.push(TfArg::Scalar(eval_const(e)?)),
-                    TfArgAst::Cursor(sub) => tf_args.push(TfArg::Cursor(run_select(db, sub)?.rows)),
+                    TfArgAst::Cursor(sub) => {
+                        tf_args.push(TfArg::Cursor(run_subselect(ctx, sub)?.rows))
+                    }
                 }
             }
             let mut inst = db.make_table_function(name, tf_args)?;
@@ -422,6 +470,7 @@ fn run_select(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
                 inst.func.close();
                 return Err(e.into());
             }
+            let mut resident = ctx.resident(format!("PIPELINED COUNT TABLE({name})"));
             let mut n: i64 = 0;
             loop {
                 let batch = match inst.func.fetch(8192) {
@@ -434,6 +483,8 @@ fn run_select(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
                 if batch.is_empty() {
                     break;
                 }
+                // Only the batch in flight is ever resident.
+                resident.set(batch.len() as u64)?;
                 n += batch.len() as i64;
                 if let Some(node) = &op {
                     node.add_batches(1);
@@ -452,13 +503,31 @@ fn run_select(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
         }
     }
 
+    if ctx.materialize {
+        run_select_materialized(ctx, sel)
+    } else {
+        operators::run_select_streaming(ctx, sel)
+    }
+}
+
+/// The legacy materialize-then-filter executor, kept behind
+/// `ALTER SESSION SET materialize = on` as an equivalence oracle for
+/// the streaming pipeline. Its buffers are charged against the shared
+/// resident-row gauge, so `max_resident_rows` bounds it too.
+fn run_select_materialized(ctx: &ExecCtx<'_>, sel: &Select) -> Result<QueryResult, DbError> {
+    let db = ctx.db;
     let relations: Vec<Relation> =
-        sel.from.iter().map(|f| bind_from_item(db, f)).collect::<Result<Vec<_>, _>>()?;
+        sel.from.iter().map(|f| bind_from_item(ctx, f)).collect::<Result<Vec<_>, _>>()?;
+    let mut rel_resident = ctx.resident("MATERIALIZED SCAN");
+    for r in &relations {
+        rel_resident.add(r.rows.len() as u64)?;
+    }
+    let metas: Vec<RelMeta> = relations.iter().map(|r| r.clone_meta()).collect();
 
     // Classify conjuncts.
     let op_names = db.operator_names();
     let mut rowid_pairs: Vec<&Predicate> = Vec::new();
-    let mut spatial: Vec<SpatialPred<'_>> = Vec::new();
+    let mut spatial: Vec<SpatialPred> = Vec::new();
     let mut residual: Vec<&Predicate> = Vec::new();
     for p in &sel.where_clause {
         match p {
@@ -467,7 +536,7 @@ fn run_select(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
                 if op_names.iter().any(|o| o.eq_ignore_ascii_case(name))
                     && matches!(right, Expr::Literal(v) if v.as_text() == Some("TRUE")) =>
             {
-                spatial.push(classify_spatial(&relations, name, args)?)
+                spatial.push(classify_spatial(&metas, name, args)?)
             }
             other => residual.push(other),
         }
@@ -476,8 +545,8 @@ fn run_select(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
     // Choose a join strategy and produce joined rows. Each strategy
     // gets an operator node; nodes created while it runs (table
     // function scans inside the semijoin subquery, say) nest under it.
-    let metas: Vec<RelMeta> = relations.iter().map(|r| r.clone_meta()).collect();
     let profile = sdo_obs::current();
+    let mut joined_resident = ctx.resident("MATERIALIZED JOIN");
     let mut joined: Vec<Vec<RelRow>>;
     if let Some(Predicate::RowidPairIn { left, right, subquery }) = rowid_pairs.first() {
         let node = profile.as_ref().map(|p| p.child("ROWID-PAIR SEMIJOIN"));
@@ -485,13 +554,14 @@ fn run_select(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
         let before = node.as_ref().map(|_| db.counters().snapshot());
         {
             let _scope = node.clone().map(sdo_obs::enter);
-            joined = rowid_pair_join(db, &relations, left, right, subquery)?;
+            joined = rowid_pair_join(ctx, &relations, &metas, left, right, subquery)?;
         }
         if let (Some(n), Some(t0), Some(b)) = (&node, t0, &before) {
             n.add_rows(joined.len() as u64);
             n.add_wall(t0.elapsed());
             n.add_metric_deltas(&db.counters().diff(b).pairs());
         }
+        joined_resident.set(joined.len() as u64)?;
         // Any spatial predicates left over apply as filters.
         joined = apply_spatial_filters(db, &relations, joined, &spatial)?;
     } else if let Some(join_pred) = spatial.iter().position(|s| s.is_join()) {
@@ -508,19 +578,21 @@ fn run_select(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
             n.add_wall(t0.elapsed());
             n.add_metric_deltas(&db.counters().diff(b).pairs());
         }
+        joined_resident.set(joined.len() as u64)?;
         joined = apply_spatial_filters(db, &relations, joined, &spatial)?;
     } else {
         let node = (relations.len() > 1)
             .then(|| profile.as_ref().map(|p| p.child("CARTESIAN PRODUCT")))
             .flatten();
         let t0 = node.as_ref().map(|_| Instant::now());
-        joined = cross_product(&relations)?;
+        joined = cross_product(&relations, &mut joined_resident)?;
         if let (Some(n), Some(t0)) = (&node, t0) {
             n.add_rows(joined.len() as u64);
             n.add_wall(t0.elapsed());
         }
         joined = apply_spatial_filters(db, &relations, joined, &spatial)?;
     }
+    joined_resident.set(joined.len() as u64)?;
 
     // Residual filters.
     if !residual.is_empty() {
@@ -575,44 +647,43 @@ fn run_select(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
 // Spatial predicate classification
 // ---------------------------------------------------------------------------
 
-struct SpatialPred<'a> {
+pub(crate) struct SpatialPred {
     /// Operator name, uppercased.
-    name: String,
+    pub(crate) name: String,
     /// `(relation index, column index)` of the target geometry column.
-    target: (usize, usize),
+    pub(crate) target: (usize, usize),
     /// Second argument: another column (join) or a constant geometry.
-    other: SpatialOperand,
+    pub(crate) other: SpatialOperand,
     /// Remaining evaluated arguments (mask / distance).
-    extra: Vec<Value>,
-    _marker: std::marker::PhantomData<&'a ()>,
+    pub(crate) extra: Vec<Value>,
 }
 
-enum SpatialOperand {
+pub(crate) enum SpatialOperand {
     Column(usize, usize),
     Const(Arc<Geometry>),
 }
 
-impl SpatialPred<'_> {
-    fn is_join(&self) -> bool {
+impl SpatialPred {
+    pub(crate) fn is_join(&self) -> bool {
         matches!(self.other, SpatialOperand::Column(..))
     }
 }
 
-fn classify_spatial<'a>(
-    relations: &[Relation],
+pub(crate) fn classify_spatial(
+    metas: &[RelMeta],
     name: &str,
-    args: &'a [Expr],
-) -> Result<SpatialPred<'a>, DbError> {
+    args: &[Expr],
+) -> Result<SpatialPred, DbError> {
     if args.len() < 2 {
         return Err(DbError::Plan(format!("{name} needs at least 2 arguments")));
     }
     let target = match &args[0] {
-        Expr::Column(cr) => resolve_column(relations, cr)?,
+        Expr::Column(cr) => resolve_column_meta(metas, cr)?,
         _ => return Err(DbError::Plan(format!("{name}: first argument must be a column"))),
     };
     let other = match &args[1] {
         Expr::Column(cr) => {
-            let (r, c) = resolve_column(relations, cr)?;
+            let (r, c) = resolve_column_meta(metas, cr)?;
             SpatialOperand::Column(r, c)
         }
         e => {
@@ -624,45 +695,7 @@ fn classify_spatial<'a>(
         }
     };
     let extra = args[2..].iter().map(eval_const).collect::<Result<Vec<_>, _>>()?;
-    Ok(SpatialPred {
-        name: name.to_ascii_uppercase(),
-        target,
-        other,
-        extra,
-        _marker: std::marker::PhantomData,
-    })
-}
-
-fn resolve_column(relations: &[Relation], cr: &ColumnRef) -> Result<(usize, usize), DbError> {
-    let col = cr.column.to_ascii_uppercase();
-    if let Some(q) = &cr.qualifier {
-        let q = q.to_ascii_uppercase();
-        let (ri, rel) = relations
-            .iter()
-            .enumerate()
-            .find(|(_, r)| r.binding == q)
-            .ok_or_else(|| DbError::Plan(format!("unknown binding {q}")))?;
-        if cr.is_rowid() {
-            return Ok((ri, usize::MAX));
-        }
-        let ci = rel
-            .columns
-            .iter()
-            .position(|c| *c == col)
-            .ok_or_else(|| DbError::Plan(format!("no column {col} in {q}")))?;
-        return Ok((ri, ci));
-    }
-    // Unqualified: must be unique across relations.
-    let mut hit = None;
-    for (ri, rel) in relations.iter().enumerate() {
-        if let Some(ci) = rel.columns.iter().position(|c| *c == col) {
-            if hit.is_some() {
-                return Err(DbError::Plan(format!("ambiguous column {col}")));
-            }
-            hit = Some((ri, ci));
-        }
-    }
-    hit.ok_or_else(|| DbError::Plan(format!("unknown column {col}")))
+    Ok(SpatialPred { name: name.to_ascii_uppercase(), target, other, extra })
 }
 
 // ---------------------------------------------------------------------------
@@ -673,8 +706,9 @@ fn resolve_column(relations: &[Relation], cr: &ColumnRef) -> Result<(usize, usiz
 /// `TABLE(SPATIAL_JOIN(...))` scan) into rowid pairs, then fetch the
 /// paired base rows.
 fn rowid_pair_join(
-    db: &Database,
+    ctx: &ExecCtx<'_>,
     relations: &[Relation],
+    metas: &[RelMeta],
     left: &ColumnRef,
     right: &ColumnRef,
     subquery: &Select,
@@ -682,18 +716,21 @@ fn rowid_pair_join(
     if relations.len() != 2 {
         return Err(DbError::Plan("rowid-pair IN requires exactly two tables".into()));
     }
-    let (l_rel, l_col) = resolve_column(relations, left)?;
-    let (r_rel, r_col) = resolve_column(relations, right)?;
+    let (l_rel, l_col) = resolve_column_meta(metas, left)?;
+    let (r_rel, r_col) = resolve_column_meta(metas, right)?;
     if l_col != usize::MAX || r_col != usize::MAX {
         return Err(DbError::Plan("rowid-pair IN requires ROWID references".into()));
     }
     if l_rel == r_rel {
         return Err(DbError::Plan("rowid pair must reference two distinct tables".into()));
     }
-    let sub = run_select(db, subquery)?;
+    let sub = run_subselect(ctx, subquery)?;
     if sub.columns.len() < 2 {
         return Err(DbError::Plan("rowid-pair subquery must project two rowid columns".into()));
     }
+    // The pair buffer is an intermediate, not the client result: charge it.
+    let mut sub_resident = ctx.resident("ROWID-PAIR SEMIJOIN");
+    sub_resident.add(sub.rows.len() as u64)?;
     // Fetch the paired rows. Using Table::get here (not the already
     // materialized scan) deliberately charges the per-pair fetch I/O,
     // mirroring the semijoin's real cost profile.
@@ -729,7 +766,7 @@ fn rowid_pair_join(
 fn nested_loop_join(
     db: &Database,
     relations: &[Relation],
-    pred: &SpatialPred<'_>,
+    pred: &SpatialPred,
 ) -> Result<Vec<Vec<RelRow>>, DbError> {
     let (outer_rel, outer_col) = pred.target;
     let SpatialOperand::Column(inner_rel, inner_col) = pred.other else {
@@ -786,13 +823,13 @@ fn nested_loop_join(
     Ok(out)
 }
 
-fn cross_product(relations: &[Relation]) -> Result<Vec<Vec<RelRow>>, DbError> {
-    let total: usize = relations.iter().map(|r| r.rows.len().max(1)).product();
-    if total > MAX_CROSS_ROWS {
-        return Err(DbError::Plan(format!(
-            "cross product of {total} rows exceeds the {MAX_CROSS_ROWS} row guard"
-        )));
-    }
+/// Cartesian product, guarded by the resident-row gauge: every
+/// expansion stage is charged, so a runaway product fails with the
+/// session's `max_resident_rows` budget instead of a hard-coded cap.
+fn cross_product(
+    relations: &[Relation],
+    resident: &mut Resident,
+) -> Result<Vec<Vec<RelRow>>, DbError> {
     let mut acc: Vec<Vec<RelRow>> = vec![Vec::new()];
     for rel in relations {
         let mut next = Vec::with_capacity(acc.len() * rel.rows.len());
@@ -804,6 +841,7 @@ fn cross_product(relations: &[Relation]) -> Result<Vec<Vec<RelRow>>, DbError> {
             }
         }
         acc = next;
+        resident.set(acc.len() as u64)?;
     }
     Ok(acc)
 }
@@ -814,7 +852,7 @@ fn apply_spatial_filters(
     db: &Database,
     relations: &[Relation],
     joined: Vec<Vec<RelRow>>,
-    preds: &[SpatialPred<'_>],
+    preds: &[SpatialPred],
 ) -> Result<Vec<Vec<RelRow>>, DbError> {
     let mut rows = joined;
     for p in preds {
@@ -987,7 +1025,7 @@ pub fn eval_spatial_fn(
 /// Transpose operator arguments for a swapped-operand index probe:
 /// `SDO_RELATE` masks transpose (INSIDE ⇄ CONTAINS, COVERS ⇄
 /// COVEREDBY); distance and filter predicates are symmetric.
-fn transpose_spatial_extra(name: &str, extra: &[Value]) -> Result<Vec<Value>, DbError> {
+pub(crate) fn transpose_spatial_extra(name: &str, extra: &[Value]) -> Result<Vec<Value>, DbError> {
     if !name.eq_ignore_ascii_case("SDO_RELATE") {
         return Ok(extra.to_vec());
     }
@@ -1021,7 +1059,7 @@ pub fn parse_distance(extra: &[Value]) -> Result<f64, DbError> {
     Err(DbError::Plan("SDO_WITHIN_DISTANCE needs a numeric distance".into()))
 }
 
-fn eval_expr(
+pub(crate) fn eval_expr(
     _db: &Database,
     metas: &[RelMeta],
     joined: &[RelRow],
@@ -1053,7 +1091,10 @@ fn eval_expr(
     }
 }
 
-fn resolve_column_meta(metas: &[RelMeta], cr: &ColumnRef) -> Result<(usize, usize), DbError> {
+pub(crate) fn resolve_column_meta(
+    metas: &[RelMeta],
+    cr: &ColumnRef,
+) -> Result<(usize, usize), DbError> {
     let col = cr.column.to_ascii_uppercase();
     if let Some(q) = &cr.qualifier {
         let q = q.to_ascii_uppercase();
@@ -1087,7 +1128,7 @@ fn resolve_column_meta(metas: &[RelMeta], cr: &ColumnRef) -> Result<(usize, usiz
     hit.ok_or_else(|| DbError::Plan(format!("unknown column {col}")))
 }
 
-fn eval_predicate(
+pub(crate) fn eval_predicate(
     db: &Database,
     metas: &[RelMeta],
     joined: &[RelRow],
@@ -1127,35 +1168,18 @@ fn eval_predicate(
     }
 }
 
-fn eval_conjuncts(
-    db: &Database,
-    metas: &[RelMeta],
-    joined: &[RelRow],
-    preds: &[Predicate],
-) -> Result<bool, DbError> {
-    for p in preds {
-        if !eval_predicate(db, metas, joined, p)? {
-            return Ok(false);
-        }
-    }
-    Ok(true)
-}
-
 // ---------------------------------------------------------------------------
 // Projection
 // ---------------------------------------------------------------------------
 
-fn project(
-    db: &Database,
+/// Resolve the output column names of a projection, validating the
+/// select list (`*` and `COUNT(*)` cannot mix with other items).
+pub(crate) fn projection_columns(
     metas: &[RelMeta],
-    joined: Vec<Vec<RelRow>>,
     items: &[SelectItem],
-) -> Result<QueryResult, DbError> {
+) -> Result<Vec<String>, DbError> {
     if items.len() == 1 && items[0] == SelectItem::CountStar {
-        return Ok(QueryResult {
-            columns: vec!["COUNT(*)".into()],
-            rows: vec![vec![Value::Integer(joined.len() as i64)]],
-        });
+        return Ok(vec!["COUNT(*)".into()]);
     }
     if items.len() == 1 && items[0] == SelectItem::Star {
         let qualify = metas.len() > 1;
@@ -1165,11 +1189,8 @@ fn project(
                 columns.push(if qualify { format!("{}.{}", m.binding, c) } else { c.clone() });
             }
         }
-        let rows =
-            joined.into_iter().map(|jr| jr.into_iter().flat_map(|r| r.values).collect()).collect();
-        return Ok(QueryResult { columns, rows });
+        return Ok(columns);
     }
-    // Expression projection.
     let mut columns = Vec::with_capacity(items.len());
     for item in items {
         match item {
@@ -1189,14 +1210,41 @@ fn project(
     if items.contains(&SelectItem::CountStar) {
         return Err(DbError::Plan("COUNT(*) cannot mix with other select items".into()));
     }
-    let mut rows = Vec::with_capacity(joined.len());
-    for jr in &joined {
-        let mut out = Vec::with_capacity(items.len());
-        for item in items {
-            let SelectItem::Expr { expr, .. } = item else { unreachable!() };
-            out.push(eval_expr(db, metas, jr, expr)?);
-        }
-        rows.push(out);
+    Ok(columns)
+}
+
+/// Project one joined row through a (pre-validated) select list.
+/// `COUNT(*)` is aggregation, not projection — callers handle it.
+pub(crate) fn project_row(
+    db: &Database,
+    metas: &[RelMeta],
+    jr: &[RelRow],
+    items: &[SelectItem],
+) -> Result<Row, DbError> {
+    if items.len() == 1 && items[0] == SelectItem::Star {
+        return Ok(jr.iter().flat_map(|r| r.values.iter().cloned()).collect());
     }
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let SelectItem::Expr { expr, .. } = item else {
+            return Err(DbError::Plan("COUNT(*) cannot be projected per row".into()));
+        };
+        out.push(eval_expr(db, metas, jr, expr)?);
+    }
+    Ok(out)
+}
+
+fn project(
+    db: &Database,
+    metas: &[RelMeta],
+    joined: Vec<Vec<RelRow>>,
+    items: &[SelectItem],
+) -> Result<QueryResult, DbError> {
+    let columns = projection_columns(metas, items)?;
+    if items.len() == 1 && items[0] == SelectItem::CountStar {
+        return Ok(QueryResult { columns, rows: vec![vec![Value::Integer(joined.len() as i64)]] });
+    }
+    let rows =
+        joined.iter().map(|jr| project_row(db, metas, jr, items)).collect::<Result<Vec<_>, _>>()?;
     Ok(QueryResult { columns, rows })
 }

@@ -29,8 +29,9 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod extensible;
+mod operators;
 pub mod sql;
 
-pub use db::{Database, QueryResult, TfArg};
+pub use db::{Database, QueryResult, SessionOptions, TfArg};
 pub use error::DbError;
 pub use extensible::{DomainIndex, IndexType, OperatorCall};

@@ -1,0 +1,1415 @@
+//! Pull-based batch operators for the streaming SELECT executor.
+//!
+//! The paper's pipelining contract (§2: start / iterative fetch /
+//! close) ends at the table-function boundary unless the SQL layer
+//! above it also streams. This module provides that layer: a tree of
+//! operators that exchange batches of joined rows ([`BATCH_ROWS`] rows
+//! per batch) and pull from each other on demand, so a
+//! `TABLE(SPATIAL_JOIN(...))` semijoin never materializes its result
+//! and a satisfied `LIMIT` propagates `close()` down the tree, stopping
+//! the R-tree traversal mid-join.
+//!
+//! Operators:
+//!
+//! * [`TableScanExec`] — snapshot cursor over a base table (per-batch
+//!   locking, high-water-mark bound at open),
+//! * [`TableFunctionScanExec`] — wraps an open pipelined table function
+//!   and forwards its `fetch(max_rows)` batches directly,
+//! * [`FilterExec`] — per-batch predicate evaluation with the
+//!   index-assisted fast paths (window prefilter, SDO_NN ranking) as
+//!   open-time rewrites,
+//! * [`RowidSemiJoinExec`] — streams rowid pairs from a subquery and
+//!   fetches the paired base rows batch-by-batch,
+//! * [`NestedLoopJoinExec`] — streamed outer side, index-probed (or
+//!   batched build) inner side,
+//! * [`CrossJoinExec`] — streamed first relation, materialized rest,
+//! * [`SortExec`] — blocking sort (ORDER BY),
+//! * [`LimitExec`] — early termination with close propagation.
+//!
+//! Every operator owns a [`ProfileNode`] when profiling is active and a
+//! share of the statement's [`MemoryGauge`]; buffered rows are charged
+//! through [`Resident`] so `EXPLAIN ANALYZE` can report
+//! `peak_resident_rows` and the `max_resident_rows` session option has
+//! a single enforcement point that names the offending operator.
+
+use crate::db::{Database, IndexHandle, QueryResult, TfArg};
+use crate::error::DbError;
+use crate::exec::{
+    classify_spatial, eval_predicate, eval_spatial_fn, project_row, projection_columns,
+    resolve_column_meta, run_subselect, RelMeta, RelRow, SpatialOperand, SpatialPred,
+};
+use crate::extensible::OperatorCall;
+use crate::sql::ast::{FromItem, OrderKey, Predicate, Select, SelectItem, TfArgAst};
+use parking_lot::RwLock;
+use sdo_obs::{MemoryGauge, ProfileNode};
+use sdo_storage::{RowId, Table, Value};
+use sdo_tablefunc::source::TableCursor;
+use sdo_tablefunc::{Row, RowSource, TableFunction};
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Target rows per batch through the operator tree. Large enough to
+/// amortize per-batch locking and virtual dispatch, small enough that
+/// pipeline memory stays O(batch × depth).
+pub(crate) const BATCH_ROWS: usize = 1024;
+
+/// Per-statement execution context: the database handle plus the
+/// shared resident-row gauge and its session-configured budget.
+pub(crate) struct ExecCtx<'a> {
+    /// Session database.
+    pub db: &'a Database,
+    /// Shared resident-row gauge; its peak becomes the statement's
+    /// `peak_resident_rows` metric.
+    pub gauge: MemoryGauge,
+    /// Resident-row budget from `ALTER SESSION SET max_resident_rows`.
+    pub max_resident_rows: u64,
+    /// Route SELECTs through the legacy materializing executor.
+    pub materialize: bool,
+}
+
+impl<'a> ExecCtx<'a> {
+    pub(crate) fn new(db: &'a Database) -> Self {
+        let opts = db.options();
+        ExecCtx {
+            db,
+            gauge: MemoryGauge::new(),
+            max_resident_rows: opts.max_resident_rows,
+            materialize: opts.materialize,
+        }
+    }
+
+    /// A resident-row account for one operator, enforcing the budget.
+    pub(crate) fn resident(&self, operator: impl Into<String>) -> Resident {
+        Resident {
+            gauge: self.gauge.clone(),
+            limit: self.max_resident_rows,
+            operator: operator.into(),
+            held: 0,
+        }
+    }
+}
+
+/// RAII account of rows an operator holds resident. Charges go to the
+/// statement's shared [`MemoryGauge`]; exceeding the session budget
+/// fails the query with the operator's name. Dropping releases the
+/// balance, so an abandoned pipeline cannot leak charge.
+pub(crate) struct Resident {
+    gauge: MemoryGauge,
+    limit: u64,
+    operator: String,
+    held: u64,
+}
+
+impl Resident {
+    /// Charge `n` more rows.
+    pub(crate) fn add(&mut self, n: u64) -> Result<(), DbError> {
+        self.held += n;
+        let now = self.gauge.add(n);
+        if now > self.limit {
+            return Err(DbError::Plan(format!(
+                "resident rows ({now}) exceed MAX_RESIDENT_ROWS ({}) in operator {}; \
+                 raise it with ALTER SESSION SET max_resident_rows = <n>",
+                self.limit, self.operator
+            )));
+        }
+        Ok(())
+    }
+
+    /// Adjust the balance to exactly `n` rows.
+    pub(crate) fn set(&mut self, n: u64) -> Result<(), DbError> {
+        if n >= self.held {
+            let delta = n - self.held;
+            self.held = n - delta; // keep held consistent if add errors
+            self.add(delta)
+        } else {
+            self.gauge.sub(self.held - n);
+            self.held = n;
+            Ok(())
+        }
+    }
+}
+
+impl Drop for Resident {
+    fn drop(&mut self) {
+        self.gauge.sub(self.held);
+    }
+}
+
+/// A batch of joined rows: each row has one [`RelRow`] slot per FROM
+/// item (unfilled slots hold empty values).
+pub(crate) type JoinedBatch = Vec<Vec<RelRow>>;
+
+/// A pull-based operator. `next_batch` returns up to [`BATCH_ROWS`]
+/// joined rows; an empty batch signals exhaustion. `close` releases
+/// resources (propagating to children) and must be idempotent — it is
+/// also called early, e.g. by a satisfied [`LimitExec`].
+pub(crate) trait BatchOp {
+    fn next_batch(&mut self) -> Result<JoinedBatch, DbError>;
+    fn close(&mut self);
+}
+
+fn empty_joined(width: usize) -> Vec<RelRow> {
+    vec![RelRow { rid: None, values: Vec::new() }; width]
+}
+
+/// Record one produced batch on an operator's profile node.
+fn note_batch(node: &Option<ProfileNode>, rows: usize, t0: Option<Instant>) {
+    if let Some(n) = node {
+        n.add_batches(1);
+        n.add_rows(rows as u64);
+        if let Some(t0) = t0 {
+            n.add_wall(t0.elapsed());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leaf scans
+// ---------------------------------------------------------------------------
+
+/// Snapshot cursor scan over a base table. Slot bounds are fixed at
+/// open (high-water mark), the table lock is taken per batch.
+pub(crate) struct TableScanExec<'a> {
+    db: &'a Database,
+    cursor: TableCursor,
+    slot: usize,
+    width: usize,
+    node: Option<ProfileNode>,
+}
+
+impl<'a> TableScanExec<'a> {
+    pub(crate) fn new(
+        ctx: &ExecCtx<'a>,
+        table: Arc<RwLock<Table>>,
+        name: &str,
+        slot: usize,
+        width: usize,
+        parent: Option<&ProfileNode>,
+    ) -> Self {
+        let node = parent.map(|p| p.child(format!("TABLE SCAN {}", name.to_ascii_uppercase())));
+        TableScanExec { db: ctx.db, cursor: TableCursor::full(table), slot, width, node }
+    }
+}
+
+impl BatchOp for TableScanExec<'_> {
+    fn next_batch(&mut self) -> Result<JoinedBatch, DbError> {
+        let t0 = self.node.as_ref().map(|_| Instant::now());
+        let before = self.node.as_ref().map(|_| self.db.counters().snapshot());
+        let rows = self.cursor.next_batch(BATCH_ROWS);
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            // TableCursor prepends the rowid.
+            let mut it = row.into_iter();
+            let rid = it.next().and_then(|v| v.as_rowid());
+            let mut jr = empty_joined(self.width);
+            jr[self.slot] = RelRow { rid, values: it.collect() };
+            out.push(jr);
+        }
+        note_batch(&self.node, out.len(), t0);
+        if let (Some(n), Some(b)) = (&self.node, &before) {
+            n.add_metric_deltas(&self.db.counters().diff(b).pairs());
+        }
+        Ok(out)
+    }
+
+    fn close(&mut self) {}
+}
+
+enum TfState {
+    Fresh,
+    Running,
+    Closed,
+}
+
+/// Wraps an open pipelined table function, forwarding its
+/// `fetch(max_rows)` batches with no intermediate collection — the
+/// direct streaming path the paper's interface was designed for.
+pub(crate) struct TableFunctionScanExec<'a> {
+    db: &'a Database,
+    func: Box<dyn TableFunction>,
+    state: TfState,
+    slot: usize,
+    width: usize,
+    node: Option<ProfileNode>,
+    resident: Resident,
+}
+
+impl<'a> TableFunctionScanExec<'a> {
+    pub(crate) fn new(
+        ctx: &ExecCtx<'a>,
+        mut func: Box<dyn TableFunction>,
+        name: &str,
+        slot: usize,
+        width: usize,
+        parent: Option<&ProfileNode>,
+    ) -> Self {
+        let node =
+            parent.map(|p| p.child(format!("TABLE FUNCTION SCAN {}", name.to_ascii_uppercase())));
+        if let Some(n) = &node {
+            func.attach_profile(n);
+        }
+        let resident = ctx.resident(format!("TABLE FUNCTION SCAN {name}"));
+        TableFunctionScanExec {
+            db: ctx.db,
+            func,
+            state: TfState::Fresh,
+            slot,
+            width,
+            node,
+            resident,
+        }
+    }
+}
+
+impl BatchOp for TableFunctionScanExec<'_> {
+    fn next_batch(&mut self) -> Result<JoinedBatch, DbError> {
+        if matches!(self.state, TfState::Closed) {
+            return Ok(Vec::new());
+        }
+        let t0 = self.node.as_ref().map(|_| Instant::now());
+        let before = self.node.as_ref().map(|_| self.db.counters().snapshot());
+        if matches!(self.state, TfState::Fresh) {
+            self.state = TfState::Running;
+            if let Err(e) = self.func.start() {
+                // Release anything start() acquired before failing (a
+                // parallel executor may have launched slaves already).
+                self.close();
+                return Err(e.into());
+            }
+        }
+        let rows = match self.func.fetch(BATCH_ROWS) {
+            Ok(b) => b,
+            Err(e) => {
+                self.close();
+                return Err(e.into());
+            }
+        };
+        if rows.is_empty() {
+            self.close();
+            return Ok(Vec::new());
+        }
+        // The batch in flight is the scan's only resident state.
+        self.resident.set(rows.len() as u64)?;
+        let mut out = Vec::with_capacity(rows.len());
+        for values in rows {
+            let mut jr = empty_joined(self.width);
+            jr[self.slot] = RelRow { rid: None, values };
+            out.push(jr);
+        }
+        note_batch(&self.node, out.len(), t0);
+        if let (Some(n), Some(b)) = (&self.node, &before) {
+            n.add_metric_deltas(&self.db.counters().diff(b).pairs());
+        }
+        Ok(out)
+    }
+
+    fn close(&mut self) {
+        if !matches!(self.state, TfState::Closed) {
+            self.func.close();
+            self.state = TfState::Closed;
+            let _ = self.resident.set(0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filter
+// ---------------------------------------------------------------------------
+
+enum Prefilter {
+    /// Evaluate the predicate functionally per row.
+    Functional,
+    /// Keep rows of relation `rel` whose rowid is in the set (computed
+    /// once at open from a domain-index evaluation or SDO_NN ranking).
+    RowidSet { rel: usize, keep: HashSet<RowId> },
+}
+
+/// Per-batch predicate evaluation. Index-assisted paths (window-query
+/// prefilter, SDO_NN top-k ranking) run once at open as a
+/// `FilterExec`-level rewrite into rowid keep-sets; everything else
+/// evaluates functionally per row.
+pub(crate) struct FilterExec<'a> {
+    db: &'a Database,
+    child: Box<dyn BatchOp + 'a>,
+    metas: Arc<Vec<RelMeta>>,
+    spatial: Vec<SpatialPred>,
+    residual: Vec<Predicate>,
+    prefilters: Option<Vec<Prefilter>>,
+    node: Option<ProfileNode>,
+}
+
+impl<'a> FilterExec<'a> {
+    pub(crate) fn new(
+        child: Box<dyn BatchOp + 'a>,
+        ctx: &ExecCtx<'a>,
+        metas: Arc<Vec<RelMeta>>,
+        spatial: Vec<SpatialPred>,
+        residual: Vec<Predicate>,
+        node: Option<ProfileNode>,
+    ) -> Self {
+        FilterExec { db: ctx.db, child, metas, spatial, residual, prefilters: None, node }
+    }
+
+    fn build_prefilters(&mut self) -> Result<(), DbError> {
+        let mut out = Vec::with_capacity(self.spatial.len());
+        for p in &self.spatial {
+            let SpatialOperand::Const(qg) = &p.other else {
+                out.push(Prefilter::Functional);
+                continue;
+            };
+            let (ri, ci) = p.target;
+            let m = &self.metas[ri];
+            let index = m.table_name.as_deref().and_then(|t| self.db.index_on(t, &m.columns[ci]));
+            if let Some((_, inst)) = index {
+                let mut args = vec![Value::Geometry(Arc::clone(qg))];
+                args.extend(p.extra.iter().cloned());
+                let call = OperatorCall { name: p.name.clone(), args };
+                let keep: HashSet<RowId> = inst.read().evaluate(&call)?.into_iter().collect();
+                out.push(Prefilter::RowidSet { rel: ri, keep });
+            } else if p.name.eq_ignore_ascii_case("SDO_NN") {
+                // Functional k-NN without an index: rank the relation's
+                // rows by exact distance and keep the top k.
+                let table = m.table.clone().ok_or_else(|| {
+                    DbError::Plan("SDO_NN needs a base table or a domain index".into())
+                })?;
+                let k = p
+                    .extra
+                    .first()
+                    .and_then(|v| v.as_integer())
+                    .filter(|&k| k >= 1)
+                    .ok_or_else(|| DbError::Plan("SDO_NN needs a result count".into()))?
+                    as usize;
+                let mut ranked: Vec<(f64, RowId)> = Vec::new();
+                let mut cursor = TableCursor::full(table);
+                loop {
+                    let rows = cursor.next_batch(BATCH_ROWS);
+                    if rows.is_empty() {
+                        break;
+                    }
+                    for row in rows {
+                        let Some(rid) = row[0].as_rowid() else { continue };
+                        if let Some(g) = row.get(ci + 1).and_then(|v| v.as_geometry()) {
+                            ranked.push((sdo_geom::distance(g, qg), rid));
+                        }
+                    }
+                }
+                ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                let keep: HashSet<RowId> = ranked.into_iter().take(k).map(|(_, r)| r).collect();
+                out.push(Prefilter::RowidSet { rel: ri, keep });
+            } else {
+                out.push(Prefilter::Functional);
+            }
+        }
+        self.prefilters = Some(out);
+        Ok(())
+    }
+
+    fn row_passes(&self, jr: &[RelRow]) -> Result<bool, DbError> {
+        let pre = self.prefilters.as_ref().expect("prefilters built");
+        for (p, f) in self.spatial.iter().zip(pre) {
+            let pass = match f {
+                Prefilter::RowidSet { rel, keep } => {
+                    jr[*rel].rid.map(|r| keep.contains(&r)).unwrap_or(false)
+                }
+                Prefilter::Functional => match &p.other {
+                    SpatialOperand::Column(ir, ic) => {
+                        let (or, oc) = p.target;
+                        match (jr[or].values.get(oc), jr[*ir].values.get(*ic)) {
+                            (Some(a), Some(b)) => match (a.as_geometry(), b.as_geometry()) {
+                                (Some(ga), Some(gb)) => {
+                                    eval_spatial_fn(&p.name, ga, gb, &p.extra).unwrap_or(false)
+                                }
+                                _ => false,
+                            },
+                            _ => false,
+                        }
+                    }
+                    SpatialOperand::Const(qg) => {
+                        let (ri, ci) = p.target;
+                        jr[ri].values.get(ci).and_then(|v| v.as_geometry()).is_some_and(|g| {
+                            eval_spatial_fn(&p.name, g, qg, &p.extra).unwrap_or(false)
+                        })
+                    }
+                },
+            };
+            if !pass {
+                return Ok(false);
+            }
+        }
+        for r in &self.residual {
+            if !eval_predicate(self.db, &self.metas, jr, r)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl BatchOp for FilterExec<'_> {
+    fn next_batch(&mut self) -> Result<JoinedBatch, DbError> {
+        if self.prefilters.is_none() {
+            let t0 = self.node.as_ref().map(|_| Instant::now());
+            let before = self.node.as_ref().map(|_| self.db.counters().snapshot());
+            self.build_prefilters()?;
+            if let (Some(n), Some(b)) = (&self.node, &before) {
+                n.add_metric_deltas(&self.db.counters().diff(b).pairs());
+                if let Some(t0) = t0 {
+                    n.add_wall(t0.elapsed());
+                }
+            }
+        }
+        loop {
+            let batch = self.child.next_batch()?;
+            if batch.is_empty() {
+                return Ok(Vec::new());
+            }
+            let t0 = self.node.as_ref().map(|_| Instant::now());
+            let before = self.node.as_ref().map(|_| self.db.counters().snapshot());
+            let mut out = Vec::with_capacity(batch.len());
+            for jr in batch {
+                if self.row_passes(&jr)? {
+                    out.push(jr);
+                }
+            }
+            note_batch(&self.node, out.len(), t0);
+            if let (Some(n), Some(b)) = (&self.node, &before) {
+                n.add_metric_deltas(&self.db.counters().diff(b).pairs());
+            }
+            if !out.is_empty() {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+/// The paper's table-function join, streaming: pulls rowid pairs from
+/// the subquery pipeline (typically a `TABLE(SPATIAL_JOIN(...))` scan)
+/// batch-by-batch and fetches the paired base rows as they arrive, so
+/// the pair stream is never materialized.
+pub(crate) struct RowidSemiJoinExec<'a> {
+    db: &'a Database,
+    sub: SelectStream<'a>,
+    l_rel: usize,
+    r_rel: usize,
+    lt: Arc<RwLock<Table>>,
+    rt: Arc<RwLock<Table>>,
+    seen: HashSet<(RowId, RowId)>,
+    width: usize,
+    node: Option<ProfileNode>,
+    resident: Resident,
+}
+
+impl<'a> RowidSemiJoinExec<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        ctx: &ExecCtx<'a>,
+        sub: SelectStream<'a>,
+        l_rel: usize,
+        r_rel: usize,
+        lt: Arc<RwLock<Table>>,
+        rt: Arc<RwLock<Table>>,
+        width: usize,
+        node: Option<ProfileNode>,
+    ) -> Result<Self, DbError> {
+        if sub.columns.len() < 2 {
+            return Err(DbError::Plan("rowid-pair subquery must project two rowid columns".into()));
+        }
+        let resident = ctx.resident("ROWID-PAIR SEMIJOIN");
+        Ok(RowidSemiJoinExec {
+            db: ctx.db,
+            sub,
+            l_rel,
+            r_rel,
+            lt,
+            rt,
+            seen: HashSet::new(),
+            width,
+            node,
+            resident,
+        })
+    }
+}
+
+impl BatchOp for RowidSemiJoinExec<'_> {
+    fn next_batch(&mut self) -> Result<JoinedBatch, DbError> {
+        loop {
+            let rows = self.sub.next_rows()?;
+            if rows.is_empty() {
+                return Ok(Vec::new());
+            }
+            let t0 = self.node.as_ref().map(|_| Instant::now());
+            let before = self.node.as_ref().map(|_| self.db.counters().snapshot());
+            let mut out = Vec::with_capacity(rows.len());
+            for row in &rows {
+                let (Some(lrid), Some(rrid)) = (row[0].as_rowid(), row[1].as_rowid()) else {
+                    return Err(DbError::Plan(
+                        "rowid-pair subquery produced non-rowid values".into(),
+                    ));
+                };
+                if !self.seen.insert((lrid, rrid)) {
+                    continue; // IN semantics deduplicate
+                }
+                // Table::get per pair deliberately charges the fetch
+                // I/O, mirroring the semijoin's real cost profile; the
+                // GeomCache inside the join already bounded the working
+                // set upstream.
+                let lvals = self.lt.read().get(lrid)?;
+                let rvals = self.rt.read().get(rrid)?;
+                let mut jr = empty_joined(self.width);
+                jr[self.l_rel] = RelRow { rid: Some(lrid), values: lvals.to_vec() };
+                jr[self.r_rel] = RelRow { rid: Some(rrid), values: rvals.to_vec() };
+                out.push(jr);
+            }
+            // Only the batch in flight is resident; the seen-set holds
+            // rowid pairs, not rows.
+            self.resident.set(out.len() as u64)?;
+            note_batch(&self.node, out.len(), t0);
+            if let (Some(n), Some(b)) = (&self.node, &before) {
+                n.add_metric_deltas(&self.db.counters().diff(b).pairs());
+            }
+            if !out.is_empty() {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.sub.close();
+        let _ = self.resident.set(0);
+    }
+}
+
+pub(crate) enum InnerSide<'a> {
+    /// Probe the inner table's domain index per outer row.
+    Probe { table: Arc<RwLock<Table>>, index: IndexHandle },
+    /// No index: materialize the inner side once (charged), then
+    /// evaluate the predicate functionally per outer row.
+    Build { scan: Option<Box<dyn BatchOp + 'a>>, rows: Vec<(Option<RowId>, Row)>, built: bool },
+}
+
+/// Nested-loop spatial join: the outer side streams in batches, the
+/// inner side is an index probe (the paper's baseline join strategy) or
+/// a batched build when no index exists.
+pub(crate) struct NestedLoopJoinExec<'a> {
+    db: &'a Database,
+    outer: Box<dyn BatchOp + 'a>,
+    pred: SpatialPred,
+    outer_rel: usize,
+    outer_col: usize,
+    inner_rel: usize,
+    inner_col: usize,
+    inner: InnerSide<'a>,
+    width: usize,
+    queue: VecDeque<Vec<RelRow>>,
+    outer_done: bool,
+    node: Option<ProfileNode>,
+    resident: Resident,
+    build_resident: Resident,
+}
+
+impl<'a> NestedLoopJoinExec<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        ctx: &ExecCtx<'a>,
+        outer: Box<dyn BatchOp + 'a>,
+        pred: SpatialPred,
+        inner: InnerSide<'a>,
+        width: usize,
+        node: Option<ProfileNode>,
+    ) -> Result<Self, DbError> {
+        let (outer_rel, outer_col) = pred.target;
+        let SpatialOperand::Column(inner_rel, inner_col) = pred.other else {
+            return Err(DbError::Plan("nested-loop join needs a column-column predicate".into()));
+        };
+        if outer_rel == inner_rel {
+            return Err(DbError::Plan("spatial join requires two distinct tables".into()));
+        }
+        Ok(NestedLoopJoinExec {
+            db: ctx.db,
+            outer,
+            pred,
+            outer_rel,
+            outer_col,
+            inner_rel,
+            inner_col,
+            inner,
+            width,
+            queue: VecDeque::new(),
+            outer_done: false,
+            node,
+            resident: ctx.resident("NESTED LOOP JOIN"),
+            build_resident: ctx.resident("NESTED LOOP JOIN build side"),
+        })
+    }
+
+    /// Open an index-probing inner side.
+    pub(crate) fn probe(table: Arc<RwLock<Table>>, index: IndexHandle) -> InnerSide<'a> {
+        InnerSide::Probe { table, index }
+    }
+
+    /// Open a materializing inner side fed by `scan`.
+    pub(crate) fn build(scan: Box<dyn BatchOp + 'a>) -> InnerSide<'a> {
+        InnerSide::Build { scan: Some(scan), rows: Vec::new(), built: false }
+    }
+
+    fn ensure_built(&mut self) -> Result<(), DbError> {
+        let InnerSide::Build { scan, rows, built } = &mut self.inner else { return Ok(()) };
+        if *built {
+            return Ok(());
+        }
+        let mut op = scan.take().expect("build scan present before build");
+        loop {
+            let batch = op.next_batch()?;
+            if batch.is_empty() {
+                break;
+            }
+            self.build_resident.add(batch.len() as u64)?;
+            for mut jr in batch {
+                let r = std::mem::replace(
+                    &mut jr[self.inner_rel],
+                    RelRow { rid: None, values: Vec::new() },
+                );
+                rows.push((r.rid, r.values));
+            }
+        }
+        op.close();
+        *built = true;
+        Ok(())
+    }
+
+    fn join_outer_row(&mut self, jr: &[RelRow]) -> Result<(), DbError> {
+        let orow = &jr[self.outer_rel];
+        let Some(g) = orow.values.get(self.outer_col).and_then(|v| v.as_geometry()) else {
+            return Ok(());
+        };
+        let g = Arc::clone(g);
+        match &self.inner {
+            InnerSide::Probe { table, index } => {
+                // The SQL predicate is OP(outer, inner, extra); the
+                // index evaluates OP(inner_data, query, extra), so
+                // asymmetric SDO_RELATE masks are transposed.
+                let mut args = vec![Value::Geometry(Arc::clone(&g))];
+                args.extend(crate::exec::transpose_spatial_extra(
+                    &self.pred.name,
+                    &self.pred.extra,
+                )?);
+                let call = OperatorCall { name: self.pred.name.clone(), args };
+                let rids = index.read().evaluate(&call)?;
+                for rid in rids {
+                    let ivals = table.read().get(rid)?;
+                    let mut out = empty_joined(self.width);
+                    out[self.outer_rel] = orow.clone();
+                    out[self.inner_rel] = RelRow { rid: Some(rid), values: ivals.to_vec() };
+                    self.queue.push_back(out);
+                }
+            }
+            InnerSide::Build { rows, .. } => {
+                for (irid, ivals) in rows {
+                    let keep = ivals
+                        .get(self.inner_col)
+                        .and_then(|v| v.as_geometry())
+                        .map(|ig| {
+                            eval_spatial_fn(&self.pred.name, &g, ig, &self.pred.extra)
+                                .unwrap_or(false)
+                        })
+                        .unwrap_or(false);
+                    if keep {
+                        let mut out = empty_joined(self.width);
+                        out[self.outer_rel] = orow.clone();
+                        out[self.inner_rel] = RelRow { rid: *irid, values: ivals.clone() };
+                        self.queue.push_back(out);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl BatchOp for NestedLoopJoinExec<'_> {
+    fn next_batch(&mut self) -> Result<JoinedBatch, DbError> {
+        loop {
+            if !self.queue.is_empty() {
+                let n = self.queue.len().min(BATCH_ROWS);
+                let out: JoinedBatch = self.queue.drain(..n).collect();
+                self.resident.set(self.queue.len() as u64)?;
+                note_batch(&self.node, out.len(), None);
+                return Ok(out);
+            }
+            if self.outer_done {
+                return Ok(Vec::new());
+            }
+            let obatch = self.outer.next_batch()?;
+            if obatch.is_empty() {
+                self.outer_done = true;
+                continue;
+            }
+            let t0 = self.node.as_ref().map(|_| Instant::now());
+            let before = self.node.as_ref().map(|_| self.db.counters().snapshot());
+            self.ensure_built()?;
+            for jr in &obatch {
+                self.join_outer_row(jr)?;
+            }
+            self.resident.set(self.queue.len() as u64)?;
+            if let Some(n) = &self.node {
+                if let Some(t0) = t0 {
+                    n.add_wall(t0.elapsed());
+                }
+                if let Some(b) = &before {
+                    n.add_metric_deltas(&self.db.counters().diff(b).pairs());
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.outer.close();
+        if let InnerSide::Build { scan, rows, .. } = &mut self.inner {
+            if let Some(s) = scan {
+                s.close();
+            }
+            rows.clear();
+        }
+        self.queue.clear();
+        let _ = self.resident.set(0);
+        let _ = self.build_resident.set(0);
+    }
+}
+
+/// Guarded cartesian product: the first relation streams, the rest are
+/// materialized once (charged to the gauge, so runaway products fail
+/// with the `max_resident_rows` budget instead of a hard-coded cap).
+pub(crate) struct CrossJoinExec<'a> {
+    first: Box<dyn BatchOp + 'a>,
+    rest: Vec<(usize, Box<dyn BatchOp + 'a>)>,
+    mats: Vec<(usize, Vec<RelRow>)>,
+    built: bool,
+    queue: VecDeque<Vec<RelRow>>,
+    first_done: bool,
+    node: Option<ProfileNode>,
+    resident: Resident,
+    mat_resident: Resident,
+}
+
+impl<'a> CrossJoinExec<'a> {
+    pub(crate) fn new(
+        ctx: &ExecCtx<'a>,
+        first: Box<dyn BatchOp + 'a>,
+        rest: Vec<(usize, Box<dyn BatchOp + 'a>)>,
+        node: Option<ProfileNode>,
+    ) -> Self {
+        CrossJoinExec {
+            first,
+            rest,
+            mats: Vec::new(),
+            built: false,
+            queue: VecDeque::new(),
+            first_done: false,
+            node,
+            resident: ctx.resident("CARTESIAN PRODUCT"),
+            mat_resident: ctx.resident("CARTESIAN PRODUCT build side"),
+        }
+    }
+
+    fn ensure_built(&mut self) -> Result<(), DbError> {
+        if self.built {
+            return Ok(());
+        }
+        for (slot, mut op) in std::mem::take(&mut self.rest) {
+            let mut rows = Vec::new();
+            loop {
+                let batch = op.next_batch()?;
+                if batch.is_empty() {
+                    break;
+                }
+                self.mat_resident.add(batch.len() as u64)?;
+                for mut jr in batch {
+                    rows.push(std::mem::replace(
+                        &mut jr[slot],
+                        RelRow { rid: None, values: Vec::new() },
+                    ));
+                }
+            }
+            op.close();
+            self.mats.push((slot, rows));
+        }
+        self.built = true;
+        Ok(())
+    }
+
+    fn expand(&mut self, jr: Vec<RelRow>) -> Result<(), DbError> {
+        // Depth-first over the materialized relations, rightmost
+        // innermost — the same order the materializing executor
+        // produced.
+        let mut acc: Vec<Vec<RelRow>> = vec![jr];
+        for (slot, rows) in &self.mats {
+            let mut next = Vec::with_capacity(acc.len() * rows.len());
+            for prefix in &acc {
+                for r in rows {
+                    let mut row = prefix.clone();
+                    row[*slot] = r.clone();
+                    next.push(row);
+                }
+            }
+            acc = next;
+            self.resident.set((self.queue.len() + acc.len()) as u64)?;
+        }
+        self.queue.extend(acc);
+        Ok(())
+    }
+}
+
+impl BatchOp for CrossJoinExec<'_> {
+    fn next_batch(&mut self) -> Result<JoinedBatch, DbError> {
+        loop {
+            if !self.queue.is_empty() {
+                let n = self.queue.len().min(BATCH_ROWS);
+                let out: JoinedBatch = self.queue.drain(..n).collect();
+                self.resident.set(self.queue.len() as u64)?;
+                note_batch(&self.node, out.len(), None);
+                return Ok(out);
+            }
+            if self.first_done {
+                return Ok(Vec::new());
+            }
+            let batch = self.first.next_batch()?;
+            if batch.is_empty() {
+                self.first_done = true;
+                continue;
+            }
+            let t0 = self.node.as_ref().map(|_| Instant::now());
+            self.ensure_built()?;
+            for jr in batch {
+                self.expand(jr)?;
+            }
+            self.resident.set(self.queue.len() as u64)?;
+            if let (Some(n), Some(t0)) = (&self.node, t0) {
+                n.add_wall(t0.elapsed());
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.first.close();
+        for (_, op) in &mut self.rest {
+            op.close();
+        }
+        self.mats.clear();
+        self.queue.clear();
+        let _ = self.resident.set(0);
+        let _ = self.mat_resident.set(0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sort / limit
+// ---------------------------------------------------------------------------
+
+/// Blocking ORDER BY: drains the child, sorts by the evaluated keys,
+/// then re-emits in batches, releasing gauge charge as rows drain.
+pub(crate) struct SortExec<'a> {
+    db: &'a Database,
+    child: Box<dyn BatchOp + 'a>,
+    metas: Arc<Vec<RelMeta>>,
+    keys: Vec<OrderKey>,
+    sorted: Option<VecDeque<Vec<RelRow>>>,
+    node: Option<ProfileNode>,
+    resident: Resident,
+}
+
+impl<'a> SortExec<'a> {
+    pub(crate) fn new(
+        child: Box<dyn BatchOp + 'a>,
+        ctx: &ExecCtx<'a>,
+        metas: Arc<Vec<RelMeta>>,
+        keys: Vec<OrderKey>,
+        node: Option<ProfileNode>,
+    ) -> Self {
+        let resident = ctx.resident("SORT");
+        SortExec { db: ctx.db, child, metas, keys, sorted: None, node, resident }
+    }
+}
+
+impl BatchOp for SortExec<'_> {
+    fn next_batch(&mut self) -> Result<JoinedBatch, DbError> {
+        if self.sorted.is_none() {
+            let t0 = self.node.as_ref().map(|_| Instant::now());
+            let mut keyed: Vec<(Vec<Value>, Vec<RelRow>)> = Vec::new();
+            loop {
+                let batch = self.child.next_batch()?;
+                if batch.is_empty() {
+                    break;
+                }
+                self.resident.add(batch.len() as u64)?;
+                for jr in batch {
+                    let ks = self
+                        .keys
+                        .iter()
+                        .map(|k| crate::exec::eval_expr(self.db, &self.metas, &jr, &k.expr))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    keyed.push((ks, jr));
+                }
+            }
+            let keys = &self.keys;
+            keyed.sort_by(|(a, _), (b, _)| {
+                for (i, key) in keys.iter().enumerate() {
+                    let ord = a[i].sql_cmp(&b[i]);
+                    let ord = if key.descending { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            self.sorted = Some(keyed.into_iter().map(|(_, r)| r).collect());
+            if let (Some(n), Some(t0)) = (&self.node, t0) {
+                n.add_wall(t0.elapsed());
+            }
+        }
+        let buf = self.sorted.as_mut().expect("sorted buffer");
+        let n = buf.len().min(BATCH_ROWS);
+        let out: JoinedBatch = buf.drain(..n).collect();
+        self.resident.set(buf.len() as u64)?;
+        if !out.is_empty() {
+            note_batch(&self.node, out.len(), None);
+        }
+        Ok(out)
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+        self.sorted = None;
+        let _ = self.resident.set(0);
+    }
+}
+
+/// `LIMIT n` with genuine early termination: the moment the quota is
+/// satisfied the child's `close()` runs, which propagates down the
+/// tree — a streaming `TABLE(SPATIAL_JOIN(...))` scan stops its R-tree
+/// traversal mid-join instead of computing rows nobody will read.
+pub(crate) struct LimitExec<'a> {
+    child: Box<dyn BatchOp + 'a>,
+    remaining: usize,
+    child_closed: bool,
+    node: Option<ProfileNode>,
+}
+
+impl<'a> LimitExec<'a> {
+    pub(crate) fn new(child: Box<dyn BatchOp + 'a>, n: usize, node: Option<ProfileNode>) -> Self {
+        LimitExec { child, remaining: n, child_closed: false, node }
+    }
+}
+
+impl BatchOp for LimitExec<'_> {
+    fn next_batch(&mut self) -> Result<JoinedBatch, DbError> {
+        if self.remaining == 0 {
+            self.close();
+            return Ok(Vec::new());
+        }
+        let mut batch = self.child.next_batch()?;
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        if batch.len() > self.remaining {
+            batch.truncate(self.remaining);
+        }
+        self.remaining -= batch.len();
+        if self.remaining == 0 {
+            // Early termination: stop the producers now, not at drop.
+            self.close();
+        }
+        note_batch(&self.node, batch.len(), None);
+        Ok(batch)
+    }
+
+    fn close(&mut self) {
+        if !self.child_closed {
+            self.child.close();
+            self.child_closed = true;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline builder and driver
+// ---------------------------------------------------------------------------
+
+enum SourceSlot {
+    Table { name: String, table: Arc<RwLock<Table>> },
+    Tf { name: String, func: Box<dyn TableFunction> },
+    Taken,
+}
+
+/// A built SELECT pipeline: the operator tree plus the projection that
+/// turns joined rows into result rows. Used both as the top-level
+/// driver and as the streaming subquery feed of
+/// [`RowidSemiJoinExec`].
+pub(crate) struct SelectStream<'a> {
+    db: &'a Database,
+    root: Box<dyn BatchOp + 'a>,
+    metas: Arc<Vec<RelMeta>>,
+    projection: Vec<SelectItem>,
+    /// Output column names.
+    pub(crate) columns: Vec<String>,
+    count_star: bool,
+}
+
+impl SelectStream<'_> {
+    /// Next batch of projected result rows; empty means exhausted.
+    pub(crate) fn next_rows(&mut self) -> Result<Vec<Row>, DbError> {
+        let batch = self.root.next_batch()?;
+        batch.iter().map(|jr| project_row(self.db, &self.metas, jr, &self.projection)).collect()
+    }
+
+    /// Close the pipeline (idempotent, propagates to every operator).
+    pub(crate) fn close(&mut self) {
+        self.root.close();
+    }
+
+    /// Drive the pipeline to completion into a [`QueryResult`]. The
+    /// result buffer itself is the client's, not the pipeline's, so it
+    /// is not charged against `max_resident_rows`.
+    pub(crate) fn run(mut self) -> Result<QueryResult, DbError> {
+        let res = self.run_inner();
+        self.close();
+        res
+    }
+
+    fn run_inner(&mut self) -> Result<QueryResult, DbError> {
+        if self.count_star {
+            let mut n: i64 = 0;
+            loop {
+                let batch = self.root.next_batch()?;
+                if batch.is_empty() {
+                    break;
+                }
+                n += batch.len() as i64;
+            }
+            return Ok(QueryResult {
+                columns: self.columns.clone(),
+                rows: vec![vec![Value::Integer(n)]],
+            });
+        }
+        let mut rows = Vec::new();
+        loop {
+            let batch = self.next_rows()?;
+            if batch.is_empty() {
+                break;
+            }
+            rows.extend(batch);
+        }
+        Ok(QueryResult { columns: self.columns.clone(), rows })
+    }
+}
+
+fn make_scan<'a>(
+    ctx: &ExecCtx<'a>,
+    sources: &mut [SourceSlot],
+    slot: usize,
+    width: usize,
+    parent: Option<&ProfileNode>,
+) -> Result<Box<dyn BatchOp + 'a>, DbError> {
+    match std::mem::replace(&mut sources[slot], SourceSlot::Taken) {
+        SourceSlot::Table { name, table } => {
+            Ok(Box::new(TableScanExec::new(ctx, table, &name, slot, width, parent)))
+        }
+        SourceSlot::Tf { name, func } => {
+            Ok(Box::new(TableFunctionScanExec::new(ctx, func, &name, slot, width, parent)))
+        }
+        SourceSlot::Taken => Err(DbError::Plan("FROM item used twice in plan".into())),
+    }
+}
+
+/// Build the streaming operator tree for a SELECT. Profile nodes are
+/// created top-down (LIMIT → SORT → FILTER → join → scans) so the
+/// `EXPLAIN ANALYZE` tree mirrors the operator tree.
+pub(crate) fn build_select_stream<'a>(
+    ctx: &ExecCtx<'a>,
+    sel: &Select,
+    parent: Option<&ProfileNode>,
+) -> Result<SelectStream<'a>, DbError> {
+    let db = ctx.db;
+    let width = sel.from.len();
+
+    // Bind FROM items lazily: resolve schemas and construct (but do not
+    // start) table functions. CURSOR(...) arguments are inherently
+    // materialized — they are evaluated here, through the streaming
+    // executor, sharing this statement's gauge.
+    let mut metas_v: Vec<RelMeta> = Vec::with_capacity(width);
+    let mut sources: Vec<SourceSlot> = Vec::with_capacity(width);
+    for item in &sel.from {
+        match item {
+            FromItem::Table { name, .. } => {
+                let table = db.table(name)?;
+                let columns: Vec<String> =
+                    table.read().schema().columns().iter().map(|c| c.name.clone()).collect();
+                metas_v.push(RelMeta {
+                    binding: item.binding().to_ascii_uppercase(),
+                    columns,
+                    table: Some(Arc::clone(&table)),
+                    table_name: Some(name.to_ascii_uppercase()),
+                });
+                sources.push(SourceSlot::Table { name: name.clone(), table });
+            }
+            FromItem::TableFunction { name, args, .. } => {
+                let mut tf_args = Vec::with_capacity(args.len());
+                for a in args {
+                    match a {
+                        TfArgAst::Expr(e) => {
+                            tf_args.push(TfArg::Scalar(crate::exec::eval_const(e)?))
+                        }
+                        TfArgAst::Cursor(sub) => {
+                            tf_args.push(TfArg::Cursor(run_subselect(ctx, sub)?.rows))
+                        }
+                    }
+                }
+                let inst = db.make_table_function(name, tf_args)?;
+                metas_v.push(RelMeta {
+                    binding: item.binding().to_ascii_uppercase(),
+                    columns: inst.columns.iter().map(|c| c.to_ascii_uppercase()).collect(),
+                    table: None,
+                    table_name: None,
+                });
+                sources.push(SourceSlot::Tf { name: name.clone(), func: inst.func });
+            }
+        }
+    }
+    let metas = Arc::new(metas_v);
+
+    // Classify conjuncts.
+    let op_names = db.operator_names();
+    let mut rowid_pairs: Vec<&Predicate> = Vec::new();
+    let mut spatial: Vec<SpatialPred> = Vec::new();
+    let mut residual: Vec<Predicate> = Vec::new();
+    for p in &sel.where_clause {
+        match p {
+            Predicate::RowidPairIn { .. } => rowid_pairs.push(p),
+            Predicate::Compare {
+                left: crate::sql::ast::Expr::FnCall { name, args },
+                op,
+                right,
+            } if *op == crate::sql::ast::CmpOp::Eq
+                && op_names.iter().any(|o| o.eq_ignore_ascii_case(name))
+                && matches!(right, crate::sql::ast::Expr::Literal(v) if v.as_text() == Some("TRUE")) =>
+            {
+                spatial.push(classify_spatial(&metas, name, args)?)
+            }
+            other => residual.push(other.clone()),
+        }
+    }
+
+    // Validate the projection up front so errors surface before any
+    // operator starts.
+    let columns = projection_columns(&metas, &sel.projection)?;
+    let count_star = sel.projection == [SelectItem::CountStar];
+
+    // Profile nodes, created top-down so the rendered tree mirrors the
+    // operator tree: LIMIT → SORT → FILTER → join strategy → scans.
+    let limit_node = sel.limit.and_then(|n| parent.map(|p| p.child(format!("LIMIT {n}"))));
+    let mut anchor: Option<ProfileNode> = limit_node.clone().or_else(|| parent.cloned());
+    let sort_node = (!sel.order_by.is_empty())
+        .then(|| anchor.as_ref().map(|p| p.child(format!("SORT [{} key(s)]", sel.order_by.len()))))
+        .flatten();
+    if sort_node.is_some() {
+        anchor = sort_node.clone();
+    }
+    let has_filter_stage;
+
+    // Join strategy.
+    let mut root: Box<dyn BatchOp + 'a>;
+    if let Some(Predicate::RowidPairIn { left, right, subquery }) = rowid_pairs.first() {
+        has_filter_stage = !spatial.is_empty() || !residual.is_empty();
+        let filter_node =
+            has_filter_stage.then(|| anchor.as_ref().map(|p| p.child("FILTER"))).flatten();
+        let join_anchor = filter_node.clone().or(anchor.clone());
+        if width != 2 {
+            return Err(DbError::Plan("rowid-pair IN requires exactly two tables".into()));
+        }
+        let (l_rel, l_col) = resolve_column_meta(&metas, left)?;
+        let (r_rel, r_col) = resolve_column_meta(&metas, right)?;
+        if l_col != usize::MAX || r_col != usize::MAX {
+            return Err(DbError::Plan("rowid-pair IN requires ROWID references".into()));
+        }
+        if l_rel == r_rel {
+            return Err(DbError::Plan("rowid pair must reference two distinct tables".into()));
+        }
+        let lt = metas[l_rel]
+            .table
+            .clone()
+            .ok_or_else(|| DbError::Plan("rowid pair over non-table".into()))?;
+        let rt = metas[r_rel]
+            .table
+            .clone()
+            .ok_or_else(|| DbError::Plan("rowid pair over non-table".into()))?;
+        let node = join_anchor.as_ref().map(|p| p.child("ROWID-PAIR SEMIJOIN"));
+        let sub = build_select_stream(ctx, subquery, node.as_ref())?;
+        root = Box::new(RowidSemiJoinExec::new(ctx, sub, l_rel, r_rel, lt, rt, width, node)?);
+        if has_filter_stage {
+            root = Box::new(FilterExec::new(
+                root,
+                ctx,
+                Arc::clone(&metas),
+                spatial,
+                residual,
+                filter_node,
+            ));
+        }
+    } else if let Some(jpos) = spatial.iter().position(|s| s.is_join()) {
+        let jp = spatial.remove(jpos);
+        has_filter_stage = !spatial.is_empty() || !residual.is_empty();
+        let filter_node =
+            has_filter_stage.then(|| anchor.as_ref().map(|p| p.child("FILTER"))).flatten();
+        let join_anchor = filter_node.clone().or(anchor.clone());
+        let node = join_anchor.as_ref().map(|p| p.child(format!("NESTED LOOP JOIN ({})", jp.name)));
+        let (outer_rel, _) = jp.target;
+        let SpatialOperand::Column(inner_rel, inner_col) = jp.other else { unreachable!() };
+        let outer = make_scan(ctx, &mut sources, outer_rel, width, node.as_ref())?;
+        let im = &metas[inner_rel];
+        let index = im.table_name.as_deref().and_then(|t| db.index_on(t, &im.columns[inner_col]));
+        let inner = match (index, im.table.clone()) {
+            (Some((_, inst)), Some(table)) => NestedLoopJoinExec::probe(table, inst),
+            _ => NestedLoopJoinExec::build(make_scan(
+                ctx,
+                &mut sources,
+                inner_rel,
+                width,
+                node.as_ref(),
+            )?),
+        };
+        root = Box::new(NestedLoopJoinExec::new(ctx, outer, jp, inner, width, node)?);
+        if has_filter_stage {
+            root = Box::new(FilterExec::new(
+                root,
+                ctx,
+                Arc::clone(&metas),
+                spatial,
+                residual,
+                filter_node,
+            ));
+        }
+    } else {
+        has_filter_stage = !spatial.is_empty() || !residual.is_empty();
+        let filter_node =
+            has_filter_stage.then(|| anchor.as_ref().map(|p| p.child("FILTER"))).flatten();
+        let scan_anchor = filter_node.clone().or(anchor.clone());
+        if width == 1 {
+            root = make_scan(ctx, &mut sources, 0, width, scan_anchor.as_ref())?;
+        } else {
+            let node = scan_anchor.as_ref().map(|p| p.child("CARTESIAN PRODUCT"));
+            let first = make_scan(ctx, &mut sources, 0, width, node.as_ref())?;
+            let mut rest = Vec::with_capacity(width - 1);
+            for slot in 1..width {
+                rest.push((slot, make_scan(ctx, &mut sources, slot, width, node.as_ref())?));
+            }
+            root = Box::new(CrossJoinExec::new(ctx, first, rest, node));
+        }
+        if has_filter_stage {
+            root = Box::new(FilterExec::new(
+                root,
+                ctx,
+                Arc::clone(&metas),
+                spatial,
+                residual,
+                filter_node,
+            ));
+        }
+    }
+
+    if !sel.order_by.is_empty() {
+        root =
+            Box::new(SortExec::new(root, ctx, Arc::clone(&metas), sel.order_by.clone(), sort_node));
+    }
+    if let Some(n) = sel.limit {
+        root = Box::new(LimitExec::new(root, n, limit_node));
+    }
+
+    Ok(SelectStream { db, root, metas, projection: sel.projection.clone(), columns, count_star })
+}
+
+/// Run a SELECT through the streaming pipeline.
+pub(crate) fn run_select_streaming(
+    ctx: &ExecCtx<'_>,
+    sel: &Select,
+) -> Result<QueryResult, DbError> {
+    let parent = sdo_obs::current();
+    build_select_stream(ctx, sel, parent.as_ref())?.run()
+}
+
+/// Scan-and-filter a single table, returning the matching `(rowid,
+/// row)` pairs. The DML paths (DELETE / UPDATE) drive their doomed-set
+/// collection through the same scan + filter operators as SELECT.
+pub(crate) fn collect_matching(
+    ctx: &ExecCtx<'_>,
+    table_name: &str,
+    where_clause: &[Predicate],
+) -> Result<Vec<(RowId, Row)>, DbError> {
+    let db = ctx.db;
+    let table = db.table(table_name)?;
+    let columns: Vec<String> =
+        table.read().schema().columns().iter().map(|c| c.name.clone()).collect();
+    let metas = Arc::new(vec![RelMeta {
+        binding: table_name.to_ascii_uppercase(),
+        columns,
+        table: Some(Arc::clone(&table)),
+        table_name: Some(table_name.to_ascii_uppercase()),
+    }]);
+    let op_names = db.operator_names();
+    let mut spatial: Vec<SpatialPred> = Vec::new();
+    let mut residual: Vec<Predicate> = Vec::new();
+    for p in where_clause {
+        match p {
+            Predicate::RowidPairIn { .. } => {
+                return Err(DbError::Plan(
+                    "rowid-pair IN must be the driving predicate of a two-table select".into(),
+                ))
+            }
+            Predicate::Compare {
+                left: crate::sql::ast::Expr::FnCall { name, args },
+                op,
+                right,
+            } if *op == crate::sql::ast::CmpOp::Eq
+                && op_names.iter().any(|o| o.eq_ignore_ascii_case(name))
+                && matches!(right, crate::sql::ast::Expr::Literal(v) if v.as_text() == Some("TRUE")) =>
+            {
+                spatial.push(classify_spatial(&metas, name, args)?)
+            }
+            other => residual.push(other.clone()),
+        }
+    }
+    let parent = sdo_obs::current();
+    let mut root: Box<dyn BatchOp + '_> =
+        Box::new(TableScanExec::new(ctx, table, table_name, 0, 1, parent.as_ref()));
+    if !spatial.is_empty() || !residual.is_empty() {
+        let node = parent.as_ref().map(|p| p.child("FILTER"));
+        root = Box::new(FilterExec::new(root, ctx, Arc::clone(&metas), spatial, residual, node));
+    }
+    let mut matched = Vec::new();
+    let res = (|| -> Result<(), DbError> {
+        loop {
+            let batch = root.next_batch()?;
+            if batch.is_empty() {
+                return Ok(());
+            }
+            for mut jr in batch {
+                let r = std::mem::replace(&mut jr[0], RelRow { rid: None, values: Vec::new() });
+                let rid = r.rid.ok_or_else(|| DbError::Plan("table rows have rowids".into()))?;
+                matched.push((rid, r.values));
+            }
+        }
+    })();
+    root.close();
+    res?;
+    Ok(matched)
+}

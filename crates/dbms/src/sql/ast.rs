@@ -71,6 +71,14 @@ pub enum Statement {
     /// tree (rows, batches, wall time, work-counter deltas) instead of
     /// the statement's own result.
     ExplainAnalyze(Box<Statement>),
+    /// `ALTER SESSION SET name = value` — set a session option
+    /// (`materialize`, `max_resident_rows`).
+    AlterSession {
+        /// Option name (case-insensitive).
+        name: String,
+        /// Raw option value (identifier, number, or string literal).
+        value: String,
+    },
 }
 
 /// A `SELECT` query.

@@ -190,6 +190,20 @@ impl Parser {
             let where_clause = if self.eat_kw("WHERE") { self.conjuncts()? } else { Vec::new() };
             return Ok(Statement::Delete { table, where_clause });
         }
+        if self.eat_kw("ALTER") {
+            self.expect_kw("SESSION")?;
+            self.expect_kw("SET")?;
+            let name = self.ident("session option name")?;
+            self.expect_kind(&TokenKind::Eq, "=")?;
+            let value = match self.advance() {
+                TokenKind::Ident(s) => s,
+                TokenKind::Str(s) => s,
+                TokenKind::Integer(n) => n.to_string(),
+                TokenKind::Float(f) => f.to_string(),
+                _ => return Err(self.err("expected a session option value")),
+            };
+            return Ok(Statement::AlterSession { name, value });
+        }
         Err(self.err("expected a statement"))
     }
 

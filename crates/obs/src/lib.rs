@@ -27,7 +27,9 @@ pub mod metrics;
 pub mod profile;
 pub mod span;
 
-pub use metrics::{global, Counter, Gauge, Histogram, MetricsRegistry, RegistrySnapshot};
+pub use metrics::{
+    global, Counter, Gauge, Histogram, MemoryGauge, MetricsRegistry, RegistrySnapshot,
+};
 pub use profile::{
     current, enter, profiling, EnterGuard, OpProfile, ProfileNode, ProfileSession, QueryProfile,
 };

@@ -60,6 +60,59 @@ impl Gauge {
     }
 }
 
+/// Shared high-water-mark gauge for resident-row accounting.
+///
+/// Operators in a query pipeline clone one gauge and charge the rows
+/// they hold resident; the gauge tracks both the instantaneous total
+/// and the peak across the whole statement, which the executor reports
+/// as the `peak_resident_rows` metric in `EXPLAIN ANALYZE`. Cloning is
+/// cheap (`Arc`); mutation is relaxed-atomic, with the peak maintained
+/// by `fetch_max` so concurrent operators (e.g. parallel slaves) stay
+/// correct without locks.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryGauge {
+    inner: Arc<MemoryGaugeInner>,
+}
+
+#[derive(Debug, Default)]
+struct MemoryGaugeInner {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemoryGauge {
+    /// New gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `n` units, returning the new instantaneous total.
+    pub fn add(&self, n: u64) -> u64 {
+        let now = self.inner.current.fetch_add(n, Ordering::Relaxed) + n;
+        self.inner.peak.fetch_max(now, Ordering::Relaxed);
+        now
+    }
+
+    /// Release `n` units (saturating at zero).
+    pub fn sub(&self, n: u64) {
+        // fetch_update to saturate rather than wrap on over-release.
+        let _ = self
+            .inner
+            .current
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| Some(cur.saturating_sub(n)));
+    }
+
+    /// Instantaneous total.
+    pub fn current(&self) -> u64 {
+        self.inner.current.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since creation.
+    pub fn peak(&self) -> u64 {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+}
+
 /// Fixed-bucket histogram of `u64` samples (typically nanoseconds).
 ///
 /// Buckets are cumulative-friendly: `counts[i]` holds samples `<=
@@ -316,6 +369,22 @@ mod tests {
         g.set(10);
         g.add(-3);
         assert_eq!(r.gauge("g").get(), 7);
+    }
+
+    #[test]
+    fn memory_gauge_tracks_peak_across_clones() {
+        let g = MemoryGauge::new();
+        let g2 = g.clone();
+        g.add(100);
+        g2.add(50);
+        assert_eq!(g.current(), 150);
+        g.sub(120);
+        assert_eq!(g2.current(), 30);
+        assert_eq!(g2.peak(), 150);
+        // Over-release saturates instead of wrapping.
+        g.sub(1000);
+        assert_eq!(g.current(), 0);
+        assert_eq!(g.peak(), 150);
     }
 
     #[test]

@@ -78,11 +78,18 @@ fn semijoin_profile_matches_two_table_join_cardinality() {
 
     let profile = db.last_profile().unwrap();
     assert_eq!(profile.root.rows, n, "root rows = statement result rows");
-    assert!(profile.root.find("TABLE SCAN CITY_TABLE").is_some());
-    assert!(profile.root.find("TABLE SCAN RIVER_TABLE").is_some());
+    // The streaming semijoin fetches paired base rows by rowid as pairs
+    // arrive — it must NOT full-scan the base tables.
+    assert!(profile.root.find("TABLE SCAN CITY_TABLE").is_none());
+    assert!(profile.root.find("TABLE SCAN RIVER_TABLE").is_none());
 
     let semi = profile.root.find("ROWID-PAIR SEMIJOIN").unwrap();
     assert_eq!(semi.rows, n, "semijoin output rows = result rows");
+    assert!(semi.batches > 0, "the semijoin streams in batches");
+
+    // Pipeline memory is bounded by batches in flight, not the result.
+    let peak = profile.root.metric("peak_resident_rows").expect("statement reports peak");
+    assert!(peak > 0 && peak <= 4 * 1024, "peak {peak} should be O(batch), result {n}");
 
     // The pair-producing table function nests under the semijoin and
     // produced exactly the joined pairs.
