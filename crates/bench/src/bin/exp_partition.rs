@@ -1,0 +1,144 @@
+//! Partitioned join vs the index-based tree join on unindexed inputs.
+//!
+//! The paper's SPATIAL_JOIN presumes both sides carry an R-tree; when
+//! they don't (staged loads, intermediate results), the honest cost of
+//! the tree join is CREATE INDEX on both sides **plus** the query. The
+//! two-layer grid partition join needs no index: it samples, tiles,
+//! and joins directly, so its time-to-first-result wins whenever index
+//! builds can't be amortized. `method=auto` should track the better
+//! choice on both indexed and unindexed inputs.
+//!
+//! ```sh
+//! cargo run --release -p sdo-bench --bin exp_partition
+//! SDO_SCALE=0.0001 cargo run -p sdo-bench --bin exp_partition   # smoke test
+//! ```
+
+use sdo_bench::*;
+use sdo_datagen::{counties, hotspot, US_EXTENT};
+use std::time::Duration;
+
+fn main() {
+    let n = scaled(150_000, 400);
+    // The hotspot workload is output-bound — ~half of all hot-cluster
+    // pairs genuinely overlap, so the result grows with the square of
+    // the cluster size and the shared secondary filter dominates both
+    // engines. Keep it small enough that the engine difference, not
+    // the output, is what's measured.
+    let n_hot = scaled(20_000, 300);
+    println!("== partitioned join vs tree join, unindexed inputs ==");
+
+    for (label, n, geoms) in [
+        ("uniform counties", n, counties::generate(n, &US_EXTENT, 11)),
+        ("hotspot 70%", n_hot, hotspot::generate(n_hot, &US_EXTENT, 0.7, 12)),
+    ] {
+        println!();
+        println!("-- {label}: {n} x {n} self-join, no indexes --");
+        let db = session();
+        load_table(&db, "a", &geoms);
+        load_table(&db, "b", &geoms);
+
+        println!(
+            "{:>4} {:>14} {:>20} {:>14} {:>10}",
+            "dop", "partition", "rtree (build+join)", "auto", "speedup"
+        );
+        let mut expect: Option<i64> = None;
+        let mut check = |method: &str, c: i64| {
+            let e = *expect.get_or_insert(c);
+            assert_eq!(e, c, "{method} changed the result cardinality");
+        };
+        for dop in [1usize, 2, 4, 8] {
+            let (cp, tp) = timed(|| count(&db, &join_sql("partition", dop)));
+            check("partition", cp);
+
+            // Tree join from cold: index both sides, query, drop.
+            let (cr, tr) = timed(|| {
+                for t in ["a", "b"] {
+                    db.execute(&format!(
+                        "CREATE INDEX {t}_x ON {t}(geom) INDEXTYPE IS SPATIAL_INDEX \
+                         PARAMETERS ('tree_fanout=32')"
+                    ))
+                    .unwrap();
+                }
+                count(&db, &join_sql("rtree", dop))
+            });
+            check("rtree", cr);
+            for t in ["a", "b"] {
+                db.execute(&format!("DROP INDEX {t}_x")).unwrap();
+            }
+
+            let (ca, ta) = timed(|| count(&db, &join_sql("auto", dop)));
+            check("auto", ca);
+            // Auto picks one of the two fixed methods, so its time
+            // should track that method's — but leave 2x headroom, as
+            // wall-clock throughput on a shared host swings that much
+            // between back-to-back runs of identical work.
+            let worse = tr.max(tp);
+            assert!(
+                ta <= worse * 2 + Duration::from_millis(100),
+                "auto ({ta:?}) must not lose badly to the worse fixed method ({worse:?})"
+            );
+
+            println!(
+                "{:>4} {:>14} {:>20} {:>14} {:>10}",
+                dop,
+                secs(tp),
+                secs(tr),
+                secs(ta),
+                speedup(tr, tp)
+            );
+        }
+    }
+
+    // Primary-filter-only join ('FILTER' skips the exact geometry
+    // refinement): end-to-end times above are dominated by the
+    // secondary filter, which both engines share, so this is the
+    // engine difference itself — grid build + per-tile kernels vs
+    // index build + synchronized traversal.
+    println!();
+    println!("-- uniform counties: {n} x {n}, primary filter only ('FILTER') --");
+    let geoms = counties::generate(n, &US_EXTENT, 11);
+    let db = session();
+    load_table(&db, "a", &geoms);
+    load_table(&db, "b", &geoms);
+    println!("{:>4} {:>14} {:>20} {:>10}", "dop", "partition", "rtree (build+join)", "speedup");
+    let sql = |method: &str, dop: usize| {
+        format!(
+            "SELECT COUNT(*) FROM TABLE( \
+             SPATIAL_JOIN('a','geom','b','geom','FILTER', {dop}, -1, 'method={method}'))"
+        )
+    };
+    for dop in [1usize, 4, 8] {
+        let (cp, tp) = timed(|| count(&db, &sql("partition", dop)));
+        let (cr, tr) = timed(|| {
+            for t in ["a", "b"] {
+                db.execute(&format!(
+                    "CREATE INDEX {t}_x ON {t}(geom) INDEXTYPE IS SPATIAL_INDEX \
+                     PARAMETERS ('tree_fanout=32')"
+                ))
+                .unwrap();
+            }
+            count(&db, &sql("rtree", dop))
+        });
+        assert_eq!(cp, cr, "primary-only cardinality must match");
+        for t in ["a", "b"] {
+            db.execute(&format!("DROP INDEX {t}_x")).unwrap();
+        }
+        println!("{:>4} {:>14} {:>20} {:>10}", dop, secs(tp), secs(tr), speedup(tr, tp));
+    }
+
+    println!();
+    println!("-- EXPLAIN ANALYZE (partition, dop=4) --");
+    let db = session();
+    let geoms = counties::generate(scaled(20_000, 300), &US_EXTENT, 13);
+    load_table(&db, "a", &geoms);
+    load_table(&db, "b", &geoms);
+    count(&db, &join_sql("partition", 4));
+    report_last_profile(&db);
+}
+
+fn join_sql(method: &str, dop: usize) -> String {
+    format!(
+        "SELECT COUNT(*) FROM TABLE( \
+         SPATIAL_JOIN('a','geom','b','geom','intersect', {dop}, -1, 'method={method}'))"
+    )
+}

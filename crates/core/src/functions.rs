@@ -2,9 +2,10 @@
 
 use crate::index::{QuadtreeSpatialIndex, RTreeSpatialIndex, SpatialIndexType};
 use crate::join::{
-    ExactPredicate, JoinSchedule, JoinSide, QtJoinSide, QuadtreeJoin, SpatialJoin,
+    ExactPredicate, JoinMethod, JoinSchedule, JoinSide, QtJoinSide, QuadtreeJoin, SpatialJoin,
     SpatialJoinConfig,
 };
+use crate::partjoin::{PartitionJoin, PartitionState};
 use crate::FetchOrder;
 use sdo_dbms::db::TfInstance;
 use sdo_dbms::extensible::{param, parse_params};
@@ -27,9 +28,14 @@ use std::sync::Arc;
 ///   has no NULL literal, so `-1` is the explicit don't-care).
 ///   `interaction` is `'intersect'`/`'mask=...'`/`'distance=d'`;
 ///   `options` is `'fetch_order=arrival, candidates=N, cache=N,
-///   schedule=steal|static, split=N'` (`schedule` picks work-stealing
-///   vs. the paper's static task split; `split` is the work-stealing
-///   task-split threshold).
+///   schedule=steal|static, split=N, method=rtree|partition|auto,
+///   sweep_threshold=N'` (`schedule` picks work-stealing vs. the
+///   paper's static task split; `split` is the work-stealing
+///   task-split threshold; `method` selects the tree traversal, the
+///   two-layer grid partition join — which needs no index — or a
+///   stats-driven automatic choice; `sweep_threshold` tunes when MBR
+///   kernels switch from scans to plane sweeps, `0` forcing sweeps
+///   and `max` forcing scans).
 ///   A leading `CURSOR(SELECT * FROM TABLE(SUBTREE_PAIRS(...)))`
 ///   argument supplies explicit subtree-pair tasks, matching the
 ///   paper's cursor-driven form,
@@ -71,6 +77,19 @@ fn rtree_side(db: &Database, table: &str, column: &str) -> Result<Option<JoinSid
     }))
 }
 
+/// Like [`rtree_side`] but quiet: `None` when the side has no index
+/// at all or a non-R-tree one — the `method=auto` availability probe.
+fn try_rtree_side(db: &Database, table: &str, column: &str) -> Option<JoinSide> {
+    let (_, inst) = db.index_on(table, column)?;
+    let guard = inst.read();
+    let rt = guard.as_any().downcast_ref::<RTreeSpatialIndex>()?;
+    Some(JoinSide {
+        table: Arc::clone(rt.table()),
+        column: rt.geometry_column(),
+        tree: rt.tree_snapshot(),
+    })
+}
+
 fn quadtree_side(db: &Database, table: &str, column: &str) -> Result<QtJoinSide, DbError> {
     let (_, inst) = db
         .index_on(table, column)
@@ -93,7 +112,15 @@ fn parse_join_options(s: &str) -> Result<SpatialJoinConfig, DbError> {
     for (k, _) in &pairs {
         if !matches!(
             k.as_str(),
-            "fetch_order" | "candidates" | "cache" | "schedule" | "split" | "kernel" | "prepare"
+            "fetch_order"
+                | "candidates"
+                | "cache"
+                | "schedule"
+                | "split"
+                | "kernel"
+                | "prepare"
+                | "method"
+                | "sweep_threshold"
         ) {
             return Err(DbError::Plan(format!("unknown SPATIAL_JOIN option '{k}'")));
         }
@@ -132,6 +159,17 @@ fn parse_join_options(s: &str) -> Result<SpatialJoinConfig, DbError> {
             "on" | "true" | "1" => true,
             "off" | "false" | "0" => false,
             other => return Err(DbError::Plan(format!("unknown prepare '{other}' (on|off)"))),
+        };
+    }
+    if let Some(v) = param(&pairs, "method") {
+        cfg.method = JoinMethod::parse(v)
+            .ok_or_else(|| DbError::Plan(format!("unknown method '{v}' (rtree|partition|auto)")))?;
+    }
+    if let Some(v) = param(&pairs, "sweep_threshold") {
+        cfg.sweep_threshold = if v.eq_ignore_ascii_case("max") {
+            usize::MAX
+        } else {
+            v.parse::<usize>().map_err(|_| DbError::Plan(format!("bad sweep_threshold '{v}'")))?
         };
     }
     Ok(cfg)
@@ -202,6 +240,167 @@ fn spatial_join_factory(db: &Database, args: Vec<TfArg>) -> Result<TfInstance, D
     };
     let counters = Arc::clone(db.counters());
 
+    // Resolve the join engine. The default (`rtree`) preserves the
+    // paper's behavior exactly — index required, quadtree fallback.
+    // `auto` consults index availability and table stats; its verdict
+    // and reason land on the operator's profile node so EXPLAIN
+    // ANALYZE shows why a plan was picked.
+    let mut attrs: Vec<(&'static str, String)> = Vec::new();
+    let mut metrics: Vec<(&'static str, u64)> = Vec::new();
+    let method = match config.method {
+        JoinMethod::Auto => {
+            if explicit_tasks.is_some() || forced_level.is_some() {
+                attrs.push(("method_reason", "explicit subtree tasks pin the tree join".into()));
+                JoinMethod::Rtree
+            } else {
+                let (m, why) = choose_method(db, lt, lc, rt, rc, dop)?;
+                attrs.push(("method_reason", why));
+                m
+            }
+        }
+        m => m,
+    };
+
+    let func: Box<dyn TableFunction> = match method {
+        JoinMethod::Partition => {
+            if explicit_tasks.is_some() || forced_level.is_some() {
+                return Err(DbError::Plan(
+                    "explicit subtree tasks/levels apply to method=rtree only".into(),
+                ));
+            }
+            attrs.push(("method_chosen", "partition".into()));
+            let (func, state) =
+                partition_join_func(db, lt, lc, rt, rc, &exact, dop, &config, &counters)?;
+            metrics.push(("partition_tiles", state.partition_tiles));
+            metrics.push(("tile_max_occupancy", state.tile_max_occupancy));
+            func
+        }
+        _ => {
+            let (func, engine) = rtree_join_func(
+                db,
+                lt,
+                lc,
+                rt,
+                rc,
+                exact,
+                dop,
+                explicit_tasks,
+                forced_level,
+                config,
+                counters,
+            )?;
+            attrs.push(("method_chosen", engine.into()));
+            func
+        }
+    };
+    Ok(TfInstance {
+        func: Box::new(TaggedJoin { inner: func, attrs, metrics, node: None }),
+        columns,
+    })
+}
+
+/// `method=auto`: pick the engine from index availability and table
+/// stats. Both sides indexed → the synchronized traversal starts from
+/// already-built trees (no partition build to pay), unless the query
+/// is wide and large enough that per-tile sweeps amortize the build.
+/// Any unindexed side → partition (the tree join cannot run at all
+/// without creating an index first).
+fn choose_method(
+    db: &Database,
+    lt: &str,
+    lc: &str,
+    rt: &str,
+    rc: &str,
+    dop: usize,
+) -> Result<(JoinMethod, String), DbError> {
+    let indexed = try_rtree_side(db, lt, lc).is_some() && try_rtree_side(db, rt, rc).is_some();
+    let total = db.table(lt)?.read().len() + db.table(rt)?.read().len();
+    if !indexed {
+        return Ok((
+            JoinMethod::Partition,
+            format!("unindexed input ({total} rows): grid partition needs no index build"),
+        ));
+    }
+    if dop >= 4 && total >= 100_000 {
+        return Ok((
+            JoinMethod::Partition,
+            format!("dop={dop}, {total} rows: per-tile sweeps amortize the partition build"),
+        ));
+    }
+    Ok((
+        JoinMethod::Rtree,
+        format!("both sides indexed ({total} rows): traversal reuses the built trees"),
+    ))
+}
+
+/// Build the partitioned join: resolve base tables and geometry
+/// columns (no index needed), build the shared [`PartitionState`],
+/// and spin up `dop` slave instances over its task queue.
+#[allow(clippy::too_many_arguments)]
+fn partition_join_func(
+    db: &Database,
+    lt: &str,
+    lc: &str,
+    rt: &str,
+    rc: &str,
+    exact: &ExactPredicate,
+    dop: usize,
+    config: &SpatialJoinConfig,
+    counters: &Arc<sdo_storage::Counters>,
+) -> Result<(Box<dyn TableFunction>, Arc<PartitionState>), DbError> {
+    let resolve = |table: &str, column: &str| -> Result<_, DbError> {
+        let t = db.table(table)?;
+        let col = t
+            .read()
+            .schema()
+            .column_index(column)
+            .ok_or_else(|| DbError::Plan(format!("no column {column} on {table}")))?;
+        Ok((t, col))
+    };
+    let (ltab, lcol) = resolve(lt, lc)?;
+    let (rtab, rcol) = resolve(rt, rc)?;
+    let state = PartitionState::build(&ltab, lcol, &rtab, rcol, exact, dop);
+    let mut instances: Vec<Box<dyn TableFunction>> = (0..dop)
+        .map(|worker| {
+            Box::new(PartitionJoin::new(
+                Arc::clone(&state),
+                Arc::clone(&ltab),
+                lcol,
+                Arc::clone(&rtab),
+                rcol,
+                exact.clone(),
+                config.clone(),
+                Arc::clone(counters),
+                worker,
+            )) as Box<dyn TableFunction>
+        })
+        .collect();
+    let func = if dop > 1 {
+        Box::new(ParallelTableFunction::new(instances)) as Box<dyn TableFunction>
+    } else {
+        instances.remove(0)
+    };
+    Ok((func, state))
+}
+
+/// The paper's engines: the synchronized R-tree traversal (serial,
+/// static-parallel, or work-stealing) with the quadtree merge join as
+/// fallback when the left index is a quadtree. Returns the function
+/// plus the engine name recorded as `method_chosen`.
+#[allow(clippy::too_many_arguments)]
+fn rtree_join_func(
+    db: &Database,
+    lt: &str,
+    lc: &str,
+    rt: &str,
+    rc: &str,
+    exact: ExactPredicate,
+    dop: usize,
+    explicit_tasks: Option<Vec<(NodeId, NodeId)>>,
+    forced_level: Option<i64>,
+    config: SpatialJoinConfig,
+    counters: Arc<sdo_storage::Counters>,
+) -> Result<(Box<dyn TableFunction>, &'static str), DbError> {
     // Quadtree pairing: both sides must be quadtrees.
     if rtree_side(db, lt, lc)?.is_none() {
         let left = quadtree_side(db, lt, lc)?;
@@ -215,7 +414,7 @@ fn spatial_join_factory(db: &Database, args: Vec<TfArg>) -> Result<TfInstance, D
         }
         let func =
             QuadtreeJoin::new(left, right, exact, config, counters).map_err(DbError::from)?;
-        return Ok(TfInstance { func: Box::new(func), columns });
+        return Ok((Box::new(func), "quadtree"));
     }
 
     let left = rtree_side(db, lt, lc)?.expect("checked above");
@@ -232,13 +431,13 @@ fn spatial_join_factory(db: &Database, args: Vec<TfArg>) -> Result<TfInstance, D
         (None, None) => {
             // Serial: single root pair.
             let func = SpatialJoin::new(left, right, exact, config, counters);
-            return Ok(TfInstance { func: Box::new(func), columns });
+            return Ok((Box::new(func), "rtree"));
         }
     };
 
     if dop <= 1 {
         let func = SpatialJoin::with_stack(left, right, exact, config, counters, tasks);
-        return Ok(TfInstance { func: Box::new(func), columns });
+        return Ok((Box::new(func), "rtree"));
     }
 
     // Parallel: distribute the subtree-pair tasks across dop slave
@@ -309,7 +508,48 @@ fn spatial_join_factory(db: &Database, args: Vec<TfArg>) -> Result<TfInstance, D
                 .collect()
         }
     };
-    Ok(TfInstance { func: Box::new(ParallelTableFunction::new(instances)), columns })
+    Ok((Box::new(ParallelTableFunction::new(instances)), "rtree"))
+}
+
+/// Wraps a join engine to stamp planner verdicts (`method_chosen`,
+/// `method_reason`) and partition-build metrics onto the operator's
+/// profile node — the executor-attached node when there is one, else
+/// the ambient profile session's current node.
+struct TaggedJoin {
+    inner: Box<dyn TableFunction>,
+    attrs: Vec<(&'static str, String)>,
+    metrics: Vec<(&'static str, u64)>,
+    node: Option<sdo_obs::ProfileNode>,
+}
+
+impl TableFunction for TaggedJoin {
+    fn start(&mut self) -> Result<(), sdo_tablefunc::TfError> {
+        if let Some(node) = self.node.clone().or_else(sdo_obs::current) {
+            for (k, v) in self.attrs.drain(..) {
+                node.set_attr(k, v);
+            }
+            for (k, v) in self.metrics.drain(..) {
+                node.set_metric(k, v);
+            }
+        }
+        self.inner.start()
+    }
+
+    fn fetch(
+        &mut self,
+        max_rows: usize,
+    ) -> Result<Vec<sdo_tablefunc::Row>, sdo_tablefunc::TfError> {
+        self.inner.fetch(max_rows)
+    }
+
+    fn close(&mut self) {
+        self.inner.close();
+    }
+
+    fn attach_profile(&mut self, node: &sdo_obs::ProfileNode) {
+        self.node = Some(node.clone());
+        self.inner.attach_profile(node);
+    }
 }
 
 fn subtree_root_factory(db: &Database, args: Vec<TfArg>) -> Result<TfInstance, DbError> {

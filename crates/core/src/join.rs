@@ -35,17 +35,20 @@ use std::time::Instant;
 /// Per-phase profile nodes for one join instance — the four §4.2
 /// phases, reported under the operator (or slave) node when a
 /// [`sdo_obs::ProfileSession`] is active. Absent (`None`) otherwise,
-/// so the un-profiled path pays nothing.
-struct JoinPhases {
-    node: ProfileNode,
-    mbr: ProfileNode,
-    sort: ProfileNode,
-    fetch: ProfileNode,
-    filter: ProfileNode,
+/// so the un-profiled path pays nothing. Shared with the partitioned
+/// join (`partjoin`), whose "mbr join" phase is the per-tile kernel
+/// pass instead of a tree traversal — the names stay identical so
+/// profiles compare across `method=` settings.
+pub(crate) struct JoinPhases {
+    pub(crate) node: ProfileNode,
+    pub(crate) mbr: ProfileNode,
+    pub(crate) sort: ProfileNode,
+    pub(crate) fetch: ProfileNode,
+    pub(crate) filter: ProfileNode,
 }
 
 impl JoinPhases {
-    fn new(node: ProfileNode) -> Self {
+    pub(crate) fn new(node: ProfileNode) -> Self {
         JoinPhases {
             mbr: node.child("mbr join"),
             sort: node.child("candidate sort"),
@@ -135,6 +138,34 @@ pub enum JoinSchedule {
     Static,
 }
 
+/// Which join engine evaluates `SPATIAL_JOIN`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinMethod {
+    /// The paper's synchronized R-tree traversal (requires spatial
+    /// indexes on both sides) — the default.
+    #[default]
+    Rtree,
+    /// Grid-partitioned join with two-layer duplicate avoidance
+    /// (`partjoin`): no index required, per-tile plane sweeps fanned
+    /// out over the work-stealing scheduler.
+    Partition,
+    /// Let the planner pick per query from table stats and index
+    /// availability; the decision lands in `EXPLAIN ANALYZE`.
+    Auto,
+}
+
+impl JoinMethod {
+    /// Parse the SQL option value (`rtree` | `partition` | `auto`).
+    pub fn parse(s: &str) -> Option<JoinMethod> {
+        match s.to_ascii_lowercase().as_str() {
+            "rtree" | "tree" => Some(JoinMethod::Rtree),
+            "partition" | "grid" => Some(JoinMethod::Partition),
+            "auto" => Some(JoinMethod::Auto),
+            _ => None,
+        }
+    }
+}
+
 /// Tuning for the join function.
 #[derive(Debug, Clone)]
 pub struct SpatialJoinConfig {
@@ -161,6 +192,14 @@ pub struct SpatialJoinConfig {
     /// the default) or the naive allocating `relate` family (`false`,
     /// kept for ablation).
     pub prepare: bool,
+    /// Join engine: synchronized R-tree traversal, grid partition, or
+    /// planner's choice (`method=rtree|partition|auto`).
+    pub method: JoinMethod,
+    /// Pair-product cutoff above which batch-mode node/tile matching
+    /// switches from per-probe scans to the plane-sweep
+    /// (`sweep_threshold=N`; default [`sdo_rtree::SWEEP_THRESHOLD`]).
+    /// `0` forces the sweep everywhere, `usize::MAX` forces scans.
+    pub sweep_threshold: usize,
 }
 
 impl Default for SpatialJoinConfig {
@@ -176,6 +215,8 @@ impl Default for SpatialJoinConfig {
             split_threshold: 32_768,
             kernel: KernelMode::default(),
             prepare: true,
+            method: JoinMethod::default(),
+            sweep_threshold: sdo_rtree::SWEEP_THRESHOLD,
         }
     }
 }
@@ -205,16 +246,16 @@ pub struct JoinSide {
 /// matter how many candidate pairs it appears in. The wrapper itself
 /// is lazy — with `prepare=off` nothing beyond the naive `Arc` clone
 /// is ever built.
-struct GeomCache {
+pub(crate) struct GeomCache {
     cap: usize,
     map: std::collections::HashMap<RowId, Arc<PreparedGeometry>>,
     order: VecDeque<RowId>,
-    pub hits: u64,
-    pub misses: u64,
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
 }
 
 impl GeomCache {
-    fn new(cap: usize) -> Self {
+    pub(crate) fn new(cap: usize) -> Self {
         GeomCache {
             cap,
             map: std::collections::HashMap::new(),
@@ -226,12 +267,12 @@ impl GeomCache {
 
     /// Drop cached geometries but keep hit/miss statistics (used by
     /// `close`, after which the stats remain readable).
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         self.map.clear();
         self.order.clear();
     }
 
-    fn get(
+    pub(crate) fn get(
         &mut self,
         table: &Arc<RwLock<Table>>,
         column: usize,
@@ -262,6 +303,91 @@ impl GeomCache {
             self.order.push_back(rid);
         }
         Some(g)
+    }
+}
+
+/// The shared secondary-filter engine — §4.2's second half. Orders one
+/// candidate array by the configured [`FetchOrder`], fetches exact
+/// geometries through the per-side LRU caches, applies the exact
+/// predicate, and appends qualifying rowid pairs to `out`. Both join
+/// engines ([`SpatialJoin`]'s tree traversal and the partitioned join
+/// in [`crate::partjoin`]) funnel their MBR candidates through here,
+/// so fetch-order behavior, exact-test counting, and cache accounting
+/// stay identical across `method=` settings.
+pub(crate) struct SecondaryFilter<'a> {
+    pub(crate) left_table: &'a Arc<RwLock<Table>>,
+    pub(crate) left_column: usize,
+    pub(crate) right_table: &'a Arc<RwLock<Table>>,
+    pub(crate) right_column: usize,
+    pub(crate) exact: &'a ExactPredicate,
+    pub(crate) prepare: bool,
+    pub(crate) fetch_order: FetchOrder,
+}
+
+impl SecondaryFilter<'_> {
+    pub(crate) fn run(
+        &self,
+        mut candidates: Vec<CandidatePair<RowId, RowId>>,
+        lcache: &mut GeomCache,
+        rcache: &mut GeomCache,
+        counters: &Counters,
+        phases: Option<&JoinPhases>,
+        out: &mut VecDeque<Row>,
+    ) {
+        // §4.2: sort the candidate array by the first rowid before
+        // fetching geometries.
+        let t_sort = phases.map(|_| Instant::now());
+        match self.fetch_order {
+            FetchOrder::RowidSorted => candidates.sort_by_key(|&(_, l, _, r)| (l, r)),
+            FetchOrder::Random => candidates.sort_by_key(|&(_, l, _, r)| {
+                // Deterministic shuffle: multiplicative hash of the pair.
+                (l.as_u64() ^ r.as_u64().rotate_left(31)).wrapping_mul(0x9E3779B97F4A7C15)
+            }),
+            FetchOrder::Arrival => {}
+        }
+        if let (Some(p), Some(t0)) = (phases, t_sort) {
+            p.sort.add_wall(t0.elapsed());
+        }
+
+        for (_, lrid, _, rrid) in candidates {
+            if matches!(self.exact, ExactPredicate::PrimaryOnly) {
+                out.push_back(vec![Value::RowId(lrid), Value::RowId(rrid)]);
+                continue;
+            }
+            let t_fetch = phases.map(|_| Instant::now());
+            let lg = lcache.get(self.left_table, self.left_column, lrid);
+            let rg = lg
+                .is_some()
+                .then(|| rcache.get(self.right_table, self.right_column, rrid))
+                .flatten();
+            if let (Some(p), Some(t0)) = (phases, t_fetch) {
+                p.fetch.add_wall(t0.elapsed());
+                p.fetch.add_rows(u64::from(lg.is_some()) + u64::from(rg.is_some()));
+            }
+            let (Some(lg), Some(rg)) = (lg, rg) else {
+                continue; // row deleted mid-join: skip, like a CR miss
+            };
+            Counters::bump(&counters.exact_tests);
+            let t_filter = phases.map(|_| Instant::now());
+            let keep = match (self.exact, self.prepare) {
+                (ExactPredicate::Masks(masks), true) => lg.relate_any(&rg, masks),
+                (ExactPredicate::Masks(masks), false) => {
+                    sdo_geom::relate::relate_any(lg.geometry(), rg.geometry(), masks)
+                }
+                (ExactPredicate::Distance(d), true) => lg.within_distance(&rg, *d),
+                (ExactPredicate::Distance(d), false) => {
+                    sdo_geom::within_distance(lg.geometry(), rg.geometry(), *d)
+                }
+                (ExactPredicate::PrimaryOnly, _) => unreachable!(),
+            };
+            if let (Some(p), Some(t0)) = (phases, t_filter) {
+                p.filter.add_wall(t0.elapsed());
+                p.filter.add_rows(1);
+            }
+            if keep {
+                out.push_back(vec![Value::RowId(lrid), Value::RowId(rrid)]);
+            }
+        }
     }
 }
 
@@ -456,9 +582,10 @@ impl SpatialJoin {
             std::mem::take(&mut self.stack),
             std::mem::take(&mut self.carry),
         )
-        .with_kernel(self.config.kernel);
+        .with_kernel(self.config.kernel)
+        .with_sweep_threshold(self.config.sweep_threshold);
         let t_mbr = self.phases.as_ref().map(|_| Instant::now());
-        let mut candidates = cursor.next_batch(self.config.candidate_array);
+        let candidates = cursor.next_batch(self.config.candidate_array);
         self.kernel_stats.merge(&cursor.kernel_stats());
         if let (Some(p), Some(t0)) = (&self.phases, t_mbr) {
             p.mbr.add_wall(t0.elapsed());
@@ -480,60 +607,23 @@ impl SpatialJoin {
         }
         self.peak_candidates = self.peak_candidates.max(candidates.len());
 
-        // §4.2: sort the candidate array by the first rowid before
-        // fetching geometries.
-        let t_sort = self.phases.as_ref().map(|_| Instant::now());
-        match self.config.fetch_order {
-            FetchOrder::RowidSorted => candidates.sort_by_key(|&(_, l, _, r)| (l, r)),
-            FetchOrder::Random => candidates.sort_by_key(|&(_, l, _, r)| {
-                // Deterministic shuffle: multiplicative hash of the pair.
-                (l.as_u64() ^ r.as_u64().rotate_left(31)).wrapping_mul(0x9E3779B97F4A7C15)
-            }),
-            FetchOrder::Arrival => {}
-        }
-        if let (Some(p), Some(t0)) = (&self.phases, t_sort) {
-            p.sort.add_wall(t0.elapsed());
-        }
-
-        for (_, lrid, _, rrid) in candidates {
-            if matches!(self.exact, ExactPredicate::PrimaryOnly) {
-                self.out.push_back(vec![Value::RowId(lrid), Value::RowId(rrid)]);
-                continue;
-            }
-            let t_fetch = self.phases.as_ref().map(|_| Instant::now());
-            let lg = self.lcache.get(&self.left.table, self.left.column, lrid);
-            let rg = lg
-                .is_some()
-                .then(|| self.rcache.get(&self.right.table, self.right.column, rrid))
-                .flatten();
-            if let (Some(p), Some(t0)) = (&self.phases, t_fetch) {
-                p.fetch.add_wall(t0.elapsed());
-                p.fetch.add_rows(u64::from(lg.is_some()) + u64::from(rg.is_some()));
-            }
-            let (Some(lg), Some(rg)) = (lg, rg) else {
-                continue; // row deleted mid-join: skip, like a CR miss
-            };
-            Counters::bump(&self.counters.exact_tests);
-            let t_filter = self.phases.as_ref().map(|_| Instant::now());
-            let keep = match (&self.exact, self.config.prepare) {
-                (ExactPredicate::Masks(masks), true) => lg.relate_any(&rg, masks),
-                (ExactPredicate::Masks(masks), false) => {
-                    sdo_geom::relate::relate_any(lg.geometry(), rg.geometry(), masks)
-                }
-                (ExactPredicate::Distance(d), true) => lg.within_distance(&rg, *d),
-                (ExactPredicate::Distance(d), false) => {
-                    sdo_geom::within_distance(lg.geometry(), rg.geometry(), *d)
-                }
-                (ExactPredicate::PrimaryOnly, _) => unreachable!(),
-            };
-            if let (Some(p), Some(t0)) = (&self.phases, t_filter) {
-                p.filter.add_wall(t0.elapsed());
-                p.filter.add_rows(1);
-            }
-            if keep {
-                self.out.push_back(vec![Value::RowId(lrid), Value::RowId(rrid)]);
-            }
-        }
+        let filter = SecondaryFilter {
+            left_table: &self.left.table,
+            left_column: self.left.column,
+            right_table: &self.right.table,
+            right_column: self.right.column,
+            exact: &self.exact,
+            prepare: self.config.prepare,
+            fetch_order: self.config.fetch_order,
+        };
+        filter.run(
+            candidates,
+            &mut self.lcache,
+            &mut self.rcache,
+            &self.counters,
+            self.phases.as_ref(),
+            &mut self.out,
+        );
         Ok(())
     }
 }

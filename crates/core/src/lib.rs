@@ -47,8 +47,10 @@ pub mod functions;
 pub mod index;
 pub mod join;
 pub mod params;
+pub mod partjoin;
 
 pub use functions::register_spatial;
 pub use index::{QuadtreeSpatialIndex, RTreeSpatialIndex, SpatialIndexType};
-pub use join::{FetchOrder, SpatialJoin, SpatialJoinConfig};
+pub use join::{FetchOrder, JoinMethod, SpatialJoin, SpatialJoinConfig};
 pub use params::SpatialIndexParams;
+pub use partjoin::{PartitionJoin, PartitionState};

@@ -117,6 +117,9 @@ pub struct JoinCursor<'a, A: Clone, B: Clone> {
     buf: VecDeque<CandidatePair<A, B>>,
     counters: Option<Arc<Counters>>,
     kernel: KernelMode,
+    /// Pair-product cutoff above which [`match_pairwise`] switches from
+    /// per-probe scans to the plane-sweep (default [`SWEEP_THRESHOLD`]).
+    sweep_threshold: usize,
     /// SoA scratch views + sweep order buffers, reused across node
     /// pairs so the steady-state join loop does not allocate.
     soa_left: SoaMbrs,
@@ -150,6 +153,7 @@ impl<'a, A: Clone, B: Clone> JoinCursor<'a, A, B> {
             buf,
             counters: None,
             kernel: KernelMode::default(),
+            sweep_threshold: SWEEP_THRESHOLD,
             soa_left: SoaMbrs::new(),
             soa_right: SoaMbrs::new(),
             sweep: SweepScratch::new(),
@@ -177,6 +181,15 @@ impl<'a, A: Clone, B: Clone> JoinCursor<'a, A, B> {
     /// Select the node-pair matching kernel (default [`KernelMode::Batch`]).
     pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    /// Override the pair-product cutoff for the plane-sweep (default
+    /// [`SWEEP_THRESHOLD`]). `0` makes every batch-mode node pair take
+    /// the sweep; `usize::MAX` forces the scan fallback throughout.
+    /// Only meaningful under [`KernelMode::Batch`].
+    pub fn with_sweep_threshold(mut self, threshold: usize) -> Self {
+        self.sweep_threshold = threshold;
         self
     }
 
@@ -373,7 +386,7 @@ impl<'a, A: Clone, B: Clone> JoinCursor<'a, A, B> {
         let buf = &mut self.buf;
         let stack = &mut self.stack;
         let tests;
-        if ln.len() * rn.len() >= SWEEP_THRESHOLD {
+        if ln.len() * rn.len() >= self.sweep_threshold {
             self.soa_left.fill_from_entries(&ln.entries);
             tests =
                 sweep_pairs(&self.soa_left, &self.soa_right, self.pred, &mut self.sweep, |i, j| {
@@ -688,6 +701,29 @@ mod tests {
         assert_eq!(got, brute_force(&ra, &rb, JoinPredicate::Intersects));
         let stats = c.kernel_stats();
         assert!(stats.scans > 0 && stats.sweeps == 0);
+    }
+
+    #[test]
+    fn sweep_threshold_zero_forces_sweep_and_max_forces_scan() {
+        let (ta, ra) = tree(0.0, 200, 8); // 8*8 pairs sit below the default cutoff
+        let (tb, rb) = tree(10.0, 200, 8);
+        let want = brute_force(&ra, &rb, JoinPredicate::Intersects);
+
+        let mut sweep_all =
+            JoinCursor::new(&ta, &tb, JoinPredicate::Intersects).with_sweep_threshold(0);
+        assert_eq!(sorted_pairs(sweep_all.collect_all()), want);
+        let stats = sweep_all.kernel_stats();
+        assert!(stats.sweeps > 0 && stats.scans == 0, "threshold 0 must sweep every pair");
+
+        // Fanout 32 crosses the default cutoff, yet MAX must still scan.
+        let (ta, ra) = tree(0.0, 500, 32);
+        let (tb, rb) = tree(25.0, 400, 32);
+        let want = brute_force(&ra, &rb, JoinPredicate::Intersects);
+        let mut scan_all =
+            JoinCursor::new(&ta, &tb, JoinPredicate::Intersects).with_sweep_threshold(usize::MAX);
+        assert_eq!(sorted_pairs(scan_all.collect_all()), want);
+        let stats = scan_all.kernel_stats();
+        assert!(stats.scans > 0 && stats.sweeps == 0, "threshold MAX must never sweep");
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub use btree::BTree;
 pub use catalog::{Catalog, IndexKind, IndexMetadata};
 pub use rowid::RowId;
 pub use schema::{ColumnDef, DataType, Schema};
-pub use stats::{Counters, CountersSnapshot, COUNTER_NAMES};
+pub use stats::{Counters, CountersSnapshot, SpatialSample, COUNTER_NAMES};
 pub use table::{Table, TableScan};
 pub use value::Value;
 

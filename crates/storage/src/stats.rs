@@ -5,6 +5,8 @@
 //! counters (rows fetched, MBR tests, exact predicate evaluations) track
 //! the same costs and are what the ablation experiments report.
 
+use crate::table::Table;
+use sdo_geom::Rect;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shared, thread-safe work counters.
@@ -143,6 +145,58 @@ impl CountersSnapshot {
     }
 }
 
+/// Table-level spatial statistics estimated from a strided sample of a
+/// geometry column — the optimizer-side input a partitioned spatial
+/// join needs to size its grid (data extent, cardinality, typical
+/// object footprint) without a full pre-pass over both inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpatialSample {
+    /// Exact live-row count of the table (cheap: slot accounting).
+    pub rows: usize,
+    /// Sampled rows that held a non-empty geometry.
+    pub sampled: usize,
+    /// Union of the sampled MBRs ([`Rect::EMPTY`] when nothing matched).
+    /// An *estimate*: outliers between sample strides may fall outside.
+    pub extent: Rect,
+    /// Mean MBR width over the sample.
+    pub avg_width: f64,
+    /// Mean MBR height over the sample.
+    pub avg_height: f64,
+}
+
+impl SpatialSample {
+    /// Sample up to `max_sample` live rows of `table` at a uniform slot
+    /// stride and summarize the geometry MBRs found in column `column`.
+    /// Rows whose column is not a geometry, or whose bounding box is
+    /// empty/NaN, are skipped (they can never join). Sampled rows are
+    /// charged to the table's `rows_scanned` counter like any scan.
+    pub fn collect(table: &Table, column: usize, max_sample: usize) -> SpatialSample {
+        let rows = table.len();
+        let hwm = table.high_water_mark();
+        let stride = if max_sample == 0 { hwm } else { (hwm / max_sample.max(1)).max(1) };
+        let mut sampled = 0usize;
+        let mut extent = Rect::EMPTY;
+        let (mut sum_w, mut sum_h) = (0.0f64, 0.0f64);
+        let mut slot = 0usize;
+        while slot < hwm {
+            // One live row (if any) per stride window.
+            if let Some((_, row)) = table.scan_slots(slot, slot + stride).next() {
+                if let Some(b) = row.get(column).and_then(|v| v.as_geometry()).map(|g| g.bbox()) {
+                    if !b.is_empty() {
+                        extent = if sampled == 0 { b } else { extent.union(&b) };
+                        sum_w += b.width();
+                        sum_h += b.height();
+                        sampled += 1;
+                    }
+                }
+            }
+            slot += stride;
+        }
+        let denom = sampled.max(1) as f64;
+        SpatialSample { rows, sampled, extent, avg_width: sum_w / denom, avg_height: sum_h / denom }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +239,41 @@ mod tests {
         assert_eq!(snap.len(), 7);
         assert_eq!(snap.len(), COUNTER_NAMES.len());
         assert!(snap.contains(&("exact_tests", 1)));
+    }
+
+    #[test]
+    fn spatial_sample_estimates_extent_and_footprint() {
+        use crate::schema::{DataType, Schema};
+        use crate::value::Value;
+        use sdo_geom::{Geometry, Polygon};
+
+        let mut t =
+            Table::new("s", Schema::of(&[("ID", DataType::Integer), ("GEOM", DataType::Geometry)]));
+        for i in 0..200 {
+            let x = (i % 20) as f64 * 10.0;
+            let y = (i / 20) as f64 * 10.0;
+            let poly = Polygon::from_rect(&Rect::new(x, y, x + 2.0, y + 4.0));
+            t.insert(vec![Value::Integer(i as i64), Value::geometry(Geometry::Polygon(poly))])
+                .unwrap();
+        }
+        // Full sample: exact extent and exact mean footprint.
+        let full = SpatialSample::collect(&t, 1, usize::MAX);
+        assert_eq!(full.rows, 200);
+        assert_eq!(full.sampled, 200);
+        assert_eq!(full.extent, Rect::new(0.0, 0.0, 192.0, 94.0));
+        assert!((full.avg_width - 2.0).abs() < 1e-9);
+        assert!((full.avg_height - 4.0).abs() < 1e-9);
+
+        // Strided sample: bounded size, extent within the true extent.
+        let s = SpatialSample::collect(&t, 1, 16);
+        assert!(s.sampled <= 17 && s.sampled >= 8, "sampled {}", s.sampled);
+        assert!(full.extent.contains_rect(&s.extent));
+        assert!(s.avg_width > 0.0 && s.avg_height > 0.0);
+
+        // Non-geometry column: nothing sampled, empty extent.
+        let none = SpatialSample::collect(&t, 0, 64);
+        assert_eq!(none.sampled, 0);
+        assert!(none.extent.is_empty());
     }
 
     #[test]

@@ -104,6 +104,102 @@ fn semijoin_profile_matches_two_table_join_cardinality() {
 }
 
 #[test]
+fn partition_join_profile_reports_method_tiles_and_cache_accuracy() {
+    let db = session_with_tables();
+    let sql = "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN( \
+               'city_table', 'geom', 'river_table', 'geom', 'intersect', \
+               2, -1, 'method=partition'))";
+    let n = db.execute(sql).unwrap().count().unwrap();
+    assert!(n > 0, "partitioned county join must produce pairs");
+
+    let profile = db.last_profile().unwrap();
+    let op = profile.root.find("PIPELINED COUNT").unwrap();
+    assert!(
+        op.attrs.iter().any(|(k, v)| k == "method_chosen" && v == "partition"),
+        "planner verdict rides on the operator: {:?}",
+        op.attrs
+    );
+    let tiles = op.metric("partition_tiles").expect("grid size is recorded");
+    assert!(tiles >= 1);
+    assert!(op.metric("tile_max_occupancy").expect("occupancy is recorded") >= 1);
+
+    let slaves: Vec<_> = op.children.iter().filter(|c| c.name.starts_with("slave")).collect();
+    assert_eq!(slaves.len(), 2, "dop=2 must report two slave operators");
+    assert_eq!(slaves.iter().map(|s| s.rows).sum::<u64>(), n as u64);
+
+    // GeomCache accuracy: the secondary filter fetches exactly one
+    // geometry per side per surviving MBR candidate, so per slave
+    // hits + misses == 2 × the mbr-join phase's candidate rows.
+    let mut executed_total = 0;
+    for s in &slaves {
+        let mbr = s.find("mbr join").expect("partition slaves share the join phase names");
+        let hits = s.metric("geom_cache_hits").unwrap_or(0);
+        let misses = s.metric("geom_cache_misses").unwrap_or(0);
+        assert_eq!(
+            hits + misses,
+            2 * mbr.rows,
+            "cache lookups must track candidates exactly (slave {})",
+            s.name
+        );
+        executed_total += s.metric("tasks_executed").expect("tasks_executed renders even at zero");
+    }
+    assert!(executed_total > 0, "some tile task must have run");
+}
+
+#[test]
+fn partition_primary_only_join_touches_no_geometry_cache() {
+    let db = session_with_tables();
+    db.execute(
+        "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN( \
+         'city_table', 'geom', 'river_table', 'geom', 'FILTER', \
+         2, -1, 'method=partition'))",
+    )
+    .unwrap();
+    let profile = db.last_profile().unwrap();
+    let op = profile.root.find("PIPELINED COUNT").unwrap();
+    for s in op.children.iter().filter(|c| c.name.starts_with("slave")) {
+        assert_eq!(
+            s.metric("geom_cache_hits").unwrap_or(0) + s.metric("geom_cache_misses").unwrap_or(0),
+            0,
+            "a primary-only join emits rowid pairs without fetching geometries"
+        );
+    }
+}
+
+#[test]
+fn method_chosen_covers_rtree_and_auto_with_reason() {
+    let db = session_with_tables();
+    db.execute(
+        "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN( \
+         'city_table', 'geom', 'river_table', 'geom', 'intersect', 2))",
+    )
+    .unwrap();
+    let profile = db.last_profile().unwrap();
+    let op = profile.root.find("PIPELINED COUNT").unwrap();
+    assert!(op.attrs.iter().any(|(k, v)| k == "method_chosen" && v == "rtree"));
+    assert!(
+        !op.attrs.iter().any(|(k, _)| k == "method_reason"),
+        "an explicit method needs no justification"
+    );
+
+    // auto on small indexed tables picks the tree join and says why.
+    db.execute(
+        "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN( \
+         'city_table', 'geom', 'river_table', 'geom', 'intersect', \
+         2, -1, 'method=auto'))",
+    )
+    .unwrap();
+    let profile = db.last_profile().unwrap();
+    let op = profile.root.find("PIPELINED COUNT").unwrap();
+    assert!(op.attrs.iter().any(|(k, v)| k == "method_chosen" && v == "rtree"));
+    assert!(
+        op.attrs.iter().any(|(k, v)| k == "method_reason" && v.contains("indexed")),
+        "auto records its reasoning: {:?}",
+        op.attrs
+    );
+}
+
+#[test]
 fn nested_loop_profile_reports_strategy_and_counters() {
     let db = session_with_tables();
     let res = db
