@@ -1,0 +1,169 @@
+//! Crash-recovery smoke: kill a writing process mid-workload, reopen
+//! the directory, and verify the recovered state is a consistent
+//! committed prefix with heap and spatial index in agreement.
+//!
+//! ```sh
+//! # the whole experiment (spawns its own victim child):
+//! cargo run --release -p sdo-bench --bin exp_recovery -- run /tmp/sdo-recovery
+//!
+//! # the victim child (never exits on its own):
+//! cargo run --release -p sdo-bench --bin exp_recovery -- child /tmp/sdo-recovery
+//! ```
+//!
+//! `run` spawns `child` against a fresh directory, lets it commit
+//! transactions for a moment, kills it without warning (SIGKILL — no
+//! destructors, no flushes), then reopens the directory and checks:
+//!
+//! 1. recovery succeeds and reports a committed prefix;
+//! 2. every committed transaction's two-row pair is all-or-nothing;
+//! 3. the rebuilt R-tree answers a window probe at every pair location
+//!    exactly like the recovered heap.
+
+use sdo_dbms::Database;
+use sdo_storage::Value;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+/// Each transaction inserts this many rows at one location; recovery
+/// must keep or discard them together.
+const ROWS_PER_TXN: i64 = 2;
+
+fn pair_poly(loc: i64) -> Value {
+    let x = (loc * 10) as f64;
+    let x1 = x + 1.0;
+    let wkt = format!("POLYGON (({x} 0, {x1} 0, {x1} 1, {x} 1, {x} 0))");
+    Value::geometry(sdo_geom::wkt::parse_wkt(&wkt).expect("valid wkt"))
+}
+
+/// The victim: open `dir`, create schema on first run, then commit
+/// two-row transactions at increasing locations forever.
+fn child(dir: &str) -> ! {
+    let db = Database::open(dir).expect("open data dir");
+    sdo_core::register_spatial(&db);
+    let fresh = db.execute("SELECT COUNT(*) FROM a").is_err();
+    if fresh {
+        db.execute("CREATE TABLE a (id NUMBER, geom SDO_GEOMETRY)").expect("create table");
+        db.execute(
+            "CREATE INDEX a_x ON a(geom) INDEXTYPE IS SPATIAL_INDEX \
+             PARAMETERS ('tree_fanout=8')",
+        )
+        .expect("create index");
+    } else {
+        db.recover_indexes().expect("recover indexes");
+    }
+    // Resume after the last committed transaction so locations stay
+    // unique across crash-and-restart rounds.
+    let committed = if fresh {
+        0
+    } else {
+        db.execute("SELECT COUNT(*) FROM a").expect("count").count().unwrap_or(0) / ROWS_PER_TXN
+    };
+    let mut loc = committed + 1;
+    loop {
+        let mut t = db.begin();
+        for _ in 0..ROWS_PER_TXN {
+            t.insert("a", vec![Value::Integer(loc), pair_poly(loc)]).expect("insert");
+        }
+        t.commit().expect("commit");
+        loc += 1;
+    }
+}
+
+fn verify(dir: &str) -> Result<(), String> {
+    let db = Database::open(dir).map_err(|e| format!("reopen failed: {e}"))?;
+    sdo_core::register_spatial(&db);
+    let rebuilt = db.recover_indexes().map_err(|e| format!("index recovery failed: {e}"))?;
+    let report = db.last_recovery().ok_or("no recovery report")?;
+    println!(
+        "recovery: {} committed, {} discarded, {} DML applied, {} indexes rebuilt",
+        report.committed_txns, report.discarded_txns, report.dml_applied, rebuilt
+    );
+    if report.committed_txns == 0 {
+        return Err("victim was killed before committing anything — raise the sleep".into());
+    }
+    if rebuilt != 1 {
+        return Err(format!("expected 1 rebuilt index, got {rebuilt}"));
+    }
+
+    let count = |sql: &str| -> Result<i64, String> {
+        db.execute(sql)
+            .map_err(|e| format!("{sql}: {e}"))?
+            .count()
+            .ok_or_else(|| format!("{sql}: no count"))
+    };
+    let total = count("SELECT COUNT(*) FROM a")?;
+    if total % ROWS_PER_TXN != 0 {
+        return Err(format!("torn transaction: {total} rows is not a multiple of {ROWS_PER_TXN}"));
+    }
+    let txns = total / ROWS_PER_TXN;
+    println!("heap: {total} rows = {txns} complete transactions");
+
+    // Committed locations are a gapless prefix 1..=txns, each pair
+    // all-or-nothing, and the R-tree agrees with the heap everywhere.
+    for loc in 1..=txns + 2 {
+        let want = if loc <= txns { ROWS_PER_TXN } else { 0 };
+        let by_id = count(&format!("SELECT COUNT(*) FROM a WHERE id = {loc}"))?;
+        if by_id != want {
+            return Err(format!("id {loc}: heap has {by_id} rows, expected {want}"));
+        }
+        let x0 = (loc * 10) as f64 - 0.5;
+        let x1 = (loc * 10) as f64 + 1.5;
+        let by_index = count(&format!(
+            "SELECT COUNT(*) FROM a WHERE SDO_RELATE(geom, SDO_GEOMETRY('POLYGON (({x0} -0.5, \
+             {x1} -0.5, {x1} 1.5, {x0} 1.5, {x0} -0.5))'), 'ANYINTERACT') = 'TRUE'"
+        ))?;
+        if by_index != want {
+            return Err(format!("location {loc}: index found {by_index}, heap implies {want}"));
+        }
+    }
+    println!("ok: committed prefix of {txns} transactions, heap and index agree");
+    Ok(())
+}
+
+fn run(dir: &str) -> Result<(), String> {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let mut victim = Command::new(exe)
+        .args(["child", dir])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn victim: {e}"))?;
+    // Let it commit for a moment, then kill it cold: SIGKILL runs no
+    // destructors — whatever the WAL holds is all that survives.
+    std::thread::sleep(Duration::from_millis(1500));
+    victim.kill().map_err(|e| format!("kill victim: {e}"))?;
+    let _ = victim.wait();
+    verify(dir)?;
+    // Second round: reopen-and-keep-writing, then crash again — the
+    // recovered directory must stay writable and recoverable.
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let mut victim = Command::new(exe)
+        .args(["child", dir])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("respawn victim: {e}"))?;
+    std::thread::sleep(Duration::from_millis(1000));
+    victim.kill().map_err(|e| format!("kill victim: {e}"))?;
+    let _ = victim.wait();
+    verify(dir)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match (args.get(1).map(String::as_str), args.get(2)) {
+        (Some("child"), Some(dir)) => child(dir),
+        (Some("run"), Some(dir)) => {
+            if let Err(e) = run(dir) {
+                eprintln!("FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        _ => {
+            eprintln!("usage: exp_recovery run|child <data-dir>");
+            std::process::exit(2);
+        }
+    }
+}

@@ -234,10 +234,19 @@ fn spatial_join_factory(db: &Database, args: Vec<TfArg>) -> Result<TfInstance, D
     // Negative level = auto (lets SQL callers reach the options
     // argument without forcing a descent level).
     let forced_level = rest.get(6).map(|a| a.integer()).transpose()?.filter(|&l| l >= 0);
-    let config = match rest.get(7) {
+    let mut config = match rest.get(7) {
         Some(a) => parse_join_options(a.text()?)?,
         None => SpatialJoinConfig::default(),
     };
+    // Pin the MVCC read view at pipeline instantiation: a streaming
+    // join delivers one consistent snapshot no matter what commits
+    // while it runs (inside a transaction, the session's own view).
+    // The commit fence makes the snapshot and the tree clones below
+    // one atomic capture — without it a DELETE could commit in
+    // between and its post-commit index maintenance would prune
+    // entries this snapshot still needs.
+    let _fence = db.txn_manager().commit_fence();
+    config.snapshot = db.read_snapshot();
     let counters = Arc::clone(db.counters());
 
     // Resolve the join engine. The default (`rtree`) preserves the
@@ -359,7 +368,7 @@ fn partition_join_func(
     };
     let (ltab, lcol) = resolve(lt, lc)?;
     let (rtab, rcol) = resolve(rt, rc)?;
-    let state = PartitionState::build(&ltab, lcol, &rtab, rcol, exact, dop);
+    let state = PartitionState::build(&ltab, lcol, &rtab, rcol, exact, dop, &config.snapshot);
     let mut instances: Vec<Box<dyn TableFunction>> = (0..dop)
         .map(|worker| {
             Box::new(PartitionJoin::new(
@@ -641,8 +650,9 @@ fn tessellate_factory(db: &Database, args: Vec<TfArg>) -> Result<TfInstance, DbE
     let params = crate::params::SpatialIndexParams { sdo_level: level, ..Default::default() };
     let world = crate::create::world_extent_of(&table, col, &params)?;
     let counters = Arc::clone(db.counters());
-    let cursor =
-        sdo_tablefunc::source::TableCursor::full(Arc::clone(&table)).with_projection(vec![col]);
+    let cursor = sdo_tablefunc::source::TableCursor::full(Arc::clone(&table))
+        .with_projection(vec![col])
+        .at_snapshot(db.read_snapshot());
     let func = sdo_tablefunc::pipeline::CursorFn::new(cursor, move |row| {
         crate::create::tessellate_row(&row, &world, level, &counters)
     });

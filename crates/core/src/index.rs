@@ -8,7 +8,7 @@ use sdo_dbms::{Database, DbError};
 use sdo_geom::{Geometry, Polygon, Rect, RelateMask};
 use sdo_quadtree::QuadtreeIndex;
 use sdo_rtree::RTree;
-use sdo_storage::{Counters, IndexKind, IndexMetadata, RowId, Table, Value};
+use sdo_storage::{Counters, IndexKind, IndexMetadata, RowId, Snapshot, Table, Value};
 use std::sync::Arc;
 
 /// The indextype registered as `SPATIAL_INDEX`.
@@ -151,28 +151,35 @@ pub fn parse_num_res(extra: &[Value]) -> Result<usize, DbError> {
 }
 
 /// Exact secondary filter: `relate(data, query, masks)` per candidate,
-/// fetching the data geometry by rowid.
+/// fetching the data geometry by rowid *under the statement snapshot*.
+/// The index may hold entries for versions the snapshot cannot see
+/// (eager maintenance of in-flight transactions), so the snapshot
+/// fetch is the visibility filter, and the result is deduplicated —
+/// an in-flight UPDATE briefly gives one rowid two entries.
 fn secondary_filter(
     table: &Arc<RwLock<Table>>,
     column: usize,
     counters: &Arc<Counters>,
+    snap: &Snapshot,
     candidates: impl IntoIterator<Item = (RowId, bool)>,
     mut keep: impl FnMut(&Geometry) -> bool,
 ) -> Result<Vec<RowId>, DbError> {
     let guard = table.read();
     let mut out = Vec::new();
     for (rid, definite) in candidates {
+        let Ok(row) = guard.get_at(rid, snap) else { continue };
         if definite {
             out.push(rid);
             continue;
         }
-        let Ok(row) = guard.get(rid) else { continue };
         let Some(g) = row[column].as_geometry() else { continue };
         Counters::bump(&counters.exact_tests);
         if keep(g) {
             out.push(rid);
         }
     }
+    out.sort_unstable();
+    out.dedup();
     Ok(out)
 }
 
@@ -237,21 +244,37 @@ impl DomainIndex for RTreeSpatialIndex {
     }
 
     fn evaluate(&self, call: &OperatorCall) -> Result<Vec<RowId>, DbError> {
+        let snap = call.snap;
         match decode_op(call)? {
             DecodedOp::Filter(q) => {
-                // Primary filter only, per Oracle SDO_FILTER semantics.
+                // Primary filter only, per Oracle SDO_FILTER semantics
+                // — but answered for the statement's snapshot: each
+                // candidate's MBR test repeats against the version the
+                // snapshot actually sees.
                 let qbb = q.bbox();
                 let tree = self.tree.read();
                 Counters::add(&self.counters.mbr_tests, tree.len() as u64 / 2);
-                Ok(tree.query_window(&qbb).into_iter().map(|(_, rid)| rid).collect())
+                let guard = self.table.read();
+                let mut out: Vec<RowId> = tree
+                    .query_window(&qbb)
+                    .into_iter()
+                    .filter_map(|(_, rid)| {
+                        let row = guard.get_at(rid, &snap).ok()?;
+                        let g = row[self.column].as_geometry()?;
+                        g.bbox().intersects(&qbb).then_some(rid)
+                    })
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                Ok(out)
             }
             DecodedOp::Relate(q, masks) => {
                 if masks.contains(&RelateMask::Disjoint) {
                     // DISJOINT cannot use an intersection-based index:
-                    // evaluate exactly over a full scan.
+                    // evaluate exactly over a full snapshot scan.
                     let guard = self.table.read();
                     let mut out = Vec::new();
-                    for (rid, row) in guard.scan() {
+                    for (rid, row) in guard.scan_at(snap) {
                         let Some(g) = row[self.column].as_geometry() else { continue };
                         Counters::bump(&self.counters.exact_tests);
                         if sdo_geom::relate::relate_any(g, &q, &masks) {
@@ -264,7 +287,7 @@ impl DomainIndex for RTreeSpatialIndex {
                     let tree = self.tree.read();
                     tree.query_window(&q.bbox()).into_iter().map(|(_, rid)| (rid, false)).collect()
                 };
-                secondary_filter(&self.table, self.column, &self.counters, candidates, |g| {
+                secondary_filter(&self.table, self.column, &self.counters, &snap, candidates, |g| {
                     sdo_geom::relate::relate_any(g, &q, &masks)
                 })
             }
@@ -276,7 +299,7 @@ impl DomainIndex for RTreeSpatialIndex {
                         .map(|(_, rid)| (rid, false))
                         .collect()
                 };
-                secondary_filter(&self.table, self.column, &self.counters, candidates, |g| {
+                secondary_filter(&self.table, self.column, &self.counters, &snap, candidates, |g| {
                     sdo_geom::within_distance(g, &q, d)
                 })
             }
@@ -297,7 +320,10 @@ impl DomainIndex for RTreeSpatialIndex {
                     if best.len() == k && lower > worst(&best) {
                         break; // no remaining candidate can improve top-k
                     }
-                    let Ok(row) = table.get(rid) else { continue };
+                    if best.iter().any(|&(_, r)| r == rid) {
+                        continue; // duplicate entry from an in-flight update
+                    }
+                    let Ok(row) = table.get_at(rid, &snap) else { continue };
                     let Some(g) = row[self.column].as_geometry() else { continue };
                     Counters::bump(&self.counters.exact_tests);
                     let d = sdo_geom::distance(g, &q);
@@ -385,16 +411,26 @@ impl DomainIndex for QuadtreeSpatialIndex {
     }
 
     fn evaluate(&self, call: &OperatorCall) -> Result<Vec<RowId>, DbError> {
+        let snap = call.snap;
         match decode_op(call)? {
             DecodedOp::Filter(q) => {
                 let idx = self.index.read();
-                Ok(idx.query_window(&q).into_iter().map(|c| c.rowid).collect())
+                let guard = self.table.read();
+                let mut out: Vec<RowId> = idx
+                    .query_window(&q)
+                    .into_iter()
+                    .filter(|c| guard.get_at(c.rowid, &snap).is_ok())
+                    .map(|c| c.rowid)
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                Ok(out)
             }
             DecodedOp::Relate(q, masks) => {
                 if masks.contains(&RelateMask::Disjoint) {
                     let guard = self.table.read();
                     let mut out = Vec::new();
-                    for (rid, row) in guard.scan() {
+                    for (rid, row) in guard.scan_at(snap) {
                         let Some(g) = row[self.column].as_geometry() else { continue };
                         Counters::bump(&self.counters.exact_tests);
                         if sdo_geom::relate::relate_any(g, &q, &masks) {
@@ -412,7 +448,7 @@ impl DomainIndex for QuadtreeSpatialIndex {
                         .map(|c| (c.rowid, prove_by_tiles && c.definite))
                         .collect()
                 };
-                secondary_filter(&self.table, self.column, &self.counters, candidates, |g| {
+                secondary_filter(&self.table, self.column, &self.counters, &snap, candidates, |g| {
                     sdo_geom::relate::relate_any(g, &q, &masks)
                 })
             }
@@ -423,7 +459,7 @@ impl DomainIndex for QuadtreeSpatialIndex {
                     let idx = self.index.read();
                     idx.query_window(&window).into_iter().map(|c| (c.rowid, false)).collect()
                 };
-                secondary_filter(&self.table, self.column, &self.counters, candidates, |g| {
+                secondary_filter(&self.table, self.column, &self.counters, &snap, candidates, |g| {
                     sdo_geom::within_distance(g, &q, d)
                 })
             }

@@ -26,7 +26,7 @@ use sdo_geom::{PreparedGeometry, RelateMask};
 use sdo_obs::ProfileNode;
 use sdo_rtree::join::{subtree_pair_tasks, CandidatePair};
 use sdo_rtree::{JoinCursor, JoinPredicate, KernelMode, KernelStats, NodeId, RTree};
-use sdo_storage::{Counters, RowId, Table, Value};
+use sdo_storage::{Counters, RowId, Snapshot, Table, Value};
 use sdo_tablefunc::{Row, TableFunction, TfError};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -200,6 +200,12 @@ pub struct SpatialJoinConfig {
     /// (`sweep_threshold=N`; default [`sdo_rtree::SWEEP_THRESHOLD`]).
     /// `0` forces the sweep everywhere, `usize::MAX` forces scans.
     pub sweep_threshold: usize,
+    /// MVCC read view for geometry fetches and partition scans. The
+    /// SQL layer pins this at pipeline instantiation so a streaming
+    /// join never mixes rows from before and after a concurrent
+    /// commit; [`Snapshot::LATEST`] (the default) preserves the
+    /// non-transactional behavior.
+    pub snapshot: Snapshot,
 }
 
 impl Default for SpatialJoinConfig {
@@ -217,6 +223,7 @@ impl Default for SpatialJoinConfig {
             prepare: true,
             method: JoinMethod::default(),
             sweep_threshold: sdo_rtree::SWEEP_THRESHOLD,
+            snapshot: Snapshot::LATEST,
         }
     }
 }
@@ -250,6 +257,10 @@ pub(crate) struct GeomCache {
     cap: usize,
     map: std::collections::HashMap<RowId, Arc<PreparedGeometry>>,
     order: VecDeque<RowId>,
+    /// MVCC read view: a fetch of a rowid invisible to the snapshot
+    /// (uncommitted insert, or committed after the join was pinned)
+    /// skips the candidate, exactly like a deleted row.
+    snap: Snapshot,
     pub(crate) hits: u64,
     pub(crate) misses: u64,
 }
@@ -260,9 +271,16 @@ impl GeomCache {
             cap,
             map: std::collections::HashMap::new(),
             order: VecDeque::new(),
+            snap: Snapshot::LATEST,
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// Pin geometry fetches to an MVCC read snapshot.
+    pub(crate) fn at_snapshot(mut self, snap: Snapshot) -> Self {
+        self.snap = snap;
+        self
     }
 
     /// Drop cached geometries but keep hit/miss statistics (used by
@@ -290,7 +308,7 @@ impl GeomCache {
                 return Some(Arc::clone(g));
             }
         }
-        let row = table.read().get(rid).ok()?;
+        let row = table.read().get_at(rid, &self.snap).ok()?;
         let g = Arc::new(PreparedGeometry::from_arc(row.get(column)?.as_geometry().cloned()?));
         self.misses += 1;
         if self.cap > 0 {
@@ -349,7 +367,7 @@ impl SecondaryFilter<'_> {
             p.sort.add_wall(t0.elapsed());
         }
 
-        for (_, lrid, _, rrid) in candidates {
+        for (lrect, lrid, rrect, rrid) in candidates {
             if matches!(self.exact, ExactPredicate::PrimaryOnly) {
                 out.push_back(vec![Value::RowId(lrid), Value::RowId(rrid)]);
                 continue;
@@ -367,6 +385,16 @@ impl SecondaryFilter<'_> {
             let (Some(lg), Some(rg)) = (lg, rg) else {
                 continue; // row deleted mid-join: skip, like a CR miss
             };
+            // MVCC staleness guard: an in-flight UPDATE leaves the
+            // row's old and new index entries side by side until
+            // commit prunes one. Both entries fetch the same
+            // (snapshot-visible) heap geometry, so only the entry
+            // whose MBR matches that geometry may emit — the other
+            // belongs to a version this snapshot cannot see, and
+            // emitting through it would duplicate the pair.
+            if lg.geometry().bbox() != lrect || rg.geometry().bbox() != rrect {
+                continue;
+            }
             Counters::bump(&counters.exact_tests);
             let t_filter = phases.map(|_| Instant::now());
             let keep = match (self.exact, self.prepare) {
@@ -457,6 +485,7 @@ impl SpatialJoin {
         stack: Vec<(NodeId, NodeId)>,
     ) -> Self {
         let cache = config.cache_size;
+        let snap = config.snapshot;
         SpatialJoin {
             left,
             right,
@@ -467,8 +496,8 @@ impl SpatialJoin {
             stack,
             carry: VecDeque::new(),
             out: VecDeque::new(),
-            lcache: GeomCache::new(cache),
-            rcache: GeomCache::new(cache),
+            lcache: GeomCache::new(cache).at_snapshot(snap),
+            rcache: GeomCache::new(cache).at_snapshot(snap),
             started: false,
             mbr_exhausted: false,
             peak_candidates: 0,
@@ -754,6 +783,7 @@ impl QuadtreeJoin {
             ));
         }
         let cache = config.cache_size;
+        let snap = config.snapshot;
         Ok(QuadtreeJoin {
             left,
             right,
@@ -762,8 +792,8 @@ impl QuadtreeJoin {
             counters,
             candidates: VecDeque::new(),
             out: VecDeque::new(),
-            lcache: GeomCache::new(cache),
-            rcache: GeomCache::new(cache),
+            lcache: GeomCache::new(cache).at_snapshot(snap),
+            rcache: GeomCache::new(cache).at_snapshot(snap),
             started: false,
             merged: false,
             result_rows: 0,

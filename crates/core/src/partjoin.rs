@@ -64,7 +64,7 @@ use sdo_obs::ProfileNode;
 use sdo_rtree::join::CandidatePair;
 use sdo_rtree::kernel::{sweep_pairs, SoaMbrs, SweepScratch};
 use sdo_rtree::{JoinPredicate, KernelMode, KernelStats};
-use sdo_storage::{Counters, RowId, SpatialSample, Table};
+use sdo_storage::{Counters, RowId, Snapshot, SpatialSample, Table};
 use sdo_tablefunc::{Row, TableFunction, TaskQueue, TfError};
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -231,9 +231,15 @@ fn class_of(tx: usize, ty: usize, start_col: usize, start_row: usize) -> usize {
 /// with class tags. `expand` widens the *assignment* rect by a
 /// distance-join radius (stored rects stay exact); rows without a
 /// geometry or with an empty/NaN bbox are skipped — they never join.
-fn partition_side(table: &Table, column: usize, grid: &GridSpec, expand: f64) -> PartitionedSide {
+fn partition_side(
+    table: &Table,
+    column: usize,
+    grid: &GridSpec,
+    expand: f64,
+    snap: &Snapshot,
+) -> PartitionedSide {
     let mut items: Vec<(Rect, RowId)> = Vec::with_capacity(table.len());
-    for (rid, row) in table.scan() {
+    for (rid, row) in table.scan_at(*snap) {
         if let Some(b) = row.get(column).and_then(|v| v.as_geometry()).map(|g| g.bbox()) {
             if !b.is_empty() {
                 items.push((b, rid));
@@ -325,6 +331,7 @@ impl PartitionState {
         right_column: usize,
         exact: &ExactPredicate,
         dop: usize,
+        snap: &Snapshot,
     ) -> Arc<PartitionState> {
         let ls = SpatialSample::collect(&left_table.read(), left_column, SAMPLE_SIZE);
         let rs = SpatialSample::collect(&right_table.read(), right_column, SAMPLE_SIZE);
@@ -333,8 +340,8 @@ impl PartitionState {
             JoinPredicate::WithinDistance(d) => d.max(0.0),
             JoinPredicate::Intersects => 0.0,
         };
-        let left = partition_side(&left_table.read(), left_column, &grid, expand);
-        let right = partition_side(&right_table.read(), right_column, &grid, 0.0);
+        let left = partition_side(&left_table.read(), left_column, &grid, expand, snap);
+        let right = partition_side(&right_table.read(), right_column, &grid, 0.0, snap);
 
         let mut tasks = Vec::new();
         let mut max_occupancy = 0u64;
@@ -410,6 +417,7 @@ impl PartitionJoin {
         worker: usize,
     ) -> Self {
         let cache = config.cache_size;
+        let snap = config.snapshot;
         PartitionJoin {
             state,
             left_table,
@@ -427,8 +435,8 @@ impl PartitionJoin {
             sweep: SweepScratch::new(),
             carry: VecDeque::new(),
             out: VecDeque::new(),
-            lcache: GeomCache::new(cache),
-            rcache: GeomCache::new(cache),
+            lcache: GeomCache::new(cache).at_snapshot(snap),
+            rcache: GeomCache::new(cache).at_snapshot(snap),
             started: false,
             exhausted: false,
             peak_candidates: 0,
@@ -678,7 +686,7 @@ mod tests {
         dop: usize,
         config: SpatialJoinConfig,
     ) -> Vec<(u64, u64)> {
-        let state = PartitionState::build(left, 0, right, 0, &exact, dop);
+        let state = PartitionState::build(left, 0, right, 0, &exact, dop, &Snapshot::LATEST);
         let mut pairs = Vec::new();
         for worker in 0..dop {
             let mut f = PartitionJoin::new(

@@ -1,13 +1,25 @@
-//! The database façade: catalog + registries + DML with index
-//! maintenance.
+//! The database façade: catalog + registries + transactional DML with
+//! index maintenance, WAL durability, and crash recovery.
 
 use crate::error::DbError;
 use crate::extensible::{DomainIndex, IndexType};
-use parking_lot::RwLock;
-use sdo_storage::{Catalog, Counters, IndexMetadata, RowId, Schema, Table, Value};
+use parking_lot::{Mutex, RwLock};
+use sdo_storage::snapshot::IndexDirective;
+use sdo_storage::{
+    Catalog, Counters, IndexMetadata, RowId, Schema, Snapshot, StorageError, Table, Value, Wal,
+    WalRecord,
+};
 use sdo_tablefunc::{Row, TableFunction};
+use sdo_txn::recovery::RecoveryReport;
+use sdo_txn::{TxnManager, TxnToken};
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// Checkpoint base image file name inside a database directory.
+pub const BASE_FILE: &str = "base.sdb";
+/// Write-ahead log file name inside a database directory.
+pub const WAL_FILE: &str = "wal.log";
 
 /// A table-function argument at execution time.
 pub enum TfArg {
@@ -87,14 +99,40 @@ impl QueryResult {
 pub type IndexHandle = Arc<RwLock<Box<dyn DomainIndex>>>;
 
 /// The top-level engine object: a catalog, the extensible-indexing
-/// registries, and the table-function registry.
+/// registries, the table-function registry, and the transaction
+/// subsystem (MVCC manager + optional write-ahead log).
 pub struct Database {
     catalog: Catalog,
+    txn: TxnManager,
+    /// Write-ahead log; `None` for purely in-memory databases.
+    wal: RwLock<Option<Arc<Wal>>>,
+    /// Directory backing [`Database::open`]; `None` when in-memory.
+    data_dir: RwLock<Option<PathBuf>>,
+    /// The SQL session's open explicit transaction, if any.
+    session: Mutex<Option<TxnCtx>>,
+    /// Domain indexes recovery says to rebuild (see
+    /// [`Database::recover_indexes`]).
+    pending_indexes: Mutex<Vec<IndexDirective>>,
+    /// What the last [`Database::open`] replayed, for smoke tests.
+    last_recovery: RwLock<Option<RecoveryReport>>,
     indextypes: RwLock<HashMap<String, Arc<dyn IndexType>>>,
     indexes: RwLock<HashMap<String, IndexHandle>>,
     table_functions: RwLock<HashMap<String, Arc<TfFactory>>>,
     last_profile: RwLock<Option<sdo_obs::QueryProfile>>,
     options: RwLock<SessionOptions>,
+}
+
+/// When a committed transaction's WAL records are forced to disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// `fsync` the log up to the commit record before acknowledging
+    /// the commit (the default): a committed transaction survives a
+    /// crash.
+    Fsync,
+    /// Append without syncing: group commit at OS-buffer speed; a
+    /// crash may lose the most recent commits, but recovery still
+    /// yields a clean serial prefix.
+    Buffered,
 }
 
 /// Per-session executor options, set via `ALTER SESSION SET ...`.
@@ -108,11 +146,96 @@ pub struct SessionOptions {
     /// [`sdo_obs::MemoryGauge`]. Exceeding it fails the query, naming
     /// the operator that tipped it over.
     pub max_resident_rows: u64,
+    /// Commit durability policy (`durability = fsync | buffered`).
+    pub durability: Durability,
 }
 
 impl Default for SessionOptions {
     fn default() -> Self {
-        SessionOptions { materialize: false, max_resident_rows: 5_000_000 }
+        SessionOptions {
+            materialize: false,
+            max_resident_rows: 5_000_000,
+            durability: Durability::Fsync,
+        }
+    }
+}
+
+/// Book-keeping for one open transaction: the MVCC token plus the
+/// side effects that must be applied or undone at commit/abort.
+///
+/// Domain-index maintenance enlists here. `on_insert` runs eagerly at
+/// DML time (index probes tolerate entries for uncommitted rows —
+/// every candidate funnels through a snapshot-aware heap fetch that
+/// skips invisible rows), recording an undo `on_delete` for abort.
+/// `on_delete` is deferred to after the commit point, so readers on
+/// older snapshots never miss entries for rows they can still see.
+pub(crate) struct TxnCtx {
+    token: TxnToken,
+    /// Whether the WAL `Begin` record has been appended. Lazy: a
+    /// read-only transaction logs nothing at all.
+    began_logged: bool,
+    /// `on_delete(rid, row)` undos to run if the transaction aborts.
+    abort_index_ops: Vec<(IndexHandle, RowId, Vec<Value>)>,
+    /// `on_delete(rid, row)` to run after the commit point.
+    commit_index_ops: Vec<(IndexHandle, RowId, Vec<Value>)>,
+    /// Net live-row delta per (uppercased) table, applied at commit.
+    live_deltas: HashMap<String, i64>,
+}
+
+/// RAII handle for an explicit transaction opened with
+/// [`Database::begin`]. Dropping the handle without calling
+/// [`Txn::commit`] rolls the transaction back.
+///
+/// Unlike the SQL session transaction (`BEGIN`/`COMMIT` statements,
+/// one per session), any number of `Txn` handles may run concurrently
+/// on different threads; conflicts surface as
+/// [`StorageError::WriteConflict`].
+pub struct Txn<'a> {
+    db: &'a Database,
+    ctx: Option<TxnCtx>,
+}
+
+impl Txn<'_> {
+    /// The read snapshot this transaction runs under.
+    pub fn snapshot(&self) -> Snapshot {
+        self.ctx.as_ref().expect("open transaction").token.snap
+    }
+
+    /// Insert a row within this transaction.
+    pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<RowId, DbError> {
+        let ctx = self.ctx.as_mut().expect("open transaction");
+        self.db.txn_insert(ctx, table, row)
+    }
+
+    /// Update a row within this transaction (first-updater-wins).
+    pub fn update(&mut self, table: &str, rid: RowId, row: Vec<Value>) -> Result<(), DbError> {
+        let ctx = self.ctx.as_mut().expect("open transaction");
+        self.db.txn_update(ctx, table, rid, row)
+    }
+
+    /// Delete a row within this transaction (first-updater-wins).
+    pub fn delete(&mut self, table: &str, rid: RowId) -> Result<(), DbError> {
+        let ctx = self.ctx.as_mut().expect("open transaction");
+        self.db.txn_delete(ctx, table, rid)
+    }
+
+    /// Durably commit: all of this transaction's writes become visible
+    /// atomically.
+    pub fn commit(mut self) -> Result<(), DbError> {
+        self.db.commit_ctx(self.ctx.take().expect("open transaction"))
+    }
+
+    /// Roll the transaction back explicitly.
+    pub fn rollback(mut self) {
+        self.db.abort_ctx(self.ctx.take().expect("open transaction"));
+    }
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        if let Some(ctx) = self.ctx.take() {
+            self.db.abort_ctx(ctx);
+        }
     }
 }
 
@@ -123,10 +246,19 @@ impl Default for Database {
 }
 
 impl Database {
-    /// A fresh session with empty catalog and registries.
+    /// A fresh in-memory session with empty catalog and registries
+    /// (no WAL; use [`Database::open`] for a durable database).
     pub fn new() -> Self {
+        let catalog = Catalog::new();
+        let txn = TxnManager::new(Arc::clone(catalog.status()), Arc::clone(catalog.counters()));
         Database {
-            catalog: Catalog::new(),
+            catalog,
+            txn,
+            wal: RwLock::new(None),
+            data_dir: RwLock::new(None),
+            session: Mutex::new(None),
+            pending_indexes: Mutex::new(Vec::new()),
+            last_recovery: RwLock::new(None),
             indextypes: RwLock::new(HashMap::new()),
             indexes: RwLock::new(HashMap::new()),
             table_functions: RwLock::new(HashMap::new()),
@@ -135,14 +267,121 @@ impl Database {
         }
     }
 
+    /// Open (or create) a durable database in `dir`.
+    ///
+    /// Reads the checkpoint base image (if any), replays the WAL's
+    /// durable record prefix over it — committed transactions redo in
+    /// full, uncommitted ones are discarded — and attaches the log for
+    /// subsequent writes. Domain indexes are *not* live yet: register
+    /// the indextypes the database was created with, then call
+    /// [`Database::recover_indexes`].
+    pub fn open(dir: impl AsRef<Path>) -> Result<Database, DbError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| StorageError::Io(format!("create {}: {e}", dir.display())))?;
+        let db = Database::new();
+
+        let base_path = dir.join(BASE_FILE);
+        let mut directives: Vec<IndexDirective> = Vec::new();
+        if base_path.exists() {
+            let payload = sdo_storage::pager::read_base(&base_path)?;
+            directives = sdo_storage::snapshot::load_catalog(&db.catalog, &payload[..])?;
+        }
+
+        let wal_path = dir.join(WAL_FILE);
+        let records =
+            if wal_path.exists() { sdo_storage::wal::read_wal(&wal_path)? } else { Vec::new() };
+        let report = sdo_txn::recovery::replay(&records, &db.catalog)?;
+        // Base-image indexes dropped later in the log must not be
+        // rebuilt; WAL-created ones append after the survivors.
+        for rec in &records {
+            match rec {
+                WalRecord::DropIndex { name } => {
+                    directives.retain(|d| !d.index_name.eq_ignore_ascii_case(name));
+                }
+                WalRecord::DropTable { name } => {
+                    directives.retain(|d| !d.table_name.eq_ignore_ascii_case(name));
+                }
+                _ => {}
+            }
+        }
+        directives.extend(report.directives.iter().cloned());
+
+        // New transaction ids must not collide with ids still in the
+        // log: a second recovery would otherwise mix the DML of an old
+        // committed transaction into a new one with the same id.
+        let max_txid = records.iter().filter_map(|r| r.txid()).max().unwrap_or(0);
+        let status = db.catalog.status();
+        while (status.allocated() as u64) < max_txid {
+            let t = status.begin();
+            status.abort(t);
+        }
+
+        let wal = Wal::open(&wal_path, Arc::clone(db.catalog.counters()))?;
+        *db.wal.write() = Some(Arc::new(wal));
+        *db.data_dir.write() = Some(dir.to_path_buf());
+        *db.pending_indexes.lock() = directives;
+        *db.last_recovery.write() = Some(report);
+        Ok(db)
+    }
+
+    /// Rebuild the domain indexes recorded by recovery, through the
+    /// (now registered) indextypes. Returns how many were rebuilt.
+    ///
+    /// Each index rebuilds from the recovered table, which by
+    /// construction equals a fresh build over the committed state.
+    pub fn recover_indexes(&self) -> Result<usize, DbError> {
+        let directives: Vec<IndexDirective> = std::mem::take(&mut *self.pending_indexes.lock());
+        let n = directives.len();
+        for d in directives {
+            self.create_domain_index_unlogged(
+                &d.index_name,
+                &d.table_name,
+                &d.column_name,
+                "SPATIAL_INDEX",
+                &d.parameters,
+                d.create_dop,
+            )?;
+        }
+        Ok(n)
+    }
+
+    /// What the last [`Database::open`] replayed, if this database was
+    /// opened from a directory.
+    pub fn last_recovery(&self) -> Option<RecoveryReport> {
+        self.last_recovery.read().clone()
+    }
+
+    /// Flush a checkpoint: write the full catalog (tables + index
+    /// metadata) as the new base image, then truncate the WAL.
+    ///
+    /// The caller must quiesce writers first — checkpointing refuses
+    /// to run while any transaction is in flight, because the base
+    /// image is a `LATEST`-snapshot serialization.
+    pub fn checkpoint(&self) -> Result<(), DbError> {
+        if self.session.lock().is_some() || self.txn.active_count() > 0 {
+            return Err(DbError::Txn("checkpoint requires no in-flight transactions".into()));
+        }
+        let dir = self.data_dir.read().clone().ok_or_else(|| {
+            DbError::Txn("checkpoint requires a directory-backed database (Database::open)".into())
+        })?;
+        let payload = self.save_snapshot();
+        sdo_storage::pager::write_base(dir.join(BASE_FILE), &payload)?;
+        if let Some(w) = self.wal_handle() {
+            w.truncate()?;
+        }
+        Ok(())
+    }
+
     /// Current session options (copy).
     pub fn options(&self) -> SessionOptions {
         self.options.read().clone()
     }
 
     /// Set a session option by name. Recognised options:
-    /// `materialize` (`on`/`off`) and `max_resident_rows` (a positive
-    /// row count).
+    /// `materialize` (`on`/`off`), `max_resident_rows` (a positive
+    /// row count), and `durability` (`fsync`/`buffered`). Unknown
+    /// options and unknown values both fail, naming the option.
     pub fn set_option(&self, name: &str, value: &str) -> Result<(), DbError> {
         let mut opts = self.options.write();
         match name.to_ascii_lowercase().as_str() {
@@ -166,6 +405,15 @@ impl Database {
                 }
                 opts.max_resident_rows = n as u64;
             }
+            "durability" => match value.to_ascii_lowercase().as_str() {
+                "fsync" => opts.durability = Durability::Fsync,
+                "buffered" => opts.durability = Durability::Buffered,
+                other => {
+                    return Err(DbError::Plan(format!(
+                        "invalid value '{other}' for DURABILITY (expected fsync/buffered)"
+                    )))
+                }
+            },
             other => return Err(DbError::Plan(format!("unknown session option '{other}'"))),
         }
         Ok(())
@@ -233,9 +481,22 @@ impl Database {
 
     // -- tables ----------------------------------------------------------------
 
-    /// Create a table (fails if the name is taken).
+    /// Create a table (fails if the name is taken). DDL autocommits:
+    /// it is logged and durable immediately, and is rejected inside an
+    /// explicit transaction.
     pub fn create_table(&self, name: &str, schema: Schema) -> Result<(), DbError> {
-        self.catalog.create_table(name, schema)?;
+        self.reject_in_txn("CREATE TABLE")?;
+        self.catalog.create_table(name, schema.clone())?;
+        self.log_ddl(&WalRecord::CreateTable { name: name.to_ascii_uppercase(), schema })?;
+        Ok(())
+    }
+
+    fn reject_in_txn(&self, what: &str) -> Result<(), DbError> {
+        if self.in_txn() {
+            return Err(DbError::Txn(format!(
+                "{what} is not allowed inside an explicit transaction (DDL autocommits)"
+            )));
+        }
         Ok(())
     }
 
@@ -246,6 +507,7 @@ impl Database {
 
     /// Drop a table along with its domain indexes and metadata.
     pub fn drop_table(&self, name: &str) -> Result<(), DbError> {
+        self.reject_in_txn("DROP TABLE")?;
         // Drop dependent domain indexes first.
         let dependent: Vec<String> = {
             let indexes = self.indexes.read();
@@ -264,51 +526,316 @@ impl Database {
             self.indexes.write().remove(&iname);
         }
         self.catalog.drop_table(name)?;
+        self.log_ddl(&WalRecord::DropTable { name: name.to_ascii_uppercase() })?;
         Ok(())
     }
 
     /// Insert a row, maintaining every domain index on the table —
     /// the automatic index-update trigger of extensible indexing.
+    /// Joins the session's open transaction, or autocommits.
     pub fn insert_row(&self, table: &str, row: Vec<Value>) -> Result<RowId, DbError> {
-        let t = self.table(table)?;
-        let rid = t.write().insert(row.clone())?;
-        for idx in self.indexes_on_table(table) {
-            idx.write().on_insert(rid, &row)?;
-        }
-        Ok(rid)
+        self.with_session_txn(move |db, ctx| db.txn_insert(ctx, table, row))
     }
 
     /// Update a row in place, maintaining domain indexes (Oracle §3:
     /// "inserts and updates ... automatically trigger an update of the
     /// corresponding spatial indexes").
     pub fn update_row(&self, table: &str, rid: RowId, row: Vec<Value>) -> Result<(), DbError> {
-        let t = self.table(table)?;
-        let old = t.read().get(rid)?;
-        for idx in self.indexes_on_table(table) {
-            let mut idx = idx.write();
-            idx.on_delete(rid, &old)?;
-            idx.on_insert(rid, &row)?;
-        }
-        t.write().update(rid, row)?;
-        Ok(())
+        self.with_session_txn(move |db, ctx| db.txn_update(ctx, table, rid, row))
     }
 
     /// Delete a row by rowid, maintaining domain indexes.
     pub fn delete_row(&self, table: &str, rid: RowId) -> Result<(), DbError> {
-        let t = self.table(table)?;
-        let row = t.read().get(rid)?;
+        self.with_session_txn(move |db, ctx| db.txn_delete(ctx, table, rid))
+    }
+
+    // -- transactions -------------------------------------------------------
+
+    /// The MVCC read view for a new statement: the session
+    /// transaction's snapshot when one is open (own writes + world as
+    /// of `BEGIN`), otherwise the latest committed state.
+    pub fn read_snapshot(&self) -> Snapshot {
+        match self.session.lock().as_ref() {
+            Some(ctx) => ctx.token.snap,
+            None => self.txn.snapshot(),
+        }
+    }
+
+    /// The transaction manager (snapshots, CSNs, commit protocol).
+    #[inline]
+    pub fn txn_manager(&self) -> &TxnManager {
+        &self.txn
+    }
+
+    /// Begin an explicit transaction owned by the caller (Rust API).
+    /// Any number may run concurrently; see [`Txn`].
+    pub fn begin(&self) -> Txn<'_> {
+        Txn { db: self, ctx: Some(self.new_ctx()) }
+    }
+
+    /// `BEGIN`: open the SQL session's explicit transaction.
+    pub fn begin_txn(&self) -> Result<(), DbError> {
+        let mut session = self.session.lock();
+        if session.is_some() {
+            return Err(DbError::Txn("transaction already in progress".into()));
+        }
+        *session = Some(self.new_ctx());
+        Ok(())
+    }
+
+    /// `COMMIT`: durably commit the session's open transaction.
+    pub fn commit_txn(&self) -> Result<(), DbError> {
+        let ctx = self
+            .session
+            .lock()
+            .take()
+            .ok_or_else(|| DbError::Txn("COMMIT with no open transaction".into()))?;
+        self.commit_ctx(ctx)
+    }
+
+    /// `ROLLBACK`: abort the session's open transaction.
+    pub fn rollback_txn(&self) -> Result<(), DbError> {
+        let ctx = self
+            .session
+            .lock()
+            .take()
+            .ok_or_else(|| DbError::Txn("ROLLBACK with no open transaction".into()))?;
+        self.abort_ctx(ctx);
+        Ok(())
+    }
+
+    /// Whether the SQL session has an open explicit transaction.
+    pub fn in_txn(&self) -> bool {
+        self.session.lock().is_some()
+    }
+
+    fn new_ctx(&self) -> TxnCtx {
+        TxnCtx {
+            token: self.txn.begin(),
+            began_logged: false,
+            abort_index_ops: Vec::new(),
+            commit_index_ops: Vec::new(),
+            live_deltas: HashMap::new(),
+        }
+    }
+
+    /// Run `f` inside the session's open transaction, or inside a
+    /// fresh autocommitted one (commit on `Ok`, roll back on `Err` —
+    /// a failed autocommit statement leaves no trace).
+    pub(crate) fn with_session_txn<R>(
+        &self,
+        f: impl FnOnce(&Database, &mut TxnCtx) -> Result<R, DbError>,
+    ) -> Result<R, DbError> {
+        let mut session = self.session.lock();
+        if let Some(ctx) = session.as_mut() {
+            return f(self, ctx);
+        }
+        drop(session);
+        let mut ctx = self.new_ctx();
+        match f(self, &mut ctx) {
+            Ok(v) => {
+                self.commit_ctx(ctx)?;
+                Ok(v)
+            }
+            Err(e) => {
+                self.abort_ctx(ctx);
+                Err(e)
+            }
+        }
+    }
+
+    fn wal_handle(&self) -> Option<Arc<Wal>> {
+        self.wal.read().clone()
+    }
+
+    /// Append the transaction's `Begin` record on its first write.
+    fn ensure_begin_logged(&self, ctx: &mut TxnCtx) -> Result<(), DbError> {
+        if !ctx.began_logged {
+            if let Some(w) = self.wal_handle() {
+                w.append(&WalRecord::Begin { txid: ctx.token.txid })?;
+            }
+            ctx.began_logged = true;
+        }
+        Ok(())
+    }
+
+    /// Append a DDL record and make it durable per the session policy.
+    fn log_ddl(&self, rec: &WalRecord) -> Result<(), DbError> {
+        if let Some(w) = self.wal_handle() {
+            let lsn = w.append(rec)?;
+            if self.options.read().durability == Durability::Fsync {
+                w.sync_to(lsn)?;
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn txn_insert(
+        &self,
+        ctx: &mut TxnCtx,
+        table: &str,
+        row: Vec<Value>,
+    ) -> Result<RowId, DbError> {
+        self.ensure_begin_logged(ctx)?;
+        let tname = table.to_ascii_uppercase();
+        let t = self.table(&tname)?;
+        let rid = t.write().insert_txn(ctx.token.txid, row.clone())?;
+        if let Some(w) = self.wal_handle() {
+            w.append(&WalRecord::Insert {
+                txid: ctx.token.txid,
+                table: tname.clone(),
+                rid,
+                row: row.clone(),
+            })?;
+        }
+        for idx in self.indexes_on_table(&tname) {
+            idx.write().on_insert(rid, &row)?;
+            ctx.abort_index_ops.push((Arc::clone(&idx), rid, row.clone()));
+        }
+        *ctx.live_deltas.entry(tname).or_insert(0) += 1;
+        Ok(rid)
+    }
+
+    pub(crate) fn txn_update(
+        &self,
+        ctx: &mut TxnCtx,
+        table: &str,
+        rid: RowId,
+        row: Vec<Value>,
+    ) -> Result<(), DbError> {
+        self.ensure_begin_logged(ctx)?;
+        let tname = table.to_ascii_uppercase();
+        let t = self.table(&tname)?;
+        let old = t.read().get_at(rid, &ctx.token.snap)?.to_vec();
+        t.write().update_txn(ctx.token.txid, ctx.token.snap.csn, rid, row.clone())?;
+        if let Some(w) = self.wal_handle() {
+            w.append(&WalRecord::Update {
+                txid: ctx.token.txid,
+                table: tname,
+                rid,
+                row: row.clone(),
+            })?;
+        }
+        // The new entry goes in eagerly (undone on abort); the old
+        // entry stays until after the commit point, because readers on
+        // older snapshots can still see the old version. The transient
+        // duplicate is harmless: index candidates re-check the heap
+        // under the reader's snapshot.
         for idx in self.indexes_on_table(table) {
+            idx.write().on_insert(rid, &row)?;
+            ctx.abort_index_ops.push((Arc::clone(&idx), rid, row.clone()));
+            ctx.commit_index_ops.push((idx, rid, old.clone()));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn txn_delete(
+        &self,
+        ctx: &mut TxnCtx,
+        table: &str,
+        rid: RowId,
+    ) -> Result<(), DbError> {
+        self.ensure_begin_logged(ctx)?;
+        let tname = table.to_ascii_uppercase();
+        let t = self.table(&tname)?;
+        let old = t.read().get_at(rid, &ctx.token.snap)?.to_vec();
+        t.write().delete_txn(ctx.token.txid, ctx.token.snap.csn, rid)?;
+        if let Some(w) = self.wal_handle() {
+            w.append(&WalRecord::Delete { txid: ctx.token.txid, table: tname.clone(), rid })?;
+        }
+        // Deferred: the index entry must outlive the commit point for
+        // old-snapshot readers.
+        for idx in self.indexes_on_table(table) {
+            ctx.commit_index_ops.push((idx, rid, old.clone()));
+        }
+        *ctx.live_deltas.entry(tname).or_insert(0) -= 1;
+        Ok(())
+    }
+
+    /// The commit protocol: WAL commit record → durability sync →
+    /// status flip (the commit point) → deferred index deletes →
+    /// live-row deltas.
+    fn commit_ctx(&self, ctx: TxnCtx) -> Result<(), DbError> {
+        if ctx.began_logged {
+            if let Some(w) = self.wal_handle() {
+                let lsn = match w.append(&WalRecord::Commit { txid: ctx.token.txid }) {
+                    Ok(lsn) => lsn,
+                    Err(e) => {
+                        // Nothing durable marks this commit; roll back.
+                        self.abort_ctx(ctx);
+                        return Err(e.into());
+                    }
+                };
+                if self.options.read().durability == Durability::Fsync {
+                    if let Err(e) = w.sync_to(lsn) {
+                        // Conservative: treat an undurable commit as
+                        // failed. (Recovery may still see the record if
+                        // the OS got it out — the classic ack-lost
+                        // window.)
+                        self.abort_ctx(ctx);
+                        return Err(e.into());
+                    }
+                }
+            }
+        }
+        self.txn.commit(ctx.token.txid);
+        for (idx, rid, row) in ctx.commit_index_ops {
             idx.write().on_delete(rid, &row)?;
         }
-        t.write().delete(rid)?;
+        for (tname, delta) in ctx.live_deltas {
+            if delta != 0 {
+                self.table(&tname)?.write().apply_live_delta(delta);
+            }
+        }
         Ok(())
+    }
+
+    /// Roll back: flip the status (O(1) — versions become invisible
+    /// immediately and are pruned lazily), then undo eager index
+    /// insertions. The WAL `Abort` record is advisory; a missing
+    /// commit record discards the transaction at recovery anyway.
+    fn abort_ctx(&self, ctx: TxnCtx) {
+        if ctx.began_logged {
+            if let Some(w) = self.wal_handle() {
+                let _ = w.append(&WalRecord::Abort { txid: ctx.token.txid });
+            }
+        }
+        self.txn.abort(ctx.token.txid);
+        for (idx, rid, row) in ctx.abort_index_ops.into_iter().rev() {
+            let _ = idx.write().on_delete(rid, &row);
+        }
     }
 
     // -- domain indexes -----------------------------------------------------------
 
     /// Create a domain index through a registered indextype. The
-    /// indextype registers its own [`IndexMetadata`] row.
+    /// indextype registers its own [`IndexMetadata`] row. DDL
+    /// autocommits; rejected inside an explicit transaction.
     pub fn create_domain_index(
+        &self,
+        index_name: &str,
+        table: &str,
+        column: &str,
+        indextype: &str,
+        params: &str,
+        dop: usize,
+    ) -> Result<(), DbError> {
+        self.reject_in_txn("CREATE INDEX")?;
+        self.create_domain_index_unlogged(index_name, table, column, indextype, params, dop)?;
+        self.log_ddl(&WalRecord::CreateIndex {
+            index_name: index_name.to_ascii_uppercase(),
+            table_name: table.to_ascii_uppercase(),
+            column_name: column.to_string(),
+            parameters: params.to_string(),
+            create_dop: dop,
+        })?;
+        Ok(())
+    }
+
+    /// [`Database::create_domain_index`] without the WAL record: used
+    /// for index rebuilds (snapshot load, recovery) whose creation is
+    /// already recorded in the base image or log.
+    fn create_domain_index_unlogged(
         &self,
         index_name: &str,
         table: &str,
@@ -334,12 +861,14 @@ impl Database {
 
     /// Drop a domain index (instance + metadata).
     pub fn drop_domain_index(&self, index_name: &str) -> Result<(), DbError> {
+        self.reject_in_txn("DROP INDEX")?;
         let key = index_name.to_ascii_uppercase();
         self.indexes
             .write()
             .remove(&key)
             .ok_or_else(|| DbError::Index(format!("no such index {key}")))?;
         let _ = self.catalog.drop_index(&key);
+        self.log_ddl(&WalRecord::DropIndex { name: key })?;
         Ok(())
     }
 
@@ -389,8 +918,9 @@ impl Database {
         let directives = sdo_storage::snapshot::load_catalog(&self.catalog, bytes)?;
         for d in directives {
             // All snapshot-recorded spatial indexes came from the
-            // SPATIAL_INDEX indextype in this codebase.
-            self.create_domain_index(
+            // SPATIAL_INDEX indextype in this codebase. Rebuilds are
+            // not re-logged: their creation is already in the image.
+            self.create_domain_index_unlogged(
                 &d.index_name,
                 &d.table_name,
                 &d.column_name,

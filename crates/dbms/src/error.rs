@@ -24,6 +24,8 @@ pub enum DbError {
     Plan(String),
     /// Domain index failure.
     Index(String),
+    /// Transaction failure (no active transaction, conflict, WAL I/O).
+    Txn(String),
 }
 
 impl fmt::Display for DbError {
@@ -37,6 +39,7 @@ impl fmt::Display for DbError {
             }
             DbError::Plan(m) => write!(f, "planning error: {m}"),
             DbError::Index(m) => write!(f, "index error: {m}"),
+            DbError::Txn(m) => write!(f, "transaction error: {m}"),
         }
     }
 }

@@ -24,7 +24,7 @@ use crate::sql::ast::*;
 use parking_lot::RwLock;
 use sdo_geom::{Geometry, RelateMask};
 use sdo_obs::ProfileSession;
-use sdo_storage::{ColumnDef, RowId, Schema, Table, Value};
+use sdo_storage::{ColumnDef, CountersSnapshot, RowId, Schema, Table, Value};
 use sdo_tablefunc::Row;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -39,10 +39,12 @@ use std::time::Instant;
 pub fn execute(db: &Database, stmt: &Statement) -> Result<QueryResult, DbError> {
     if let Statement::ExplainAnalyze(inner) = stmt {
         let session = ProfileSession::begin(statement_label(inner));
+        let before = db.counters().snapshot();
         let result = execute_inner(db, inner);
         if let Ok(r) = &result {
             session.root().add_rows(r.rows.len() as u64);
         }
+        note_txn_counters(db, session.root(), &before);
         let profile = session.finish();
         result?;
         db.store_profile(profile.clone());
@@ -54,12 +56,25 @@ pub fn execute(db: &Database, stmt: &Statement) -> Result<QueryResult, DbError> 
         return execute_inner(db, stmt);
     }
     let session = ProfileSession::begin(statement_label(stmt));
+    let before = db.counters().snapshot();
     let result = execute_inner(db, stmt);
     if let Ok(r) = &result {
         session.root().add_rows(r.rows.len() as u64);
     }
+    note_txn_counters(db, session.root(), &before);
     db.store_profile(session.finish());
     result
+}
+
+/// Publish the statement's transaction/WAL work on the profile root:
+/// commits, aborts, log bytes, and log syncs it caused.
+fn note_txn_counters(db: &Database, root: &sdo_obs::ProfileNode, before: &CountersSnapshot) {
+    let diff = db.counters().diff(before);
+    let pairs: Vec<(&str, u64)> = ["txn_commits", "txn_aborts", "wal_bytes_written", "wal_fsyncs"]
+        .iter()
+        .map(|n| (*n, diff.get(n).unwrap_or(0)))
+        .collect();
+    root.add_metric_deltas(&pairs);
 }
 
 /// Root label for a statement's profile tree.
@@ -76,6 +91,9 @@ fn statement_label(stmt: &Statement) -> String {
         Statement::Explain(_) => "EXPLAIN".into(),
         Statement::ExplainAnalyze(_) => "EXPLAIN ANALYZE".into(),
         Statement::AlterSession { name, .. } => format!("ALTER SESSION SET {name}"),
+        Statement::Begin => "BEGIN".into(),
+        Statement::Commit => "COMMIT".into(),
+        Statement::Rollback => "ROLLBACK".into(),
     }
 }
 
@@ -109,9 +127,14 @@ fn execute_inner(db: &Database, stmt: &Statement) -> Result<QueryResult, DbError
             let ctx = ExecCtx::new(db);
             let matched = operators::collect_matching(&ctx, table, where_clause)?;
             let n = matched.len();
-            for (rid, _) in matched {
-                db.delete_row(table, rid)?;
-            }
+            // One transaction for the whole statement: an autocommitted
+            // multi-row DELETE is all-or-nothing.
+            db.with_session_txn(|db, txn| {
+                for (rid, _) in matched {
+                    db.txn_delete(txn, table, rid)?;
+                }
+                Ok(())
+            })?;
             note_peak_resident(&ctx);
             Ok(QueryResult {
                 columns: vec!["DELETED".into()],
@@ -151,9 +174,13 @@ fn execute_inner(db: &Database, stmt: &Statement) -> Result<QueryResult, DbError
                 updates.push((rid, new_row));
             }
             let n = updates.len();
-            for (rid, row) in updates {
-                db.update_row(table, rid, row)?;
-            }
+            // Statement-atomic, like DELETE above.
+            db.with_session_txn(|db, txn| {
+                for (rid, row) in updates {
+                    db.txn_update(txn, table, rid, row)?;
+                }
+                Ok(())
+            })?;
             note_peak_resident(&ctx);
             Ok(QueryResult {
                 columns: vec!["UPDATED".into()],
@@ -174,6 +201,18 @@ fn execute_inner(db: &Database, stmt: &Statement) -> Result<QueryResult, DbError
         Statement::ExplainAnalyze(_) => execute(db, stmt),
         Statement::AlterSession { name, value } => {
             db.set_option(name, value)?;
+            Ok(QueryResult::empty())
+        }
+        Statement::Begin => {
+            db.begin_txn()?;
+            Ok(QueryResult::empty())
+        }
+        Statement::Commit => {
+            db.commit_txn()?;
+            Ok(QueryResult::empty())
+        }
+        Statement::Rollback => {
+            db.rollback_txn()?;
             Ok(QueryResult::empty())
         }
     }
@@ -342,12 +381,17 @@ pub(crate) struct RelRow {
     pub(crate) values: Row,
 }
 
-fn materialize_table(db: &Database, name: &str, binding: &str) -> Result<Relation, DbError> {
+fn materialize_table(
+    db: &Database,
+    name: &str,
+    binding: &str,
+    snap: sdo_storage::Snapshot,
+) -> Result<Relation, DbError> {
     let table = db.table(name)?;
     let guard = table.read();
     let columns: Vec<String> = guard.schema().columns().iter().map(|c| c.name.clone()).collect();
     let rows: Vec<(Option<RowId>, Row)> =
-        guard.scan().map(|(rid, values)| (Some(rid), values.to_vec())).collect();
+        guard.scan_at(snap).map(|(rid, values)| (Some(rid), values.to_vec())).collect();
     drop(guard);
     Ok(Relation {
         binding: binding.to_ascii_uppercase(),
@@ -365,7 +409,7 @@ fn bind_from_item(ctx: &ExecCtx<'_>, item: &FromItem) -> Result<Relation, DbErro
             let parent = sdo_obs::current();
             let t0 = parent.as_ref().map(|_| Instant::now());
             let before = parent.as_ref().map(|_| db.counters().snapshot());
-            let rel = materialize_table(db, name, item.binding())?;
+            let rel = materialize_table(db, name, item.binding(), ctx.snap)?;
             if let (Some(p), Some(t0), Some(b)) = (&parent, t0, &before) {
                 let node = p.child(format!("TABLE SCAN {}", name.to_ascii_uppercase()));
                 node.add_rows(rel.rows.len() as u64);
@@ -563,7 +607,7 @@ fn run_select_materialized(ctx: &ExecCtx<'_>, sel: &Select) -> Result<QueryResul
         }
         joined_resident.set(joined.len() as u64)?;
         // Any spatial predicates left over apply as filters.
-        joined = apply_spatial_filters(db, &relations, joined, &spatial)?;
+        joined = apply_spatial_filters(db, &relations, joined, &spatial, ctx.snap)?;
     } else if let Some(join_pred) = spatial.iter().position(|s| s.is_join()) {
         let jp = spatial.remove(join_pred);
         let node = profile.as_ref().map(|p| p.child(format!("NESTED LOOP JOIN ({})", jp.name)));
@@ -571,7 +615,7 @@ fn run_select_materialized(ctx: &ExecCtx<'_>, sel: &Select) -> Result<QueryResul
         let before = node.as_ref().map(|_| db.counters().snapshot());
         {
             let _scope = node.clone().map(sdo_obs::enter);
-            joined = nested_loop_join(db, &relations, &jp)?;
+            joined = nested_loop_join(db, &relations, &jp, ctx.snap)?;
         }
         if let (Some(n), Some(t0), Some(b)) = (&node, t0, &before) {
             n.add_rows(joined.len() as u64);
@@ -579,7 +623,7 @@ fn run_select_materialized(ctx: &ExecCtx<'_>, sel: &Select) -> Result<QueryResul
             n.add_metric_deltas(&db.counters().diff(b).pairs());
         }
         joined_resident.set(joined.len() as u64)?;
-        joined = apply_spatial_filters(db, &relations, joined, &spatial)?;
+        joined = apply_spatial_filters(db, &relations, joined, &spatial, ctx.snap)?;
     } else {
         let node = (relations.len() > 1)
             .then(|| profile.as_ref().map(|p| p.child("CARTESIAN PRODUCT")))
@@ -590,7 +634,7 @@ fn run_select_materialized(ctx: &ExecCtx<'_>, sel: &Select) -> Result<QueryResul
             n.add_rows(joined.len() as u64);
             n.add_wall(t0.elapsed());
         }
-        joined = apply_spatial_filters(db, &relations, joined, &spatial)?;
+        joined = apply_spatial_filters(db, &relations, joined, &spatial, ctx.snap)?;
     }
     joined_resident.set(joined.len() as u64)?;
 
@@ -751,8 +795,17 @@ fn rowid_pair_join(
         if !seen.insert((lrid, rrid)) {
             continue; // IN semantics deduplicate
         }
-        let lvals = lt.read().get(lrid)?;
-        let rvals = rt.read().get(rrid)?;
+        // Snapshot-aware fetch: a pair whose row is not visible under
+        // the statement snapshot (e.g. produced by a table function
+        // pinned at a slightly newer view) is skipped, not an error.
+        let lvals = match lt.read().get_at(lrid, &ctx.snap) {
+            Ok(v) => v,
+            Err(_) => continue,
+        };
+        let rvals = match rt.read().get_at(rrid, &ctx.snap) {
+            Ok(v) => v,
+            Err(_) => continue,
+        };
         let mut jr = vec![RelRow { rid: None, values: Vec::new() }; relations.len()];
         jr[l_rel] = RelRow { rid: Some(lrid), values: lvals.to_vec() };
         jr[r_rel] = RelRow { rid: Some(rrid), values: rvals.to_vec() };
@@ -767,6 +820,7 @@ fn nested_loop_join(
     db: &Database,
     relations: &[Relation],
     pred: &SpatialPred,
+    snap: sdo_storage::Snapshot,
 ) -> Result<Vec<Vec<RelRow>>, DbError> {
     let (outer_rel, outer_col) = pred.target;
     let SpatialOperand::Column(inner_rel, inner_col) = pred.other else {
@@ -791,7 +845,7 @@ fn nested_loop_join(
             // SDO_RELATE masks must be transposed for the probe.
             let mut args = vec![Value::Geometry(Arc::clone(g))];
             args.extend(transpose_spatial_extra(&pred.name, &pred.extra)?);
-            let call = OperatorCall { name: pred.name.clone(), args };
+            let call = OperatorCall { name: pred.name.clone(), args, snap };
             inst.read()
                 .evaluate(&call)?
                 .into_iter()
@@ -853,6 +907,7 @@ fn apply_spatial_filters(
     relations: &[Relation],
     joined: Vec<Vec<RelRow>>,
     preds: &[SpatialPred],
+    snap: sdo_storage::Snapshot,
 ) -> Result<Vec<Vec<RelRow>>, DbError> {
     let mut rows = joined;
     for p in preds {
@@ -879,7 +934,7 @@ fn apply_spatial_filters(
         if let Some((_, inst)) = index {
             let mut args = vec![Value::Geometry(Arc::clone(qg))];
             args.extend(p.extra.iter().cloned());
-            let call = OperatorCall { name: p.name.clone(), args };
+            let call = OperatorCall { name: p.name.clone(), args, snap };
             let ok: std::collections::HashSet<RowId> =
                 inst.read().evaluate(&call)?.into_iter().collect();
             rows.retain(|jr| jr[ri].rid.map(|r| ok.contains(&r)).unwrap_or(false));

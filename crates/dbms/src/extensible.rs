@@ -25,6 +25,12 @@ pub struct OperatorCall {
     /// Evaluated non-column arguments (query geometry, mask string,
     /// distance...).
     pub args: Vec<Value>,
+    /// The calling statement's MVCC read view. An index's internal
+    /// structure may hold entries for versions this snapshot cannot
+    /// see (eager maintenance of in-flight transactions); any heap
+    /// fetch the index performs while evaluating must use this
+    /// snapshot so the answer matches what the statement reads.
+    pub snap: sdo_storage::Snapshot,
 }
 
 /// A live domain index instance attached to one `(table, column)`.

@@ -32,6 +32,6 @@ pub mod extensible;
 mod operators;
 pub mod sql;
 
-pub use db::{Database, QueryResult, SessionOptions, TfArg};
+pub use db::{Database, Durability, QueryResult, SessionOptions, TfArg, Txn};
 pub use error::DbError;
 pub use extensible::{DomainIndex, IndexType, OperatorCall};

@@ -42,7 +42,7 @@ use crate::extensible::OperatorCall;
 use crate::sql::ast::{FromItem, OrderKey, Predicate, Select, SelectItem, TfArgAst};
 use parking_lot::RwLock;
 use sdo_obs::{MemoryGauge, ProfileNode};
-use sdo_storage::{RowId, Table, Value};
+use sdo_storage::{RowId, Snapshot, Table, Value};
 use sdo_tablefunc::source::TableCursor;
 use sdo_tablefunc::{Row, RowSource, TableFunction};
 use std::collections::{HashSet, VecDeque};
@@ -66,6 +66,9 @@ pub(crate) struct ExecCtx<'a> {
     pub max_resident_rows: u64,
     /// Route SELECTs through the legacy materializing executor.
     pub materialize: bool,
+    /// MVCC read view pinned at statement start: the session
+    /// transaction's snapshot when one is open, else latest-committed.
+    pub snap: Snapshot,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -76,6 +79,7 @@ impl<'a> ExecCtx<'a> {
             gauge: MemoryGauge::new(),
             max_resident_rows: opts.max_resident_rows,
             materialize: opts.materialize,
+            snap: db.read_snapshot(),
         }
     }
 
@@ -188,7 +192,13 @@ impl<'a> TableScanExec<'a> {
         parent: Option<&ProfileNode>,
     ) -> Self {
         let node = parent.map(|p| p.child(format!("TABLE SCAN {}", name.to_ascii_uppercase())));
-        TableScanExec { db: ctx.db, cursor: TableCursor::full(table), slot, width, node }
+        TableScanExec {
+            db: ctx.db,
+            cursor: TableCursor::full(table).at_snapshot(ctx.snap),
+            slot,
+            width,
+            node,
+        }
     }
 }
 
@@ -340,6 +350,7 @@ pub(crate) struct FilterExec<'a> {
     residual: Vec<Predicate>,
     prefilters: Option<Vec<Prefilter>>,
     node: Option<ProfileNode>,
+    snap: Snapshot,
 }
 
 impl<'a> FilterExec<'a> {
@@ -351,7 +362,16 @@ impl<'a> FilterExec<'a> {
         residual: Vec<Predicate>,
         node: Option<ProfileNode>,
     ) -> Self {
-        FilterExec { db: ctx.db, child, metas, spatial, residual, prefilters: None, node }
+        FilterExec {
+            db: ctx.db,
+            child,
+            metas,
+            spatial,
+            residual,
+            prefilters: None,
+            node,
+            snap: ctx.snap,
+        }
     }
 
     fn build_prefilters(&mut self) -> Result<(), DbError> {
@@ -367,7 +387,7 @@ impl<'a> FilterExec<'a> {
             if let Some((_, inst)) = index {
                 let mut args = vec![Value::Geometry(Arc::clone(qg))];
                 args.extend(p.extra.iter().cloned());
-                let call = OperatorCall { name: p.name.clone(), args };
+                let call = OperatorCall { name: p.name.clone(), args, snap: self.snap };
                 let keep: HashSet<RowId> = inst.read().evaluate(&call)?.into_iter().collect();
                 out.push(Prefilter::RowidSet { rel: ri, keep });
             } else if p.name.eq_ignore_ascii_case("SDO_NN") {
@@ -384,7 +404,7 @@ impl<'a> FilterExec<'a> {
                     .ok_or_else(|| DbError::Plan("SDO_NN needs a result count".into()))?
                     as usize;
                 let mut ranked: Vec<(f64, RowId)> = Vec::new();
-                let mut cursor = TableCursor::full(table);
+                let mut cursor = TableCursor::full(table).at_snapshot(self.snap);
                 loop {
                     let rows = cursor.next_batch(BATCH_ROWS);
                     if rows.is_empty() {
@@ -509,6 +529,7 @@ pub(crate) struct RowidSemiJoinExec<'a> {
     width: usize,
     node: Option<ProfileNode>,
     resident: Resident,
+    snap: Snapshot,
 }
 
 impl<'a> RowidSemiJoinExec<'a> {
@@ -538,6 +559,7 @@ impl<'a> RowidSemiJoinExec<'a> {
             width,
             node,
             resident,
+            snap: ctx.snap,
         })
     }
 }
@@ -561,12 +583,19 @@ impl BatchOp for RowidSemiJoinExec<'_> {
                 if !self.seen.insert((lrid, rrid)) {
                     continue; // IN semantics deduplicate
                 }
-                // Table::get per pair deliberately charges the fetch
-                // I/O, mirroring the semijoin's real cost profile; the
+                // Per-pair fetch deliberately charges the I/O,
+                // mirroring the semijoin's real cost profile; the
                 // GeomCache inside the join already bounded the working
-                // set upstream.
-                let lvals = self.lt.read().get(lrid)?;
-                let rvals = self.rt.read().get(rrid)?;
+                // set upstream. Pairs whose rows are not visible under
+                // the statement snapshot are skipped, not errors.
+                let lvals = match self.lt.read().get_at(lrid, &self.snap) {
+                    Ok(v) => v,
+                    Err(_) => continue,
+                };
+                let rvals = match self.rt.read().get_at(rrid, &self.snap) {
+                    Ok(v) => v,
+                    Err(_) => continue,
+                };
                 let mut jr = empty_joined(self.width);
                 jr[self.l_rel] = RelRow { rid: Some(lrid), values: lvals.to_vec() };
                 jr[self.r_rel] = RelRow { rid: Some(rrid), values: rvals.to_vec() };
@@ -617,6 +646,7 @@ pub(crate) struct NestedLoopJoinExec<'a> {
     node: Option<ProfileNode>,
     resident: Resident,
     build_resident: Resident,
+    snap: Snapshot,
 }
 
 impl<'a> NestedLoopJoinExec<'a> {
@@ -651,6 +681,7 @@ impl<'a> NestedLoopJoinExec<'a> {
             node,
             resident: ctx.resident("NESTED LOOP JOIN"),
             build_resident: ctx.resident("NESTED LOOP JOIN build side"),
+            snap: ctx.snap,
         })
     }
 
@@ -705,10 +736,17 @@ impl<'a> NestedLoopJoinExec<'a> {
                     &self.pred.name,
                     &self.pred.extra,
                 )?);
-                let call = OperatorCall { name: self.pred.name.clone(), args };
+                let call = OperatorCall { name: self.pred.name.clone(), args, snap: self.snap };
                 let rids = index.read().evaluate(&call)?;
                 for rid in rids {
-                    let ivals = table.read().get(rid)?;
+                    // The index may hold entries for rows this snapshot
+                    // cannot see (uncommitted inserts, pre-commit
+                    // deletes): the heap re-check under the statement
+                    // snapshot is the visibility filter.
+                    let ivals = match table.read().get_at(rid, &self.snap) {
+                        Ok(v) => v,
+                        Err(_) => continue,
+                    };
                     let mut out = empty_joined(self.width);
                     out[self.outer_rel] = orow.clone();
                     out[self.inner_rel] = RelRow { rid: Some(rid), values: ivals.to_vec() };

@@ -71,8 +71,16 @@ pub enum Statement {
     /// tree (rows, batches, wall time, work-counter deltas) instead of
     /// the statement's own result.
     ExplainAnalyze(Box<Statement>),
+    /// `BEGIN [TRANSACTION | WORK]` — open an explicit transaction on
+    /// the session. DML until `COMMIT`/`ROLLBACK` shares one snapshot
+    /// and becomes visible atomically.
+    Begin,
+    /// `COMMIT [WORK]` — durably commit the session's open transaction.
+    Commit,
+    /// `ROLLBACK [WORK]` — abort the session's open transaction.
+    Rollback,
     /// `ALTER SESSION SET name = value` — set a session option
-    /// (`materialize`, `max_resident_rows`).
+    /// (`materialize`, `max_resident_rows`, `durability`).
     AlterSession {
         /// Option name (case-insensitive).
         name: String,

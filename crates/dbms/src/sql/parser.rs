@@ -190,6 +190,19 @@ impl Parser {
             let where_clause = if self.eat_kw("WHERE") { self.conjuncts()? } else { Vec::new() };
             return Ok(Statement::Delete { table, where_clause });
         }
+        if self.eat_kw("BEGIN") {
+            // Optional noise words, Oracle/ANSI style.
+            let _ = self.eat_kw("TRANSACTION") || self.eat_kw("WORK");
+            return Ok(Statement::Begin);
+        }
+        if self.eat_kw("COMMIT") {
+            let _ = self.eat_kw("WORK");
+            return Ok(Statement::Commit);
+        }
+        if self.eat_kw("ROLLBACK") {
+            let _ = self.eat_kw("WORK");
+            return Ok(Statement::Rollback);
+        }
         if self.eat_kw("ALTER") {
             self.expect_kw("SESSION")?;
             self.expect_kw("SET")?;

@@ -6,6 +6,7 @@
 //! for quadtrees. [`IndexMetadata`] reproduces exactly that record;
 //! [`Catalog`] owns the named tables and their index metadata rows.
 
+use crate::mvcc::TxnStatusTable;
 use crate::stats::Counters;
 use crate::table::Table;
 use crate::StorageError;
@@ -65,6 +66,7 @@ pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<RwLock<Table>>>>,
     index_metadata: RwLock<HashMap<String, IndexMetadata>>,
     counters: Arc<Counters>,
+    status: Arc<TxnStatusTable>,
 }
 
 impl Default for Catalog {
@@ -80,12 +82,20 @@ impl Catalog {
             tables: RwLock::new(HashMap::new()),
             index_metadata: RwLock::new(HashMap::new()),
             counters: Arc::new(Counters::new()),
+            status: Arc::new(TxnStatusTable::new()),
         }
     }
 
     /// The catalog-wide work counters; tables created here share them.
     pub fn counters(&self) -> &Arc<Counters> {
         &self.counters
+    }
+
+    /// The catalog-wide transaction status table; tables created here
+    /// share it, so one commit flip makes a multi-table transaction
+    /// visible atomically.
+    pub fn status(&self) -> &Arc<TxnStatusTable> {
+        &self.status
     }
 
     /// Create and register a table.
@@ -100,7 +110,9 @@ impl Catalog {
             return Err(StorageError::AlreadyExists(key));
         }
         let table = Arc::new(RwLock::new(
-            Table::new(&key, schema).with_counters(Arc::clone(&self.counters)),
+            Table::new(&key, schema)
+                .with_counters(Arc::clone(&self.counters))
+                .with_status(Arc::clone(&self.status)),
         ));
         tables.insert(key, Arc::clone(&table));
         Ok(table)

@@ -25,20 +25,25 @@
 
 pub mod btree;
 pub mod catalog;
+pub mod mvcc;
+pub mod pager;
 pub mod rowid;
 pub mod schema;
 pub mod snapshot;
 pub mod stats;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use btree::BTree;
 pub use catalog::{Catalog, IndexKind, IndexMetadata};
+pub use mvcc::{Csn, Snapshot, TxnId, TxnState, TxnStatusTable, FROZEN_TXN};
 pub use rowid::RowId;
 pub use schema::{ColumnDef, DataType, Schema};
 pub use stats::{Counters, CountersSnapshot, SpatialSample, COUNTER_NAMES};
 pub use table::{Table, TableScan};
 pub use value::Value;
+pub use wal::{Wal, WalRecord};
 
 /// Errors produced by the storage layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +58,11 @@ pub enum StorageError {
     AlreadyExists(String),
     /// Value had an unexpected type.
     TypeError(String),
+    /// First-updater-wins: another transaction wrote this row (still
+    /// in progress, or committed after the loser's snapshot).
+    WriteConflict(RowId),
+    /// Filesystem failure in the WAL or pager.
+    Io(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -63,6 +73,10 @@ impl std::fmt::Display for StorageError {
             StorageError::NotFound(n) => write!(f, "not found: {n}"),
             StorageError::AlreadyExists(n) => write!(f, "already exists: {n}"),
             StorageError::TypeError(m) => write!(f, "type error: {m}"),
+            StorageError::WriteConflict(rid) => {
+                write!(f, "write-write conflict on row {rid}: concurrent transaction wrote it")
+            }
+            StorageError::Io(m) => write!(f, "io error: {m}"),
         }
     }
 }

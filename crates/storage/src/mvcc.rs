@@ -1,0 +1,187 @@
+//! Multi-version concurrency control primitives.
+//!
+//! Oracle gives every query a *consistent read* view: readers never
+//! block writers and never see half a transaction. This module supplies
+//! the minimal machinery for that model over the in-memory heap tables:
+//!
+//! * [`TxnId`] — transaction identifiers, allocated by the central
+//!   [`TxnStatusTable`]. Id `0` ([`FROZEN_TXN`]) is reserved for
+//!   *frozen* rows: non-transactional writes and recovered rows that
+//!   are visible to every snapshot.
+//! * [`TxnStatusTable`] — the single source of truth for transaction
+//!   outcomes. Commit is one status flip under a write lock, which is
+//!   what makes a whole transaction's rows become visible atomically:
+//!   a version is visible only *through* its creator's status, so no
+//!   reader can observe half a commit (no torn reads).
+//! * [`Snapshot`] — a read view: "everything committed with a commit
+//!   sequence number ≤ `csn`, plus my own uncommitted writes".
+//!
+//! Version chains themselves live in [`crate::table::Table`]; rollback
+//! is O(1) in heap terms — aborting flips the status and the aborted
+//! versions are skipped by every reader and pruned lazily by later
+//! writers.
+
+use parking_lot::RwLock;
+
+/// A transaction identifier (1-based; 0 is [`FROZEN_TXN`]).
+pub type TxnId = u64;
+
+/// A commit sequence number. Commits are totally ordered by CSN; a
+/// [`Snapshot`] with `csn = c` sees exactly the transactions that
+/// committed with CSN ≤ `c`.
+pub type Csn = u64;
+
+/// The pseudo transaction id of frozen (always-visible) row versions.
+pub const FROZEN_TXN: TxnId = 0;
+
+/// Outcome of a transaction, tracked by [`TxnStatusTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// Started, neither committed nor aborted.
+    InProgress,
+    /// Committed with this commit sequence number.
+    Committed(Csn),
+    /// Rolled back; its row versions are invisible to everyone.
+    Aborted,
+}
+
+/// A consistent read view.
+///
+/// `csn` bounds the committed world this snapshot sees; `txid` is the
+/// owning transaction (its own uncommitted writes are visible to it),
+/// or [`FROZEN_TXN`] for plain readers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Highest commit sequence number visible to this snapshot.
+    pub csn: Csn,
+    /// Transaction whose uncommitted writes are visible (0 = none).
+    pub txid: TxnId,
+}
+
+impl Snapshot {
+    /// The "latest committed" view: every committed transaction is
+    /// visible, no uncommitted ones. This is the default view of all
+    /// non-transactional reads, so dirty reads are impossible even for
+    /// legacy callers.
+    pub const LATEST: Snapshot = Snapshot { csn: Csn::MAX, txid: FROZEN_TXN };
+
+    /// A read view pinned at `csn` with no transaction attached.
+    pub fn at(csn: Csn) -> Snapshot {
+        Snapshot { csn, txid: FROZEN_TXN }
+    }
+
+    /// True when this snapshot sees the effects of writer `txid`:
+    /// frozen writes, its own writes, and commits with CSN ≤ `csn`.
+    #[inline]
+    pub fn sees(&self, txid: TxnId, status: &TxnStatusTable) -> bool {
+        txid == FROZEN_TXN
+            || txid == self.txid
+            || matches!(status.state(txid), TxnState::Committed(c) if c <= self.csn)
+    }
+}
+
+/// Central transaction status table shared by every table of a catalog.
+///
+/// Status flips (commit/abort) are atomic with respect to visibility
+/// checks, which makes multi-row transactions appear and disappear
+/// all-or-nothing.
+#[derive(Debug, Default)]
+pub struct TxnStatusTable {
+    // Indexed by txid - 1; txids are allocated densely by `begin`.
+    states: RwLock<Vec<TxnState>>,
+}
+
+impl TxnStatusTable {
+    /// An empty status table.
+    pub fn new() -> Self {
+        TxnStatusTable::default()
+    }
+
+    /// Allocate and register a new in-progress transaction.
+    pub fn begin(&self) -> TxnId {
+        let mut states = self.states.write();
+        states.push(TxnState::InProgress);
+        states.len() as TxnId
+    }
+
+    /// The current state of `txid`. Unknown ids (never allocated here,
+    /// e.g. replayed from a foreign log) read as `Aborted`: their
+    /// versions must stay invisible.
+    #[inline]
+    pub fn state(&self, txid: TxnId) -> TxnState {
+        if txid == FROZEN_TXN {
+            return TxnState::Committed(0);
+        }
+        self.states.read().get(txid as usize - 1).copied().unwrap_or(TxnState::Aborted)
+    }
+
+    /// Flip `txid` to committed at `csn`. This is *the* commit point:
+    /// after the flip every reader whose snapshot covers `csn` sees all
+    /// of the transaction's rows, and nobody saw any of them before.
+    pub fn commit(&self, txid: TxnId, csn: Csn) {
+        self.set(txid, TxnState::Committed(csn));
+    }
+
+    /// Flip `txid` to aborted; its versions become permanently
+    /// invisible (O(1) heap rollback).
+    pub fn abort(&self, txid: TxnId) {
+        self.set(txid, TxnState::Aborted);
+    }
+
+    /// Number of transactions ever begun (capacity bookkeeping).
+    pub fn allocated(&self) -> usize {
+        self.states.read().len()
+    }
+
+    fn set(&self, txid: TxnId, state: TxnState) {
+        assert_ne!(txid, FROZEN_TXN, "frozen pseudo-txn has no state");
+        let mut states = self.states.write();
+        let slot = states.get_mut(txid as usize - 1).expect("txid was allocated by begin()");
+        debug_assert_eq!(*slot, TxnState::InProgress, "double commit/abort of {txid}");
+        *slot = state;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_commit_abort_lifecycle() {
+        let st = TxnStatusTable::new();
+        let a = st.begin();
+        let b = st.begin();
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(st.state(a), TxnState::InProgress);
+        st.commit(a, 7);
+        st.abort(b);
+        assert_eq!(st.state(a), TxnState::Committed(7));
+        assert_eq!(st.state(b), TxnState::Aborted);
+        assert_eq!(st.allocated(), 2);
+    }
+
+    #[test]
+    fn frozen_and_unknown_txids() {
+        let st = TxnStatusTable::new();
+        assert_eq!(st.state(FROZEN_TXN), TxnState::Committed(0));
+        assert_eq!(st.state(99), TxnState::Aborted);
+    }
+
+    #[test]
+    fn snapshot_visibility_rules() {
+        let st = TxnStatusTable::new();
+        let t1 = st.begin();
+        let t2 = st.begin();
+        st.commit(t1, 5);
+
+        let early = Snapshot::at(4);
+        let late = Snapshot::at(5);
+        assert!(!early.sees(t1, &st), "commit csn 5 is invisible at csn 4");
+        assert!(late.sees(t1, &st));
+        assert!(!late.sees(t2, &st), "in-progress txns are invisible");
+        assert!(Snapshot { csn: 0, txid: t2 }.sees(t2, &st), "own writes are visible");
+        assert!(late.sees(FROZEN_TXN, &st), "frozen rows visible everywhere");
+        assert!(Snapshot::LATEST.sees(t1, &st));
+        assert!(!Snapshot::LATEST.sees(t2, &st), "LATEST still excludes uncommitted");
+    }
+}

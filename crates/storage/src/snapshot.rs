@@ -24,12 +24,12 @@ fn err(m: impl Into<String>) -> StorageError {
 // primitives
 // ---------------------------------------------------------------------------
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut impl Buf) -> Result<String, StorageError> {
+pub(crate) fn get_str(buf: &mut impl Buf) -> Result<String, StorageError> {
     if buf.remaining() < 4 {
         return Err(err("truncated string length"));
     }
@@ -42,7 +42,7 @@ fn get_str(buf: &mut impl Buf) -> Result<String, StorageError> {
     String::from_utf8(bytes).map_err(|_| err("invalid utf8"))
 }
 
-fn put_value(buf: &mut BytesMut, v: &Value) {
+pub(crate) fn put_value(buf: &mut BytesMut, v: &Value) {
     match v {
         Value::Null => buf.put_u8(0),
         Value::Integer(i) => {
@@ -70,7 +70,7 @@ fn put_value(buf: &mut BytesMut, v: &Value) {
     }
 }
 
-fn get_value(buf: &mut impl Buf) -> Result<Value, StorageError> {
+pub(crate) fn get_value(buf: &mut impl Buf) -> Result<Value, StorageError> {
     if !buf.has_remaining() {
         return Err(err("truncated value tag"));
     }
@@ -98,7 +98,7 @@ fn get_value(buf: &mut impl Buf) -> Result<Value, StorageError> {
     }
 }
 
-fn datatype_tag(t: DataType) -> u8 {
+pub(crate) fn datatype_tag(t: DataType) -> u8 {
     match t {
         DataType::Integer => 1,
         DataType::Double => 2,
@@ -108,7 +108,7 @@ fn datatype_tag(t: DataType) -> u8 {
     }
 }
 
-fn datatype_from(tag: u8) -> Result<DataType, StorageError> {
+pub(crate) fn datatype_from(tag: u8) -> Result<DataType, StorageError> {
     Ok(match tag {
         1 => DataType::Integer,
         2 => DataType::Double,
@@ -253,7 +253,9 @@ pub fn load_catalog(
     for _ in 0..n_tables {
         let table = get_table(&mut buf)?;
         let handle = catalog.create_table(table.name(), table.schema().clone())?;
-        *handle.write() = table.with_counters(std::sync::Arc::clone(catalog.counters()));
+        *handle.write() = table
+            .with_counters(std::sync::Arc::clone(catalog.counters()))
+            .with_status(std::sync::Arc::clone(catalog.status()));
     }
     if buf.remaining() < 4 {
         return Err(err("truncated index count"));

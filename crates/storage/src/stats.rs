@@ -30,6 +30,15 @@ pub struct Counters {
     pub exact_tests: AtomicU64,
     /// Geometries tessellated into tiles.
     pub tessellations: AtomicU64,
+    /// Transactions committed (explicit and autocommit).
+    pub txn_commits: AtomicU64,
+    /// Transactions rolled back.
+    pub txn_aborts: AtomicU64,
+    /// Bytes appended to the write-ahead log.
+    pub wal_bytes_written: AtomicU64,
+    /// Physical `fsync` calls issued by the WAL (group commit makes
+    /// this ≤ the number of durable commits).
+    pub wal_fsyncs: AtomicU64,
 }
 
 impl Counters {
@@ -66,6 +75,10 @@ impl Counters {
             &self.mbr_tests,
             &self.exact_tests,
             &self.tessellations,
+            &self.txn_commits,
+            &self.txn_aborts,
+            &self.wal_bytes_written,
+            &self.wal_fsyncs,
         ] {
             f.store(0, Ordering::Relaxed);
         }
@@ -82,6 +95,10 @@ impl Counters {
                 Counters::get(&self.mbr_tests),
                 Counters::get(&self.exact_tests),
                 Counters::get(&self.tessellations),
+                Counters::get(&self.txn_commits),
+                Counters::get(&self.txn_aborts),
+                Counters::get(&self.wal_bytes_written),
+                Counters::get(&self.wal_fsyncs),
             ],
         }
     }
@@ -94,7 +111,7 @@ impl Counters {
 }
 
 /// Names of the [`Counters`] fields, in snapshot order.
-pub const COUNTER_NAMES: [&str; 7] = [
+pub const COUNTER_NAMES: [&str; 11] = [
     "row_fetches",
     "rows_scanned",
     "btree_node_visits",
@@ -102,6 +119,10 @@ pub const COUNTER_NAMES: [&str; 7] = [
     "mbr_tests",
     "exact_tests",
     "tessellations",
+    "txn_commits",
+    "txn_aborts",
+    "wal_bytes_written",
+    "wal_fsyncs",
 ];
 
 /// Immutable copy of all [`Counters`] values, used to report
@@ -110,14 +131,14 @@ pub const COUNTER_NAMES: [&str; 7] = [
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CountersSnapshot {
     /// Values in [`COUNTER_NAMES`] order.
-    pub values: [u64; 7],
+    pub values: [u64; 11],
 }
 
 impl CountersSnapshot {
     /// Element-wise saturating subtraction: the work between `earlier`
     /// and `self`.
     pub fn diff(&self, earlier: &CountersSnapshot) -> CountersSnapshot {
-        let mut values = [0u64; 7];
+        let mut values = [0u64; 11];
         for (i, v) in values.iter_mut().enumerate() {
             *v = self.values[i].saturating_sub(earlier.values[i]);
         }
@@ -236,7 +257,7 @@ mod tests {
         let c = Counters::new();
         Counters::bump(&c.exact_tests);
         let snap = c.snapshot().pairs();
-        assert_eq!(snap.len(), 7);
+        assert_eq!(snap.len(), 11);
         assert_eq!(snap.len(), COUNTER_NAMES.len());
         assert!(snap.contains(&("exact_tests", 1)));
     }

@@ -1,5 +1,6 @@
-//! Heap tables.
+//! Heap tables with per-row version chains.
 
+use crate::mvcc::{Csn, Snapshot, TxnId, TxnState, TxnStatusTable, FROZEN_TXN};
 use crate::rowid::RowId;
 use crate::schema::Schema;
 use crate::stats::Counters;
@@ -7,19 +8,59 @@ use crate::value::Value;
 use crate::StorageError;
 use std::sync::Arc;
 
-/// A heap-organized table: a slot array of rows addressed by [`RowId`].
+/// One version of a row: who created it, who (if anyone) deleted it,
+/// and the payload. `xmax == 0` means "not deleted" — the frozen
+/// pseudo-txn never appears as a deleter (non-transactional deletes
+/// clear the chain instead).
+#[derive(Debug, Clone)]
+struct Version {
+    xmin: TxnId,
+    xmax: TxnId,
+    row: Arc<[Value]>,
+}
+
+impl Version {
+    fn frozen(row: Arc<[Value]>) -> Self {
+        Version { xmin: FROZEN_TXN, xmax: 0, row }
+    }
+
+    fn visible(&self, snap: &Snapshot, status: &TxnStatusTable) -> bool {
+        if !snap.sees(self.xmin, status) {
+            return false;
+        }
+        self.xmax == 0 || !snap.sees(self.xmax, status)
+    }
+}
+
+/// A heap-organized table: a slot array of row *version chains*
+/// addressed by [`RowId`].
 ///
-/// Deleted slots are tombstoned (`None`) so rowids stay stable, like
-/// Oracle heap blocks between reorganizations. Rows are `Arc`-shared so
-/// fetching a row is a refcount bump, not a copy — important because the
-/// spatial join fetches geometry rows repeatedly across candidate pairs.
+/// Deleted slots keep their position (an empty chain is a tombstone) so
+/// rowids stay stable, like Oracle heap blocks between reorganizations.
+/// Rows are `Arc`-shared so fetching a row is a refcount bump, not a
+/// copy — important because the spatial join fetches geometry rows
+/// repeatedly across candidate pairs.
+///
+/// ## Versioning model
+///
+/// Each slot holds its versions oldest-first. A version's visibility is
+/// decided through the shared [`TxnStatusTable`]: a reader with a
+/// [`Snapshot`] sees the newest version created by a transaction it
+/// sees and not deleted by one it sees. The legacy non-transactional
+/// API (`insert`/`update`/`delete`/`get`/`scan`) is preserved exactly:
+/// it writes *frozen* versions (immediately visible everywhere) and
+/// reads at [`Snapshot::LATEST`] — which still never observes another
+/// transaction's uncommitted rows.
 #[derive(Debug)]
 pub struct Table {
     name: String,
     schema: Schema,
-    slots: Vec<Option<Arc<[Value]>>>,
+    slots: Vec<Vec<Version>>,
+    /// Live rows at latest-committed visibility. Transactional writes
+    /// adjust this at commit via [`Table::apply_live_delta`].
     live: usize,
     counters: Arc<Counters>,
+    status: Arc<TxnStatusTable>,
 }
 
 impl Table {
@@ -31,6 +72,7 @@ impl Table {
             slots: Vec::new(),
             live: 0,
             counters: Arc::new(Counters::new()),
+            status: Arc::new(TxnStatusTable::new()),
         }
     }
 
@@ -38,6 +80,14 @@ impl Table {
     /// [`crate::catalog::Catalog`] share the catalog's counters).
     pub fn with_counters(mut self, counters: Arc<Counters>) -> Self {
         self.counters = counters;
+        self
+    }
+
+    /// Attach a shared transaction status table (tables created through
+    /// a [`crate::catalog::Catalog`] share the catalog's, so one commit
+    /// flip covers every table the transaction touched).
+    pub fn with_status(mut self, status: Arc<TxnStatusTable>) -> Self {
+        self.status = status;
         self
     }
 
@@ -59,7 +109,14 @@ impl Table {
         &self.counters
     }
 
-    /// Number of live rows.
+    /// The transaction status table visibility is decided against.
+    #[inline]
+    pub fn status(&self) -> &Arc<TxnStatusTable> {
+        &self.status
+    }
+
+    /// Number of live rows (latest-committed view; in-flight
+    /// transactions are not counted until they commit).
     #[inline]
     pub fn len(&self) -> usize {
         self.live
@@ -77,11 +134,14 @@ impl Table {
         self.slots.len()
     }
 
-    /// Insert a row, returning its new rowid.
+    // -- non-transactional (frozen) writes --------------------------------
+
+    /// Insert a row, returning its new rowid. The row is *frozen*:
+    /// immediately visible to every snapshot (bulk loads, tests).
     pub fn insert(&mut self, row: Vec<Value>) -> Result<RowId, StorageError> {
         self.schema.check_row(&row)?;
         let rid = RowId::new(self.slots.len() as u64);
-        self.slots.push(Some(row.into()));
+        self.slots.push(vec![Version::frozen(row.into())]);
         self.live += 1;
         Ok(rid)
     }
@@ -98,10 +158,152 @@ impl Table {
         Ok(rids)
     }
 
-    /// Fetch a row by rowid (a logical read).
-    pub fn get(&self, rid: RowId) -> Result<Arc<[Value]>, StorageError> {
+    /// Replace a row in place (frozen: visible immediately, old version
+    /// not retained — non-transactional writes are not snapshot
+    /// protected).
+    pub fn update(&mut self, rid: RowId, row: Vec<Value>) -> Result<(), StorageError> {
+        self.schema.check_row(&row)?;
+        self.check_write(rid, FROZEN_TXN, Csn::MAX)?;
+        self.slots[rid.slot()] = vec![Version::frozen(row.into())];
+        Ok(())
+    }
+
+    /// Delete a row, tombstoning its slot (frozen: immediate).
+    pub fn delete(&mut self, rid: RowId) -> Result<(), StorageError> {
+        self.check_write(rid, FROZEN_TXN, Csn::MAX)?;
+        self.slots[rid.slot()].clear();
+        self.live -= 1;
+        Ok(())
+    }
+
+    // -- transactional writes ----------------------------------------------
+
+    /// Insert a row on behalf of transaction `txid`. Invisible to other
+    /// snapshots until the transaction commits.
+    pub fn insert_txn(&mut self, txid: TxnId, row: Vec<Value>) -> Result<RowId, StorageError> {
+        self.schema.check_row(&row)?;
+        let rid = RowId::new(self.slots.len() as u64);
+        self.slots.push(vec![Version { xmin: txid, xmax: 0, row: row.into() }]);
+        Ok(rid)
+    }
+
+    /// Update a row on behalf of transaction `txid` whose snapshot is
+    /// bounded by `snap_csn`. First-updater-wins: fails with
+    /// [`StorageError::WriteConflict`] if another in-progress
+    /// transaction wrote the row, or if a transaction committed a newer
+    /// version after this transaction's snapshot (lost update).
+    pub fn update_txn(
+        &mut self,
+        txid: TxnId,
+        snap_csn: Csn,
+        rid: RowId,
+        row: Vec<Value>,
+    ) -> Result<(), StorageError> {
+        self.schema.check_row(&row)?;
+        self.check_write(rid, txid, snap_csn)?;
+        let chain = &mut self.slots[rid.slot()];
+        if let Some(newest) = chain.last_mut() {
+            if newest.xmin == txid && newest.xmax == 0 {
+                // Second write by the same transaction: replace in
+                // place, no intermediate version to retain.
+                newest.row = row.into();
+                return Ok(());
+            }
+            newest.xmax = txid;
+        }
+        chain.push(Version { xmin: txid, xmax: 0, row: row.into() });
+        Ok(())
+    }
+
+    /// Delete a row on behalf of transaction `txid` (snapshot bound
+    /// `snap_csn`). Same conflict rules as [`Table::update_txn`].
+    pub fn delete_txn(
+        &mut self,
+        txid: TxnId,
+        snap_csn: Csn,
+        rid: RowId,
+    ) -> Result<(), StorageError> {
+        self.check_write(rid, txid, snap_csn)?;
+        let newest = self.slots[rid.slot()].last_mut().expect("check_write saw a version");
+        newest.xmax = txid;
+        Ok(())
+    }
+
+    /// Write-write conflict detection on the newest version of `rid`,
+    /// pruning aborted versions as a side effect. `FROZEN_TXN` with
+    /// `Csn::MAX` is the non-transactional caller: it conflicts with
+    /// any in-progress writer but never on committed history.
+    fn check_write(&mut self, rid: RowId, txid: TxnId, snap_csn: Csn) -> Result<(), StorageError> {
+        let status = Arc::clone(&self.status);
+        let chain = self.slots.get_mut(rid.slot()).ok_or(StorageError::NoSuchRow(rid))?;
+        // Lazy rollback cleanup: drop versions created by aborted
+        // transactions, forget deletes by aborted transactions.
+        chain.retain(|v| !matches!(status.state(v.xmin), TxnState::Aborted));
+        for v in chain.iter_mut() {
+            if v.xmax != 0 && matches!(status.state(v.xmax), TxnState::Aborted) {
+                v.xmax = 0;
+            }
+        }
+        let newest = chain.last().ok_or(StorageError::NoSuchRow(rid))?;
+        if newest.xmax != 0 {
+            return match status.state(newest.xmax) {
+                // Deleted by us or by a committed transaction: the row
+                // no longer exists for this writer.
+                _ if newest.xmax == txid => Err(StorageError::NoSuchRow(rid)),
+                TxnState::Committed(c) if c <= snap_csn => Err(StorageError::NoSuchRow(rid)),
+                // Deleted after our snapshot, or delete still in
+                // flight: first-updater-wins.
+                _ => Err(StorageError::WriteConflict(rid)),
+            };
+        }
+        if newest.xmin == FROZEN_TXN || newest.xmin == txid {
+            return Ok(());
+        }
+        match status.state(newest.xmin) {
+            TxnState::InProgress => Err(StorageError::WriteConflict(rid)),
+            TxnState::Committed(c) if c > snap_csn => Err(StorageError::WriteConflict(rid)),
+            _ => Ok(()),
+        }
+    }
+
+    /// Apply a committed transaction's net live-row delta (inserts
+    /// minus deletes against previously committed rows).
+    pub fn apply_live_delta(&mut self, delta: i64) {
+        self.live = (self.live as i64 + delta).max(0) as usize;
+    }
+
+    /// Materialize a frozen row at a specific slot, extending the slot
+    /// array with tombstones as needed — WAL recovery replays inserts
+    /// at their original rowids with this.
+    pub fn restore_at(&mut self, rid: RowId, row: Vec<Value>) -> Result<(), StorageError> {
+        self.schema.check_row(&row)?;
+        while self.slots.len() <= rid.slot() {
+            self.slots.push(Vec::new());
+        }
+        if self.slots[rid.slot()].is_empty() {
+            self.live += 1;
+        }
+        self.slots[rid.slot()] = vec![Version::frozen(row.into())];
+        Ok(())
+    }
+
+    // -- reads -------------------------------------------------------------
+
+    /// Fetch the row version visible to `snap` (a logical read).
+    pub fn get_at(&self, rid: RowId, snap: &Snapshot) -> Result<Arc<[Value]>, StorageError> {
         Counters::bump(&self.counters.row_fetches);
-        self.slots.get(rid.slot()).and_then(|s| s.clone()).ok_or(StorageError::NoSuchRow(rid))
+        let chain = self.slots.get(rid.slot()).ok_or(StorageError::NoSuchRow(rid))?;
+        chain
+            .iter()
+            .rev()
+            .find(|v| v.visible(snap, &self.status))
+            .map(|v| Arc::clone(&v.row))
+            .ok_or(StorageError::NoSuchRow(rid))
+    }
+
+    /// Fetch a row by rowid at latest-committed visibility.
+    pub fn get(&self, rid: RowId) -> Result<Arc<[Value]>, StorageError> {
+        self.get_at(rid, &Snapshot::LATEST)
     }
 
     /// Fetch a single column of a row.
@@ -112,50 +314,47 @@ impl Table {
             .ok_or_else(|| StorageError::SchemaMismatch(format!("no column {col}")))
     }
 
-    /// Replace a row in place.
-    pub fn update(&mut self, rid: RowId, row: Vec<Value>) -> Result<(), StorageError> {
-        self.schema.check_row(&row)?;
-        match self.slots.get_mut(rid.slot()) {
-            Some(slot @ Some(_)) => {
-                *slot = Some(row.into());
-                Ok(())
-            }
-            _ => Err(StorageError::NoSuchRow(rid)),
-        }
+    /// True when the rowid addresses a row visible to `snap`.
+    pub fn exists_at(&self, rid: RowId, snap: &Snapshot) -> bool {
+        self.slots
+            .get(rid.slot())
+            .is_some_and(|chain| chain.iter().rev().any(|v| v.visible(snap, &self.status)))
     }
 
-    /// Delete a row, tombstoning its slot.
-    pub fn delete(&mut self, rid: RowId) -> Result<(), StorageError> {
-        match self.slots.get_mut(rid.slot()) {
-            Some(slot @ Some(_)) => {
-                *slot = None;
-                self.live -= 1;
-                Ok(())
-            }
-            _ => Err(StorageError::NoSuchRow(rid)),
-        }
-    }
-
-    /// True when the rowid addresses a live row.
+    /// True when the rowid addresses a live row (latest-committed).
     pub fn exists(&self, rid: RowId) -> bool {
-        matches!(self.slots.get(rid.slot()), Some(Some(_)))
+        self.exists_at(rid, &Snapshot::LATEST)
     }
 
-    /// Full scan over live rows in rowid order.
+    /// Full scan over rows visible to `snap`, in rowid order.
+    pub fn scan_at(&self, snap: Snapshot) -> TableScan<'_> {
+        TableScan { table: self, next: 0, snap }
+    }
+
+    /// Full scan over live rows (latest-committed) in rowid order.
     pub fn scan(&self) -> TableScan<'_> {
-        TableScan { table: self, next: 0 }
+        self.scan_at(Snapshot::LATEST)
     }
 }
 
-/// Iterator over `(RowId, row)` pairs of live rows.
+/// Iterator over `(RowId, row)` pairs of rows visible to a snapshot.
 pub struct TableScan<'a> {
     table: &'a Table,
     next: usize,
+    snap: Snapshot,
 }
 
 impl<'a> TableScan<'a> {
     fn bounded(self, end: usize) -> BoundedScan<'a> {
         BoundedScan { inner: self, end }
+    }
+
+    fn visible_at(&self, slot: usize) -> Option<Arc<[Value]>> {
+        self.table.slots[slot]
+            .iter()
+            .rev()
+            .find(|v| v.visible(&self.snap, &self.table.status))
+            .map(|v| Arc::clone(&v.row))
     }
 }
 
@@ -166,9 +365,9 @@ impl<'a> Iterator for TableScan<'a> {
         while self.next < self.table.slots.len() {
             let slot = self.next;
             self.next += 1;
-            if let Some(row) = &self.table.slots[slot] {
+            if let Some(row) = self.visible_at(slot) {
                 Counters::bump(&self.table.counters.rows_scanned);
-                return Some((RowId::new(slot as u64), Arc::clone(row)));
+                return Some((RowId::new(slot as u64), row));
             }
         }
         None
@@ -185,16 +384,12 @@ impl<'a> Iterator for BoundedScan<'a> {
     type Item = (RowId, Arc<[Value]>);
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.inner.next >= self.end {
-            return None;
-        }
-        // Stop early if the underlying scan would run past the bound.
         while self.inner.next < self.end {
             let slot = self.inner.next;
             self.inner.next += 1;
-            if let Some(row) = &self.inner.table.slots[slot] {
+            if let Some(row) = self.inner.visible_at(slot) {
                 Counters::bump(&self.inner.table.counters.rows_scanned);
-                return Some((RowId::new(slot as u64), Arc::clone(row)));
+                return Some((RowId::new(slot as u64), row));
             }
         }
         None
@@ -206,7 +401,12 @@ impl Table {
     /// primitive that RANGE-partitioned parallel table functions use to
     /// split an input cursor.
     pub fn scan_slots(&self, from: usize, to: usize) -> BoundedScan<'_> {
-        TableScan { table: self, next: from.min(self.slots.len()) }
+        self.scan_slots_at(from, to, Snapshot::LATEST)
+    }
+
+    /// [`Table::scan_slots`] at an explicit snapshot.
+    pub fn scan_slots_at(&self, from: usize, to: usize, snap: Snapshot) -> BoundedScan<'_> {
+        TableScan { table: self, next: from.min(self.slots.len()), snap }
             .bounded(to.min(self.slots.len()))
     }
 }
@@ -300,5 +500,138 @@ mod tests {
         let rids = t.insert_many((0..5).map(|i| row(i, "r"))).unwrap();
         assert_eq!(rids.len(), 5);
         assert!(rids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    // -- MVCC behaviour ----------------------------------------------------
+
+    #[test]
+    fn uncommitted_rows_invisible_until_commit() {
+        let mut t = table();
+        t.insert(row(0, "base")).unwrap();
+        let status = Arc::clone(t.status());
+        let txid = status.begin();
+        let rid = t.insert_txn(txid, row(1, "pending")).unwrap();
+
+        // Invisible to latest-committed readers, visible to the owner.
+        assert_eq!(t.get(rid), Err(StorageError::NoSuchRow(rid)));
+        assert_eq!(t.len(), 1);
+        let own = Snapshot { csn: 0, txid };
+        assert_eq!(t.get_at(rid, &own).unwrap()[0].as_integer(), Some(1));
+
+        status.commit(txid, 1);
+        t.apply_live_delta(1);
+        assert_eq!(t.get(rid).unwrap()[0].as_integer(), Some(1));
+        assert_eq!(t.len(), 2);
+        // A snapshot taken before the commit still excludes it.
+        assert!(!t.exists_at(rid, &Snapshot::at(0)));
+        assert!(t.exists_at(rid, &Snapshot::at(1)));
+    }
+
+    #[test]
+    fn aborted_versions_vanish_and_are_pruned() {
+        let mut t = table();
+        let r0 = t.insert(row(0, "keep")).unwrap();
+        let status = Arc::clone(t.status());
+        let txid = status.begin();
+        let r1 = t.insert_txn(txid, row(1, "doomed")).unwrap();
+        t.update_txn(txid, 0, r0, row(7, "doomed-update")).unwrap();
+        status.abort(txid);
+
+        // Rollback is a status flip: old state is back immediately.
+        assert_eq!(t.get(r0).unwrap()[0].as_integer(), Some(0));
+        assert!(!t.exists(r1));
+        assert_eq!(t.len(), 1);
+        // A later frozen write prunes the aborted chain lazily.
+        t.update(r0, row(2, "after")).unwrap();
+        assert_eq!(t.get(r0).unwrap()[0].as_integer(), Some(2));
+    }
+
+    #[test]
+    fn snapshot_readers_see_pre_update_versions() {
+        let mut t = table();
+        let rid = t.insert(row(1, "v1")).unwrap();
+        let status = Arc::clone(t.status());
+        let txid = status.begin();
+        t.update_txn(txid, 0, rid, row(2, "v2")).unwrap();
+        status.commit(txid, 1);
+
+        assert_eq!(t.get_at(rid, &Snapshot::at(0)).unwrap()[1].as_text(), Some("v1"));
+        assert_eq!(t.get_at(rid, &Snapshot::at(1)).unwrap()[1].as_text(), Some("v2"));
+        let ids: Vec<i64> =
+            t.scan_at(Snapshot::at(0)).map(|(_, r)| r[0].as_integer().unwrap()).collect();
+        assert_eq!(ids, vec![1]);
+    }
+
+    #[test]
+    fn snapshot_delete_preserves_old_view() {
+        let mut t = table();
+        let rid = t.insert(row(1, "a")).unwrap();
+        let status = Arc::clone(t.status());
+        let txid = status.begin();
+        t.delete_txn(txid, 0, rid).unwrap();
+        // Deleter no longer sees it; others still do.
+        assert!(!t.exists_at(rid, &Snapshot { csn: 0, txid }));
+        assert!(t.exists(rid));
+        status.commit(txid, 1);
+        t.apply_live_delta(-1);
+        assert!(!t.exists(rid));
+        assert!(t.exists_at(rid, &Snapshot::at(0)), "pre-delete snapshot still sees the row");
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn write_write_conflicts_first_updater_wins() {
+        let mut t = table();
+        let rid = t.insert(row(1, "a")).unwrap();
+        let status = Arc::clone(t.status());
+        let t1 = status.begin();
+        let t2 = status.begin();
+        t.update_txn(t1, 0, rid, row(2, "t1")).unwrap();
+        // Concurrent writer loses immediately (no waiting).
+        assert_eq!(t.update_txn(t2, 0, rid, row(3, "t2")), Err(StorageError::WriteConflict(rid)));
+        assert_eq!(t.delete_txn(t2, 0, rid), Err(StorageError::WriteConflict(rid)));
+        // Frozen writers conflict with in-progress transactions too.
+        assert_eq!(t.update(rid, row(4, "frozen")), Err(StorageError::WriteConflict(rid)));
+
+        // First-committer-wins across snapshots: t1 commits at csn 1,
+        // t2's snapshot (csn 0) is now stale for this row.
+        status.commit(t1, 1);
+        assert_eq!(t.update_txn(t2, 0, rid, row(3, "t2")), Err(StorageError::WriteConflict(rid)));
+        // A transaction whose snapshot covers the commit may proceed.
+        let t3 = status.begin();
+        assert!(t.update_txn(t3, 1, rid, row(5, "t3")).is_ok());
+    }
+
+    #[test]
+    fn own_transaction_multi_write_collapses() {
+        let mut t = table();
+        let status = Arc::clone(t.status());
+        let txid = status.begin();
+        let rid = t.insert_txn(txid, row(1, "a")).unwrap();
+        t.update_txn(txid, 0, rid, row(2, "b")).unwrap();
+        t.update_txn(txid, 0, rid, row(3, "c")).unwrap();
+        let own = Snapshot { csn: 0, txid };
+        assert_eq!(t.get_at(rid, &own).unwrap()[0].as_integer(), Some(3));
+        t.delete_txn(txid, 0, rid).unwrap();
+        assert!(!t.exists_at(rid, &own));
+        // Delete-then-touch errors like a missing row.
+        assert_eq!(t.update_txn(txid, 0, rid, row(4, "d")), Err(StorageError::NoSuchRow(rid)));
+        status.commit(txid, 1);
+        assert!(!t.exists(rid));
+    }
+
+    #[test]
+    fn restore_at_fills_gaps_with_tombstones() {
+        let mut t = table();
+        t.restore_at(RowId::new(2), row(2, "c")).unwrap();
+        assert_eq!(t.high_water_mark(), 3);
+        assert_eq!(t.len(), 1);
+        assert!(!t.exists(RowId::new(0)));
+        assert_eq!(t.get(RowId::new(2)).unwrap()[0].as_integer(), Some(2));
+        // Restoring over an existing row replaces it without double
+        // counting.
+        t.restore_at(RowId::new(2), row(9, "z")).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(RowId::new(2)).unwrap()[0].as_integer(), Some(9));
     }
 }

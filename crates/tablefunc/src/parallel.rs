@@ -204,6 +204,11 @@ pub fn execute_parallel(
     instances: Vec<Box<dyn TableFunction>>,
     fetch_size: usize,
 ) -> Result<Vec<Row>, TfError> {
+    if instances.is_empty() {
+        // An empty input sliced dop ways yields no slave instances —
+        // e.g. building an index over a table with no rows yet.
+        return Ok(Vec::new());
+    }
     let mut p = ParallelTableFunction::new(instances).with_slave_fetch_size(fetch_size);
     crate::table_function::collect_all(&mut p, fetch_size)
 }

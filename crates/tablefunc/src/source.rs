@@ -2,7 +2,7 @@
 
 use crate::row::Row;
 use parking_lot::RwLock;
-use sdo_storage::{RowId, Table, Value};
+use sdo_storage::{RowId, Snapshot, Table, Value};
 use std::sync::Arc;
 
 /// A cursor handing rows to a table function, batch at a time.
@@ -58,9 +58,10 @@ impl RowSource for VecSource {
 /// the rowid as the first output column.
 ///
 /// Locks the table per batch, so concurrent readers and the scan
-/// interleave — the moral equivalent of Oracle's consistent-read
-/// cursor without the MVCC machinery (DDL/DML during a parallel scan
-/// is out of scope, as it is for the paper's experiments).
+/// interleave. The cursor carries an MVCC [`Snapshot`]
+/// ([`Snapshot::LATEST`] unless pinned via [`TableCursor::at_snapshot`]),
+/// so a pinned scan is Oracle's consistent-read cursor: writers may
+/// commit mid-scan without the cursor observing them.
 pub struct TableCursor {
     table: Arc<RwLock<Table>>,
     next_slot: usize,
@@ -68,23 +69,37 @@ pub struct TableCursor {
     /// Column projection applied after the rowid column; `None` keeps
     /// every column.
     projection: Option<Vec<usize>>,
+    /// Read view for visibility decisions.
+    snap: Snapshot,
 }
 
 impl TableCursor {
     /// Cursor over the whole table.
     pub fn full(table: Arc<RwLock<Table>>) -> Self {
         let end = table.read().high_water_mark();
-        TableCursor { table, next_slot: 0, end_slot: end, projection: None }
+        TableCursor { table, next_slot: 0, end_slot: end, projection: None, snap: Snapshot::LATEST }
     }
 
     /// Cursor over slots `[from, to)`.
     pub fn slice(table: Arc<RwLock<Table>>, from: usize, to: usize) -> Self {
-        TableCursor { table, next_slot: from, end_slot: to, projection: None }
+        TableCursor {
+            table,
+            next_slot: from,
+            end_slot: to,
+            projection: None,
+            snap: Snapshot::LATEST,
+        }
     }
 
     /// Project specific columns (after the leading rowid column).
     pub fn with_projection(mut self, cols: Vec<usize>) -> Self {
         self.projection = Some(cols);
+        self
+    }
+
+    /// Pin the cursor to an MVCC read snapshot.
+    pub fn at_snapshot(mut self, snap: Snapshot) -> Self {
+        self.snap = snap;
         self
     }
 }
@@ -101,7 +116,7 @@ impl RowSource for TableCursor {
             let slot = self.next_slot;
             self.next_slot += 1;
             let rid = RowId::new(slot as u64);
-            if let Ok(row) = table.get(rid) {
+            if let Ok(row) = table.get_at(rid, &self.snap) {
                 let mut r: Row = Vec::with_capacity(1 + row.len());
                 r.push(Value::RowId(rid));
                 match &self.projection {
@@ -198,6 +213,23 @@ mod tests {
         let rows = c.drain();
         assert_eq!(rows[0].len(), 2); // rowid + projected column
         assert_eq!(rows[0][1].as_text(), Some("x"));
+    }
+
+    #[test]
+    fn pinned_cursor_ignores_later_commits() {
+        let t = sample_table();
+        let pinned = Snapshot::at(0);
+        // A transaction inserts and commits after the snapshot is taken.
+        let status = Arc::clone(t.read().status());
+        let txid = status.begin();
+        t.write().insert_txn(txid, vec![Value::Integer(99)]).unwrap();
+        status.commit(txid, 1);
+        t.write().apply_live_delta(1);
+
+        let mut c = TableCursor::full(Arc::clone(&t)).at_snapshot(pinned);
+        assert_eq!(c.drain().len(), 10, "pinned cursor keeps its read view");
+        let mut latest = TableCursor::full(Arc::clone(&t));
+        assert_eq!(latest.drain().len(), 11, "unpinned cursor sees the commit");
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Crash recovery: WAL replay over a checkpoint base image.
+//!
+//! Replay is redo-only and two-pass:
+//!
+//! 1. scan the durable record prefix and collect the set of
+//!    transactions whose `Commit` record made it to disk;
+//! 2. walk the prefix in order, applying DDL immediately (DDL is
+//!    autocommitted) and DML only for committed transactions.
+//!
+//! Committed DML replays as *frozen* writes via
+//! [`Table::restore_at`](sdo_storage::table::Table::restore_at) /
+//! `delete` at the logged rowid, so the recovered heap has the same
+//! rowids as the pre-crash heap — spatial joins return rowid pairs, and
+//! those must mean the same rows after recovery. Uncommitted
+//! transactions contribute nothing: the recovered state is exactly the
+//! serial prefix of transactions that reached their commit record.
+//!
+//! Index DDL is not applied here — domain indexes need the indextype
+//! registry, which lives above the storage layer. Replay returns
+//! [`IndexDirective`]s; the caller rebuilds each index from the
+//! recovered table, which by construction equals a fresh build.
+
+use sdo_storage::snapshot::IndexDirective;
+use sdo_storage::wal::WalRecord;
+use sdo_storage::{Catalog, StorageError, TxnId};
+use std::collections::HashSet;
+
+/// What a WAL replay did, for logging and smoke-test assertions.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Domain indexes to rebuild from the recovered tables, in
+    /// creation order.
+    pub directives: Vec<IndexDirective>,
+    /// Distinct transactions whose commit record was durable.
+    pub committed_txns: usize,
+    /// Distinct transactions discarded (no durable commit record).
+    pub discarded_txns: usize,
+    /// DML records applied (insert/update/delete of committed txns).
+    pub dml_applied: usize,
+}
+
+/// Replay a WAL record prefix over `catalog` (typically freshly loaded
+/// from the checkpoint base image, or empty when no checkpoint exists).
+pub fn replay(records: &[WalRecord], catalog: &Catalog) -> Result<RecoveryReport, StorageError> {
+    // Pass 1: which transactions reached their commit record?
+    let mut committed: HashSet<TxnId> = HashSet::new();
+    let mut seen: HashSet<TxnId> = HashSet::new();
+    for rec in records {
+        if let Some(txid) = rec.txid() {
+            seen.insert(txid);
+        }
+        if let WalRecord::Commit { txid } = rec {
+            committed.insert(*txid);
+        }
+    }
+
+    // Pass 2: apply in log order.
+    let mut report = RecoveryReport {
+        committed_txns: committed.len(),
+        discarded_txns: seen.len() - committed.len(),
+        ..RecoveryReport::default()
+    };
+    for rec in records {
+        match rec {
+            // DDL redo is idempotent: a crash between the checkpoint's
+            // base-image rename and its log truncation leaves a log
+            // whose effects the base already contains, so "already
+            // exists" / "already gone" are not errors here.
+            WalRecord::CreateTable { name, schema } => {
+                let _ = catalog.create_table(name, schema.clone());
+            }
+            WalRecord::DropTable { name } => {
+                let _ = catalog.drop_table(name);
+                report.directives.retain(|d| !d.table_name.eq_ignore_ascii_case(name));
+            }
+            WalRecord::CreateIndex {
+                index_name,
+                table_name,
+                column_name,
+                parameters,
+                create_dop,
+            } => {
+                report.directives.push(IndexDirective {
+                    index_name: index_name.clone(),
+                    table_name: table_name.clone(),
+                    column_name: column_name.clone(),
+                    parameters: parameters.clone(),
+                    create_dop: *create_dop,
+                });
+            }
+            WalRecord::DropIndex { name } => {
+                report.directives.retain(|d| !d.index_name.eq_ignore_ascii_case(name));
+            }
+            WalRecord::Insert { txid, table, rid, row }
+            | WalRecord::Update { txid, table, rid, row } => {
+                if committed.contains(txid) {
+                    catalog.table(table)?.write().restore_at(*rid, row.clone())?;
+                    report.dml_applied += 1;
+                }
+            }
+            WalRecord::Delete { txid, table, rid } => {
+                if committed.contains(txid) {
+                    // Idempotent physical redo: deleting a row the base
+                    // image already lacks is a no-op, not a failure.
+                    if catalog.table(table)?.write().delete(*rid).is_ok() {
+                        report.dml_applied += 1;
+                    }
+                }
+            }
+            WalRecord::Begin { .. } | WalRecord::Commit { .. } | WalRecord::Abort { .. } => {}
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdo_storage::{DataType, RowId, Schema, Value};
+
+    fn rec_insert(txid: TxnId, rid: u64, id: i64) -> WalRecord {
+        WalRecord::Insert {
+            txid,
+            table: "T".into(),
+            rid: RowId::new(rid),
+            row: vec![Value::Integer(id)],
+        }
+    }
+
+    fn schema() -> Schema {
+        Schema::of(&[("ID", DataType::Integer)])
+    }
+
+    #[test]
+    fn committed_prefix_only() {
+        let records = vec![
+            WalRecord::CreateTable { name: "T".into(), schema: schema() },
+            WalRecord::Begin { txid: 1 },
+            rec_insert(1, 0, 10),
+            rec_insert(1, 1, 11),
+            WalRecord::Commit { txid: 1 },
+            WalRecord::Begin { txid: 2 },
+            rec_insert(2, 2, 20),
+            // no commit for txn 2 — crash before its commit record
+        ];
+        let catalog = Catalog::new();
+        let report = replay(&records, &catalog).unwrap();
+        assert_eq!(report.committed_txns, 1);
+        assert_eq!(report.discarded_txns, 1);
+        assert_eq!(report.dml_applied, 2);
+        let t = catalog.table("T").unwrap();
+        let t = t.read();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(RowId::new(0)).unwrap()[0], Value::Integer(10));
+        assert!(t.get(RowId::new(2)).is_err(), "uncommitted insert discarded");
+    }
+
+    #[test]
+    fn update_delete_and_rowid_stability() {
+        let records = vec![
+            WalRecord::CreateTable { name: "T".into(), schema: schema() },
+            WalRecord::Begin { txid: 1 },
+            rec_insert(1, 0, 1),
+            rec_insert(1, 1, 2),
+            rec_insert(1, 2, 3),
+            WalRecord::Commit { txid: 1 },
+            WalRecord::Begin { txid: 2 },
+            WalRecord::Update {
+                txid: 2,
+                table: "T".into(),
+                rid: RowId::new(1),
+                row: vec![Value::Integer(22)],
+            },
+            WalRecord::Delete { txid: 2, table: "T".into(), rid: RowId::new(0) },
+            WalRecord::Commit { txid: 2 },
+        ];
+        let catalog = Catalog::new();
+        replay(&records, &catalog).unwrap();
+        let t = catalog.table("T").unwrap();
+        let t = t.read();
+        assert_eq!(t.len(), 2);
+        assert!(t.get(RowId::new(0)).is_err(), "deleted row stays deleted");
+        assert_eq!(t.get(RowId::new(1)).unwrap()[0], Value::Integer(22));
+        assert_eq!(t.get(RowId::new(2)).unwrap()[0], Value::Integer(3));
+    }
+
+    #[test]
+    fn ddl_applies_and_directives_survive_drops() {
+        let idx = |name: &str, table: &str| WalRecord::CreateIndex {
+            index_name: name.into(),
+            table_name: table.into(),
+            column_name: "GEOM".into(),
+            parameters: "tree_fanout=8".into(),
+            create_dop: 1,
+        };
+        let records = vec![
+            WalRecord::CreateTable { name: "A".into(), schema: schema() },
+            WalRecord::CreateTable { name: "B".into(), schema: schema() },
+            idx("A_IDX", "A"),
+            idx("B_IDX", "B"),
+            WalRecord::DropIndex { name: "a_idx".into() },
+            WalRecord::CreateTable { name: "C".into(), schema: schema() },
+            idx("C_IDX", "C"),
+            WalRecord::DropTable { name: "C".into() },
+        ];
+        let catalog = Catalog::new();
+        let report = replay(&records, &catalog).unwrap();
+        assert_eq!(catalog.table_names(), vec!["A".to_string(), "B".to_string()]);
+        let names: Vec<&str> = report.directives.iter().map(|d| d.index_name.as_str()).collect();
+        assert_eq!(names, vec!["B_IDX"], "dropped index and dropped table's index pruned");
+    }
+
+    #[test]
+    fn aborted_txn_is_discarded_even_with_abort_record() {
+        let records = vec![
+            WalRecord::CreateTable { name: "T".into(), schema: schema() },
+            WalRecord::Begin { txid: 1 },
+            rec_insert(1, 0, 1),
+            WalRecord::Abort { txid: 1 },
+        ];
+        let catalog = Catalog::new();
+        let report = replay(&records, &catalog).unwrap();
+        assert_eq!(report.dml_applied, 0);
+        assert_eq!(catalog.table("T").unwrap().read().len(), 0);
+    }
+}

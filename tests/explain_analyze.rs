@@ -219,3 +219,67 @@ fn nested_loop_profile_reports_strategy_and_counters() {
         "work-counter deltas ride on the join operator"
     );
 }
+
+#[test]
+fn transaction_and_wal_counters_surface_on_the_statement_profile() {
+    let dir = std::env::temp_dir().join(format!("sdo-ea-txn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Database::open(&dir).unwrap();
+    sdo_core::register_spatial(&db);
+    db.execute("CREATE TABLE t (id NUMBER)").unwrap();
+
+    // An autocommit INSERT is one transaction: its profile root carries
+    // the commit plus the WAL traffic it caused.
+    db.execute("EXPLAIN ANALYZE INSERT INTO t VALUES (1)").unwrap();
+    let profile = db.last_profile().unwrap();
+    assert_eq!(profile.root.metric("txn_commits"), Some(1), "autocommit = one commit");
+    assert!(profile.root.metric("wal_bytes_written").unwrap_or(0) > 0, "DML reaches the WAL");
+    assert!(profile.root.metric("wal_fsyncs").unwrap_or(0) >= 1, "fsync durability syncs");
+
+    // COMMIT of an explicit transaction carries the commit; the DML
+    // statements inside carried only their WAL bytes.
+    db.execute("BEGIN").unwrap();
+    db.execute("EXPLAIN ANALYZE INSERT INTO t VALUES (2)").unwrap();
+    let mid = db.last_profile().unwrap();
+    assert_eq!(mid.root.metric("txn_commits"), None, "no commit mid-transaction");
+    assert!(mid.root.metric("wal_bytes_written").unwrap_or(0) > 0);
+    db.execute("EXPLAIN ANALYZE COMMIT").unwrap();
+    let commit = db.last_profile().unwrap();
+    assert_eq!(commit.root.name, "COMMIT");
+    assert_eq!(commit.root.metric("txn_commits"), Some(1));
+
+    // ROLLBACK counts as an abort.
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO t VALUES (3)").unwrap();
+    db.execute("EXPLAIN ANALYZE ROLLBACK").unwrap();
+    let rb = db.last_profile().unwrap();
+    assert_eq!(rb.root.metric("txn_aborts"), Some(1));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn counters_snapshot_diff_tracks_txn_and_wal_activity() {
+    let dir = std::env::temp_dir().join(format!("sdo-ea-cnt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Database::open(&dir).unwrap();
+    sdo_core::register_spatial(&db);
+    db.execute("CREATE TABLE t (id NUMBER)").unwrap();
+
+    let before = db.counters().snapshot();
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    db.execute("INSERT INTO t VALUES (2)").unwrap();
+    db.execute("COMMIT").unwrap();
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO t VALUES (3)").unwrap();
+    db.execute("ROLLBACK").unwrap();
+    let delta = db.counters().diff(&before);
+
+    assert_eq!(delta.get("txn_commits"), Some(1));
+    assert_eq!(delta.get("txn_aborts"), Some(1));
+    assert!(delta.get("wal_bytes_written").unwrap_or(0) > 0);
+    assert!(delta.get("wal_fsyncs").unwrap_or(0) >= 1, "the COMMIT fsynced");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -128,3 +128,125 @@ fn garbage_snapshot_rejected() {
     let dst = session();
     assert!(dst.load_snapshot(bytes::Bytes::from_static(b"not a snapshot")).is_err());
 }
+
+// -- durable on-disk roundtrips (pager base image + WAL) --------------------
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("sdo-roundtrip-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn build_source_at(dir: &std::path::Path) -> Database {
+    let db = Database::open(dir).unwrap();
+    sdo_core::register_spatial(&db);
+    db.execute("CREATE TABLE t (id NUMBER, name VARCHAR2, geom SDO_GEOMETRY)").unwrap();
+    for (i, g) in counties::generate(80, &US_EXTENT, 77).into_iter().enumerate() {
+        db.insert_row(
+            "t",
+            vec![Value::Integer(i as i64), Value::text(format!("county{i}")), Value::geometry(g)],
+        )
+        .unwrap();
+    }
+    db.execute("DELETE FROM t WHERE id = 10").unwrap();
+    db.execute("DELETE FROM t WHERE id = 20").unwrap();
+    db.execute(
+        "CREATE INDEX t_x ON t(geom) INDEXTYPE IS SPATIAL_INDEX \
+         PARAMETERS ('tree_fanout=16') PARALLEL 2",
+    )
+    .unwrap();
+    db
+}
+
+fn reopen(dir: &std::path::Path) -> Database {
+    let db = Database::open(dir).unwrap();
+    sdo_core::register_spatial(&db);
+    db.recover_indexes().unwrap();
+    db
+}
+
+#[test]
+fn wal_replay_roundtrip_preserves_queries_and_indexes() {
+    let dir = fresh_dir("wal-only");
+    let src = build_source_at(&dir);
+    let before = fingerprint(&src);
+    drop(src);
+
+    // No checkpoint was taken: the whole state replays from the WAL.
+    let dst = reopen(&dir);
+    assert_eq!(fingerprint(&dst), before);
+    assert_eq!(dst.execute("SELECT COUNT(*) FROM t WHERE id = 10").unwrap().count(), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_then_reopen_truncates_wal_and_preserves_state() {
+    let dir = fresh_dir("checkpoint");
+    let src = build_source_at(&dir);
+    let before = fingerprint(&src);
+    src.checkpoint().unwrap();
+    assert!(dir.join(sdo_dbms::db::BASE_FILE).exists(), "checkpoint writes the base image");
+    assert_eq!(
+        std::fs::metadata(dir.join(sdo_dbms::db::WAL_FILE)).unwrap().len(),
+        0,
+        "checkpoint truncates the log"
+    );
+    drop(src);
+
+    // Everything now loads from the page-backed base image alone.
+    let dst = reopen(&dir);
+    assert_eq!(fingerprint(&dst), before);
+    let meta = dst.catalog().index_metadata("t_x").unwrap();
+    assert_eq!(meta.parameters, "tree_fanout=16");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_plus_wal_tail_combine_on_reopen() {
+    let dir = fresh_dir("base-plus-tail");
+    let src = build_source_at(&dir);
+    src.checkpoint().unwrap();
+    // Post-checkpoint DML lands in the fresh WAL tail only.
+    src.execute("BEGIN").unwrap();
+    src.execute(
+        "INSERT INTO t VALUES (999, 'new', \
+         SDO_GEOMETRY('POLYGON ((-100 30, -99 30, -99 31, -100 31, -100 30))'))",
+    )
+    .unwrap();
+    src.execute("COMMIT").unwrap();
+    src.execute("DELETE FROM t WHERE id = 30").unwrap();
+    let before = fingerprint(&src);
+    drop(src);
+
+    // Reopen must apply base image *and* the log tail, in order.
+    let dst = reopen(&dir);
+    assert_eq!(fingerprint(&dst), before);
+    assert_eq!(dst.execute("SELECT COUNT(*) FROM t WHERE id = 999").unwrap().count(), Some(1));
+    assert_eq!(dst.execute("SELECT COUNT(*) FROM t WHERE id = 30").unwrap().count(), Some(0));
+
+    // A second checkpoint over the combined state is stable too.
+    dst.checkpoint().unwrap();
+    let dst2 = reopen(&dir);
+    assert_eq!(fingerprint(&dst2), before);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_refuses_in_flight_transactions() {
+    let dir = fresh_dir("quiesce");
+    let db = Database::open(&dir).unwrap();
+    sdo_core::register_spatial(&db);
+    db.execute("CREATE TABLE t (id NUMBER)").unwrap();
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    let e = db.checkpoint().unwrap_err().to_string();
+    assert!(e.contains("transaction"), "bad error: {e}");
+    db.execute("COMMIT").unwrap();
+    db.checkpoint().unwrap();
+
+    // An in-memory session has no backing directory to checkpoint to.
+    let mem = session();
+    assert!(mem.checkpoint().is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
