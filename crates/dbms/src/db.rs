@@ -3,6 +3,7 @@
 
 use crate::error::DbError;
 use crate::extensible::{DomainIndex, IndexType};
+use crate::session::{Session, SessionState};
 use parking_lot::{Mutex, RwLock};
 use sdo_storage::snapshot::IndexDirective;
 use sdo_storage::{
@@ -14,6 +15,7 @@ use sdo_txn::recovery::RecoveryReport;
 use sdo_txn::{TxnManager, TxnToken};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Checkpoint base image file name inside a database directory.
@@ -108,8 +110,6 @@ pub struct Database {
     wal: RwLock<Option<Arc<Wal>>>,
     /// Directory backing [`Database::open`]; `None` when in-memory.
     data_dir: RwLock<Option<PathBuf>>,
-    /// The SQL session's open explicit transaction, if any.
-    session: Mutex<Option<TxnCtx>>,
     /// Domain indexes recovery says to rebuild (see
     /// [`Database::recover_indexes`]).
     pending_indexes: Mutex<Vec<IndexDirective>>,
@@ -118,8 +118,17 @@ pub struct Database {
     indextypes: RwLock<HashMap<String, Arc<dyn IndexType>>>,
     indexes: RwLock<HashMap<String, IndexHandle>>,
     table_functions: RwLock<HashMap<String, Arc<TfFactory>>>,
-    last_profile: RwLock<Option<sdo_obs::QueryProfile>>,
-    options: RwLock<SessionOptions>,
+    /// Engine-level option defaults; new sessions start from a copy.
+    default_options: RwLock<SessionOptions>,
+    /// The built-in session behind the connectionless APIs
+    /// ([`Database::execute`], [`Database::begin_txn`], ...). Session
+    /// id 0; behaves exactly like the pre-session single-connection
+    /// engine.
+    default_session: Arc<SessionState>,
+    /// Live [`Session`] handles (the default session not included).
+    session_count: AtomicU64,
+    /// Next session id to hand out (0 is the default session).
+    next_session_id: AtomicU64,
 }
 
 /// When a committed transaction's WAL records are forced to disk.
@@ -160,6 +169,50 @@ impl Default for SessionOptions {
     }
 }
 
+impl SessionOptions {
+    /// Set an option by name. Recognised options: `materialize`
+    /// (`on`/`off`), `max_resident_rows` (a positive row count, full
+    /// `u64` range), and `durability` (`fsync`/`buffered`). Unknown
+    /// options and unknown values both fail, naming the option.
+    pub fn set(&mut self, name: &str, value: &str) -> Result<(), DbError> {
+        match name.to_ascii_lowercase().as_str() {
+            "materialize" => match value.to_ascii_lowercase().as_str() {
+                "on" | "true" | "1" => self.materialize = true,
+                "off" | "false" | "0" => self.materialize = false,
+                other => {
+                    return Err(DbError::Plan(format!(
+                        "invalid value '{other}' for MATERIALIZE (expected on/off)"
+                    )))
+                }
+            },
+            "max_resident_rows" => {
+                // u64, not i64: the budget is a row *count*, and legal
+                // values above i64::MAX must not be rejected.
+                let n: u64 = value.parse().map_err(|_| {
+                    DbError::Plan(format!("invalid value '{value}' for MAX_RESIDENT_ROWS"))
+                })?;
+                if n == 0 {
+                    return Err(DbError::Plan(
+                        "MAX_RESIDENT_ROWS must be a positive row count".into(),
+                    ));
+                }
+                self.max_resident_rows = n;
+            }
+            "durability" => match value.to_ascii_lowercase().as_str() {
+                "fsync" => self.durability = Durability::Fsync,
+                "buffered" => self.durability = Durability::Buffered,
+                other => {
+                    return Err(DbError::Plan(format!(
+                        "invalid value '{other}' for DURABILITY (expected fsync/buffered)"
+                    )))
+                }
+            },
+            other => return Err(DbError::Plan(format!("unknown session option '{other}'"))),
+        }
+        Ok(())
+    }
+}
+
 /// Book-keeping for one open transaction: the MVCC token plus the
 /// side effects that must be applied or undone at commit/abort.
 ///
@@ -171,6 +224,10 @@ impl Default for SessionOptions {
 /// older snapshots never miss entries for rows they can still see.
 pub(crate) struct TxnCtx {
     token: TxnToken,
+    /// Commit durability, captured from the owning session's options
+    /// when the transaction began — a concurrent `ALTER SESSION` in
+    /// another session must not change this commit's policy.
+    durability: Durability,
     /// Whether the WAL `Begin` record has been appended. Lazy: a
     /// read-only transaction logs nothing at all.
     began_logged: bool,
@@ -256,15 +313,59 @@ impl Database {
             txn,
             wal: RwLock::new(None),
             data_dir: RwLock::new(None),
-            session: Mutex::new(None),
             pending_indexes: Mutex::new(Vec::new()),
             last_recovery: RwLock::new(None),
             indextypes: RwLock::new(HashMap::new()),
             indexes: RwLock::new(HashMap::new()),
             table_functions: RwLock::new(HashMap::new()),
-            last_profile: RwLock::new(None),
-            options: RwLock::new(SessionOptions::default()),
+            default_options: RwLock::new(SessionOptions::default()),
+            default_session: Arc::new(SessionState::new(0, SessionOptions::default())),
+            session_count: AtomicU64::new(0),
+            next_session_id: AtomicU64::new(1),
         }
+    }
+
+    // -- sessions -------------------------------------------------------------
+
+    /// Open a new session: a connection-scoped view of this engine
+    /// with its own options (copied from the engine defaults), its own
+    /// explicit-transaction slot, profile slot, and prepared
+    /// statements. Any number may run concurrently.
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session::attach(Arc::clone(self))
+    }
+
+    /// Number of live [`Session`] handles (the built-in default
+    /// session is not counted).
+    pub fn session_count(&self) -> u64 {
+        self.session_count.load(Ordering::Relaxed)
+    }
+
+    /// Engine-level option defaults that new sessions start from.
+    pub fn default_options(&self) -> SessionOptions {
+        self.default_options.read().clone()
+    }
+
+    /// Change an engine-level default. Affects sessions opened later;
+    /// existing sessions (including the default session) keep their
+    /// current options.
+    pub fn set_default_option(&self, name: &str, value: &str) -> Result<(), DbError> {
+        self.default_options.write().set(name, value)
+    }
+
+    pub(crate) fn default_session_state(&self) -> &Arc<SessionState> {
+        &self.default_session
+    }
+
+    pub(crate) fn new_session_state(&self) -> Arc<SessionState> {
+        let id = self.next_session_id.fetch_add(1, Ordering::Relaxed);
+        let options = self.default_options.read().clone();
+        self.session_count.fetch_add(1, Ordering::Relaxed);
+        Arc::new(SessionState::new(id, options))
+    }
+
+    pub(crate) fn release_session(&self) {
+        self.session_count.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Open (or create) a durable database in `dir`.
@@ -359,7 +460,10 @@ impl Database {
     /// to run while any transaction is in flight, because the base
     /// image is a `LATEST`-snapshot serialization.
     pub fn checkpoint(&self) -> Result<(), DbError> {
-        if self.session.lock().is_some() || self.txn.active_count() > 0 {
+        // Open session transactions hold a begun MVCC token, so
+        // `active_count` covers explicit SQL transactions on every
+        // session as well as Rust `Txn` handles.
+        if self.txn.active_count() > 0 {
             return Err(DbError::Txn("checkpoint requires no in-flight transactions".into()));
         }
         let dir = self.data_dir.read().clone().ok_or_else(|| {
@@ -373,62 +477,26 @@ impl Database {
         Ok(())
     }
 
-    /// Current session options (copy).
+    /// Current options of the default session (copy). Connection
+    /// sessions carry their own options; see [`Session::options`].
     pub fn options(&self) -> SessionOptions {
-        self.options.read().clone()
+        self.default_session.options.read().clone()
     }
 
-    /// Set a session option by name. Recognised options:
-    /// `materialize` (`on`/`off`), `max_resident_rows` (a positive
-    /// row count), and `durability` (`fsync`/`buffered`). Unknown
-    /// options and unknown values both fail, naming the option.
+    /// Set an option on the default session (see
+    /// [`SessionOptions::set`] for the recognised names). Connection
+    /// sessions are unaffected; use [`Session::set_option`] or
+    /// [`Database::set_default_option`] for those.
     pub fn set_option(&self, name: &str, value: &str) -> Result<(), DbError> {
-        let mut opts = self.options.write();
-        match name.to_ascii_lowercase().as_str() {
-            "materialize" => match value.to_ascii_lowercase().as_str() {
-                "on" | "true" | "1" => opts.materialize = true,
-                "off" | "false" | "0" => opts.materialize = false,
-                other => {
-                    return Err(DbError::Plan(format!(
-                        "invalid value '{other}' for MATERIALIZE (expected on/off)"
-                    )))
-                }
-            },
-            "max_resident_rows" => {
-                let n: i64 = value.parse().map_err(|_| {
-                    DbError::Plan(format!("invalid value '{value}' for MAX_RESIDENT_ROWS"))
-                })?;
-                if n <= 0 {
-                    return Err(DbError::Plan(
-                        "MAX_RESIDENT_ROWS must be a positive row count".into(),
-                    ));
-                }
-                opts.max_resident_rows = n as u64;
-            }
-            "durability" => match value.to_ascii_lowercase().as_str() {
-                "fsync" => opts.durability = Durability::Fsync,
-                "buffered" => opts.durability = Durability::Buffered,
-                other => {
-                    return Err(DbError::Plan(format!(
-                        "invalid value '{other}' for DURABILITY (expected fsync/buffered)"
-                    )))
-                }
-            },
-            other => return Err(DbError::Plan(format!("unknown session option '{other}'"))),
-        }
-        Ok(())
+        self.default_session.options.write().set(name, value)
     }
 
     /// The operator profile of the most recent statement executed via
     /// [`Database::execute`], if any. Every statement records one; use
     /// `EXPLAIN ANALYZE` to render it as result rows instead.
+    /// Per-connection profiles live on [`Session::last_profile`].
     pub fn last_profile(&self) -> Option<sdo_obs::QueryProfile> {
-        self.last_profile.read().clone()
-    }
-
-    /// Store the profile of a finished statement.
-    pub(crate) fn store_profile(&self, profile: sdo_obs::QueryProfile) {
-        *self.last_profile.write() = Some(profile);
+        self.default_session.last_profile.read().clone()
     }
 
     /// The underlying storage catalog.
@@ -485,14 +553,26 @@ impl Database {
     /// it is logged and durable immediately, and is rejected inside an
     /// explicit transaction.
     pub fn create_table(&self, name: &str, schema: Schema) -> Result<(), DbError> {
-        self.reject_in_txn("CREATE TABLE")?;
+        self.create_table_in(&self.default_session, name, schema)
+    }
+
+    pub(crate) fn create_table_in(
+        &self,
+        sess: &SessionState,
+        name: &str,
+        schema: Schema,
+    ) -> Result<(), DbError> {
+        Self::reject_in_txn(sess, "CREATE TABLE")?;
         self.catalog.create_table(name, schema.clone())?;
-        self.log_ddl(&WalRecord::CreateTable { name: name.to_ascii_uppercase(), schema })?;
+        self.log_ddl(
+            &WalRecord::CreateTable { name: name.to_ascii_uppercase(), schema },
+            sess.options.read().durability,
+        )?;
         Ok(())
     }
 
-    fn reject_in_txn(&self, what: &str) -> Result<(), DbError> {
-        if self.in_txn() {
+    fn reject_in_txn(sess: &SessionState, what: &str) -> Result<(), DbError> {
+        if sess.txn.lock().is_some() {
             return Err(DbError::Txn(format!(
                 "{what} is not allowed inside an explicit transaction (DDL autocommits)"
             )));
@@ -507,7 +587,11 @@ impl Database {
 
     /// Drop a table along with its domain indexes and metadata.
     pub fn drop_table(&self, name: &str) -> Result<(), DbError> {
-        self.reject_in_txn("DROP TABLE")?;
+        self.drop_table_in(&self.default_session, name)
+    }
+
+    pub(crate) fn drop_table_in(&self, sess: &SessionState, name: &str) -> Result<(), DbError> {
+        Self::reject_in_txn(sess, "DROP TABLE")?;
         // Drop dependent domain indexes first.
         let dependent: Vec<String> = {
             let indexes = self.indexes.read();
@@ -526,36 +610,44 @@ impl Database {
             self.indexes.write().remove(&iname);
         }
         self.catalog.drop_table(name)?;
-        self.log_ddl(&WalRecord::DropTable { name: name.to_ascii_uppercase() })?;
+        self.log_ddl(
+            &WalRecord::DropTable { name: name.to_ascii_uppercase() },
+            sess.options.read().durability,
+        )?;
         Ok(())
     }
 
     /// Insert a row, maintaining every domain index on the table —
     /// the automatic index-update trigger of extensible indexing.
-    /// Joins the session's open transaction, or autocommits.
+    /// Joins the default session's open transaction, or autocommits.
     pub fn insert_row(&self, table: &str, row: Vec<Value>) -> Result<RowId, DbError> {
-        self.with_session_txn(move |db, ctx| db.txn_insert(ctx, table, row))
+        self.with_txn_in(&self.default_session, move |db, ctx| db.txn_insert(ctx, table, row))
     }
 
     /// Update a row in place, maintaining domain indexes (Oracle §3:
     /// "inserts and updates ... automatically trigger an update of the
     /// corresponding spatial indexes").
     pub fn update_row(&self, table: &str, rid: RowId, row: Vec<Value>) -> Result<(), DbError> {
-        self.with_session_txn(move |db, ctx| db.txn_update(ctx, table, rid, row))
+        self.with_txn_in(&self.default_session, move |db, ctx| db.txn_update(ctx, table, rid, row))
     }
 
     /// Delete a row by rowid, maintaining domain indexes.
     pub fn delete_row(&self, table: &str, rid: RowId) -> Result<(), DbError> {
-        self.with_session_txn(move |db, ctx| db.txn_delete(ctx, table, rid))
+        self.with_txn_in(&self.default_session, move |db, ctx| db.txn_delete(ctx, table, rid))
     }
 
     // -- transactions -------------------------------------------------------
 
-    /// The MVCC read view for a new statement: the session
+    /// The MVCC read view for a new statement on the default session.
+    pub fn read_snapshot(&self) -> Snapshot {
+        self.read_snapshot_in(&self.default_session)
+    }
+
+    /// The MVCC read view for a new statement in `sess`: the session
     /// transaction's snapshot when one is open (own writes + world as
     /// of `BEGIN`), otherwise the latest committed state.
-    pub fn read_snapshot(&self) -> Snapshot {
-        match self.session.lock().as_ref() {
+    pub(crate) fn read_snapshot_in(&self, sess: &SessionState) -> Snapshot {
+        match sess.txn.lock().as_ref() {
             Some(ctx) => ctx.token.snap,
             None => self.txn.snapshot(),
         }
@@ -570,33 +662,51 @@ impl Database {
     /// Begin an explicit transaction owned by the caller (Rust API).
     /// Any number may run concurrently; see [`Txn`].
     pub fn begin(&self) -> Txn<'_> {
-        Txn { db: self, ctx: Some(self.new_ctx()) }
+        let durability = self.default_session.options.read().durability;
+        Txn { db: self, ctx: Some(self.new_ctx(durability)) }
     }
 
-    /// `BEGIN`: open the SQL session's explicit transaction.
+    /// `BEGIN` on the default session.
     pub fn begin_txn(&self) -> Result<(), DbError> {
-        let mut session = self.session.lock();
-        if session.is_some() {
+        self.begin_txn_in(&self.default_session)
+    }
+
+    /// `BEGIN`: open `sess`'s explicit transaction. Each session has
+    /// its own slot, so concurrent sessions can all be in
+    /// transactions; a second `BEGIN` on the *same* session fails.
+    pub(crate) fn begin_txn_in(&self, sess: &SessionState) -> Result<(), DbError> {
+        let mut slot = sess.txn.lock();
+        if slot.is_some() {
             return Err(DbError::Txn("transaction already in progress".into()));
         }
-        *session = Some(self.new_ctx());
+        *slot = Some(self.new_ctx(sess.options.read().durability));
         Ok(())
     }
 
-    /// `COMMIT`: durably commit the session's open transaction.
+    /// `COMMIT` on the default session.
     pub fn commit_txn(&self) -> Result<(), DbError> {
-        let ctx = self
-            .session
+        self.commit_txn_in(&self.default_session)
+    }
+
+    /// `COMMIT`: durably commit `sess`'s open transaction.
+    pub(crate) fn commit_txn_in(&self, sess: &SessionState) -> Result<(), DbError> {
+        let ctx = sess
+            .txn
             .lock()
             .take()
             .ok_or_else(|| DbError::Txn("COMMIT with no open transaction".into()))?;
         self.commit_ctx(ctx)
     }
 
-    /// `ROLLBACK`: abort the session's open transaction.
+    /// `ROLLBACK` on the default session.
     pub fn rollback_txn(&self) -> Result<(), DbError> {
-        let ctx = self
-            .session
+        self.rollback_txn_in(&self.default_session)
+    }
+
+    /// `ROLLBACK`: abort `sess`'s open transaction.
+    pub(crate) fn rollback_txn_in(&self, sess: &SessionState) -> Result<(), DbError> {
+        let ctx = sess
+            .txn
             .lock()
             .take()
             .ok_or_else(|| DbError::Txn("ROLLBACK with no open transaction".into()))?;
@@ -604,14 +714,15 @@ impl Database {
         Ok(())
     }
 
-    /// Whether the SQL session has an open explicit transaction.
+    /// Whether the default session has an open explicit transaction.
     pub fn in_txn(&self) -> bool {
-        self.session.lock().is_some()
+        self.default_session.txn.lock().is_some()
     }
 
-    fn new_ctx(&self) -> TxnCtx {
+    fn new_ctx(&self, durability: Durability) -> TxnCtx {
         TxnCtx {
             token: self.txn.begin(),
+            durability,
             began_logged: false,
             abort_index_ops: Vec::new(),
             commit_index_ops: Vec::new(),
@@ -619,19 +730,20 @@ impl Database {
         }
     }
 
-    /// Run `f` inside the session's open transaction, or inside a
-    /// fresh autocommitted one (commit on `Ok`, roll back on `Err` —
-    /// a failed autocommit statement leaves no trace).
-    pub(crate) fn with_session_txn<R>(
+    /// Run `f` inside `sess`'s open transaction, or inside a fresh
+    /// autocommitted one (commit on `Ok`, roll back on `Err` — a
+    /// failed autocommit statement leaves no trace).
+    pub(crate) fn with_txn_in<R>(
         &self,
+        sess: &SessionState,
         f: impl FnOnce(&Database, &mut TxnCtx) -> Result<R, DbError>,
     ) -> Result<R, DbError> {
-        let mut session = self.session.lock();
-        if let Some(ctx) = session.as_mut() {
+        let mut slot = sess.txn.lock();
+        if let Some(ctx) = slot.as_mut() {
             return f(self, ctx);
         }
-        drop(session);
-        let mut ctx = self.new_ctx();
+        drop(slot);
+        let mut ctx = self.new_ctx(sess.options.read().durability);
         match f(self, &mut ctx) {
             Ok(v) => {
                 self.commit_ctx(ctx)?;
@@ -659,11 +771,12 @@ impl Database {
         Ok(())
     }
 
-    /// Append a DDL record and make it durable per the session policy.
-    fn log_ddl(&self, rec: &WalRecord) -> Result<(), DbError> {
+    /// Append a DDL record and make it durable per the issuing
+    /// session's policy.
+    fn log_ddl(&self, rec: &WalRecord, durability: Durability) -> Result<(), DbError> {
         if let Some(w) = self.wal_handle() {
             let lsn = w.append(rec)?;
-            if self.options.read().durability == Durability::Fsync {
+            if durability == Durability::Fsync {
                 w.sync_to(lsn)?;
             }
         }
@@ -755,7 +868,7 @@ impl Database {
     /// The commit protocol: WAL commit record → durability sync →
     /// status flip (the commit point) → deferred index deletes →
     /// live-row deltas.
-    fn commit_ctx(&self, ctx: TxnCtx) -> Result<(), DbError> {
+    pub(crate) fn commit_ctx(&self, ctx: TxnCtx) -> Result<(), DbError> {
         if ctx.began_logged {
             if let Some(w) = self.wal_handle() {
                 let lsn = match w.append(&WalRecord::Commit { txid: ctx.token.txid }) {
@@ -766,7 +879,7 @@ impl Database {
                         return Err(e.into());
                     }
                 };
-                if self.options.read().durability == Durability::Fsync {
+                if ctx.durability == Durability::Fsync {
                     if let Err(e) = w.sync_to(lsn) {
                         // Conservative: treat an undurable commit as
                         // failed. (Recovery may still see the record if
@@ -794,7 +907,7 @@ impl Database {
     /// immediately and are pruned lazily), then undo eager index
     /// insertions. The WAL `Abort` record is advisory; a missing
     /// commit record discards the transaction at recovery anyway.
-    fn abort_ctx(&self, ctx: TxnCtx) {
+    pub(crate) fn abort_ctx(&self, ctx: TxnCtx) {
         if ctx.began_logged {
             if let Some(w) = self.wal_handle() {
                 let _ = w.append(&WalRecord::Abort { txid: ctx.token.txid });
@@ -820,15 +933,40 @@ impl Database {
         params: &str,
         dop: usize,
     ) -> Result<(), DbError> {
-        self.reject_in_txn("CREATE INDEX")?;
+        self.create_domain_index_in(
+            &self.default_session,
+            index_name,
+            table,
+            column,
+            indextype,
+            params,
+            dop,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn create_domain_index_in(
+        &self,
+        sess: &SessionState,
+        index_name: &str,
+        table: &str,
+        column: &str,
+        indextype: &str,
+        params: &str,
+        dop: usize,
+    ) -> Result<(), DbError> {
+        Self::reject_in_txn(sess, "CREATE INDEX")?;
         self.create_domain_index_unlogged(index_name, table, column, indextype, params, dop)?;
-        self.log_ddl(&WalRecord::CreateIndex {
-            index_name: index_name.to_ascii_uppercase(),
-            table_name: table.to_ascii_uppercase(),
-            column_name: column.to_string(),
-            parameters: params.to_string(),
-            create_dop: dop,
-        })?;
+        self.log_ddl(
+            &WalRecord::CreateIndex {
+                index_name: index_name.to_ascii_uppercase(),
+                table_name: table.to_ascii_uppercase(),
+                column_name: column.to_string(),
+                parameters: params.to_string(),
+                create_dop: dop,
+            },
+            sess.options.read().durability,
+        )?;
         Ok(())
     }
 
@@ -861,14 +999,22 @@ impl Database {
 
     /// Drop a domain index (instance + metadata).
     pub fn drop_domain_index(&self, index_name: &str) -> Result<(), DbError> {
-        self.reject_in_txn("DROP INDEX")?;
+        self.drop_domain_index_in(&self.default_session, index_name)
+    }
+
+    pub(crate) fn drop_domain_index_in(
+        &self,
+        sess: &SessionState,
+        index_name: &str,
+    ) -> Result<(), DbError> {
+        Self::reject_in_txn(sess, "DROP INDEX")?;
         let key = index_name.to_ascii_uppercase();
         self.indexes
             .write()
             .remove(&key)
             .ok_or_else(|| DbError::Index(format!("no such index {key}")))?;
         let _ = self.catalog.drop_index(&key);
-        self.log_ddl(&WalRecord::DropIndex { name: key })?;
+        self.log_ddl(&WalRecord::DropIndex { name: key }, sess.options.read().durability)?;
         Ok(())
     }
 

@@ -20,6 +20,7 @@ use crate::db::{Database, QueryResult, TfArg};
 use crate::error::DbError;
 use crate::extensible::OperatorCall;
 use crate::operators::{self, ExecCtx, Resident};
+use crate::session::SessionState;
 use crate::sql::ast::*;
 use parking_lot::RwLock;
 use sdo_geom::{Geometry, RelateMask};
@@ -30,39 +31,48 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Execute a parsed statement.
+/// Execute a parsed statement on the default session.
+pub fn execute(db: &Database, stmt: &Statement) -> Result<QueryResult, DbError> {
+    execute_in(db, db.default_session_state(), stmt)
+}
+
+/// Execute a parsed statement in a session.
 ///
 /// Every top-level statement runs under an [`sdo_obs`] profile session,
-/// so [`Database::last_profile`] always reflects the most recent
+/// so the session's `last_profile` always reflects its most recent
 /// statement. `EXPLAIN ANALYZE` executes the wrapped statement the same
 /// way but returns the rendered profile tree as its result rows.
-pub fn execute(db: &Database, stmt: &Statement) -> Result<QueryResult, DbError> {
+pub(crate) fn execute_in(
+    db: &Database,
+    sess: &SessionState,
+    stmt: &Statement,
+) -> Result<QueryResult, DbError> {
     if let Statement::ExplainAnalyze(inner) = stmt {
         let session = ProfileSession::begin(statement_label(inner));
         let before = db.counters().snapshot();
-        let result = execute_inner(db, inner);
+        let result = execute_inner(db, sess, inner);
         if let Ok(r) = &result {
             session.root().add_rows(r.rows.len() as u64);
         }
         note_txn_counters(db, session.root(), &before);
         let profile = session.finish();
         result?;
-        db.store_profile(profile.clone());
+        *sess.last_profile.write() = Some(profile.clone());
         return Ok(explain_result(profile.render_text().lines().map(String::from).collect()));
     }
     if sdo_obs::current().is_some() {
         // Already inside an enclosing profile node (e.g. a harness that
         // opened its own session): contribute to it, don't nest sessions.
-        return execute_inner(db, stmt);
+        return execute_inner(db, sess, stmt);
     }
     let session = ProfileSession::begin(statement_label(stmt));
     let before = db.counters().snapshot();
-    let result = execute_inner(db, stmt);
+    let result = execute_inner(db, sess, stmt);
     if let Ok(r) = &result {
         session.root().add_rows(r.rows.len() as u64);
     }
     note_txn_counters(db, session.root(), &before);
-    db.store_profile(session.finish());
+    *sess.last_profile.write() = Some(session.finish());
     result
 }
 
@@ -94,6 +104,9 @@ fn statement_label(stmt: &Statement) -> String {
         Statement::Begin => "BEGIN".into(),
         Statement::Commit => "COMMIT".into(),
         Statement::Rollback => "ROLLBACK".into(),
+        Statement::Prepare { name, .. } => format!("PREPARE {name}"),
+        Statement::ExecutePrepared { name, .. } => format!("EXECUTE {name}"),
+        Statement::Deallocate { name } => format!("DEALLOCATE {name}"),
     }
 }
 
@@ -105,31 +118,35 @@ fn note_peak_resident(ctx: &ExecCtx<'_>) {
     }
 }
 
-fn execute_inner(db: &Database, stmt: &Statement) -> Result<QueryResult, DbError> {
+fn execute_inner(
+    db: &Database,
+    sess: &SessionState,
+    stmt: &Statement,
+) -> Result<QueryResult, DbError> {
     match stmt {
         Statement::CreateTable { name, columns } => {
             let schema = Schema::new(columns.iter().map(|(n, t)| ColumnDef::new(n, *t)).collect());
-            db.create_table(name, schema)?;
+            db.create_table_in(sess, name, schema)?;
             Ok(QueryResult::empty())
         }
         Statement::DropTable { name } => {
-            db.drop_table(name)?;
+            db.drop_table_in(sess, name)?;
             Ok(QueryResult::empty())
         }
         Statement::Insert { table, values } => {
             let row = values.iter().map(eval_const).collect::<Result<Vec<_>, _>>()?;
-            db.insert_row(table, row)?;
+            db.with_txn_in(sess, move |db, txn| db.txn_insert(txn, table, row))?;
             Ok(QueryResult::empty())
         }
         Statement::Delete { table, where_clause } => {
             // The doomed set is collected through the same streaming
             // scan + filter operators as SELECT.
-            let ctx = ExecCtx::new(db);
+            let ctx = ExecCtx::new(db, sess);
             let matched = operators::collect_matching(&ctx, table, where_clause)?;
             let n = matched.len();
             // One transaction for the whole statement: an autocommitted
             // multi-row DELETE is all-or-nothing.
-            db.with_session_txn(|db, txn| {
+            db.with_txn_in(sess, |db, txn| {
                 for (rid, _) in matched {
                     db.txn_delete(txn, table, rid)?;
                 }
@@ -142,7 +159,7 @@ fn execute_inner(db: &Database, stmt: &Statement) -> Result<QueryResult, DbError
             })
         }
         Statement::Update { table, assignments, where_clause } => {
-            let ctx = ExecCtx::new(db);
+            let ctx = ExecCtx::new(db, sess);
             let matched = operators::collect_matching(&ctx, table, where_clause)?;
             let handle = db.table(table)?;
             let columns: Vec<String> =
@@ -175,7 +192,7 @@ fn execute_inner(db: &Database, stmt: &Statement) -> Result<QueryResult, DbError
             }
             let n = updates.len();
             // Statement-atomic, like DELETE above.
-            db.with_session_txn(|db, txn| {
+            db.with_txn_in(sess, |db, txn| {
                 for (rid, row) in updates {
                     db.txn_update(txn, table, rid, row)?;
                 }
@@ -188,31 +205,58 @@ fn execute_inner(db: &Database, stmt: &Statement) -> Result<QueryResult, DbError
             })
         }
         Statement::CreateIndex { name, table, column, indextype, parameters, parallel } => {
-            db.create_domain_index(name, table, column, indextype, parameters, *parallel)?;
+            db.create_domain_index_in(sess, name, table, column, indextype, parameters, *parallel)?;
             Ok(QueryResult::empty())
         }
         Statement::DropIndex { name } => {
-            db.drop_domain_index(name)?;
+            db.drop_domain_index_in(sess, name)?;
             Ok(QueryResult::empty())
         }
-        Statement::Select(sel) => run_select_top(db, sel),
+        Statement::Select(sel) => run_select_top(db, sess, sel),
         Statement::Explain(sel) => explain_select(db, sel),
         // A nested `EXPLAIN ANALYZE` re-enters the profiling wrapper.
-        Statement::ExplainAnalyze(_) => execute(db, stmt),
+        Statement::ExplainAnalyze(_) => execute_in(db, sess, stmt),
         Statement::AlterSession { name, value } => {
-            db.set_option(name, value)?;
+            sess.options.write().set(name, value)?;
             Ok(QueryResult::empty())
         }
         Statement::Begin => {
-            db.begin_txn()?;
+            db.begin_txn_in(sess)?;
             Ok(QueryResult::empty())
         }
         Statement::Commit => {
-            db.commit_txn()?;
+            db.commit_txn_in(sess)?;
             Ok(QueryResult::empty())
         }
         Statement::Rollback => {
-            db.rollback_txn()?;
+            db.rollback_txn_in(sess)?;
+            Ok(QueryResult::empty())
+        }
+        Statement::Prepare { name, stmt: body } => {
+            if matches!(**body, Statement::Prepare { .. }) {
+                return Err(DbError::Plan("cannot PREPARE a PREPARE statement".into()));
+            }
+            let nparams = sess.insert_prepared(name, (**body).clone());
+            Ok(QueryResult {
+                columns: vec!["PREPARED".into(), "PARAMS".into()],
+                rows: vec![vec![Value::text(name.clone()), Value::Integer(nparams as i64)]],
+            })
+        }
+        Statement::ExecutePrepared { name, args } => {
+            let prepared = sess.get_prepared(name)?;
+            let vals = args.iter().map(eval_const).collect::<Result<Vec<_>, _>>()?;
+            if vals.len() != prepared.nparams {
+                return Err(DbError::Plan(format!(
+                    "prepared statement {name} expects {} bind values, got {}",
+                    prepared.nparams,
+                    vals.len()
+                )));
+            }
+            let bound = crate::sql::bind_statement(&prepared.stmt, &vals)?;
+            execute_inner(db, sess, &bound)
+        }
+        Statement::Deallocate { name } => {
+            sess.remove_prepared(name)?;
             Ok(QueryResult::empty())
         }
     }
@@ -462,8 +506,12 @@ fn bind_from_item(ctx: &ExecCtx<'_>, item: &FromItem) -> Result<Relation, DbErro
 /// Top-level SELECT entry: builds the execution context from the
 /// session options, runs the query, and publishes the statement's peak
 /// resident-row count.
-fn run_select_top(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
-    let ctx = ExecCtx::new(db);
+fn run_select_top(
+    db: &Database,
+    sess: &SessionState,
+    sel: &Select,
+) -> Result<QueryResult, DbError> {
+    let ctx = ExecCtx::new(db, sess);
     let res = run_select(&ctx, sel);
     note_peak_resident(&ctx);
     res
@@ -985,6 +1033,10 @@ pub fn eval_const(e: &Expr) -> Result<Value, DbError> {
             Err(DbError::Plan(format!("column {} not allowed in constant expression", cr.column)))
         }
         Expr::FnCall { name, args } => eval_scalar_fn(name, args),
+        Expr::Param(ordinal) => Err(DbError::Plan(format!(
+            "unbound parameter ?{} — run via PREPARE/EXECUTE with bind values",
+            ordinal + 1
+        ))),
     }
 }
 
@@ -1143,6 +1195,10 @@ pub(crate) fn eval_expr(
                 .cloned()
                 .ok_or_else(|| DbError::Plan(format!("column {} out of range", cr.column)))
         }
+        Expr::Param(ordinal) => Err(DbError::Plan(format!(
+            "unbound parameter ?{} — run via PREPARE/EXECUTE with bind values",
+            ordinal + 1
+        ))),
     }
 }
 

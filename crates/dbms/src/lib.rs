@@ -30,8 +30,10 @@ pub mod error;
 pub mod exec;
 pub mod extensible;
 mod operators;
+pub mod session;
 pub mod sql;
 
 pub use db::{Database, Durability, QueryResult, SessionOptions, TfArg, Txn};
 pub use error::DbError;
 pub use extensible::{DomainIndex, IndexType, OperatorCall};
+pub use session::Session;

@@ -72,14 +72,14 @@ pub(crate) struct ExecCtx<'a> {
 }
 
 impl<'a> ExecCtx<'a> {
-    pub(crate) fn new(db: &'a Database) -> Self {
-        let opts = db.options();
+    pub(crate) fn new(db: &'a Database, sess: &'a crate::session::SessionState) -> Self {
+        let opts = sess.options.read().clone();
         ExecCtx {
             db,
             gauge: MemoryGauge::new(),
             max_resident_rows: opts.max_resident_rows,
             materialize: opts.materialize,
-            snap: db.read_snapshot(),
+            snap: db.read_snapshot_in(sess),
         }
     }
 

@@ -87,6 +87,28 @@ pub enum Statement {
         /// Raw option value (identifier, number, or string literal).
         value: String,
     },
+    /// `PREPARE name AS <statement>` — parse once, cache under `name`
+    /// on the session. The statement may contain `?` placeholders,
+    /// bound positionally at `EXECUTE` time.
+    Prepare {
+        /// Statement name (case-insensitive, session-scoped).
+        name: String,
+        /// The prepared statement body.
+        stmt: Box<Statement>,
+    },
+    /// `EXECUTE name [(expr, ...)]` — run a prepared statement with
+    /// the given bind-parameter values.
+    ExecutePrepared {
+        /// Prepared-statement name.
+        name: String,
+        /// Constant bind values, one per `?` placeholder.
+        args: Vec<Expr>,
+    },
+    /// `DEALLOCATE [PREPARE] name` — drop a prepared statement.
+    Deallocate {
+        /// Prepared-statement name.
+        name: String,
+    },
 }
 
 /// A `SELECT` query.
@@ -184,6 +206,10 @@ pub enum Expr {
         /// Argument expressions.
         args: Vec<Expr>,
     },
+    /// A `?` bind-parameter placeholder, numbered left to right from
+    /// zero. Only valid inside a prepared statement; executing a
+    /// statement with unbound parameters is a plan error.
+    Param(usize),
 }
 
 /// `qualifier.column` or bare `column`; `column` may be the pseudo

@@ -46,6 +46,8 @@ pub enum TokenKind {
     Ge,
     /// `;`
     Semicolon,
+    /// `?` — positional bind-parameter placeholder.
+    Question,
     /// End of input sentinel.
     Eof,
 }
@@ -102,6 +104,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, DbError> {
             }
             ';' => {
                 out.push(Token { kind: TokenKind::Semicolon, offset });
+                i += 1;
+            }
+            '?' => {
+                out.push(Token { kind: TokenKind::Question, offset });
                 i += 1;
             }
             '=' => {

@@ -5,7 +5,9 @@
 
 pub mod ast;
 pub mod lexer;
+pub mod params;
 pub mod parser;
 
 pub use ast::*;
+pub use params::{bind_statement, param_count};
 pub use parser::parse;

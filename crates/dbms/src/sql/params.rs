@@ -1,0 +1,221 @@
+//! Bind-parameter substitution for prepared statements.
+//!
+//! A prepared statement keeps its parsed AST with [`Expr::Param`]
+//! placeholders in place. At `EXECUTE` time the session clones the AST
+//! and replaces every placeholder with the corresponding constant via
+//! [`bind_statement`] — the executor itself never sees a parameter, so
+//! binding composes with every statement shape (including `CURSOR`
+//! subqueries and rowid-pair semijoins) without touching the operators.
+
+use crate::error::DbError;
+use crate::sql::ast::*;
+use sdo_storage::Value;
+
+/// Number of distinct `?` placeholders in a statement (max ordinal + 1).
+pub fn param_count(stmt: &Statement) -> usize {
+    let mut max = 0usize;
+    walk_statement(stmt, &mut |ordinal| max = max.max(ordinal + 1));
+    max
+}
+
+/// Clone `stmt` with every `?` placeholder replaced by the value at its
+/// ordinal. Errors when a placeholder has no matching value; surplus
+/// values are rejected by the caller (which knows the statement name).
+pub fn bind_statement(stmt: &Statement, params: &[Value]) -> Result<Statement, DbError> {
+    let mut bound = stmt.clone();
+    let mut missing = None;
+    rewrite_statement(&mut bound, &mut |ordinal| {
+        if let Some(v) = params.get(ordinal) {
+            Some(Expr::Literal(v.clone()))
+        } else {
+            missing = Some(ordinal);
+            None
+        }
+    });
+    match missing {
+        Some(ordinal) => Err(DbError::Plan(format!(
+            "bind parameter ?{} has no value ({} supplied)",
+            ordinal + 1,
+            params.len()
+        ))),
+        None => Ok(bound),
+    }
+}
+
+// -- read-only walk --------------------------------------------------------
+
+fn walk_statement(stmt: &Statement, f: &mut impl FnMut(usize)) {
+    match stmt {
+        Statement::Insert { values, .. } => values.iter().for_each(|e| walk_expr(e, f)),
+        Statement::Delete { where_clause, .. } => where_clause.iter().for_each(|p| walk_pred(p, f)),
+        Statement::Update { assignments, where_clause, .. } => {
+            assignments.iter().for_each(|(_, e)| walk_expr(e, f));
+            where_clause.iter().for_each(|p| walk_pred(p, f));
+        }
+        Statement::Select(sel) | Statement::Explain(sel) => walk_select(sel, f),
+        Statement::ExplainAnalyze(inner) | Statement::Prepare { stmt: inner, .. } => {
+            walk_statement(inner, f)
+        }
+        Statement::ExecutePrepared { args, .. } => args.iter().for_each(|e| walk_expr(e, f)),
+        Statement::CreateTable { .. }
+        | Statement::DropTable { .. }
+        | Statement::CreateIndex { .. }
+        | Statement::DropIndex { .. }
+        | Statement::Begin
+        | Statement::Commit
+        | Statement::Rollback
+        | Statement::AlterSession { .. }
+        | Statement::Deallocate { .. } => {}
+    }
+}
+
+fn walk_select(sel: &Select, f: &mut impl FnMut(usize)) {
+    for item in &sel.projection {
+        if let SelectItem::Expr { expr, .. } = item {
+            walk_expr(expr, f);
+        }
+    }
+    for from in &sel.from {
+        if let FromItem::TableFunction { args, .. } = from {
+            for arg in args {
+                match arg {
+                    TfArgAst::Expr(e) => walk_expr(e, f),
+                    TfArgAst::Cursor(sub) => walk_select(sub, f),
+                }
+            }
+        }
+    }
+    sel.where_clause.iter().for_each(|p| walk_pred(p, f));
+    sel.order_by.iter().for_each(|k| walk_expr(&k.expr, f));
+}
+
+fn walk_pred(pred: &Predicate, f: &mut impl FnMut(usize)) {
+    match pred {
+        Predicate::Compare { left, right, .. } => {
+            walk_expr(left, f);
+            walk_expr(right, f);
+        }
+        Predicate::RowidPairIn { subquery, .. } => walk_select(subquery, f),
+    }
+}
+
+fn walk_expr(expr: &Expr, f: &mut impl FnMut(usize)) {
+    match expr {
+        Expr::Param(ordinal) => f(*ordinal),
+        Expr::FnCall { args, .. } => args.iter().for_each(|e| walk_expr(e, f)),
+        Expr::Literal(_) | Expr::Column(_) => {}
+    }
+}
+
+// -- in-place rewrite ------------------------------------------------------
+
+fn rewrite_statement(stmt: &mut Statement, f: &mut impl FnMut(usize) -> Option<Expr>) {
+    match stmt {
+        Statement::Insert { values, .. } => values.iter_mut().for_each(|e| rewrite_expr(e, f)),
+        Statement::Delete { where_clause, .. } => {
+            where_clause.iter_mut().for_each(|p| rewrite_pred(p, f))
+        }
+        Statement::Update { assignments, where_clause, .. } => {
+            assignments.iter_mut().for_each(|(_, e)| rewrite_expr(e, f));
+            where_clause.iter_mut().for_each(|p| rewrite_pred(p, f));
+        }
+        Statement::Select(sel) | Statement::Explain(sel) => rewrite_select(sel, f),
+        Statement::ExplainAnalyze(inner) | Statement::Prepare { stmt: inner, .. } => {
+            rewrite_statement(inner, f)
+        }
+        Statement::ExecutePrepared { args, .. } => args.iter_mut().for_each(|e| rewrite_expr(e, f)),
+        Statement::CreateTable { .. }
+        | Statement::DropTable { .. }
+        | Statement::CreateIndex { .. }
+        | Statement::DropIndex { .. }
+        | Statement::Begin
+        | Statement::Commit
+        | Statement::Rollback
+        | Statement::AlterSession { .. }
+        | Statement::Deallocate { .. } => {}
+    }
+}
+
+fn rewrite_select(sel: &mut Select, f: &mut impl FnMut(usize) -> Option<Expr>) {
+    for item in &mut sel.projection {
+        if let SelectItem::Expr { expr, .. } = item {
+            rewrite_expr(expr, f);
+        }
+    }
+    for from in &mut sel.from {
+        if let FromItem::TableFunction { args, .. } = from {
+            for arg in args {
+                match arg {
+                    TfArgAst::Expr(e) => rewrite_expr(e, f),
+                    TfArgAst::Cursor(sub) => rewrite_select(sub, f),
+                }
+            }
+        }
+    }
+    sel.where_clause.iter_mut().for_each(|p| rewrite_pred(p, f));
+    sel.order_by.iter_mut().for_each(|k| rewrite_expr(&mut k.expr, f));
+}
+
+fn rewrite_pred(pred: &mut Predicate, f: &mut impl FnMut(usize) -> Option<Expr>) {
+    match pred {
+        Predicate::Compare { left, right, .. } => {
+            rewrite_expr(left, f);
+            rewrite_expr(right, f);
+        }
+        Predicate::RowidPairIn { subquery, .. } => rewrite_select(subquery, f),
+    }
+}
+
+fn rewrite_expr(expr: &mut Expr, f: &mut impl FnMut(usize) -> Option<Expr>) {
+    match expr {
+        Expr::Param(ordinal) => {
+            if let Some(replacement) = f(*ordinal) {
+                *expr = replacement;
+            }
+        }
+        Expr::FnCall { args, .. } => args.iter_mut().for_each(|e| rewrite_expr(e, f)),
+        Expr::Literal(_) | Expr::Column(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parse;
+
+    #[test]
+    fn counts_and_binds_across_statement_shapes() {
+        let stmt = parse(
+            "SELECT * FROM t WHERE id = ? AND SDO_WITHIN_DISTANCE(t.geom, SDO_GEOMETRY(?), ?) \
+             = 'TRUE' ORDER BY id LIMIT 5",
+        )
+        .unwrap();
+        assert_eq!(param_count(&stmt), 3);
+        let bound = bind_statement(
+            &stmt,
+            &[Value::Integer(7), Value::text("POINT (1 2)"), Value::Double(0.5)],
+        )
+        .unwrap();
+        assert_eq!(param_count(&bound), 0);
+    }
+
+    #[test]
+    fn binds_inside_cursor_subqueries_and_semijoins() {
+        let stmt = parse(
+            "SELECT COUNT(*) FROM a, b WHERE (a.rowid, b.rowid) IN \
+             (SELECT rid1, rid2 FROM TABLE(SPATIAL_JOIN('a', 'g', 'b', 'g', 'FILTER', ?, -1)))",
+        )
+        .unwrap();
+        assert_eq!(param_count(&stmt), 1);
+        let bound = bind_statement(&stmt, &[Value::Integer(4)]).unwrap();
+        assert_eq!(param_count(&bound), 0);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let stmt = parse("INSERT INTO t VALUES (?, ?)").unwrap();
+        assert_eq!(param_count(&stmt), 2);
+        let err = bind_statement(&stmt, &[Value::Integer(1)]).unwrap_err();
+        assert!(err.to_string().contains("?2"), "{err}");
+    }
+}

@@ -19,8 +19,15 @@
 //! conjuncts   := predicate (AND predicate)*
 //! predicate   := '(' colref ',' colref ')' IN '(' select ')'
 //!              | expr cmp expr
-//! expr        := literal | colref | ident '(' expr (',' expr)* ')'
+//! expr        := literal | colref | ident '(' expr (',' expr)* ')' | '?'
+//! prepare     := PREPARE ident AS statement
+//! execute     := EXECUTE ident ['(' expr (',' expr)* ')']
+//! deallocate  := DEALLOCATE [PREPARE] ident
 //! ```
+//!
+//! `?` placeholders are numbered left to right in source order and only
+//! make sense inside `PREPARE`; direct execution of a statement with
+//! parameters fails at plan time.
 
 use crate::error::DbError;
 use crate::sql::ast::*;
@@ -30,7 +37,7 @@ use sdo_storage::{DataType, Value};
 /// Parse one SQL statement (a trailing `;` is allowed).
 pub fn parse(sql: &str) -> Result<Statement, DbError> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser { tokens, pos: 0, params: 0 };
     let stmt = p.statement()?;
     p.eat_if(&TokenKind::Semicolon);
     p.expect_kind(&TokenKind::Eof, "end of statement")?;
@@ -40,6 +47,8 @@ pub fn parse(sql: &str) -> Result<Statement, DbError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Number of `?` placeholders seen so far (assigns ordinals).
+    params: usize,
 }
 
 impl Parser {
@@ -202,6 +211,33 @@ impl Parser {
         if self.eat_kw("ROLLBACK") {
             let _ = self.eat_kw("WORK");
             return Ok(Statement::Rollback);
+        }
+        if self.eat_kw("PREPARE") {
+            let name = self.ident("prepared statement name")?;
+            self.expect_kw("AS")?;
+            let stmt = self.statement()?;
+            return Ok(Statement::Prepare { name, stmt: Box::new(stmt) });
+        }
+        if self.eat_kw("EXECUTE") {
+            let name = self.ident("prepared statement name")?;
+            let mut args = Vec::new();
+            if self.eat_if(&TokenKind::LParen) {
+                if *self.peek() != TokenKind::RParen {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat_if(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect_kind(&TokenKind::RParen, ")")?;
+            }
+            return Ok(Statement::ExecutePrepared { name, args });
+        }
+        if self.eat_kw("DEALLOCATE") {
+            let _ = self.eat_kw("PREPARE");
+            let name = self.ident("prepared statement name")?;
+            return Ok(Statement::Deallocate { name });
         }
         if self.eat_kw("ALTER") {
             self.expect_kw("SESSION")?;
@@ -463,6 +499,12 @@ impl Parser {
                 self.advance();
                 Ok(Expr::Literal(Value::text(s)))
             }
+            TokenKind::Question => {
+                self.advance();
+                let ordinal = self.params;
+                self.params += 1;
+                Ok(Expr::Param(ordinal))
+            }
             TokenKind::Ident(name) => {
                 if *self.peek2() == TokenKind::LParen {
                     // function call
@@ -698,6 +740,46 @@ mod tests {
                 other => panic!("expected parse error for {bad:?}, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn prepare_execute_deallocate() {
+        let s = parse("PREPARE q1 AS SELECT * FROM t WHERE id = ? AND score > ?").unwrap();
+        match s {
+            Statement::Prepare { name, stmt } => {
+                assert_eq!(name, "Q1");
+                match *stmt {
+                    Statement::Select(sel) => {
+                        assert!(matches!(
+                            &sel.where_clause[0],
+                            Predicate::Compare { right: Expr::Param(0), .. }
+                        ));
+                        assert!(matches!(
+                            &sel.where_clause[1],
+                            Predicate::Compare { right: Expr::Param(1), .. }
+                        ));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        let s = parse("EXECUTE q1 (3, 'x')").unwrap();
+        match s {
+            Statement::ExecutePrepared { name, args } => {
+                assert_eq!(name, "Q1");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(parse("EXECUTE q1").unwrap(),
+            Statement::ExecutePrepared { ref args, .. } if args.is_empty()));
+        assert!(matches!(parse("DEALLOCATE PREPARE q1").unwrap(),
+            Statement::Deallocate { ref name } if name == "Q1"));
+        assert!(matches!(parse("DEALLOCATE q1").unwrap(),
+            Statement::Deallocate { ref name } if name == "Q1"));
+        assert!(parse("PREPARE q1").is_err());
+        assert!(parse("EXECUTE").is_err());
     }
 
     #[test]

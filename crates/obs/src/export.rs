@@ -111,6 +111,43 @@ pub fn registry_to_json(snapshot: &RegistrySnapshot) -> String {
     out
 }
 
+/// Sanitize a metric name for Prometheus exposition: `[a-zA-Z0-9_:]`
+/// survive, everything else becomes `_` (so `sql.exec.wall_ns` →
+/// `sql_exec_wall_ns`).
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect()
+}
+
+/// Render a registry snapshot in the Prometheus text exposition
+/// format (version 0.0.4), suitable for a `/metrics` endpoint.
+///
+/// Counters export as `counter`, gauges as `gauge`, and each
+/// histogram as a `summary`: `{name}{quantile="0.5|0.95|0.99"}`,
+/// plus `{name}_sum`, `{name}_count`, and a `{name}_max` gauge.
+pub fn registry_to_prometheus(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (k, v) in &snapshot.counters {
+        let name = prom_name(k);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    for (k, v) in &snapshot.gauges {
+        let name = prom_name(k);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+    }
+    for (k, h) in &snapshot.histograms {
+        let name = prom_name(k);
+        out.push_str(&format!("# TYPE {name} summary\n"));
+        out.push_str(&format!("{name}{{quantile=\"0.5\"}} {}\n", h.p50));
+        out.push_str(&format!("{name}{{quantile=\"0.95\"}} {}\n", h.p95));
+        out.push_str(&format!("{name}{{quantile=\"0.99\"}} {}\n", h.p99));
+        out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
+        out.push_str(&format!("# TYPE {name}_max gauge\n{name}_max {}\n", h.max));
+    }
+    out
+}
+
 /// Render a registry snapshot as aligned human-readable text.
 pub fn registry_to_text(snapshot: &RegistrySnapshot) -> String {
     let mut out = String::new();
@@ -163,5 +200,24 @@ mod tests {
         assert!(json.contains("\"events\":9"));
         assert!(json.contains("\"count\":1"));
         assert!(registry_to_text(&snap).contains("counter"));
+    }
+
+    #[test]
+    fn prometheus_export_sanitizes_and_summarizes() {
+        let registry = MetricsRegistry::new();
+        registry.counter("server.stmt.executed").add(7);
+        registry.gauge("server.sessions.active").set(3);
+        registry.histogram("server.stmt.wall_ns").record(1000);
+        let text = registry_to_prometheus(&registry.snapshot());
+        assert!(text.contains("# TYPE server_stmt_executed counter\nserver_stmt_executed 7\n"));
+        assert!(text.contains("# TYPE server_sessions_active gauge\nserver_sessions_active 3\n"));
+        assert!(text.contains("# TYPE server_stmt_wall_ns summary\n"));
+        assert!(text.contains("server_stmt_wall_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("server_stmt_wall_ns_count 1\n"));
+        assert!(text.contains("server_stmt_wall_ns_max 1000\n"));
+        // Every non-comment line is "name[{labels}] value".
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "bad line: {line}");
+        }
     }
 }

@@ -24,6 +24,7 @@
 pub mod parallel;
 pub mod partition;
 pub mod pipeline;
+pub mod pool;
 pub mod row;
 pub mod scheduler;
 pub mod source;
@@ -31,6 +32,7 @@ pub mod table_function;
 
 pub use parallel::{execute_parallel, ParallelTableFunction};
 pub use partition::PartitionMethod;
+pub use pool::{PoolStats, SlavePool};
 pub use row::Row;
 pub use scheduler::{TaskQueue, WorkStealingFn};
 pub use source::{RowSource, VecSource};

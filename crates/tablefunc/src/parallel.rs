@@ -9,6 +9,7 @@
 //! overlap (pipelining survives parallelism) and a slow consumer
 //! back-pressures the slaves instead of buffering unboundedly.
 
+use crate::pool::{self, PoolJoinHandle};
 use crate::row::Row;
 use crate::table_function::TableFunction;
 use crate::TfError;
@@ -16,7 +17,6 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use sdo_obs::ProfileNode;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// How many in-flight batches each executor buffers before slaves
@@ -39,7 +39,7 @@ pub struct ParallelTableFunction {
     dop: usize,
     slave_fetch_size: usize,
     rx: Option<Receiver<Result<Vec<Row>, TfError>>>,
-    handles: Vec<JoinHandle<()>>,
+    handles: Vec<PoolJoinHandle>,
     pending: VecDeque<Row>,
     failed: Option<TfError>,
     profile: Option<ProfileNode>,
@@ -81,52 +81,55 @@ impl ParallelTableFunction {
         tx: Sender<Result<Vec<Row>, TfError>>,
         fetch_size: usize,
         profile: Option<ProfileNode>,
-    ) -> JoinHandle<()> {
-        std::thread::Builder::new()
-            .name(format!("tf-slave-{id}"))
-            .spawn(move || {
-                // Profiling: this slave's node becomes the thread's
-                // current profile, so operators running inside the
-                // instance hang their detail under "slave N".
-                let _profile_scope = profile.clone().map(sdo_obs::enter);
-                if let Some(node) = &profile {
-                    f.attach_profile(node);
-                }
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    f.start()?;
-                    loop {
-                        let fetch_started = profile.as_ref().map(|_| Instant::now());
-                        let batch = f.fetch(fetch_size)?;
-                        if let (Some(node), Some(t0)) = (&profile, fetch_started) {
-                            node.add_wall(t0.elapsed());
-                            if !batch.is_empty() {
-                                node.add_batches(1);
-                                node.add_rows(batch.len() as u64);
-                            }
-                        }
-                        if batch.is_empty() {
-                            break;
-                        }
-                        if tx.send(Ok(batch)).is_err() {
-                            // Consumer went away (early close): stop
-                            // producing and release resources.
-                            break;
+    ) -> PoolJoinHandle {
+        // Slaves run on the process-wide cached pool rather than a
+        // freshly spawned thread per slave per query, so concurrent
+        // statements in a multi-session server share a stable worker
+        // set (see [`crate::pool`]).
+        pool::global().submit(move || {
+            // Profiling: this slave's node becomes the thread's
+            // current profile, so operators running inside the
+            // instance hang their detail under "slave N". The guard
+            // drops before the worker re-parks, leaving no ambient
+            // profile behind on the reused thread.
+            let _profile_scope = profile.clone().map(sdo_obs::enter);
+            if let Some(node) = &profile {
+                f.attach_profile(node);
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                f.start()?;
+                loop {
+                    let fetch_started = profile.as_ref().map(|_| Instant::now());
+                    let batch = f.fetch(fetch_size)?;
+                    if let (Some(node), Some(t0)) = (&profile, fetch_started) {
+                        node.add_wall(t0.elapsed());
+                        if !batch.is_empty() {
+                            node.add_batches(1);
+                            node.add_rows(batch.len() as u64);
                         }
                     }
-                    f.close();
-                    Ok::<(), TfError>(())
-                }));
-                match outcome {
-                    Ok(Ok(())) => {}
-                    Ok(Err(e)) => {
-                        let _ = tx.send(Err(e));
+                    if batch.is_empty() {
+                        break;
                     }
-                    Err(_) => {
-                        let _ = tx.send(Err(TfError::SlavePanic(id)));
+                    if tx.send(Ok(batch)).is_err() {
+                        // Consumer went away (early close): stop
+                        // producing and release resources.
+                        break;
                     }
                 }
-            })
-            .expect("spawn table-function slave")
+                f.close();
+                Ok::<(), TfError>(())
+            }));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    let _ = tx.send(Err(e));
+                }
+                Err(_) => {
+                    let _ = tx.send(Err(TfError::SlavePanic(id)));
+                }
+            }
+        })
     }
 }
 
@@ -180,7 +183,7 @@ impl TableFunction for ParallelTableFunction {
     fn close(&mut self) {
         self.rx = None; // unblocks slaves waiting on a full channel
         for h in self.handles.drain(..) {
-            let _ = h.join();
+            h.join();
         }
         self.pending.clear();
     }
