@@ -253,6 +253,10 @@ fn execute_inner(
                 )));
             }
             let bound = crate::sql::bind_statement(&prepared.stmt, &vals)?;
+            // Prepared bodies may themselves EXECUTE other prepared
+            // statements; the session's depth guard turns recursive
+            // chains into an error instead of a stack overflow.
+            let _depth = sess.enter_execute()?;
             execute_inner(db, sess, &bound)
         }
         Statement::Deallocate { name } => {

@@ -18,7 +18,14 @@ use crate::sql::{self, Statement};
 use parking_lot::{Mutex, RwLock};
 use sdo_storage::{Snapshot, Value};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// How deep `EXECUTE` may nest within one statement. Prepared
+/// statements may invoke each other, so a self- or mutually-referential
+/// chain (`PREPARE a AS EXECUTE a`) would otherwise recurse until the
+/// stack overflows and takes the whole server process with it.
+pub(crate) const MAX_EXECUTE_DEPTH: usize = 16;
 
 /// A parsed statement cached under a name by `PREPARE` /
 /// [`Session::prepare`], with its `?` placeholder count.
@@ -42,6 +49,18 @@ pub(crate) struct SessionState {
     pub(crate) last_profile: RwLock<Option<sdo_obs::QueryProfile>>,
     /// Named prepared statements (`PREPARE name AS ...`).
     pub(crate) prepared: RwLock<HashMap<String, Arc<Prepared>>>,
+    /// Current `EXECUTE` nesting depth (see [`MAX_EXECUTE_DEPTH`]).
+    exec_depth: AtomicUsize,
+}
+
+/// RAII guard for one level of `EXECUTE` nesting; restores the
+/// session's depth on drop, error paths included.
+pub(crate) struct ExecDepthGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ExecDepthGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 impl SessionState {
@@ -52,7 +71,26 @@ impl SessionState {
             txn: Mutex::new(None),
             last_profile: RwLock::new(None),
             prepared: RwLock::new(HashMap::new()),
+            exec_depth: AtomicUsize::new(0),
         }
+    }
+
+    /// Enter one level of `EXECUTE` nesting, erroring past
+    /// [`MAX_EXECUTE_DEPTH`] so self-referential prepared statements
+    /// (`PREPARE a AS EXECUTE a`, or mutually recursive chains) fail
+    /// cleanly instead of overflowing the stack.
+    pub(crate) fn enter_execute(&self) -> Result<ExecDepthGuard<'_>, DbError> {
+        let prev = self.exec_depth.fetch_add(1, Ordering::Relaxed);
+        // Build the guard first so the increment is undone even on
+        // the error path.
+        let guard = ExecDepthGuard(&self.exec_depth);
+        if prev >= MAX_EXECUTE_DEPTH {
+            return Err(DbError::Plan(format!(
+                "EXECUTE nesting exceeds depth limit {MAX_EXECUTE_DEPTH} \
+                 (self-referential prepared statement?)"
+            )));
+        }
+        Ok(guard)
     }
 
     /// Cache a parsed statement under `name` (replacing any previous

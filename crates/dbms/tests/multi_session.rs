@@ -181,6 +181,29 @@ fn prepared_statements_are_session_private() {
 }
 
 #[test]
+fn recursive_prepared_statements_error_instead_of_overflowing() {
+    let db = db_with_table();
+    let s = db.session();
+
+    // Direct self-reference: PREPARE a AS EXECUTE a.
+    s.execute("PREPARE a AS EXECUTE a").unwrap();
+    let err = s.execute("EXECUTE a").unwrap_err().to_string();
+    assert!(err.contains("depth"), "expected a depth-limit error, got: {err}");
+
+    // Mutual recursion across two statements.
+    s.execute("PREPARE b AS EXECUTE c").unwrap();
+    s.execute("PREPARE c AS EXECUTE b").unwrap();
+    assert!(s.execute("EXECUTE b").unwrap_err().to_string().contains("depth"));
+
+    // The depth counter unwinds fully: bounded chains still work and
+    // the session stays usable after the rejections.
+    s.execute("PREPARE leaf AS SELECT COUNT(*) FROM t").unwrap();
+    s.execute("PREPARE mid AS EXECUTE leaf").unwrap();
+    assert_eq!(s.execute("EXECUTE mid").unwrap().count(), Some(5));
+    assert_eq!(s.execute("SELECT COUNT(*) FROM t").unwrap().count(), Some(5));
+}
+
+#[test]
 fn durability_is_captured_at_transaction_begin() {
     let db = db_with_table();
     let s = db.session();

@@ -49,6 +49,12 @@ impl std::fmt::Display for AdmissionError {
 
 impl std::error::Error for AdmissionError {}
 
+/// Whether `cost` more units fit the budget — overflow-safe, since a
+/// full-range `u64` budget (and costs near it) are legal.
+fn fits(in_use: u64, cost: u64, budget: u64) -> bool {
+    in_use.checked_add(cost).is_some_and(|total| total <= budget)
+}
+
 #[derive(Debug, Default)]
 struct State {
     /// Budget units currently granted to running statements.
@@ -146,7 +152,10 @@ impl AdmissionController {
             return Err(AdmissionError::ExceedsBudget(cost, inner.budget));
         }
         let mut st = inner.state.lock().expect("admission state poisoned");
-        if st.in_use + cost > inner.budget {
+        // Fast-path admission only when nobody is parked: arrivals
+        // must not overtake the queue, or a large-cost waiter starves
+        // under a stream of small statements that each "fit".
+        if cost != 0 && (st.waiters > 0 || !fits(st.in_use, cost, inner.budget)) {
             if st.waiters >= inner.max_queue {
                 drop(st);
                 inner.rejected.fetch_add(1, Ordering::Relaxed);
@@ -161,18 +170,22 @@ impl AdmissionController {
                     st.waiters -= 1;
                     drop(st);
                     inner.rejected.fetch_add(1, Ordering::Relaxed);
+                    // A departing waiter may have been what kept other
+                    // parked statements out of the budget; let them
+                    // re-check rather than sit out their own timeout.
+                    inner.freed.notify_all();
                     return Err(AdmissionError::Timeout);
                 }
                 let (guard, _timed_out) =
                     inner.freed.wait_timeout(st, left).expect("admission state poisoned");
                 st = guard;
-                if st.in_use + cost <= inner.budget {
+                if fits(st.in_use, cost, inner.budget) {
                     st.waiters -= 1;
                     break;
                 }
             }
         }
-        st.in_use += cost;
+        st.in_use = st.in_use.saturating_add(cost);
         drop(st);
         inner.admitted.fetch_add(1, Ordering::Relaxed);
         Ok(Permit { inner: Arc::clone(inner), cost })
@@ -241,6 +254,32 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.queued, 1);
         assert_eq!(s.rejected, 0);
+    }
+
+    #[test]
+    fn arrivals_do_not_overtake_waiters() {
+        let c = ctl(100, 1, 5_000);
+        let p = c.admit(60).unwrap();
+        let c2 = c.clone();
+        let waiter = std::thread::spawn(move || c2.admit(80).map(drop));
+        while c.stats().waiting == 0 {
+            std::thread::yield_now();
+        }
+        // 40 would fit the remaining budget, but the queue head goes
+        // first: the arrival joins the queue, and with the queue full
+        // it is rejected rather than admitted ahead of the waiter.
+        assert_eq!(c.admit(40).unwrap_err(), AdmissionError::QueueFull);
+        drop(p);
+        assert_eq!(waiter.join().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn full_range_budget_does_not_overflow() {
+        let c = ctl(u64::MAX, 0, 1);
+        let _p = c.admit(u64::MAX).unwrap();
+        // in_use + cost would overflow u64; it must read as
+        // over-budget, not wrap around and admit.
+        assert_eq!(c.admit(u64::MAX).unwrap_err(), AdmissionError::QueueFull);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! with the metrics exposition and closed, so one port serves both
 //! the wire protocol and `/metrics`.
 
-use crate::admission::AdmissionController;
+use crate::admission::{AdmissionController, Permit};
 use crate::wire::{self, req, resp, Decoder, Encoder, ErrorKind};
 use sdo_dbms::{Database, DbError, Session};
 use sdo_storage::Value;
@@ -144,9 +144,12 @@ fn metrics_text(db: &Database, admission: &AdmissionController) -> String {
     set_counter("server_admission_admitted_total", a.admitted);
     set_counter("server_admission_queued_total", a.queued);
     set_counter("server_admission_rejected_total", a.rejected);
-    reg.gauge("server_admission_in_use_rows").set(a.in_use as i64);
+    // The registry's gauges are i64; a full-range u64 budget must
+    // clamp, not wrap negative.
+    let as_gauge = |v: u64| v.min(i64::MAX as u64) as i64;
+    reg.gauge("server_admission_in_use_rows").set(as_gauge(a.in_use));
     reg.gauge("server_admission_waiting").set(a.waiting as i64);
-    reg.gauge("server_admission_budget_rows").set(admission.budget() as i64);
+    reg.gauge("server_admission_budget_rows").set(as_gauge(admission.budget()));
     let p = sdo_tablefunc::pool::global().stats();
     set_counter("tf_pool_workers_spawned_total", p.workers_spawned);
     set_counter("tf_pool_jobs_total", p.jobs_submitted);
@@ -190,11 +193,16 @@ fn error_payload(kind: ErrorKind, message: &str) -> Vec<u8> {
 
 /// Run one statement under admission control, recording server
 /// metrics, and encode the response payload.
+///
+/// The admission permit is returned *with* the payload, not dropped
+/// here: the materialized rows and their wire encoding stay resident
+/// until the frame is on the socket, so the budget they occupy must
+/// not be handed to the next statement before then.
 fn run_statement(
     session: &Session,
     admission: &AdmissionController,
     exec: impl FnOnce() -> Result<sdo_dbms::QueryResult, DbError>,
-) -> Vec<u8> {
+) -> (Vec<u8>, Option<Permit>) {
     let reg = sdo_obs::global();
     let cost = session.options().max_resident_rows;
     let queue_t0 = Instant::now();
@@ -202,15 +210,14 @@ fn run_statement(
         Ok(p) => p,
         Err(e) => {
             reg.counter("server_stmt_rejected").inc();
-            return error_payload(ErrorKind::Admission, &e.to_string());
+            return (error_payload(ErrorKind::Admission, &e.to_string()), None);
         }
     };
     reg.histogram("server_admission_wait_ns").record_duration(queue_t0.elapsed());
     let t0 = Instant::now();
     let out = exec();
     reg.histogram("server_stmt_wall_ns").record_duration(t0.elapsed());
-    drop(permit);
-    match out {
+    let payload = match out {
         Ok(r) => {
             reg.counter("server_stmt_executed").inc();
             wire::encode_result(&r.columns, &r.rows)
@@ -219,7 +226,8 @@ fn run_statement(
             reg.counter("server_stmt_errors").inc();
             error_payload(ErrorKind::Statement, &e.to_string())
         }
-    }
+    };
+    (payload, Some(permit))
 }
 
 /// Drive one client connection until CLOSE / EOF / protocol error.
@@ -254,7 +262,7 @@ fn handle_connection(
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
             Err(e) => return Err(e),
         };
-        let response = match dispatch(&payload, &session, &admission, &db) {
+        let (mut response, permit) = match dispatch(&payload, &session, &admission, &db) {
             Ok(Some(r)) => r,
             Ok(None) => return Ok(()), // CLOSE
             // Undecodable frame: report and drop the connection — we
@@ -265,17 +273,34 @@ fn handle_connection(
                 return Err(e);
             }
         };
+        // A result too big for one frame would be rejected by the
+        // client as a corrupt stream; downgrade it to an in-band
+        // error so the connection stays usable.
+        if response.len() > wire::MAX_FRAME as usize {
+            let msg = format!(
+                "result of {} bytes exceeds the {} MiB frame limit; \
+                 narrow the projection or add LIMIT",
+                response.len(),
+                wire::MAX_FRAME >> 20
+            );
+            response = error_payload(ErrorKind::Statement, &msg);
+        }
         wire::write_frame(&mut stream, &response)?;
+        // Only now may the statement's admission budget fund the next
+        // one: the response buffer is off our hands.
+        drop(permit);
     }
 }
 
-/// Decode and execute one request; `Ok(None)` means CLOSE.
+/// Decode and execute one request; `Ok(None)` means CLOSE. Statement
+/// responses carry their admission [`Permit`], which the caller holds
+/// until the response frame is written.
 fn dispatch(
     payload: &[u8],
     session: &Session,
     admission: &AdmissionController,
     db: &Database,
-) -> io::Result<Option<Vec<u8>>> {
+) -> io::Result<Option<(Vec<u8>, Option<Permit>)>> {
     let (opcode, mut d) = Decoder::new(payload)?;
     Ok(Some(match opcode {
         req::EXECUTE => {
@@ -285,14 +310,15 @@ fn dispatch(
         req::PREPARE => {
             let name = d.str16()?;
             let sql = d.str32()?;
-            match session.prepare(&name, &sql) {
+            let payload = match session.prepare(&name, &sql) {
                 Ok(nparams) => {
                     let mut e = Encoder::new(resp::PREPARED);
                     e.u16(nparams as u16);
                     e.finish()
                 }
                 Err(e) => error_payload(ErrorKind::Statement, &e.to_string()),
-            }
+            };
+            (payload, None)
         }
         req::EXEC_PREPARED => {
             let name = d.str16()?;
@@ -305,19 +331,22 @@ fn dispatch(
         }
         req::DEALLOCATE => {
             let name = d.str16()?;
-            match session.deallocate(&name) {
+            let payload = match session.deallocate(&name) {
                 Ok(()) => wire::encode_result(&[], &[]),
                 Err(e) => error_payload(ErrorKind::Statement, &e.to_string()),
-            }
+            };
+            (payload, None)
         }
         req::METRICS => {
             let mut e = Encoder::new(resp::TEXT);
             e.str32(&metrics_text(db, admission));
-            e.finish()
+            (e.finish(), None)
         }
-        req::PING => vec![resp::PONG],
+        req::PING => (vec![resp::PONG], None),
         req::CLOSE => return Ok(None),
-        other => error_payload(ErrorKind::Protocol, &format!("unknown opcode 0x{other:02x}")),
+        other => {
+            (error_payload(ErrorKind::Protocol, &format!("unknown opcode 0x{other:02x}")), None)
+        }
     }))
 }
 

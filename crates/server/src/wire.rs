@@ -125,8 +125,18 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
 }
 
 /// Write one frame with the given payload.
+///
+/// An empty or over-[`MAX_FRAME`] payload is refused *before* any
+/// bytes hit the stream: the peer would reject the frame as corrupt
+/// anyway (and a >4 GiB payload would silently truncate the `u32`
+/// length prefix, desyncing the connection for good).
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    debug_assert!(!payload.is_empty() && payload.len() <= MAX_FRAME as usize);
+    if payload.is_empty() || payload.len() > MAX_FRAME as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame payload of {} bytes outside 1..={MAX_FRAME}", payload.len()),
+        ));
+    }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
@@ -387,6 +397,15 @@ mod tests {
         assert!(read_frame(&mut zero.as_slice()).is_err());
         let huge = (MAX_FRAME + 1).to_le_bytes();
         assert!(read_frame(&mut huge.as_slice()).is_err());
+    }
+
+    #[test]
+    fn oversized_and_empty_writes_rejected_before_any_bytes() {
+        let mut out = Vec::new();
+        assert!(write_frame(&mut out, &[]).is_err());
+        let big = vec![0u8; MAX_FRAME as usize + 1];
+        assert!(write_frame(&mut out, &big).is_err());
+        assert!(out.is_empty(), "a refused frame must not desync the stream");
     }
 
     #[test]
