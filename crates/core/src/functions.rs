@@ -152,7 +152,7 @@ fn parse_join_options(s: &str) -> Result<SpatialJoinConfig, DbError> {
     }
     if let Some(v) = param(&pairs, "kernel") {
         cfg.kernel = sdo_rtree::KernelMode::parse(v)
-            .ok_or_else(|| DbError::Plan(format!("unknown kernel '{v}' (scalar|batch)")))?;
+            .ok_or_else(|| DbError::Plan(format!("unknown kernel '{v}' (scalar|batch|simd)")))?;
     }
     if let Some(v) = param(&pairs, "prepare") {
         cfg.prepare = match v.to_ascii_lowercase().as_str() {

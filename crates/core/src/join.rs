@@ -703,6 +703,14 @@ impl TableFunction for SpatialJoin {
             p.node.add_metric("kernel_sweeps", self.kernel_stats.sweeps);
             p.node.add_metric("kernel_scans", self.kernel_stats.scans);
             p.node.add_metric("kernel_tests", self.kernel_stats.tests);
+            if self.config.kernel == KernelMode::Simd {
+                // set_metric: zeros must render so a plan that never
+                // took the quantized/packet path is visible as such.
+                p.node.set_attr("kernel_isa", sdo_rtree::dispatched().name());
+                p.node.set_metric("quantized_hits", self.kernel_stats.quantized_hits);
+                p.node.set_metric("exact_rejects", self.kernel_stats.exact_rejects);
+                p.node.set_metric("packet_descents", self.kernel_stats.packet_descents);
+            }
             if let Some(ts) = &self.tasks {
                 // set_metric: zeros must render — a slave at 0 tasks
                 // is the imbalance EXPLAIN ANALYZE exists to expose.

@@ -62,8 +62,12 @@ use parking_lot::RwLock;
 use sdo_geom::Rect;
 use sdo_obs::ProfileNode;
 use sdo_rtree::join::CandidatePair;
+use sdo_rtree::kernel::simd::QUANT_SWEEP_SCALE;
 use sdo_rtree::kernel::{sweep_pairs, SoaMbrs, SweepScratch};
-use sdo_rtree::{JoinPredicate, KernelMode, KernelStats};
+use sdo_rtree::{
+    dispatched, scan_pred_quantized, sweep_pairs_simd, JoinPredicate, KernelMode, KernelStats,
+    QuantCounters, QuantizedMbrs, SweepScratchSimd,
+};
 use sdo_storage::{Counters, RowId, Snapshot, SpatialSample, Table};
 use sdo_tablefunc::{Row, TableFunction, TaskQueue, TfError};
 use std::collections::VecDeque;
@@ -389,6 +393,8 @@ pub struct PartitionJoin {
     soa_left: SoaMbrs,
     soa_right: SoaMbrs,
     sweep: SweepScratch,
+    sweep_simd: SweepScratchSimd,
+    quant_right: QuantizedMbrs,
     carry: VecDeque<CandidatePair<RowId, RowId>>,
     out: VecDeque<Row>,
     lcache: GeomCache,
@@ -433,6 +439,8 @@ impl PartitionJoin {
             soa_left: SoaMbrs::new(),
             soa_right: SoaMbrs::new(),
             sweep: SweepScratch::new(),
+            sweep_simd: SweepScratchSimd::new(),
+            quant_right: QuantizedMbrs::new(),
             carry: VecDeque::new(),
             out: VecDeque::new(),
             lcache: GeomCache::new(cache).at_snapshot(snap),
@@ -555,6 +563,45 @@ impl PartitionJoin {
                             self.kernel_stats.tests += tests;
                         }
                     }
+                    KernelMode::Simd => {
+                        self.soa_right.fill(rrects.iter());
+                        // Quantized scans move the sweep crossover up
+                        // (see QUANT_SWEEP_SCALE in sdo-rtree).
+                        let cutoff = self.config.sweep_threshold.saturating_mul(QUANT_SWEEP_SCALE);
+                        if lrects.len() * rrects.len() >= cutoff {
+                            self.soa_left.fill(lrects.iter());
+                            let tests = sweep_pairs_simd(
+                                &self.soa_left,
+                                &self.soa_right,
+                                pred,
+                                &mut self.sweep_simd,
+                                |i, j| carry.push_back((lrects[i], lrids[i], rrects[j], rrids[j])),
+                            );
+                            self.kernel_stats.sweeps += 1;
+                            self.kernel_stats.tests += tests;
+                        } else {
+                            // Quantized right-side scan: one u16 encode
+                            // of the block amortized over every left
+                            // probe, exact f64 recheck on hit.
+                            self.quant_right.fill_from_soa(&self.soa_right);
+                            let mut qc = QuantCounters::default();
+                            let mut tests = 0;
+                            for (i, a) in lrects.iter().enumerate() {
+                                tests += scan_pred_quantized(
+                                    &self.quant_right,
+                                    &self.soa_right,
+                                    pred,
+                                    a,
+                                    &mut qc,
+                                    |j| carry.push_back((*a, lrids[i], rrects[j], rrids[j])),
+                                );
+                            }
+                            self.kernel_stats.scans += 1;
+                            self.kernel_stats.tests += tests;
+                            self.kernel_stats.quantized_hits += qc.quantized_hits;
+                            self.kernel_stats.exact_rejects += qc.exact_rejects;
+                        }
+                    }
                 }
             }
         }
@@ -640,6 +687,13 @@ impl TableFunction for PartitionJoin {
             p.node.add_metric("kernel_sweeps", self.kernel_stats.sweeps);
             p.node.add_metric("kernel_scans", self.kernel_stats.scans);
             p.node.add_metric("kernel_tests", self.kernel_stats.tests);
+            if self.config.kernel == KernelMode::Simd {
+                // set_metric: zeros must render so a plan that never
+                // took the quantized path is visible as such.
+                p.node.set_attr("kernel_isa", dispatched().name());
+                p.node.set_metric("quantized_hits", self.kernel_stats.quantized_hits);
+                p.node.set_metric("exact_rejects", self.kernel_stats.exact_rejects);
+            }
             // set_metric: a slave at 0 tasks must still render — that
             // imbalance is what EXPLAIN ANALYZE exists to expose.
             p.node.set_metric("tasks_executed", self.executed);
@@ -749,6 +803,8 @@ mod tests {
             (8u64, 0usize, KernelMode::Batch),
             (8, usize::MAX, KernelMode::Batch),
             (u64::MAX, 256, KernelMode::Scalar),
+            (8, 0, KernelMode::Simd),
+            (8, usize::MAX, KernelMode::Simd),
         ] {
             let config = SpatialJoinConfig {
                 split_threshold: split,

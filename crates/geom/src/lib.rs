@@ -37,6 +37,7 @@ pub mod rect;
 pub mod relate;
 pub mod sdo;
 pub mod segment;
+pub mod simd;
 pub mod validate;
 pub mod wkt;
 
@@ -47,7 +48,7 @@ pub use multi::{MultiLineString, MultiPoint, MultiPolygon};
 pub use point::Point;
 pub use polygon::{Polygon, Ring};
 pub use prepared::{PreparedGeometry, SegIndex};
-pub use rect::Rect;
+pub use rect::{axis_mindist, Rect};
 pub use relate::{covered_by, distance, intersects, relate, within_distance, RelateMask};
 pub use sdo::SdoGeometry;
 pub use segment::Segment;

@@ -9,6 +9,21 @@ use crate::point::Point;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Clamped separation between the closed intervals `[lo_a, hi_a]` and
+/// `[lo_b, hi_b]`: zero when they overlap, the gap between them
+/// otherwise.
+///
+/// This single `max(·, 0)` form is the per-axis building block of
+/// [`Rect::mindist`] and is shared verbatim by the batch and SIMD
+/// filter kernels in `sdo-rtree::kernel`, so rect-distance results are
+/// bit-identical across every code path (including the `sqrt` that
+/// follows: IEEE 754 square root is correctly rounded, scalar and
+/// vector alike).
+#[inline]
+pub fn axis_mindist(lo_a: f64, hi_a: f64, lo_b: f64, hi_b: f64) -> f64 {
+    (lo_b - hi_a).max(lo_a - hi_b).max(0.0)
+}
+
 /// An axis-aligned rectangle: `[min_x, max_x] x [min_y, max_y]`.
 ///
 /// Degenerate rectangles (zero width/height) are valid and represent
@@ -176,16 +191,16 @@ impl Rect {
     /// exact geometries being within distance `d`.
     #[inline]
     pub fn mindist(&self, other: &Rect) -> f64 {
-        let dx = (other.min_x - self.max_x).max(self.min_x - other.max_x).max(0.0);
-        let dy = (other.min_y - self.max_y).max(self.min_y - other.max_y).max(0.0);
+        let dx = axis_mindist(self.min_x, self.max_x, other.min_x, other.max_x);
+        let dy = axis_mindist(self.min_y, self.max_y, other.min_y, other.max_y);
         (dx * dx + dy * dy).sqrt()
     }
 
     /// Minimum distance from `p` to this rectangle; zero when inside.
     #[inline]
     pub fn mindist_point(&self, p: &Point) -> f64 {
-        let dx = (self.min_x - p.x).max(p.x - self.max_x).max(0.0);
-        let dy = (self.min_y - p.y).max(p.y - self.max_y).max(0.0);
+        let dx = axis_mindist(self.min_x, self.max_x, p.x, p.x);
+        let dy = axis_mindist(self.min_y, self.max_y, p.y, p.y);
         (dx * dx + dy * dy).sqrt()
     }
 
@@ -336,6 +351,28 @@ mod tests {
         for p in &pts {
             assert!(bb.contains_point(p));
         }
+    }
+
+    #[test]
+    fn axis_mindist_clamps_overlap_to_zero() {
+        assert_eq!(axis_mindist(0.0, 1.0, 2.0, 3.0), 1.0); // gap to the right
+        assert_eq!(axis_mindist(2.0, 3.0, 0.0, 1.0), 1.0); // gap to the left
+        assert_eq!(axis_mindist(0.0, 2.0, 1.0, 3.0), 0.0); // overlap
+        assert_eq!(axis_mindist(0.0, 1.0, 1.0, 2.0), 0.0); // touching
+        assert_eq!(axis_mindist(1.0, 1.0, 1.0, 1.0), 0.0); // coincident points
+    }
+
+    #[test]
+    fn mindist_on_degenerate_rects() {
+        // Point-rects and line-rects are valid degenerate rectangles;
+        // mindist must agree with plain geometry on them.
+        let p = r(1.0, 1.0, 1.0, 1.0);
+        let q = r(4.0, 5.0, 4.0, 5.0);
+        assert_eq!(p.mindist(&q), 5.0);
+        let line = r(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(p.mindist(&line), 1.0);
+        assert_eq!(line.mindist(&line), 0.0);
+        assert_eq!(p.mindist_point(&Point::new(4.0, 5.0)), 5.0);
     }
 
     #[test]

@@ -29,7 +29,9 @@
 
 use crate::join::JoinPredicate;
 use crate::node::Entry;
-use sdo_geom::Rect;
+use sdo_geom::{axis_mindist, Rect};
+
+pub mod simd;
 
 /// Entry-count product above which a node-pair join uses the
 /// plane-sweep instead of the chunked scan. Below it the sort overhead
@@ -159,12 +161,12 @@ impl SoaMbrs {
             let mut mask: u64 = 0;
             for j in 0..chunk {
                 let i = base + j;
-                // `Rect::mindist` verbatim. On valid rectangles the
-                // subtractions are NaN-free so the `max` chain is the
-                // plain clamp; the validity term rejects EMPTY/NaN
-                // entries that the chain would otherwise launder to 0.
-                let dx = (self.min_x[i] - q.max_x).max(q.min_x - self.max_x[i]).max(0.0);
-                let dy = (self.min_y[i] - q.max_y).max(q.min_y - self.max_y[i]).max(0.0);
+                // `Rect::mindist` via the shared `axis_mindist` clamp,
+                // so the kernel is bit-identical to the scalar path.
+                // The validity term rejects EMPTY/NaN entries that the
+                // `max` chain would otherwise launder to 0.
+                let dx = axis_mindist(q.min_x, q.max_x, self.min_x[i], self.max_x[i]);
+                let dy = axis_mindist(q.min_y, q.max_y, self.min_y[i], self.max_y[i]);
                 let hit = ((dx * dx + dy * dy).sqrt() <= d)
                     & (self.min_x[i] <= self.max_x[i])
                     & (self.min_y[i] <= self.max_y[i]);
@@ -257,12 +259,7 @@ pub fn sweep_pairs(
             d
         }
     };
-    scratch.left.clear();
-    scratch.right.clear();
-    scratch.left.extend((0..a.len() as u32).filter(|&i| a.valid(i as usize)));
-    scratch.right.extend((0..b.len() as u32).filter(|&j| b.valid(j as usize)));
-    scratch.left.sort_unstable_by(|&x, &y| a.min_x[x as usize].total_cmp(&a.min_x[y as usize]));
-    scratch.right.sort_unstable_by(|&x, &y| b.min_x[x as usize].total_cmp(&b.min_x[y as usize]));
+    sweep_sort_orders(a, b, &mut scratch.left, &mut scratch.right);
 
     let (la, lb) = (scratch.left.len(), scratch.right.len());
     let mut tests = 0u64;
@@ -303,6 +300,25 @@ pub fn sweep_pairs(
     tests
 }
 
+/// Build the sweep's sorted index orders: valid rectangles only (EMPTY
+/// and NaN entries are dropped here and can never pair), ascending by
+/// `min_x` under `total_cmp`. Shared by [`sweep_pairs`] and the
+/// vectorized [`simd::sweep_pairs_simd`] so both sweeps visit pairs in
+/// the identical order.
+pub(crate) fn sweep_sort_orders(
+    a: &SoaMbrs,
+    b: &SoaMbrs,
+    left: &mut Vec<u32>,
+    right: &mut Vec<u32>,
+) {
+    left.clear();
+    right.clear();
+    left.extend((0..a.len() as u32).filter(|&i| a.valid(i as usize)));
+    right.extend((0..b.len() as u32).filter(|&j| b.valid(j as usize)));
+    left.sort_unstable_by(|&x, &y| a.min_x[x as usize].total_cmp(&a.min_x[y as usize]));
+    right.sort_unstable_by(|&x, &y| b.min_x[x as usize].total_cmp(&b.min_x[y as usize]));
+}
+
 /// The sweep's inner test. X-overlap is implied by the sweep invariant
 /// for `Intersects` (both rectangles are valid and the later `min_x`
 /// falls inside the earlier interval), so only y remains; distance
@@ -313,8 +329,8 @@ fn pair_matches(a: &SoaMbrs, i: usize, b: &SoaMbrs, j: usize, pred: JoinPredicat
     match pred {
         JoinPredicate::Intersects => a.min_y[i] <= b.max_y[j] && b.min_y[j] <= a.max_y[i],
         JoinPredicate::WithinDistance(d) => {
-            let dx = (b.min_x[j] - a.max_x[i]).max(a.min_x[i] - b.max_x[j]).max(0.0);
-            let dy = (b.min_y[j] - a.max_y[i]).max(a.min_y[i] - b.max_y[j]).max(0.0);
+            let dx = axis_mindist(a.min_x[i], a.max_x[i], b.min_x[j], b.max_x[j]);
+            let dy = axis_mindist(a.min_y[i], a.max_y[i], b.min_y[j], b.max_y[j]);
             (dx * dx + dy * dy).sqrt() <= d
         }
     }
@@ -462,6 +478,35 @@ mod tests {
         let mut m = 0;
         soa(&ra).scan_within(&ra[0], -1.0, |_| m += 1);
         assert_eq!(m, 0);
+    }
+
+    #[test]
+    fn scan_within_matches_rect_mindist_on_degenerate_rects() {
+        // Regression pin: `scan_within` and the per-rect `Rect::mindist`
+        // must agree exactly on degenerate (point / axis-parallel line)
+        // rectangles, because both sides now share `axis_mindist`.
+        // EMPTY entries never match regardless of distance.
+        let rs = [
+            Rect::new(3.0, 4.0, 3.0, 4.0),   // point
+            Rect::new(0.0, 7.0, 10.0, 7.0),  // horizontal line
+            Rect::new(-2.0, 0.0, -2.0, 9.0), // vertical line
+            Rect::new(1.0, 1.0, 2.0, 2.0),   // ordinary box
+            Rect::EMPTY,
+        ];
+        let s = soa(&rs);
+        for q in [
+            Rect::new(0.0, 0.0, 0.0, 0.0), // degenerate query point
+            Rect::new(0.0, 5.0, 6.0, 5.0), // degenerate query line
+            Rect::new(0.0, 0.0, 4.0, 4.0),
+        ] {
+            for d in [0.0, 1.0, 2.5, 5.0, 100.0] {
+                let mut got = Vec::new();
+                s.scan_within(&q, d, |i| got.push(i));
+                let want: Vec<usize> = (0..4).filter(|&i| rs[i].mindist(&q) <= d).collect();
+                assert_eq!(got, want, "q={q} d={d}");
+                assert!(!got.contains(&4), "EMPTY must never match");
+            }
+        }
     }
 
     #[test]

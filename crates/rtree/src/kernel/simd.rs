@@ -1,0 +1,1357 @@
+//! Explicit SIMD filter kernels with runtime ISA dispatch.
+//!
+//! The batch kernels in the parent module are *auto*-vectorized at
+//! best: the 64-entry bitmask loops compile to packed compares only
+//! when LLVM feels like it, and the plane-sweep's inner run is scalar
+//! by construction. Following *SIMD-ified R-tree Query Processing and
+//! Optimization*, this module adds hand-written vector kernels on
+//! stable `core::arch` intrinsics with one runtime dispatch point
+//! ([`sdo_geom::simd::dispatched`]):
+//!
+//! | ISA    | f64 lanes | u16 lanes | sweep runs | how selected |
+//! |--------|-----------|-----------|------------|--------------|
+//! | AVX2   | 4         | 16        | vectorized | `is_x86_feature_detected!("avx2")` |
+//! | SSE2   | 2         | 8         | scalar     | x86-64 baseline |
+//! | NEON   | 2         | 8         | scalar     | AArch64 baseline |
+//! | scalar | 1         | 1         | scalar     | fallback / [`FORCE_SCALAR_ENV`] |
+//!
+//! Three kernel families live here:
+//!
+//! * **f64 scans** — [`scan_intersects_isa`] / [`scan_within_isa`] /
+//!   [`scan_contained_isa`] mirror the parent module's scans lane for
+//!   lane. Ordered vector compares (`_CMP_LE_OQ`) return false on NaN
+//!   exactly like scalar `<=`, so EMPTY/NaN validity semantics carry
+//!   over unchanged, and within-distance uses the vector square root
+//!   (correctly rounded per IEEE 754) so results are bit-identical to
+//!   `Rect::mindist`.
+//! * **quantized scans** — [`QuantizedMbrs`] stores node MBRs as u16
+//!   keys relative to a per-node frame (min keys rounded down, max
+//!   keys rounded up, so the quantized test can never reject a true
+//!   hit), packing a rectangle into 8 bytes instead of 32 for ~4×
+//!   denser node scans; every quantized hit is re-checked exactly in
+//!   f64 ([`QuantCounters`] records hits and exact rejects).
+//! * **vectorized sweep** — [`sweep_pairs_simd`] gathers both sides
+//!   into sorted contiguous arrays and tests each sweep run 4 lanes at
+//!   a time (AVX2; other ISAs delegate to the scalar sweep), emitting
+//!   pairs in exactly the order [`sweep_pairs`](super::sweep_pairs)
+//!   would.
+//!
+//! Every explicit-ISA entry point checks [`SimdIsa::available`] and
+//! falls back to scalar rather than fault, so the equivalence
+//! proptests can iterate over all ISAs unconditionally.
+
+use super::{sweep_pairs, sweep_sort_orders, SoaMbrs, SweepScratch};
+use crate::join::JoinPredicate;
+use sdo_geom::{axis_mindist, Rect};
+
+pub use sdo_geom::simd::{dispatched, SimdIsa, FORCE_SCALAR_ENV};
+
+/// Factor applied to the sweep crossover under `KernelMode::Simd`: the
+/// quantized scan tests 16 u16 keys per vector op with no sort, so the
+/// pair product at which sorting pays for itself moves up by orders of
+/// magnitude. Measured on AVX2 (thin-strip and block-group workloads),
+/// quantized scans win up to roughly 512×512-entry node pairs —
+/// `SWEEP_THRESHOLD * 1024 = 256 Ki`, right at that crossover. `0` and
+/// `usize::MAX` sweep-threshold overrides keep their force-sweep /
+/// force-scan meaning (`0 * 1024 == 0`; `MAX` saturates).
+pub const QUANT_SWEEP_SCALE: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// f64 scans
+// ---------------------------------------------------------------------------
+
+/// Vectorized [`SoaMbrs::scan_intersects`]: same emitted indices, same
+/// returned test count, dispatched to `isa` (downgraded to scalar when
+/// `isa` is not executable on this machine).
+pub fn scan_intersects_isa(
+    s: &SoaMbrs,
+    q: &Rect,
+    isa: SimdIsa,
+    mut emit: impl FnMut(usize),
+) -> u64 {
+    if !(q.min_x <= q.max_x && q.min_y <= q.max_y) {
+        return 0;
+    }
+    match runnable(isa) {
+        #[cfg(target_arch = "x86_64")]
+        SimdIsa::Avx2 => unsafe { scan_intersects_avx2(s, q, &mut emit) },
+        #[cfg(target_arch = "x86_64")]
+        SimdIsa::Sse2 => unsafe { scan_intersects_sse2(s, q, &mut emit) },
+        #[cfg(target_arch = "aarch64")]
+        SimdIsa::Neon => unsafe { scan_intersects_neon(s, q, &mut emit) },
+        _ => s.scan_intersects(q, emit),
+    }
+}
+
+/// Vectorized [`SoaMbrs::scan_within`] (see [`scan_intersects_isa`]).
+pub fn scan_within_isa(
+    s: &SoaMbrs,
+    q: &Rect,
+    d: f64,
+    isa: SimdIsa,
+    mut emit: impl FnMut(usize),
+) -> u64 {
+    if !(q.min_x <= q.max_x && q.min_y <= q.max_y) || d.is_nan() || d < 0.0 {
+        return 0;
+    }
+    match runnable(isa) {
+        #[cfg(target_arch = "x86_64")]
+        SimdIsa::Avx2 => unsafe { scan_within_avx2(s, q, d, &mut emit) },
+        #[cfg(target_arch = "x86_64")]
+        SimdIsa::Sse2 => unsafe { scan_within_sse2(s, q, d, &mut emit) },
+        #[cfg(target_arch = "aarch64")]
+        SimdIsa::Neon => unsafe { scan_within_neon(s, q, d, &mut emit) },
+        _ => s.scan_within(q, d, emit),
+    }
+}
+
+/// Vectorized [`SoaMbrs::scan_contained_in`] (see [`scan_intersects_isa`]).
+pub fn scan_contained_isa(s: &SoaMbrs, q: &Rect, isa: SimdIsa, mut emit: impl FnMut(usize)) -> u64 {
+    match runnable(isa) {
+        #[cfg(target_arch = "x86_64")]
+        SimdIsa::Avx2 => unsafe { scan_contained_avx2(s, q, &mut emit) },
+        #[cfg(target_arch = "x86_64")]
+        SimdIsa::Sse2 => unsafe { scan_contained_sse2(s, q, &mut emit) },
+        #[cfg(target_arch = "aarch64")]
+        SimdIsa::Neon => unsafe { scan_contained_neon(s, q, &mut emit) },
+        _ => s.scan_contained_in(q, emit),
+    }
+}
+
+/// Join-predicate dispatcher over the explicit-ISA scans, mirroring
+/// [`SoaMbrs::scan_pred`].
+#[inline]
+pub fn scan_pred_isa(
+    s: &SoaMbrs,
+    pred: JoinPredicate,
+    q: &Rect,
+    isa: SimdIsa,
+    emit: impl FnMut(usize),
+) -> u64 {
+    match pred {
+        JoinPredicate::Intersects => scan_intersects_isa(s, q, isa, emit),
+        JoinPredicate::WithinDistance(d) => scan_within_isa(s, q, d, isa, emit),
+    }
+}
+
+/// [`scan_pred_isa`] at the process-wide [`dispatched`] ISA.
+#[inline]
+pub fn scan_pred_simd(s: &SoaMbrs, pred: JoinPredicate, q: &Rect, emit: impl FnMut(usize)) -> u64 {
+    scan_pred_isa(s, pred, q, dispatched(), emit)
+}
+
+/// Downgrade a requested ISA to one this machine can execute.
+#[inline]
+fn runnable(isa: SimdIsa) -> SimdIsa {
+    if isa.available() {
+        isa
+    } else {
+        SimdIsa::Scalar
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::*;
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scan_intersects_avx2(
+        s: &SoaMbrs,
+        q: &Rect,
+        emit: &mut impl FnMut(usize),
+    ) -> u64 {
+        let n = s.len();
+        let qminx = _mm256_set1_pd(q.min_x);
+        let qminy = _mm256_set1_pd(q.min_y);
+        let qmaxx = _mm256_set1_pd(q.max_x);
+        let qmaxy = _mm256_set1_pd(q.max_y);
+        let mut i = 0;
+        while i + 4 <= n {
+            let minx = _mm256_loadu_pd(s.min_x.as_ptr().add(i));
+            let miny = _mm256_loadu_pd(s.min_y.as_ptr().add(i));
+            let maxx = _mm256_loadu_pd(s.max_x.as_ptr().add(i));
+            let maxy = _mm256_loadu_pd(s.max_y.as_ptr().add(i));
+            let m = _mm256_and_pd(
+                _mm256_and_pd(
+                    _mm256_cmp_pd::<_CMP_LE_OQ>(minx, qmaxx),
+                    _mm256_cmp_pd::<_CMP_LE_OQ>(qminx, maxx),
+                ),
+                _mm256_and_pd(
+                    _mm256_cmp_pd::<_CMP_LE_OQ>(miny, qmaxy),
+                    _mm256_cmp_pd::<_CMP_LE_OQ>(qminy, maxy),
+                ),
+            );
+            let mut bits = _mm256_movemask_pd(m) as u32;
+            while bits != 0 {
+                emit(i + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+            i += 4;
+        }
+        scan_intersects_tail(s, q, i, emit);
+        n as u64
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scan_within_avx2(
+        s: &SoaMbrs,
+        q: &Rect,
+        d: f64,
+        emit: &mut impl FnMut(usize),
+    ) -> u64 {
+        let n = s.len();
+        let qminx = _mm256_set1_pd(q.min_x);
+        let qminy = _mm256_set1_pd(q.min_y);
+        let qmaxx = _mm256_set1_pd(q.max_x);
+        let qmaxy = _mm256_set1_pd(q.max_y);
+        let dv = _mm256_set1_pd(d);
+        let zero = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 4 <= n {
+            let minx = _mm256_loadu_pd(s.min_x.as_ptr().add(i));
+            let miny = _mm256_loadu_pd(s.min_y.as_ptr().add(i));
+            let maxx = _mm256_loadu_pd(s.max_x.as_ptr().add(i));
+            let maxy = _mm256_loadu_pd(s.max_y.as_ptr().add(i));
+            // axis_mindist: max(entry.min - q.max, q.min - entry.max, 0)
+            let dx = _mm256_max_pd(
+                _mm256_max_pd(_mm256_sub_pd(minx, qmaxx), _mm256_sub_pd(qminx, maxx)),
+                zero,
+            );
+            let dy = _mm256_max_pd(
+                _mm256_max_pd(_mm256_sub_pd(miny, qmaxy), _mm256_sub_pd(qminy, maxy)),
+                zero,
+            );
+            let dist = _mm256_sqrt_pd(_mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)));
+            let valid = _mm256_and_pd(
+                _mm256_cmp_pd::<_CMP_LE_OQ>(minx, maxx),
+                _mm256_cmp_pd::<_CMP_LE_OQ>(miny, maxy),
+            );
+            let m = _mm256_and_pd(_mm256_cmp_pd::<_CMP_LE_OQ>(dist, dv), valid);
+            let mut bits = _mm256_movemask_pd(m) as u32;
+            while bits != 0 {
+                emit(i + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+            i += 4;
+        }
+        scan_within_tail(s, q, d, i, emit);
+        n as u64
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scan_contained_avx2(
+        s: &SoaMbrs,
+        q: &Rect,
+        emit: &mut impl FnMut(usize),
+    ) -> u64 {
+        let n = s.len();
+        let qminx = _mm256_set1_pd(q.min_x);
+        let qminy = _mm256_set1_pd(q.min_y);
+        let qmaxx = _mm256_set1_pd(q.max_x);
+        let qmaxy = _mm256_set1_pd(q.max_y);
+        let mut i = 0;
+        while i + 4 <= n {
+            let minx = _mm256_loadu_pd(s.min_x.as_ptr().add(i));
+            let miny = _mm256_loadu_pd(s.min_y.as_ptr().add(i));
+            let maxx = _mm256_loadu_pd(s.max_x.as_ptr().add(i));
+            let maxy = _mm256_loadu_pd(s.max_y.as_ptr().add(i));
+            let m = _mm256_and_pd(
+                _mm256_and_pd(
+                    _mm256_and_pd(
+                        _mm256_cmp_pd::<_CMP_LE_OQ>(qminx, minx),
+                        _mm256_cmp_pd::<_CMP_LE_OQ>(qminy, miny),
+                    ),
+                    _mm256_and_pd(
+                        _mm256_cmp_pd::<_CMP_LE_OQ>(maxx, qmaxx),
+                        _mm256_cmp_pd::<_CMP_LE_OQ>(maxy, qmaxy),
+                    ),
+                ),
+                _mm256_and_pd(
+                    _mm256_cmp_pd::<_CMP_LE_OQ>(minx, maxx),
+                    _mm256_cmp_pd::<_CMP_LE_OQ>(miny, maxy),
+                ),
+            );
+            let mut bits = _mm256_movemask_pd(m) as u32;
+            while bits != 0 {
+                emit(i + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+            i += 4;
+        }
+        scan_contained_tail(s, q, i, emit);
+        n as u64
+    }
+
+    /// # Safety
+    /// SSE2 is part of the x86-64 baseline; the only obligation is the
+    /// usual in-bounds pointer arithmetic, which `s` guarantees.
+    pub(super) unsafe fn scan_intersects_sse2(
+        s: &SoaMbrs,
+        q: &Rect,
+        emit: &mut impl FnMut(usize),
+    ) -> u64 {
+        let n = s.len();
+        let qminx = _mm_set1_pd(q.min_x);
+        let qminy = _mm_set1_pd(q.min_y);
+        let qmaxx = _mm_set1_pd(q.max_x);
+        let qmaxy = _mm_set1_pd(q.max_y);
+        let mut i = 0;
+        while i + 2 <= n {
+            let minx = _mm_loadu_pd(s.min_x.as_ptr().add(i));
+            let miny = _mm_loadu_pd(s.min_y.as_ptr().add(i));
+            let maxx = _mm_loadu_pd(s.max_x.as_ptr().add(i));
+            let maxy = _mm_loadu_pd(s.max_y.as_ptr().add(i));
+            let m = _mm_and_pd(
+                _mm_and_pd(_mm_cmple_pd(minx, qmaxx), _mm_cmple_pd(qminx, maxx)),
+                _mm_and_pd(_mm_cmple_pd(miny, qmaxy), _mm_cmple_pd(qminy, maxy)),
+            );
+            let mut bits = _mm_movemask_pd(m) as u32;
+            while bits != 0 {
+                emit(i + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+            i += 2;
+        }
+        scan_intersects_tail(s, q, i, emit);
+        n as u64
+    }
+
+    /// # Safety
+    /// See [`scan_intersects_sse2`].
+    pub(super) unsafe fn scan_within_sse2(
+        s: &SoaMbrs,
+        q: &Rect,
+        d: f64,
+        emit: &mut impl FnMut(usize),
+    ) -> u64 {
+        let n = s.len();
+        let qminx = _mm_set1_pd(q.min_x);
+        let qminy = _mm_set1_pd(q.min_y);
+        let qmaxx = _mm_set1_pd(q.max_x);
+        let qmaxy = _mm_set1_pd(q.max_y);
+        let dv = _mm_set1_pd(d);
+        let zero = _mm_setzero_pd();
+        let mut i = 0;
+        while i + 2 <= n {
+            let minx = _mm_loadu_pd(s.min_x.as_ptr().add(i));
+            let miny = _mm_loadu_pd(s.min_y.as_ptr().add(i));
+            let maxx = _mm_loadu_pd(s.max_x.as_ptr().add(i));
+            let maxy = _mm_loadu_pd(s.max_y.as_ptr().add(i));
+            let dx = _mm_max_pd(_mm_max_pd(_mm_sub_pd(minx, qmaxx), _mm_sub_pd(qminx, maxx)), zero);
+            let dy = _mm_max_pd(_mm_max_pd(_mm_sub_pd(miny, qmaxy), _mm_sub_pd(qminy, maxy)), zero);
+            let dist = _mm_sqrt_pd(_mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy)));
+            let valid = _mm_and_pd(_mm_cmple_pd(minx, maxx), _mm_cmple_pd(miny, maxy));
+            let m = _mm_and_pd(_mm_cmple_pd(dist, dv), valid);
+            let mut bits = _mm_movemask_pd(m) as u32;
+            while bits != 0 {
+                emit(i + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+            i += 2;
+        }
+        scan_within_tail(s, q, d, i, emit);
+        n as u64
+    }
+
+    /// # Safety
+    /// See [`scan_intersects_sse2`].
+    pub(super) unsafe fn scan_contained_sse2(
+        s: &SoaMbrs,
+        q: &Rect,
+        emit: &mut impl FnMut(usize),
+    ) -> u64 {
+        let n = s.len();
+        let qminx = _mm_set1_pd(q.min_x);
+        let qminy = _mm_set1_pd(q.min_y);
+        let qmaxx = _mm_set1_pd(q.max_x);
+        let qmaxy = _mm_set1_pd(q.max_y);
+        let mut i = 0;
+        while i + 2 <= n {
+            let minx = _mm_loadu_pd(s.min_x.as_ptr().add(i));
+            let miny = _mm_loadu_pd(s.min_y.as_ptr().add(i));
+            let maxx = _mm_loadu_pd(s.max_x.as_ptr().add(i));
+            let maxy = _mm_loadu_pd(s.max_y.as_ptr().add(i));
+            let m = _mm_and_pd(
+                _mm_and_pd(
+                    _mm_and_pd(_mm_cmple_pd(qminx, minx), _mm_cmple_pd(qminy, miny)),
+                    _mm_and_pd(_mm_cmple_pd(maxx, qmaxx), _mm_cmple_pd(maxy, qmaxy)),
+                ),
+                _mm_and_pd(_mm_cmple_pd(minx, maxx), _mm_cmple_pd(miny, maxy)),
+            );
+            let mut bits = _mm_movemask_pd(m) as u32;
+            while bits != 0 {
+                emit(i + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+            i += 2;
+        }
+        scan_contained_tail(s, q, i, emit);
+        n as u64
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use x86::*;
+
+#[cfg(target_arch = "aarch64")]
+mod arm {
+    use super::*;
+    use core::arch::aarch64::*;
+
+    #[inline]
+    unsafe fn lane_bits(m: uint64x2_t) -> u32 {
+        (vgetq_lane_u64::<0>(m) & 1) as u32 | ((vgetq_lane_u64::<1>(m) & 1) << 1) as u32
+    }
+
+    /// # Safety
+    /// NEON is part of the AArch64 baseline; pointer arithmetic stays
+    /// in bounds of `s`'s arrays.
+    pub(super) unsafe fn scan_intersects_neon(
+        s: &SoaMbrs,
+        q: &Rect,
+        emit: &mut impl FnMut(usize),
+    ) -> u64 {
+        let n = s.len();
+        let qminx = vdupq_n_f64(q.min_x);
+        let qminy = vdupq_n_f64(q.min_y);
+        let qmaxx = vdupq_n_f64(q.max_x);
+        let qmaxy = vdupq_n_f64(q.max_y);
+        let mut i = 0;
+        while i + 2 <= n {
+            let minx = vld1q_f64(s.min_x.as_ptr().add(i));
+            let miny = vld1q_f64(s.min_y.as_ptr().add(i));
+            let maxx = vld1q_f64(s.max_x.as_ptr().add(i));
+            let maxy = vld1q_f64(s.max_y.as_ptr().add(i));
+            let m = vandq_u64(
+                vandq_u64(vcleq_f64(minx, qmaxx), vcleq_f64(qminx, maxx)),
+                vandq_u64(vcleq_f64(miny, qmaxy), vcleq_f64(qminy, maxy)),
+            );
+            let mut bits = lane_bits(m);
+            while bits != 0 {
+                emit(i + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+            i += 2;
+        }
+        scan_intersects_tail(s, q, i, emit);
+        n as u64
+    }
+
+    /// # Safety
+    /// See [`scan_intersects_neon`].
+    pub(super) unsafe fn scan_within_neon(
+        s: &SoaMbrs,
+        q: &Rect,
+        d: f64,
+        emit: &mut impl FnMut(usize),
+    ) -> u64 {
+        let n = s.len();
+        let qminx = vdupq_n_f64(q.min_x);
+        let qminy = vdupq_n_f64(q.min_y);
+        let qmaxx = vdupq_n_f64(q.max_x);
+        let qmaxy = vdupq_n_f64(q.max_y);
+        let dv = vdupq_n_f64(d);
+        let zero = vdupq_n_f64(0.0);
+        let mut i = 0;
+        while i + 2 <= n {
+            let minx = vld1q_f64(s.min_x.as_ptr().add(i));
+            let miny = vld1q_f64(s.min_y.as_ptr().add(i));
+            let maxx = vld1q_f64(s.max_x.as_ptr().add(i));
+            let maxy = vld1q_f64(s.max_y.as_ptr().add(i));
+            let dx = vmaxq_f64(vmaxq_f64(vsubq_f64(minx, qmaxx), vsubq_f64(qminx, maxx)), zero);
+            let dy = vmaxq_f64(vmaxq_f64(vsubq_f64(miny, qmaxy), vsubq_f64(qminy, maxy)), zero);
+            let dist = vsqrtq_f64(vaddq_f64(vmulq_f64(dx, dx), vmulq_f64(dy, dy)));
+            let valid = vandq_u64(vcleq_f64(minx, maxx), vcleq_f64(miny, maxy));
+            let m = vandq_u64(vcleq_f64(dist, dv), valid);
+            let mut bits = lane_bits(m);
+            while bits != 0 {
+                emit(i + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+            i += 2;
+        }
+        scan_within_tail(s, q, d, i, emit);
+        n as u64
+    }
+
+    /// # Safety
+    /// See [`scan_intersects_neon`].
+    pub(super) unsafe fn scan_contained_neon(
+        s: &SoaMbrs,
+        q: &Rect,
+        emit: &mut impl FnMut(usize),
+    ) -> u64 {
+        let n = s.len();
+        let qminx = vdupq_n_f64(q.min_x);
+        let qminy = vdupq_n_f64(q.min_y);
+        let qmaxx = vdupq_n_f64(q.max_x);
+        let qmaxy = vdupq_n_f64(q.max_y);
+        let mut i = 0;
+        while i + 2 <= n {
+            let minx = vld1q_f64(s.min_x.as_ptr().add(i));
+            let miny = vld1q_f64(s.min_y.as_ptr().add(i));
+            let maxx = vld1q_f64(s.max_x.as_ptr().add(i));
+            let maxy = vld1q_f64(s.max_y.as_ptr().add(i));
+            let m = vandq_u64(
+                vandq_u64(
+                    vandq_u64(vcleq_f64(qminx, minx), vcleq_f64(qminy, miny)),
+                    vandq_u64(vcleq_f64(maxx, qmaxx), vcleq_f64(maxy, qmaxy)),
+                ),
+                vandq_u64(vcleq_f64(minx, maxx), vcleq_f64(miny, maxy)),
+            );
+            let mut bits = lane_bits(m);
+            while bits != 0 {
+                emit(i + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+            i += 2;
+        }
+        scan_contained_tail(s, q, i, emit);
+        n as u64
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+use arm::*;
+
+/// Scalar remainder of a vector intersect scan, starting at `from`.
+#[allow(dead_code)]
+fn scan_intersects_tail(s: &SoaMbrs, q: &Rect, from: usize, emit: &mut impl FnMut(usize)) {
+    for i in from..s.len() {
+        if (s.min_x[i] <= q.max_x)
+            & (q.min_x <= s.max_x[i])
+            & (s.min_y[i] <= q.max_y)
+            & (q.min_y <= s.max_y[i])
+        {
+            emit(i);
+        }
+    }
+}
+
+/// Scalar remainder of a vector within-distance scan.
+#[allow(dead_code)]
+fn scan_within_tail(s: &SoaMbrs, q: &Rect, d: f64, from: usize, emit: &mut impl FnMut(usize)) {
+    for i in from..s.len() {
+        let dx = axis_mindist(q.min_x, q.max_x, s.min_x[i], s.max_x[i]);
+        let dy = axis_mindist(q.min_y, q.max_y, s.min_y[i], s.max_y[i]);
+        if ((dx * dx + dy * dy).sqrt() <= d)
+            & (s.min_x[i] <= s.max_x[i])
+            & (s.min_y[i] <= s.max_y[i])
+        {
+            emit(i);
+        }
+    }
+}
+
+/// Scalar remainder of a vector containment scan.
+#[allow(dead_code)]
+fn scan_contained_tail(s: &SoaMbrs, q: &Rect, from: usize, emit: &mut impl FnMut(usize)) {
+    for i in from..s.len() {
+        if (q.min_x <= s.min_x[i])
+            & (q.min_y <= s.min_y[i])
+            & (s.max_x[i] <= q.max_x)
+            & (s.max_y[i] <= q.max_y)
+            & (s.min_x[i] <= s.max_x[i])
+            & (s.min_y[i] <= s.max_y[i])
+        {
+            emit(i);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized node layout
+// ---------------------------------------------------------------------------
+
+/// Node MBRs quantized to u16 keys relative to a per-node frame.
+///
+/// A rectangle packs into 8 bytes instead of 32, so a 128-entry node's
+/// keys fit in two cache lines per axis pair and a 16-lane AVX2 compare
+/// covers 16 rectangles per instruction — the "~4× denser node scans"
+/// of the SIMD R-tree literature.
+///
+/// **Conservative rounding.** Every min key rounds *down* and every
+/// max key rounds *up* (queries quantize the same way). Because the
+/// encoding `v ↦ clamp(⌊(v − origin)·inv_step⌋)` is monotone, the
+/// quantized overlap test is implied by the exact f64 overlap test —
+/// a true hit can never be rejected. False positives are possible (a
+/// grid cell is up to frame/65535 wide), so every quantized hit is
+/// re-checked exactly in f64; [`QuantCounters`] records both sides of
+/// that funnel (`quantized_hits` / `exact_rejects`).
+///
+/// Degenerate entries (EMPTY / NaN) encode as the impossible key pair
+/// `(min=65535, max=0)`; if a full-frame query still matches one, the
+/// exact re-check rejects it. Frames with non-finite bounds mark the
+/// whole view unusable and scans fall back to the f64 kernels.
+#[derive(Debug, Default, Clone)]
+pub struct QuantizedMbrs {
+    qmin_x: Vec<u16>,
+    qmin_y: Vec<u16>,
+    qmax_x: Vec<u16>,
+    qmax_y: Vec<u16>,
+    origin_x: f64,
+    origin_y: f64,
+    inv_step_x: f64,
+    inv_step_y: f64,
+    usable: bool,
+}
+
+impl QuantizedMbrs {
+    /// An empty quantized view; fill with [`QuantizedMbrs::fill_from_soa`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rectangles in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.qmin_x.len()
+    }
+
+    /// True when the view holds no rectangles.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.qmin_x.is_empty()
+    }
+
+    /// True when the frame admits quantized testing (finite bounds).
+    #[inline]
+    pub fn usable(&self) -> bool {
+        self.usable
+    }
+
+    /// Rebuild the quantized keys from an SoA view (clears first). The
+    /// frame is the union of the valid rectangles; invalid entries get
+    /// the impossible key pair.
+    pub fn fill_from_soa(&mut self, s: &SoaMbrs) {
+        self.qmin_x.clear();
+        self.qmin_y.clear();
+        self.qmax_x.clear();
+        self.qmax_y.clear();
+        let n = s.len();
+        let mut frame = Rect::EMPTY;
+        for i in 0..n {
+            if s.min_x[i] <= s.max_x[i] && s.min_y[i] <= s.max_y[i] {
+                frame = frame.union(&s.get(i));
+            }
+        }
+        self.origin_x = frame.min_x;
+        self.origin_y = frame.min_y;
+        let wx = frame.max_x - frame.min_x;
+        let wy = frame.max_y - frame.min_y;
+        self.usable =
+            frame.min_x.is_finite() && frame.min_y.is_finite() && wx.is_finite() && wy.is_finite();
+        self.inv_step_x = if wx > 0.0 { 65535.0 / wx } else { 1.0 };
+        self.inv_step_y = if wy > 0.0 { 65535.0 / wy } else { 1.0 };
+        if !self.usable {
+            return;
+        }
+        for i in 0..n {
+            if s.min_x[i] <= s.max_x[i] && s.min_y[i] <= s.max_y[i] {
+                self.qmin_x.push(enc_down(s.min_x[i], self.origin_x, self.inv_step_x));
+                self.qmin_y.push(enc_down(s.min_y[i], self.origin_y, self.inv_step_y));
+                self.qmax_x.push(enc_up(s.max_x[i], self.origin_x, self.inv_step_x));
+                self.qmax_y.push(enc_up(s.max_y[i], self.origin_y, self.inv_step_y));
+            } else {
+                self.qmin_x.push(u16::MAX);
+                self.qmin_y.push(u16::MAX);
+                self.qmax_x.push(0);
+                self.qmax_y.push(0);
+            }
+        }
+    }
+
+    /// Quantize a query rectangle with the same conservative rounding
+    /// as the entries: `[qmin_x, qmin_y, qmax_x, qmax_y]`.
+    #[inline]
+    fn quantize_query(&self, q: &Rect) -> [u16; 4] {
+        [
+            enc_down(q.min_x, self.origin_x, self.inv_step_x),
+            enc_down(q.min_y, self.origin_y, self.inv_step_y),
+            enc_up(q.max_x, self.origin_x, self.inv_step_x),
+            enc_up(q.max_y, self.origin_y, self.inv_step_y),
+        ]
+    }
+}
+
+/// Quantize rounding down (min keys): monotone, clamped to `[0, 65535]`.
+#[inline]
+fn enc_down(v: f64, origin: f64, inv_step: f64) -> u16 {
+    let t = (v - origin) * inv_step;
+    if t >= 65535.0 {
+        u16::MAX
+    } else if t >= 0.0 {
+        t as u16 // truncation == floor for non-negative t
+    } else {
+        0
+    }
+}
+
+/// Quantize rounding up (max keys): monotone, clamped to `[0, 65535]`.
+#[inline]
+fn enc_up(v: f64, origin: f64, inv_step: f64) -> u16 {
+    let t = ((v - origin) * inv_step).ceil();
+    if t >= 65535.0 {
+        u16::MAX
+    } else if t >= 0.0 {
+        t as u16
+    } else {
+        0
+    }
+}
+
+/// Counters of the quantized filter funnel, surfaced in
+/// `EXPLAIN ANALYZE` as `quantized_hits` / `exact_rejects`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QuantCounters {
+    /// Rectangles that passed the u16 quantized test.
+    pub quantized_hits: u64,
+    /// Quantized hits the exact f64 re-check then rejected.
+    pub exact_rejects: u64,
+}
+
+impl QuantCounters {
+    /// Accumulate another funnel's counts.
+    pub fn merge(&mut self, other: &QuantCounters) {
+        self.quantized_hits += other.quantized_hits;
+        self.exact_rejects += other.exact_rejects;
+    }
+}
+
+/// Quantized scan with exact f64 re-check: emits exactly the indices
+/// [`SoaMbrs::scan_pred`] would emit for `pred`/`q`, testing the u16
+/// keys first (16 lanes per AVX2 compare) and re-checking hits against
+/// `soa` (which must be the view `qm` was filled from). Falls back to
+/// the f64 vector scans when the frame is unusable. Returns rectangles
+/// tested.
+pub fn scan_pred_quantized(
+    qm: &QuantizedMbrs,
+    soa: &SoaMbrs,
+    pred: JoinPredicate,
+    q: &Rect,
+    counters: &mut QuantCounters,
+    mut emit: impl FnMut(usize),
+) -> u64 {
+    debug_assert!(!qm.usable || qm.len() == soa.len());
+    if !(q.min_x <= q.max_x && q.min_y <= q.max_y) {
+        return 0;
+    }
+    let expand = match pred {
+        JoinPredicate::Intersects => *q,
+        JoinPredicate::WithinDistance(d) => {
+            if d.is_nan() || d < 0.0 {
+                return 0;
+            }
+            q.expanded(d)
+        }
+    };
+    if !qm.usable {
+        return scan_pred_isa(soa, pred, q, dispatched(), emit);
+    }
+    let qq = qm.quantize_query(&expand);
+    quant_candidates(qm, qq, dispatched(), |i| {
+        counters.quantized_hits += 1;
+        let exact = match pred {
+            JoinPredicate::Intersects => {
+                (soa.min_x[i] <= q.max_x)
+                    & (q.min_x <= soa.max_x[i])
+                    & (soa.min_y[i] <= q.max_y)
+                    & (q.min_y <= soa.max_y[i])
+            }
+            JoinPredicate::WithinDistance(d) => {
+                let dx = axis_mindist(q.min_x, q.max_x, soa.min_x[i], soa.max_x[i]);
+                let dy = axis_mindist(q.min_y, q.max_y, soa.min_y[i], soa.max_y[i]);
+                ((dx * dx + dy * dy).sqrt() <= d)
+                    & (soa.min_x[i] <= soa.max_x[i])
+                    & (soa.min_y[i] <= soa.max_y[i])
+            }
+        };
+        if exact {
+            emit(i);
+        } else {
+            counters.exact_rejects += 1;
+        }
+    });
+    qm.len() as u64
+}
+
+/// Emit the indices passing the quantized overlap test
+/// `entry.min <= q.max && q.min <= entry.max` on both axes (u16,
+/// unsigned), in ascending order.
+fn quant_candidates(qm: &QuantizedMbrs, qq: [u16; 4], isa: SimdIsa, mut on: impl FnMut(usize)) {
+    match runnable(isa) {
+        #[cfg(target_arch = "x86_64")]
+        SimdIsa::Avx2 => unsafe { quant_candidates_avx2(qm, qq, &mut on) },
+        #[cfg(target_arch = "x86_64")]
+        SimdIsa::Sse2 => unsafe { quant_candidates_sse2(qm, qq, &mut on) },
+        #[cfg(target_arch = "aarch64")]
+        SimdIsa::Neon => unsafe { quant_candidates_neon(qm, qq, &mut on) },
+        _ => quant_candidates_tail(qm, qq, 0, &mut on),
+    }
+}
+
+/// Scalar quantized candidate loop from `from`.
+#[allow(dead_code)]
+fn quant_candidates_tail(
+    qm: &QuantizedMbrs,
+    qq: [u16; 4],
+    from: usize,
+    on: &mut impl FnMut(usize),
+) {
+    for i in from..qm.len() {
+        if (qm.qmin_x[i] <= qq[2])
+            & (qq[0] <= qm.qmax_x[i])
+            & (qm.qmin_y[i] <= qq[3])
+            & (qq[1] <= qm.qmax_y[i])
+        {
+            on(i);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86_quant {
+    use super::*;
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn quant_candidates_avx2(
+        qm: &QuantizedMbrs,
+        qq: [u16; 4],
+        on: &mut impl FnMut(usize),
+    ) {
+        let n = qm.len();
+        let zero = _mm256_setzero_si256();
+        let qminx = _mm256_set1_epi16(qq[0] as i16);
+        let qminy = _mm256_set1_epi16(qq[1] as i16);
+        let qmaxx = _mm256_set1_epi16(qq[2] as i16);
+        let qmaxy = _mm256_set1_epi16(qq[3] as i16);
+        // a <= b (unsigned u16) ⟺ saturating_sub(a, b) == 0
+        let le = |a: __m256i, b: __m256i| _mm256_cmpeq_epi16(_mm256_subs_epu16(a, b), zero);
+        let mut i = 0;
+        while i + 16 <= n {
+            let eminx = _mm256_loadu_si256(qm.qmin_x.as_ptr().add(i) as *const __m256i);
+            let eminy = _mm256_loadu_si256(qm.qmin_y.as_ptr().add(i) as *const __m256i);
+            let emaxx = _mm256_loadu_si256(qm.qmax_x.as_ptr().add(i) as *const __m256i);
+            let emaxy = _mm256_loadu_si256(qm.qmax_y.as_ptr().add(i) as *const __m256i);
+            let m = _mm256_and_si256(
+                _mm256_and_si256(le(eminx, qmaxx), le(qminx, emaxx)),
+                _mm256_and_si256(le(eminy, qmaxy), le(qminy, emaxy)),
+            );
+            // Two movemask bits per u16 lane; keep the even bits.
+            let mut bits = _mm256_movemask_epi8(m) as u32 & 0x5555_5555;
+            while bits != 0 {
+                on(i + (bits.trailing_zeros() >> 1) as usize);
+                bits &= bits - 1;
+            }
+            i += 16;
+        }
+        quant_candidates_tail(qm, qq, i, on);
+    }
+
+    /// # Safety
+    /// SSE2 is part of the x86-64 baseline.
+    pub(super) unsafe fn quant_candidates_sse2(
+        qm: &QuantizedMbrs,
+        qq: [u16; 4],
+        on: &mut impl FnMut(usize),
+    ) {
+        let n = qm.len();
+        let zero = _mm_setzero_si128();
+        let qminx = _mm_set1_epi16(qq[0] as i16);
+        let qminy = _mm_set1_epi16(qq[1] as i16);
+        let qmaxx = _mm_set1_epi16(qq[2] as i16);
+        let qmaxy = _mm_set1_epi16(qq[3] as i16);
+        let le = |a: __m128i, b: __m128i| _mm_cmpeq_epi16(_mm_subs_epu16(a, b), zero);
+        let mut i = 0;
+        while i + 8 <= n {
+            let eminx = _mm_loadu_si128(qm.qmin_x.as_ptr().add(i) as *const __m128i);
+            let eminy = _mm_loadu_si128(qm.qmin_y.as_ptr().add(i) as *const __m128i);
+            let emaxx = _mm_loadu_si128(qm.qmax_x.as_ptr().add(i) as *const __m128i);
+            let emaxy = _mm_loadu_si128(qm.qmax_y.as_ptr().add(i) as *const __m128i);
+            let m = _mm_and_si128(
+                _mm_and_si128(le(eminx, qmaxx), le(qminx, emaxx)),
+                _mm_and_si128(le(eminy, qmaxy), le(qminy, emaxy)),
+            );
+            let mut bits = _mm_movemask_epi8(m) as u32 & 0x5555;
+            while bits != 0 {
+                on(i + (bits.trailing_zeros() >> 1) as usize);
+                bits &= bits - 1;
+            }
+            i += 8;
+        }
+        quant_candidates_tail(qm, qq, i, on);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use x86_quant::*;
+
+#[cfg(target_arch = "aarch64")]
+mod arm_quant {
+    use super::*;
+    use core::arch::aarch64::*;
+
+    /// # Safety
+    /// NEON is part of the AArch64 baseline.
+    pub(super) unsafe fn quant_candidates_neon(
+        qm: &QuantizedMbrs,
+        qq: [u16; 4],
+        on: &mut impl FnMut(usize),
+    ) {
+        let n = qm.len();
+        let qminx = vdupq_n_u16(qq[0]);
+        let qminy = vdupq_n_u16(qq[1]);
+        let qmaxx = vdupq_n_u16(qq[2]);
+        let qmaxy = vdupq_n_u16(qq[3]);
+        let mut lanes = [0u16; 8];
+        let mut i = 0;
+        while i + 8 <= n {
+            let eminx = vld1q_u16(qm.qmin_x.as_ptr().add(i));
+            let eminy = vld1q_u16(qm.qmin_y.as_ptr().add(i));
+            let emaxx = vld1q_u16(qm.qmax_x.as_ptr().add(i));
+            let emaxy = vld1q_u16(qm.qmax_y.as_ptr().add(i));
+            let m = vandq_u16(
+                vandq_u16(vcleq_u16(eminx, qmaxx), vcleq_u16(qminx, emaxx)),
+                vandq_u16(vcleq_u16(eminy, qmaxy), vcleq_u16(qminy, emaxy)),
+            );
+            vst1q_u16(lanes.as_mut_ptr(), m);
+            for (l, &hit) in lanes.iter().enumerate() {
+                if hit != 0 {
+                    on(i + l);
+                }
+            }
+            i += 8;
+        }
+        quant_candidates_tail(qm, qq, i, on);
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+use arm_quant::*;
+
+// ---------------------------------------------------------------------------
+// Vectorized plane-sweep
+// ---------------------------------------------------------------------------
+
+/// Scratch buffers for [`sweep_pairs_simd`]: the sorted index orders
+/// plus gathered contiguous copies of both sides' coordinates in sweep
+/// order, so the vector runs read sequential memory with no
+/// permutation indirection. Reused across node pairs.
+#[derive(Debug, Default)]
+pub struct SweepScratchSimd {
+    base: SweepScratch,
+    order_a: Vec<u32>,
+    order_b: Vec<u32>,
+    ax0: Vec<f64>,
+    ay0: Vec<f64>,
+    ax1: Vec<f64>,
+    ay1: Vec<f64>,
+    bx0: Vec<f64>,
+    by0: Vec<f64>,
+    bx1: Vec<f64>,
+    by1: Vec<f64>,
+}
+
+impl SweepScratchSimd {
+    /// Fresh scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Vectorized [`sweep_pairs`](super::sweep_pairs): identical emitted
+/// pairs in the identical order, identical returned test count. The
+/// sorted runs are tested 4 lanes per AVX2 iteration (the run's
+/// `min_x <= stop` condition is a prefix mask over sorted input, so a
+/// partially-open block both counts and terminates exactly like the
+/// scalar loop). On non-AVX2 ISAs this delegates to the scalar sweep.
+pub fn sweep_pairs_simd(
+    a: &SoaMbrs,
+    b: &SoaMbrs,
+    pred: JoinPredicate,
+    scratch: &mut SweepScratchSimd,
+    mut emit: impl FnMut(usize, usize),
+) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if dispatched() == SimdIsa::Avx2 {
+        let reach = match pred {
+            JoinPredicate::Intersects => 0.0,
+            JoinPredicate::WithinDistance(d) => {
+                if d.is_nan() || d < 0.0 {
+                    return 0;
+                }
+                d
+            }
+        };
+        sweep_sort_orders(a, b, &mut scratch.order_a, &mut scratch.order_b);
+        gather(
+            a,
+            &scratch.order_a,
+            &mut scratch.ax0,
+            &mut scratch.ay0,
+            &mut scratch.ax1,
+            &mut scratch.ay1,
+        );
+        gather(
+            b,
+            &scratch.order_b,
+            &mut scratch.bx0,
+            &mut scratch.by0,
+            &mut scratch.bx1,
+            &mut scratch.by1,
+        );
+        let (la, lb) = (scratch.order_a.len(), scratch.order_b.len());
+        let mut tests = 0u64;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < la && j < lb {
+            if scratch.ax0[i] <= scratch.bx0[j] {
+                let probe = [scratch.ax0[i], scratch.ay0[i], scratch.ax1[i], scratch.ay1[i]];
+                let stop = probe[2] + reach;
+                let ai = scratch.order_a[i] as usize;
+                let (order_b, bx0, by0, bx1, by1) =
+                    (&scratch.order_b, &scratch.bx0, &scratch.by0, &scratch.bx1, &scratch.by1);
+                tests += unsafe {
+                    sweep_run_avx2(bx0, by0, bx1, by1, j, stop, probe, pred, &mut |k| {
+                        emit(ai, order_b[k] as usize)
+                    })
+                };
+                i += 1;
+            } else {
+                let probe = [scratch.bx0[j], scratch.by0[j], scratch.bx1[j], scratch.by1[j]];
+                let stop = probe[2] + reach;
+                let bj = scratch.order_b[j] as usize;
+                let (order_a, ax0, ay0, ax1, ay1) =
+                    (&scratch.order_a, &scratch.ax0, &scratch.ay0, &scratch.ax1, &scratch.ay1);
+                tests += unsafe {
+                    sweep_run_avx2(ax0, ay0, ax1, ay1, i, stop, probe, pred, &mut |k| {
+                        emit(order_a[k] as usize, bj)
+                    })
+                };
+                j += 1;
+            }
+        }
+        return tests;
+    }
+    sweep_pairs(a, b, pred, &mut scratch.base, emit)
+}
+
+/// Gather a side's coordinates into contiguous sweep-order arrays.
+#[allow(dead_code)]
+fn gather(
+    s: &SoaMbrs,
+    order: &[u32],
+    x0: &mut Vec<f64>,
+    y0: &mut Vec<f64>,
+    x1: &mut Vec<f64>,
+    y1: &mut Vec<f64>,
+) {
+    x0.clear();
+    y0.clear();
+    x1.clear();
+    y1.clear();
+    for &i in order {
+        let i = i as usize;
+        x0.push(s.min_x[i]);
+        y0.push(s.min_y[i]);
+        x1.push(s.max_x[i]);
+        y1.push(s.max_y[i]);
+    }
+}
+
+/// One forward sweep run over sorted, gathered coordinates: test the
+/// rectangles from `start` while their `min_x` stays within `stop`,
+/// 4 lanes at a time, invoking `on_hit` with the sorted position of
+/// each match (ascending). Returns the number of rectangles tested —
+/// exactly the scalar sweep's inner trip count.
+///
+/// # Safety
+/// Caller must ensure AVX2 is available; the four slices must have
+/// equal length.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn sweep_run_avx2(
+    min_x: &[f64],
+    min_y: &[f64],
+    max_x: &[f64],
+    max_y: &[f64],
+    start: usize,
+    stop: f64,
+    probe: [f64; 4],
+    pred: JoinPredicate,
+    on_hit: &mut impl FnMut(usize),
+) -> u64 {
+    use core::arch::x86_64::*;
+    let n = min_x.len();
+    let stop_v = _mm256_set1_pd(stop);
+    let p_min_x = _mm256_set1_pd(probe[0]);
+    let p_min_y = _mm256_set1_pd(probe[1]);
+    let p_max_x = _mm256_set1_pd(probe[2]);
+    let p_max_y = _mm256_set1_pd(probe[3]);
+    let zero = _mm256_setzero_pd();
+    let mut tests = 0u64;
+    let mut k = start;
+    while k + 4 <= n {
+        let bminx = _mm256_loadu_pd(min_x.as_ptr().add(k));
+        // Sorted input ⇒ the open mask is a prefix of the block.
+        let open = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_LE_OQ>(bminx, stop_v)) as u32 & 0xF;
+        if open == 0 {
+            return tests;
+        }
+        let run = open.trailing_ones();
+        let hits = match pred {
+            JoinPredicate::Intersects => {
+                let bminy = _mm256_loadu_pd(min_y.as_ptr().add(k));
+                let bmaxy = _mm256_loadu_pd(max_y.as_ptr().add(k));
+                _mm256_and_pd(
+                    _mm256_cmp_pd::<_CMP_LE_OQ>(bminy, p_max_y),
+                    _mm256_cmp_pd::<_CMP_LE_OQ>(p_min_y, bmaxy),
+                )
+            }
+            JoinPredicate::WithinDistance(d) => {
+                let bminy = _mm256_loadu_pd(min_y.as_ptr().add(k));
+                let bmaxx = _mm256_loadu_pd(max_x.as_ptr().add(k));
+                let bmaxy = _mm256_loadu_pd(max_y.as_ptr().add(k));
+                let dx = _mm256_max_pd(
+                    _mm256_max_pd(_mm256_sub_pd(bminx, p_max_x), _mm256_sub_pd(p_min_x, bmaxx)),
+                    zero,
+                );
+                let dy = _mm256_max_pd(
+                    _mm256_max_pd(_mm256_sub_pd(bminy, p_max_y), _mm256_sub_pd(p_min_y, bmaxy)),
+                    zero,
+                );
+                let dist =
+                    _mm256_sqrt_pd(_mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)));
+                _mm256_cmp_pd::<_CMP_LE_OQ>(dist, _mm256_set1_pd(d))
+            }
+        };
+        let mut hm = _mm256_movemask_pd(hits) as u32 & open;
+        while hm != 0 {
+            on_hit(k + hm.trailing_zeros() as usize);
+            hm &= hm - 1;
+        }
+        tests += run as u64;
+        if run < 4 {
+            return tests;
+        }
+        k += 4;
+    }
+    // Scalar tail (fewer than 4 rectangles left).
+    while k < n {
+        if min_x[k] > stop {
+            break;
+        }
+        tests += 1;
+        let hit = match pred {
+            JoinPredicate::Intersects => min_y[k] <= probe[3] && probe[1] <= max_y[k],
+            JoinPredicate::WithinDistance(d) => {
+                let dx = axis_mindist(probe[0], probe[2], min_x[k], max_x[k]);
+                let dy = axis_mindist(probe[1], probe[3], min_y[k], max_y[k]);
+                (dx * dx + dy * dy).sqrt() <= d
+            }
+        };
+        if hit {
+            on_hit(k);
+        }
+        k += 1;
+    }
+    tests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_ISAS: [SimdIsa; 4] = [SimdIsa::Scalar, SimdIsa::Sse2, SimdIsa::Neon, SimdIsa::Avx2];
+
+    fn soa(rects: &[Rect]) -> SoaMbrs {
+        let mut s = SoaMbrs::new();
+        s.fill(rects.iter());
+        s
+    }
+
+    /// Pseudo-random rect set salted with NaN / EMPTY / degenerate
+    /// entries at fixed positions.
+    fn mixed_rects(n: usize) -> Vec<Rect> {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 2654435761) % 997) as f64 / 3.0;
+                let y = ((i * 40503) % 991) as f64 / 3.0;
+                match i % 11 {
+                    3 => Rect::EMPTY,
+                    5 => Rect { min_x: f64::NAN, min_y: y, max_x: x, max_y: y + 1.0 },
+                    7 => Rect::new(x, y, x, y),       // point
+                    9 => Rect::new(x, y, x + 9.0, y), // horizontal line
+                    _ => Rect::new(x, y, x + 4.0, y + 4.0),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_isa_matches_the_scalar_scans() {
+        let rs = mixed_rects(301);
+        let s = soa(&rs);
+        let queries = [
+            Rect::new(10.0, 10.0, 120.0, 120.0),
+            Rect::new(50.0, 50.0, 50.0, 50.0), // degenerate point query
+            Rect::new(-10.0, -10.0, 400.0, 400.0),
+            Rect::EMPTY,
+        ];
+        for q in &queries {
+            let mut want_i = Vec::new();
+            let base_i = s.scan_intersects(q, |i| want_i.push(i));
+            let mut want_c = Vec::new();
+            let base_c = s.scan_contained_in(q, |i| want_c.push(i));
+            for isa in ALL_ISAS {
+                let mut got = Vec::new();
+                let n = scan_intersects_isa(&s, q, isa, |i| got.push(i));
+                assert_eq!(got, want_i, "intersects {isa:?} {q}");
+                assert_eq!(n, base_i, "intersects tests {isa:?}");
+                let mut got = Vec::new();
+                let n = scan_contained_isa(&s, q, isa, |i| got.push(i));
+                assert_eq!(got, want_c, "contained {isa:?} {q}");
+                assert_eq!(n, base_c, "contained tests {isa:?}");
+                for d in [0.0, 2.5, 30.0, f64::NAN] {
+                    let mut want_w = Vec::new();
+                    let base_w = s.scan_within(q, d, |i| want_w.push(i));
+                    let mut got = Vec::new();
+                    let n = scan_within_isa(&s, q, d, isa, |i| got.push(i));
+                    assert_eq!(got, want_w, "within {isa:?} {q} d={d}");
+                    assert_eq!(n, base_w, "within tests {isa:?} d={d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_pred_isa_routes_both_predicates() {
+        let rs = mixed_rects(97);
+        let s = soa(&rs);
+        let q = Rect::new(30.0, 30.0, 90.0, 90.0);
+        for isa in ALL_ISAS {
+            let mut a = Vec::new();
+            scan_pred_isa(&s, JoinPredicate::Intersects, &q, isa, |i| a.push(i));
+            let mut b = Vec::new();
+            s.scan_intersects(&q, |i| b.push(i));
+            assert_eq!(a, b);
+            let mut a = Vec::new();
+            scan_pred_isa(&s, JoinPredicate::WithinDistance(5.0), &q, isa, |i| a.push(i));
+            let mut b = Vec::new();
+            s.scan_within(&q, 5.0, |i| b.push(i));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn quantized_scan_is_exact_with_conservative_funnel() {
+        let rs = mixed_rects(230);
+        let s = soa(&rs);
+        let mut qm = QuantizedMbrs::new();
+        qm.fill_from_soa(&s);
+        assert!(qm.usable(), "finite data frames are usable");
+        assert_eq!(qm.len(), s.len());
+        for q in [
+            Rect::new(20.0, 20.0, 80.0, 80.0),
+            Rect::new(-5.0, -5.0, 0.5, 0.5),
+            Rect::new(100.0, 100.0, 100.0, 100.0),
+        ] {
+            for pred in [JoinPredicate::Intersects, JoinPredicate::WithinDistance(3.0)] {
+                let mut want = Vec::new();
+                s.scan_pred(pred, &q, |i| want.push(i));
+                let mut counters = QuantCounters::default();
+                let mut got = Vec::new();
+                let tests = scan_pred_quantized(&qm, &s, pred, &q, &mut counters, |i| got.push(i));
+                assert_eq!(got, want, "{pred:?} {q}");
+                assert_eq!(tests, s.len() as u64);
+                // Conservative: every true hit passed the u16 test.
+                assert_eq!(
+                    counters.quantized_hits - counters.exact_rejects,
+                    want.len() as u64,
+                    "funnel accounting {pred:?} {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_unusable_frame_falls_back_to_f64() {
+        // A rectangle with infinite extent poisons the frame.
+        let rs = vec![
+            Rect::new(0.0, 0.0, 4.0, 4.0),
+            Rect::new(f64::NEG_INFINITY, 0.0, f64::INFINITY, 1.0),
+            Rect::new(8.0, 8.0, 12.0, 12.0),
+        ];
+        let s = soa(&rs);
+        let mut qm = QuantizedMbrs::new();
+        qm.fill_from_soa(&s);
+        assert!(!qm.usable());
+        let q = Rect::new(1.0, 0.5, 9.0, 9.0);
+        let mut want = Vec::new();
+        s.scan_pred(JoinPredicate::Intersects, &q, |i| want.push(i));
+        let mut counters = QuantCounters::default();
+        let mut got = Vec::new();
+        scan_pred_quantized(&qm, &s, JoinPredicate::Intersects, &q, &mut counters, |i| got.push(i));
+        assert_eq!(got, want);
+        assert_eq!(counters, QuantCounters::default(), "fallback skips the funnel");
+    }
+
+    #[test]
+    fn quantized_invalid_entries_never_emit() {
+        let rs = mixed_rects(66);
+        let s = soa(&rs);
+        let mut qm = QuantizedMbrs::new();
+        qm.fill_from_soa(&s);
+        // Full-frame query: everything valid matches, nothing invalid does.
+        let q = Rect::new(-1e6, -1e6, 1e6, 1e6);
+        let mut counters = QuantCounters::default();
+        let mut got = Vec::new();
+        scan_pred_quantized(&qm, &s, JoinPredicate::Intersects, &q, &mut counters, |i| got.push(i));
+        for &i in &got {
+            assert!(rs[i].min_x <= rs[i].max_x && rs[i].min_y <= rs[i].max_y);
+        }
+        let valid = (0..rs.len())
+            .filter(|&i| rs[i].min_x <= rs[i].max_x && rs[i].min_y <= rs[i].max_y)
+            .count();
+        assert_eq!(got.len(), valid);
+    }
+
+    #[test]
+    fn simd_sweep_matches_scalar_sweep_exactly() {
+        let a_rs = mixed_rects(180);
+        let b_rs: Vec<Rect> = mixed_rects(211)
+            .into_iter()
+            .map(|r| Rect {
+                min_x: r.min_x + 1.5,
+                min_y: r.min_y + 0.5,
+                max_x: r.max_x + 1.5,
+                max_y: r.max_y + 0.5,
+            })
+            .collect();
+        let (a, b) = (soa(&a_rs), soa(&b_rs));
+        for pred in [
+            JoinPredicate::Intersects,
+            JoinPredicate::WithinDistance(0.0),
+            JoinPredicate::WithinDistance(4.5),
+        ] {
+            let mut base = SweepScratch::default();
+            let mut want = Vec::new();
+            let want_tests = sweep_pairs(&a, &b, pred, &mut base, |i, j| want.push((i, j)));
+            let mut scratch = SweepScratchSimd::new();
+            let mut got = Vec::new();
+            let got_tests = sweep_pairs_simd(&a, &b, pred, &mut scratch, |i, j| got.push((i, j)));
+            assert_eq!(got, want, "pairs+order {pred:?}");
+            assert_eq!(got_tests, want_tests, "test count {pred:?}");
+        }
+    }
+}

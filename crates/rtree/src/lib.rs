@@ -16,6 +16,11 @@
 //!   the "build subtrees in parallel, merge at the end" primitive the
 //!   paper's parallel index creation uses,
 //! * [`query`] — window, within-distance and k-nearest-neighbour scans,
+//!   plus packet traversal (up to 8 window/kNN probes descending
+//!   together, sharing node loads),
+//! * [`kernel::simd`] — explicit SIMD filter kernels with runtime ISA
+//!   dispatch (AVX2/SSE2/NEON/scalar), a quantized u16 node layout
+//!   with conservative rounding, and a vectorized plane-sweep,
 //! * [`join::JoinCursor`] — a *restartable* synchronized traversal of
 //!   two R-trees producing candidate pairs in batches, built to sit
 //!   inside a pipelined table function's `fetch` loop (the paper's §4.2
@@ -34,8 +39,13 @@ pub mod tree;
 pub mod validate;
 
 pub use join::{JoinCursor, JoinPredicate, KernelMode, KernelStats};
+pub use kernel::simd::{
+    dispatched, scan_pred_quantized, scan_pred_simd, sweep_pairs_simd, QuantCounters,
+    QuantizedMbrs, SimdIsa, SweepScratchSimd, FORCE_SCALAR_ENV,
+};
 pub use kernel::{SoaMbrs, SWEEP_THRESHOLD};
 pub use node::{Entry, Node, NodeId};
+pub use query::PacketStats;
 pub use split::SplitStrategy;
 pub use tree::{RTree, RTreeParams, SubtreeRef};
 

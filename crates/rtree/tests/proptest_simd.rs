@@ -1,0 +1,170 @@
+//! Property-based equivalence of the SIMD filter kernels: for random
+//! rectangle sets seeded with NaN / EMPTY / degenerate entries, every
+//! dispatched ISA (scalar, SSE2, NEON, AVX2 — unavailable ones
+//! downgrade to scalar inside the `*_isa` entry points) must emit the
+//! same indices, in the same order, with the same test counts as the
+//! scalar batch kernels. Run with `SDO_FORCE_SCALAR_KERNEL=1` to pin
+//! the runtime-dispatched paths (`sweep_pairs_simd`, the quantized
+//! fallback) to scalar for CI fallback coverage.
+
+use proptest::prelude::*;
+use sdo_geom::Rect;
+use sdo_rtree::kernel::simd::{
+    scan_contained_isa, scan_intersects_isa, scan_pred_quantized, scan_within_isa, sweep_pairs_simd,
+};
+use sdo_rtree::kernel::{sweep_pairs, SweepScratch};
+use sdo_rtree::{JoinPredicate, QuantCounters, QuantizedMbrs, SimdIsa, SoaMbrs, SweepScratchSimd};
+
+/// Every ISA the dispatcher can name. Entry points downgrade
+/// unavailable ones to scalar, so iterating all four is safe on any
+/// host while exercising each vector path the host supports.
+const ALL_ISAS: [SimdIsa; 4] = [SimdIsa::Scalar, SimdIsa::Sse2, SimdIsa::Neon, SimdIsa::Avx2];
+
+/// A rectangle that is usually well-formed but regularly degenerate
+/// (zero-width point, horizontal line), EMPTY, or NaN-poisoned —
+/// exactly the entries the validity lanes must mask out.
+fn arb_mixed_rect() -> impl Strategy<Value = Rect> {
+    prop_oneof![
+        ((-100.0f64..100.0), (-100.0f64..100.0), (0.0f64..20.0), (0.0f64..20.0))
+            .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h)),
+        ((-100.0f64..100.0), (-100.0f64..100.0), (0.0f64..20.0), (0.0f64..20.0))
+            .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h)),
+        ((-100.0f64..100.0), (-100.0f64..100.0), (0.0f64..20.0), (0.0f64..20.0))
+            .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h)),
+        ((-100.0f64..100.0), (-100.0f64..100.0)).prop_map(|(x, y)| Rect::new(x, y, x, y)),
+        ((-100.0f64..100.0), (-100.0f64..100.0), (0.0f64..20.0)).prop_map(|(x, y, w)| Rect::new(
+            x,
+            y,
+            x + w,
+            y
+        )),
+        Just(Rect::EMPTY),
+        ((-100.0f64..100.0), (-100.0f64..100.0), 0u8..4).prop_map(|(x, y, which)| {
+            let mut c = [x, y, x + 1.0, y + 1.0];
+            c[which as usize] = f64::NAN;
+            Rect::new(c[0], c[1], c[2], c[3])
+        }),
+    ]
+}
+
+fn soa(rects: &[Rect]) -> SoaMbrs {
+    let mut s = SoaMbrs::new();
+    s.fill(rects.iter());
+    s
+}
+
+fn arb_pred() -> impl Strategy<Value = JoinPredicate> {
+    prop_oneof![
+        Just(JoinPredicate::Intersects),
+        (0.0f64..30.0).prop_map(JoinPredicate::WithinDistance),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scan_intersects_equivalent_on_every_isa(
+        rects in proptest::collection::vec(arb_mixed_rect(), 0..120),
+        q in arb_mixed_rect(),
+    ) {
+        let s = soa(&rects);
+        let mut want = Vec::new();
+        let want_tests = s.scan_intersects(&q, |i| want.push(i));
+        for isa in ALL_ISAS {
+            let mut got = Vec::new();
+            let tests = scan_intersects_isa(&s, &q, isa, |i| got.push(i));
+            prop_assert_eq!(&got, &want, "isa={:?}", isa);
+            prop_assert_eq!(tests, want_tests, "isa={:?}", isa);
+        }
+    }
+
+    #[test]
+    fn scan_within_equivalent_on_every_isa(
+        rects in proptest::collection::vec(arb_mixed_rect(), 0..120),
+        q in arb_mixed_rect(),
+        d in prop_oneof![
+            0.0f64..40.0,
+            Just(0.0),
+            Just(f64::NAN),
+            Just(-1.0),
+        ],
+    ) {
+        let s = soa(&rects);
+        let mut want = Vec::new();
+        let want_tests = s.scan_within(&q, d, |i| want.push(i));
+        for isa in ALL_ISAS {
+            let mut got = Vec::new();
+            let tests = scan_within_isa(&s, &q, d, isa, |i| got.push(i));
+            prop_assert_eq!(&got, &want, "isa={:?} d={}", isa, d);
+            prop_assert_eq!(tests, want_tests, "isa={:?} d={}", isa, d);
+        }
+    }
+
+    #[test]
+    fn scan_contained_equivalent_on_every_isa(
+        rects in proptest::collection::vec(arb_mixed_rect(), 0..120),
+        q in arb_mixed_rect(),
+    ) {
+        let s = soa(&rects);
+        let mut want = Vec::new();
+        let want_tests = s.scan_contained_in(&q, |i| want.push(i));
+        for isa in ALL_ISAS {
+            let mut got = Vec::new();
+            let tests = scan_contained_isa(&s, &q, isa, |i| got.push(i));
+            prop_assert_eq!(&got, &want, "isa={:?}", isa);
+            prop_assert_eq!(tests, want_tests, "isa={:?}", isa);
+        }
+    }
+
+    /// The vectorized sweep must preserve the scalar sweep's emission
+    /// order and exact test count — the join's stats assertions and
+    /// restartability depend on both.
+    #[test]
+    fn sweep_pairs_simd_equivalent_to_scalar_sweep(
+        a in proptest::collection::vec(arb_mixed_rect(), 0..80),
+        b in proptest::collection::vec(arb_mixed_rect(), 0..80),
+        pred in arb_pred(),
+    ) {
+        let (sa, sb) = (soa(&a), soa(&b));
+        let mut want = Vec::new();
+        let want_tests =
+            sweep_pairs(&sa, &sb, pred, &mut SweepScratch::new(), |i, j| want.push((i, j)));
+        let mut got = Vec::new();
+        let tests =
+            sweep_pairs_simd(&sa, &sb, pred, &mut SweepScratchSimd::new(), |i, j| got.push((i, j)));
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(tests, want_tests);
+    }
+
+    /// Conservative quantization: the u16 prefilter plus exact f64
+    /// recheck must emit exactly the scalar scan's indices (order
+    /// included), and the hit/reject funnel must reconcile with the
+    /// emitted count when the frame was usable.
+    #[test]
+    fn quantized_scan_equivalent_to_scalar_scan(
+        rects in proptest::collection::vec(arb_mixed_rect(), 0..120),
+        q in arb_mixed_rect(),
+        pred in arb_pred(),
+    ) {
+        let s = soa(&rects);
+        let mut qm = QuantizedMbrs::new();
+        qm.fill_from_soa(&s);
+        let mut want = Vec::new();
+        s.scan_pred(pred, &q, |i| want.push(i));
+        let mut got = Vec::new();
+        let mut qc = QuantCounters::default();
+        scan_pred_quantized(&qm, &s, pred, &q, &mut qc, |i| got.push(i));
+        prop_assert_eq!(&got, &want);
+        if qm.usable() {
+            prop_assert_eq!(
+                qc.quantized_hits - qc.exact_rejects,
+                got.len() as u64,
+                "hit/reject funnel must reconcile with emissions"
+            );
+        } else {
+            prop_assert_eq!(qc.quantized_hits, 0);
+            prop_assert_eq!(qc.exact_rejects, 0);
+        }
+    }
+}

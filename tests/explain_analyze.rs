@@ -167,6 +167,77 @@ fn partition_primary_only_join_touches_no_geometry_cache() {
 }
 
 #[test]
+fn simd_kernel_metrics_surface_in_explain_analyze() {
+    let db = session_with_tables();
+
+    // sweep_threshold=max keeps every node pair under the sweep cutoff,
+    // forcing the quantized scan path so its funnel counters move.
+    db.execute(
+        "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN( \
+         'city_table', 'geom', 'river_table', 'geom', 'intersect', \
+         2, -1, 'kernel=simd,sweep_threshold=max'))",
+    )
+    .unwrap();
+    let profile = db.last_profile().unwrap();
+    let op = profile.root.find("PIPELINED COUNT").unwrap();
+    let slaves: Vec<_> = op.children.iter().filter(|c| c.name.starts_with("slave")).collect();
+    assert_eq!(slaves.len(), 2, "dop=2 must report two slave operators");
+    let isa = sdo_rtree::dispatched().name();
+    let mut quantized_hits = 0;
+    for s in &slaves {
+        assert!(
+            s.attrs.iter().any(|(k, v)| k == "kernel_isa" && v == isa),
+            "each slave records the dispatched ISA ({isa}): {:?}",
+            s.attrs
+        );
+        // set_metric: the counters must render even when zero.
+        quantized_hits += s.metric("quantized_hits").expect("quantized_hits renders");
+        s.metric("exact_rejects").expect("exact_rejects renders");
+        s.metric("packet_descents").expect("packet_descents renders");
+    }
+    assert!(quantized_hits > 0, "forced quantized scans must record hits");
+
+    // A scalar-kernel join must NOT carry the SIMD metrics — they are
+    // meaningful only when the simd kernel was requested.
+    db.execute(
+        "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN( \
+         'city_table', 'geom', 'river_table', 'geom', 'intersect', \
+         2, -1, 'kernel=scalar'))",
+    )
+    .unwrap();
+    let profile = db.last_profile().unwrap();
+    let op = profile.root.find("PIPELINED COUNT").unwrap();
+    for s in op.children.iter().filter(|c| c.name.starts_with("slave")) {
+        assert!(
+            !s.attrs.iter().any(|(k, _)| k == "kernel_isa"),
+            "scalar kernel must not report an ISA"
+        );
+        assert_eq!(s.metric("quantized_hits"), None);
+    }
+
+    // The partition method records the same ISA and funnel metrics.
+    db.execute(
+        "SELECT COUNT(*) FROM TABLE(SPATIAL_JOIN( \
+         'city_table', 'geom', 'river_table', 'geom', 'intersect', \
+         2, -1, 'kernel=simd,sweep_threshold=max,method=partition'))",
+    )
+    .unwrap();
+    let profile = db.last_profile().unwrap();
+    let op = profile.root.find("PIPELINED COUNT").unwrap();
+    let mut part_hits = 0;
+    for s in op.children.iter().filter(|c| c.name.starts_with("slave")) {
+        assert!(
+            s.attrs.iter().any(|(k, v)| k == "kernel_isa" && v == isa),
+            "partition slaves record the dispatched ISA: {:?}",
+            s.attrs
+        );
+        part_hits += s.metric("quantized_hits").expect("quantized_hits renders");
+        s.metric("exact_rejects").expect("exact_rejects renders");
+    }
+    assert!(part_hits > 0, "partition tiles under the sweep cutoff take the quantized path");
+}
+
+#[test]
 fn method_chosen_covers_rtree_and_auto_with_reason() {
     let db = session_with_tables();
     db.execute(

@@ -159,9 +159,19 @@ fn kernel_and_prepare_options_preserve_join_results() {
             &format!("SELECT rid1, rid2 FROM TABLE(SPATIAL_JOIN('k','geom','k','geom','{pred}'))"),
         );
         assert!(!base.is_empty(), "{pred} join must produce pairs");
-        for opts in
-            ["kernel=scalar", "prepare=off", "kernel=scalar,prepare=off", "kernel=batch,prepare=on"]
-        {
+        for opts in [
+            "kernel=scalar",
+            "prepare=off",
+            "kernel=scalar,prepare=off",
+            "kernel=batch,prepare=on",
+            "kernel=simd",
+            "kernel=simd,prepare=on",
+            // sweep_threshold=max forces the quantized scan path;
+            // sweep_threshold=0 forces the vectorized plane sweep.
+            "kernel=simd,sweep_threshold=max",
+            "kernel=simd,sweep_threshold=0",
+            "kernel=simd,method=partition",
+        ] {
             let got = pair_set(
                 &db,
                 &format!(
@@ -171,5 +181,27 @@ fn kernel_and_prepare_options_preserve_join_results() {
             );
             assert_eq!(got, base, "pred={pred} opts={opts}");
         }
+    }
+}
+
+#[test]
+fn unknown_kernel_value_is_rejected_at_parse_time() {
+    // Option validation must fail the query before any join work
+    // starts, and the error must name the offending option and the
+    // accepted values.
+    let a = counties::generate(4, &US_EXTENT, 301);
+    let db = session_with("k", &a);
+    db.execute("CREATE INDEX k_x ON k(geom) INDEXTYPE IS SPATIAL_INDEX").unwrap();
+    for bad in ["avx512", "vector", "batch2", ""] {
+        let err = db
+            .execute(&format!(
+                "SELECT rid1, rid2 FROM TABLE( \
+                 SPATIAL_JOIN('k','geom','k','geom','intersect', 1, -1, 'kernel={bad}'))"
+            ))
+            .expect_err("bad kernel value must be rejected");
+        let msg = err.to_string();
+        assert!(msg.contains("kernel"), "error must name the option: {msg}");
+        assert!(msg.contains("scalar|batch|simd"), "error must list accepted values: {msg}");
+        assert!(msg.contains(bad), "error must echo the rejected value: {msg}");
     }
 }
