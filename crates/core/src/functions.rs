@@ -308,12 +308,24 @@ fn spatial_join_factory(db: &Database, args: Vec<TfArg>) -> Result<TfInstance, D
     })
 }
 
-/// `method=auto`: pick the engine from index availability and table
-/// stats. Both sides indexed → the synchronized traversal starts from
-/// already-built trees (no partition build to pay), unless the query
-/// is wide and large enough that per-tile sweeps amortize the build.
-/// Any unindexed side → partition (the tree join cannot run at all
-/// without creating an index first).
+/// `method=auto`: rank the engines numerically. Any unindexed side
+/// forces partition (the tree join cannot run without built trees).
+/// Otherwise both candidates are costed from persisted ANALYZE
+/// statistics when available:
+///
+/// * tree join — synchronized descent touches every node once and the
+///   candidate pairs dominate the leaves; parallel speedup is sublinear
+///   (root contention, work-stealing): `(2·total + 1.2·pairs) / √dop`,
+/// * partition join — pays a serial grid build over all rows, then
+///   per-tile sweeps scale near-linearly with dop:
+///   `1.6·total + (total + 1.2·pairs) / dop`.
+///
+/// The estimated pair count comes from overlaying the two tables'
+/// spatial histograms ([`sdo_storage::TableStats`]); without ANALYZE
+/// the estimate degrades to one match per row of the larger input,
+/// and stale statistics (heavy DML since ANALYZE) are flagged in the
+/// reason string but still used. The reason records every number so
+/// `EXPLAIN ANALYZE` shows why the flip happened.
 fn choose_method(
     db: &Database,
     lt: &str,
@@ -323,23 +335,68 @@ fn choose_method(
     dop: usize,
 ) -> Result<(JoinMethod, String), DbError> {
     let indexed = try_rtree_side(db, lt, lc).is_some() && try_rtree_side(db, rt, rc).is_some();
-    let total = db.table(lt)?.read().len() + db.table(rt)?.read().len();
+    let lrows = db.table(lt)?.read().len() as u64;
+    let rrows = db.table(rt)?.read().len() as u64;
+    let total = lrows + rrows;
     if !indexed {
         return Ok((
             JoinMethod::Partition,
             format!("unindexed input ({total} rows): grid partition needs no index build"),
         ));
     }
-    if dop >= 4 && total >= 100_000 {
-        return Ok((
-            JoinMethod::Partition,
-            format!("dop={dop}, {total} rows: per-tile sweeps amortize the partition build"),
-        ));
+
+    // Estimated join pairs from persisted spatial histograms.
+    let side = |table: &str, column: &str| -> Result<_, DbError> {
+        let t = db.table(table)?;
+        let col = t.read().schema().column_index(column);
+        let mods = t.read().mod_count();
+        let stats = db.catalog().table_stats(table);
+        Ok((col, mods, stats))
+    };
+    let (lcol_ix, lmods, lstats) = side(lt, lc)?;
+    let (rcol_ix, rmods, rstats) = side(rt, rc)?;
+    let mut stale = false;
+    let hist = |col: Option<usize>,
+                stats: &Option<std::sync::Arc<sdo_storage::TableStats>>,
+                mods: u64,
+                stale: &mut bool| {
+        let s = stats.as_ref()?;
+        if s.is_stale(mods) {
+            *stale = true;
+        }
+        s.spatial_histogram(col?).cloned()
+    };
+    let lhist = hist(lcol_ix, &lstats, lmods, &mut stale);
+    let rhist = hist(rcol_ix, &rstats, rmods, &mut stale);
+    let (pairs, pairs_src) = match (&lhist, &rhist) {
+        (Some(lh), Some(rh)) => (lh.estimate_join_pairs(lrows, rh, rrows), "histogram overlay"),
+        _ => (lrows.max(rrows) as f64, "default 1 match/row (no stats; run ANALYZE)"),
+    };
+
+    // Tile count the partition join would size itself to (mirrors
+    // GridSpec::from_samples: ~32 rows/tile, ≥4 tiles/worker).
+    let dop = dop.max(1);
+    let want_tiles = (total as usize / 32).max(4 * dop).max(1);
+    let axis = (want_tiles as f64).sqrt().ceil().clamp(1.0, 256.0) as u64;
+    let tiles = axis * axis;
+
+    let totf = total as f64;
+    let dopf = dop as f64;
+    let tree_cost = (2.0 * totf + 1.2 * pairs) / dopf.sqrt();
+    let part_cost = 1.6 * totf + (totf + 1.2 * pairs) / dopf;
+    let method = if part_cost < tree_cost { JoinMethod::Partition } else { JoinMethod::Rtree };
+    let picked = match method {
+        JoinMethod::Partition => format!("partition ({part_cost:.0} < tree {tree_cost:.0})"),
+        _ => format!("rtree ({tree_cost:.0} <= partition {part_cost:.0})"),
+    };
+    let mut why = format!(
+        "est {pairs:.0} pairs ({pairs_src}); {lrows}+{rrows} rows, dop={dop}, \
+         ~{tiles} tiles; picked {picked}"
+    );
+    if stale {
+        why.push_str("; STALE stats — estimates degraded, re-run ANALYZE");
     }
-    Ok((
-        JoinMethod::Rtree,
-        format!("both sides indexed ({total} rows): traversal reuses the built trees"),
-    ))
+    Ok((method, why))
 }
 
 /// Build the partitioned join: resolve base tables and geometry

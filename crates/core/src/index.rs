@@ -222,6 +222,47 @@ impl RTreeSpatialIndex {
     fn geom_bbox(&self, row: &[Value]) -> Option<Rect> {
         row.get(self.column).and_then(|v| v.as_geometry()).map(|g| g.bbox())
     }
+
+    /// Filter-refine k-NN: pull MBR candidates in mindist order; stop
+    /// once the next lower bound exceeds the current k-th exact
+    /// distance. Returns `(exact distance, rowid)` ascending, ties by
+    /// rowid — the same order a stable full sort over a rowid-ordered
+    /// scan produces, so pushdown is result-identical to ORDER BY.
+    fn knn(&self, q: &Geometry, k: usize, snap: &Snapshot) -> Vec<(f64, RowId)> {
+        let tree = self.tree.read();
+        let table = self.table.read();
+        let qbb = q.bbox();
+        // Current top-k by exact distance (k is small: linear
+        // maintenance beats heap overhead).
+        let mut best: Vec<(f64, RowId)> = Vec::with_capacity(k);
+        let worst =
+            |best: &Vec<(f64, RowId)>| best.last().map(|(d, _)| *d).unwrap_or(f64::INFINITY);
+        for (lower, _, rid) in tree.nearest_iter(qbb) {
+            if best.len() == k && lower > worst(&best) {
+                break; // no remaining candidate can improve top-k
+            }
+            if best.iter().any(|&(_, r)| r == rid) {
+                continue; // duplicate entry from an in-flight update
+            }
+            let Ok(row) = table.get_at(rid, snap) else { continue };
+            let Some(g) = row[self.column].as_geometry() else { continue };
+            Counters::bump(&self.counters.exact_tests);
+            let d = sdo_geom::distance(g, q);
+            // Admit on the full (distance, rowid) order: a candidate
+            // tying the k-th distance with a smaller rowid must evict
+            // it, or pushdown diverges from the stable sort on ties.
+            let admit = best.len() < k || {
+                let &(wd, wrid) = best.last().expect("len == k > 0");
+                (d, rid) < (wd, wrid)
+            };
+            if admit {
+                let pos = best.partition_point(|&(bd, brid)| (bd, brid) < (d, rid));
+                best.insert(pos, (d, rid));
+                best.truncate(k);
+            }
+        }
+        best
+    }
 }
 
 impl DomainIndex for RTreeSpatialIndex {
@@ -303,39 +344,17 @@ impl DomainIndex for RTreeSpatialIndex {
                     sdo_geom::within_distance(g, &q, d)
                 })
             }
-            DecodedOp::Nn(q, k) => {
-                // Filter-refine k-NN: pull MBR candidates in mindist
-                // order; stop once the next lower bound exceeds the
-                // current k-th exact distance.
-                let tree = self.tree.read();
-                let table = self.table.read();
-                let qbb = q.bbox();
-                // Current top-k by exact distance (k is small: linear
-                // maintenance beats heap overhead).
-                let mut best: Vec<(f64, RowId)> = Vec::with_capacity(k);
-                let worst = |best: &Vec<(f64, RowId)>| {
-                    best.last().map(|(d, _)| *d).unwrap_or(f64::INFINITY)
-                };
-                for (lower, _, rid) in tree.nearest_iter(qbb) {
-                    if best.len() == k && lower > worst(&best) {
-                        break; // no remaining candidate can improve top-k
-                    }
-                    if best.iter().any(|&(_, r)| r == rid) {
-                        continue; // duplicate entry from an in-flight update
-                    }
-                    let Ok(row) = table.get_at(rid, &snap) else { continue };
-                    let Some(g) = row[self.column].as_geometry() else { continue };
-                    Counters::bump(&self.counters.exact_tests);
-                    let d = sdo_geom::distance(g, &q);
-                    if best.len() < k || d < worst(&best) {
-                        let pos = best.partition_point(|&(bd, brid)| (bd, brid) < (d, rid));
-                        best.insert(pos, (d, rid));
-                        best.truncate(k);
-                    }
-                }
-                Ok(best.into_iter().map(|(_, r)| r).collect())
-            }
+            DecodedOp::Nn(q, k) => Ok(self.knn(&q, k, &snap).into_iter().map(|(_, r)| r).collect()),
         }
+    }
+
+    fn nearest(
+        &self,
+        query: &Geometry,
+        k: usize,
+        snap: &Snapshot,
+    ) -> Result<Option<Vec<(f64, RowId)>>, DbError> {
+        Ok(Some(self.knn(query, k, snap)))
     }
 
     fn describe(&self) -> String {

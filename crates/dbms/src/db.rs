@@ -7,8 +7,8 @@ use crate::session::{Session, SessionState};
 use parking_lot::{Mutex, RwLock};
 use sdo_storage::snapshot::IndexDirective;
 use sdo_storage::{
-    Catalog, Counters, IndexMetadata, RowId, Schema, Snapshot, StorageError, Table, Value, Wal,
-    WalRecord,
+    Catalog, Counters, IndexMetadata, RowId, Schema, Snapshot, StorageError, Table, TableStats,
+    Value, Wal, WalRecord, ANALYZE_SAMPLE,
 };
 use sdo_tablefunc::{Row, TableFunction};
 use sdo_txn::recovery::RecoveryReport;
@@ -615,6 +615,33 @@ impl Database {
             sess.options.read().durability,
         )?;
         Ok(())
+    }
+
+    /// `ANALYZE <table>`: sample the table, build per-column and
+    /// spatial statistics, install them for the planner, and log them
+    /// through the WAL (autocommitted, like other DDL).
+    pub fn analyze_table(&self, name: &str) -> Result<Arc<TableStats>, DbError> {
+        self.analyze_table_in(&self.default_session, name)
+    }
+
+    pub(crate) fn analyze_table_in(
+        &self,
+        sess: &SessionState,
+        name: &str,
+    ) -> Result<Arc<TableStats>, DbError> {
+        Self::reject_in_txn(sess, "ANALYZE")?;
+        let handle = self.catalog.table(name)?;
+        let stats = {
+            let t = handle.read();
+            TableStats::analyze(&t, ANALYZE_SAMPLE)
+        };
+        let stats = Arc::new(stats);
+        self.catalog.set_table_stats((*stats).clone());
+        self.log_ddl(
+            &WalRecord::Analyze { table: stats.table.clone(), stats: (*stats).clone() },
+            sess.options.read().durability,
+        )?;
+        Ok(stats)
     }
 
     /// Insert a row, maintaining every domain index on the table —

@@ -107,6 +107,7 @@ fn statement_label(stmt: &Statement) -> String {
         Statement::Prepare { name, .. } => format!("PREPARE {name}"),
         Statement::ExecutePrepared { name, .. } => format!("EXECUTE {name}"),
         Statement::Deallocate { name } => format!("DEALLOCATE {name}"),
+        Statement::Analyze { table } => format!("ANALYZE {table}"),
     }
 }
 
@@ -263,102 +264,34 @@ fn execute_inner(
             sess.remove_prepared(name)?;
             Ok(QueryResult::empty())
         }
+        Statement::Analyze { table } => {
+            let stats = db.analyze_table_in(sess, table)?;
+            let histograms = stats.spatial.iter().flatten().count();
+            Ok(QueryResult {
+                columns: vec![
+                    "TABLE".into(),
+                    "ROWS".into(),
+                    "COLUMNS".into(),
+                    "SPATIAL_HISTOGRAMS".into(),
+                ],
+                rows: vec![vec![
+                    Value::text(stats.table.clone()),
+                    Value::Integer(stats.rows as i64),
+                    Value::Integer(stats.columns.len() as i64),
+                    Value::Integer(histograms as i64),
+                ]],
+            })
+        }
     }
 }
 
-/// Describe the strategy `run_select` would choose, without executing
-/// it — a miniature `EXPLAIN PLAN`.
+/// Describe the costed plan `run_select` would execute, without
+/// executing it: the planner's operator tree with estimated rows, cost,
+/// and the reason each path was chosen. `CURSOR(...)` arguments are
+/// never evaluated.
 fn explain_select(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
-    let mut lines: Vec<String> = Vec::new();
-    // Fast path?
-    if sel.projection == [SelectItem::CountStar]
-        && sel.where_clause.is_empty()
-        && sel.order_by.is_empty()
-        && sel.limit.is_none()
-        && sel.from.len() == 1
-    {
-        if let FromItem::TableFunction { name, .. } = &sel.from[0] {
-            lines.push(format!(
-                "PIPELINED COUNT over TABLE({name}) [streaming, no materialization]"
-            ));
-            return Ok(explain_result(lines));
-        }
-    }
-    for f in &sel.from {
-        match f {
-            FromItem::Table { name, .. } => {
-                lines.push(format!("TABLE SCAN {} [binding {}]", name, f.binding()))
-            }
-            FromItem::TableFunction { name, args, .. } => {
-                let cursors = args.iter().filter(|a| matches!(a, TfArgAst::Cursor(_))).count();
-                lines.push(format!(
-                    "TABLE FUNCTION SCAN {name} [{} args, {cursors} cursor(s)]",
-                    args.len()
-                ));
-            }
-        }
-    }
-    let op_names = db.operator_names();
-    let mut saw_join_strategy = false;
-    for p in &sel.where_clause {
-        match p {
-            Predicate::RowidPairIn { subquery, .. } => {
-                saw_join_strategy = true;
-                lines.push("ROWID-PAIR SEMIJOIN (table-function join)".to_string());
-                if let Some(FromItem::TableFunction { name, .. }) = subquery.from.first() {
-                    lines.push(format!("  <- pairs from TABLE({name})"));
-                }
-            }
-            Predicate::Compare { left: Expr::FnCall { name, args }, op: CmpOp::Eq, right }
-                if op_names.iter().any(|o| o.eq_ignore_ascii_case(name))
-                    && matches!(right, Expr::Literal(v) if v.as_text() == Some("TRUE")) =>
-            {
-                let cols: Vec<&ColumnRef> = args
-                    .iter()
-                    .filter_map(|a| match a {
-                        Expr::Column(c) => Some(c),
-                        _ => None,
-                    })
-                    .collect();
-                if cols.len() >= 2 && !saw_join_strategy {
-                    saw_join_strategy = true;
-                    // which side has an index?
-                    let inner = cols[1];
-                    let indexed = index_for(db, sel, inner);
-                    lines.push(format!(
-                        "NESTED LOOP JOIN via {name} [inner {}]",
-                        indexed
-                            .map(|i| format!("index scan {i}"))
-                            .unwrap_or_else(|| "full scan (no index)".to_string())
-                    ));
-                } else if cols.len() == 1 {
-                    let indexed = index_for(db, sel, cols[0]);
-                    lines.push(format!(
-                        "{name} window predicate [{}]",
-                        indexed
-                            .map(|i| format!("domain index {i}"))
-                            .unwrap_or_else(|| "functional evaluation".to_string())
-                    ));
-                } else {
-                    lines.push(format!("{name} residual predicate [functional]"));
-                }
-            }
-            Predicate::Compare { .. } => lines.push("FILTER [residual comparison]".to_string()),
-        }
-    }
-    if !saw_join_strategy && sel.from.len() > 1 {
-        lines.push("CARTESIAN PRODUCT (guarded)".to_string());
-    }
-    if !sel.order_by.is_empty() {
-        lines.push(format!("SORT [{} key(s)]", sel.order_by.len()));
-    }
-    if let Some(n) = sel.limit {
-        lines.push(format!("LIMIT {n}"));
-    }
-    if sel.projection == [SelectItem::CountStar] {
-        lines.push("AGGREGATE COUNT(*)".to_string());
-    }
-    Ok(explain_result(lines))
+    let plan = crate::planner::plan_select(db, sel)?;
+    Ok(explain_result(plan.root.render_lines()))
 }
 
 fn explain_result(lines: Vec<String>) -> QueryResult {
@@ -366,22 +299,6 @@ fn explain_result(lines: Vec<String>) -> QueryResult {
         columns: vec!["PLAN".into()],
         rows: lines.into_iter().map(|l| vec![Value::text(l)]).collect(),
     }
-}
-
-/// Resolve which domain index (if any) serves a column reference in the
-/// FROM list.
-fn index_for(db: &Database, sel: &Select, cr: &ColumnRef) -> Option<String> {
-    for f in &sel.from {
-        let FromItem::Table { name, .. } = f else { continue };
-        let matches_binding =
-            cr.qualifier.as_deref().map(|q| q.eq_ignore_ascii_case(f.binding())).unwrap_or(true);
-        if matches_binding {
-            if let Some((meta, _)) = db.index_on(name, &cr.column) {
-                return Some(format!("{} ({})", meta.index_name, meta.kind));
-            }
-        }
-    }
-    None
 }
 
 // ---------------------------------------------------------------------------
@@ -661,7 +578,14 @@ fn run_select_materialized(ctx: &ExecCtx<'_>, sel: &Select) -> Result<QueryResul
         // Any spatial predicates left over apply as filters.
         joined = apply_spatial_filters(db, &relations, joined, &spatial, ctx.snap)?;
     } else if let Some(join_pred) = spatial.iter().position(|s| s.is_join()) {
-        let jp = spatial.remove(join_pred);
+        let mut jp = spatial.remove(join_pred);
+        // Same orientation as the streaming executor: the planner's
+        // costed choice of which side drives the loop.
+        if let Ok(plan) = crate::planner::plan_select(db, sel) {
+            if plan.join.as_ref().map(|j| j.swap).unwrap_or(false) {
+                jp = crate::planner::transpose_pred(jp)?;
+            }
+        }
         let node = profile.as_ref().map(|p| p.child(format!("NESTED LOOP JOIN ({})", jp.name)));
         let t0 = node.as_ref().map(|_| Instant::now());
         let before = node.as_ref().map(|_| db.counters().snapshot());

@@ -56,6 +56,22 @@ pub trait DomainIndex: Send + Sync {
         self.name().to_string()
     }
 
+    /// Incremental nearest-neighbor support: return up to `k` rowids
+    /// ordered by ascending exact distance to `query` (ties broken by
+    /// rowid), visiting as little of the index as possible. `Ok(None)`
+    /// means the index has no kNN capability and the caller must fall
+    /// back to a full sort — the default for index types without a
+    /// distance-ordered traversal.
+    fn nearest(
+        &self,
+        query: &sdo_geom::Geometry,
+        k: usize,
+        snap: &sdo_storage::Snapshot,
+    ) -> Result<Option<Vec<(f64, RowId)>>, DbError> {
+        let (_, _, _) = (query, k, snap);
+        Ok(None)
+    }
+
     /// Downcast support so privileged callers (the spatial join table
     /// function) can reach the concrete index structure.
     fn as_any(&self) -> &dyn std::any::Any;

@@ -30,6 +30,7 @@ pub mod error;
 pub mod exec;
 pub mod extensible;
 mod operators;
+mod planner;
 pub mod session;
 pub mod sql;
 

@@ -338,6 +338,136 @@ enum Prefilter {
     RowidSet { rel: usize, keep: HashSet<RowId> },
 }
 
+/// Incremental nearest-neighbor scan: the planner's rewrite of
+/// `ORDER BY SDO_DISTANCE(col, const) LIMIT k` over an R-tree-indexed
+/// table. Asks the domain index for the k nearest rowids in
+/// `(distance, rowid)` order — exactly the order a stable full sort
+/// over a rowid-ordered scan produces — and fetches just those rows,
+/// so only k rows are ever resident instead of the whole table.
+pub(crate) struct KnnScanExec<'a> {
+    db: &'a Database,
+    table: Arc<RwLock<Table>>,
+    index: IndexHandle,
+    query: Arc<sdo_geom::Geometry>,
+    k: usize,
+    col: usize,
+    slot: usize,
+    width: usize,
+    results: Option<VecDeque<(f64, RowId)>>,
+    node: Option<ProfileNode>,
+    resident: Resident,
+    snap: Snapshot,
+}
+
+impl<'a> KnnScanExec<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        ctx: &ExecCtx<'a>,
+        table: Arc<RwLock<Table>>,
+        index: IndexHandle,
+        query: Arc<sdo_geom::Geometry>,
+        k: usize,
+        col: usize,
+        slot: usize,
+        width: usize,
+        node: Option<ProfileNode>,
+    ) -> Self {
+        let resident = ctx.resident("KNN SCAN");
+        KnnScanExec {
+            db: ctx.db,
+            table,
+            index,
+            query,
+            k,
+            col,
+            slot,
+            width,
+            results: None,
+            node,
+            resident,
+            snap: ctx.snap,
+        }
+    }
+
+    fn ensure_ranked(&mut self) -> Result<(), DbError> {
+        if self.results.is_some() {
+            return Ok(());
+        }
+        let ranked = match self.index.read().nearest(&self.query, self.k, &self.snap)? {
+            Some(v) => {
+                if let Some(n) = &self.node {
+                    n.set_attr("knn_path", "index best-first");
+                }
+                v
+            }
+            None => {
+                // The index declared no kNN capability after all (the
+                // planner checks the index kind, but custom indextypes
+                // may not implement `nearest`): rank functionally, same
+                // (distance, rowid) order.
+                if let Some(n) = &self.node {
+                    n.set_attr("knn_path", "functional ranking fallback");
+                }
+                let mut ranked: Vec<(f64, RowId)> = Vec::new();
+                let mut cursor = TableCursor::full(Arc::clone(&self.table)).at_snapshot(self.snap);
+                loop {
+                    let rows = cursor.next_batch(BATCH_ROWS);
+                    if rows.is_empty() {
+                        break;
+                    }
+                    for row in rows {
+                        let Some(rid) = row[0].as_rowid() else { continue };
+                        if let Some(g) = row.get(self.col + 1).and_then(|v| v.as_geometry()) {
+                            ranked.push((sdo_geom::distance(g, &self.query), rid));
+                        }
+                    }
+                }
+                ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                ranked.truncate(self.k);
+                ranked
+            }
+        };
+        self.resident.add(ranked.len() as u64)?;
+        self.results = Some(ranked.into_iter().collect());
+        Ok(())
+    }
+}
+
+impl BatchOp for KnnScanExec<'_> {
+    fn next_batch(&mut self) -> Result<JoinedBatch, DbError> {
+        let t0 = self.node.as_ref().map(|_| Instant::now());
+        let before = self.node.as_ref().map(|_| self.db.counters().snapshot());
+        self.ensure_ranked()?;
+        let buf = self.results.as_mut().expect("ranked");
+        let mut out = Vec::new();
+        while out.len() < BATCH_ROWS {
+            let Some((_, rid)) = buf.pop_front() else { break };
+            // `nearest` already ranked under this snapshot; the fetch
+            // re-check only guards a concurrent vacuum.
+            let vals = match self.table.read().get_at(rid, &self.snap) {
+                Ok(v) => v,
+                Err(_) => continue,
+            };
+            let mut jr = empty_joined(self.width);
+            jr[self.slot] = RelRow { rid: Some(rid), values: vals.to_vec() };
+            out.push(jr);
+        }
+        self.resident.set(buf.len() as u64)?;
+        if !out.is_empty() {
+            note_batch(&self.node, out.len(), t0);
+        }
+        if let (Some(n), Some(b)) = (&self.node, &before) {
+            n.add_metric_deltas(&self.db.counters().diff(b).pairs());
+        }
+        Ok(out)
+    }
+
+    fn close(&mut self) {
+        self.results = None;
+        let _ = self.resident.set(0);
+    }
+}
+
 /// Per-batch predicate evaluation. Index-assisted paths (window-query
 /// prefilter, SDO_NN top-k ranking) run once at open as a
 /// `FilterExec`-level rewrite into rowid keep-sets; everything else
@@ -349,6 +479,9 @@ pub(crate) struct FilterExec<'a> {
     spatial: Vec<SpatialPred>,
     residual: Vec<Predicate>,
     prefilters: Option<Vec<Prefilter>>,
+    /// Planner verdicts, parallel to `spatial`: `false` disables the
+    /// domain-index prefilter for that predicate (the costed scan won).
+    index_hints: Option<Vec<bool>>,
     node: Option<ProfileNode>,
     snap: Snapshot,
 }
@@ -360,6 +493,7 @@ impl<'a> FilterExec<'a> {
         metas: Arc<Vec<RelMeta>>,
         spatial: Vec<SpatialPred>,
         residual: Vec<Predicate>,
+        index_hints: Option<Vec<bool>>,
         node: Option<ProfileNode>,
     ) -> Self {
         FilterExec {
@@ -369,6 +503,7 @@ impl<'a> FilterExec<'a> {
             spatial,
             residual,
             prefilters: None,
+            index_hints,
             node,
             snap: ctx.snap,
         }
@@ -376,14 +511,23 @@ impl<'a> FilterExec<'a> {
 
     fn build_prefilters(&mut self) -> Result<(), DbError> {
         let mut out = Vec::with_capacity(self.spatial.len());
-        for p in &self.spatial {
+        for (pi, p) in self.spatial.iter().enumerate() {
             let SpatialOperand::Const(qg) = &p.other else {
                 out.push(Prefilter::Functional);
                 continue;
             };
             let (ri, ci) = p.target;
             let m = &self.metas[ri];
-            let index = m.table_name.as_deref().and_then(|t| self.db.index_on(t, &m.columns[ci]));
+            let allow_index =
+                self.index_hints.as_ref().and_then(|h| h.get(pi)).copied().unwrap_or(true);
+            let index = m
+                .table_name
+                .as_deref()
+                .and_then(|t| self.db.index_on(t, &m.columns[ci]))
+                // SDO_NN must keep its index path regardless of the
+                // window-cost hint: the functional fallback below is a
+                // full ranking, never cheaper than the index.
+                .filter(|_| allow_index || p.name.eq_ignore_ascii_case("SDO_NN"));
             if let Some((_, inst)) = index {
                 let mut args = vec![Value::Geometry(Arc::clone(qg))];
                 args.extend(p.extra.iter().cloned());
@@ -1253,22 +1397,65 @@ pub(crate) fn build_select_stream<'a>(
     let columns = projection_columns(&metas, &sel.projection)?;
     let count_star = sel.projection == [SelectItem::CountStar];
 
+    // Consult the cost-based planner. Planning is advisory: a failure
+    // (or a decision the runtime cannot honor) falls back to the
+    // default strategy, never fails the query.
+    let plan = crate::planner::plan_select(db, sel).ok();
+
+    // kNN pushdown applies only to the bare single-table top-k shape
+    // the planner detected (no other predicates to interleave).
+    let knn = plan.as_ref().and_then(|p| p.knn.as_ref()).filter(|_| {
+        width == 1 && rowid_pairs.is_empty() && spatial.is_empty() && residual.is_empty()
+    });
+
     // Profile nodes, created top-down so the rendered tree mirrors the
     // operator tree: LIMIT → SORT → FILTER → join strategy → scans.
     let limit_node = sel.limit.and_then(|n| parent.map(|p| p.child(format!("LIMIT {n}"))));
     let mut anchor: Option<ProfileNode> = limit_node.clone().or_else(|| parent.cloned());
-    let sort_node = (!sel.order_by.is_empty())
+    let sort_node = (!sel.order_by.is_empty() && knn.is_none())
         .then(|| anchor.as_ref().map(|p| p.child(format!("SORT [{} key(s)]", sel.order_by.len()))))
         .flatten();
     if sort_node.is_some() {
         anchor = sort_node.clone();
     }
-    let has_filter_stage;
 
     // Join strategy.
     let mut root: Box<dyn BatchOp + 'a>;
-    if let Some(Predicate::RowidPairIn { left, right, subquery }) = rowid_pairs.first() {
-        has_filter_stage = !spatial.is_empty() || !residual.is_empty();
+    if let Some(kc) = knn {
+        // ORDER BY SDO_DISTANCE(col, const) LIMIT k → incremental
+        // best-first search in the domain index; replaces scan + sort.
+        let m = &metas[0];
+        let binding = m.binding.clone();
+        let node = anchor.as_ref().map(|p| p.child(format!("KNN SCAN {} (k={})", binding, kc.k)));
+        if let Some(n) = &node {
+            n.set_attr("plan_reason", kc.reason.clone());
+            n.set_attr("est_cost", format!("{:.0}", kc.est_cost));
+        }
+        let table = m
+            .table
+            .clone()
+            .ok_or_else(|| DbError::Plan("kNN pushdown requires a base table".into()))?;
+        let index = m
+            .table_name
+            .as_deref()
+            .and_then(|t| db.index_on(t, &m.columns[kc.col]))
+            .map(|(_, inst)| inst)
+            .ok_or_else(|| DbError::Plan("kNN pushdown requires a domain index".into()))?;
+        // Mark the FROM source consumed so the builder stays coherent.
+        sources[0] = SourceSlot::Taken;
+        root = Box::new(KnnScanExec::new(
+            ctx,
+            table,
+            index,
+            Arc::clone(&kc.query),
+            kc.k,
+            kc.col,
+            0,
+            width,
+            node,
+        ));
+    } else if let Some(Predicate::RowidPairIn { left, right, subquery }) = rowid_pairs.first() {
+        let has_filter_stage = !spatial.is_empty() || !residual.is_empty();
         let filter_node =
             has_filter_stage.then(|| anchor.as_ref().map(|p| p.child("FILTER"))).flatten();
         let join_anchor = filter_node.clone().or(anchor.clone());
@@ -1295,27 +1482,48 @@ pub(crate) fn build_select_stream<'a>(
         let sub = build_select_stream(ctx, subquery, node.as_ref())?;
         root = Box::new(RowidSemiJoinExec::new(ctx, sub, l_rel, r_rel, lt, rt, width, node)?);
         if has_filter_stage {
+            let hints =
+                plan.as_ref().map(|p| p.filter_hints.clone()).filter(|h| h.len() == spatial.len());
             root = Box::new(FilterExec::new(
                 root,
                 ctx,
                 Arc::clone(&metas),
                 spatial,
                 residual,
+                hints,
                 filter_node,
             ));
         }
     } else if let Some(jpos) = spatial.iter().position(|s| s.is_join()) {
-        let jp = spatial.remove(jpos);
-        has_filter_stage = !spatial.is_empty() || !residual.is_empty();
+        let mut jp = spatial.remove(jpos);
+        let has_filter_stage = !spatial.is_empty() || !residual.is_empty();
         let filter_node =
             has_filter_stage.then(|| anchor.as_ref().map(|p| p.child("FILTER"))).flatten();
         let join_anchor = filter_node.clone().or(anchor.clone());
+        // Costed orientation: transpose the predicate when the planner
+        // determined the second relation should drive the loop.
+        let choice = plan.as_ref().and_then(|p| p.join.as_ref());
+        if choice.map(|c| c.swap).unwrap_or(false) {
+            jp = crate::planner::transpose_pred(jp)?;
+        }
         let node = join_anchor.as_ref().map(|p| p.child(format!("NESTED LOOP JOIN ({})", jp.name)));
+        if let (Some(n), Some(c)) = (&node, choice) {
+            n.set_attr("plan_reason", c.reason.clone());
+            n.set_attr("est_pairs", format!("{:.0}", c.est_pairs));
+            n.set_attr("est_cost", format!("{:.0}", c.est_cost));
+        }
         let (outer_rel, _) = jp.target;
         let SpatialOperand::Column(inner_rel, inner_col) = jp.other else { unreachable!() };
         let outer = make_scan(ctx, &mut sources, outer_rel, width, node.as_ref())?;
         let im = &metas[inner_rel];
-        let index = im.table_name.as_deref().and_then(|t| db.index_on(t, &im.columns[inner_col]));
+        // Probe only when the planner costed it cheaper (default: probe
+        // whenever an index exists, matching the pre-planner behavior).
+        let want_probe = choice.map(|c| c.probe).unwrap_or(true);
+        let index = im
+            .table_name
+            .as_deref()
+            .and_then(|t| db.index_on(t, &im.columns[inner_col]))
+            .filter(|_| want_probe);
         let inner = match (index, im.table.clone()) {
             (Some((_, inst)), Some(table)) => NestedLoopJoinExec::probe(table, inst),
             _ => NestedLoopJoinExec::build(make_scan(
@@ -1328,44 +1536,58 @@ pub(crate) fn build_select_stream<'a>(
         };
         root = Box::new(NestedLoopJoinExec::new(ctx, outer, jp, inner, width, node)?);
         if has_filter_stage {
+            let hints =
+                plan.as_ref().map(|p| p.filter_hints.clone()).filter(|h| h.len() == spatial.len());
             root = Box::new(FilterExec::new(
                 root,
                 ctx,
                 Arc::clone(&metas),
                 spatial,
                 residual,
+                hints,
                 filter_node,
             ));
         }
     } else {
-        has_filter_stage = !spatial.is_empty() || !residual.is_empty();
+        let has_filter_stage = !spatial.is_empty() || !residual.is_empty();
         let filter_node =
             has_filter_stage.then(|| anchor.as_ref().map(|p| p.child("FILTER"))).flatten();
         let scan_anchor = filter_node.clone().or(anchor.clone());
         if width == 1 {
             root = make_scan(ctx, &mut sources, 0, width, scan_anchor.as_ref())?;
         } else {
+            // The planner picks which relation streams (largest) so the
+            // materialized side — the product's resident memory — is as
+            // small as the FROM list allows.
+            let stream_slot =
+                plan.as_ref().map(|p| p.stream_slot).filter(|&s| s < width).unwrap_or(0);
             let node = scan_anchor.as_ref().map(|p| p.child("CARTESIAN PRODUCT"));
-            let first = make_scan(ctx, &mut sources, 0, width, node.as_ref())?;
+            if let (Some(n), Some(p)) = (&node, plan.as_ref()) {
+                n.set_attr("plan_reason", format!("streams slot {}", p.stream_slot));
+            }
+            let first = make_scan(ctx, &mut sources, stream_slot, width, node.as_ref())?;
             let mut rest = Vec::with_capacity(width - 1);
-            for slot in 1..width {
+            for slot in (0..width).filter(|&s| s != stream_slot) {
                 rest.push((slot, make_scan(ctx, &mut sources, slot, width, node.as_ref())?));
             }
             root = Box::new(CrossJoinExec::new(ctx, first, rest, node));
         }
         if has_filter_stage {
+            let hints =
+                plan.as_ref().map(|p| p.filter_hints.clone()).filter(|h| h.len() == spatial.len());
             root = Box::new(FilterExec::new(
                 root,
                 ctx,
                 Arc::clone(&metas),
                 spatial,
                 residual,
+                hints,
                 filter_node,
             ));
         }
     }
 
-    if !sel.order_by.is_empty() {
+    if !sel.order_by.is_empty() && knn.is_none() {
         root =
             Box::new(SortExec::new(root, ctx, Arc::clone(&metas), sel.order_by.clone(), sort_node));
     }
@@ -1431,7 +1653,8 @@ pub(crate) fn collect_matching(
         Box::new(TableScanExec::new(ctx, table, table_name, 0, 1, parent.as_ref()));
     if !spatial.is_empty() || !residual.is_empty() {
         let node = parent.as_ref().map(|p| p.child("FILTER"));
-        root = Box::new(FilterExec::new(root, ctx, Arc::clone(&metas), spatial, residual, node));
+        root =
+            Box::new(FilterExec::new(root, ctx, Arc::clone(&metas), spatial, residual, None, node));
     }
     let mut matched = Vec::new();
     let res = (|| -> Result<(), DbError> {

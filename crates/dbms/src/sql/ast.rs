@@ -109,6 +109,13 @@ pub enum Statement {
         /// Prepared-statement name.
         name: String,
     },
+    /// `ANALYZE [TABLE] name` — sample the table, build per-column
+    /// NDV/min-max statistics plus spatial histograms, and persist
+    /// them (WAL + snapshot) for the cost-based planner.
+    Analyze {
+        /// Table to analyze.
+        table: String,
+    },
 }
 
 /// A `SELECT` query.

@@ -65,7 +65,8 @@ fn walk_statement(stmt: &Statement, f: &mut impl FnMut(usize)) {
         | Statement::Commit
         | Statement::Rollback
         | Statement::AlterSession { .. }
-        | Statement::Deallocate { .. } => {}
+        | Statement::Deallocate { .. }
+        | Statement::Analyze { .. } => {}
     }
 }
 
@@ -132,7 +133,8 @@ fn rewrite_statement(stmt: &mut Statement, f: &mut impl FnMut(usize) -> Option<E
         | Statement::Commit
         | Statement::Rollback
         | Statement::AlterSession { .. }
-        | Statement::Deallocate { .. } => {}
+        | Statement::Deallocate { .. }
+        | Statement::Analyze { .. } => {}
     }
 }
 

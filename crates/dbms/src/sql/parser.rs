@@ -239,6 +239,11 @@ impl Parser {
             let name = self.ident("prepared statement name")?;
             return Ok(Statement::Deallocate { name });
         }
+        if self.eat_kw("ANALYZE") {
+            let _ = self.eat_kw("TABLE");
+            let table = self.ident("table name")?;
+            return Ok(Statement::Analyze { table });
+        }
         if self.eat_kw("ALTER") {
             self.expect_kw("SESSION")?;
             self.expect_kw("SET")?;

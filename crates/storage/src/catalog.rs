@@ -7,7 +7,7 @@
 //! [`Catalog`] owns the named tables and their index metadata rows.
 
 use crate::mvcc::TxnStatusTable;
-use crate::stats::Counters;
+use crate::stats::{Counters, TableStats};
 use crate::table::Table;
 use crate::StorageError;
 use parking_lot::RwLock;
@@ -65,6 +65,8 @@ pub struct IndexMetadata {
 pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<RwLock<Table>>>>,
     index_metadata: RwLock<HashMap<String, IndexMetadata>>,
+    /// Persisted `ANALYZE` statistics keyed by uppercase table name.
+    table_stats: RwLock<HashMap<String, Arc<TableStats>>>,
     counters: Arc<Counters>,
     status: Arc<TxnStatusTable>,
 }
@@ -81,6 +83,7 @@ impl Catalog {
         Catalog {
             tables: RwLock::new(HashMap::new()),
             index_metadata: RwLock::new(HashMap::new()),
+            table_stats: RwLock::new(HashMap::new()),
             counters: Arc::new(Counters::new()),
             status: Arc::new(TxnStatusTable::new()),
         }
@@ -132,6 +135,7 @@ impl Catalog {
             return Err(StorageError::NotFound(key));
         }
         self.index_metadata.write().retain(|_, meta| !meta.table_name.eq_ignore_ascii_case(&key));
+        self.table_stats.write().remove(&key);
         Ok(())
     }
 
@@ -175,6 +179,23 @@ impl Catalog {
     pub fn drop_index(&self, index_name: &str) -> Result<IndexMetadata, StorageError> {
         let key = index_name.to_ascii_uppercase();
         self.index_metadata.write().remove(&key).ok_or(StorageError::NotFound(key))
+    }
+
+    /// Install (or replace) the `ANALYZE` statistics for a table.
+    pub fn set_table_stats(&self, stats: TableStats) {
+        self.table_stats.write().insert(stats.table.to_ascii_uppercase(), Arc::new(stats));
+    }
+
+    /// The persisted statistics for a table, if it has been analyzed.
+    pub fn table_stats(&self, table: &str) -> Option<Arc<TableStats>> {
+        self.table_stats.read().get(&table.to_ascii_uppercase()).cloned()
+    }
+
+    /// Every table's statistics, sorted by table name (snapshot order).
+    pub fn all_table_stats(&self) -> Vec<Arc<TableStats>> {
+        let mut out: Vec<Arc<TableStats>> = self.table_stats.read().values().cloned().collect();
+        out.sort_by(|a, b| a.table.cmp(&b.table));
+        out
     }
 }
 

@@ -40,7 +40,10 @@ pub use catalog::{Catalog, IndexKind, IndexMetadata};
 pub use mvcc::{Csn, Snapshot, TxnId, TxnState, TxnStatusTable, FROZEN_TXN};
 pub use rowid::RowId;
 pub use schema::{ColumnDef, DataType, Schema};
-pub use stats::{Counters, CountersSnapshot, SpatialSample, COUNTER_NAMES};
+pub use stats::{
+    ColumnStats, Counters, CountersSnapshot, SpatialHistogram, SpatialSample, TableStats,
+    ANALYZE_SAMPLE, COUNTER_NAMES, HISTOGRAM_DIM,
+};
 pub use table::{Table, TableScan};
 pub use value::Value;
 pub use wal::{Wal, WalRecord};

@@ -9,12 +9,17 @@
 
 use crate::catalog::{Catalog, IndexKind, IndexMetadata};
 use crate::schema::{ColumnDef, DataType, Schema};
+use crate::stats::TableStats;
 use crate::table::Table;
 use crate::value::Value;
 use crate::{RowId, StorageError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-const MAGIC: &[u8; 6] = b"SDODB\x01";
+/// Current snapshot version (the trailing magic byte). Version 2 added
+/// per-table modification counters and the persisted `ANALYZE`
+/// statistics section; version-1 images still load (no mods, no stats).
+const MAGIC: &[u8; 6] = b"SDODB\x02";
+const MAGIC_V1: &[u8; 6] = b"SDODB\x01";
 
 fn err(m: impl Into<String>) -> StorageError {
     StorageError::TypeError(format!("snapshot: {}", m.into()))
@@ -145,9 +150,10 @@ fn put_table(buf: &mut BytesMut, t: &Table) {
             Err(_) => buf.put_u8(0), // tombstone
         }
     }
+    buf.put_u64_le(t.mod_count());
 }
 
-fn get_table(buf: &mut impl Buf) -> Result<Table, StorageError> {
+fn get_table(buf: &mut impl Buf, version: u8) -> Result<Table, StorageError> {
     let name = get_str(buf)?;
     if buf.remaining() < 4 {
         return Err(err("truncated column count"));
@@ -188,6 +194,15 @@ fn get_table(buf: &mut impl Buf) -> Result<Table, StorageError> {
             table.delete(rid)?;
         }
     }
+    if version >= 2 {
+        if buf.remaining() < 8 {
+            return Err(err("truncated modification counter"));
+        }
+        // The rebuild above inflated `mods`; restore the stored value
+        // so staleness is measured against the original history.
+        let mods = buf.get_u64_le();
+        table.set_mod_count(mods);
+    }
     Ok(table)
 }
 
@@ -212,6 +227,11 @@ pub fn save_catalog(catalog: &Catalog, metas: &[IndexMetadata]) -> Bytes {
         });
         buf.put_u32_le(m.create_dop as u32);
         put_str(&mut buf, &m.parameters);
+    }
+    let stats = catalog.all_table_stats();
+    buf.put_u32_le(stats.len() as u32);
+    for s in &stats {
+        s.encode(&mut buf);
     }
     buf.freeze()
 }
@@ -243,15 +263,19 @@ pub fn load_catalog(
     }
     let mut magic = [0u8; 6];
     buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let version = if &magic == MAGIC {
+        2
+    } else if &magic == MAGIC_V1 {
+        1
+    } else {
         return Err(err("bad magic / unsupported version"));
-    }
+    };
     if buf.remaining() < 4 {
         return Err(err("truncated table count"));
     }
     let n_tables = buf.get_u32_le() as usize;
     for _ in 0..n_tables {
-        let table = get_table(&mut buf)?;
+        let table = get_table(&mut buf, version)?;
         let handle = catalog.create_table(table.name(), table.schema().clone())?;
         *handle.write() = table
             .with_counters(std::sync::Arc::clone(catalog.counters()))
@@ -273,6 +297,18 @@ pub fn load_catalog(
         let create_dop = buf.get_u32_le() as usize;
         let parameters = get_str(&mut buf)?;
         out.push(IndexDirective { index_name, table_name, column_name, parameters, create_dop });
+    }
+    if version >= 2 {
+        if buf.remaining() < 4 {
+            return Err(err("truncated stats count"));
+        }
+        let n_stats = buf.get_u32_le() as usize;
+        for _ in 0..n_stats {
+            let stats = TableStats::decode(&mut buf)?;
+            if catalog.table(&stats.table).is_ok() {
+                catalog.set_table_stats(stats);
+            }
+        }
     }
     if buf.has_remaining() {
         return Err(err("trailing bytes"));

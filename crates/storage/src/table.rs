@@ -59,6 +59,10 @@ pub struct Table {
     /// Live rows at latest-committed visibility. Transactional writes
     /// adjust this at commit via [`Table::apply_live_delta`].
     live: usize,
+    /// Monotone modification counter (every insert/update/delete bumps
+    /// it); `ANALYZE` records it so the planner can measure how much
+    /// DML its statistics have missed.
+    mods: u64,
     counters: Arc<Counters>,
     status: Arc<TxnStatusTable>,
 }
@@ -71,6 +75,7 @@ impl Table {
             schema,
             slots: Vec::new(),
             live: 0,
+            mods: 0,
             counters: Arc::new(Counters::new()),
             status: Arc::new(TxnStatusTable::new()),
         }
@@ -134,6 +139,18 @@ impl Table {
         self.slots.len()
     }
 
+    /// Total modifications (inserts + updates + deletes) ever applied.
+    #[inline]
+    pub fn mod_count(&self) -> u64 {
+        self.mods
+    }
+
+    /// Restore the modification counter (snapshot load).
+    #[inline]
+    pub fn set_mod_count(&mut self, mods: u64) {
+        self.mods = mods;
+    }
+
     // -- non-transactional (frozen) writes --------------------------------
 
     /// Insert a row, returning its new rowid. The row is *frozen*:
@@ -143,6 +160,7 @@ impl Table {
         let rid = RowId::new(self.slots.len() as u64);
         self.slots.push(vec![Version::frozen(row.into())]);
         self.live += 1;
+        self.mods += 1;
         Ok(rid)
     }
 
@@ -165,6 +183,7 @@ impl Table {
         self.schema.check_row(&row)?;
         self.check_write(rid, FROZEN_TXN, Csn::MAX)?;
         self.slots[rid.slot()] = vec![Version::frozen(row.into())];
+        self.mods += 1;
         Ok(())
     }
 
@@ -173,6 +192,7 @@ impl Table {
         self.check_write(rid, FROZEN_TXN, Csn::MAX)?;
         self.slots[rid.slot()].clear();
         self.live -= 1;
+        self.mods += 1;
         Ok(())
     }
 
@@ -184,6 +204,7 @@ impl Table {
         self.schema.check_row(&row)?;
         let rid = RowId::new(self.slots.len() as u64);
         self.slots.push(vec![Version { xmin: txid, xmax: 0, row: row.into() }]);
+        self.mods += 1;
         Ok(rid)
     }
 
@@ -212,6 +233,7 @@ impl Table {
             newest.xmax = txid;
         }
         chain.push(Version { xmin: txid, xmax: 0, row: row.into() });
+        self.mods += 1;
         Ok(())
     }
 
@@ -226,6 +248,7 @@ impl Table {
         self.check_write(rid, txid, snap_csn)?;
         let newest = self.slots[rid.slot()].last_mut().expect("check_write saw a version");
         newest.xmax = txid;
+        self.mods += 1;
         Ok(())
     }
 
@@ -284,6 +307,7 @@ impl Table {
             self.live += 1;
         }
         self.slots[rid.slot()] = vec![Version::frozen(row.into())];
+        self.mods += 1;
         Ok(())
     }
 

@@ -143,6 +143,15 @@ pub enum WalRecord {
         /// Dropped index name.
         name: String,
     },
+    /// `ANALYZE <table>` — the computed statistics, logged whole so
+    /// estimates survive a crash without resampling (autocommitted like
+    /// the other DDL records).
+    Analyze {
+        /// Analyzed table (uppercase).
+        table: String,
+        /// The statistics as computed.
+        stats: crate::stats::TableStats,
+    },
 }
 
 fn err(m: impl Into<String>) -> StorageError {
@@ -241,6 +250,11 @@ impl WalRecord {
                 buf.put_u8(10);
                 put_str(&mut buf, name);
             }
+            WalRecord::Analyze { table, stats } => {
+                buf.put_u8(11);
+                put_str(&mut buf, table);
+                stats.encode(&mut buf);
+            }
         }
         buf.to_vec()
     }
@@ -314,6 +328,11 @@ impl WalRecord {
                 }
             }
             10 => WalRecord::DropIndex { name: get_str(b)? },
+            11 => {
+                let table = get_str(b)?;
+                let stats = crate::stats::TableStats::decode(b)?;
+                WalRecord::Analyze { table, stats }
+            }
             t => return Err(err(format!("bad record tag {t}"))),
         };
         if b.has_remaining() {
@@ -545,6 +564,31 @@ mod tests {
                 create_dop: 2,
             },
             WalRecord::DropIndex { name: "T_SIDX".into() },
+            WalRecord::Analyze {
+                table: "T".into(),
+                stats: crate::stats::TableStats {
+                    table: "T".into(),
+                    rows: 2,
+                    analyzed_mods: 3,
+                    columns: vec![crate::stats::ColumnStats {
+                        ndv: 2,
+                        null_count: 0,
+                        min: Some(Value::Integer(1)),
+                        max: Some(Value::Integer(2)),
+                    }],
+                    spatial: vec![
+                        None,
+                        Some(crate::stats::SpatialHistogram {
+                            extent: sdo_geom::Rect::new(0.0, 0.0, 4.0, 4.0),
+                            dim: 2,
+                            counts: vec![1, 0, 0, 1],
+                            avg_width: 0.5,
+                            avg_height: 0.25,
+                            sampled: 2,
+                        }),
+                    ],
+                },
+            },
             WalRecord::DropTable { name: "T".into() },
         ]
     }

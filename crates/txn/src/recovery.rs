@@ -107,6 +107,13 @@ pub fn replay(records: &[WalRecord], catalog: &Catalog) -> Result<RecoveryReport
                     }
                 }
             }
+            WalRecord::Analyze { table, stats } => {
+                // Statistics are advisory; skip them if the table is
+                // gone (dropped later in the log, or never recovered).
+                if catalog.table(table).is_ok() {
+                    catalog.set_table_stats(stats.clone());
+                }
+            }
             WalRecord::Begin { .. } | WalRecord::Commit { .. } | WalRecord::Abort { .. } => {}
         }
     }
@@ -208,6 +215,38 @@ mod tests {
         assert_eq!(catalog.table_names(), vec!["A".to_string(), "B".to_string()]);
         let names: Vec<&str> = report.directives.iter().map(|d| d.index_name.as_str()).collect();
         assert_eq!(names, vec!["B_IDX"], "dropped index and dropped table's index pruned");
+    }
+
+    #[test]
+    fn analyze_records_restore_table_stats() {
+        use sdo_storage::{ColumnStats, TableStats};
+        let stats = TableStats {
+            table: "T".into(),
+            rows: 5,
+            analyzed_mods: 5,
+            columns: vec![ColumnStats {
+                ndv: 5,
+                null_count: 0,
+                min: Some(Value::Integer(0)),
+                max: Some(Value::Integer(4)),
+            }],
+            spatial: vec![None],
+        };
+        let records = vec![
+            WalRecord::CreateTable { name: "T".into(), schema: schema() },
+            WalRecord::Analyze { table: "T".into(), stats: stats.clone() },
+            // Stats for a table the log later drops must not survive.
+            WalRecord::CreateTable { name: "GONE".into(), schema: schema() },
+            WalRecord::Analyze {
+                table: "GONE".into(),
+                stats: TableStats { table: "GONE".into(), ..stats.clone() },
+            },
+            WalRecord::DropTable { name: "GONE".into() },
+        ];
+        let catalog = Catalog::new();
+        replay(&records, &catalog).unwrap();
+        assert_eq!(catalog.table_stats("t").as_deref(), Some(&stats));
+        assert!(catalog.table_stats("gone").is_none());
     }
 
     #[test]

@@ -305,7 +305,7 @@ fn explain_reports_chosen_strategies() {
          WHERE SDO_RELATE(x.geom, y.geom, 'intersect') = 'TRUE'",
     );
     assert!(p.contains("NESTED LOOP JOIN"), "{p}");
-    assert!(p.contains("index scan"), "{p}");
+    assert!(p.contains("INDEX PROBE"), "{p}");
     assert!(p.contains("AGGREGATE COUNT(*)"), "{p}");
 
     // table-function join

@@ -264,8 +264,10 @@ fn method_chosen_covers_rtree_and_auto_with_reason() {
     let op = profile.root.find("PIPELINED COUNT").unwrap();
     assert!(op.attrs.iter().any(|(k, v)| k == "method_chosen" && v == "rtree"));
     assert!(
-        op.attrs.iter().any(|(k, v)| k == "method_reason" && v.contains("indexed")),
-        "auto records its reasoning: {:?}",
+        op.attrs.iter().any(|(k, v)| k == "method_reason"
+            && v.contains("pairs")
+            && v.contains("picked rtree")),
+        "auto records its numeric reasoning: {:?}",
         op.attrs
     );
 }
