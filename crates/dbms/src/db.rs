@@ -157,14 +157,26 @@ pub struct SessionOptions {
     pub max_resident_rows: u64,
     /// Commit durability policy (`durability = fsync | buffered`).
     pub durability: Durability,
+    /// Ceiling on intra-query degree of parallelism
+    /// (`parallel_dop = 1..=64`). The planner may pick any dop up to
+    /// this when it places an exchange; `1` forces fully serial
+    /// execution. Defaults to the machine's available parallelism,
+    /// clamped to `[1, 16]`.
+    pub parallel_dop: usize,
 }
+
+/// Hard ceiling for `ALTER SESSION SET parallel_dop` — more workers
+/// than this never helps and only fragments morsels.
+pub(crate) const MAX_PARALLEL_DOP: usize = 64;
 
 impl Default for SessionOptions {
     fn default() -> Self {
+        let dop = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(1, 16);
         SessionOptions {
             materialize: false,
             max_resident_rows: 5_000_000,
             durability: Durability::Fsync,
+            parallel_dop: dop,
         }
     }
 }
@@ -172,8 +184,9 @@ impl Default for SessionOptions {
 impl SessionOptions {
     /// Set an option by name. Recognised options: `materialize`
     /// (`on`/`off`), `max_resident_rows` (a positive row count, full
-    /// `u64` range), and `durability` (`fsync`/`buffered`). Unknown
-    /// options and unknown values both fail, naming the option.
+    /// `u64` range), `durability` (`fsync`/`buffered`), and
+    /// `parallel_dop` (1..=64). Unknown options and unknown values
+    /// both fail, naming the option.
     pub fn set(&mut self, name: &str, value: &str) -> Result<(), DbError> {
         match name.to_ascii_lowercase().as_str() {
             "materialize" => match value.to_ascii_lowercase().as_str() {
@@ -197,6 +210,17 @@ impl SessionOptions {
                     ));
                 }
                 self.max_resident_rows = n;
+            }
+            "parallel_dop" => {
+                let n: usize = value.parse().map_err(|_| {
+                    DbError::Plan(format!("invalid value '{value}' for PARALLEL_DOP"))
+                })?;
+                if n == 0 || n > MAX_PARALLEL_DOP {
+                    return Err(DbError::Plan(format!(
+                        "PARALLEL_DOP must be between 1 and {MAX_PARALLEL_DOP}"
+                    )));
+                }
+                self.parallel_dop = n;
             }
             "durability" => match value.to_ascii_lowercase().as_str() {
                 "fsync" => self.durability = Durability::Fsync,

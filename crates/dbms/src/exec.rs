@@ -187,7 +187,7 @@ fn execute_inner(
                 let joined = vec![RelRow { rid: Some(rid), values }];
                 let mut new_row = joined[0].values.clone();
                 for (ci, e) in &targets {
-                    new_row[*ci] = eval_expr(db, &metas, &joined, e)?;
+                    new_row[*ci] = eval_expr(&metas, &joined, e)?;
                 }
                 updates.push((rid, new_row));
             }
@@ -214,7 +214,7 @@ fn execute_inner(
             Ok(QueryResult::empty())
         }
         Statement::Select(sel) => run_select_top(db, sess, sel),
-        Statement::Explain(sel) => explain_select(db, sel),
+        Statement::Explain(sel) => explain_select(db, sess, sel),
         // A nested `EXPLAIN ANALYZE` re-enters the profiling wrapper.
         Statement::ExplainAnalyze(_) => execute_in(db, sess, stmt),
         Statement::AlterSession { name, value } => {
@@ -289,8 +289,13 @@ fn execute_inner(
 /// executing it: the planner's operator tree with estimated rows, cost,
 /// and the reason each path was chosen. `CURSOR(...)` arguments are
 /// never evaluated.
-fn explain_select(db: &Database, sel: &Select) -> Result<QueryResult, DbError> {
-    let plan = crate::planner::plan_select(db, sel)?;
+fn explain_select(
+    db: &Database,
+    sess: &crate::session::SessionState,
+    sel: &Select,
+) -> Result<QueryResult, DbError> {
+    let env = crate::planner::PlanEnv::from_options(&sess.options.read());
+    let plan = crate::planner::plan_select(db, sel, &env)?;
     Ok(explain_result(plan.root.render_lines()))
 }
 
@@ -581,7 +586,9 @@ fn run_select_materialized(ctx: &ExecCtx<'_>, sel: &Select) -> Result<QueryResul
         let mut jp = spatial.remove(join_pred);
         // Same orientation as the streaming executor: the planner's
         // costed choice of which side drives the loop.
-        if let Ok(plan) = crate::planner::plan_select(db, sel) {
+        // The materializing executor never parallelizes, so plan with
+        // a serial environment.
+        if let Ok(plan) = crate::planner::plan_select(db, sel, &crate::planner::PlanEnv::serial()) {
             if plan.join.as_ref().map(|j| j.swap).unwrap_or(false) {
                 jp = crate::planner::transpose_pred(jp)?;
             }
@@ -620,7 +627,7 @@ fn run_select_materialized(ctx: &ExecCtx<'_>, sel: &Select) -> Result<QueryResul
         for row in joined {
             let mut ok = true;
             for p in &residual {
-                if !eval_predicate(db, &metas, &row, p)? {
+                if !eval_predicate(&metas, &row, p)? {
                     ok = false;
                     break;
                 }
@@ -640,7 +647,7 @@ fn run_select_materialized(ctx: &ExecCtx<'_>, sel: &Select) -> Result<QueryResul
             let keys = sel
                 .order_by
                 .iter()
-                .map(|k| eval_expr(db, &metas, &row, &k.expr))
+                .map(|k| eval_expr(&metas, &row, &k.expr))
                 .collect::<Result<Vec<_>, _>>()?;
             keyed.push((keys, row));
         }
@@ -660,7 +667,7 @@ fn run_select_materialized(ctx: &ExecCtx<'_>, sel: &Select) -> Result<QueryResul
         joined.truncate(n);
     }
 
-    project(db, &metas, joined, &sel.projection)
+    project(&metas, joined, &sel.projection)
 }
 
 // ---------------------------------------------------------------------------
@@ -1094,19 +1101,12 @@ pub fn parse_distance(extra: &[Value]) -> Result<f64, DbError> {
     Err(DbError::Plan("SDO_WITHIN_DISTANCE needs a numeric distance".into()))
 }
 
-pub(crate) fn eval_expr(
-    _db: &Database,
-    metas: &[RelMeta],
-    joined: &[RelRow],
-    e: &Expr,
-) -> Result<Value, DbError> {
+pub(crate) fn eval_expr(metas: &[RelMeta], joined: &[RelRow], e: &Expr) -> Result<Value, DbError> {
     match e {
         Expr::Literal(v) => Ok(v.clone()),
         Expr::FnCall { name, args } => {
-            let vals = args
-                .iter()
-                .map(|a| eval_expr(_db, metas, joined, a))
-                .collect::<Result<Vec<_>, _>>()?;
+            let vals =
+                args.iter().map(|a| eval_expr(metas, joined, a)).collect::<Result<Vec<_>, _>>()?;
             apply_scalar_fn(name, &vals)
         }
         Expr::Column(cr) => {
@@ -1168,7 +1168,6 @@ pub(crate) fn resolve_column_meta(
 }
 
 pub(crate) fn eval_predicate(
-    db: &Database,
     metas: &[RelMeta],
     joined: &[RelRow],
     p: &Predicate,
@@ -1179,13 +1178,13 @@ pub(crate) fn eval_predicate(
             // here (used as residuals after a join).
             if let Expr::FnCall { name, args } = left {
                 if name.starts_with("SDO_") && args.len() >= 2 {
-                    let a = eval_expr(db, metas, joined, &args[0])?;
-                    let b = eval_expr(db, metas, joined, &args[1])?;
+                    let a = eval_expr(metas, joined, &args[0])?;
+                    let b = eval_expr(metas, joined, &args[1])?;
                     if let (Some(ga), Some(gb)) = (a.as_geometry(), b.as_geometry()) {
                         let extra =
                             args[2..].iter().map(eval_const).collect::<Result<Vec<_>, _>>()?;
                         let result = eval_spatial_fn(name, ga, gb, &extra)?;
-                        let want = eval_expr(db, metas, joined, right)?;
+                        let want = eval_expr(metas, joined, right)?;
                         return Ok(match want.as_text() {
                             Some("TRUE") => result == (*op == CmpOp::Eq),
                             Some("FALSE") => result != (*op == CmpOp::Eq),
@@ -1194,8 +1193,8 @@ pub(crate) fn eval_predicate(
                     }
                 }
             }
-            let l = eval_expr(db, metas, joined, left)?;
-            let r = eval_expr(db, metas, joined, right)?;
+            let l = eval_expr(metas, joined, left)?;
+            let r = eval_expr(metas, joined, right)?;
             if l.is_null() || r.is_null() {
                 return Ok(false);
             }
@@ -1255,7 +1254,6 @@ pub(crate) fn projection_columns(
 /// Project one joined row through a (pre-validated) select list.
 /// `COUNT(*)` is aggregation, not projection — callers handle it.
 pub(crate) fn project_row(
-    db: &Database,
     metas: &[RelMeta],
     jr: &[RelRow],
     items: &[SelectItem],
@@ -1268,13 +1266,12 @@ pub(crate) fn project_row(
         let SelectItem::Expr { expr, .. } = item else {
             return Err(DbError::Plan("COUNT(*) cannot be projected per row".into()));
         };
-        out.push(eval_expr(db, metas, jr, expr)?);
+        out.push(eval_expr(metas, jr, expr)?);
     }
     Ok(out)
 }
 
 fn project(
-    db: &Database,
     metas: &[RelMeta],
     joined: Vec<Vec<RelRow>>,
     items: &[SelectItem],
@@ -1284,6 +1281,6 @@ fn project(
         return Ok(QueryResult { columns, rows: vec![vec![Value::Integer(joined.len() as i64)]] });
     }
     let rows =
-        joined.iter().map(|jr| project_row(db, metas, jr, items)).collect::<Result<Vec<_>, _>>()?;
+        joined.iter().map(|jr| project_row(metas, jr, items)).collect::<Result<Vec<_>, _>>()?;
     Ok(QueryResult { columns, rows })
 }

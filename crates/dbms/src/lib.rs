@@ -30,6 +30,7 @@ pub mod error;
 pub mod exec;
 pub mod extensible;
 mod operators;
+mod parallel;
 mod planner;
 pub mod session;
 pub mod sql;
@@ -37,4 +38,5 @@ pub mod sql;
 pub use db::{Database, Durability, QueryResult, SessionOptions, TfArg, Txn};
 pub use error::DbError;
 pub use extensible::{DomainIndex, IndexType, OperatorCall};
+pub use parallel::set_morsel_rows;
 pub use session::Session;

@@ -66,6 +66,10 @@ pub(crate) struct ExecCtx<'a> {
     pub max_resident_rows: u64,
     /// Route SELECTs through the legacy materializing executor.
     pub materialize: bool,
+    /// Intra-query parallelism ceiling from `ALTER SESSION SET
+    /// parallel_dop`; read at execution time, so prepared statements
+    /// re-resolve it on every EXECUTE.
+    pub parallel_dop: usize,
     /// MVCC read view pinned at statement start: the session
     /// transaction's snapshot when one is open, else latest-committed.
     pub snap: Snapshot,
@@ -79,6 +83,7 @@ impl<'a> ExecCtx<'a> {
             gauge: MemoryGauge::new(),
             max_resident_rows: opts.max_resident_rows,
             materialize: opts.materialize,
+            parallel_dop: opts.parallel_dop,
             snap: db.read_snapshot_in(sess),
         }
     }
@@ -153,12 +158,12 @@ pub(crate) trait BatchOp {
     fn close(&mut self);
 }
 
-fn empty_joined(width: usize) -> Vec<RelRow> {
+pub(crate) fn empty_joined(width: usize) -> Vec<RelRow> {
     vec![RelRow { rid: None, values: Vec::new() }; width]
 }
 
 /// Record one produced batch on an operator's profile node.
-fn note_batch(node: &Option<ProfileNode>, rows: usize, t0: Option<Instant>) {
+pub(crate) fn note_batch(node: &Option<ProfileNode>, rows: usize, t0: Option<Instant>) {
     if let Some(n) = node {
         n.add_batches(1);
         n.add_rows(rows as u64);
@@ -330,12 +335,155 @@ impl BatchOp for TableFunctionScanExec<'_> {
 // Filter
 // ---------------------------------------------------------------------------
 
-enum Prefilter {
+pub(crate) enum Prefilter {
     /// Evaluate the predicate functionally per row.
     Functional,
     /// Keep rows of relation `rel` whose rowid is in the set (computed
     /// once at open from a domain-index evaluation or SDO_NN ranking).
     RowidSet { rel: usize, keep: HashSet<RowId> },
+}
+
+/// A database-free predicate evaluator: the classified spatial
+/// predicates, residual conjuncts, and prebuilt index prefilters,
+/// packaged so exchange workers on pool threads (which cannot borrow
+/// `&Database`) evaluate rows exactly like the serial [`FilterExec`].
+/// Built once per statement (index probes need the database), then
+/// shared via `Arc` across workers.
+pub(crate) struct FilterEval {
+    metas: Arc<Vec<RelMeta>>,
+    spatial: Vec<SpatialPred>,
+    residual: Vec<Predicate>,
+    prefilters: Vec<Prefilter>,
+}
+
+impl FilterEval {
+    /// Build the evaluator, resolving index prefilters now.
+    pub(crate) fn build(
+        db: &Database,
+        metas: Arc<Vec<RelMeta>>,
+        spatial: Vec<SpatialPred>,
+        residual: Vec<Predicate>,
+        index_hints: Option<&[bool]>,
+        snap: Snapshot,
+    ) -> Result<Self, DbError> {
+        let prefilters = build_prefilters(db, &metas, &spatial, index_hints, snap)?;
+        Ok(FilterEval { metas, spatial, residual, prefilters })
+    }
+
+    /// True when there is nothing to evaluate (rows always pass).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.spatial.is_empty() && self.residual.is_empty()
+    }
+
+    /// Does one joined row satisfy every conjunct?
+    pub(crate) fn row_passes(&self, jr: &[RelRow]) -> Result<bool, DbError> {
+        for (p, f) in self.spatial.iter().zip(&self.prefilters) {
+            let pass = match f {
+                Prefilter::RowidSet { rel, keep } => {
+                    jr[*rel].rid.map(|r| keep.contains(&r)).unwrap_or(false)
+                }
+                Prefilter::Functional => match &p.other {
+                    SpatialOperand::Column(ir, ic) => {
+                        let (or, oc) = p.target;
+                        match (jr[or].values.get(oc), jr[*ir].values.get(*ic)) {
+                            (Some(a), Some(b)) => match (a.as_geometry(), b.as_geometry()) {
+                                (Some(ga), Some(gb)) => {
+                                    eval_spatial_fn(&p.name, ga, gb, &p.extra).unwrap_or(false)
+                                }
+                                _ => false,
+                            },
+                            _ => false,
+                        }
+                    }
+                    SpatialOperand::Const(qg) => {
+                        let (ri, ci) = p.target;
+                        jr[ri].values.get(ci).and_then(|v| v.as_geometry()).is_some_and(|g| {
+                            eval_spatial_fn(&p.name, g, qg, &p.extra).unwrap_or(false)
+                        })
+                    }
+                },
+            };
+            if !pass {
+                return Ok(false);
+            }
+        }
+        for r in &self.residual {
+            if !eval_predicate(&self.metas, jr, r)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Resolve each spatial predicate to its open-time fast path: a rowid
+/// keep-set from a domain-index evaluation (or functional SDO_NN
+/// ranking), else per-row functional evaluation.
+fn build_prefilters(
+    db: &Database,
+    metas: &[RelMeta],
+    spatial: &[SpatialPred],
+    index_hints: Option<&[bool]>,
+    snap: Snapshot,
+) -> Result<Vec<Prefilter>, DbError> {
+    let mut out = Vec::with_capacity(spatial.len());
+    for (pi, p) in spatial.iter().enumerate() {
+        let SpatialOperand::Const(qg) = &p.other else {
+            out.push(Prefilter::Functional);
+            continue;
+        };
+        let (ri, ci) = p.target;
+        let m = &metas[ri];
+        let allow_index = index_hints.and_then(|h| h.get(pi)).copied().unwrap_or(true);
+        let index = m
+            .table_name
+            .as_deref()
+            .and_then(|t| db.index_on(t, &m.columns[ci]))
+            // SDO_NN must keep its index path regardless of the
+            // window-cost hint: the functional fallback below is a
+            // full ranking, never cheaper than the index.
+            .filter(|_| allow_index || p.name.eq_ignore_ascii_case("SDO_NN"));
+        if let Some((_, inst)) = index {
+            let mut args = vec![Value::Geometry(Arc::clone(qg))];
+            args.extend(p.extra.iter().cloned());
+            let call = OperatorCall { name: p.name.clone(), args, snap };
+            let keep: HashSet<RowId> = inst.read().evaluate(&call)?.into_iter().collect();
+            out.push(Prefilter::RowidSet { rel: ri, keep });
+        } else if p.name.eq_ignore_ascii_case("SDO_NN") {
+            // Functional k-NN without an index: rank the relation's
+            // rows by exact distance and keep the top k.
+            let table = m.table.clone().ok_or_else(|| {
+                DbError::Plan("SDO_NN needs a base table or a domain index".into())
+            })?;
+            let k = p
+                .extra
+                .first()
+                .and_then(|v| v.as_integer())
+                .filter(|&k| k >= 1)
+                .ok_or_else(|| DbError::Plan("SDO_NN needs a result count".into()))?
+                as usize;
+            let mut ranked: Vec<(f64, RowId)> = Vec::new();
+            let mut cursor = TableCursor::full(table).at_snapshot(snap);
+            loop {
+                let rows = cursor.next_batch(BATCH_ROWS);
+                if rows.is_empty() {
+                    break;
+                }
+                for row in rows {
+                    let Some(rid) = row[0].as_rowid() else { continue };
+                    if let Some(g) = row.get(ci + 1).and_then(|v| v.as_geometry()) {
+                        ranked.push((sdo_geom::distance(g, qg), rid));
+                    }
+                }
+            }
+            ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let keep: HashSet<RowId> = ranked.into_iter().take(k).map(|(_, r)| r).collect();
+            out.push(Prefilter::RowidSet { rel: ri, keep });
+        } else {
+            out.push(Prefilter::Functional);
+        }
+    }
+    Ok(out)
 }
 
 /// Incremental nearest-neighbor scan: the planner's rewrite of
@@ -468,6 +616,12 @@ impl BatchOp for KnnScanExec<'_> {
     }
 }
 
+/// The deferred filter-construction bundle shared by [`FilterExec`]
+/// and the parallel exchanges: relation metadata, spatial and
+/// residual predicates, and the planner's per-predicate index hints.
+pub(crate) type FilterInputs =
+    (Arc<Vec<RelMeta>>, Vec<SpatialPred>, Vec<Predicate>, Option<Vec<bool>>);
+
 /// Per-batch predicate evaluation. Index-assisted paths (window-query
 /// prefilter, SDO_NN top-k ranking) run once at open as a
 /// `FilterExec`-level rewrite into rowid keep-sets; everything else
@@ -475,13 +629,10 @@ impl BatchOp for KnnScanExec<'_> {
 pub(crate) struct FilterExec<'a> {
     db: &'a Database,
     child: Box<dyn BatchOp + 'a>,
-    metas: Arc<Vec<RelMeta>>,
-    spatial: Vec<SpatialPred>,
-    residual: Vec<Predicate>,
-    prefilters: Option<Vec<Prefilter>>,
-    /// Planner verdicts, parallel to `spatial`: `false` disables the
-    /// domain-index prefilter for that predicate (the costed scan won).
-    index_hints: Option<Vec<bool>>,
+    /// Filter inputs, consumed when the evaluator is built at first
+    /// `next_batch` (index prefilters probe the domain index then).
+    inputs: Option<FilterInputs>,
+    eval: Option<FilterEval>,
     node: Option<ProfileNode>,
     snap: Snapshot,
 }
@@ -499,126 +650,27 @@ impl<'a> FilterExec<'a> {
         FilterExec {
             db: ctx.db,
             child,
-            metas,
-            spatial,
-            residual,
-            prefilters: None,
-            index_hints,
+            inputs: Some((metas, spatial, residual, index_hints)),
+            eval: None,
             node,
             snap: ctx.snap,
         }
-    }
-
-    fn build_prefilters(&mut self) -> Result<(), DbError> {
-        let mut out = Vec::with_capacity(self.spatial.len());
-        for (pi, p) in self.spatial.iter().enumerate() {
-            let SpatialOperand::Const(qg) = &p.other else {
-                out.push(Prefilter::Functional);
-                continue;
-            };
-            let (ri, ci) = p.target;
-            let m = &self.metas[ri];
-            let allow_index =
-                self.index_hints.as_ref().and_then(|h| h.get(pi)).copied().unwrap_or(true);
-            let index = m
-                .table_name
-                .as_deref()
-                .and_then(|t| self.db.index_on(t, &m.columns[ci]))
-                // SDO_NN must keep its index path regardless of the
-                // window-cost hint: the functional fallback below is a
-                // full ranking, never cheaper than the index.
-                .filter(|_| allow_index || p.name.eq_ignore_ascii_case("SDO_NN"));
-            if let Some((_, inst)) = index {
-                let mut args = vec![Value::Geometry(Arc::clone(qg))];
-                args.extend(p.extra.iter().cloned());
-                let call = OperatorCall { name: p.name.clone(), args, snap: self.snap };
-                let keep: HashSet<RowId> = inst.read().evaluate(&call)?.into_iter().collect();
-                out.push(Prefilter::RowidSet { rel: ri, keep });
-            } else if p.name.eq_ignore_ascii_case("SDO_NN") {
-                // Functional k-NN without an index: rank the relation's
-                // rows by exact distance and keep the top k.
-                let table = m.table.clone().ok_or_else(|| {
-                    DbError::Plan("SDO_NN needs a base table or a domain index".into())
-                })?;
-                let k = p
-                    .extra
-                    .first()
-                    .and_then(|v| v.as_integer())
-                    .filter(|&k| k >= 1)
-                    .ok_or_else(|| DbError::Plan("SDO_NN needs a result count".into()))?
-                    as usize;
-                let mut ranked: Vec<(f64, RowId)> = Vec::new();
-                let mut cursor = TableCursor::full(table).at_snapshot(self.snap);
-                loop {
-                    let rows = cursor.next_batch(BATCH_ROWS);
-                    if rows.is_empty() {
-                        break;
-                    }
-                    for row in rows {
-                        let Some(rid) = row[0].as_rowid() else { continue };
-                        if let Some(g) = row.get(ci + 1).and_then(|v| v.as_geometry()) {
-                            ranked.push((sdo_geom::distance(g, qg), rid));
-                        }
-                    }
-                }
-                ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-                let keep: HashSet<RowId> = ranked.into_iter().take(k).map(|(_, r)| r).collect();
-                out.push(Prefilter::RowidSet { rel: ri, keep });
-            } else {
-                out.push(Prefilter::Functional);
-            }
-        }
-        self.prefilters = Some(out);
-        Ok(())
-    }
-
-    fn row_passes(&self, jr: &[RelRow]) -> Result<bool, DbError> {
-        let pre = self.prefilters.as_ref().expect("prefilters built");
-        for (p, f) in self.spatial.iter().zip(pre) {
-            let pass = match f {
-                Prefilter::RowidSet { rel, keep } => {
-                    jr[*rel].rid.map(|r| keep.contains(&r)).unwrap_or(false)
-                }
-                Prefilter::Functional => match &p.other {
-                    SpatialOperand::Column(ir, ic) => {
-                        let (or, oc) = p.target;
-                        match (jr[or].values.get(oc), jr[*ir].values.get(*ic)) {
-                            (Some(a), Some(b)) => match (a.as_geometry(), b.as_geometry()) {
-                                (Some(ga), Some(gb)) => {
-                                    eval_spatial_fn(&p.name, ga, gb, &p.extra).unwrap_or(false)
-                                }
-                                _ => false,
-                            },
-                            _ => false,
-                        }
-                    }
-                    SpatialOperand::Const(qg) => {
-                        let (ri, ci) = p.target;
-                        jr[ri].values.get(ci).and_then(|v| v.as_geometry()).is_some_and(|g| {
-                            eval_spatial_fn(&p.name, g, qg, &p.extra).unwrap_or(false)
-                        })
-                    }
-                },
-            };
-            if !pass {
-                return Ok(false);
-            }
-        }
-        for r in &self.residual {
-            if !eval_predicate(self.db, &self.metas, jr, r)? {
-                return Ok(false);
-            }
-        }
-        Ok(true)
     }
 }
 
 impl BatchOp for FilterExec<'_> {
     fn next_batch(&mut self) -> Result<JoinedBatch, DbError> {
-        if self.prefilters.is_none() {
+        if let Some((metas, spatial, residual, hints)) = self.inputs.take() {
             let t0 = self.node.as_ref().map(|_| Instant::now());
             let before = self.node.as_ref().map(|_| self.db.counters().snapshot());
-            self.build_prefilters()?;
+            self.eval = Some(FilterEval::build(
+                self.db,
+                metas,
+                spatial,
+                residual,
+                hints.as_deref(),
+                self.snap,
+            )?);
             if let (Some(n), Some(b)) = (&self.node, &before) {
                 n.add_metric_deltas(&self.db.counters().diff(b).pairs());
                 if let Some(t0) = t0 {
@@ -626,6 +678,7 @@ impl BatchOp for FilterExec<'_> {
                 }
             }
         }
+        let eval = self.eval.as_ref().expect("filter evaluator built");
         loop {
             let batch = self.child.next_batch()?;
             if batch.is_empty() {
@@ -635,7 +688,7 @@ impl BatchOp for FilterExec<'_> {
             let before = self.node.as_ref().map(|_| self.db.counters().snapshot());
             let mut out = Vec::with_capacity(batch.len());
             for jr in batch {
-                if self.row_passes(&jr)? {
+                if eval.row_passes(&jr)? {
                     out.push(jr);
                 }
             }
@@ -1102,7 +1155,6 @@ impl BatchOp for CrossJoinExec<'_> {
 /// Blocking ORDER BY: drains the child, sorts by the evaluated keys,
 /// then re-emits in batches, releasing gauge charge as rows drain.
 pub(crate) struct SortExec<'a> {
-    db: &'a Database,
     child: Box<dyn BatchOp + 'a>,
     metas: Arc<Vec<RelMeta>>,
     keys: Vec<OrderKey>,
@@ -1120,7 +1172,7 @@ impl<'a> SortExec<'a> {
         node: Option<ProfileNode>,
     ) -> Self {
         let resident = ctx.resident("SORT");
-        SortExec { db: ctx.db, child, metas, keys, sorted: None, node, resident }
+        SortExec { child, metas, keys, sorted: None, node, resident }
     }
 }
 
@@ -1139,7 +1191,7 @@ impl BatchOp for SortExec<'_> {
                     let ks = self
                         .keys
                         .iter()
-                        .map(|k| crate::exec::eval_expr(self.db, &self.metas, &jr, &k.expr))
+                        .map(|k| crate::exec::eval_expr(&self.metas, &jr, &k.expr))
                         .collect::<Result<Vec<_>, _>>()?;
                     keyed.push((ks, jr));
                 }
@@ -1239,7 +1291,6 @@ enum SourceSlot {
 /// driver and as the streaming subquery feed of
 /// [`RowidSemiJoinExec`].
 pub(crate) struct SelectStream<'a> {
-    db: &'a Database,
     root: Box<dyn BatchOp + 'a>,
     metas: Arc<Vec<RelMeta>>,
     projection: Vec<SelectItem>,
@@ -1252,7 +1303,7 @@ impl SelectStream<'_> {
     /// Next batch of projected result rows; empty means exhausted.
     pub(crate) fn next_rows(&mut self) -> Result<Vec<Row>, DbError> {
         let batch = self.root.next_batch()?;
-        batch.iter().map(|jr| project_row(self.db, &self.metas, jr, &self.projection)).collect()
+        batch.iter().map(|jr| project_row(&self.metas, jr, &self.projection)).collect()
     }
 
     /// Close the pipeline (idempotent, propagates to every operator).
@@ -1400,7 +1451,11 @@ pub(crate) fn build_select_stream<'a>(
     // Consult the cost-based planner. Planning is advisory: a failure
     // (or a decision the runtime cannot honor) falls back to the
     // default strategy, never fails the query.
-    let plan = crate::planner::plan_select(db, sel).ok();
+    let env = crate::planner::PlanEnv {
+        dop_cap: ctx.parallel_dop,
+        max_resident_rows: ctx.max_resident_rows,
+    };
+    let plan = crate::planner::plan_select(db, sel, &env).ok();
 
     // kNN pushdown applies only to the bare single-table top-k shape
     // the planner detected (no other predicates to interleave).
@@ -1408,11 +1463,31 @@ pub(crate) fn build_select_stream<'a>(
         width == 1 && rowid_pairs.is_empty() && spatial.is_empty() && residual.is_empty()
     });
 
+    // Exchange placement: honor the planner's parallelization only
+    // when the runtime shape matches what it assumed (re-validated
+    // here because planning is advisory).
+    let exchange = plan.as_ref().and_then(|p| p.exchange.clone());
+    let single_base = width == 1
+        && matches!(sources[0], SourceSlot::Table { .. })
+        && rowid_pairs.is_empty()
+        && !spatial.iter().any(|s| s.is_join());
+    use crate::planner::ExchangeSite;
+    let par_scan = matches!(&exchange, Some(x) if x.site == ExchangeSite::Scan)
+        && single_base
+        && sel.order_by.is_empty();
+    let par_sort = matches!(&exchange, Some(x) if x.site == ExchangeSite::Sort)
+        && single_base
+        && !sel.order_by.is_empty()
+        && knn.is_none();
+    let par_probe =
+        matches!(&exchange, Some(x) if x.site == ExchangeSite::Probe) && !rowid_pairs.is_empty();
+
     // Profile nodes, created top-down so the rendered tree mirrors the
     // operator tree: LIMIT → SORT → FILTER → join strategy → scans.
+    // A parallel sort replaces the serial SORT node with its EXCHANGE.
     let limit_node = sel.limit.and_then(|n| parent.map(|p| p.child(format!("LIMIT {n}"))));
     let mut anchor: Option<ProfileNode> = limit_node.clone().or_else(|| parent.cloned());
-    let sort_node = (!sel.order_by.is_empty() && knn.is_none())
+    let sort_node = (!sel.order_by.is_empty() && knn.is_none() && !par_sort)
         .then(|| anchor.as_ref().map(|p| p.child(format!("SORT [{} key(s)]", sel.order_by.len()))))
         .flatten();
     if sort_node.is_some() {
@@ -1456,8 +1531,9 @@ pub(crate) fn build_select_stream<'a>(
         ));
     } else if let Some(Predicate::RowidPairIn { left, right, subquery }) = rowid_pairs.first() {
         let has_filter_stage = !spatial.is_empty() || !residual.is_empty();
-        let filter_node =
-            has_filter_stage.then(|| anchor.as_ref().map(|p| p.child("FILTER"))).flatten();
+        let filter_node = (has_filter_stage && !par_probe)
+            .then(|| anchor.as_ref().map(|p| p.child("FILTER")))
+            .flatten();
         let join_anchor = filter_node.clone().or(anchor.clone());
         if width != 2 {
             return Err(DbError::Plan("rowid-pair IN requires exactly two tables".into()));
@@ -1478,21 +1554,49 @@ pub(crate) fn build_select_stream<'a>(
             .table
             .clone()
             .ok_or_else(|| DbError::Plan("rowid pair over non-table".into()))?;
-        let node = join_anchor.as_ref().map(|p| p.child("ROWID-PAIR SEMIJOIN"));
-        let sub = build_select_stream(ctx, subquery, node.as_ref())?;
-        root = Box::new(RowidSemiJoinExec::new(ctx, sub, l_rel, r_rel, lt, rt, width, node)?);
-        if has_filter_stage {
-            let hints =
-                plan.as_ref().map(|p| p.filter_hints.clone()).filter(|h| h.len() == spatial.len());
-            root = Box::new(FilterExec::new(
-                root,
+        let hints =
+            plan.as_ref().map(|p| p.filter_hints.clone()).filter(|h| h.len() == spatial.len());
+        if par_probe {
+            // Parallel probe: the pair stream is cut into blocks fanned
+            // out to workers, which fetch both base rows (through a
+            // private row cache each) and run the secondary filters
+            // per-worker. The exchange subsumes the FILTER stage.
+            let x = exchange.as_ref().expect("par_probe implies exchange");
+            let node = anchor.as_ref().map(|p| p.child("EXCHANGE"));
+            if let Some(n) = &node {
+                n.set_attr("plan_reason", x.reason.clone());
+            }
+            let sub = build_select_stream(ctx, subquery, node.as_ref())?;
+            root = Box::new(crate::parallel::ParallelSemiJoinExec::new(
                 ctx,
+                sub,
+                l_rel,
+                r_rel,
+                lt,
+                rt,
+                width,
                 Arc::clone(&metas),
                 spatial,
                 residual,
                 hints,
-                filter_node,
-            ));
+                x.dop,
+                node,
+            )?);
+        } else {
+            let node = join_anchor.as_ref().map(|p| p.child("ROWID-PAIR SEMIJOIN"));
+            let sub = build_select_stream(ctx, subquery, node.as_ref())?;
+            root = Box::new(RowidSemiJoinExec::new(ctx, sub, l_rel, r_rel, lt, rt, width, node)?);
+            if has_filter_stage {
+                root = Box::new(FilterExec::new(
+                    root,
+                    ctx,
+                    Arc::clone(&metas),
+                    spatial,
+                    residual,
+                    hints,
+                    filter_node,
+                ));
+            }
         }
     } else if let Some(jpos) = spatial.iter().position(|s| s.is_join()) {
         let mut jp = spatial.remove(jpos);
@@ -1548,6 +1652,47 @@ pub(crate) fn build_select_stream<'a>(
                 filter_node,
             ));
         }
+    } else if par_scan || par_sort {
+        // Morsel-driven scan (+filter, + per-worker sort under an
+        // ORDER BY): the exchange fans slot-range morsels out to the
+        // slave pool and merges per-worker output back into the
+        // ordered batch stream.
+        let x = exchange.as_ref().expect("parallel path implies exchange");
+        let node = anchor.as_ref().map(|p| p.child("EXCHANGE"));
+        if let Some(n) = &node {
+            n.set_attr("plan_reason", x.reason.clone());
+        }
+        let table = match std::mem::replace(&mut sources[0], SourceSlot::Taken) {
+            SourceSlot::Table { table, .. } => table,
+            _ => return Err(DbError::Plan("exchange requires a base table".into())),
+        };
+        let hints =
+            plan.as_ref().map(|p| p.filter_hints.clone()).filter(|h| h.len() == spatial.len());
+        if par_sort {
+            root = Box::new(crate::parallel::ParallelSortExec::new(
+                ctx,
+                table,
+                Arc::clone(&metas),
+                spatial,
+                residual,
+                hints,
+                sel.order_by.clone(),
+                sel.limit,
+                x.dop,
+                node,
+            ));
+        } else {
+            root = Box::new(crate::parallel::ParallelScanFilterExec::new(
+                ctx,
+                table,
+                Arc::clone(&metas),
+                spatial,
+                residual,
+                hints,
+                x.dop,
+                node,
+            ));
+        }
     } else {
         let has_filter_stage = !spatial.is_empty() || !residual.is_empty();
         let filter_node =
@@ -1587,7 +1732,7 @@ pub(crate) fn build_select_stream<'a>(
         }
     }
 
-    if !sel.order_by.is_empty() && knn.is_none() {
+    if !sel.order_by.is_empty() && knn.is_none() && !par_sort {
         root =
             Box::new(SortExec::new(root, ctx, Arc::clone(&metas), sel.order_by.clone(), sort_node));
     }
@@ -1595,7 +1740,7 @@ pub(crate) fn build_select_stream<'a>(
         root = Box::new(LimitExec::new(root, n, limit_node));
     }
 
-    Ok(SelectStream { db, root, metas, projection: sel.projection.clone(), columns, count_star })
+    Ok(SelectStream { root, metas, projection: sel.projection.clone(), columns, count_star })
 }
 
 /// Run a SELECT through the streaming pipeline.

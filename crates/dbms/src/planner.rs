@@ -64,6 +64,34 @@ const DEFAULT_TF_ROWS: f64 = 1_000.0;
 const DEFAULT_WINDOW_SEL: f64 = 0.1;
 
 // ---------------------------------------------------------------------------
+// Planning environment
+// ---------------------------------------------------------------------------
+
+/// Session knobs the planner must respect when placing exchanges.
+/// Captured from the session options at plan time (`EXPLAIN`) or
+/// execution time (the streaming builder), so a prepared statement
+/// re-resolves them on every `EXECUTE`.
+pub(crate) struct PlanEnv {
+    /// `ALTER SESSION SET parallel_dop` ceiling; 1 forces serial plans.
+    pub dop_cap: usize,
+    /// `max_resident_rows` budget — parallelism is clamped so `dop`
+    /// workers' in-flight morsels cannot exceed it on their own.
+    pub max_resident_rows: u64,
+}
+
+impl PlanEnv {
+    /// A serial environment: no exchange is ever placed.
+    pub(crate) fn serial() -> Self {
+        PlanEnv { dop_cap: 1, max_resident_rows: u64::MAX }
+    }
+
+    /// Capture the knobs from session options.
+    pub(crate) fn from_options(opts: &crate::db::SessionOptions) -> Self {
+        PlanEnv { dop_cap: opts.parallel_dop, max_resident_rows: opts.max_resident_rows }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Per-relation estimates
 // ---------------------------------------------------------------------------
 
@@ -240,6 +268,61 @@ pub(crate) struct KnnChoice {
 /// functional scan is cheaper (index probe disabled).
 pub(crate) type FilterHints = Vec<bool>;
 
+/// Where a morsel-driven exchange is placed in the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ExchangeSite {
+    /// Morsel-parallel table scan + filter over a single base table.
+    Scan,
+    /// Fused scan + filter + per-worker partial sort, merged at the
+    /// exchange (covers ORDER BY and top-k).
+    Sort,
+    /// Parallel rowid-pair semijoin probe: the pair stream is cut into
+    /// probe blocks fanned out to workers.
+    Probe,
+}
+
+/// The planner's decision to parallelize part of the pipeline.
+#[derive(Debug, Clone)]
+pub(crate) struct ExchangeChoice {
+    /// Which subtree the exchange covers.
+    pub site: ExchangeSite,
+    /// Degree of parallelism (always ≥ 2; dop 1 plans carry no
+    /// exchange at all so point queries pay zero overhead).
+    pub dop: usize,
+    /// The numbers that picked the dop.
+    pub reason: String,
+}
+
+/// Pick a dop for `drive_rows` estimated input rows, or `None` when
+/// the work is too small to amortize fan-out. The threshold is two
+/// morsels per worker-pair: below that, a second worker never gets a
+/// full morsel of its own.
+fn choose_exchange(env: &PlanEnv, site: ExchangeSite, drive_rows: f64) -> Option<ExchangeChoice> {
+    if env.dop_cap <= 1 {
+        return None;
+    }
+    let morsel = crate::parallel::morsel_rows() as f64;
+    let threshold = 2.0 * morsel;
+    if drive_rows < threshold {
+        return None;
+    }
+    let by_rows = (drive_rows / morsel).floor().max(1.0) as usize;
+    let by_mem = ((env.max_resident_rows as f64 / morsel).floor().max(1.0)) as usize;
+    let dop = env.dop_cap.min(by_rows).min(by_mem);
+    if dop < 2 {
+        return None;
+    }
+    let reason = format!(
+        "dop={dop}: est {} input rows >= threshold {} (morsel={}; session cap {}; memory cap {})",
+        fmt_est(drive_rows),
+        fmt_est(threshold),
+        morsel as usize,
+        env.dop_cap,
+        by_mem,
+    );
+    Some(ExchangeChoice { site, dop, reason })
+}
+
 /// The complete plan for one SELECT.
 pub(crate) struct SelectPlan {
     /// Costed operator tree for `EXPLAIN` (and attr stamping).
@@ -256,6 +339,9 @@ pub(crate) struct SelectPlan {
     /// classification order (parallel to the executor's `spatial` list
     /// after the join predicate, if any, is removed).
     pub filter_hints: FilterHints,
+    /// Morsel-driven exchange placement, when part of the pipeline is
+    /// worth parallelizing under the session's dop cap.
+    pub exchange: Option<ExchangeChoice>,
 }
 
 // ---------------------------------------------------------------------------
@@ -529,7 +615,11 @@ fn detect_knn(
 /// Plan a SELECT: estimates, path choices, and the costed tree.
 /// Never instantiates table functions or evaluates `CURSOR(...)`
 /// arguments — safe for plain `EXPLAIN`.
-pub(crate) fn plan_select(db: &Database, sel: &Select) -> Result<SelectPlan, DbError> {
+pub(crate) fn plan_select(
+    db: &Database,
+    sel: &Select,
+    env: &PlanEnv,
+) -> Result<SelectPlan, DbError> {
     let (metas, ests) = plan_relations(db, sel)?;
     let mut conj = classify_conjuncts(db, &metas, sel);
 
@@ -553,7 +643,7 @@ pub(crate) fn plan_select(db: &Database, sel: &Select) -> Result<SelectPlan, DbE
                 // run through the same executor.
                 for a in args {
                     if let TfArgAst::Cursor(sub) = a {
-                        if let Ok(subplan) = plan_select(db, sub) {
+                        if let Ok(subplan) = plan_select(db, sub, env) {
                             let mut c = subplan.root;
                             c.label = format!("CURSOR: {}", c.label);
                             n.children.push(c);
@@ -587,6 +677,7 @@ pub(crate) fn plan_select(db: &Database, sel: &Select) -> Result<SelectPlan, DbE
             knn: None,
             stream_slot: 0,
             filter_hints: Vec::new(),
+            exchange: None,
         });
     }
 
@@ -597,7 +688,9 @@ pub(crate) fn plan_select(db: &Database, sel: &Select) -> Result<SelectPlan, DbE
     // Core strategy node.
     let mut core: PlanNode;
     if let Some(subquery) = conj.rowid_pair {
-        let sub = plan_select(db, subquery)?;
+        // The subquery is its own pipeline (typically a pipelined
+        // table-function scan); exchanges never nest inside it.
+        let sub = plan_select(db, subquery, &PlanEnv::serial())?;
         let pairs = sub.root.est_rows;
         let mut n = PlanNode::new(
             "ROWID-PAIR SEMIJOIN",
@@ -737,9 +830,42 @@ pub(crate) fn plan_select(db: &Database, sel: &Select) -> Result<SelectPlan, DbE
         core = f;
     }
 
+    // Exchange placement. The kNN pushdown (detected below) touches
+    // ~k rows and never parallelizes; everything else is sited by
+    // shape: semijoins fan out probe blocks, single-base-table
+    // pipelines fan out scan morsels — under a sort, the workers run
+    // the sort too and the exchange merges sorted runs. The driving
+    // estimate is the *input* row count (base-table rows), because
+    // morsels partition the input regardless of filter selectivity.
+    let knn_detected =
+        if sel.order_by.is_empty() { None } else { detect_knn(db, &metas, &ests, sel) };
+    let mut exchange: Option<ExchangeChoice> = None;
+    if knn_detected.is_none() {
+        if conj.rowid_pair.is_some() {
+            // The table-function subquery estimate is a default; the
+            // base tables bound the real pair volume better.
+            let drive = ests.iter().fold(0.0f64, |m, e| m.max(e.rows));
+            exchange = choose_exchange(env, ExchangeSite::Probe, drive);
+        } else if sel.from.len() == 1
+            && matches!(sel.from[0], FromItem::Table { .. })
+            && join_choice.is_none()
+        {
+            let site =
+                if sel.order_by.is_empty() { ExchangeSite::Scan } else { ExchangeSite::Sort };
+            exchange = choose_exchange(env, site, ests[0].rows);
+        }
+    }
+    if let Some(x) = &exchange {
+        if x.site != ExchangeSite::Sort {
+            let mut e = PlanNode::new("EXCHANGE", core.est_rows, core.est_cost, x.reason.clone());
+            e.children.push(core);
+            core = e;
+        }
+    }
+
     // ORDER BY: either the kNN pushdown or a full sort.
     if !sel.order_by.is_empty() {
-        if let Some(knn) = detect_knn(db, &metas, &ests, sel) {
+        if let Some(knn) = knn_detected {
             let mut n = PlanNode::new(
                 format!("KNN SCAN {} (k={})", metas[0].binding, knn.k),
                 (knn.k as f64).min(ests[0].rows),
@@ -765,6 +891,14 @@ pub(crate) fn plan_select(db: &Database, sel: &Select) -> Result<SelectPlan, DbE
             );
             s.children.push(core);
             core = s;
+            if let Some(x) = &exchange {
+                if x.site == ExchangeSite::Sort {
+                    let mut e =
+                        PlanNode::new("EXCHANGE", core.est_rows, core.est_cost, x.reason.clone());
+                    e.children.push(core);
+                    core = e;
+                }
+            }
         }
     }
 
@@ -786,7 +920,14 @@ pub(crate) fn plan_select(db: &Database, sel: &Select) -> Result<SelectPlan, DbE
         core = a;
     }
 
-    Ok(SelectPlan { root: core, join: join_choice, knn: knn_choice, stream_slot, filter_hints })
+    Ok(SelectPlan {
+        root: core,
+        join: join_choice,
+        knn: knn_choice,
+        stream_slot,
+        filter_hints,
+        exchange,
+    })
 }
 
 /// Transpose a column-column spatial predicate so its second relation

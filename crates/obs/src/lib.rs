@@ -28,7 +28,7 @@ pub mod profile;
 pub mod span;
 
 pub use metrics::{
-    global, Counter, Gauge, Histogram, MemoryGauge, MetricsRegistry, RegistrySnapshot,
+    global, Counter, Gauge, GaugeCharge, Histogram, MemoryGauge, MetricsRegistry, RegistrySnapshot,
 };
 pub use profile::{
     current, enter, profiling, EnterGuard, OpProfile, ProfileNode, ProfileSession, QueryProfile,

@@ -111,6 +111,63 @@ impl MemoryGauge {
     pub fn peak(&self) -> u64 {
         self.inner.peak.load(Ordering::Relaxed)
     }
+
+    /// Open an RAII charge account against this gauge.
+    ///
+    /// Parallel workers each hold their own [`GaugeCharge`]; whatever a
+    /// worker has charged when it unwinds — an error mid-morsel, a
+    /// receiver that hung up, a panic — is released by `Drop`, so the
+    /// gauge always returns to zero no matter which side of a channel
+    /// failed first.
+    pub fn charge(&self) -> GaugeCharge {
+        GaugeCharge { gauge: self.clone(), held: 0 }
+    }
+}
+
+/// RAII balance of units charged to a [`MemoryGauge`].
+///
+/// The owning side (typically one worker, or one buffered result in a
+/// merge queue) adjusts its balance with [`add`](GaugeCharge::add) /
+/// [`set`](GaugeCharge::set); dropping the charge releases whatever is
+/// still held. Transferring the struct transfers the liability — an
+/// exchange worker charges its morsel output, sends the charge along
+/// with the rows, and the consumer's drop releases it after the rows
+/// flow downstream.
+#[derive(Debug)]
+pub struct GaugeCharge {
+    gauge: MemoryGauge,
+    held: u64,
+}
+
+impl GaugeCharge {
+    /// Charge `n` more units, returning the gauge's new total.
+    pub fn add(&mut self, n: u64) -> u64 {
+        self.held += n;
+        self.gauge.add(n)
+    }
+
+    /// Adjust the balance to exactly `n` units, returning the gauge's
+    /// new total.
+    pub fn set(&mut self, n: u64) -> u64 {
+        if n >= self.held {
+            self.add(n - self.held)
+        } else {
+            self.gauge.sub(self.held - n);
+            self.held = n;
+            self.gauge.current()
+        }
+    }
+
+    /// Units currently held by this account.
+    pub fn held(&self) -> u64 {
+        self.held
+    }
+}
+
+impl Drop for GaugeCharge {
+    fn drop(&mut self) {
+        self.gauge.sub(self.held);
+    }
 }
 
 /// Fixed-bucket histogram of `u64` samples (typically nanoseconds).

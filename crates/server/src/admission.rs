@@ -15,6 +15,13 @@
 //! the whole budget. This is how the server saturates gracefully: the
 //! saturation bench drives clients past the budget and observes
 //! queueing delay and clean rejections instead of memory blow-up.
+//!
+//! Morsel-driven parallelism does not change the currency: at
+//! `parallel_dop > 1` the exchange's workers all charge the *same*
+//! statement gauge their coordinator drains, so `max_resident_rows`
+//! still bounds the statement's total resident rows and the admission
+//! cost above remains the statement's true worst case. Parallel
+//! statements burn the budget faster, not deeper.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};

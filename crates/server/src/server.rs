@@ -41,6 +41,13 @@ pub struct ServerConfig {
     pub admission_queue: usize,
     /// How long one statement may wait for admission.
     pub admission_wait: Duration,
+    /// `parallel_dop` applied to every new session (clients can still
+    /// override per-connection with `ALTER SESSION`). `None` keeps the
+    /// engine default — machine parallelism, clamped to `[1, 16]` —
+    /// which on a loaded server lets concurrent statements oversubscribe
+    /// the shared slave pool; pinning this to a small value trades
+    /// single-statement latency for throughput under concurrency.
+    pub default_parallel_dop: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +57,7 @@ impl Default for ServerConfig {
             memory_budget: 4 * sdo_dbms::SessionOptions::default().max_resident_rows,
             admission_queue: 32,
             admission_wait: Duration::from_secs(2),
+            default_parallel_dop: None,
         }
     }
 }
@@ -110,6 +118,7 @@ pub fn serve(db: Arc<Database>, addr: &str, config: ServerConfig) -> io::Result<
     );
     let accept_stop = Arc::clone(&stop);
     let accept_admission = admission.clone();
+    let default_dop = config.default_parallel_dop;
     let accept_thread =
         std::thread::Builder::new().name("sdo-server-accept".into()).spawn(move || {
             for conn in listener.incoming() {
@@ -121,7 +130,7 @@ pub fn serve(db: Arc<Database>, addr: &str, config: ServerConfig) -> io::Result<
                 let admission = accept_admission.clone();
                 let _ =
                     std::thread::Builder::new().name("sdo-server-conn".into()).spawn(move || {
-                        let _ = handle_connection(stream, db, admission);
+                        let _ = handle_connection(stream, db, admission, default_dop);
                     });
             }
         })?;
@@ -235,6 +244,7 @@ fn handle_connection(
     mut stream: TcpStream,
     db: Arc<Database>,
     admission: AdmissionController,
+    default_dop: Option<usize>,
 ) -> io::Result<()> {
     // Dual protocol on one port: an HTTP scrape opens with "GET ",
     // which can never start a wire frame (it would be a 0x20544547
@@ -255,6 +265,11 @@ fn handle_connection(
     }
 
     let session = db.session();
+    if let Some(dop) = default_dop {
+        // Same validation as ALTER SESSION; a misconfigured server
+        // default must not take the connection down, just fall back.
+        let _ = session.set_option("parallel_dop", &dop.to_string());
+    }
     sdo_obs::global().counter("server_connections_total").inc();
     loop {
         let payload = match wire::read_frame(&mut stream) {

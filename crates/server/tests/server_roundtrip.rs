@@ -156,6 +156,7 @@ fn admission_rejects_oversized_statements_cleanly() {
         memory_budget: 1_000_000,
         admission_queue: 2,
         admission_wait: Duration::from_millis(100),
+        default_parallel_dop: None,
     });
     let mut c = client(&handle);
     // The default session cost (5M rows) exceeds the 1M budget: every
@@ -180,6 +181,7 @@ fn admission_admits_within_budget_and_frees_on_completion() {
         memory_budget: 10_000_000,
         admission_queue: 2,
         admission_wait: Duration::from_millis(500),
+        default_parallel_dop: None,
     });
     let mut c = client(&handle);
     c.execute("CREATE TABLE x (id NUMBER)").unwrap();

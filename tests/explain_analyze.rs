@@ -25,6 +25,10 @@ fn session_with_tables() -> Database {
         ))
         .unwrap();
     }
+    // The parallel-profile tests below shrink the process-global morsel
+    // size; pin everything else to serial so profile shapes stay
+    // independent of which test touched the knob first.
+    db.execute("ALTER SESSION SET parallel_dop = 1").unwrap();
     db
 }
 
@@ -291,6 +295,93 @@ fn nested_loop_profile_reports_strategy_and_counters() {
         nl.metric("exact_tests").unwrap_or(0) > 0,
         "work-counter deltas ride on the join operator"
     );
+}
+
+/// A morsel-parallel scan renders as an EXCHANGE with per-worker
+/// children whose tallies reconcile exactly: worker rows sum to the
+/// statement cardinality, morsels_executed sums to the morsel count,
+/// and morsels_stolen renders even when a worker stole nothing.
+#[test]
+fn parallel_scan_exchange_profile_reports_worker_breakdown() {
+    sdo_dbms::set_morsel_rows(8);
+    let db = session_with_tables();
+    db.execute("ALTER SESSION SET parallel_dop = 4").unwrap();
+    let sql = "SELECT id FROM city_table WHERE id >= 0";
+
+    // Plain EXPLAIN already shows the exchange and its dop reasoning.
+    let plan = db.execute(&format!("EXPLAIN {sql}")).unwrap();
+    let text: Vec<String> = plan.rows.iter().map(|r| r[0].as_text().unwrap().to_string()).collect();
+    assert!(text.iter().any(|l| l.contains("EXCHANGE")), "plan renders the exchange: {text:?}");
+    assert!(text.iter().any(|l| l.contains("dop")), "plan names the chosen dop: {text:?}");
+
+    let n = db.execute(sql).unwrap().rows.len() as u64;
+    assert_eq!(n, 60);
+    let profile = db.last_profile().unwrap();
+    let ex = profile.root.find("EXCHANGE").expect("60 rows at morsel 8 fan out");
+    assert!(ex.attrs.iter().any(|(k, v)| k == "dop" && v == "4"), "{:?}", ex.attrs);
+    assert!(
+        ex.attrs.iter().any(|(k, _)| k == "plan_reason"),
+        "the planner's dop reasoning rides on the exchange: {:?}",
+        ex.attrs
+    );
+
+    let workers: Vec<_> = ex.children.iter().filter(|c| c.name.starts_with("worker")).collect();
+    assert_eq!(workers.len(), 4, "dop=4 must report four workers");
+    assert_eq!(workers.iter().map(|w| w.rows).sum::<u64>(), n, "worker rows sum to the result");
+    let executed: u64 = workers.iter().map(|w| w.metric("morsels_executed").unwrap()).sum();
+    assert_eq!(executed, 60u64.div_ceil(8), "every morsel executed exactly once");
+    for w in &workers {
+        // set_metric: a worker that stole nothing still renders a zero.
+        w.metric("morsels_stolen").expect("morsels_stolen renders even at zero");
+    }
+}
+
+/// The parallel semijoin probe fetches base rows through one private
+/// row cache per worker; each worker's cache accounting must balance
+/// exactly — both sides are probed unconditionally, so
+/// hits + misses == 2 × pairs_probed — and the parallel run returns
+/// the serial rows.
+#[test]
+fn parallel_semijoin_worker_cache_accounting_balances() {
+    sdo_dbms::set_morsel_rows(8);
+    let db = session_with_tables();
+    let sql = "SELECT a.id, b.id FROM city_table a, river_table b \
+               WHERE (a.rowid, b.rowid) IN \
+               (SELECT rid1, rid2 FROM TABLE(SPATIAL_JOIN( \
+                'city_table', 'geom', 'river_table', 'geom', 'intersect')))";
+
+    let serial = db.execute(sql).unwrap();
+    db.execute("ALTER SESSION SET parallel_dop = 4").unwrap();
+    let par = db.execute(sql).unwrap();
+    assert_eq!(par.rows, serial.rows, "parallel probe is bit-identical to serial");
+    let n = par.rows.len() as u64;
+    assert!(n > 0);
+
+    let profile = db.last_profile().unwrap();
+    let ex = profile.root.find("EXCHANGE").expect("the probe fans out at dop 4");
+    assert!(ex.attrs.iter().any(|(k, v)| k == "dop" && v == "4"), "{:?}", ex.attrs);
+    let workers: Vec<_> = ex.children.iter().filter(|c| c.name.starts_with("worker")).collect();
+    assert_eq!(workers.len(), 4);
+    assert_eq!(workers.iter().map(|w| w.rows).sum::<u64>(), n, "worker rows sum to the result");
+
+    let mut probed_total = 0;
+    for w in &workers {
+        let probed = w.metric("pairs_probed").expect("pairs_probed renders even at zero");
+        let hits = w.metric("geom_cache_hits").unwrap();
+        let misses = w.metric("geom_cache_misses").unwrap();
+        assert_eq!(
+            hits + misses,
+            2 * probed,
+            "cache lookups must track probed pairs exactly ({})",
+            w.name
+        );
+        w.metric("morsels_executed").unwrap();
+        w.metric("morsels_stolen").unwrap();
+        probed_total += probed;
+    }
+    // Pairs are distinct (the wave dedups them), and every surviving
+    // pair was probed by exactly one worker.
+    assert_eq!(probed_total, n, "distinct pairs probed once each");
 }
 
 #[test]

@@ -5,6 +5,7 @@
 //! bounded by batches in flight rather than result cardinality, and
 //! (3) make `LIMIT` terminate the producing spatial join early.
 
+use proptest::prelude::*;
 use sdo_datagen::{counties, US_EXTENT};
 use sdo_dbms::Database;
 use sdo_storage::Value;
@@ -36,15 +37,9 @@ fn row_keys(rows: &[Vec<Value>]) -> Vec<String> {
     rows.iter().map(|r| format!("{r:?}")).collect()
 }
 
-/// Every query shape the planner knows, answered identically by the
-/// streaming pipeline (default) and by `ALTER SESSION SET materialize
-/// = on`. Row order is compared exactly for ORDER BY queries and as a
-/// multiset otherwise.
-#[test]
-fn corpus_matches_materialized_executor() {
-    let db = session_with_tables();
-    // (sql, order_sensitive)
-    let corpus: Vec<(String, bool)> = vec![
+/// Every query shape the planner knows: (sql, order_sensitive).
+fn corpus() -> Vec<(String, bool)> {
+    vec![
         // Nested-loop spatial join via the inner index.
         (
             "SELECT a.id, b.id FROM city_table a, river_table b \
@@ -129,8 +124,16 @@ fn corpus_matches_materialized_executor() {
         ),
         // Scalar-function projection.
         ("SELECT SDO_AREA(geom) shape_area FROM city_table WHERE id < 10 ORDER BY id".into(), true),
-    ];
+    ]
+}
 
+/// The corpus, answered identically by the streaming pipeline
+/// (default) and by `ALTER SESSION SET materialize = on`. Row order is
+/// compared exactly for ORDER BY queries and as a multiset otherwise.
+#[test]
+fn corpus_matches_materialized_executor() {
+    let db = session_with_tables();
+    let corpus = corpus();
     let mut streaming = Vec::new();
     for (sql, _) in &corpus {
         streaming.push(db.execute(sql).unwrap());
@@ -268,4 +271,147 @@ fn session_options_and_limit_validation() {
     let res = db.execute("SELECT id FROM t ORDER BY id LIMIT 3").unwrap();
     let ids: Vec<i64> = res.rows.iter().map(|r| r[0].as_integer().unwrap()).collect();
     assert_eq!(ids, vec![0, 1, 2]);
+}
+
+/// The full corpus must return *bit-identical* rows — order included —
+/// at parallel_dop 1, 2, and 4. The morsel size is shrunk so the
+/// 60-row tables actually fan out; the exchange's morsel-ordered merge
+/// is what makes this hold. The one exception is the table function
+/// running with its *own* slave dop: its pair stream is unordered at
+/// the source (two TF slaves race to emit), so that entry is compared
+/// as a multiset — the exchange cannot restore an order the producer
+/// never had.
+#[test]
+fn corpus_is_dop_invariant() {
+    sdo_dbms::set_morsel_rows(8);
+    let db = session_with_tables();
+    db.execute("ALTER SESSION SET parallel_dop = 1").unwrap();
+    let corpus = corpus();
+    let baseline: Vec<_> = corpus.iter().map(|(sql, _)| db.execute(sql).unwrap()).collect();
+    for dop in [2usize, 4] {
+        db.execute(&format!("ALTER SESSION SET parallel_dop = {dop}")).unwrap();
+        for ((sql, _), base) in corpus.iter().zip(&baseline) {
+            let res = db.execute(sql).unwrap();
+            assert_eq!(res.columns, base.columns, "columns diverge at dop {dop} for {sql}");
+            if sql.contains("'intersect', 2") {
+                let (mut rk, mut bk) = (row_keys(&res.rows), row_keys(&base.rows));
+                rk.sort();
+                bk.sort();
+                assert_eq!(rk, bk, "row multiset diverges at dop {dop} for {sql}");
+            } else {
+                assert_eq!(res.rows, base.rows, "rows diverge at dop {dop} for {sql}");
+            }
+        }
+    }
+}
+
+/// Parallelism must not loosen the resident-row budget: with the
+/// morsel size shrunk and a tight (but sufficient) budget, the same
+/// query respects `max_resident_rows` at every dop, and the profiled
+/// peak stays within the budget.
+#[test]
+fn resident_budget_holds_at_every_dop() {
+    sdo_dbms::set_morsel_rows(8);
+    let db = session_with_tables();
+    db.execute("ALTER SESSION SET max_resident_rows = 200").unwrap();
+    for dop in [1usize, 2, 4] {
+        db.execute(&format!("ALTER SESSION SET parallel_dop = {dop}")).unwrap();
+        let res = db.execute("SELECT id FROM city_table WHERE id >= 0 ORDER BY id").unwrap();
+        assert_eq!(res.rows.len(), 60, "dop {dop}");
+        let profile = db.last_profile().unwrap();
+        let peak = profile.root.metric("peak_resident_rows").expect("peak reported");
+        assert!(peak <= 200, "dop {dop}: peak {peak} exceeds the session budget");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Parallel sort and top-k must match the serial plan bit for bit,
+    /// tie-breaks included: coordinates are drawn from a tiny grid so
+    /// duplicate geometries (equal distances) are common, and the
+    /// serial executor breaks those ties by stable-sort scan order.
+    #[test]
+    fn parallel_sort_and_topk_match_serial_bit_for_bit(
+        coords in proptest::collection::vec((0i64..10, 0i64..10), 24..120),
+        k in 1usize..24,
+    ) {
+        sdo_dbms::set_morsel_rows(8);
+        let db = Database::new();
+        sdo_core::register_spatial(&db);
+        db.execute("CREATE TABLE pts (id NUMBER, geom SDO_GEOMETRY)").unwrap();
+        for (i, (x, y)) in coords.iter().enumerate() {
+            let g = sdo_geom::wkt::parse_wkt(&format!("POINT ({x} {y})")).unwrap();
+            db.insert_row("pts", vec![Value::Integer(i as i64), Value::geometry(g)]).unwrap();
+        }
+        let queries = [
+            "SELECT id FROM pts ORDER BY SDO_DISTANCE(geom, SDO_POINT(5, 5))".to_string(),
+            format!("SELECT id FROM pts ORDER BY SDO_DISTANCE(geom, SDO_POINT(5, 5)) LIMIT {k}"),
+            format!(
+                "SELECT id FROM pts ORDER BY SDO_DISTANCE(geom, SDO_POINT(5, 5)) DESC LIMIT {k}"
+            ),
+        ];
+        db.execute("ALTER SESSION SET parallel_dop = 1").unwrap();
+        let serial: Vec<_> = queries.iter().map(|q| db.execute(q).unwrap().rows).collect();
+        for dop in [2usize, 4] {
+            db.execute(&format!("ALTER SESSION SET parallel_dop = {dop}")).unwrap();
+            for (q, s) in queries.iter().zip(&serial) {
+                let par = db.execute(q).unwrap().rows;
+                prop_assert_eq!(&par, s, "dop {} diverges for {}", dop, q);
+            }
+        }
+    }
+}
+
+/// `parallel_dop` validation: zero and out-of-range rejected with the
+/// legal range in the message, garbage rejected, valid values
+/// round-trip — consistent with `max_resident_rows` handling.
+#[test]
+fn parallel_dop_option_is_validated() {
+    let db = Database::new();
+    sdo_core::register_spatial(&db);
+    db.execute("ALTER SESSION SET parallel_dop = 4").unwrap();
+    assert_eq!(db.options().parallel_dop, 4);
+    db.execute("ALTER SESSION SET parallel_dop = 1").unwrap();
+    assert_eq!(db.options().parallel_dop, 1);
+
+    let err = db.execute("ALTER SESSION SET parallel_dop = 0").unwrap_err().to_string();
+    assert!(err.contains("between 1 and 64"), "zero must name the range: {err}");
+    let err = db.execute("ALTER SESSION SET parallel_dop = 65").unwrap_err().to_string();
+    assert!(err.contains("between 1 and 64"), "overflow must name the range: {err}");
+    let err = db.execute("ALTER SESSION SET parallel_dop = banana").unwrap_err().to_string();
+    assert!(err.contains("invalid value"), "garbage must be rejected: {err}");
+    // Failed SETs leave the option untouched.
+    assert_eq!(db.options().parallel_dop, 1);
+}
+
+/// EXECUTE of a prepared statement re-resolves the dop from the
+/// session options at execution time: the same prepared SELECT runs
+/// parallel after `SET parallel_dop = 4` and serial after `= 1`,
+/// observable through the EXPLAIN ANALYZE profile.
+#[test]
+fn execute_reresolves_dop_from_session_options() {
+    sdo_dbms::set_morsel_rows(8);
+    let db = session_with_tables();
+    db.execute("PREPARE q AS SELECT id FROM city_table WHERE id >= 0").unwrap();
+
+    db.execute("ALTER SESSION SET parallel_dop = 4").unwrap();
+    let par = db.execute("EXECUTE q").unwrap();
+    assert_eq!(par.rows.len(), 60);
+    let profile = db.last_profile().unwrap();
+    assert!(
+        profile.root.find("EXCHANGE").is_some(),
+        "dop 4 EXECUTE must run through the exchange:\n{}",
+        profile.render_text()
+    );
+
+    db.execute("ALTER SESSION SET parallel_dop = 1").unwrap();
+    let ser = db.execute("EXECUTE q").unwrap();
+    assert_eq!(ser.rows, par.rows, "dop must not change results");
+    let profile = db.last_profile().unwrap();
+    assert!(
+        profile.root.find("EXCHANGE").is_none(),
+        "dop 1 EXECUTE must stay serial:\n{}",
+        profile.render_text()
+    );
 }
